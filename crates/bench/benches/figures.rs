@@ -1,0 +1,78 @@
+//! Criterion benches of the paper's figure workloads (the regenerating
+//! binaries in `src/bin/` print the full series; these benches time the
+//! same workloads reproducibly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmossim_bench::{paper_universe, ram_with_bridges, SEED};
+use fmossim_core::{ConcurrentConfig, ConcurrentSim};
+use fmossim_testgen::TestSequence;
+
+/// Figure 1 workload: RAM64, sequence 1, 428 sampled faults.
+fn bench_fig1(c: &mut Criterion) {
+    let (ram, bridges) = ram_with_bridges(8, 8);
+    let universe = paper_universe(&ram, bridges).sample(428, SEED);
+    let seq = TestSequence::full(&ram);
+    let mut g = c.benchmark_group("fig1_ram64_seq1");
+    g.sample_size(10);
+    g.bench_function("concurrent_428_faults", |b| {
+        b.iter(|| {
+            let mut sim =
+                ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
+            std::hint::black_box(sim.run(seq.patterns(), ram.observed_outputs()).detected())
+        });
+    });
+    g.finish();
+}
+
+/// Figure 2 workload: RAM64, sequence 2 (shorter but slower — the
+/// paper's test-quality lesson shows up as a *higher* time here than
+/// fig1 despite 80 fewer patterns).
+fn bench_fig2(c: &mut Criterion) {
+    let (ram, bridges) = ram_with_bridges(8, 8);
+    let universe = paper_universe(&ram, bridges).sample(428, SEED);
+    let seq = TestSequence::march_only(&ram);
+    let mut g = c.benchmark_group("fig2_ram64_seq2");
+    g.sample_size(10);
+    g.bench_function("concurrent_428_faults", |b| {
+        b.iter(|| {
+            let mut sim =
+                ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
+            std::hint::black_box(sim.run(seq.patterns(), ram.observed_outputs()).detected())
+        });
+    });
+    g.finish();
+}
+
+/// Figure 3 workload: RAM256 concurrent time at increasing fault-sample
+/// sizes (linearity in the fault count).
+fn bench_fig3_sweep(c: &mut Criterion) {
+    let (ram, bridges) = ram_with_bridges(16, 16);
+    let universe = paper_universe(&ram, bridges);
+    let seq = TestSequence::full(&ram);
+    let mut g = c.benchmark_group("fig3_ram256_fault_sweep");
+    g.sample_size(10);
+    for frac in [4usize, 2, 1] {
+        let k = universe.len() / frac;
+        let sample = universe.sample(k, SEED);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{k}_faults")),
+            &sample,
+            |b, sample| {
+                b.iter(|| {
+                    let mut sim = ConcurrentSim::new(
+                        ram.network(),
+                        sample.faults(),
+                        ConcurrentConfig::paper(),
+                    );
+                    std::hint::black_box(
+                        sim.run(seq.patterns(), ram.observed_outputs()).detected(),
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1, bench_fig2, bench_fig3_sweep);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the simulation kernels: steady-state
+//! solving, settle scheduling, and good-circuit pattern throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmossim_circuits::Ram;
+use fmossim_netlist::{Drive, Logic, Network, Size, TransistorType};
+use fmossim_switch::{DenseState, LogicSim, Scratch};
+use fmossim_testgen::TestSequence;
+
+/// Solve one inverter vicinity — the smallest interesting group.
+fn bench_solve_inverter(c: &mut Criterion) {
+    let mut net = Network::new();
+    let vdd = net.add_input("Vdd", Logic::H);
+    let gnd = net.add_input("Gnd", Logic::L);
+    let a = net.add_input("A", Logic::H);
+    let out = net.add_storage("OUT", Size::S1);
+    net.add_transistor(TransistorType::D, Drive::D1, out, vdd, out);
+    net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+    let st = DenseState::new(&net);
+    let mut scr = Scratch::new(net.num_nodes(), net.num_transistors());
+    c.bench_function("solve/inverter_group", |b| {
+        b.iter(|| std::hint::black_box(scr.solve_group(&st, out, false)));
+    });
+}
+
+/// Solve a wide bus vicinity (one RAM column read path) — the paper's
+/// "bit lines act as large global busses" hard case.
+fn bench_solve_bitline(c: &mut Criterion) {
+    let ram = Ram::new(8, 8);
+    let net = ram.network();
+    let mut sim = LogicSim::new(net);
+    sim.settle();
+    // Activate a read so the bit-line group is at its largest.
+    let io = ram.io();
+    sim.set_input(io.phi1, Logic::H);
+    sim.settle();
+    sim.set_input(io.phi1, Logic::L);
+    sim.settle();
+    sim.set_input(io.phi2, Logic::H);
+    sim.settle();
+    let rbl = ram.bit_lines()[0].1;
+    let (state, _) = sim.into_parts();
+    let mut scr = Scratch::new(net.num_nodes(), net.num_transistors());
+    c.bench_function("solve/bitline_group", |b| {
+        b.iter(|| std::hint::black_box(scr.solve_group(&state, rbl, false)));
+    });
+}
+
+/// Full-network settle from reset (every storage node X → stable).
+fn bench_initial_settle(c: &mut Criterion) {
+    let ram64 = Ram::new(8, 8);
+    let ram256 = Ram::new(16, 16);
+    let mut g = c.benchmark_group("settle/initial");
+    for (label, ram) in [("ram64", &ram64), ("ram256", &ram256)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), ram, |b, ram| {
+            b.iter(|| {
+                let mut sim = LogicSim::new(ram.network());
+                std::hint::black_box(sim.settle())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Good-circuit throughput over the paper's sequence 1 — the paper's
+/// "simulation of the good circuit alone" baseline (2.7 min for RAM64,
+/// 25.3 min for RAM256 on the VAX 11/780).
+fn bench_good_sequence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("good_sim/sequence1");
+    g.sample_size(10);
+    for dim in [8usize, 16] {
+        let ram = Ram::new(dim, dim);
+        let seq = TestSequence::full(&ram);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("ram{}", dim * dim)),
+            &(&ram, &seq),
+            |b, (ram, seq)| {
+                b.iter(|| {
+                    let mut sim = LogicSim::new(ram.network());
+                    sim.settle();
+                    for pattern in seq.patterns() {
+                        for phase in &pattern.phases {
+                            for &(n, v) in &phase.inputs {
+                                sim.set_input(n, v);
+                            }
+                            sim.settle();
+                        }
+                    }
+                    std::hint::black_box(sim.get(ram.io().dout))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solve_inverter,
+    bench_solve_bitline,
+    bench_initial_settle,
+    bench_good_sequence
+);
+criterion_main!(benches);

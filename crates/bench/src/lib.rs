@@ -1,0 +1,143 @@
+//! Shared benchmark harness for reproducing the paper's evaluation.
+//!
+//! Every table and figure of Bryant & Schuster (DAC 1985, §5) has a
+//! regenerating binary in `src/bin/`:
+//!
+//! | Paper item | Binary | What it prints |
+//! |------------|--------|----------------|
+//! | Table 1    | `table1` | transistor state vs. gate state |
+//! | Figure 1   | `fig1_ram64` | RAM64, sequence 1: cumulative detections and sec/pattern, head/tail split, concurrent vs. serial totals |
+//! | Figure 2   | `fig2_ram64` | RAM64, sequence 2: the same series without the row/column marches |
+//! | Figure 3   | `fig3_ram256` | RAM256: average sec/pattern vs. number of sampled faults, concurrent and serial |
+//! | §5 scaling | `scaling` | RAM64 → RAM256 good/concurrent/serial scale factors |
+//!
+//! Criterion benches (`benches/`) cover the solver kernels, good-sim
+//! throughput, figure workloads, and the three design-choice ablations
+//! called out in DESIGN.md (locality, state-list backend, fault
+//! dropping).
+//!
+//! Absolute times are host-dependent; the binaries therefore print the
+//! *shape* metrics next to the paper's published values so the
+//! comparison in EXPERIMENTS.md can be regenerated with one command.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fmossim_circuits::Ram;
+use fmossim_core::{Pattern, RunReport};
+use fmossim_faults::{Fault, FaultUniverse};
+
+/// The random seed used everywhere (the paper's publication date).
+pub const SEED: u64 = 850_715;
+
+/// Builds a RAM with bridge-fault devices inserted on every adjacent
+/// bit-line pair, returning the circuit and the bridge faults.
+#[must_use]
+pub fn ram_with_bridges(rows: usize, cols: usize) -> (Ram, Vec<Fault>) {
+    let mut ram = Ram::new(rows, cols);
+    let pairs = ram.adjacent_bitline_pairs();
+    let bridges = pairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (a, b))| {
+            fmossim_faults::inject::insert_bridge(ram.network_mut(), a, b, &format!("bl{i}"))
+        })
+        .collect();
+    (ram, bridges)
+}
+
+/// The paper's fault universe for a RAM: "single storage nodes
+/// stuck-at-zero, single storage nodes stuck-at-one, and single pairs
+/// of adjacent bit lines shorted together".
+#[must_use]
+pub fn paper_universe(ram: &Ram, bridges: Vec<Fault>) -> FaultUniverse {
+    FaultUniverse::stuck_nodes(ram.network()).union(FaultUniverse::from_faults(bridges))
+}
+
+/// The paper's §5 validation universe: stuck-open and stuck-closed
+/// transistors.
+#[must_use]
+pub fn transistor_universe(ram: &Ram) -> FaultUniverse {
+    FaultUniverse::stuck_transistors(ram.network())
+}
+
+/// Prints the two curves of Figures 1/2 as CSV:
+/// `pattern,seconds,cumulative_detected,live_before`.
+pub fn print_figure_csv(report: &RunReport) {
+    println!("pattern,seconds,cumulative_detected,live_before");
+    let cum = report.cumulative_detections();
+    for (i, p) in report.patterns.iter().enumerate() {
+        println!("{},{:.6},{},{}", i + 1, p.seconds, cum[i], p.live_before);
+    }
+}
+
+/// Sums the seconds of a pattern range.
+#[must_use]
+pub fn seconds_in(report: &RunReport, range: std::ops::Range<usize>) -> f64 {
+    report.patterns[range].iter().map(|p| p.seconds).sum()
+}
+
+/// Formats a `measured vs. paper` comparison row.
+#[must_use]
+pub fn compare_row(metric: &str, ours: String, paper: &str) -> String {
+    format!("{metric:<44} ours: {ours:<14} paper: {paper}")
+}
+
+/// Parses a `--flag value`-style option from `std::env::args`.
+#[must_use]
+pub fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// True if `--flag` is present in `std::env::args`.
+#[must_use]
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Convenience: run the good circuit alone over the patterns and
+/// return `(total_seconds, avg_seconds_per_pattern)`.
+#[must_use]
+pub fn good_only_seconds(ram: &Ram, patterns: &[Pattern]) -> (f64, f64) {
+    let sim = fmossim_core::SerialSim::new(ram.network(), fmossim_core::SerialConfig::paper());
+    let trace = sim.good_trace(patterns, ram.observed_outputs());
+    (trace.total_seconds, trace.avg_pattern_seconds())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_universe_has_expected_classes() {
+        let (ram, bridges) = ram_with_bridges(4, 4);
+        let n_bridges = bridges.len();
+        assert_eq!(n_bridges, 2 * 4 - 1);
+        let u = paper_universe(&ram, bridges);
+        // 2 faults per storage node plus the bridges.
+        let storage = ram.stats().storage;
+        assert_eq!(u.len(), 2 * storage + n_bridges);
+    }
+
+    #[test]
+    fn transistor_universe_excludes_fault_devices() {
+        let (ram, _bridges) = ram_with_bridges(4, 4);
+        let u = transistor_universe(&ram);
+        // Each functional transistor twice; bridge devices excluded.
+        let functional = ram.stats().transistors - (2 * 4 - 1);
+        assert_eq!(u.len(), 2 * functional);
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(compare_row("x", "1".into(), "2").contains("paper: 2"));
+        assert!(!arg_flag("--definitely-not-present"));
+        assert_eq!(arg_value("--definitely-not-present"), None);
+    }
+}

@@ -1,0 +1,235 @@
+//! A ripple-carry adder built from nMOS gates — the "small section of
+//! an integrated circuit (such as an ALU)" use case from the paper's
+//! conclusion. Fully combinational, every sum bit observable; a
+//! contrast to the RAM's sequential, single-output structure.
+
+use crate::cells::Cells;
+use fmossim_netlist::{Logic, Network, NetworkStats, NodeId};
+
+/// Pin map of a [`RippleAdder`].
+#[derive(Clone, Debug)]
+pub struct RippleAdderIo {
+    /// Operand A, LSB first.
+    pub a: Vec<NodeId>,
+    /// Operand B, LSB first.
+    pub b: Vec<NodeId>,
+    /// Carry input into bit 0.
+    pub cin: NodeId,
+    /// Sum bits, LSB first.
+    pub sum: Vec<NodeId>,
+    /// Carry out of the last bit.
+    pub cout: NodeId,
+}
+
+/// An N-bit ripple-carry adder.
+///
+/// Per bit: `p = NOR(a, b)`, `g = NOR(ab', a'b)`-style nMOS gate
+/// network computing `sum = a ⊕ b ⊕ c` and `carry = maj(a, b, c)` from
+/// NOR/NAND/inverter cells (2 × XOR via NOR trees plus a majority
+/// gate).
+#[derive(Clone, Debug)]
+pub struct RippleAdder {
+    net: Network,
+    bits: usize,
+    io: RippleAdderIo,
+}
+
+impl RippleAdder {
+    /// Builds an `bits`-wide adder (`bits >= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    #[must_use]
+    pub fn new(bits: usize) -> Self {
+        assert!(bits >= 1, "adder needs at least one bit");
+        let mut net = Network::new();
+        let mut c = Cells::new(&mut net);
+        let a: Vec<NodeId> = (0..bits)
+            .map(|i| c.input(&format!("A{i}"), Logic::L))
+            .collect();
+        let b: Vec<NodeId> = (0..bits)
+            .map(|i| c.input(&format!("B{i}"), Logic::L))
+            .collect();
+        let cin = c.input("CIN", Logic::L);
+
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(bits);
+        for i in 0..bits {
+            let (s, cout) = full_adder(&mut c, &format!("FA{i}"), a[i], b[i], carry);
+            sum.push(s);
+            carry = cout;
+        }
+        let io = RippleAdderIo {
+            a,
+            b,
+            cin,
+            sum,
+            cout: carry,
+        };
+        RippleAdder { net, bits, io }
+    }
+
+    /// The generated network.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The pin map.
+    #[must_use]
+    pub fn io(&self) -> &RippleAdderIo {
+        &self.io
+    }
+
+    /// Operand width.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// All observable outputs: the sum bits then the carry out.
+    #[must_use]
+    pub fn observed_outputs(&self) -> Vec<NodeId> {
+        let mut v = self.io.sum.clone();
+        v.push(self.io.cout);
+        v
+    }
+
+    /// Input assignments encoding `a + b + cin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in the adder width.
+    #[must_use]
+    pub fn operand_assignments(&self, a: u64, b: u64, cin: bool) -> Vec<(NodeId, Logic)> {
+        assert!(a < (1 << self.bits) && b < (1 << self.bits), "operand too wide");
+        let mut v = Vec::with_capacity(2 * self.bits + 1);
+        for i in 0..self.bits {
+            v.push((self.io.a[i], Logic::from_bool((a >> i) & 1 == 1)));
+            v.push((self.io.b[i], Logic::from_bool((b >> i) & 1 == 1)));
+        }
+        v.push((self.io.cin, Logic::from_bool(cin)));
+        v
+    }
+
+    /// Summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        NetworkStats::of(&self.net)
+    }
+}
+
+/// One full-adder slice from NOR/NAND/inverter cells:
+/// `sum = a⊕b⊕c`, `cout = ab + bc + ca` (majority).
+fn full_adder(
+    c: &mut Cells<'_>,
+    name: &str,
+    a: NodeId,
+    b: NodeId,
+    cin: NodeId,
+) -> (NodeId, NodeId) {
+    // XOR via NOR network: x = a⊕b = NOR(NOR(a,b), AND(a,b)).
+    let nab = c.nor(&format!("{name}.nab"), &[a, b]);
+    let aab = c.and2(&format!("{name}.aab"), a, b);
+    let x = c.nor(&format!("{name}.x"), &[nab, aab]);
+    // sum = x⊕cin, same structure.
+    let nxc = c.nor(&format!("{name}.nxc"), &[x, cin]);
+    let axc = c.and2(&format!("{name}.axc"), x, cin);
+    let sum = c.nor(&format!("{name}.sum"), &[nxc, axc]);
+    // cout = ab + cin·(a⊕b): NOR-invert form.
+    let cx = c.and2(&format!("{name}.cx"), cin, x);
+    let ncarry = c.nor(&format!("{name}.nc"), &[aab, cx]);
+    let cout = c.inv(&format!("{name}.cout"), ncarry);
+    (sum, cout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_switch::LogicSim;
+
+    fn compute(adder: &RippleAdder, sim: &mut LogicSim<'_>, a: u64, b: u64, cin: bool) -> u64 {
+        for (n, v) in adder.operand_assignments(a, b, cin) {
+            sim.set_input(n, v);
+        }
+        sim.settle();
+        let mut out = 0u64;
+        for (i, &s) in adder.io().sum.iter().enumerate() {
+            if sim.get(s) == Logic::H {
+                out |= 1 << i;
+            } else {
+                assert_eq!(sim.get(s), Logic::L, "definite sum bit {i}");
+            }
+        }
+        if sim.get(adder.io().cout) == Logic::H {
+            out |= 1 << adder.bits();
+        }
+        out
+    }
+
+    #[test]
+    fn one_bit_exhaustive() {
+        let adder = RippleAdder::new(1);
+        let mut sim = LogicSim::new(adder.network());
+        sim.settle();
+        for a in 0..2u64 {
+            for b in 0..2u64 {
+                for cin in [false, true] {
+                    assert_eq!(
+                        compute(&adder, &mut sim, a, b, cin),
+                        a + b + u64::from(cin),
+                        "{a}+{b}+{cin}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_bit_exhaustive() {
+        let adder = RippleAdder::new(4);
+        let mut sim = LogicSim::new(adder.network());
+        sim.settle();
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(compute(&adder, &mut sim, a, b, false), a + b, "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_ripples_full_length() {
+        let adder = RippleAdder::new(8);
+        let mut sim = LogicSim::new(adder.network());
+        sim.settle();
+        // 0xFF + 1 ripples a carry through every stage.
+        assert_eq!(compute(&adder, &mut sim, 0xFF, 0, true), 0x100);
+        assert_eq!(compute(&adder, &mut sim, 0xAA, 0x55, false), 0xFF);
+        assert_eq!(compute(&adder, &mut sim, 0xAB, 0x55, false), 0x100);
+    }
+
+    #[test]
+    fn x_operand_gives_x_sum_where_it_matters() {
+        let adder = RippleAdder::new(2);
+        let mut sim = LogicSim::new(adder.network());
+        sim.settle();
+        for (n, v) in adder.operand_assignments(0, 0, false) {
+            sim.set_input(n, v);
+        }
+        sim.set_input(adder.io().a[0], Logic::X);
+        sim.settle();
+        assert_eq!(sim.get(adder.io().sum[0]), Logic::X, "sum bit 0 unknown");
+        // With B=0, cin=0 the X cannot generate a carry into bit 1…
+        // a⊕b with a=X: carry = a·b = 0 definite.
+        assert_eq!(sim.get(adder.io().sum[1]), Logic::L, "no carry possible");
+    }
+
+    #[test]
+    fn stats_scale_linearly() {
+        let s2 = RippleAdder::new(2).stats();
+        let s8 = RippleAdder::new(8).stats();
+        assert!(s8.transistors > 3 * s2.transistors);
+        assert!(s8.transistors < 5 * s2.transistors);
+    }
+}

@@ -1,0 +1,337 @@
+//! An nMOS cell library over a [`Network`] under construction.
+//!
+//! All gates are ratioed: a weak ([`Drive::D1`]) depletion pull-up
+//! against strong ([`Drive::D2`]) enhancement pull-downs, exactly the
+//! style the paper's network model section describes ("most nMOS
+//! circuits require only two strengths, with pull-up loads assigned a
+//! weaker strength than all other transistors").
+
+use fmossim_netlist::{Drive, Logic, Network, NodeId, Size, TransistorType};
+
+/// A builder handle for composing nMOS cells onto a network.
+///
+/// Keeps the supply rails and hands out named subcircuits. Node names
+/// are taken verbatim from the caller (prefix them for uniqueness).
+///
+/// # Example
+///
+/// ```
+/// use fmossim_netlist::{Network, Logic};
+/// use fmossim_circuits::Cells;
+/// use fmossim_switch::LogicSim;
+///
+/// let mut net = Network::new();
+/// let mut cells = Cells::new(&mut net);
+/// let a = cells.input("A", Logic::H);
+/// let out = cells.inv("OUT", a);
+/// let mut sim = LogicSim::new(&net);
+/// sim.settle();
+/// assert_eq!(sim.get(out), Logic::L);
+/// ```
+#[derive(Debug)]
+pub struct Cells<'a> {
+    net: &'a mut Network,
+    vdd: NodeId,
+    gnd: NodeId,
+}
+
+impl<'a> Cells<'a> {
+    /// Wraps a network, creating the `Vdd`/`Gnd` rails if they do not
+    /// exist yet.
+    pub fn new(net: &'a mut Network) -> Self {
+        let vdd = net
+            .find_node("Vdd")
+            .unwrap_or_else(|| net.add_input("Vdd", Logic::H));
+        let gnd = net
+            .find_node("Gnd")
+            .unwrap_or_else(|| net.add_input("Gnd", Logic::L));
+        Cells { net, vdd, gnd }
+    }
+
+    /// The positive supply rail.
+    #[must_use]
+    pub fn vdd(&self) -> NodeId {
+        self.vdd
+    }
+
+    /// The ground rail.
+    #[must_use]
+    pub fn gnd(&self) -> NodeId {
+        self.gnd
+    }
+
+    /// The network under construction.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        self.net
+    }
+
+    /// Adds an input node.
+    pub fn input(&mut self, name: &str, default: Logic) -> NodeId {
+        self.net.add_input(name, default)
+    }
+
+    /// Adds an ordinary (κ1) storage node.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        self.net.add_storage(name, Size::S1)
+    }
+
+    /// Adds a high-capacitance (κ2) bus node.
+    pub fn bus(&mut self, name: &str) -> NodeId {
+        self.net.add_storage(name, Size::S2)
+    }
+
+    /// Attaches a depletion pull-up load to `node` (gate tied to the
+    /// node itself, the standard nMOS load connection).
+    pub fn pullup(&mut self, node: NodeId) {
+        self.net
+            .add_transistor(TransistorType::D, Drive::D1, node, self.vdd, node);
+    }
+
+    /// Ratioed inverter: `out = NOT a`.
+    pub fn inv(&mut self, name: &str, a: NodeId) -> NodeId {
+        let out = self.node(name);
+        self.pullup(out);
+        self.net
+            .add_transistor(TransistorType::N, Drive::D2, a, out, self.gnd);
+        out
+    }
+
+    /// Two ratioed inverters: `out = a` (a non-inverting buffer).
+    pub fn buf(&mut self, name: &str, a: NodeId) -> NodeId {
+        let mid = self.inv(&format!("{name}.n"), a);
+        self.inv(name, mid)
+    }
+
+    /// Ratioed 2-input NAND: `out = NOT (a AND b)` via a series
+    /// pull-down stack (creates one internal node `<name>.m`).
+    pub fn nand2(&mut self, name: &str, a: NodeId, b: NodeId) -> NodeId {
+        let out = self.node(name);
+        let mid = self.node(&format!("{name}.m"));
+        self.pullup(out);
+        self.net
+            .add_transistor(TransistorType::N, Drive::D2, a, out, mid);
+        self.net
+            .add_transistor(TransistorType::N, Drive::D2, b, mid, self.gnd);
+        out
+    }
+
+    /// Ratioed 2-input AND: NAND followed by an inverter.
+    pub fn and2(&mut self, name: &str, a: NodeId, b: NodeId) -> NodeId {
+        let n = self.nand2(&format!("{name}.nand"), a, b);
+        self.inv(name, n)
+    }
+
+    /// Ratioed n-input NOR: parallel pull-downs under one load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn nor(&mut self, name: &str, inputs: &[NodeId]) -> NodeId {
+        assert!(!inputs.is_empty(), "NOR needs at least one input");
+        let out = self.node(name);
+        self.pullup(out);
+        for &i in inputs {
+            self.net
+                .add_transistor(TransistorType::N, Drive::D2, i, out, self.gnd);
+        }
+        out
+    }
+
+    /// Bidirectional n-channel pass transistor between `a` and `b`.
+    pub fn pass(&mut self, gate: NodeId, a: NodeId, b: NodeId) {
+        self.net
+            .add_transistor(TransistorType::N, Drive::D2, gate, a, b);
+    }
+
+    /// Precharge device: pulls `node` to Vdd while `clk` is high.
+    pub fn precharge(&mut self, clk: NodeId, node: NodeId) {
+        self.net
+            .add_transistor(TransistorType::N, Drive::D2, clk, self.vdd, node);
+    }
+
+    /// Dynamic latch: a storage node that follows `d` while `clk` is
+    /// high and holds its charge while `clk` is low.
+    pub fn dynamic_latch(&mut self, name: &str, clk: NodeId, d: NodeId) -> NodeId {
+        let store = self.node(name);
+        self.pass(clk, d, store);
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_switch::LogicSim;
+
+    fn check(
+        build: impl FnOnce(&mut Cells<'_>) -> (Vec<NodeId>, NodeId),
+        cases: &[(&[Logic], Logic)],
+    ) {
+        let mut net = Network::new();
+        let (inputs, out) = {
+            let mut cells = Cells::new(&mut net);
+            build(&mut cells)
+        };
+        let mut sim = LogicSim::new(&net);
+        sim.settle();
+        for (vals, want) in cases {
+            for (&n, &v) in inputs.iter().zip(vals.iter()) {
+                sim.set_input(n, v);
+            }
+            sim.settle();
+            assert_eq!(sim.get(out), *want, "inputs {vals:?}");
+        }
+    }
+
+    use Logic::{H, L, X};
+
+    #[test]
+    fn inv_truth_table() {
+        check(
+            |c| {
+                let a = c.input("A", L);
+                let out = c.inv("OUT", a);
+                (vec![a], out)
+            },
+            &[(&[L], H), (&[H], L), (&[X], X)],
+        );
+    }
+
+    #[test]
+    fn buf_truth_table() {
+        check(
+            |c| {
+                let a = c.input("A", L);
+                let out = c.buf("OUT", a);
+                (vec![a], out)
+            },
+            &[(&[L], L), (&[H], H), (&[X], X)],
+        );
+    }
+
+    #[test]
+    fn nand2_truth_table() {
+        check(
+            |c| {
+                let a = c.input("A", L);
+                let b = c.input("B", L);
+                let out = c.nand2("OUT", a, b);
+                (vec![a, b], out)
+            },
+            &[
+                (&[L, L], H),
+                (&[L, H], H),
+                (&[H, L], H),
+                (&[H, H], L),
+                (&[L, X], H),
+                (&[H, X], X),
+            ],
+        );
+    }
+
+    #[test]
+    fn and2_truth_table() {
+        check(
+            |c| {
+                let a = c.input("A", L);
+                let b = c.input("B", L);
+                let out = c.and2("OUT", a, b);
+                (vec![a, b], out)
+            },
+            &[(&[L, L], L), (&[H, L], L), (&[H, H], H), (&[L, H], L)],
+        );
+    }
+
+    #[test]
+    fn nor3_truth_table() {
+        check(
+            |c| {
+                let a = c.input("A", L);
+                let b = c.input("B", L);
+                let d = c.input("D", L);
+                let out = c.nor("OUT", &[a, b, d]);
+                (vec![a, b, d], out)
+            },
+            &[
+                (&[L, L, L], H),
+                (&[H, L, L], L),
+                (&[L, H, L], L),
+                (&[L, L, H], L),
+                (&[H, H, H], L),
+                (&[L, X, L], X),
+                (&[H, X, L], L), // one definite pulldown dominates
+            ],
+        );
+    }
+
+    #[test]
+    fn dynamic_latch_holds() {
+        let mut net = Network::new();
+        let (clk, d, q) = {
+            let mut c = Cells::new(&mut net);
+            let clk = c.input("CLK", H);
+            let d = c.input("D", H);
+            let q = c.dynamic_latch("Q", clk, d);
+            (clk, d, q)
+        };
+        let mut sim = LogicSim::new(&net);
+        sim.settle();
+        assert_eq!(sim.get(q), H);
+        sim.set_input(clk, L);
+        sim.settle();
+        sim.set_input(d, L);
+        sim.settle();
+        assert_eq!(sim.get(q), H, "latch holds across clock-low");
+        sim.set_input(clk, H);
+        sim.settle();
+        assert_eq!(sim.get(q), L);
+    }
+
+    #[test]
+    fn precharge_and_conditional_discharge() {
+        let mut net = Network::new();
+        let (clk, en, bus) = {
+            let mut c = Cells::new(&mut net);
+            let clk = c.input("CLK", L);
+            let en = c.input("EN", L);
+            let bus = c.bus("BUSN");
+            c.precharge(clk, bus);
+            let gnd = c.gnd();
+            c.pass(en, bus, gnd);
+            (clk, en, bus)
+        };
+        let mut sim = LogicSim::new(&net);
+        sim.settle();
+        // Precharge high.
+        sim.set_input(clk, H);
+        sim.settle();
+        assert_eq!(sim.get(bus), H);
+        sim.set_input(clk, L);
+        sim.settle();
+        assert_eq!(sim.get(bus), H, "bus holds precharge");
+        // Conditionally discharge.
+        sim.set_input(en, H);
+        sim.settle();
+        assert_eq!(sim.get(bus), L);
+    }
+
+    #[test]
+    fn rails_are_reused() {
+        let mut net = Network::new();
+        {
+            let mut c1 = Cells::new(&mut net);
+            let a = c1.input("A", L);
+            c1.inv("O1", a);
+        }
+        {
+            let c2 = Cells::new(&mut net);
+            assert_eq!(c2.vdd(), c2.network().find_node("Vdd").unwrap());
+        }
+        assert_eq!(
+            net.nodes().filter(|(_, n)| n.name == "Vdd").count(),
+            1,
+            "only one Vdd rail"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! NOR-based address decoding.
+
+use crate::cells::Cells;
+use fmossim_netlist::NodeId;
+
+/// Builds a `2^k`-output NOR address decoder from `k` address bits
+/// given in both polarities (`addr_true[i]`, `addr_comp[i]`).
+///
+/// Output `i` is high exactly when the address equals `i`: it is the
+/// NOR of, per bit, the *complement* literal of the bit's value in `i`
+/// (all literals low ⇔ address matches). This is the classic nMOS
+/// decoder structure — one load plus `k` parallel pull-downs per
+/// output.
+///
+/// `addr_true[0]` is the least-significant bit.
+///
+/// # Panics
+///
+/// Panics if the two literal slices have different lengths or are
+/// empty.
+pub fn nor_decoder(
+    cells: &mut Cells<'_>,
+    name: &str,
+    addr_true: &[NodeId],
+    addr_comp: &[NodeId],
+) -> Vec<NodeId> {
+    assert_eq!(addr_true.len(), addr_comp.len(), "mismatched literal sets");
+    assert!(!addr_true.is_empty(), "decoder needs at least one bit");
+    let k = addr_true.len();
+    let mut outputs = Vec::with_capacity(1 << k);
+    for i in 0..(1usize << k) {
+        let literals: Vec<NodeId> = (0..k)
+            .map(|b| {
+                if (i >> b) & 1 == 1 {
+                    addr_comp[b] // bit must be 1: complement literal low
+                } else {
+                    addr_true[b] // bit must be 0: true literal low
+                }
+            })
+            .collect();
+        outputs.push(cells.nor(&format!("{name}{i}"), &literals));
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_netlist::{Logic, Network};
+    use fmossim_switch::LogicSim;
+
+    #[test]
+    fn three_bit_decoder_selects_exactly_one() {
+        let mut net = Network::new();
+        let (addr, outputs) = {
+            let mut cells = Cells::new(&mut net);
+            let addr: Vec<NodeId> = (0..3)
+                .map(|i| cells.input(&format!("A{i}"), Logic::L))
+                .collect();
+            let comp: Vec<NodeId> = addr
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| cells.inv(&format!("A{i}b"), a))
+                .collect();
+            let outputs = nor_decoder(&mut cells, "ROW", &addr, &comp);
+            (addr, outputs)
+        };
+        assert_eq!(outputs.len(), 8);
+        let mut sim = LogicSim::new(&net);
+        sim.settle();
+        for want in 0..8usize {
+            for (b, &a) in addr.iter().enumerate() {
+                sim.set_input(a, Logic::from_bool((want >> b) & 1 == 1));
+            }
+            sim.settle();
+            for (i, &o) in outputs.iter().enumerate() {
+                let expect = Logic::from_bool(i == want);
+                assert_eq!(sim.get(o), expect, "addr={want} line={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn x_address_floats_candidate_lines() {
+        let mut net = Network::new();
+        let (a0, outputs) = {
+            let mut cells = Cells::new(&mut net);
+            let a0 = cells.input("A0", Logic::L);
+            let a0b = cells.inv("A0b", a0);
+            let outputs = nor_decoder(&mut cells, "ROW", &[a0], &[a0b]);
+            (a0, outputs)
+        };
+        let mut sim = LogicSim::new(&net);
+        sim.settle();
+        sim.set_input(a0, Logic::X);
+        sim.settle();
+        // Both lines could be selected or not: X on both.
+        assert_eq!(sim.get(outputs[0]), Logic::X);
+        assert_eq!(sim.get(outputs[1]), Logic::X);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched literal sets")]
+    fn mismatched_literals_panic() {
+        let mut net = Network::new();
+        let mut cells = Cells::new(&mut net);
+        let a = cells.input("A0", Logic::L);
+        nor_decoder(&mut cells, "ROW", &[a], &[]);
+    }
+}

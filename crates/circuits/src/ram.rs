@@ -1,0 +1,488 @@
+//! The paper's benchmark circuit: a 3-transistor dynamic RAM.
+//!
+//! Organisation (nMOS, two-phase clocks):
+//!
+//! ```text
+//!            A0..        WE  DIN      PHI1 PHI2
+//!             │           │   │         │   │
+//!      ┌──────┴─────┐   control &  data-in latch
+//!      │ row/column │   strobe logic     │
+//!      │ NOR decode │      │             ▼
+//!      └──────┬─────┘   wsel/rsel    write bus ──┬─ column pass ─ WBL
+//!             │         per row                  │
+//!             ▼                                  ▼
+//!        3T cell array:      WBL ─T1(wsel)─ S ─gate─ T2
+//!        R rows × C cols     RBL ─T3(rsel)─ mid ─T2─ Gnd
+//!             │
+//!        RBL (precharged by PHI1) ─ column pass ─ read bus ─ sense inv
+//!                                                  │
+//!                                   output latch (PHI2) ─ buffer ─ DOUT
+//! ```
+//!
+//! A memory operation is one paper *pattern* = six input settings (see
+//! `fmossim-testgen`): set address/data/WE and raise PHI1 (precharge +
+//! data latch), drop PHI1, raise PHI2 (row/column strobes fire: write
+//! or read), drop PHI2, raise PHI3 (output latch grabs the stable
+//! sensed value), drop PHI3 and observe. The third clock exists so the
+//! output latch is never transparent while the read bus is still
+//! discharging — a latch-while-sensing hazard would otherwise let
+//! event-order-dependent glitches reach floating nodes in faulty
+//! circuits.
+//!
+//! `Ram::new(8, 8)` reproduces RAM64's scale (paper: 378 transistors,
+//! 229 nodes), `Ram::new(16, 16)` RAM256's (1148 transistors, 695
+//! nodes); exact counts differ slightly because the authors' layout is
+//! not published — EXPERIMENTS.md records ours next to theirs.
+
+use crate::cells::Cells;
+use crate::decoder::nor_decoder;
+use fmossim_netlist::{Logic, Network, NetworkStats, NodeId};
+
+/// The externally visible nodes of a [`Ram`].
+#[derive(Clone, Debug)]
+pub struct RamIo {
+    /// Precharge / data-latch clock.
+    pub phi1: NodeId,
+    /// Access-strobe clock.
+    pub phi2: NodeId,
+    /// Output-latch clock (raised after PHI2 has fallen, when the read
+    /// bus is stable).
+    pub phi3: NodeId,
+    /// Write enable (high = write, low = read).
+    pub we: NodeId,
+    /// Data input pin.
+    pub din: NodeId,
+    /// Address pins, row bits first (LSB first), then column bits.
+    pub addr: Vec<NodeId>,
+    /// The single data output pin (the paper: "their observability is
+    /// low, because there is only a single output").
+    pub dout: NodeId,
+}
+
+/// A generated R×C×1 three-transistor dynamic RAM.
+#[derive(Clone, Debug)]
+pub struct Ram {
+    net: Network,
+    rows: usize,
+    cols: usize,
+    row_bits: usize,
+    col_bits: usize,
+    io: RamIo,
+    /// Per column: (write bit line, read bit line).
+    bit_lines: Vec<(NodeId, NodeId)>,
+    /// Cell storage nodes, indexed `[row][col]`.
+    cells: Vec<Vec<NodeId>>,
+    outputs: Vec<NodeId>,
+}
+
+impl Ram {
+    /// Builds an `rows × cols` RAM. Both dimensions must be powers of
+    /// two, at least 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is not a power of two or is less than 2.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows.is_power_of_two() && rows >= 2, "rows must be a power of two >= 2");
+        assert!(cols.is_power_of_two() && cols >= 2, "cols must be a power of two >= 2");
+        let row_bits = rows.trailing_zeros() as usize;
+        let col_bits = cols.trailing_zeros() as usize;
+
+        let mut net = Network::new();
+        let mut c = Cells::new(&mut net);
+
+        // ---- pins -------------------------------------------------
+        let phi1 = c.input("PHI1", Logic::L);
+        let phi2 = c.input("PHI2", Logic::L);
+        let phi3 = c.input("PHI3", Logic::L);
+        let we = c.input("WE", Logic::L);
+        let din = c.input("DIN", Logic::L);
+        let addr: Vec<NodeId> = (0..row_bits + col_bits)
+            .map(|i| c.input(&format!("A{i}"), Logic::L))
+            .collect();
+
+        // ---- address buffers (true + complement per bit) -----------
+        let acomp: Vec<NodeId> = addr
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| c.inv(&format!("AB{i}"), a))
+            .collect();
+        let atrue: Vec<NodeId> = acomp
+            .iter()
+            .enumerate()
+            .map(|(i, &ab)| c.inv(&format!("AT{i}"), ab))
+            .collect();
+
+        // ---- decoders ----------------------------------------------
+        let row_sel = nor_decoder(
+            &mut c,
+            "ROW",
+            &atrue[..row_bits],
+            &acomp[..row_bits],
+        );
+        let col_sel = nor_decoder(
+            &mut c,
+            "COL",
+            &atrue[row_bits..],
+            &acomp[row_bits..],
+        );
+
+        // ---- control strobes ---------------------------------------
+        let nwe = c.inv("NWE", we);
+        let webuf = c.inv("WEB", nwe);
+        let wstrobe = c.and2("WSTR", phi2, webuf);
+        let rstrobe = c.and2("RSTR", phi2, nwe);
+        let wsel: Vec<NodeId> = row_sel
+            .iter()
+            .enumerate()
+            .map(|(r, &row)| c.and2(&format!("WSEL{r}"), row, wstrobe))
+            .collect();
+        let rsel: Vec<NodeId> = row_sel
+            .iter()
+            .enumerate()
+            .map(|(r, &row)| c.and2(&format!("RSEL{r}"), row, rstrobe))
+            .collect();
+
+        // ---- write data path ---------------------------------------
+        let dlatch = c.dynamic_latch("DLAT", phi1, din);
+        let dlatch_n = c.inv("DLATN", dlatch);
+        let wbus = c.bus("WBUS");
+        // Drive the write bus with an inverter whose output *is* the
+        // bus node: load plus pull-down attached directly.
+        c.pullup(wbus);
+        {
+            let gnd = c.gnd();
+            c.pass(dlatch_n, wbus, gnd);
+        }
+
+        // ---- bit lines, column muxes, precharge --------------------
+        let rbus = c.bus("RBUS");
+        c.precharge(phi1, rbus);
+        let mut bit_lines = Vec::with_capacity(cols);
+        for (j, &col) in col_sel.iter().enumerate() {
+            let wbl = c.bus(&format!("WBL{j}"));
+            let rbl = c.bus(&format!("RBL{j}"));
+            c.precharge(phi1, rbl);
+            c.pass(col, wbus, wbl);
+            c.pass(col, rbl, rbus);
+            bit_lines.push((wbl, rbl));
+        }
+
+        // ---- cell array ---------------------------------------------
+        let gnd = c.gnd();
+        let mut cell_nodes = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let mut row_nodes = Vec::with_capacity(cols);
+            for (j, &(wbl, rbl)) in bit_lines.iter().enumerate() {
+                let s = c.node(&format!("S{r}_{j}"));
+                let mid = c.node(&format!("M{r}_{j}"));
+                c.pass(wsel[r], wbl, s); // T1: write access
+                c.pass(s, mid, gnd); // T2: storage readout
+                c.pass(rsel[r], rbl, mid); // T3: read access
+                row_nodes.push(s);
+            }
+            cell_nodes.push(row_nodes);
+        }
+
+        // ---- read data path -----------------------------------------
+        let sense = c.inv("SENSE", rbus);
+        let dstore = c.dynamic_latch("DSTORE", phi3, sense);
+        let dout = c.buf("DOUT", dstore);
+
+        let io = RamIo {
+            phi1,
+            phi2,
+            phi3,
+            we,
+            din,
+            addr,
+            dout,
+        };
+        Ram {
+            net,
+            rows,
+            cols,
+            row_bits,
+            col_bits,
+            io,
+            bit_lines,
+            cells: cell_nodes,
+            outputs: vec![dout],
+        }
+    }
+
+    /// The generated network.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access to the network, for post-generation fault
+    /// insertion (bridges, breakable segments). Ids already handed out
+    /// stay valid — the network is append-only.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// The I/O pin map.
+    #[must_use]
+    pub fn io(&self) -> &RamIo {
+        &self.io
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Word capacity (rows × cols; one bit per word).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `(row_bits, col_bits)` of the address pins.
+    #[must_use]
+    pub fn addr_bits(&self) -> (usize, usize) {
+        (self.row_bits, self.col_bits)
+    }
+
+    /// The nodes compared between good and faulty circuits — just the
+    /// data output pin, as in the paper.
+    #[must_use]
+    pub fn observed_outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// The storage node of cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn cell(&self, row: usize, col: usize) -> NodeId {
+        self.cells[row][col]
+    }
+
+    /// Per-column `(write bit line, read bit line)` nodes.
+    #[must_use]
+    pub fn bit_lines(&self) -> &[(NodeId, NodeId)] {
+        &self.bit_lines
+    }
+
+    /// Pairs of physically adjacent bit lines — the paper's "single
+    /// pairs of adjacent bit lines shorted together" fault class.
+    /// Assumes the column layout `… WBLj RBLj WBL(j+1) RBL(j+1) …`:
+    /// within a column WBL–RBL are adjacent, and across columns
+    /// RBLj–WBL(j+1).
+    #[must_use]
+    pub fn adjacent_bitline_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut pairs = Vec::new();
+        for j in 0..self.cols {
+            let (wbl, rbl) = self.bit_lines[j];
+            pairs.push((wbl, rbl));
+            if j + 1 < self.cols {
+                pairs.push((rbl, self.bit_lines[j + 1].0));
+            }
+        }
+        pairs
+    }
+
+    /// Address pin assignments for a flat cell index
+    /// (`word = row * cols + col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= capacity()`.
+    #[must_use]
+    pub fn addr_assignments(&self, word: usize) -> Vec<(NodeId, Logic)> {
+        assert!(word < self.capacity(), "address out of range");
+        let row = word / self.cols;
+        let col = word % self.cols;
+        let mut v = Vec::with_capacity(self.io.addr.len());
+        for b in 0..self.row_bits {
+            v.push((self.io.addr[b], Logic::from_bool((row >> b) & 1 == 1)));
+        }
+        for b in 0..self.col_bits {
+            v.push((
+                self.io.addr[self.row_bits + b],
+                Logic::from_bool((col >> b) & 1 == 1),
+            ));
+        }
+        v
+    }
+
+    /// Summary statistics (compare with the paper's circuit sizes).
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        NetworkStats::of(&self.net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_switch::LogicSim;
+
+    /// Drive one memory operation through the six clock settings.
+    fn op(sim: &mut LogicSim<'_>, ram: &Ram, word: usize, write: Option<bool>) -> Logic {
+        let io = ram.io();
+        for (n, v) in ram.addr_assignments(word) {
+            sim.set_input(n, v);
+        }
+        sim.set_input(io.we, Logic::from_bool(write.is_some()));
+        if let Some(d) = write {
+            sim.set_input(io.din, Logic::from_bool(d));
+        }
+        sim.set_input(io.phi1, Logic::H);
+        sim.settle();
+        sim.set_input(io.phi1, Logic::L);
+        sim.settle();
+        sim.set_input(io.phi2, Logic::H);
+        sim.settle();
+        sim.set_input(io.phi2, Logic::L);
+        sim.settle();
+        sim.set_input(io.phi3, Logic::H);
+        sim.settle();
+        sim.set_input(io.phi3, Logic::L);
+        sim.settle();
+        sim.get(io.dout)
+    }
+
+    #[test]
+    fn ram_4x4_write_read_all_cells() {
+        let ram = Ram::new(4, 4);
+        let mut sim = LogicSim::new(ram.network());
+        sim.settle();
+        // Write a checkerboard, then read it back.
+        for w in 0..ram.capacity() {
+            op(&mut sim, &ram, w, Some(w % 2 == 0));
+        }
+        for w in 0..ram.capacity() {
+            let got = op(&mut sim, &ram, w, None);
+            assert_eq!(
+                got,
+                Logic::from_bool(w % 2 == 0),
+                "read back word {w} of checkerboard"
+            );
+        }
+        // And the inverse pattern.
+        for w in 0..ram.capacity() {
+            op(&mut sim, &ram, w, Some(w % 2 == 1));
+        }
+        for w in 0..ram.capacity() {
+            let got = op(&mut sim, &ram, w, None);
+            assert_eq!(got, Logic::from_bool(w % 2 == 1), "inverse word {w}");
+        }
+    }
+
+    #[test]
+    fn cells_retain_charge_across_other_operations() {
+        let ram = Ram::new(4, 4);
+        let mut sim = LogicSim::new(ram.network());
+        sim.settle();
+        op(&mut sim, &ram, 0, Some(true));
+        // Hammer a different word many times.
+        for _ in 0..5 {
+            op(&mut sim, &ram, 5, Some(false));
+            op(&mut sim, &ram, 5, None);
+        }
+        assert_eq!(op(&mut sim, &ram, 0, None), Logic::H, "word 0 retained");
+    }
+
+    #[test]
+    fn unwritten_cell_reads_x() {
+        let ram = Ram::new(4, 4);
+        let mut sim = LogicSim::new(ram.network());
+        sim.settle();
+        op(&mut sim, &ram, 1, Some(true)); // initialize something else
+        assert_eq!(op(&mut sim, &ram, 9, None), Logic::X, "uninitialized cell");
+    }
+
+    #[test]
+    fn cell_state_matches_dout() {
+        let ram = Ram::new(4, 4);
+        let mut sim = LogicSim::new(ram.network());
+        sim.settle();
+        op(&mut sim, &ram, 6, Some(true));
+        assert_eq!(sim.get(ram.cell(1, 2)), Logic::H, "cell (1,2) holds 1");
+        op(&mut sim, &ram, 6, Some(false));
+        assert_eq!(sim.get(ram.cell(1, 2)), Logic::L, "cell (1,2) holds 0");
+    }
+
+    #[test]
+    fn ram64_matches_paper_scale() {
+        let ram = Ram::new(8, 8);
+        let s = ram.stats();
+        // Paper: 378 transistors, 229 nodes. Our layout lands nearby.
+        assert!(
+            (300..500).contains(&s.transistors),
+            "RAM64-scale transistor count, got {}",
+            s.transistors
+        );
+        assert!(
+            (180..320).contains(&s.nodes),
+            "RAM64-scale node count, got {}",
+            s.nodes
+        );
+    }
+
+    #[test]
+    fn ram256_matches_paper_scale() {
+        let ram = Ram::new(16, 16);
+        let s = ram.stats();
+        // Paper: 1148 transistors, 695 nodes.
+        assert!(
+            (950..1500).contains(&s.transistors),
+            "RAM256-scale transistor count, got {}",
+            s.transistors
+        );
+        assert!(
+            (500..900).contains(&s.nodes),
+            "RAM256-scale node count, got {}",
+            s.nodes
+        );
+    }
+
+    #[test]
+    fn bitline_pairs_cover_all_columns() {
+        let ram = Ram::new(4, 4);
+        let pairs = ram.adjacent_bitline_pairs();
+        assert_eq!(pairs.len(), 2 * 4 - 1);
+        // All pair members are bit lines.
+        let lines: Vec<NodeId> = ram
+            .bit_lines()
+            .iter()
+            .flat_map(|&(w, r)| [w, r])
+            .collect();
+        for (a, b) in pairs {
+            assert!(lines.contains(&a) && lines.contains(&b));
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Ram::new(3, 4);
+    }
+
+    #[test]
+    fn addr_assignments_roundtrip() {
+        let ram = Ram::new(4, 8);
+        assert_eq!(ram.addr_bits(), (2, 3));
+        let a = ram.addr_assignments(4 * 8 - 1);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|&(_, v)| v == Logic::H));
+        let a = ram.addr_assignments(0);
+        assert!(a.iter().all(|&(_, v)| v == Logic::L));
+    }
+}

@@ -1,0 +1,257 @@
+//! A small register file — the paper's conclusion names register
+//! arrays as a typical target for fault-directed test development.
+//!
+//! `W` words of `B` bits, one write port and one read port, built from
+//! dynamic storage cells behind pass transistors with a NOR-decoded
+//! word select. Level-sensitive: while `WR` is high the addressed word
+//! follows `DIN`; read data appears on precharge-free static outputs
+//! (buffered inverter pairs), so unlike the RAM every bit is directly
+//! observable — a deliberately contrasting observability profile for
+//! experiments.
+
+use crate::cells::Cells;
+use crate::decoder::nor_decoder;
+use fmossim_netlist::{Logic, Network, NetworkStats, NodeId};
+
+/// Pin map of a [`RegisterFile`].
+#[derive(Clone, Debug)]
+pub struct RegisterFileIo {
+    /// Write strobe (level sensitive).
+    pub wr: NodeId,
+    /// Data inputs, one per bit.
+    pub din: Vec<NodeId>,
+    /// Address pins (LSB first), shared by read and write.
+    pub addr: Vec<NodeId>,
+    /// Data outputs, one per bit.
+    pub dout: Vec<NodeId>,
+}
+
+/// A W-word × B-bit register file.
+#[derive(Clone, Debug)]
+pub struct RegisterFile {
+    net: Network,
+    words: usize,
+    bits: usize,
+    io: RegisterFileIo,
+    cells: Vec<Vec<NodeId>>,
+}
+
+impl RegisterFile {
+    /// Builds a `words × bits` register file. `words` must be a power
+    /// of two ≥ 2; `bits` ≥ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid dimensions.
+    #[must_use]
+    pub fn new(words: usize, bits: usize) -> Self {
+        assert!(
+            words.is_power_of_two() && words >= 2,
+            "words must be a power of two >= 2"
+        );
+        assert!(bits >= 1, "bits must be >= 1");
+        let abits = words.trailing_zeros() as usize;
+        let mut net = Network::new();
+        let mut c = Cells::new(&mut net);
+
+        let wr = c.input("WR", Logic::L);
+        let din: Vec<NodeId> = (0..bits)
+            .map(|b| c.input(&format!("DIN{b}"), Logic::L))
+            .collect();
+        let addr: Vec<NodeId> = (0..abits)
+            .map(|i| c.input(&format!("A{i}"), Logic::L))
+            .collect();
+        let acomp: Vec<NodeId> = addr
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| c.inv(&format!("AB{i}"), a))
+            .collect();
+        let atrue: Vec<NodeId> = acomp
+            .iter()
+            .enumerate()
+            .map(|(i, &ab)| c.inv(&format!("AT{i}"), ab))
+            .collect();
+        let word_sel = nor_decoder(&mut c, "W", &atrue, &acomp);
+
+        // Write-qualified selects.
+        let wsel: Vec<NodeId> = word_sel
+            .iter()
+            .enumerate()
+            .map(|(w, &sel)| c.and2(&format!("WS{w}"), sel, wr))
+            .collect();
+
+        // Cells and read path: per bit, a shared read bus pulled by the
+        // selected word's cell through a select pass transistor.
+        let mut cells_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); words];
+        let mut dout = Vec::with_capacity(bits);
+        #[allow(clippy::needless_range_loop)] // `b` also names cells and buses
+        for b in 0..bits {
+            let rbus = c.bus(&format!("RB{b}"));
+            for (w, row) in cells_nodes.iter_mut().enumerate() {
+                let s = c.node(&format!("C{w}_{b}"));
+                c.pass(wsel[w], din[b], s);
+                // Read: inverter per cell drives through a select pass.
+                let sn = c.inv(&format!("CN{w}_{b}"), s);
+                c.pass(word_sel[w], sn, rbus);
+                row.push(s);
+            }
+            // rbus carries the complement; invert and buffer.
+            dout.push(c.inv(&format!("DOUT{b}"), rbus));
+        }
+
+        let io = RegisterFileIo {
+            wr,
+            din,
+            addr,
+            dout,
+        };
+        RegisterFile {
+            net,
+            words,
+            bits,
+            io,
+            cells: cells_nodes,
+        }
+    }
+
+    /// The generated network.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The pin map.
+    #[must_use]
+    pub fn io(&self) -> &RegisterFileIo {
+        &self.io
+    }
+
+    /// Word count.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Bits per word.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The storage node of bit `b` of word `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn cell(&self, w: usize, b: usize) -> NodeId {
+        self.cells[w][b]
+    }
+
+    /// All data outputs (every bit is observable).
+    #[must_use]
+    pub fn observed_outputs(&self) -> &[NodeId] {
+        &self.io.dout
+    }
+
+    /// Address assignments for word `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= words()`.
+    #[must_use]
+    pub fn addr_assignments(&self, w: usize) -> Vec<(NodeId, Logic)> {
+        assert!(w < self.words, "word out of range");
+        self.io
+            .addr
+            .iter()
+            .enumerate()
+            .map(|(b, &a)| (a, Logic::from_bool((w >> b) & 1 == 1)))
+            .collect()
+    }
+
+    /// Summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        NetworkStats::of(&self.net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_switch::LogicSim;
+
+    fn write(sim: &mut LogicSim<'_>, rf: &RegisterFile, w: usize, value: u32) {
+        for (n, v) in rf.addr_assignments(w) {
+            sim.set_input(n, v);
+        }
+        for (b, &d) in rf.io().din.iter().enumerate() {
+            sim.set_input(d, Logic::from_bool((value >> b) & 1 == 1));
+        }
+        sim.settle();
+        sim.set_input(rf.io().wr, Logic::H);
+        sim.settle();
+        sim.set_input(rf.io().wr, Logic::L);
+        sim.settle();
+    }
+
+    fn read(sim: &mut LogicSim<'_>, rf: &RegisterFile, w: usize) -> Option<u32> {
+        for (n, v) in rf.addr_assignments(w) {
+            sim.set_input(n, v);
+        }
+        sim.settle();
+        let mut value = 0;
+        for (b, &q) in rf.io().dout.iter().enumerate() {
+            match sim.get(q).to_bool() {
+                Some(true) => value |= 1 << b,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(value)
+    }
+
+    #[test]
+    fn write_read_all_words() {
+        let rf = RegisterFile::new(4, 4);
+        let mut sim = LogicSim::new(rf.network());
+        sim.settle();
+        for w in 0..4 {
+            write(&mut sim, &rf, w, (w as u32 * 5) & 0xF);
+        }
+        for w in 0..4 {
+            assert_eq!(read(&mut sim, &rf, w), Some((w as u32 * 5) & 0xF), "word {w}");
+        }
+    }
+
+    #[test]
+    fn overwrite_changes_only_target_word() {
+        let rf = RegisterFile::new(4, 2);
+        let mut sim = LogicSim::new(rf.network());
+        sim.settle();
+        write(&mut sim, &rf, 0, 0b11);
+        write(&mut sim, &rf, 1, 0b01);
+        write(&mut sim, &rf, 0, 0b00);
+        assert_eq!(read(&mut sim, &rf, 0), Some(0b00));
+        assert_eq!(read(&mut sim, &rf, 1), Some(0b01));
+    }
+
+    #[test]
+    fn unwritten_word_reads_x() {
+        let rf = RegisterFile::new(4, 2);
+        let mut sim = LogicSim::new(rf.network());
+        sim.settle();
+        write(&mut sim, &rf, 2, 0b10);
+        assert_eq!(read(&mut sim, &rf, 3), None, "uninitialized word is X");
+    }
+
+    #[test]
+    fn every_bit_is_observable() {
+        let rf = RegisterFile::new(2, 3);
+        assert_eq!(rf.observed_outputs().len(), 3);
+        assert!(rf.stats().transistors > 0);
+        assert_eq!(rf.words(), 2);
+        assert_eq!(rf.bits(), 3);
+    }
+}

@@ -1,0 +1,784 @@
+//! The concurrent fault simulator — FMOSSIM's core algorithm (§4 of the
+//! paper).
+//!
+//! One dense state holds the good circuit; each faulty circuit exists
+//! only as divergence records (`<circuit, state>` per node) plus the
+//! structural overrides implementing its fault. Every simulated phase:
+//!
+//! 1. applies the input changes to the good circuit (inputs broadcast
+//!    to all circuits);
+//! 2. settles the good circuit, and for every vicinity solved computes
+//!    its *support* — members, gates of incident transistors, boundary
+//!    inputs. Circuits with a record or fault attachment in the support
+//!    are *triggered*: the good-circuit event may play out differently
+//!    for them, so they receive private events. Before the good values
+//!    are lost, the pre-change values of any changed node are copied
+//!    into the triggered circuits' records (*old-value preservation*),
+//!    keeping each faulty circuit's view consistent with its own
+//!    history;
+//! 3. settles each triggered faulty circuit, in circuit-id order, over
+//!    an overlay view (records else good state). Writes maintain the
+//!    records; writing the good circuit's value removes the record
+//!    (convergence);
+//! 4. at strobe phases compares observed outputs: any divergence
+//!    detects the fault, which is dropped — its records are reclaimed
+//!    and it is never simulated again.
+//!
+//! Triggering has one special case: an input change can matter to a
+//! faulty circuit even when the good circuit shows no activity at all —
+//! a channel transistor of the input that is open in the good circuit
+//! may conduct in a faulty one (divergent or stuck gate). Step 1
+//! therefore also scans the open channel transistors of each changed
+//! input and triggers circuits diverging at their gates or attached at
+//! their ends.
+
+use crate::overlay::{FaultyView, Overrides};
+use crate::pattern::{Pattern, Phase};
+use crate::records::{StateListStore, StateLists};
+use crate::report::{Detection, DetectionPolicy, PatternStats, RunReport};
+use fmossim_faults::{Fault, FaultEffect, FaultId};
+use fmossim_netlist::{Logic, Network, NodeId};
+use fmossim_switch::{DenseState, Engine, EngineConfig, SwitchState};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Configuration of the concurrent simulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConcurrentConfig {
+    /// Scheduler configuration (oscillation cap, locality mode).
+    pub engine: EngineConfig,
+    /// What counts as a detection.
+    pub policy: DetectionPolicy,
+    /// Drop faulty circuits once detected (the paper's behaviour).
+    /// Disabling this is the `ablation_dropping` benchmark: every
+    /// circuit is simulated for the whole sequence.
+    pub drop_on_detect: bool,
+    /// Divergence-record storage back-end.
+    pub store: StateListStore,
+}
+
+impl ConcurrentConfig {
+    /// The paper's configuration: dynamic locality, drop on detect,
+    /// any-difference detection, sorted state lists.
+    #[must_use]
+    pub fn paper() -> Self {
+        ConcurrentConfig {
+            drop_on_detect: true,
+            ..ConcurrentConfig::default()
+        }
+    }
+}
+
+/// The concurrent switch-level fault simulator.
+///
+/// # Example
+///
+/// ```
+/// use fmossim_netlist::{Network, Logic, Size, Drive, TransistorType};
+/// use fmossim_faults::{Fault, FaultUniverse};
+/// use fmossim_core::{ConcurrentSim, ConcurrentConfig, Pattern, Phase};
+///
+/// // An inverter whose output we observe.
+/// let mut net = Network::new();
+/// let vdd = net.add_input("Vdd", Logic::H);
+/// let gnd = net.add_input("Gnd", Logic::L);
+/// let a = net.add_input("A", Logic::L);
+/// let out = net.add_storage("OUT", Size::S1);
+/// net.add_transistor(TransistorType::P, Drive::D2, a, vdd, out);
+/// net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+///
+/// let universe = FaultUniverse::stuck_nodes(&net);
+/// let mut sim = ConcurrentSim::new(&net, universe.faults(), ConcurrentConfig::paper());
+/// let patterns = vec![
+///     Pattern::new(vec![Phase::strobe(vec![(a, Logic::L)])]),
+///     Pattern::new(vec![Phase::strobe(vec![(a, Logic::H)])]),
+/// ];
+/// let report = sim.run(&patterns, &[out]);
+/// assert_eq!(report.detected(), 2); // OUT stuck-at-0 and stuck-at-1
+/// ```
+pub struct ConcurrentSim<'n> {
+    net: &'n Network,
+    good: DenseState<'n>,
+    engine: Engine,
+    records: StateLists,
+    /// Per circuit: the fault(s) it carries (singletons for the
+    /// paper's experiments; multi-fault circuits supported).
+    fault_sets: Vec<Vec<Fault>>,
+    /// Per circuit id (0 unused): structural overrides.
+    overrides: Vec<Overrides>,
+    /// Per node: circuits statically attached (fault footprint).
+    attach: Vec<Vec<u32>>,
+    /// Per node: circuits forcing this node, with the forced value
+    /// (needed for strobe comparison — forced nodes carry no records).
+    forced_at: Vec<Vec<(u32, Logic)>>,
+    /// Per circuit id: dropped after detection.
+    dropped: Vec<bool>,
+    /// Per circuit id: already counted as detected (relevant when
+    /// `drop_on_detect` is off).
+    detected_once: Vec<bool>,
+    live: usize,
+    /// Pending private events per circuit, in circuit-id order.
+    pending: BTreeMap<u32, Vec<NodeId>>,
+    detections: Vec<Detection>,
+    config: ConcurrentConfig,
+    /// Scratch: circuits triggered by the current group.
+    triggered: Vec<u32>,
+}
+
+impl<'n> ConcurrentSim<'n> {
+    /// Creates a simulator for single faults on `net`. Fault `k`
+    /// becomes circuit `k + 1`; all circuits start at the reset state
+    /// (inputs at declared defaults, storage at `X`) with their faults
+    /// active.
+    #[must_use]
+    pub fn new(net: &'n Network, faults: &[Fault], config: ConcurrentConfig) -> Self {
+        ConcurrentSim::new_multi(
+            net,
+            faults.iter().map(|&f| vec![f]).collect(),
+            config,
+        )
+    }
+
+    /// Creates a simulator where each circuit carries a *set* of
+    /// simultaneous faults — double-fault and fault-masking studies.
+    /// Set `k` becomes circuit `k + 1`; its [`Detection`] reports
+    /// `FaultId(k)`.
+    #[must_use]
+    pub fn new_multi(
+        net: &'n Network,
+        fault_sets: Vec<Vec<Fault>>,
+        config: ConcurrentConfig,
+    ) -> Self {
+        let good = DenseState::new(net);
+        let mut engine = Engine::with_config(net, config.engine);
+        engine.perturb_all_storage(&good);
+        let n_sets = fault_sets.len();
+        let mut sim = ConcurrentSim {
+            net,
+            good,
+            engine,
+            records: StateLists::new(net.num_nodes(), n_sets, config.store),
+            fault_sets,
+            overrides: vec![Overrides::default(); n_sets + 1],
+            attach: vec![Vec::new(); net.num_nodes()],
+            forced_at: vec![Vec::new(); net.num_nodes()],
+            dropped: vec![false; n_sets + 1],
+            detected_once: vec![false; n_sets + 1],
+            live: n_sets,
+            pending: BTreeMap::new(),
+            detections: Vec::new(),
+            config,
+            triggered: Vec::new(),
+        };
+        for k in 0..n_sets {
+            let circ = u32::try_from(k + 1).expect("too many faults");
+            let set = &sim.fault_sets[k];
+            sim.overrides[circ as usize] =
+                Overrides::from_effects(set.iter().map(Fault::effect));
+            let mut seeds = Vec::new();
+            for fault in set {
+                if let FaultEffect::ForceNode { node, value } = fault.effect() {
+                    sim.forced_at[node.index()].push((circ, value));
+                }
+                for n in fault.footprint(net) {
+                    sim.attach[n.index()].push(circ);
+                }
+                seeds.extend(fault.initial_seeds(net));
+            }
+            seeds.sort_unstable();
+            seeds.dedup();
+            sim.pending.insert(circ, seeds);
+        }
+        for list in &mut sim.attach {
+            list.sort_unstable();
+            list.dedup();
+        }
+        sim
+    }
+
+    /// The fault sets being simulated, in circuit order (singleton
+    /// sets when constructed via [`ConcurrentSim::new`]).
+    #[must_use]
+    pub fn fault_sets(&self) -> &[Vec<Fault>] {
+        &self.fault_sets
+    }
+
+    /// Number of faulty circuits not yet detected-and-dropped.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// The good circuit's current state of node `n`.
+    #[must_use]
+    pub fn good_state(&self, n: NodeId) -> Logic {
+        self.good.node_state(n)
+    }
+
+    /// The current state of node `n` in the faulty circuit of fault
+    /// `f` (forced value, else divergence record, else good state).
+    #[must_use]
+    pub fn fault_state(&self, f: FaultId, n: NodeId) -> Logic {
+        let circ = u32::try_from(f.index() + 1).expect("fault id in range");
+        if let Some(v) = self.overrides[circ as usize].forced_value(n) {
+            return v;
+        }
+        self.records
+            .get(n, circ)
+            .unwrap_or_else(|| self.good.node_state(n))
+    }
+
+    /// All detections so far, in occurrence order.
+    #[must_use]
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    /// Total number of live divergence records (a measure of how
+    /// different the faulty circuits currently are from the good one).
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Every `(fault, output_index, good, faulty)` divergence currently
+    /// visible on `outputs`, across all live circuits, in ascending
+    /// circuit order per output. This is the raw material of strobe
+    /// comparison, exposed for harnesses that need more than the
+    /// built-in detection logic — e.g. building a fault dictionary.
+    #[must_use]
+    pub fn output_divergences(
+        &self,
+        outputs: &[NodeId],
+    ) -> Vec<(FaultId, usize, Logic, Logic)> {
+        let mut v = Vec::new();
+        for (oi, &out) in outputs.iter().enumerate() {
+            let goodv = self.good.node_state(out);
+            for (circ, val) in self.records.circuits_at(out) {
+                if !self.dropped[circ as usize] {
+                    v.push((FaultId(circ - 1), oi, goodv, val));
+                }
+            }
+            for &(circ, val) in &self.forced_at[out.index()] {
+                if !self.dropped[circ as usize] && val != goodv {
+                    v.push((FaultId(circ - 1), oi, goodv, val));
+                }
+            }
+        }
+        v
+    }
+
+    /// Runs a pattern sequence, observing `outputs` at every strobe
+    /// phase. Returns per-pattern statistics and all detections made
+    /// during this run. May be called repeatedly to continue a
+    /// simulation with further sequences.
+    pub fn run(&mut self, patterns: &[Pattern], outputs: &[NodeId]) -> RunReport {
+        let t0 = Instant::now();
+        let detections_before = self.detections.len();
+        let mut report = RunReport {
+            num_faults: self.fault_sets.len(),
+            ..RunReport::default()
+        };
+        for (pi, pattern) in patterns.iter().enumerate() {
+            report.patterns.push(self.step_pattern(pattern, outputs, pi));
+        }
+        report.detections = self.detections[detections_before..].to_vec();
+        report.total_seconds = t0.elapsed().as_secs_f64();
+        report
+    }
+
+    /// Simulates one pattern (all its phases) and returns its stats.
+    pub fn step_pattern(
+        &mut self,
+        pattern: &Pattern,
+        outputs: &[NodeId],
+        pattern_idx: usize,
+    ) -> PatternStats {
+        let t0 = Instant::now();
+        let mut stats = PatternStats {
+            live_before: self.live,
+            ..PatternStats::default()
+        };
+        for (phi, phase) in pattern.phases.iter().enumerate() {
+            self.step_phase(phase, outputs, pattern_idx, phi, &mut stats);
+        }
+        stats.seconds = t0.elapsed().as_secs_f64();
+        stats
+    }
+
+    /// Simulates one phase: input application, good settle with
+    /// triggering, faulty settles, optional strobe. Exposed so that
+    /// harnesses (and the equivalence tests) can inspect circuit states
+    /// between phases; most callers want [`ConcurrentSim::run`].
+    pub fn step_phase(
+        &mut self,
+        phase: &Phase,
+        outputs: &[NodeId],
+        pattern_idx: usize,
+        phase_idx: usize,
+        stats: &mut PatternStats,
+    ) {
+        // 1. Input changes (with the open-channel trigger special case).
+        for &(n, v) in &phase.inputs {
+            if self.good.node_state(n) == v {
+                continue;
+            }
+            self.trigger_input_change(n);
+            self.engine.apply_input(&mut self.good, n, v);
+        }
+
+        // 2. Good-circuit settle with support-based triggering.
+        {
+            let net = self.net;
+            let ConcurrentSim {
+                good,
+                engine,
+                records,
+                attach,
+                pending,
+                dropped,
+                triggered,
+                overrides,
+                ..
+            } = self;
+            let rep = engine.settle_observed(good, |g| {
+                triggered.clear();
+                let support = g
+                    .members
+                    .iter()
+                    .copied()
+                    .chain(g.incident_transistors.iter().map(|&t| net.transistor(t).gate))
+                    .chain(g.boundary_inputs.iter().copied());
+                for s in support {
+                    records.for_circuits_at(s, |c| {
+                        if !dropped[c as usize] {
+                            triggered.push(c);
+                        }
+                    });
+                    for &c in &attach[s.index()] {
+                        if !dropped[c as usize] {
+                            triggered.push(c);
+                        }
+                    }
+                }
+                if triggered.is_empty() {
+                    return;
+                }
+                triggered.sort_unstable();
+                triggered.dedup();
+                for &c in triggered.iter() {
+                    // Old-value preservation: the triggered circuit must
+                    // still see the pre-change state until it re-settles.
+                    // A circuit's forced nodes are exempt — their
+                    // values are fixed by the fault and the records
+                    // could never be cleaned up (the engine never
+                    // solves forced nodes).
+                    let forced = &overrides[c as usize];
+                    for &(node, old, _new) in g.changed {
+                        if forced.forced_value(node).is_some() {
+                            continue;
+                        }
+                        if records.get(node, c).is_none() {
+                            records.set(node, c, old);
+                        }
+                    }
+                    pending.entry(c).or_default().extend_from_slice(g.members);
+                }
+            });
+            stats.good_groups += rep.groups_solved;
+            stats.damped |= rep.oscillation_damped;
+        }
+
+        // 3. Faulty circuits, in circuit-id order.
+        {
+            let net = self.net;
+            let ConcurrentSim {
+                good,
+                engine,
+                records,
+                overrides,
+                pending,
+                dropped,
+                ..
+            } = self;
+            while let Some((circ, mut seeds)) = pending.pop_first() {
+                if dropped[circ as usize] {
+                    continue;
+                }
+                seeds.sort_unstable();
+                seeds.dedup();
+                let rep = {
+                    let mut view = FaultyView::new(
+                        net,
+                        good.states(),
+                        records,
+                        circ,
+                        &overrides[circ as usize],
+                    );
+                    for &s in &seeds {
+                        engine.perturb(s);
+                    }
+                    engine.settle(&mut view)
+                };
+                // Convergence sweep: when the *good* circuit moved to the
+                // value this circuit already held, the settle saw no
+                // change and left the record in place — now equal to the
+                // good state. Seeds cover every node the good circuit
+                // changed (that is what triggered us), so sweeping them
+                // restores the records-iff-divergent invariant.
+                for &s in &seeds {
+                    if records.get(s, circ) == Some(good.node_state(s)) {
+                        records.remove(s, circ);
+                    }
+                }
+                stats.faulty_groups += rep.groups_solved;
+                stats.circuit_settles += 1;
+                stats.damped |= rep.oscillation_damped;
+            }
+        }
+
+        // 4. Strobe: compare observed outputs, detect and drop.
+        if phase.strobe {
+            self.observe(outputs, pattern_idx, phase_idx, stats);
+        }
+    }
+
+    /// The special-case triggering for an input about to change: faulty
+    /// circuits in which an open channel transistor of the input may
+    /// conduct need a private event even though the good circuit shows
+    /// no activity there.
+    fn trigger_input_change(&mut self, n: NodeId) {
+        let net = self.net;
+        for &t in net.channel_transistors(n) {
+            if self.good.conduction(t).may_conduct() {
+                continue; // good settle will solve and trigger normally
+            }
+            let tr = net.transistor(t);
+            let other = tr.other_end(n);
+            self.triggered.clear();
+            let ConcurrentSim {
+                records,
+                attach,
+                dropped,
+                triggered,
+                ..
+            } = self;
+            records.for_circuits_at(tr.gate, |c| {
+                if !dropped[c as usize] {
+                    triggered.push(c);
+                }
+            });
+            for s in [tr.gate, other, n] {
+                for &c in &attach[s.index()] {
+                    if !dropped[c as usize] {
+                        triggered.push(c);
+                    }
+                }
+            }
+            triggered.sort_unstable();
+            triggered.dedup();
+            for &c in self.triggered.iter() {
+                self.pending.entry(c).or_default().push(other);
+            }
+        }
+    }
+
+    /// Compares observed outputs between good and every diverging
+    /// circuit; detections are recorded and (by default) the circuits
+    /// dropped.
+    fn observe(
+        &mut self,
+        outputs: &[NodeId],
+        pattern_idx: usize,
+        phase_idx: usize,
+        stats: &mut PatternStats,
+    ) {
+        for &out in outputs {
+            let goodv = self.good.node_state(out);
+            for (circ, val) in self.records.circuits_at(out) {
+                self.maybe_detect(circ, goodv, val, pattern_idx, phase_idx, stats);
+            }
+            let forced = self.forced_at[out.index()].clone();
+            for (circ, val) in forced {
+                if val != goodv {
+                    self.maybe_detect(circ, goodv, val, pattern_idx, phase_idx, stats);
+                }
+            }
+        }
+    }
+
+    fn maybe_detect(
+        &mut self,
+        circ: u32,
+        goodv: Logic,
+        faultyv: Logic,
+        pattern_idx: usize,
+        phase_idx: usize,
+        stats: &mut PatternStats,
+    ) {
+        if self.dropped[circ as usize] || self.detected_once[circ as usize] {
+            return;
+        }
+        debug_assert_ne!(goodv, faultyv, "divergence records imply difference");
+        let definite = goodv.is_definite() && faultyv.is_definite();
+        let counts = match self.config.policy {
+            DetectionPolicy::AnyDifference => true,
+            DetectionPolicy::DefiniteOnly => definite,
+        };
+        if !counts {
+            return;
+        }
+        self.detected_once[circ as usize] = true;
+        self.detections.push(Detection {
+            fault: FaultId(circ - 1),
+            pattern: pattern_idx,
+            phase: phase_idx,
+            good: goodv,
+            faulty: faultyv,
+        });
+        stats.detected += 1;
+        if self.config.drop_on_detect {
+            self.drop_circuit(circ);
+        }
+    }
+
+    fn drop_circuit(&mut self, circ: u32) {
+        debug_assert!(!self.dropped[circ as usize]);
+        self.dropped[circ as usize] = true;
+        self.live -= 1;
+        self.records.drop_circuit(circ);
+        self.pending.remove(&circ);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_faults::FaultUniverse;
+    use fmossim_netlist::{Drive, Size, TransistorType};
+
+    /// CMOS inverter with observable output; two node faults.
+    fn inverter() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::P, Drive::D2, a, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+        (net, a, out)
+    }
+
+    fn toggle_patterns(a: NodeId) -> Vec<Pattern> {
+        vec![
+            Pattern::labelled(vec![Phase::strobe(vec![(a, Logic::L)])], "A=0"),
+            Pattern::labelled(vec![Phase::strobe(vec![(a, Logic::H)])], "A=1"),
+        ]
+    }
+
+    #[test]
+    fn detects_output_stuck_faults() {
+        let (net, a, out) = inverter();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        assert_eq!(universe.len(), 2);
+        let mut sim = ConcurrentSim::new(&net, universe.faults(), ConcurrentConfig::paper());
+        let report = sim.run(&toggle_patterns(a), &[out]);
+        assert_eq!(report.detected(), 2, "both stuck faults detected");
+        assert_eq!(sim.live(), 0);
+        // OUT stuck-at-0: detected when good OUT is 1 (first pattern).
+        // OUT stuck-at-1: detected when good OUT is 0 (second pattern).
+        let by_fault: Vec<usize> = report.patterns_to_detect();
+        assert_eq!(by_fault, vec![1, 2]);
+    }
+
+    #[test]
+    fn transistor_stuck_faults_detected() {
+        let (net, a, out) = inverter();
+        let universe = FaultUniverse::stuck_transistors(&net);
+        assert_eq!(universe.len(), 4);
+        let mut sim = ConcurrentSim::new(&net, universe.faults(), ConcurrentConfig::paper());
+        let report = sim.run(&toggle_patterns(a), &[out]);
+        // Pull-up stuck-open: OUT floats (keeps old charge) when A=0 —
+        // from reset that charge is X, so with AnyDifference it is
+        // detected. Pull-up stuck-closed: fights the pull-down when
+        // A=1 → X difference. Same for the pull-down pair.
+        assert_eq!(report.detected(), 4);
+    }
+
+    #[test]
+    fn undetectable_fault_survives() {
+        // A fault on a node that never influences the observed output.
+        let (mut net, a, out) = inverter();
+        let gnd = net.find_node("Gnd").expect("exists");
+        let dead = net.add_storage("DEAD", Size::S1);
+        let en = net.add_input("EN", Logic::L);
+        net.add_transistor(TransistorType::N, Drive::D2, en, dead, gnd);
+        let faults = vec![Fault::NodeStuck {
+            node: dead,
+            value: Logic::H,
+        }];
+        let mut sim = ConcurrentSim::new(&net, &faults, ConcurrentConfig::paper());
+        let report = sim.run(&toggle_patterns(a), &[out]);
+        assert_eq!(report.detected(), 0);
+        assert_eq!(sim.live(), 1);
+        assert_eq!(report.coverage(), 0.0);
+    }
+
+    #[test]
+    fn fault_state_reads_overlay() {
+        let (net, a, out) = inverter();
+        let faults = vec![Fault::NodeStuck {
+            node: out,
+            value: Logic::H,
+        }];
+        let mut sim = ConcurrentSim::new(
+            &net,
+            &faults,
+            ConcurrentConfig {
+                drop_on_detect: false,
+                ..ConcurrentConfig::default()
+            },
+        );
+        let patterns = toggle_patterns(a);
+        sim.run(&patterns, &[out]);
+        // After A=1, good OUT is 0 but the faulty circuit holds 1.
+        assert_eq!(sim.good_state(out), Logic::L);
+        assert_eq!(sim.fault_state(FaultId(0), out), Logic::H);
+    }
+
+    #[test]
+    fn no_drop_keeps_simulating_but_counts_once() {
+        let (net, a, out) = inverter();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let mut sim = ConcurrentSim::new(
+            &net,
+            universe.faults(),
+            ConcurrentConfig {
+                drop_on_detect: false,
+                ..ConcurrentConfig::default()
+            },
+        );
+        // Toggle repeatedly: each fault is detectable many times but
+        // must be counted once.
+        let mut patterns = Vec::new();
+        for _ in 0..4 {
+            patterns.extend(toggle_patterns(a));
+        }
+        let report = sim.run(&patterns, &[out]);
+        assert_eq!(report.detected(), 2);
+        assert_eq!(sim.live(), 2, "nothing dropped");
+    }
+
+    #[test]
+    fn definite_only_policy_ignores_x_differences() {
+        let (net, a, out) = inverter();
+        // Pull-down stuck-open: when A=1 the output floats at its old
+        // charge; right after reset that is X → only a potential
+        // detection.
+        let t_n = net
+            .transistors()
+            .find(|(_, t)| t.ttype == TransistorType::N)
+            .map(|(id, _)| id)
+            .expect("n transistor exists");
+        let faults = vec![Fault::TransistorStuckOpen(t_n)];
+        let patterns = vec![Pattern::new(vec![Phase::strobe(vec![(a, Logic::H)])])];
+
+        let mut strict = ConcurrentSim::new(
+            &net,
+            &faults,
+            ConcurrentConfig {
+                policy: DetectionPolicy::DefiniteOnly,
+                drop_on_detect: true,
+                ..ConcurrentConfig::default()
+            },
+        );
+        let report = strict.run(&patterns, &[out]);
+        assert_eq!(report.detected(), 0, "X difference not definite");
+
+        let mut loose = ConcurrentSim::new(&net, &faults, ConcurrentConfig::paper());
+        let report = loose.run(&patterns, &[out]);
+        assert_eq!(report.detected(), 1, "X difference counts by default");
+        assert!(report.detections[0].is_potential());
+    }
+
+    #[test]
+    fn bridge_fault_through_injection() {
+        // Two independent inverters; bridge their outputs. Driving them
+        // to opposite values makes the short visible.
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let b = net.add_input("B", Logic::H);
+        let out_a = net.add_storage("OA", Size::S1);
+        let out_b = net.add_storage("OB", Size::S1);
+        for (inp, out) in [(a, out_a), (b, out_b)] {
+            net.add_transistor(TransistorType::P, Drive::D2, inp, vdd, out);
+            net.add_transistor(TransistorType::N, Drive::D2, inp, out, gnd);
+        }
+        let bridge = fmossim_faults::inject::insert_bridge(&mut net, out_a, out_b, "oa-ob");
+        let mut sim = ConcurrentSim::new(&net, &[bridge], ConcurrentConfig::paper());
+        let patterns = vec![Pattern::new(vec![Phase::strobe(vec![
+            (a, Logic::L),
+            (b, Logic::H),
+        ])])];
+        let report = sim.run(&patterns, &[out_a, out_b]);
+        // Good: OA=1, OB=0. Bridged: both X (equal-strength fight).
+        assert_eq!(report.detected(), 1);
+        assert!(report.detections[0].is_potential());
+    }
+
+    #[test]
+    fn multi_fault_circuits_combine_effects() {
+        let (net, a, out) = inverter();
+        let t_n = net
+            .transistors()
+            .find(|(_, t)| t.ttype == TransistorType::N)
+            .map(|(id, _)| id)
+            .expect("pulldown exists");
+        let sa1 = Fault::NodeStuck {
+            node: out,
+            value: Logic::H,
+        };
+        let open = Fault::TransistorStuckOpen(t_n);
+        // Three circuits: each single fault, and both together.
+        let mut sim = ConcurrentSim::new_multi(
+            &net,
+            vec![vec![sa1], vec![open], vec![sa1, open]],
+            ConcurrentConfig {
+                drop_on_detect: false,
+                ..ConcurrentConfig::default()
+            },
+        );
+        assert_eq!(sim.fault_sets().len(), 3);
+        assert_eq!(sim.fault_sets()[2].len(), 2);
+        let patterns = toggle_patterns(a);
+        let report = sim.run(&patterns, &[out]);
+        // After A=1 (good OUT = 0):
+        //   sa1 alone:   OUT forced 1      -> definite detection
+        //   open alone:  OUT floats old H… (charge from A=0 phase) -> 1
+        //   both:        the node force dominates -> 1
+        assert_eq!(sim.fault_state(FaultId(0), out), Logic::H);
+        assert_eq!(sim.fault_state(FaultId(2), out), Logic::H);
+        // All three circuits detected (each differs from good at A=1).
+        assert_eq!(report.detected(), 3);
+        // The combined circuit behaves like the dominating node fault:
+        // detected at the same pattern with the same values.
+        let by_fault: Vec<Option<&Detection>> = (0..3)
+            .map(|k| report.detections.iter().find(|d| d.fault == FaultId(k)))
+            .collect();
+        let d_sa1 = by_fault[0].expect("sa1 detected");
+        let d_both = by_fault[2].expect("combined detected");
+        assert_eq!((d_sa1.pattern, d_sa1.faulty), (d_both.pattern, d_both.faulty));
+    }
+
+    #[test]
+    fn record_count_shrinks_after_drop() {
+        let (net, a, out) = inverter();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let mut sim = ConcurrentSim::new(&net, universe.faults(), ConcurrentConfig::paper());
+        let report = sim.run(&toggle_patterns(a), &[out]);
+        assert_eq!(report.detected(), 2);
+        assert_eq!(sim.record_count(), 0, "all records reclaimed");
+    }
+}

@@ -1,0 +1,294 @@
+//! Fault dictionaries: full output signatures for diagnosis.
+//!
+//! A fault *dictionary* records, for every fault, the complete syndrome
+//! it produces at the observed outputs over a test sequence — not just
+//! the first detection. Given the syndrome observed on a failing part,
+//! [`FaultDictionary::diagnose`] returns the candidate faults, and
+//! [`FaultDictionary::equivalence_classes`] reports which faults the
+//! test set cannot distinguish at all. This is the classic companion
+//! application of a fault simulator (and a natural by-product of the
+//! concurrent algorithm: the per-node state lists *are* the syndrome).
+
+use crate::concurrent::{ConcurrentConfig, ConcurrentSim};
+use crate::pattern::Pattern;
+use crate::report::PatternStats;
+use fmossim_faults::{Fault, FaultId};
+use fmossim_netlist::{Logic, Network, NodeId};
+use std::collections::HashMap;
+
+/// One syndrome entry: a strobe at which the faulty output differed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Syndrome {
+    /// Pattern index.
+    pub pattern: u32,
+    /// Phase index within the pattern.
+    pub phase: u32,
+    /// Index into the observed-outputs list.
+    pub output: u32,
+    /// The faulty circuit's value (the good value is the sequence's
+    /// expected response and is not stored per fault).
+    pub faulty: Logic,
+}
+
+/// The complete signature table for a fault list under a test sequence.
+#[derive(Clone, Debug)]
+pub struct FaultDictionary {
+    /// Per fault: its syndrome entries, sorted.
+    signatures: Vec<Vec<Syndrome>>,
+}
+
+impl FaultDictionary {
+    /// Simulates every fault over `patterns` (without dropping) and
+    /// records all output divergences at every strobe.
+    #[must_use]
+    pub fn build(
+        net: &Network,
+        faults: &[Fault],
+        patterns: &[Pattern],
+        outputs: &[NodeId],
+        config: ConcurrentConfig,
+    ) -> Self {
+        let config = ConcurrentConfig {
+            drop_on_detect: false,
+            ..config
+        };
+        let mut sim = ConcurrentSim::new(net, faults, config);
+        let mut signatures = vec![Vec::new(); faults.len()];
+        for (pi, pattern) in patterns.iter().enumerate() {
+            let mut stats = PatternStats::default();
+            for (phi, phase) in pattern.phases.iter().enumerate() {
+                sim.step_phase(phase, outputs, pi, phi, &mut stats);
+                if phase.strobe {
+                    for (fid, oi, _good, faulty) in sim.output_divergences(outputs) {
+                        signatures[fid.index()].push(Syndrome {
+                            pattern: u32::try_from(pi).expect("pattern index fits"),
+                            phase: u32::try_from(phi).expect("phase index fits"),
+                            output: u32::try_from(oi).expect("output index fits"),
+                            faulty,
+                        });
+                    }
+                }
+            }
+        }
+        for sig in &mut signatures {
+            sig.sort_unstable();
+        }
+        FaultDictionary { signatures }
+    }
+
+    /// Number of faults in the dictionary.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// True iff built over an empty fault list.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// The full signature of fault `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    #[must_use]
+    pub fn signature(&self, f: FaultId) -> &[Syndrome] {
+        &self.signatures[f.index()]
+    }
+
+    /// Groups faults with *identical* signatures — the test set cannot
+    /// distinguish members of a class from each other (for an empty
+    /// signature: cannot detect them at all). Classes are returned in
+    /// ascending order of their first member; singletons included.
+    #[must_use]
+    pub fn equivalence_classes(&self) -> Vec<Vec<FaultId>> {
+        let mut by_sig: HashMap<&[Syndrome], Vec<FaultId>> = HashMap::new();
+        for (i, sig) in self.signatures.iter().enumerate() {
+            by_sig
+                .entry(sig.as_slice())
+                .or_default()
+                .push(FaultId(u32::try_from(i).expect("fault id fits")));
+        }
+        let mut classes: Vec<Vec<FaultId>> = by_sig.into_values().collect();
+        classes.sort_by_key(|c| c[0]);
+        classes
+    }
+
+    /// Diagnosis: which faults are consistent with an observed
+    /// syndrome? A fault is a candidate iff
+    ///
+    /// * every *definite* entry of its signature appears in the
+    ///   observation (a tester sees all strobes, so a predicted
+    ///   definite misbehaviour must have been seen — `X` predictions
+    ///   may legitimately show up as either value or match the good
+    ///   output), and
+    /// * every observed entry is admitted by the signature (same
+    ///   strobe present, with the predicted value admitting the
+    ///   observed one).
+    #[must_use]
+    pub fn diagnose(&self, observed: &[Syndrome]) -> Vec<FaultId> {
+        let obs_map: HashMap<(u32, u32, u32), Logic> = observed
+            .iter()
+            .map(|s| ((s.pattern, s.phase, s.output), s.faulty))
+            .collect();
+        let mut out = Vec::new();
+        'faults: for (i, sig) in self.signatures.iter().enumerate() {
+            if sig.is_empty() {
+                continue; // undetectable fault cannot explain failures
+            }
+            let sig_map: HashMap<(u32, u32, u32), Logic> = sig
+                .iter()
+                .map(|s| ((s.pattern, s.phase, s.output), s.faulty))
+                .collect();
+            for (key, &pred) in &sig_map {
+                match obs_map.get(key) {
+                    Some(&seen) => {
+                        if !pred.admits(seen) && pred != seen {
+                            continue 'faults; // predicted 0, saw 1
+                        }
+                    }
+                    None => {
+                        if pred.is_definite() {
+                            continue 'faults; // predicted definite, saw nothing
+                        }
+                    }
+                }
+            }
+            for (key, &seen) in &obs_map {
+                match sig_map.get(key) {
+                    Some(&pred) => {
+                        if !pred.admits(seen) && pred != seen {
+                            continue 'faults;
+                        }
+                    }
+                    None => continue 'faults, // unexplained misbehaviour
+                }
+            }
+            out.push(FaultId(u32::try_from(i).expect("fault id fits")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Phase;
+    use fmossim_faults::FaultUniverse;
+    use fmossim_netlist::{Drive, Size, TransistorType};
+
+    fn inverter() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::P, Drive::D2, a, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+        (net, a, out)
+    }
+
+    fn toggles(a: NodeId) -> Vec<Pattern> {
+        vec![
+            Pattern::new(vec![Phase::strobe(vec![(a, Logic::L)])]),
+            Pattern::new(vec![Phase::strobe(vec![(a, Logic::H)])]),
+            Pattern::new(vec![Phase::strobe(vec![(a, Logic::L)])]),
+        ]
+    }
+
+    fn build_inverter_dict() -> (Network, NodeId, NodeId, FaultUniverse, FaultDictionary) {
+        let (net, a, out) = inverter();
+        let universe =
+            FaultUniverse::stuck_nodes(&net).union(FaultUniverse::stuck_transistors(&net));
+        let dict = FaultDictionary::build(
+            &net,
+            universe.faults(),
+            &toggles(a),
+            &[out],
+            ConcurrentConfig::default(),
+        );
+        (net, a, out, universe, dict)
+    }
+
+    #[test]
+    fn signatures_capture_full_behaviour() {
+        let (_net, _a, _out, universe, dict) = build_inverter_dict();
+        assert_eq!(dict.len(), universe.len());
+        // OUT stuck-at-0 (fault 0): differs whenever good OUT = 1,
+        // i.e. patterns 0 and 2.
+        let sig = dict.signature(FaultId(0));
+        assert_eq!(sig.len(), 2);
+        assert!(sig.iter().all(|s| s.faulty == Logic::L));
+        assert_eq!(sig[0].pattern, 0);
+        assert_eq!(sig[1].pattern, 2);
+        // OUT stuck-at-1 (fault 1): differs at pattern 1 only.
+        let sig = dict.signature(FaultId(1));
+        assert_eq!(sig.len(), 1);
+        assert_eq!(sig[0].pattern, 1);
+    }
+
+    #[test]
+    fn equivalence_classes_group_indistinguishable_faults() {
+        let (net, _a, _out, universe, dict) = build_inverter_dict();
+        let classes = dict.equivalence_classes();
+        // Every fault appears exactly once across all classes.
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, universe.len());
+        // Members of a class really do share a signature.
+        for class in &classes {
+            let first = dict.signature(class[0]);
+            for &f in &class[1..] {
+                assert_eq!(
+                    dict.signature(f),
+                    first,
+                    "{} vs {}",
+                    universe.fault(class[0]).describe(&net),
+                    universe.fault(f).describe(&net)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagnose_narrows_to_consistent_faults() {
+        let (net, _a, out, universe, dict) = build_inverter_dict();
+        let _ = (net, out);
+        // Simulate a tester observing exactly OUT-stuck-at-0's syndrome.
+        let observed: Vec<Syndrome> = dict.signature(FaultId(0)).to_vec();
+        let candidates = dict.diagnose(&observed);
+        assert!(
+            candidates.contains(&FaultId(0)),
+            "true fault is a candidate"
+        );
+        // The stuck-at-1 fault is not consistent with this syndrome.
+        assert!(!candidates.contains(&FaultId(1)));
+        let _ = universe;
+    }
+
+    #[test]
+    fn diagnose_rejects_unexplained_failures() {
+        let (_net, _a, _out, _universe, dict) = build_inverter_dict();
+        // A syndrome at a strobe where no fault of the universe makes
+        // the output differ in this direction… pattern 0 with faulty=H
+        // equals the good value; no signature contains it.
+        let bogus = vec![Syndrome {
+            pattern: 0,
+            phase: 0,
+            output: 7, // nonexistent output index
+            faulty: Logic::H,
+        }];
+        assert!(dict.diagnose(&bogus).is_empty());
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let (net, a, out) = inverter();
+        let dict =
+            FaultDictionary::build(&net, &[], &toggles(a), &[out], ConcurrentConfig::default());
+        assert!(dict.is_empty());
+        assert!(dict.equivalence_classes().is_empty());
+        assert!(dict.diagnose(&[]).is_empty());
+    }
+}

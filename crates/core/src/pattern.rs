@@ -1,0 +1,89 @@
+//! Stimulus types: phases and patterns.
+//!
+//! The paper's evaluation drives the RAM circuits with *patterns*, each
+//! of which "actually represents a sequence of 6 input settings to
+//! cycle the clocks" (§5). We model a [`Pattern`] as a list of
+//! [`Phase`]s; each phase applies a batch of input changes, settles the
+//! network, and optionally *strobes* (compares observed outputs between
+//! good and faulty circuits).
+
+use fmossim_netlist::{Logic, NodeId};
+
+/// One input setting: a batch of input changes followed by a settle.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Phase {
+    /// Input assignments applied at the start of the phase.
+    pub inputs: Vec<(NodeId, Logic)>,
+    /// Whether observed outputs are compared (and faults detected) at
+    /// the end of this phase.
+    pub strobe: bool,
+}
+
+impl Phase {
+    /// A phase applying `inputs` without strobing.
+    #[must_use]
+    pub fn apply(inputs: Vec<(NodeId, Logic)>) -> Self {
+        Phase {
+            inputs,
+            strobe: false,
+        }
+    }
+
+    /// A phase applying `inputs` and strobing the outputs afterwards.
+    #[must_use]
+    pub fn strobe(inputs: Vec<(NodeId, Logic)>) -> Self {
+        Phase {
+            inputs,
+            strobe: true,
+        }
+    }
+}
+
+/// A test pattern: a fixed sequence of phases (six for the paper's RAM
+/// sequences: clock cycling plus an observation strobe).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Pattern {
+    /// The phases, applied in order.
+    pub phases: Vec<Phase>,
+    /// Optional human-readable label ("march w0 @(3,4)" etc.), used in
+    /// reports and failure diagnostics.
+    pub label: String,
+}
+
+impl Pattern {
+    /// Creates a pattern from phases with an empty label.
+    #[must_use]
+    pub fn new(phases: Vec<Phase>) -> Self {
+        Pattern {
+            phases,
+            label: String::new(),
+        }
+    }
+
+    /// Creates a labelled pattern.
+    #[must_use]
+    pub fn labelled(phases: Vec<Phase>, label: impl Into<String>) -> Self {
+        Pattern {
+            phases,
+            label: label.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let n = NodeId::from_index(0);
+        let p = Phase::apply(vec![(n, Logic::H)]);
+        assert!(!p.strobe);
+        let p = Phase::strobe(vec![]);
+        assert!(p.strobe);
+        let pat = Pattern::labelled(vec![p.clone()], "read cell 3");
+        assert_eq!(pat.label, "read cell 3");
+        assert_eq!(pat.phases.len(), 1);
+        assert_eq!(Pattern::new(vec![p]).label, "");
+    }
+}

@@ -1,0 +1,222 @@
+//! Detection records and run reports — the measurements behind the
+//! paper's figures.
+
+use fmossim_faults::FaultId;
+use fmossim_netlist::Logic;
+
+/// When is a good/faulty output difference a *detection*?
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DetectionPolicy {
+    /// Any difference on an observed output detects the fault,
+    /// including `X` vs. definite — the paper's rule ("produces a
+    /// result on the output data pin different than the good circuit").
+    #[default]
+    AnyDifference,
+    /// Only definite, opposite values (`0` vs `1`) detect; `X`
+    /// differences are recorded as *potential* detections but the
+    /// circuit keeps simulating.
+    DefiniteOnly,
+}
+
+/// One fault detection event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Detection {
+    /// Which fault was detected.
+    pub fault: FaultId,
+    /// Zero-based index of the detecting pattern.
+    pub pattern: usize,
+    /// Zero-based phase index within the pattern.
+    pub phase: usize,
+    /// The good circuit's output value at the strobe.
+    pub good: Logic,
+    /// The faulty circuit's output value at the strobe.
+    pub faulty: Logic,
+}
+
+impl Detection {
+    /// True iff the difference involved an `X` (a *potential* rather
+    /// than definite detection).
+    #[must_use]
+    pub fn is_potential(&self) -> bool {
+        !(self.good.is_definite() && self.faulty.is_definite())
+    }
+}
+
+/// Per-pattern measurements, mirroring the two curves of the paper's
+/// Figures 1 and 2.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PatternStats {
+    /// Wall-clock seconds spent simulating this pattern (all phases,
+    /// good + all live faulty circuits).
+    pub seconds: f64,
+    /// Faults detected during this pattern.
+    pub detected: usize,
+    /// Faulty circuits alive when the pattern started.
+    pub live_before: usize,
+    /// Vicinities solved for the good circuit.
+    pub good_groups: usize,
+    /// Vicinities solved across all faulty circuits.
+    pub faulty_groups: usize,
+    /// Faulty circuit settles executed (events processed).
+    pub circuit_settles: usize,
+    /// True iff any settle (good or faulty) hit the oscillation cap and
+    /// was X-damped during this pattern.
+    pub damped: bool,
+}
+
+/// The result of a full concurrent fault-simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Per-pattern statistics, in pattern order.
+    pub patterns: Vec<PatternStats>,
+    /// All detections, in occurrence order.
+    pub detections: Vec<Detection>,
+    /// Total number of faults simulated.
+    pub num_faults: usize,
+    /// Total wall-clock seconds.
+    pub total_seconds: f64,
+}
+
+impl RunReport {
+    /// Number of faults detected.
+    #[must_use]
+    pub fn detected(&self) -> usize {
+        self.detections.len()
+    }
+
+    /// Fault coverage in `[0, 1]` (detected / simulated).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.num_faults == 0 {
+            0.0
+        } else {
+            self.detected() as f64 / self.num_faults as f64
+        }
+    }
+
+    /// The rising curve of Figures 1/2: cumulative detections after
+    /// each pattern.
+    #[must_use]
+    pub fn cumulative_detections(&self) -> Vec<usize> {
+        let mut acc = 0;
+        self.patterns
+            .iter()
+            .map(|p| {
+                acc += p.detected;
+                acc
+            })
+            .collect()
+    }
+
+    /// The falling curve of Figures 1/2: seconds per pattern.
+    #[must_use]
+    pub fn seconds_per_pattern(&self) -> Vec<f64> {
+        self.patterns.iter().map(|p| p.seconds).collect()
+    }
+
+    /// Seconds consumed by the first `head` patterns as a fraction of
+    /// the total (the paper: "71% of the time consumed during the first
+    /// 87 patterns").
+    #[must_use]
+    pub fn head_time_fraction(&self, head: usize) -> f64 {
+        if self.total_seconds == 0.0 {
+            return 0.0;
+        }
+        let head_secs: f64 = self.patterns.iter().take(head).map(|p| p.seconds).sum();
+        head_secs / self.total_seconds
+    }
+
+    /// For each fault: the number of patterns until detection, or
+    /// `patterns.len()` if never detected — the quantity the paper's
+    /// serial-time estimator integrates.
+    #[must_use]
+    pub fn patterns_to_detect(&self) -> Vec<usize> {
+        let total = self.patterns.len();
+        let mut out = vec![total; self.num_faults];
+        for d in &self.detections {
+            out[d.fault.index()] = d.pattern + 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            patterns: vec![
+                PatternStats {
+                    seconds: 3.0,
+                    detected: 2,
+                    live_before: 4,
+                    ..PatternStats::default()
+                },
+                PatternStats {
+                    seconds: 1.0,
+                    detected: 0,
+                    live_before: 2,
+                    ..PatternStats::default()
+                },
+                PatternStats {
+                    seconds: 1.0,
+                    detected: 1,
+                    live_before: 2,
+                    ..PatternStats::default()
+                },
+            ],
+            detections: vec![
+                Detection {
+                    fault: FaultId(0),
+                    pattern: 0,
+                    phase: 5,
+                    good: Logic::H,
+                    faulty: Logic::L,
+                },
+                Detection {
+                    fault: FaultId(2),
+                    pattern: 0,
+                    phase: 5,
+                    good: Logic::H,
+                    faulty: Logic::X,
+                },
+                Detection {
+                    fault: FaultId(1),
+                    pattern: 2,
+                    phase: 5,
+                    good: Logic::L,
+                    faulty: Logic::H,
+                },
+            ],
+            num_faults: 4,
+            total_seconds: 5.0,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert_eq!(r.detected(), 3);
+        assert!((r.coverage() - 0.75).abs() < 1e-12);
+        assert_eq!(r.cumulative_detections(), vec![2, 2, 3]);
+        assert_eq!(r.seconds_per_pattern(), vec![3.0, 1.0, 1.0]);
+        assert!((r.head_time_fraction(1) - 0.6).abs() < 1e-12);
+        assert_eq!(r.patterns_to_detect(), vec![1, 3, 1, 3]);
+    }
+
+    #[test]
+    fn potential_detection_flag() {
+        let r = report();
+        assert!(!r.detections[0].is_potential());
+        assert!(r.detections[1].is_potential());
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = RunReport::default();
+        assert_eq!(r.detected(), 0);
+        assert_eq!(r.coverage(), 0.0);
+        assert_eq!(r.head_time_fraction(5), 0.0);
+    }
+}

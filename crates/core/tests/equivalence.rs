@@ -1,0 +1,280 @@
+//! The central correctness property of the concurrent algorithm: it
+//! must be *observationally equivalent* to serial simulation — every
+//! faulty circuit shows the same observed-output trace, and faults are
+//! detected at the same pattern, as if each had been simulated alone.
+
+use fmossim_core::{
+    ConcurrentConfig, ConcurrentSim, Pattern, PatternStats, Phase, SerialConfig, SerialSim,
+};
+use fmossim_faults::{Fault, FaultId, FaultUniverse};
+use fmossim_netlist::{Drive, Logic, Network, NodeId, Size, TransistorType};
+
+/// Asserts that concurrent (no dropping) and serial (full trace)
+/// produce identical observed-output traces for every fault and strobe.
+fn assert_equivalent(net: &Network, faults: &[Fault], patterns: &[Pattern], outputs: &[NodeId]) {
+    let serial = SerialSim::new(
+        net,
+        SerialConfig {
+            stop_at_detection: false,
+            ..SerialConfig::default()
+        },
+    );
+    let sreport = serial.run(faults, patterns, outputs);
+
+    let mut csim = ConcurrentSim::new(
+        net,
+        faults,
+        ConcurrentConfig {
+            drop_on_detect: false,
+            ..ConcurrentConfig::default()
+        },
+    );
+    for (pi, pattern) in patterns.iter().enumerate() {
+        let mut stats = PatternStats::default();
+        let mut strobe_idx = 0;
+        for (phi, phase) in pattern.phases.iter().enumerate() {
+            csim.step_phase(phase, outputs, pi, phi, &mut stats);
+            if phase.strobe {
+                for (k, fault) in faults.iter().enumerate() {
+                    let fid = FaultId(u32::try_from(k).expect("fits"));
+                    for (oi, &out) in outputs.iter().enumerate() {
+                        let cval = csim.fault_state(fid, out);
+                        let sval = sreport.outcomes[k].strobes[pi][strobe_idx][oi];
+                        assert_eq!(
+                            cval,
+                            sval,
+                            "fault {k} ({}) pattern {pi} phase {phi} output {}: \
+                             concurrent {cval} vs serial {sval}",
+                            fault.describe(net),
+                            net.node(out).name,
+                        );
+                    }
+                }
+                strobe_idx += 1;
+            }
+        }
+    }
+}
+
+/// Asserts that with the paper's configuration (drop on detect), the
+/// concurrent simulator detects exactly the same faults at the same
+/// patterns as the serial baseline.
+fn assert_same_detections(
+    net: &Network,
+    faults: &[Fault],
+    patterns: &[Pattern],
+    outputs: &[NodeId],
+) {
+    let serial = SerialSim::new(net, SerialConfig::paper());
+    let sreport = serial.run(faults, patterns, outputs);
+    let mut csim = ConcurrentSim::new(net, faults, ConcurrentConfig::paper());
+    let creport = csim.run(patterns, outputs);
+
+    let mut c_at = vec![None; faults.len()];
+    for d in &creport.detections {
+        c_at[d.fault.index()] = Some((d.pattern, d.phase));
+    }
+    for (k, o) in sreport.outcomes.iter().enumerate() {
+        let s_at = o.detection.map(|d| (d.pattern, d.phase));
+        assert_eq!(
+            c_at[k],
+            s_at,
+            "fault {k} ({}): concurrent detection {:?} vs serial {:?}",
+            faults[k].describe(net),
+            c_at[k],
+            s_at
+        );
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Circuits under test.
+
+/// nMOS: two inverters and a NOR feeding a dynamic latch via a pass
+/// transistor — exercises ratioed logic, pass gates, charge retention.
+fn nmos_block() -> (Network, Vec<NodeId>, NodeId) {
+    let mut net = Network::new();
+    let vdd = net.add_input("Vdd", Logic::H);
+    let gnd = net.add_input("Gnd", Logic::L);
+    let a = net.add_input("A", Logic::L);
+    let b = net.add_input("B", Logic::L);
+    let clk = net.add_input("CLK", Logic::L);
+
+    let nmos_inv = |net: &mut Network, name: &str, inp: NodeId| {
+        let out = net.add_storage(name, Size::S1);
+        net.add_transistor(TransistorType::D, Drive::D1, out, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, inp, out, gnd);
+        out
+    };
+    let na = nmos_inv(&mut net, "NA", a);
+    let nb = nmos_inv(&mut net, "NB", b);
+    // NOR(NA, NB)
+    let nor = net.add_storage("NOR", Size::S1);
+    net.add_transistor(TransistorType::D, Drive::D1, nor, vdd, nor);
+    net.add_transistor(TransistorType::N, Drive::D2, na, nor, gnd);
+    net.add_transistor(TransistorType::N, Drive::D2, nb, nor, gnd);
+    // Latch: pass transistor into a storage node, then output inverter.
+    let store = net.add_storage("STORE", Size::S1);
+    net.add_transistor(TransistorType::N, Drive::D2, clk, nor, store);
+    let q = nmos_inv(&mut net, "Q", store);
+    (net, vec![a, b, clk], q)
+}
+
+/// Patterns: drive A/B through all combinations, pulsing CLK, strobing
+/// after each clock low. Every pattern = 3 phases (like the paper's
+/// 6-setting patterns, scaled down).
+fn nmos_patterns(inputs: &[NodeId]) -> Vec<Pattern> {
+    let (a, b, clk) = (inputs[0], inputs[1], inputs[2]);
+    let mut patterns = Vec::new();
+    for (va, vb) in [
+        (Logic::L, Logic::L),
+        (Logic::H, Logic::L),
+        (Logic::L, Logic::H),
+        (Logic::H, Logic::H),
+        (Logic::L, Logic::L),
+    ] {
+        patterns.push(Pattern::labelled(
+            vec![
+                Phase::apply(vec![(a, va), (b, vb)]),
+                Phase::apply(vec![(clk, Logic::H)]),
+                Phase::strobe(vec![(clk, Logic::L)]),
+            ],
+            format!("A={va} B={vb}"),
+        ));
+    }
+    patterns
+}
+
+/// CMOS: 2-input multiplexer from transmission-ish gates plus an output
+/// inverter — exercises p-devices and bidirectional selection.
+fn cmos_mux() -> (Network, Vec<NodeId>, NodeId) {
+    let mut net = Network::new();
+    let vdd = net.add_input("Vdd", Logic::H);
+    let gnd = net.add_input("Gnd", Logic::L);
+    let d0 = net.add_input("D0", Logic::L);
+    let d1 = net.add_input("D1", Logic::L);
+    let sel = net.add_input("SEL", Logic::L);
+    // selb = CMOS inverter of sel.
+    let selb = net.add_storage("SELB", Size::S1);
+    net.add_transistor(TransistorType::P, Drive::D2, sel, vdd, selb);
+    net.add_transistor(TransistorType::N, Drive::D2, sel, selb, gnd);
+    // Transmission gates to the common node M.
+    let m = net.add_storage("M", Size::S1);
+    net.add_transistor(TransistorType::N, Drive::D2, selb, d0, m);
+    net.add_transistor(TransistorType::P, Drive::D2, sel, d0, m);
+    net.add_transistor(TransistorType::N, Drive::D2, sel, d1, m);
+    net.add_transistor(TransistorType::P, Drive::D2, selb, d1, m);
+    // Output inverter.
+    let q = net.add_storage("Q", Size::S1);
+    net.add_transistor(TransistorType::P, Drive::D2, m, vdd, q);
+    net.add_transistor(TransistorType::N, Drive::D2, m, q, gnd);
+    (net, vec![d0, d1, sel], q)
+}
+
+fn mux_patterns(inputs: &[NodeId]) -> Vec<Pattern> {
+    let (d0, d1, sel) = (inputs[0], inputs[1], inputs[2]);
+    let mut patterns = Vec::new();
+    for (v0, v1, vs) in [
+        (Logic::L, Logic::H, Logic::L),
+        (Logic::H, Logic::L, Logic::L),
+        (Logic::H, Logic::L, Logic::H),
+        (Logic::L, Logic::H, Logic::H),
+        (Logic::H, Logic::H, Logic::L),
+        (Logic::L, Logic::L, Logic::H),
+    ] {
+        patterns.push(Pattern::new(vec![Phase::strobe(vec![
+            (d0, v0),
+            (d1, v1),
+            (sel, vs),
+        ])]));
+    }
+    patterns
+}
+
+// ---------------------------------------------------------------- //
+
+#[test]
+fn nmos_block_stuck_nodes_equivalent() {
+    let (net, inputs, q) = nmos_block();
+    let universe = FaultUniverse::stuck_nodes(&net);
+    let patterns = nmos_patterns(&inputs);
+    assert_equivalent(&net, universe.faults(), &patterns, &[q]);
+    assert_same_detections(&net, universe.faults(), &patterns, &[q]);
+}
+
+#[test]
+fn nmos_block_stuck_transistors_equivalent() {
+    let (net, inputs, q) = nmos_block();
+    let universe = FaultUniverse::stuck_transistors(&net);
+    let patterns = nmos_patterns(&inputs);
+    assert_equivalent(&net, universe.faults(), &patterns, &[q]);
+    assert_same_detections(&net, universe.faults(), &patterns, &[q]);
+}
+
+#[test]
+fn cmos_mux_stuck_nodes_equivalent() {
+    let (net, inputs, q) = cmos_mux();
+    let universe = FaultUniverse::stuck_nodes(&net);
+    let patterns = mux_patterns(&inputs);
+    assert_equivalent(&net, universe.faults(), &patterns, &[q]);
+    assert_same_detections(&net, universe.faults(), &patterns, &[q]);
+}
+
+#[test]
+fn cmos_mux_stuck_transistors_equivalent() {
+    let (net, inputs, q) = cmos_mux();
+    let universe = FaultUniverse::stuck_transistors(&net);
+    let patterns = mux_patterns(&inputs);
+    assert_equivalent(&net, universe.faults(), &patterns, &[q]);
+    assert_same_detections(&net, universe.faults(), &patterns, &[q]);
+}
+
+#[test]
+fn cmos_mux_bridges_equivalent() {
+    let (mut net, inputs, q) = cmos_mux();
+    let m = net.find_node("M").expect("exists");
+    let selb = net.find_node("SELB").expect("exists");
+    let gnd = net.find_node("Gnd").expect("exists");
+    let faults = vec![
+        fmossim_faults::inject::insert_bridge(&mut net, m, selb, "m-selb"),
+        fmossim_faults::inject::insert_bridge(&mut net, q, gnd, "q-gnd"),
+    ];
+    let patterns = mux_patterns(&inputs);
+    assert_equivalent(&net, &faults, &patterns, &[q]);
+    assert_same_detections(&net, &faults, &patterns, &[q]);
+}
+
+#[test]
+fn nmos_block_line_opens_equivalent() {
+    // Build the block but make the NOR→latch wire breakable.
+    let (mut net, inputs, q) = nmos_block();
+    let nor = net.find_node("NOR").expect("exists");
+    let store = net.find_node("STORE").expect("exists");
+    // Note: the pass transistor already connects NOR to STORE; add a
+    // breakable segment wire from NA to the NOR pulldown path instead:
+    // simplest meaningful open is splitting the latch input, so insert
+    // a segment between NOR and a new node feeding the pass gate.
+    let _ = store;
+    let na = net.find_node("NA").expect("exists");
+    let faults = vec![
+        fmossim_faults::inject::breakable_segment(&mut net, na, nor, "na-ext"),
+        Fault::NodeStuck {
+            node: nor,
+            value: Logic::L,
+        },
+    ];
+    let patterns = nmos_patterns(&inputs);
+    assert_equivalent(&net, &faults, &patterns, &[q]);
+    assert_same_detections(&net, &faults, &patterns, &[q]);
+}
+
+/// Observing two outputs at once (detection may come from either).
+#[test]
+fn multiple_outputs_equivalent() {
+    let (net, inputs, q) = cmos_mux();
+    let m = net.find_node("M").expect("exists");
+    let universe = FaultUniverse::stuck_nodes(&net);
+    let patterns = mux_patterns(&inputs);
+    assert_equivalent(&net, universe.faults(), &patterns, &[q, m]);
+    assert_same_detections(&net, universe.faults(), &patterns, &[q, m]);
+}

@@ -1,0 +1,207 @@
+//! Seeded randomized equivalence testing: concurrent vs. serial on
+//! hundreds of random networks, fault lists and pattern sequences.
+//!
+//! Uses a fixed RNG seed so the exercised cases are deterministic (no
+//! flaky CI) while still covering a large space of topologies.
+//!
+//! ## What is asserted
+//!
+//! Unit-delay event simulation is order-sensitive on *races*: when a
+//! phase changes several inputs at once and the circuit contains
+//! charge/feedback races, the settled state legitimately depends on the
+//! order in which vicinities are evaluated within a round — and the
+//! serial and concurrent simulators schedule those evaluations
+//! differently (the original FMOSSIM shares this property). Random
+//! networks are full of such races, so this fuzz suite asserts the
+//! race-insensitive property: the two simulators never *definitely
+//! contradict* each other (one saying `0` where the other says `1`) on
+//! any observed output at any strobe. Disagreements involving `X` are
+//! counted and reported but tolerated — they are the signature of a
+//! race, not of a missed event (a missed event makes the faulty circuit
+//! inherit the good circuit's *definite* value, which this test
+//! catches). Exact trace equality is separately asserted on race-free
+//! clocked circuits in `equivalence.rs` and on the RAM benchmark
+//! circuits in the workspace integration tests.
+//!
+//! Cases in which any circuit oscillates (X-damping engaged) are
+//! skipped entirely: damping sets depend on round counts, which differ
+//! by schedule.
+
+use fmossim_core::{
+    ConcurrentConfig, ConcurrentSim, Pattern, PatternStats, Phase, SerialConfig, SerialSim,
+};
+use fmossim_faults::{FaultId, FaultUniverse};
+use fmossim_netlist::{Drive, Logic, Network, NodeId, Size, TransistorType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Case {
+    net: Network,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+}
+
+fn random_case(rng: &mut StdRng) -> Case {
+    let mut net = Network::new();
+    net.add_input("Vdd", Logic::H);
+    net.add_input("Gnd", Logic::L);
+    let num_inputs = rng.gen_range(1..=4);
+    let inputs: Vec<NodeId> = (0..num_inputs)
+        .map(|i| net.add_input(format!("I{i}"), Logic::L))
+        .collect();
+    let num_storage = rng.gen_range(2..=8);
+    let storage: Vec<NodeId> = (0..num_storage)
+        .map(|i| {
+            let size = if rng.gen_bool(0.25) { Size::S2 } else { Size::S1 };
+            net.add_storage(format!("S{i}"), size)
+        })
+        .collect();
+    let all: Vec<NodeId> = net.node_ids().collect();
+    let num_t = rng.gen_range(3..=16);
+    for _ in 0..num_t {
+        let ttype = match rng.gen_range(0..6) {
+            0 => TransistorType::P,
+            1 => TransistorType::D,
+            _ => TransistorType::N, // bias towards n-type, like real nMOS
+        };
+        let strength = if ttype == TransistorType::D {
+            Drive::D1
+        } else {
+            Drive::D2
+        };
+        let gate = all[rng.gen_range(0..all.len())];
+        let source = all[rng.gen_range(0..all.len())];
+        let drain = storage[rng.gen_range(0..storage.len())];
+        if source == drain {
+            continue;
+        }
+        net.add_transistor(ttype, strength, gate, source, drain);
+    }
+    let outputs = vec![storage[rng.gen_range(0..storage.len())]];
+    Case {
+        net,
+        inputs,
+        outputs,
+    }
+}
+
+fn random_patterns(rng: &mut StdRng, inputs: &[NodeId]) -> Vec<Pattern> {
+    let num = rng.gen_range(2..=6);
+    (0..num)
+        .map(|_| {
+            let mut assignments: Vec<(NodeId, Logic)> = Vec::new();
+            for &n in inputs {
+                if !rng.gen_bool(0.8) {
+                    continue;
+                }
+                let v = match rng.gen_range(0..8) {
+                    0 => Logic::X, // occasionally inject X stimulus
+                    k if k % 2 == 0 => Logic::L,
+                    _ => Logic::H,
+                };
+                assignments.push((n, v));
+            }
+            Pattern::new(vec![Phase::strobe(assignments)])
+        })
+        .collect()
+}
+
+/// Returns `Some(x_disagreements)` if the case was checked (asserting
+/// no definite contradictions), `None` if skipped (oscillation).
+fn check_case(case: &Case, patterns: &[Pattern], seed: u64) -> Option<usize> {
+    let universe = FaultUniverse::stuck_nodes(&case.net)
+        .union(FaultUniverse::stuck_transistors(&case.net));
+    // Cap fault count to keep runtime sane; sampling is seeded.
+    let universe = universe.sample(12, seed);
+    let faults = universe.faults();
+    if faults.is_empty() {
+        return None;
+    }
+
+    let serial = SerialSim::new(
+        &case.net,
+        SerialConfig {
+            stop_at_detection: false,
+            ..SerialConfig::default()
+        },
+    );
+    let sreport = serial.run(faults, patterns, &case.outputs);
+    if sreport.outcomes.iter().any(|o| o.damped) {
+        return None;
+    }
+
+    let mut csim = ConcurrentSim::new(
+        &case.net,
+        faults,
+        ConcurrentConfig {
+            drop_on_detect: false,
+            ..ConcurrentConfig::default()
+        },
+    );
+    let mut contradictions = Vec::new();
+    let mut x_disagreements = 0usize;
+    for (pi, pattern) in patterns.iter().enumerate() {
+        let mut stats = PatternStats::default();
+        for (phi, phase) in pattern.phases.iter().enumerate() {
+            csim.step_phase(phase, &case.outputs, pi, phi, &mut stats);
+        }
+        if stats.damped {
+            return None; // oscillation: outcomes order-dependent
+        }
+        for (k, fault) in faults.iter().enumerate() {
+            let fid = FaultId(u32::try_from(k).expect("fits"));
+            for (oi, &out) in case.outputs.iter().enumerate() {
+                let cval = csim.fault_state(fid, out);
+                let sval = sreport.outcomes[k].strobes[pi][0][oi];
+                if cval == sval {
+                    continue;
+                }
+                if cval.is_definite() && sval.is_definite() {
+                    contradictions.push(format!(
+                        "seed={seed} pattern={pi} fault={k} ({}) out={}: \
+                         concurrent={cval} serial={sval}\nnetlist:\n{}",
+                        fault.describe(&case.net),
+                        case.net.node(out).name,
+                        fmossim_netlist::write_netlist(&case.net)
+                    ));
+                } else {
+                    x_disagreements += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        contradictions.is_empty(),
+        "definite contradictions between concurrent and serial:\n{}",
+        contradictions.join("\n")
+    );
+    Some(x_disagreements)
+}
+
+#[test]
+fn fuzz_concurrent_never_contradicts_serial() {
+    let mut rng = StdRng::seed_from_u64(0xF0551);
+    let mut checked = 0;
+    let mut skipped = 0;
+    let mut race_artifacts = 0;
+    for case_idx in 0..300u64 {
+        let case = random_case(&mut rng);
+        let patterns = random_patterns(&mut rng, &case.inputs);
+        match check_case(&case, &patterns, case_idx) {
+            Some(x) => {
+                checked += 1;
+                race_artifacts += x;
+            }
+            None => skipped += 1,
+        }
+    }
+    eprintln!(
+        "fuzz: {checked} cases checked, {skipped} skipped, \
+         {race_artifacts} X-vs-definite race artifacts tolerated"
+    );
+    // The suite must actually exercise a healthy number of cases.
+    assert!(
+        checked >= 150,
+        "only {checked} cases checked ({skipped} skipped) — generator degenerated"
+    );
+}

@@ -1,0 +1,92 @@
+//! Property tests for the divergence-record store: the two backends
+//! (the paper's sorted lists and the ablation hash map) must be
+//! observationally identical under arbitrary operation sequences.
+
+use fmossim_core::{StateListStore, StateLists};
+use fmossim_netlist::{Logic, NodeId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Set(u8, u8, Logic),
+    Remove(u8, u8),
+    DropCircuit(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16, 1u8..8, 0u8..3).prop_map(|(n, c, v)| Op::Set(
+            n,
+            c,
+            match v {
+                0 => Logic::L,
+                1 => Logic::H,
+                _ => Logic::X,
+            }
+        )),
+        (0u8..16, 1u8..8).prop_map(|(n, c)| Op::Remove(n, c)),
+        (1u8..8).prop_map(Op::DropCircuit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn backends_agree(ops in prop::collection::vec(arb_op(), 0..120)) {
+        let mut a = StateLists::new(16, 8, StateListStore::SortedVec);
+        let mut b = StateLists::new(16, 8, StateListStore::Hash);
+        for op in &ops {
+            match *op {
+                Op::Set(n, c, v) => {
+                    a.set(NodeId::from_index(n as usize), u32::from(c), v);
+                    b.set(NodeId::from_index(n as usize), u32::from(c), v);
+                }
+                Op::Remove(n, c) => {
+                    a.remove(NodeId::from_index(n as usize), u32::from(c));
+                    b.remove(NodeId::from_index(n as usize), u32::from(c));
+                }
+                Op::DropCircuit(c) => {
+                    a.drop_circuit(u32::from(c));
+                    b.drop_circuit(u32::from(c));
+                }
+            }
+            prop_assert_eq!(a.len(), b.len());
+        }
+        // Full observational equality at the end.
+        for n in 0..16 {
+            let node = NodeId::from_index(n);
+            prop_assert_eq!(a.circuits_at(node), b.circuits_at(node), "node {}", n);
+            for c in 1..8u32 {
+                prop_assert_eq!(a.get(node, c), b.get(node, c));
+            }
+        }
+        for c in 1..8u32 {
+            prop_assert_eq!(a.nodes_of(c), b.nodes_of(c));
+        }
+    }
+
+    /// `len()` equals the number of live records observable via `get`.
+    #[test]
+    fn len_is_consistent(ops in prop::collection::vec(arb_op(), 0..80)) {
+        let mut s = StateLists::new(16, 8, StateListStore::SortedVec);
+        for op in &ops {
+            match *op {
+                Op::Set(n, c, v) => s.set(NodeId::from_index(n as usize), u32::from(c), v),
+                Op::Remove(n, c) => s.remove(NodeId::from_index(n as usize), u32::from(c)),
+                Op::DropCircuit(c) => {
+                    s.drop_circuit(u32::from(c));
+                }
+            }
+        }
+        let mut live = 0;
+        for n in 0..16 {
+            for c in 1..8u32 {
+                if s.get(NodeId::from_index(n), c).is_some() {
+                    live += 1;
+                }
+            }
+        }
+        prop_assert_eq!(s.len(), live);
+    }
+}

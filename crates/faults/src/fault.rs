@@ -1,0 +1,335 @@
+//! Fault descriptions and their switch-level effects.
+
+use fmossim_netlist::{Conduction, Logic, Network, NodeId, TransistorId};
+use std::fmt;
+
+/// Identifies a fault within a [`FaultUniverse`](crate::FaultUniverse)
+/// and the corresponding faulty circuit in the simulators (the good
+/// circuit is circuit 0; fault `k` is circuit `k + 1`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FaultId(pub u32);
+
+impl FaultId {
+    /// The dense index of this fault in its universe.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FaultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A single fault, expressed in the switch-level model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// The node behaves as an input node permanently set to `value`.
+    NodeStuck {
+        /// The faulted node.
+        node: NodeId,
+        /// The stuck value (`L` for stuck-at-0, `H` for stuck-at-1).
+        value: Logic,
+    },
+    /// The transistor is permanently non-conducting.
+    TransistorStuckOpen(TransistorId),
+    /// The transistor is permanently conducting (at its own strength).
+    TransistorStuckClosed(TransistorId),
+    /// A bridge short: the pre-inserted fault transistor gated by
+    /// `control` conducts in the faulty circuit (see
+    /// [`crate::inject::insert_bridge`]).
+    BridgeShort {
+        /// The fault-control input node (0 in the good circuit).
+        control: NodeId,
+    },
+    /// A line open: the pre-inserted segment transistor gated by
+    /// `control` stops conducting in the faulty circuit (see
+    /// [`crate::inject::breakable_segment`]).
+    LineOpen {
+        /// The fault-control input node (1 in the good circuit).
+        control: NodeId,
+    },
+}
+
+/// The per-circuit override a fault reduces to. The fault simulators
+/// apply these as overlays on the good circuit; the network itself is
+/// never structurally modified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultEffect {
+    /// In the faulty circuit, `node` is input-classified with the fixed
+    /// value `value`.
+    ForceNode {
+        /// The overridden node.
+        node: NodeId,
+        /// The forced value.
+        value: Logic,
+    },
+    /// In the faulty circuit, transistor `t` has the fixed conduction
+    /// state `cond`, ignoring its gate.
+    ForceTransistor {
+        /// The overridden transistor.
+        t: TransistorId,
+        /// The forced conduction state.
+        cond: Conduction,
+    },
+}
+
+impl Fault {
+    /// The switch-level override implementing this fault.
+    #[must_use]
+    pub fn effect(&self) -> FaultEffect {
+        match *self {
+            Fault::NodeStuck { node, value } => FaultEffect::ForceNode { node, value },
+            Fault::TransistorStuckOpen(t) => FaultEffect::ForceTransistor {
+                t,
+                cond: Conduction::Open,
+            },
+            Fault::TransistorStuckClosed(t) => FaultEffect::ForceTransistor {
+                t,
+                cond: Conduction::Closed,
+            },
+            Fault::BridgeShort { control } => FaultEffect::ForceNode {
+                node: control,
+                value: Logic::H,
+            },
+            Fault::LineOpen { control } => FaultEffect::ForceNode {
+                node: control,
+                value: Logic::L,
+            },
+        }
+    }
+
+    /// The nodes at which good-circuit activity must trigger
+    /// re-simulation of this fault's circuit (the fault's static
+    /// *footprint*, kept minimal because every extra attachment costs a
+    /// faulty-circuit settle per nearby good event):
+    ///
+    /// * `ForceNode` — just the forced node. When the forced value
+    ///   matters to a vicinity it does so either as a member (the node
+    ///   itself, for storage nodes) or as the *gate* of a transistor
+    ///   incident on the vicinity (the bridge/open control case) — and
+    ///   the trigger support of a vicinity includes its members and all
+    ///   incident-transistor gates, so `{node}` suffices.
+    /// * `ForceTransistor` — the storage channel terminals. A vicinity
+    ///   affected by the forced conduction state necessarily contains
+    ///   at least one of them (input terminals are never members, and a
+    ///   transistor between two inputs influences nothing else).
+    #[must_use]
+    pub fn footprint(&self, net: &Network) -> Vec<NodeId> {
+        match self.effect() {
+            FaultEffect::ForceNode { node, .. } => vec![node],
+            FaultEffect::ForceTransistor { t, .. } => {
+                let tr = net.transistor(t);
+                let mut v: Vec<NodeId> = [tr.source, tr.drain]
+                    .into_iter()
+                    .filter(|&n| !net.node(n).is_input())
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        }
+    }
+
+    /// The nodes to seed the faulty circuit's *initial* private events
+    /// with (a superset of the footprint): the fault is active from
+    /// reset, so everything its forced element can influence directly
+    /// must be evaluated once — channel neighbours of a forced node,
+    /// endpoints of transistors it gates, and both ends of a forced
+    /// transistor. Input-classified nodes are harmless here (the
+    /// scheduler skips them).
+    #[must_use]
+    pub fn initial_seeds(&self, net: &Network) -> Vec<NodeId> {
+        let mut v = match self.effect() {
+            FaultEffect::ForceNode { node, .. } => {
+                let mut v = vec![node];
+                for &t in net.gated_transistors(node) {
+                    let tr = net.transistor(t);
+                    v.push(tr.source);
+                    v.push(tr.drain);
+                }
+                for &t in net.channel_transistors(node) {
+                    v.push(net.transistor(t).other_end(node));
+                }
+                v
+            }
+            FaultEffect::ForceTransistor { t, .. } => {
+                let tr = net.transistor(t);
+                vec![tr.source, tr.drain]
+            }
+        };
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// A human-readable description using node/transistor names from
+    /// `net`.
+    #[must_use]
+    pub fn describe(&self, net: &Network) -> String {
+        match *self {
+            Fault::NodeStuck { node, value } => {
+                format!(
+                    "node {} stuck-at-{}",
+                    net.node(node).name,
+                    value.to_char()
+                )
+            }
+            Fault::TransistorStuckOpen(t) => {
+                let tr = net.transistor(t);
+                format!(
+                    "transistor {t} ({}: {}-{}) stuck-open",
+                    net.node(tr.gate).name,
+                    net.node(tr.source).name,
+                    net.node(tr.drain).name
+                )
+            }
+            Fault::TransistorStuckClosed(t) => {
+                let tr = net.transistor(t);
+                format!(
+                    "transistor {t} ({}: {}-{}) stuck-closed",
+                    net.node(tr.gate).name,
+                    net.node(tr.source).name,
+                    net.node(tr.drain).name
+                )
+            }
+            Fault::BridgeShort { control } => {
+                format!("bridge short via {}", net.node(control).name)
+            }
+            Fault::LineOpen { control } => {
+                format!("line open via {}", net.node(control).name)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_netlist::{Drive, Size, TransistorType};
+
+    fn tiny() -> (Network, NodeId, TransistorId) {
+        let mut net = Network::new();
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let s = net.add_storage("S", Size::S1);
+        let t = net.add_transistor(TransistorType::N, Drive::D2, a, s, gnd);
+        (net, s, t)
+    }
+
+    #[test]
+    fn node_stuck_effect() {
+        let (_, s, _) = tiny();
+        let f = Fault::NodeStuck {
+            node: s,
+            value: Logic::H,
+        };
+        assert_eq!(
+            f.effect(),
+            FaultEffect::ForceNode {
+                node: s,
+                value: Logic::H
+            }
+        );
+    }
+
+    #[test]
+    fn transistor_stuck_effects() {
+        let (_, _, t) = tiny();
+        assert_eq!(
+            Fault::TransistorStuckOpen(t).effect(),
+            FaultEffect::ForceTransistor {
+                t,
+                cond: Conduction::Open
+            }
+        );
+        assert_eq!(
+            Fault::TransistorStuckClosed(t).effect(),
+            FaultEffect::ForceTransistor {
+                t,
+                cond: Conduction::Closed
+            }
+        );
+    }
+
+    #[test]
+    fn bridge_and_open_control_values_are_opposite() {
+        let (mut net, s, _) = tiny();
+        let ctl = net.add_input("#fault.br0", Logic::L);
+        let b = Fault::BridgeShort { control: ctl };
+        let o = Fault::LineOpen { control: ctl };
+        match (b.effect(), o.effect()) {
+            (
+                FaultEffect::ForceNode { value: vb, .. },
+                FaultEffect::ForceNode { value: vo, .. },
+            ) => {
+                assert_eq!(vb, Logic::H);
+                assert_eq!(vo, Logic::L);
+            }
+            other => panic!("unexpected effects {other:?}"),
+        }
+        let _ = s;
+    }
+
+    #[test]
+    fn footprints_are_minimal() {
+        let (net, s, t) = tiny();
+        let f = Fault::NodeStuck {
+            node: s,
+            value: Logic::L,
+        };
+        assert_eq!(f.footprint(&net), vec![s]);
+        // Transistor footprint keeps only storage terminals — rails are
+        // never vicinity members, so attaching there would make every
+        // event near ground trigger this circuit.
+        let f = Fault::TransistorStuckOpen(t);
+        assert_eq!(f.footprint(&net), vec![s]);
+    }
+
+    #[test]
+    fn control_footprint_is_the_control_only() {
+        let (mut net, s, _) = tiny();
+        let gnd = net.find_node("Gnd").expect("exists");
+        let ctl = net.add_input("#fault.br0", Logic::L);
+        net.add_transistor(TransistorType::N, Drive::FAULT, ctl, s, gnd);
+        let f = Fault::BridgeShort { control: ctl };
+        assert_eq!(f.footprint(&net), vec![ctl]);
+        // …while the initial seeds reach out to the bridged nodes.
+        let seeds = f.initial_seeds(&net);
+        assert!(seeds.contains(&ctl));
+        assert!(seeds.contains(&s));
+        assert!(seeds.contains(&gnd));
+    }
+
+    #[test]
+    fn initial_seeds_cover_neighbourhood() {
+        let (net, s, t) = tiny();
+        let f = Fault::NodeStuck {
+            node: s,
+            value: Logic::H,
+        };
+        let seeds = f.initial_seeds(&net);
+        // S's channel neighbour through the transistor is Gnd.
+        assert!(seeds.contains(&s));
+        assert!(seeds.contains(&net.find_node("Gnd").expect("exists")));
+        let f = Fault::TransistorStuckClosed(t);
+        let seeds = f.initial_seeds(&net);
+        assert_eq!(seeds.len(), 2);
+    }
+
+    #[test]
+    fn descriptions_name_things() {
+        let (net, s, t) = tiny();
+        let d = Fault::NodeStuck {
+            node: s,
+            value: Logic::H,
+        }
+        .describe(&net);
+        assert!(d.contains('S') && d.contains("stuck-at-1"), "{d}");
+        let d = Fault::TransistorStuckOpen(t).describe(&net);
+        assert!(d.contains("stuck-open"), "{d}");
+    }
+}

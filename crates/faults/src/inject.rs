@@ -1,0 +1,147 @@
+//! Structural fault injection: pre-inserted fault transistors.
+//!
+//! The DAC-85 paper (§3) injects shorts and opens "by inserting extra
+//! fault transistors in the network": a short is a very-high-strength
+//! transistor between the two nodes, set to 1 in the faulty circuit and
+//! 0 in the good circuit; an open splits a node into two parts joined by
+//! a very-high-strength transistor set the opposite way. These helpers
+//! implement that insertion; the resulting [`Fault`] values are plain
+//! per-circuit input overrides on the control nodes.
+//!
+//! Fault devices are recognisable by their control-node name prefix
+//! [`FAULT_PREFIX`], so fault-universe enumeration can exclude them from
+//! the functional fault lists.
+
+use crate::Fault;
+use fmossim_netlist::{Drive, Logic, Network, NodeId, TransistorId, TransistorType};
+
+/// Name prefix of fault-control input nodes. Nodes with this prefix —
+/// and the transistors they gate — are fault devices, not functional
+/// circuitry.
+pub const FAULT_PREFIX: &str = "#fault.";
+
+/// True iff `n` is a fault-control input created by this module.
+#[must_use]
+pub fn is_fault_control(net: &Network, n: NodeId) -> bool {
+    net.node(n).name.starts_with(FAULT_PREFIX)
+}
+
+/// True iff `t` is a fault device (gated by a fault-control node).
+#[must_use]
+pub fn is_fault_device(net: &Network, t: TransistorId) -> bool {
+    is_fault_control(net, net.transistor(t).gate)
+}
+
+/// Inserts a potential bridge short between nodes `a` and `b`.
+///
+/// Adds a fault-control input (default 0) and an n-type transistor of
+/// strength [`Drive::FAULT`] between `a` and `b` gated by it. In the
+/// good circuit the bridge never conducts; the returned
+/// [`Fault::BridgeShort`] flips the control to 1 in the faulty circuit.
+///
+/// # Panics
+///
+/// Panics if a bridge with the same `label` was already inserted.
+pub fn insert_bridge(net: &mut Network, a: NodeId, b: NodeId, label: &str) -> Fault {
+    let control = net.add_input(format!("{FAULT_PREFIX}bridge.{label}"), Logic::L);
+    net.add_transistor(TransistorType::N, Drive::FAULT, control, a, b);
+    Fault::BridgeShort { control }
+}
+
+/// Creates a *breakable segment*: a very-high-strength transistor
+/// joining `a` and `b` that conducts in the good circuit. Use this at
+/// circuit-generation time wherever a wire should be breakable: build
+/// the wire as two nodes `a`, `b` and join them with this segment.
+///
+/// Returns the [`Fault::LineOpen`] that opens the segment in a faulty
+/// circuit.
+///
+/// # Panics
+///
+/// Panics if a segment with the same `label` was already inserted.
+pub fn breakable_segment(net: &mut Network, a: NodeId, b: NodeId, label: &str) -> Fault {
+    let control = net.add_input(format!("{FAULT_PREFIX}open.{label}"), Logic::H);
+    net.add_transistor(TransistorType::N, Drive::FAULT, control, a, b);
+    Fault::LineOpen { control }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_netlist::{Size, Strength};
+    use fmossim_switch::LogicSim;
+
+    #[test]
+    fn bridge_is_inert_in_good_circuit() {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let en = net.add_input("EN", Logic::H);
+        let a = net.add_storage("A1", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, en, vdd, a);
+        let fault = insert_bridge(&mut net, a, gnd, "a-gnd");
+        let mut sim = LogicSim::new(&net);
+        sim.settle();
+        // Good circuit: A is driven high, the bridge does not conduct.
+        assert_eq!(sim.get(a), Logic::H);
+        // Activating the control (as the faulty circuit would) shorts
+        // A to ground through the γ7 device, overriding the γ2 driver.
+        match fault {
+            Fault::BridgeShort { control } => {
+                sim.set_input(control, Logic::H);
+                sim.settle();
+                assert_eq!(sim.get(a), Logic::L);
+            }
+            other => panic!("expected bridge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn segment_conducts_in_good_circuit_and_opens_in_faulty() {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let en = net.add_input("EN", Logic::H);
+        let near = net.add_storage("W.near", Size::S1);
+        let far = net.add_storage("W.far", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, en, vdd, near);
+        let fault = breakable_segment(&mut net, near, far, "w0");
+        let mut sim = LogicSim::new(&net);
+        sim.settle();
+        assert_eq!(sim.get(near), Logic::H);
+        assert_eq!(sim.get(far), Logic::H, "segment conducts normally");
+        match fault {
+            Fault::LineOpen { control } => {
+                sim.set_input(control, Logic::L);
+                sim.settle();
+                assert_eq!(sim.get(near), Logic::H);
+                // The far side is now isolated; it keeps its old charge.
+                assert_eq!(sim.get(far), Logic::H);
+            }
+            other => panic!("expected open, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_devices_are_recognised() {
+        let mut net = Network::new();
+        let a = net.add_input("A", Logic::L);
+        let b = net.add_storage("B", Size::S1);
+        let t_norm = net.add_transistor(TransistorType::N, Drive::D2, a, a, b);
+        insert_bridge(&mut net, a, b, "x");
+        let t_fault = fmossim_netlist::TransistorId::from_index(1);
+        assert!(!is_fault_device(&net, t_norm));
+        assert!(is_fault_device(&net, t_fault));
+        let ctl = net.find_node("#fault.bridge.x").expect("control exists");
+        assert!(is_fault_control(&net, ctl));
+        assert!(!is_fault_control(&net, a));
+    }
+
+    #[test]
+    fn fault_strength_dominates_all_drives() {
+        // γ7 must beat every functional strength the generators use.
+        for g in 1..=6u8 {
+            let d = Drive::new(g).expect("valid");
+            assert!(Strength::from_drive(Drive::FAULT) > Strength::from_drive(d));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Fault models for switch-level MOS circuits.
+//!
+//! FMOSSIM (Bryant & Schuster, DAC 1985 §3) represents failures directly
+//! in the switch-level model:
+//!
+//! * **Node faults** — a node behaves as an input node set to a fixed
+//!   state ([`Fault::NodeStuck`]).
+//! * **Transistor faults** — a transistor is permanently stuck open or
+//!   closed, without changing its strength
+//!   ([`Fault::TransistorStuckOpen`], [`Fault::TransistorStuckClosed`]).
+//! * **Bridge shorts** — an extra transistor of very high strength
+//!   between the two shorted nodes, gated by a *fault control* input
+//!   that is 0 in the good circuit and 1 in the faulty circuit
+//!   ([`inject::insert_bridge`], [`Fault::BridgeShort`]).
+//! * **Line opens** — a wire is split into two parts joined by a very
+//!   high strength transistor that conducts in the good circuit and is
+//!   open in the faulty circuit ([`inject::breakable_segment`],
+//!   [`Fault::LineOpen`]).
+//!
+//! Most significantly — and this is the paper's point — injecting these
+//! faults requires no modelling capability beyond the switch-level
+//! model itself: every fault reduces to a [`FaultEffect`], a per-circuit
+//! override of either a node's classification/value or a transistor's
+//! conduction.
+//!
+//! [`FaultUniverse`] enumerates the standard single-fault universes and
+//! supports seeded random sampling (the paper's §5 "random sample of
+//! the possible faults" experiments).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fault;
+pub mod inject;
+mod universe;
+
+pub use fault::{Fault, FaultEffect, FaultId};
+pub use universe::FaultUniverse;
+
+/// The default sampling seed used across the repository's harnesses
+/// and examples (the paper's publication date, 1985-07-15), so that
+/// every reported number is reproducible bit for bit.
+pub const DEFAULT_SEED: u64 = 850_715;

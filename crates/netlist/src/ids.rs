@@ -1,0 +1,89 @@
+//! Typed indices for nodes and transistors.
+
+use std::fmt;
+
+/// Identifies a node within a [`Network`](crate::Network).
+///
+/// `NodeId`s are dense indices handed out in creation order, so they can
+/// be used to index per-node side tables (`Vec`s) in simulators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifies a transistor within a [`Network`](crate::Network).
+///
+/// Dense indices in creation order, usable for per-transistor side
+/// tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransistorId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a `NodeId` from a raw index.
+    ///
+    /// The caller is responsible for the index denoting an existing node
+    /// of the network it is used with; methods taking an out-of-range id
+    /// panic.
+    #[inline]
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+
+    /// The raw dense index of this node.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TransistorId {
+    /// Creates a `TransistorId` from a raw index.
+    ///
+    /// The caller is responsible for the index denoting an existing
+    /// transistor of the network it is used with.
+    #[inline]
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        TransistorId(u32::try_from(index).expect("transistor index exceeds u32 range"))
+    }
+
+    /// The raw dense index of this transistor.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for TransistorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n.to_string(), "n42");
+        let t = TransistorId::from_index(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t.to_string(), "t7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(TransistorId::from_index(0) < TransistorId::from_index(9));
+    }
+}

@@ -1,0 +1,65 @@
+//! Switch-level network model for MOS circuits.
+//!
+//! This crate implements the network model of MOSSIM II / FMOSSIM
+//! (Bryant, *A Switch-Level Model and Simulator for MOS Digital Systems*,
+//! IEEE Trans. Computers C-33(2), 1984; Bryant & Schuster, DAC 1985):
+//! a circuit is a set of *nodes* connected by *transistors*.
+//!
+//! * Every node has a logic state [`Logic`]: `0`, `1`, or `X`
+//!   (indeterminate voltage).
+//! * Nodes are classified [`NodeClass::Input`] (externally driven, like
+//!   Vdd/Gnd/clocks) or [`NodeClass::Storage`] (state determined by the
+//!   network; holds charge when isolated).
+//! * Storage nodes carry a discrete [`Size`] modelling relative
+//!   capacitance for charge-sharing resolution.
+//! * Transistors are symmetric, bidirectional switches of a
+//!   [`TransistorType`] (`n`, `p`, or `d`) whose conduction state is a
+//!   function of the gate-node state (Table 1 of the DAC-85 paper), and
+//!   carry a discrete [`Drive`] strength modelling relative conductance
+//!   for ratioed logic.
+//!
+//! No restriction is placed on how nodes and transistors are
+//! interconnected.
+//!
+//! # Example
+//!
+//! Building an nMOS inverter (depletion pull-up, enhancement pull-down):
+//!
+//! ```
+//! use fmossim_netlist::{Network, Logic, TransistorType, Drive, Size};
+//!
+//! let mut net = Network::new();
+//! let vdd = net.add_input("Vdd", Logic::H);
+//! let gnd = net.add_input("Gnd", Logic::L);
+//! let a = net.add_input("A", Logic::X);
+//! let out = net.add_storage("OUT", Size::S1);
+//! // Weak depletion load: always conducting, strength 1.
+//! net.add_transistor(TransistorType::D, Drive::D1, out, vdd, out);
+//! // Strong pull-down, strength 2.
+//! net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+//! assert_eq!(net.num_nodes(), 4);
+//! assert_eq!(net.num_transistors(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod format;
+mod ids;
+mod logic;
+mod network;
+mod simformat;
+mod stats;
+mod strength;
+mod ttype;
+
+pub use error::NetlistError;
+pub use format::{parse_netlist, write_netlist};
+pub use ids::{NodeId, TransistorId};
+pub use logic::Logic;
+pub use network::{Network, Node, NodeClass, Transistor};
+pub use simformat::{parse_sim, SimImportOptions, SimImportReport};
+pub use stats::NetworkStats;
+pub use strength::{Drive, Size, Strength};
+pub use ttype::{Conduction, TransistorType};

@@ -1,0 +1,225 @@
+//! The ternary logic value domain.
+
+use std::fmt;
+
+/// A switch-level logic state: low, high, or indeterminate.
+///
+/// `X` represents an indeterminate voltage arising from an uninitialized
+/// node, a short circuit, or improper charge sharing. In the information
+/// ordering, `X` is *less defined* than `L` and `H`; [`Logic::lub`]
+/// computes the least upper bound in the *uncertainty* direction
+/// (combining conflicting signals yields `X`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Logic {
+    /// Logic low (0 volts).
+    L,
+    /// Logic high (supply voltage).
+    H,
+    /// Indeterminate voltage.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// All three states, in a fixed order (useful for exhaustive tests).
+    pub const ALL: [Logic; 3] = [Logic::L, Logic::H, Logic::X];
+
+    /// Converts a boolean to a definite logic level.
+    ///
+    /// ```
+    /// use fmossim_netlist::Logic;
+    /// assert_eq!(Logic::from_bool(true), Logic::H);
+    /// assert_eq!(Logic::from_bool(false), Logic::L);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::H
+        } else {
+            Logic::L
+        }
+    }
+
+    /// Returns `Some(true)` for `H`, `Some(false)` for `L`, `None` for `X`.
+    #[inline]
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::L => Some(false),
+            Logic::H => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// True iff the state is `L` or `H`.
+    #[inline]
+    #[must_use]
+    pub fn is_definite(self) -> bool {
+        self != Logic::X
+    }
+
+    /// Boolean negation extended to ternary logic (`X` stays `X`).
+    ///
+    /// ```
+    /// use fmossim_netlist::Logic;
+    /// assert_eq!(Logic::H.not(), Logic::L);
+    /// assert_eq!(Logic::X.not(), Logic::X);
+    /// ```
+    #[inline]
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // `std::ops::Not` is also implemented
+    pub fn not(self) -> Self {
+        match self {
+            Logic::L => Logic::H,
+            Logic::H => Logic::L,
+            Logic::X => Logic::X,
+        }
+    }
+
+    /// Least upper bound in the uncertainty ordering: combining two
+    /// signals of conflicting definite value yields `X`; `X` absorbs
+    /// everything.
+    ///
+    /// ```
+    /// use fmossim_netlist::Logic;
+    /// assert_eq!(Logic::H.lub(Logic::H), Logic::H);
+    /// assert_eq!(Logic::H.lub(Logic::L), Logic::X);
+    /// assert_eq!(Logic::L.lub(Logic::X), Logic::X);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn lub(self, other: Self) -> Self {
+        if self == other {
+            self
+        } else {
+            Logic::X
+        }
+    }
+
+    /// Refinement check: `self` is consistent with (can resolve to)
+    /// `definite`. `X` is consistent with every state; a definite state
+    /// is consistent only with itself.
+    ///
+    /// Used by the ternary-monotonicity property tests: if an input is
+    /// refined from `X` to a definite value, every node's new state must
+    /// be consistent with its old state.
+    #[inline]
+    #[must_use]
+    pub fn admits(self, definite: Self) -> bool {
+        self == Logic::X || self == definite
+    }
+
+    /// The canonical single-character display used by the netlist format
+    /// and trace dumps.
+    #[inline]
+    #[must_use]
+    pub fn to_char(self) -> char {
+        match self {
+            Logic::L => '0',
+            Logic::H => '1',
+            Logic::X => 'X',
+        }
+    }
+
+    /// Parses the canonical single-character form accepted by the
+    /// netlist format (`0`, `1`, `X`/`x`).
+    #[must_use]
+    pub fn from_char(c: char) -> Option<Self> {
+        match c {
+            '0' => Some(Logic::L),
+            '1' => Some(Logic::H),
+            'X' | 'x' => Some(Logic::X),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl std::ops::Not for Logic {
+    type Output = Logic;
+
+    fn not(self) -> Logic {
+        Logic::not(self)
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_is_involution_on_definite() {
+        assert_eq!(Logic::L.not().not(), Logic::L);
+        assert_eq!(Logic::H.not().not(), Logic::H);
+        assert_eq!(Logic::X.not(), Logic::X);
+    }
+
+    #[test]
+    fn lub_is_commutative_and_idempotent() {
+        for a in Logic::ALL {
+            assert_eq!(a.lub(a), a);
+            for b in Logic::ALL {
+                assert_eq!(a.lub(b), b.lub(a));
+            }
+        }
+    }
+
+    #[test]
+    fn lub_is_associative() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                for c in Logic::ALL {
+                    assert_eq!(a.lub(b).lub(c), a.lub(b.lub(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn x_absorbs() {
+        for a in Logic::ALL {
+            assert_eq!(a.lub(Logic::X), Logic::X);
+        }
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        assert_eq!(Logic::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Logic::from_bool(false).to_bool(), Some(false));
+        assert_eq!(Logic::X.to_bool(), None);
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for a in Logic::ALL {
+            assert_eq!(Logic::from_char(a.to_char()), Some(a));
+        }
+        assert_eq!(Logic::from_char('z'), None);
+        assert_eq!(Logic::from_char('x'), Some(Logic::X));
+    }
+
+    #[test]
+    fn admits_rules() {
+        assert!(Logic::X.admits(Logic::L));
+        assert!(Logic::X.admits(Logic::H));
+        assert!(Logic::L.admits(Logic::L));
+        assert!(!Logic::L.admits(Logic::H));
+    }
+
+    #[test]
+    fn default_is_x() {
+        assert_eq!(Logic::default(), Logic::X);
+    }
+}

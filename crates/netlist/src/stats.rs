@@ -1,0 +1,118 @@
+//! Summary statistics of a network, as reported in the paper's
+//! evaluation section ("RAM64 contains 378 transistors and 229 nodes").
+
+use crate::{Network, TransistorType};
+use std::fmt;
+
+/// Aggregate counts describing a [`Network`].
+///
+/// Produced by [`NetworkStats::of`]; printed by the benchmark harness to
+/// compare against the circuit sizes quoted in the paper.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Total node count (inputs + storage).
+    pub nodes: usize,
+    /// Number of input nodes.
+    pub inputs: usize,
+    /// Number of storage nodes.
+    pub storage: usize,
+    /// Total transistor count.
+    pub transistors: usize,
+    /// n-type transistor count.
+    pub n_type: usize,
+    /// p-type transistor count.
+    pub p_type: usize,
+    /// d-type (depletion) transistor count.
+    pub d_type: usize,
+    /// Maximum channel degree over all nodes (how "bus-like" the
+    /// worst node is; bit lines dominate here).
+    pub max_channel_degree: usize,
+    /// Maximum fan-out (gates driven) over all nodes.
+    pub max_gate_fanout: usize,
+}
+
+impl NetworkStats {
+    /// Computes statistics for `net`.
+    #[must_use]
+    pub fn of(net: &Network) -> Self {
+        let mut s = NetworkStats {
+            nodes: net.num_nodes(),
+            transistors: net.num_transistors(),
+            ..NetworkStats::default()
+        };
+        for (_, node) in net.nodes() {
+            if node.is_input() {
+                s.inputs += 1;
+            } else {
+                s.storage += 1;
+            }
+        }
+        for (_, t) in net.transistors() {
+            match t.ttype {
+                TransistorType::N => s.n_type += 1,
+                TransistorType::P => s.p_type += 1,
+                TransistorType::D => s.d_type += 1,
+            }
+        }
+        for id in net.node_ids() {
+            s.max_channel_degree = s.max_channel_degree.max(net.channel_transistors(id).len());
+            s.max_gate_fanout = s.max_gate_fanout.max(net.gated_transistors(id).len());
+        }
+        s
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} transistors ({}n/{}p/{}d), {} nodes ({} inputs, {} storage), \
+             max channel degree {}, max fan-out {}",
+            self.transistors,
+            self.n_type,
+            self.p_type,
+            self.d_type,
+            self.nodes,
+            self.inputs,
+            self.storage,
+            self.max_channel_degree,
+            self.max_gate_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Drive, Logic, Size};
+
+    #[test]
+    fn counts_inverter() {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::X);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::D, Drive::D1, out, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+        let s = NetworkStats::of(&net);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.inputs, 3);
+        assert_eq!(s.storage, 1);
+        assert_eq!(s.transistors, 2);
+        assert_eq!(s.n_type, 1);
+        assert_eq!(s.d_type, 1);
+        assert_eq!(s.p_type, 0);
+        assert_eq!(s.max_channel_degree, 2); // OUT touches both
+        assert_eq!(s.max_gate_fanout, 1);
+        let text = s.to_string();
+        assert!(text.contains("2 transistors"));
+        assert!(text.contains("4 nodes"));
+    }
+
+    #[test]
+    fn empty_network() {
+        let s = NetworkStats::of(&Network::new());
+        assert_eq!(s, NetworkStats::default());
+    }
+}

@@ -1,0 +1,260 @@
+//! The signal-strength lattice.
+//!
+//! Bryant's switch-level model resolves node states by comparing signal
+//! *strengths* drawn from a totally ordered set
+//!
+//! ```text
+//! λ < κ1 < κ2 < … < κ7 < γ1 < γ2 < … < γ7 < ω
+//! ```
+//!
+//! where λ is the absent signal, κ* are charge (node-size) strengths,
+//! γ* are transistor drive strengths, and ω is the strength of an input
+//! node (an ideal voltage source). A signal transmitted through a
+//! conducting transistor is attenuated to the minimum of its strength
+//! and the transistor's drive strength; stored charge sources a signal
+//! at the node's size strength.
+
+use std::fmt;
+
+/// Maximum number of distinct node sizes (κ1 … κ7).
+pub const MAX_SIZES: u8 = 7;
+/// Maximum number of distinct transistor drive strengths (γ1 … γ7).
+pub const MAX_DRIVES: u8 = 7;
+
+/// A storage-node size: the relative capacitance class κ1 < … < κ7.
+///
+/// Most circuits need only two sizes ([`Size::S1`] for ordinary nodes,
+/// [`Size::S2`] for high-capacitance nodes such as buses); larger values
+/// are available for unusual structures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Size(u8);
+
+/// A transistor drive strength: the relative conductance class
+/// γ1 < … < γ7.
+///
+/// Most CMOS circuits need one strength; nMOS ratioed logic needs two
+/// (weak pull-up loads vs. everything else); fault-injection transistors
+/// use a very high strength so a short overrides normal drivers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Drive(u8);
+
+impl Size {
+    /// κ1, the default size of ordinary storage nodes.
+    pub const S1: Size = Size(1);
+    /// κ2, conventionally used for high-capacitance nodes (buses).
+    pub const S2: Size = Size(2);
+
+    /// Creates a size class `k` (κ`k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` unless `1 <= k <= MAX_SIZES`.
+    #[must_use]
+    pub fn new(k: u8) -> Option<Self> {
+        (1..=MAX_SIZES).contains(&k).then_some(Size(k))
+    }
+
+    /// The size class index (1-based).
+    #[inline]
+    #[must_use]
+    pub fn level(self) -> u8 {
+        self.0
+    }
+}
+
+impl Drive {
+    /// γ1, conventionally the weak (pull-up load) strength.
+    pub const D1: Drive = Drive(1);
+    /// γ2, conventionally the normal enhancement-transistor strength.
+    pub const D2: Drive = Drive(2);
+    /// γ3, a stronger class, free for circuit-specific use.
+    pub const D3: Drive = Drive(3);
+    /// γ7, the strongest class; used for fault-injection (short/open)
+    /// transistors so that a short dominates any functional driver.
+    pub const FAULT: Drive = Drive(MAX_DRIVES);
+
+    /// Creates a drive class `g` (γ`g`).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` unless `1 <= g <= MAX_DRIVES`.
+    #[must_use]
+    pub fn new(g: u8) -> Option<Self> {
+        (1..=MAX_DRIVES).contains(&g).then_some(Drive(g))
+    }
+
+    /// The drive class index (1-based).
+    #[inline]
+    #[must_use]
+    pub fn level(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for Size {
+    fn default() -> Self {
+        Size::S1
+    }
+}
+
+impl Default for Drive {
+    fn default() -> Self {
+        Drive::D2
+    }
+}
+
+/// A point in the full strength lattice λ < κ* < γ* < ω.
+///
+/// `Strength` is the value the steady-state solver computes fixed points
+/// over; it is `Copy`, totally ordered, and cheap to compare (a single
+/// byte internally).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Strength(u8);
+
+impl Strength {
+    /// λ: no signal.
+    pub const NONE: Strength = Strength(0);
+    /// ω: the strength of an input node (ideal source).
+    pub const INPUT: Strength = Strength(u8::MAX);
+
+    /// The strength of stored charge on a node of size `s` (κ level).
+    #[inline]
+    #[must_use]
+    pub fn from_size(s: Size) -> Self {
+        Strength(s.0)
+    }
+
+    /// The strength of a driven signal through a transistor of drive
+    /// strength `d` (γ level; ranks above every κ).
+    #[inline]
+    #[must_use]
+    pub fn from_drive(d: Drive) -> Self {
+        Strength(MAX_SIZES + d.0)
+    }
+
+    /// Signal attenuation: a signal of strength `self` passing through a
+    /// transistor of drive `d` emerges with the minimum of the two
+    /// strengths (an ideal-source ω signal becomes γ-strength; charge
+    /// signals pass unattenuated because κ < γ).
+    #[inline]
+    #[must_use]
+    pub fn through(self, d: Drive) -> Self {
+        self.min(Strength::from_drive(d))
+    }
+
+    /// True iff this is λ (no signal).
+    #[inline]
+    #[must_use]
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True iff this is a charge-class (κ) strength.
+    #[inline]
+    #[must_use]
+    pub fn is_charge(self) -> bool {
+        (1..=MAX_SIZES).contains(&self.0)
+    }
+
+    /// True iff this is a drive-class (γ) strength.
+    #[inline]
+    #[must_use]
+    pub fn is_drive(self) -> bool {
+        (MAX_SIZES + 1..=MAX_SIZES + MAX_DRIVES).contains(&self.0)
+    }
+}
+
+impl fmt::Display for Strength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "λ")
+        } else if *self == Strength::INPUT {
+            write!(f, "ω")
+        } else if self.is_charge() {
+            write!(f, "κ{}", self.0)
+        } else {
+            write!(f, "γ{}", self.0 - MAX_SIZES)
+        }
+    }
+}
+
+impl fmt::Display for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "κ{}", self.0)
+    }
+}
+
+impl fmt::Display for Drive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "γ{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_total_order() {
+        // λ < κ1 < κ7 < γ1 < γ7 < ω
+        let none = Strength::NONE;
+        let k1 = Strength::from_size(Size::S1);
+        let k7 = Strength::from_size(Size::new(7).unwrap());
+        let g1 = Strength::from_drive(Drive::D1);
+        let g7 = Strength::from_drive(Drive::FAULT);
+        let omega = Strength::INPUT;
+        assert!(none < k1);
+        assert!(k1 < k7);
+        assert!(k7 < g1);
+        assert!(g1 < g7);
+        assert!(g7 < omega);
+    }
+
+    #[test]
+    fn attenuation_caps_at_drive() {
+        let g2 = Drive::D2;
+        assert_eq!(Strength::INPUT.through(g2), Strength::from_drive(g2));
+        // A weaker signal passes unchanged.
+        let k1 = Strength::from_size(Size::S1);
+        assert_eq!(k1.through(g2), k1);
+        // A stronger drive is capped.
+        let g3 = Strength::from_drive(Drive::D3);
+        assert_eq!(g3.through(g2), Strength::from_drive(g2));
+    }
+
+    #[test]
+    fn constructors_validate_range() {
+        assert!(Size::new(0).is_none());
+        assert!(Size::new(8).is_none());
+        assert!(Size::new(7).is_some());
+        assert!(Drive::new(0).is_none());
+        assert!(Drive::new(8).is_none());
+        assert!(Drive::new(1).is_some());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Strength::NONE.is_none());
+        assert!(Strength::from_size(Size::S2).is_charge());
+        assert!(Strength::from_drive(Drive::D1).is_drive());
+        assert!(!Strength::INPUT.is_drive());
+        assert!(!Strength::INPUT.is_charge());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Strength::NONE.to_string(), "λ");
+        assert_eq!(Strength::INPUT.to_string(), "ω");
+        assert_eq!(Strength::from_size(Size::S2).to_string(), "κ2");
+        assert_eq!(Strength::from_drive(Drive::D3).to_string(), "γ3");
+        assert_eq!(Size::S1.to_string(), "κ1");
+        assert_eq!(Drive::D2.to_string(), "γ2");
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(Size::default(), Size::S1);
+        assert_eq!(Drive::default(), Drive::D2);
+        assert_eq!(Strength::default(), Strength::NONE);
+    }
+}

@@ -1,0 +1,182 @@
+//! Transistor types and the gate-state → conduction-state function.
+
+use crate::Logic;
+use std::fmt;
+
+/// The conduction state of a transistor switch.
+///
+/// `Open`/`Closed` correspond to transistor states 0/1 in the paper;
+/// [`Conduction::Maybe`] (state X) is an indeterminate condition between
+/// open and closed, inclusive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Conduction {
+    /// Definitely non-conducting (state 0).
+    Open,
+    /// Definitely fully conducting (state 1).
+    Closed,
+    /// Possibly conducting (state X).
+    #[default]
+    Maybe,
+}
+
+impl Conduction {
+    /// True iff the switch definitely conducts.
+    #[inline]
+    #[must_use]
+    pub fn is_closed(self) -> bool {
+        self == Conduction::Closed
+    }
+
+    /// True iff the switch *may* conduct (state 1 or X). Vicinity
+    /// extraction uses this: the paper's conducting paths are through
+    /// transistors in the 1 *or* X state.
+    #[inline]
+    #[must_use]
+    pub fn may_conduct(self) -> bool {
+        self != Conduction::Open
+    }
+}
+
+impl fmt::Display for Conduction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Conduction::Open => "0",
+            Conduction::Closed => "1",
+            Conduction::Maybe => "X",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The type of a transistor: n-channel, p-channel, or depletion.
+///
+/// A d-type transistor corresponds to a negative-threshold depletion-mode
+/// device: it conducts regardless of its gate state and is used for nMOS
+/// pull-up loads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TransistorType {
+    /// n-channel enhancement: conducts when the gate is high.
+    N,
+    /// p-channel enhancement: conducts when the gate is low.
+    P,
+    /// Depletion mode: always conducts.
+    D,
+}
+
+impl TransistorType {
+    /// All transistor types (for exhaustive tests and fault universes).
+    pub const ALL: [TransistorType; 3] = [TransistorType::N, TransistorType::P, TransistorType::D];
+
+    /// Transistor state as a function of gate-node state — Table 1 of
+    /// the DAC-85 paper:
+    ///
+    /// | gate | n-type | p-type | d-type |
+    /// |------|--------|--------|--------|
+    /// | 0    | 0      | 1      | 1      |
+    /// | 1    | 1      | 0      | 1      |
+    /// | X    | X      | X      | 1      |
+    ///
+    /// ```
+    /// use fmossim_netlist::{TransistorType, Logic, Conduction};
+    /// assert_eq!(TransistorType::N.conduction(Logic::H), Conduction::Closed);
+    /// assert_eq!(TransistorType::P.conduction(Logic::H), Conduction::Open);
+    /// assert_eq!(TransistorType::D.conduction(Logic::X), Conduction::Closed);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn conduction(self, gate: Logic) -> Conduction {
+        match (self, gate) {
+            (TransistorType::D, _) => Conduction::Closed,
+            (TransistorType::N, Logic::H) | (TransistorType::P, Logic::L) => Conduction::Closed,
+            (TransistorType::N, Logic::L) | (TransistorType::P, Logic::H) => Conduction::Open,
+            (TransistorType::N, Logic::X) | (TransistorType::P, Logic::X) => Conduction::Maybe,
+        }
+    }
+
+    /// The canonical single-character form used by the netlist format.
+    #[inline]
+    #[must_use]
+    pub fn to_char(self) -> char {
+        match self {
+            TransistorType::N => 'n',
+            TransistorType::P => 'p',
+            TransistorType::D => 'd',
+        }
+    }
+
+    /// Parses the canonical single-character form (`n`, `p`, `d`).
+    #[must_use]
+    pub fn from_char(c: char) -> Option<Self> {
+        match c {
+            'n' => Some(TransistorType::N),
+            'p' => Some(TransistorType::P),
+            'd' => Some(TransistorType::D),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TransistorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive check of Table 1 from the paper.
+    #[test]
+    fn table_1() {
+        use Conduction::*;
+        use Logic::*;
+        let expect = [
+            // (type, gate, state)
+            (TransistorType::N, L, Open),
+            (TransistorType::N, H, Closed),
+            (TransistorType::N, X, Maybe),
+            (TransistorType::P, L, Closed),
+            (TransistorType::P, H, Open),
+            (TransistorType::P, X, Maybe),
+            (TransistorType::D, L, Closed),
+            (TransistorType::D, H, Closed),
+            (TransistorType::D, X, Closed),
+        ];
+        for (ty, gate, want) in expect {
+            assert_eq!(ty.conduction(gate), want, "{ty} gate={gate}");
+        }
+    }
+
+    #[test]
+    fn conduction_predicates() {
+        assert!(Conduction::Closed.is_closed());
+        assert!(!Conduction::Maybe.is_closed());
+        assert!(Conduction::Maybe.may_conduct());
+        assert!(Conduction::Closed.may_conduct());
+        assert!(!Conduction::Open.may_conduct());
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for ty in TransistorType::ALL {
+            assert_eq!(TransistorType::from_char(ty.to_char()), Some(ty));
+        }
+        assert_eq!(TransistorType::from_char('q'), None);
+    }
+
+    /// Ternary monotonicity of the conduction function: refining an X
+    /// gate to a definite value must refine (not contradict) the result.
+    #[test]
+    fn conduction_is_monotone() {
+        for ty in TransistorType::ALL {
+            let at_x = ty.conduction(Logic::X);
+            for g in [Logic::L, Logic::H] {
+                let refined = ty.conduction(g);
+                if at_x != Conduction::Maybe {
+                    assert_eq!(at_x, refined, "{ty}: definite-at-X must be stable");
+                }
+            }
+        }
+    }
+}

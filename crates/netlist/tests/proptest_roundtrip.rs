@@ -1,0 +1,92 @@
+//! Property tests: random networks survive a format round-trip, and the
+//! strength lattice behaves like a bounded total order.
+
+use fmossim_netlist::{
+    parse_netlist, write_netlist, Drive, Logic, Network, NodeClass, Size, Strength,
+    TransistorType,
+};
+use proptest::prelude::*;
+
+/// Strategy for a random valid network with `1..=max_nodes` nodes and
+/// `0..=max_t` transistors among them.
+fn arb_network(max_nodes: usize, max_t: usize) -> impl Strategy<Value = Network> {
+    let node = (any::<bool>(), 0u8..3, 1u8..=7).prop_map(|(is_input, val, size)| {
+        if is_input {
+            NodeClass::Input(match val {
+                0 => Logic::L,
+                1 => Logic::H,
+                _ => Logic::X,
+            })
+        } else {
+            NodeClass::Storage(Size::new(size).expect("size in range"))
+        }
+    });
+    (
+        prop::collection::vec(node, 1..=max_nodes),
+        prop::collection::vec((0u8..3, 1u8..=7, any::<u16>(), any::<u16>(), any::<u16>()), 0..=max_t),
+    )
+        .prop_map(|(classes, trans)| {
+            let mut net = Network::new();
+            let n = classes.len();
+            for (i, class) in classes.into_iter().enumerate() {
+                net.try_add_node(format!("N{i}"), class).expect("unique");
+            }
+            let ids: Vec<_> = net.node_ids().collect();
+            for (ty, g, a, b, c) in trans {
+                let ttype = match ty {
+                    0 => TransistorType::N,
+                    1 => TransistorType::P,
+                    _ => TransistorType::D,
+                };
+                let strength = Drive::new(g).expect("drive in range");
+                let gate = ids[a as usize % n];
+                let source = ids[b as usize % n];
+                let drain = ids[c as usize % n];
+                net.add_transistor(ttype, strength, gate, source, drain);
+            }
+            net
+        })
+}
+
+proptest! {
+    #[test]
+    fn format_roundtrip(net in arb_network(20, 40)) {
+        let text = write_netlist(&net);
+        let back = parse_netlist(&text).expect("canonical output parses");
+        prop_assert_eq!(net.num_nodes(), back.num_nodes());
+        prop_assert_eq!(net.num_transistors(), back.num_transistors());
+        for id in net.node_ids() {
+            prop_assert_eq!(net.node(id), back.node(id));
+        }
+        for id in net.transistor_ids() {
+            prop_assert_eq!(net.transistor(id), back.transistor(id));
+        }
+    }
+
+    #[test]
+    fn strength_through_is_monotone_and_capped(
+        s1 in 1u8..=7, s2 in 1u8..=7, d in 1u8..=7
+    ) {
+        let a = Strength::from_size(Size::new(s1).unwrap());
+        let b = Strength::from_drive(Drive::new(s2).unwrap());
+        let dr = Drive::new(d).unwrap();
+        // Monotone: x <= y implies x.through(d) <= y.through(d).
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(lo.through(dr) <= hi.through(dr));
+        // Capped: never exceeds the drive strength.
+        prop_assert!(a.through(dr) <= Strength::from_drive(dr));
+        prop_assert!(Strength::INPUT.through(dr) == Strength::from_drive(dr));
+    }
+
+    #[test]
+    fn conduction_total_on_logic(ty in 0u8..3, g in 0u8..3) {
+        let ttype = [TransistorType::N, TransistorType::P, TransistorType::D][ty as usize];
+        let gate = Logic::ALL[g as usize];
+        // Function is total and d-type always conducts.
+        let c = ttype.conduction(gate);
+        if ttype == TransistorType::D {
+            prop_assert!(c.is_closed());
+        }
+        let _ = c.may_conduct();
+    }
+}

@@ -1,0 +1,511 @@
+//! The event-driven unit-delay scheduler.
+//!
+//! A *settle* drains a queue of perturbed nodes in rounds: every round
+//! extracts the vicinity of each pending node, solves its steady state,
+//! applies the new node values, and schedules the channel ends of every
+//! transistor whose conduction state was changed by the round for the
+//! *next* round — the unit-delay model of MOSSIM II. Settling ends when
+//! a round produces no new perturbations.
+//!
+//! If the network oscillates (e.g. a ring oscillator, or a fault turning
+//! a gate into one), the round count exceeds
+//! [`EngineConfig::max_rounds`] and the engine enters *X-damping* mode:
+//! from then on a node that would change state moves to the least upper
+//! bound of old and new value instead. States then move only towards
+//! `X`, which bounds the remaining work and leaves the oscillating set
+//! at `X` — the MOSSIM II treatment of unstable networks.
+
+use crate::solve::Scratch;
+use crate::state::SwitchState;
+use fmossim_netlist::{Logic, Network, NodeId, TransistorId};
+
+/// Vicinity partitioning discipline; see the DAC-85 paper's §4
+/// discussion of dynamic vs. static locality.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LocalityMode {
+    /// Bound vicinities by conduction state (MOSSIM II / FMOSSIM):
+    /// source and drain of an open transistor are electrically isolated.
+    #[default]
+    Dynamic,
+    /// Bound vicinities only by DC-connected components, as earlier
+    /// switch-level simulators did. Functionally identical results,
+    /// larger groups; used by the locality ablation benchmark.
+    Static,
+}
+
+/// Tunables for the [`Engine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Rounds after which oscillation damping (forcing changing nodes
+    /// towards `X`) begins.
+    pub max_rounds: usize,
+    /// Vicinity partitioning discipline.
+    pub locality: LocalityMode,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_rounds: 400,
+            locality: LocalityMode::Dynamic,
+        }
+    }
+}
+
+/// Outcome of one [`Engine::settle`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SettleReport {
+    /// Number of unit-delay rounds executed.
+    pub rounds: usize,
+    /// Number of vicinities extracted and solved.
+    pub groups_solved: usize,
+    /// Number of node state changes applied.
+    pub nodes_changed: usize,
+    /// True iff oscillation damping was engaged (some nodes were forced
+    /// to `X` to terminate).
+    pub oscillation_damped: bool,
+}
+
+impl SettleReport {
+    /// Merges the counters of two reports (used when a simulation phase
+    /// settles in several steps).
+    #[must_use]
+    pub fn merged(self, other: SettleReport) -> SettleReport {
+        SettleReport {
+            rounds: self.rounds + other.rounds,
+            groups_solved: self.groups_solved + other.groups_solved,
+            nodes_changed: self.nodes_changed + other.nodes_changed,
+            oscillation_damped: self.oscillation_damped || other.oscillation_damped,
+        }
+    }
+}
+
+/// A solved vicinity, passed to the observer of
+/// [`Engine::settle_observed`].
+///
+/// The concurrent fault simulator uses this to compute the *support* of
+/// each good-circuit event — the set of nodes at which a divergence
+/// record or fault attachment means a faulty circuit must re-simulate
+/// this event privately.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupView<'a> {
+    /// Storage nodes of the vicinity.
+    pub members: &'a [NodeId],
+    /// All transistors incident on the vicinity (conducting or not —
+    /// a divergence on any of their gates can change the vicinity's
+    /// boundary in a faulty circuit).
+    pub incident_transistors: &'a [TransistorId],
+    /// Input nodes feeding the vicinity through channel connections.
+    pub boundary_inputs: &'a [NodeId],
+    /// State changes applied by this solve: `(node, old, new)`.
+    pub changed: &'a [(NodeId, Logic, Logic)],
+}
+
+impl GroupView<'_> {
+    /// Iterates over the gate nodes of all incident transistors.
+    pub fn incident_gates<'n>(&self, net: &'n Network) -> impl Iterator<Item = NodeId> + use<'_, 'n> {
+        self.incident_transistors
+            .iter()
+            .map(move |&t| net.transistor(t).gate)
+    }
+}
+
+/// The unit-delay event scheduler. Owns the perturbation queues and the
+/// solver scratch; generic over the [`SwitchState`] being simulated so
+/// the same engine drives good, concurrent-faulty and serial-faulty
+/// circuits.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    scratch: Scratch,
+    /// Nodes to process this round.
+    queue: Vec<NodeId>,
+    /// Nodes scheduled for the next round.
+    next_queue: Vec<NodeId>,
+    /// Per-node flag: node is in `next_queue`.
+    queued: Vec<bool>,
+    /// Per-node stamp of the round in which the node was last solved.
+    solved_round: Vec<u64>,
+    round_id: u64,
+    changed_buf: Vec<(NodeId, Logic, Logic)>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine sized for `net`, with default configuration.
+    #[must_use]
+    pub fn new(net: &Network) -> Self {
+        Engine::with_config(net, EngineConfig::default())
+    }
+
+    /// Creates an engine sized for `net` with an explicit configuration.
+    #[must_use]
+    pub fn with_config(net: &Network, config: EngineConfig) -> Self {
+        Engine {
+            scratch: Scratch::new(net.num_nodes(), net.num_transistors()),
+            queue: Vec::new(),
+            next_queue: Vec::new(),
+            queued: vec![false; net.num_nodes()],
+            solved_round: vec![0; net.num_nodes()],
+            round_id: 0,
+            changed_buf: Vec::new(),
+            config,
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// True iff perturbations are pending (a settle would do work).
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        !self.next_queue.is_empty()
+    }
+
+    /// Schedules node `n` for (re-)evaluation at the next settle.
+    /// Input-classified nodes are filtered out at processing time, so
+    /// perturbing them is harmless.
+    #[inline]
+    pub fn perturb(&mut self, n: NodeId) {
+        Self::push(&mut self.next_queue, &mut self.queued, n);
+    }
+
+    /// Schedules every storage node — used to initialize a simulation.
+    pub fn perturb_all_storage<S: SwitchState>(&mut self, st: &S) {
+        let ids: Vec<NodeId> = st
+            .network()
+            .node_ids()
+            .filter(|&n| !st.is_input(n))
+            .collect();
+        for n in ids {
+            self.perturb(n);
+        }
+    }
+
+    /// Changes the state of input node `n` to `v` and schedules all
+    /// consequences: channel neighbours reachable through possibly
+    /// conducting transistors, and the channel ends of every transistor
+    /// gated by `n` whose conduction state changes.
+    ///
+    /// Does nothing if the input already has value `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not input-classified under `st`.
+    pub fn apply_input<S: SwitchState>(&mut self, st: &mut S, n: NodeId, v: Logic) {
+        assert!(st.is_input(n), "apply_input requires an input node");
+        let old = st.node_state(n);
+        if old == v {
+            return;
+        }
+        st.set_node_state(n, v);
+        self.wake_neighbours(st, n, old, v);
+    }
+
+    /// Schedules the consequences of node `n` having changed `old → new`
+    /// by external action (input application or fault planting).
+    pub fn wake_neighbours<S: SwitchState>(&mut self, st: &S, n: NodeId, old: Logic, new: Logic) {
+        let net = st.network();
+        for &t in net.gated_transistors(n) {
+            let tr = net.transistor(t);
+            if tr.ttype.conduction(old) != tr.ttype.conduction(new) {
+                Self::push(&mut self.next_queue, &mut self.queued, tr.source);
+                Self::push(&mut self.next_queue, &mut self.queued, tr.drain);
+            }
+        }
+        for &t in net.channel_transistors(n) {
+            if st.conduction(t).may_conduct() {
+                let other = net.transistor(t).other_end(n);
+                Self::push(&mut self.next_queue, &mut self.queued, other);
+            }
+        }
+    }
+
+    /// Drains all pending perturbations, solving vicinities round by
+    /// round until the network is stable. Equivalent to
+    /// [`Engine::settle_observed`] with a no-op observer.
+    pub fn settle<S: SwitchState>(&mut self, st: &mut S) -> SettleReport {
+        self.settle_observed(st, |_| {})
+    }
+
+    /// Drains all pending perturbations, invoking `observer` once per
+    /// solved vicinity with the group's members, incident transistors,
+    /// boundary inputs and applied changes.
+    pub fn settle_observed<S, F>(&mut self, st: &mut S, mut observer: F) -> SettleReport
+    where
+        S: SwitchState,
+        F: FnMut(&GroupView<'_>),
+    {
+        let mut report = SettleReport::default();
+        let static_locality = self.config.locality == LocalityMode::Static;
+        while !self.next_queue.is_empty() {
+            report.rounds += 1;
+            let x_damp = report.rounds > self.config.max_rounds;
+            report.oscillation_damped |= x_damp && !self.next_queue.is_empty();
+            self.round_id += 1;
+            std::mem::swap(&mut self.queue, &mut self.next_queue);
+            // `queued` flags travel with the nodes into `queue`; clear
+            // them as nodes are consumed so re-perturbation in this
+            // round lands in `next_queue`.
+            for qi in 0..self.queue.len() {
+                let seed = self.queue[qi];
+                self.queued[seed.index()] = false;
+            }
+            for qi in 0..self.queue.len() {
+                let seed = self.queue[qi];
+                if st.is_input(seed) {
+                    continue; // inputs hold their externally set value
+                }
+                if self.solved_round[seed.index()] == self.round_id {
+                    continue; // already solved as part of an earlier group
+                }
+                self.scratch.extract(st, seed, static_locality);
+                self.scratch.steady_state(st);
+                let (members, values) = (&self.scratch.members, &self.scratch.out_values);
+                report.groups_solved += 1;
+                self.changed_buf.clear();
+                for (i, &m) in members.iter().enumerate() {
+                    self.solved_round[m.index()] = self.round_id;
+                    let old = st.node_state(m);
+                    let mut new = values[i];
+                    if x_damp {
+                        new = old.lub(new);
+                    }
+                    if new != old {
+                        st.set_node_state(m, new);
+                        self.changed_buf.push((m, old, new));
+                    }
+                }
+                report.nodes_changed += self.changed_buf.len();
+                observer(&GroupView {
+                    members,
+                    incident_transistors: &self.scratch.incident,
+                    boundary_inputs: &self.scratch.boundary_inputs,
+                    changed: &self.changed_buf,
+                });
+                // Schedule gate-driven consequences for the next round.
+                let net = st.network();
+                for ci in 0..self.changed_buf.len() {
+                    let (c, old, new) = self.changed_buf[ci];
+                    for &t in net.gated_transistors(c) {
+                        let tr = net.transistor(t);
+                        if tr.ttype.conduction(old) != tr.ttype.conduction(new) {
+                            Self::push(&mut self.next_queue, &mut self.queued, tr.source);
+                            Self::push(&mut self.next_queue, &mut self.queued, tr.drain);
+                        }
+                    }
+                }
+            }
+            self.queue.clear();
+        }
+        report
+    }
+
+    #[inline]
+    fn push(queue: &mut Vec<NodeId>, queued: &mut [bool], n: NodeId) {
+        if !queued[n.index()] {
+            queued[n.index()] = true;
+            queue.push(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::DenseState;
+    use fmossim_netlist::{Drive, Size, TransistorType};
+
+    fn cmos_inverter(net: &mut Network, name: &str, input: NodeId, vdd: NodeId, gnd: NodeId) -> NodeId {
+        let out = net.add_storage(name, Size::S1);
+        net.add_transistor(TransistorType::P, Drive::D2, input, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, input, out, gnd);
+        out
+    }
+
+    fn rails(net: &mut Network) -> (NodeId, NodeId) {
+        (net.add_input("Vdd", Logic::H), net.add_input("Gnd", Logic::L))
+    }
+
+    #[test]
+    fn inverter_chain_settles_in_order() {
+        let mut net = Network::new();
+        let (vdd, gnd) = rails(&mut net);
+        let a = net.add_input("A", Logic::L);
+        let x1 = cmos_inverter(&mut net, "X1", a, vdd, gnd);
+        let x2 = cmos_inverter(&mut net, "X2", x1, vdd, gnd);
+        let x3 = cmos_inverter(&mut net, "X3", x2, vdd, gnd);
+
+        let mut st = DenseState::new(&net);
+        let mut eng = Engine::new(&net);
+        eng.perturb_all_storage(&st);
+        let rep = eng.settle(&mut st);
+        assert!(!rep.oscillation_damped);
+        assert_eq!(st.node_state(x1), Logic::H);
+        assert_eq!(st.node_state(x2), Logic::L);
+        assert_eq!(st.node_state(x3), Logic::H);
+
+        // Flip the input: changes ripple through, one gate per round.
+        let rep0 = eng.settle(&mut st); // no pending work
+        assert_eq!(rep0.rounds, 0);
+        eng.apply_input(&mut st, a, Logic::H);
+        let rep = eng.settle(&mut st);
+        assert_eq!(st.node_state(x1), Logic::L);
+        assert_eq!(st.node_state(x2), Logic::H);
+        assert_eq!(st.node_state(x3), Logic::L);
+        assert!(rep.rounds >= 3, "three gate delays, got {}", rep.rounds);
+    }
+
+    #[test]
+    fn apply_input_same_value_is_noop() {
+        let mut net = Network::new();
+        let (vdd, gnd) = rails(&mut net);
+        let a = net.add_input("A", Logic::L);
+        cmos_inverter(&mut net, "X1", a, vdd, gnd);
+        let mut st = DenseState::new(&net);
+        let mut eng = Engine::new(&net);
+        eng.apply_input(&mut st, a, Logic::L);
+        assert!(!eng.has_pending());
+    }
+
+    #[test]
+    fn ring_oscillator_is_damped_to_x() {
+        let mut net = Network::new();
+        let (vdd, gnd) = rails(&mut net);
+        // Three inverters in a ring.
+        let pre: Vec<NodeId> = (0..3)
+            .map(|i| net.add_storage(format!("R{i}"), Size::S1))
+            .collect();
+        for i in 0..3 {
+            let inp = pre[i];
+            let out = pre[(i + 1) % 3];
+            net.add_transistor(TransistorType::P, Drive::D2, inp, vdd, out);
+            net.add_transistor(TransistorType::N, Drive::D2, inp, out, gnd);
+        }
+        let mut st = DenseState::new(&net);
+        // Seed a definite state so it genuinely oscillates.
+        st.force(pre[0], Logic::L);
+        st.force(pre[1], Logic::H);
+        st.force(pre[2], Logic::L);
+        let mut eng = Engine::with_config(
+            &net,
+            EngineConfig {
+                max_rounds: 50,
+                ..EngineConfig::default()
+            },
+        );
+        for &n in &pre {
+            eng.perturb(n);
+        }
+        let rep = eng.settle(&mut st);
+        assert!(rep.oscillation_damped);
+        for &n in &pre {
+            assert_eq!(st.node_state(n), Logic::X, "ring node forced to X");
+        }
+    }
+
+    #[test]
+    fn dynamic_latch_holds_value_across_clock() {
+        // Pass transistor into an inverter: classic dynamic latch.
+        let mut net = Network::new();
+        let (vdd, gnd) = rails(&mut net);
+        let d = net.add_input("D", Logic::H);
+        let clk = net.add_input("CLK", Logic::H);
+        let store = net.add_storage("STORE", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, clk, d, store);
+        let q = cmos_inverter(&mut net, "Q", store, vdd, gnd);
+
+        let mut st = DenseState::new(&net);
+        let mut eng = Engine::new(&net);
+        eng.perturb_all_storage(&st);
+        eng.settle(&mut st);
+        assert_eq!(st.node_state(store), Logic::H);
+        assert_eq!(st.node_state(q), Logic::L);
+
+        // Close the latch, then change D: stored value must persist.
+        eng.apply_input(&mut st, clk, Logic::L);
+        eng.settle(&mut st);
+        eng.apply_input(&mut st, d, Logic::L);
+        eng.settle(&mut st);
+        assert_eq!(st.node_state(store), Logic::H, "charge retained");
+        assert_eq!(st.node_state(q), Logic::L);
+
+        // Reopen: new value flows in.
+        eng.apply_input(&mut st, clk, Logic::H);
+        eng.settle(&mut st);
+        assert_eq!(st.node_state(store), Logic::L);
+        assert_eq!(st.node_state(q), Logic::H);
+    }
+
+    #[test]
+    fn observer_sees_groups_and_changes() {
+        let mut net = Network::new();
+        let (vdd, gnd) = rails(&mut net);
+        let a = net.add_input("A", Logic::L);
+        let x1 = cmos_inverter(&mut net, "X1", a, vdd, gnd);
+        let mut st = DenseState::new(&net);
+        let mut eng = Engine::new(&net);
+        eng.perturb(x1);
+        let mut seen_members = Vec::new();
+        let mut seen_changes = Vec::new();
+        eng.settle_observed(&mut st, |g| {
+            seen_members.extend_from_slice(g.members);
+            seen_changes.extend_from_slice(g.changed);
+            assert!(!g.boundary_inputs.is_empty());
+            assert_eq!(g.incident_gates(&net).count(), g.incident_transistors.len());
+        });
+        assert_eq!(seen_members, vec![x1]);
+        assert_eq!(seen_changes, vec![(x1, Logic::X, Logic::H)]);
+    }
+
+    #[test]
+    fn static_and_dynamic_locality_agree_on_results() {
+        let mut net = Network::new();
+        let (vdd, gnd) = rails(&mut net);
+        let a = net.add_input("A", Logic::L);
+        let b = net.add_input("B", Logic::H);
+        let x1 = cmos_inverter(&mut net, "X1", a, vdd, gnd);
+        let x2 = cmos_inverter(&mut net, "X2", b, vdd, gnd);
+        // A pass gate (open for now) between the two inverter outputs.
+        let en = net.add_input("EN", Logic::L);
+        net.add_transistor(TransistorType::N, Drive::D2, en, x1, x2);
+
+        for locality in [LocalityMode::Dynamic, LocalityMode::Static] {
+            let mut st = DenseState::new(&net);
+            let mut eng = Engine::with_config(
+                &net,
+                EngineConfig {
+                    locality,
+                    ..EngineConfig::default()
+                },
+            );
+            eng.perturb_all_storage(&st);
+            eng.settle(&mut st);
+            assert_eq!(st.node_state(x1), Logic::H, "{locality:?}");
+            assert_eq!(st.node_state(x2), Logic::L, "{locality:?}");
+        }
+    }
+
+    #[test]
+    fn settle_report_merge() {
+        let a = SettleReport {
+            rounds: 1,
+            groups_solved: 2,
+            nodes_changed: 3,
+            oscillation_damped: false,
+        };
+        let b = SettleReport {
+            rounds: 4,
+            groups_solved: 5,
+            nodes_changed: 6,
+            oscillation_damped: true,
+        };
+        let m = a.merged(b);
+        assert_eq!(m.rounds, 5);
+        assert_eq!(m.groups_solved, 7);
+        assert_eq!(m.nodes_changed, 9);
+        assert!(m.oscillation_damped);
+    }
+}

@@ -1,0 +1,257 @@
+//! High-level fault-free simulation: [`LogicSim`].
+
+use crate::engine::{Engine, EngineConfig, SettleReport};
+use crate::state::{DenseState, SwitchState};
+use fmossim_netlist::{Logic, Network, NodeId};
+
+/// A convenient fault-free switch-level simulator: a dense state plus an
+/// [`Engine`], with name-based helpers.
+///
+/// This is the MOSSIM II equivalent used to simulate the *good* circuit,
+/// to compute expected outputs for test sequences, and as the baseline
+/// "good circuit alone" measurement of the paper's evaluation.
+///
+/// # Example
+///
+/// ```
+/// use fmossim_netlist::{Network, Logic, TransistorType, Drive, Size};
+/// use fmossim_switch::LogicSim;
+///
+/// let mut net = Network::new();
+/// let vdd = net.add_input("Vdd", Logic::H);
+/// let gnd = net.add_input("Gnd", Logic::L);
+/// let a = net.add_input("A", Logic::H);
+/// let out = net.add_storage("OUT", Size::S1);
+/// net.add_transistor(TransistorType::P, Drive::D2, a, vdd, out);
+/// net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+///
+/// let mut sim = LogicSim::new(&net);
+/// sim.settle();
+/// assert_eq!(sim.get_by_name("OUT"), Some(Logic::L));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LogicSim<'n> {
+    net: &'n Network,
+    state: DenseState<'n>,
+    engine: Engine,
+}
+
+impl<'n> LogicSim<'n> {
+    /// Creates a simulator at the reset state (inputs at their declared
+    /// defaults, storage nodes at `X`) with every storage node pending
+    /// evaluation; call [`LogicSim::settle`] to reach the initial
+    /// steady state.
+    #[must_use]
+    pub fn new(net: &'n Network) -> Self {
+        LogicSim::with_config(net, EngineConfig::default())
+    }
+
+    /// As [`LogicSim::new`] with an explicit engine configuration.
+    #[must_use]
+    pub fn with_config(net: &'n Network, config: EngineConfig) -> Self {
+        let state = DenseState::new(net);
+        let mut engine = Engine::with_config(net, config);
+        engine.perturb_all_storage(&state);
+        LogicSim { net, state, engine }
+    }
+
+    /// The network being simulated.
+    #[must_use]
+    pub fn network(&self) -> &'n Network {
+        self.net
+    }
+
+    /// Current state of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range for the network.
+    #[must_use]
+    pub fn get(&self, n: NodeId) -> Logic {
+        self.state.node_state(n)
+    }
+
+    /// Current state of the node called `name`, or `None` if no such
+    /// node exists.
+    #[must_use]
+    pub fn get_by_name(&self, name: &str) -> Option<Logic> {
+        self.net.find_node(name).map(|n| self.get(n))
+    }
+
+    /// Sets input node `n` to `v` and schedules the consequences (the
+    /// change takes effect at the next [`LogicSim::settle`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not an input node.
+    pub fn set_input(&mut self, n: NodeId, v: Logic) {
+        self.engine.apply_input(&mut self.state, n, v);
+    }
+
+    /// Sets the input called `name`; returns false if no such node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node exists but is not an input node.
+    pub fn set_input_by_name(&mut self, name: &str, v: Logic) -> bool {
+        match self.net.find_node(name) {
+            Some(n) => {
+                self.set_input(n, v);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Applies a batch of input changes and settles the network.
+    pub fn step(&mut self, inputs: &[(NodeId, Logic)]) -> SettleReport {
+        for &(n, v) in inputs {
+            self.set_input(n, v);
+        }
+        self.settle()
+    }
+
+    /// Drains all pending perturbations to a stable state.
+    pub fn settle(&mut self) -> SettleReport {
+        self.engine.settle(&mut self.state)
+    }
+
+    /// Re-schedules every storage node and settles. On an already
+    /// stable network this must change nothing — the property tests use
+    /// it to check that settled states are true fixed points of the
+    /// steady-state response.
+    pub fn resettle_all(&mut self) -> SettleReport {
+        self.engine.perturb_all_storage(&self.state);
+        self.engine.settle(&mut self.state)
+    }
+
+    /// Read access to the dense state vector (indexed by node id).
+    #[must_use]
+    pub fn states(&self) -> &[Logic] {
+        self.state.states()
+    }
+
+    /// The underlying dense state (a [`crate::SwitchState`]), e.g. for
+    /// sampling into a [`crate::Trace`].
+    #[must_use]
+    pub fn state(&self) -> &DenseState<'n> {
+        &self.state
+    }
+
+    /// Splits the simulator into its state and engine halves; used by
+    /// the fault simulators, which drive the same machinery with
+    /// observers and overlays.
+    #[must_use]
+    pub fn into_parts(self) -> (DenseState<'n>, Engine) {
+        (self.state, self.engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_netlist::{Drive, Size, TransistorType};
+
+    /// Build a CMOS NAND gate and check its truth table, including X
+    /// behaviour.
+    #[test]
+    fn cmos_nand_truth_table() {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let b = net.add_input("B", Logic::L);
+        let out = net.add_storage("OUT", Size::S1);
+        let mid = net.add_storage("MID", Size::S1);
+        // Parallel p pull-ups, series n pull-downs.
+        net.add_transistor(TransistorType::P, Drive::D2, a, vdd, out);
+        net.add_transistor(TransistorType::P, Drive::D2, b, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, mid);
+        net.add_transistor(TransistorType::N, Drive::D2, b, mid, gnd);
+
+        let mut sim = LogicSim::new(&net);
+        sim.settle();
+        let cases = [
+            (Logic::L, Logic::L, Logic::H),
+            (Logic::L, Logic::H, Logic::H),
+            (Logic::H, Logic::L, Logic::H),
+            (Logic::H, Logic::H, Logic::L),
+            // One X input with the other low still pulls up definitely.
+            (Logic::X, Logic::L, Logic::H),
+            (Logic::L, Logic::X, Logic::H),
+            // X with the other high: output uncertain.
+            (Logic::X, Logic::H, Logic::X),
+        ];
+        for (va, vb, want) in cases {
+            sim.set_input(a, va);
+            sim.set_input(b, vb);
+            sim.settle();
+            assert_eq!(sim.get(out), want, "NAND({va},{vb})");
+        }
+    }
+
+    #[test]
+    fn nmos_nor_truth_table() {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let b = net.add_input("B", Logic::L);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::D, Drive::D1, out, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+        net.add_transistor(TransistorType::N, Drive::D2, b, out, gnd);
+
+        let mut sim = LogicSim::new(&net);
+        sim.settle();
+        let cases = [
+            (Logic::L, Logic::L, Logic::H),
+            (Logic::L, Logic::H, Logic::L),
+            (Logic::H, Logic::L, Logic::L),
+            (Logic::H, Logic::H, Logic::L),
+            (Logic::X, Logic::H, Logic::L), // one definite pulldown suffices
+        ];
+        for (va, vb, want) in cases {
+            sim.set_input(a, va);
+            sim.set_input(b, vb);
+            sim.settle();
+            assert_eq!(sim.get(out), want, "NOR({va},{vb})");
+        }
+    }
+
+    #[test]
+    fn name_helpers() {
+        let mut net = Network::new();
+        net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let s = net.add_storage("S", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, a, s, gnd);
+        let mut sim = LogicSim::new(&net);
+        sim.settle();
+        assert!(sim.set_input_by_name("A", Logic::H));
+        assert!(!sim.set_input_by_name("missing", Logic::H));
+        sim.settle();
+        assert_eq!(sim.get_by_name("S"), Some(Logic::L));
+        assert_eq!(sim.get_by_name("missing"), None);
+        assert_eq!(sim.states().len(), net.num_nodes());
+    }
+
+    /// Uninitialized circuit: everything X until clocks/data arrive.
+    #[test]
+    fn x_initialization_resolves_after_inputs() {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::X);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::P, Drive::D2, a, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+        let mut sim = LogicSim::new(&net);
+        sim.settle();
+        assert_eq!(sim.get(out), Logic::X);
+        sim.set_input(a, Logic::L);
+        sim.settle();
+        assert_eq!(sim.get(out), Logic::H);
+    }
+}

@@ -1,0 +1,677 @@
+//! Vicinity extraction and the steady-state solver.
+//!
+//! See the crate-level documentation for the algorithm description. All
+//! scratch memory is owned by [`Scratch`] and reused across calls, so a
+//! steady-state solve allocates nothing in the common case.
+
+use crate::state::SwitchState;
+use fmossim_netlist::{Logic, NodeId, Strength, TransistorId};
+
+/// Reusable scratch buffers for vicinity extraction and steady-state
+/// solving, sized for a particular network (node/transistor counts).
+///
+/// A `Scratch` may be reused across different [`SwitchState`] views of
+/// the *same* network (the concurrent fault simulator reuses one for
+/// the good circuit and every faulty circuit).
+#[derive(Clone, Debug)]
+pub struct Scratch {
+    /// Epoch-stamped membership marks, one per node.
+    node_epoch: Vec<u32>,
+    /// Local (within-group) index of each marked node.
+    node_local: Vec<u32>,
+    /// Epoch-stamped marks for visited transistors.
+    t_epoch: Vec<u32>,
+    current_epoch: u32,
+    /// Members of the current group, in discovery order.
+    pub(crate) members: Vec<NodeId>,
+    /// Directed in-edges per member (indexed by local id).
+    edges: Vec<Vec<Edge>>,
+    /// Input-boundary source contributions per member.
+    sources: Vec<Vec<SourceSig>>,
+    /// Strength arrays for the five fixed-point passes.
+    def_s: Vec<Strength>,
+    pos: [Vec<Strength>; 2],
+    defv: [Vec<Strength>; 2],
+    /// Resolved steady-state values, parallel to `members`.
+    pub(crate) out_values: Vec<Logic>,
+    /// All transistors incident on the group (for support reporting).
+    pub(crate) incident: Vec<TransistorId>,
+    /// Input nodes adjacent to the group through channel edges.
+    pub(crate) boundary_inputs: Vec<NodeId>,
+}
+
+/// A directed conduction edge into a member node.
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    /// Local index of the node the signal comes *from*.
+    from: u32,
+    /// Attenuation of the traversed transistor.
+    drive: fmossim_netlist::Drive,
+    /// Whether the transistor definitely conducts (`Closed`) rather
+    /// than only possibly (`Maybe`).
+    definite: bool,
+}
+
+/// A boundary signal entering the group from an input node.
+#[derive(Clone, Copy, Debug)]
+struct SourceSig {
+    /// Strength after attenuation by the boundary transistor.
+    strength: Strength,
+    /// The input node's value.
+    value: Logic,
+    /// Whether the boundary transistor definitely conducts.
+    definite: bool,
+}
+
+/// The result of solving one vicinity with
+/// [`Scratch::solve_group`]: members and their steady-state values.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GroupOutcome {
+    /// The storage nodes of the vicinity, in discovery order.
+    pub members: Vec<NodeId>,
+    /// The steady-state value for each member (parallel to `members`).
+    pub values: Vec<Logic>,
+}
+
+impl Scratch {
+    /// Creates scratch buffers for a network with the given counts.
+    #[must_use]
+    pub fn new(num_nodes: usize, num_transistors: usize) -> Self {
+        Scratch {
+            node_epoch: vec![0; num_nodes],
+            node_local: vec![0; num_nodes],
+            t_epoch: vec![0; num_transistors],
+            current_epoch: 0,
+            members: Vec::new(),
+            edges: Vec::new(),
+            sources: Vec::new(),
+            def_s: Vec::new(),
+            pos: [Vec::new(), Vec::new()],
+            defv: [Vec::new(), Vec::new()],
+            out_values: Vec::new(),
+            incident: Vec::new(),
+            boundary_inputs: Vec::new(),
+        }
+    }
+
+    /// True iff `n` belongs to the group extracted in the current epoch.
+    #[inline]
+    pub(crate) fn in_group(&self, n: NodeId) -> bool {
+        self.node_epoch[n.index()] == self.current_epoch
+    }
+
+    /// Extracts and solves the vicinity containing `seed`, returning an
+    /// owned outcome. This is the allocating convenience wrapper around
+    /// the zero-allocation internals used by the
+    /// [`Engine`](crate::Engine); it is public for solver-level testing
+    /// and benchmarking.
+    ///
+    /// `static_locality` selects the pre-MOSSIM-II partitioning (whole
+    /// DC-connected component) used by the locality ablation bench.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `seed` is input-classified under
+    /// `st`; vicinity seeds must be storage nodes.
+    pub fn solve_group<S: SwitchState>(
+        &mut self,
+        st: &S,
+        seed: NodeId,
+        static_locality: bool,
+    ) -> GroupOutcome {
+        let (members, values) = self.solve(st, seed, static_locality);
+        GroupOutcome {
+            members: members.to_vec(),
+            values: values.to_vec(),
+        }
+    }
+
+    /// Zero-allocation solve: extracts the vicinity of `seed` and
+    /// resolves its steady state. The returned slices borrow scratch
+    /// storage and are valid until the next call.
+    pub(crate) fn solve<S: SwitchState>(
+        &mut self,
+        st: &S,
+        seed: NodeId,
+        static_locality: bool,
+    ) -> (&[NodeId], &[Logic]) {
+        self.extract(st, seed, static_locality);
+        self.steady_state(st);
+        (&self.members, &self.out_values)
+    }
+
+    /// Breadth-first vicinity extraction from `seed`.
+    pub(crate) fn extract<S: SwitchState>(
+        &mut self,
+        st: &S,
+        seed: NodeId,
+        static_locality: bool,
+    ) {
+        self.current_epoch = self.current_epoch.wrapping_add(1);
+        if self.current_epoch == 0 {
+            // Extremely rare wraparound: clear stamps and restart at 1.
+            self.node_epoch.fill(0);
+            self.t_epoch.fill(0);
+            self.current_epoch = 1;
+        }
+        self.members.clear();
+        self.incident.clear();
+        self.boundary_inputs.clear();
+        debug_assert!(!st.is_input(seed), "vicinity seeds must be storage nodes");
+        self.mark(seed);
+        let net = st.network();
+        let mut head = 0;
+        while head < self.members.len() {
+            let m = self.members[head];
+            head += 1;
+            for &t in net.channel_transistors(m) {
+                if self.t_epoch[t.index()] == self.current_epoch {
+                    continue;
+                }
+                self.t_epoch[t.index()] = self.current_epoch;
+                self.incident.push(t);
+                let cond = st.conduction(t);
+                if !static_locality && !cond.may_conduct() {
+                    continue;
+                }
+                let tr = net.transistor(t);
+                let other = tr.other_end(m);
+                if other == m {
+                    continue; // self-loop carries no signal
+                }
+                if st.is_input(other) {
+                    // Input nodes are never members, so reusing the node
+                    // mark for dedup of the boundary list is safe.
+                    if self.node_epoch[other.index()] != self.current_epoch {
+                        self.node_epoch[other.index()] = self.current_epoch;
+                        self.boundary_inputs.push(other);
+                    }
+                } else if self.node_epoch[other.index()] != self.current_epoch {
+                    self.mark(other);
+                }
+            }
+        }
+        // Undo the membership stamp borrowed by boundary inputs so that
+        // `in_group` answers correctly for them.
+        for &b in &self.boundary_inputs {
+            self.node_epoch[b.index()] = self.current_epoch.wrapping_sub(1);
+        }
+        // Second pass: build in-edges and boundary sources per member
+        // (after extraction so local indices are final).
+        let n = self.members.len();
+        for v in &mut self.edges {
+            v.clear();
+        }
+        for v in &mut self.sources {
+            v.clear();
+        }
+        while self.edges.len() < n {
+            self.edges.push(Vec::new());
+        }
+        while self.sources.len() < n {
+            self.sources.push(Vec::new());
+        }
+        for li in 0..n {
+            let m = self.members[li];
+            for &t in net.channel_transistors(m) {
+                let cond = st.conduction(t);
+                if !cond.may_conduct() {
+                    continue;
+                }
+                let definite = cond.is_closed();
+                let tr = net.transistor(t);
+                let other = tr.other_end(m);
+                if other == m {
+                    continue;
+                }
+                if st.is_input(other) {
+                    self.sources[li].push(SourceSig {
+                        strength: Strength::INPUT.through(tr.strength),
+                        value: st.node_state(other),
+                        definite,
+                    });
+                } else {
+                    debug_assert!(self.in_group(other), "conducting neighbour must be in group");
+                    self.edges[li].push(Edge {
+                        from: self.node_local[other.index()],
+                        drive: tr.strength,
+                        definite,
+                    });
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, n: NodeId) {
+        self.node_epoch[n.index()] = self.current_epoch;
+        self.node_local[n.index()] = u32::try_from(self.members.len()).expect("group too large");
+        self.members.push(n);
+    }
+
+    /// Solves the five fixed points and resolves member values into
+    /// `out_values`.
+    #[allow(clippy::needless_range_loop)] // `li` indexes several parallel arrays
+    pub(crate) fn steady_state<S: SwitchState>(&mut self, st: &S) {
+        let n = self.members.len();
+        let net = st.network();
+        let resize = |v: &mut Vec<Strength>| {
+            v.clear();
+            v.resize(n, Strength::NONE);
+        };
+        resize(&mut self.def_s);
+        resize(&mut self.pos[0]);
+        resize(&mut self.pos[1]);
+        resize(&mut self.defv[0]);
+        resize(&mut self.defv[1]);
+
+        // Pass 1: defS — definite presence. Sources: own charge (always
+        // definitely present at size strength) and definite input edges.
+        let mut def_s = std::mem::take(&mut self.def_s);
+        for li in 0..n {
+            let node = self.members[li];
+            def_s[li] = Strength::from_size(net.node(node).size());
+            for s in &self.sources[li] {
+                if s.definite {
+                    def_s[li] = def_s[li].max(s.strength);
+                }
+            }
+        }
+        self.relax(&mut def_s, /*definite_edges_only=*/ true, |_, _| true);
+
+        // Pass 2: pos1 / pos0 — possible presence per value class.
+        // A possible signal is blocked at `m` when strictly weaker than
+        // the strongest definitely-present signal there.
+        for (idx, want) in [(0usize, Logic::H), (1usize, Logic::L)] {
+            let mut pos = std::mem::take(&mut self.pos[idx]);
+            for li in 0..n {
+                let node = self.members[li];
+                let old = st.node_state(node);
+                if old == want || old == Logic::X {
+                    pos[li] = Strength::from_size(net.node(node).size());
+                }
+                for s in &self.sources[li] {
+                    if s.value == want || s.value == Logic::X {
+                        pos[li] = pos[li].max(s.strength);
+                    }
+                }
+            }
+            self.relax(&mut pos, /*definite_edges_only=*/ false, |str_, from| {
+                str_[from as usize] >= def_s[from as usize]
+            });
+            self.pos[idx] = pos;
+        }
+
+        // Pass 3: def1 / def0 — definite winners of a definite value.
+        // Propagates through `m` only when nothing possibly stronger
+        // exists at `m` (otherwise its onward presence is not certain).
+        let (pos1, pos0) = (&self.pos[0], &self.pos[1]);
+        for (idx, want) in [(0usize, Logic::H), (1usize, Logic::L)] {
+            let mut defv = std::mem::take(&mut self.defv[idx]);
+            for li in 0..n {
+                let node = self.members[li];
+                if st.node_state(node) == want {
+                    defv[li] = Strength::from_size(net.node(node).size());
+                }
+                for s in &self.sources[li] {
+                    if s.definite && s.value == want {
+                        defv[li] = defv[li].max(s.strength);
+                    }
+                }
+            }
+            relax_edges(&self.edges[..n], &mut defv, true, |str_, from| {
+                let f = from as usize;
+                str_[f] >= pos1[f].max(pos0[f])
+            });
+            self.defv[idx] = defv;
+        }
+        self.def_s = def_s;
+
+        // Resolution: 1 iff def1 > pos0; 0 iff def0 > pos1; else X.
+        self.out_values.clear();
+        for li in 0..n {
+            let one = self.defv[0][li] > self.pos[1][li];
+            let zero = self.defv[1][li] > self.pos[0][li];
+            debug_assert!(!(one && zero), "resolution rule cannot pick both values");
+            self.out_values.push(if one {
+                Logic::H
+            } else if zero {
+                Logic::L
+            } else {
+                Logic::X
+            });
+        }
+    }
+
+    /// Monotone relaxation to the least fixed point of
+    /// `s[v] = max(init[v], max over in-edges (u→v): eligible(u) ? min(s[u], drive) : λ)`.
+    fn relax<F>(&self, strengths: &mut [Strength], definite_edges_only: bool, eligible: F)
+    where
+        F: Fn(&[Strength], u32) -> bool,
+    {
+        relax_edges(
+            &self.edges[..strengths.len()],
+            strengths,
+            definite_edges_only,
+            eligible,
+        );
+    }
+}
+
+/// Sweep-to-fixpoint relaxation. Strengths only grow and the lattice is
+/// finite, so this terminates; vicinities are small (a handful of nodes
+/// in typical circuits), so repeated sweeps beat the bookkeeping cost
+/// of a worklist.
+fn relax_edges<F>(
+    edges: &[Vec<Edge>],
+    strengths: &mut [Strength],
+    definite_edges_only: bool,
+    eligible: F,
+) where
+    F: Fn(&[Strength], u32) -> bool,
+{
+    loop {
+        let mut changed = false;
+        for v in 0..strengths.len() {
+            let mut best = strengths[v];
+            for e in &edges[v] {
+                if definite_edges_only && !e.definite {
+                    continue;
+                }
+                if !eligible(strengths, e.from) {
+                    continue;
+                }
+                best = best.max(strengths[e.from as usize].through(e.drive));
+            }
+            if best > strengths[v] {
+                strengths[v] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::DenseState;
+    use fmossim_netlist::{Drive, Network, Size, TransistorType};
+
+    /// Solve the group containing `seed` and return (members, values).
+    fn run(net: &Network, st: &DenseState<'_>, seed: NodeId) -> GroupOutcome {
+        let mut scr = Scratch::new(net.num_nodes(), net.num_transistors());
+        scr.solve_group(st, seed, false)
+    }
+
+    fn value_of(out: &GroupOutcome, n: NodeId) -> Logic {
+        let i = out
+            .members
+            .iter()
+            .position(|&m| m == n)
+            .expect("node in group");
+        out.values[i]
+    }
+
+    #[test]
+    fn nmos_inverter_both_ways() {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::H);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::D, Drive::D1, out, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+
+        let mut st = DenseState::new(&net);
+        // A = 1 → pulldown wins over weak pullup.
+        assert_eq!(value_of(&run(&net, &st, out), out), Logic::L);
+        // A = 0 → only the pullup drives.
+        st.force(a, Logic::L);
+        assert_eq!(value_of(&run(&net, &st, out), out), Logic::H);
+        // A = X → the pulldown may fight the pullup: X.
+        st.force(a, Logic::X);
+        assert_eq!(value_of(&run(&net, &st, out), out), Logic::X);
+    }
+
+    #[test]
+    fn charge_sharing_big_node_wins() {
+        let mut net = Network::new();
+        let clk = net.add_input("CLK", Logic::H);
+        let bus = net.add_storage("BUS", Size::S2);
+        let s = net.add_storage("S", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, clk, bus, s);
+        let mut st = DenseState::new(&net);
+        st.force(bus, Logic::H);
+        st.force(s, Logic::L);
+        let out = run(&net, &st, s);
+        assert_eq!(value_of(&out, bus), Logic::H);
+        assert_eq!(value_of(&out, s), Logic::H);
+    }
+
+    #[test]
+    fn charge_sharing_equal_sizes_gives_x() {
+        let mut net = Network::new();
+        let clk = net.add_input("CLK", Logic::H);
+        let a = net.add_storage("A1", Size::S1);
+        let b = net.add_storage("B1", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, clk, a, b);
+        let mut st = DenseState::new(&net);
+        st.force(a, Logic::H);
+        st.force(b, Logic::L);
+        let out = run(&net, &st, a);
+        assert_eq!(value_of(&out, a), Logic::X);
+        assert_eq!(value_of(&out, b), Logic::X);
+    }
+
+    #[test]
+    fn isolated_node_keeps_charge() {
+        let mut net = Network::new();
+        let clk = net.add_input("CLK", Logic::L);
+        let a = net.add_storage("A1", Size::S1);
+        let b = net.add_storage("B1", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, clk, a, b);
+        let mut st = DenseState::new(&net);
+        st.force(a, Logic::H);
+        let out = run(&net, &st, a);
+        // CLK=0 isolates A: group is {A} alone, charge retained.
+        assert_eq!(out.members.len(), 1);
+        assert_eq!(value_of(&out, a), Logic::H);
+    }
+
+    #[test]
+    fn short_circuit_through_pass_gates_gives_x() {
+        // Two strong inputs of opposite value connected through
+        // conducting transistors to a middle node: X.
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let clk = net.add_input("CLK", Logic::H);
+        let mid = net.add_storage("MID", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, clk, vdd, mid);
+        net.add_transistor(TransistorType::N, Drive::D2, clk, mid, gnd);
+        let st = DenseState::new(&net);
+        assert_eq!(value_of(&run(&net, &st, mid), mid), Logic::X);
+    }
+
+    #[test]
+    fn ratioed_nand_pulls_low_through_series_stack() {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::H);
+        let b = net.add_input("B", Logic::H);
+        let out = net.add_storage("OUT", Size::S1);
+        let mid = net.add_storage("MID", Size::S1);
+        net.add_transistor(TransistorType::D, Drive::D1, out, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, mid);
+        net.add_transistor(TransistorType::N, Drive::D2, b, mid, gnd);
+        let mut st = DenseState::new(&net);
+        let o = run(&net, &st, out);
+        assert_eq!(value_of(&o, out), Logic::L);
+        assert_eq!(value_of(&o, mid), Logic::L);
+        // B low: output pulls high through the pullup; mid charges high
+        // through the series transistor.
+        st.force(b, Logic::L);
+        let o = run(&net, &st, out);
+        assert_eq!(value_of(&o, out), Logic::H);
+        assert_eq!(value_of(&o, mid), Logic::H);
+    }
+
+    #[test]
+    fn precharged_bus_discharge_depends_on_cell_value() {
+        // 3T-DRAM read path: RBL(κ2,H) -t_rs(closed)- mid -t_cell(gate=S)- Gnd
+        let mut net = Network::new();
+        let gnd = net.add_input("Gnd", Logic::L);
+        let rs = net.add_input("RS", Logic::H);
+        let cell = net.add_storage("CELL", Size::S1);
+        let rbl = net.add_storage("RBL", Size::S2);
+        let mid = net.add_storage("MID", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, rs, rbl, mid);
+        net.add_transistor(TransistorType::N, Drive::D2, cell, mid, gnd);
+
+        let mut st = DenseState::new(&net);
+        st.force(rbl, Logic::H);
+        st.force(cell, Logic::H); // cell stores 1 → bus discharges
+        let o = run(&net, &st, rbl);
+        assert_eq!(value_of(&o, rbl), Logic::L);
+
+        st.force(rbl, Logic::H);
+        st.force(cell, Logic::L); // cell stores 0 → bus keeps precharge
+        st.force(mid, Logic::L);
+        let o = run(&net, &st, rbl);
+        assert_eq!(value_of(&o, rbl), Logic::H);
+
+        st.force(rbl, Logic::H);
+        st.force(cell, Logic::X); // unknown cell → bus may discharge
+        let o = run(&net, &st, rbl);
+        assert_eq!(value_of(&o, rbl), Logic::X);
+    }
+
+    #[test]
+    fn x_input_keeps_definite_when_harmless() {
+        // A node driven high through a closed transistor is 1 even if an
+        // unrelated X-gated transistor merely *might* connect it to
+        // another high source.
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let vdd2 = net.add_input("Vdd2", Logic::H);
+        let en = net.add_input("EN", Logic::H);
+        let maybe = net.add_input("MAYBE", Logic::X);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, en, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, maybe, vdd2, out);
+        let st = DenseState::new(&net);
+        assert_eq!(value_of(&run(&net, &st, out), out), Logic::H);
+    }
+
+    #[test]
+    fn x_gated_path_to_opposite_rail_gives_x() {
+        // As above but the uncertain path leads to ground: the node may
+        // or may not be shorted low → X.
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let en = net.add_input("EN", Logic::H);
+        let maybe = net.add_input("MAYBE", Logic::X);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, en, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, maybe, out, gnd);
+        let st = DenseState::new(&net);
+        assert_eq!(value_of(&run(&net, &st, out), out), Logic::X);
+    }
+
+    #[test]
+    fn weak_charge_does_not_corrupt_strong_drive() {
+        // A driven node connected through a closed pass gate to a stale
+        // charge of opposite value: drive wins, charge node follows.
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let en = net.add_input("EN", Logic::H);
+        let clk = net.add_input("CLK", Logic::H);
+        let a = net.add_storage("A1", Size::S1);
+        let b = net.add_storage("B1", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, en, vdd, a);
+        net.add_transistor(TransistorType::N, Drive::D2, clk, a, b);
+        let mut st = DenseState::new(&net);
+        st.force(b, Logic::L);
+        let o = run(&net, &st, a);
+        assert_eq!(value_of(&o, a), Logic::H);
+        assert_eq!(value_of(&o, b), Logic::H);
+    }
+
+    #[test]
+    fn static_locality_extracts_whole_component() {
+        let mut net = Network::new();
+        let clk = net.add_input("CLK", Logic::L); // open transistor
+        let a = net.add_storage("A1", Size::S1);
+        let b = net.add_storage("B1", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, clk, a, b);
+        let st = DenseState::new(&net);
+        let mut scr = Scratch::new(net.num_nodes(), net.num_transistors());
+        scr.extract(&st, a, false);
+        assert_eq!(scr.members.len(), 1, "dynamic locality stops at open transistor");
+        scr.extract(&st, a, true);
+        assert_eq!(scr.members.len(), 2, "static locality spans the DC component");
+    }
+
+    #[test]
+    fn static_locality_same_values_as_dynamic() {
+        // The ablation mode must not change results, only group sizes.
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::H);
+        let out = net.add_storage("OUT", Size::S1);
+        let far = net.add_storage("FAR", Size::S1);
+        net.add_transistor(TransistorType::D, Drive::D1, out, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+        // `far` is connected to OUT through an open transistor.
+        let off = net.add_input("OFF", Logic::L);
+        net.add_transistor(TransistorType::N, Drive::D2, off, out, far);
+        let mut st = DenseState::new(&net);
+        st.force(far, Logic::H);
+        let mut scr = Scratch::new(net.num_nodes(), net.num_transistors());
+        let dynamic = scr.solve_group(&st, out, false);
+        let static_ = scr.solve_group(&st, out, true);
+        assert_eq!(value_of(&dynamic, out), Logic::L);
+        assert_eq!(value_of(&static_, out), Logic::L);
+        // In static mode `far` is a member but keeps its charge.
+        assert_eq!(value_of(&static_, far), Logic::H);
+    }
+
+    #[test]
+    fn boundary_inputs_are_reported() {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let en = net.add_input("EN", Logic::H);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, en, vdd, out);
+        let st = DenseState::new(&net);
+        let mut scr = Scratch::new(net.num_nodes(), net.num_transistors());
+        scr.extract(&st, out, false);
+        assert_eq!(scr.boundary_inputs, vec![vdd]);
+        assert_eq!(scr.incident.len(), 1);
+        assert!(scr.in_group(out));
+        assert!(!scr.in_group(vdd));
+    }
+
+    #[test]
+    fn fault_strength_short_overrides_functional_driver() {
+        // A γ7 "fault transistor" shorting a driven-high node to ground
+        // wins against the γ2 functional driver — the paper's bridge
+        // fault injection mechanism.
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let en = net.add_input("EN", Logic::H);
+        let fault_en = net.add_input("FAULT", Logic::H);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, en, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::FAULT, fault_en, out, gnd);
+        let st = DenseState::new(&net);
+        assert_eq!(value_of(&run(&net, &st, out), out), Logic::L);
+    }
+}

@@ -1,0 +1,143 @@
+//! State views: how the solver reads and writes node states.
+
+use fmossim_netlist::{Conduction, Logic, Network, NodeId, TransistorId};
+
+/// A read/write view of a network's simulation state.
+///
+/// The steady-state solver and the [`Engine`](crate::Engine) are generic
+/// over this trait so that the *same* algorithm simulates:
+///
+/// * the fault-free circuit (a dense state vector, [`DenseState`]);
+/// * a faulty circuit in the concurrent simulator (divergence records
+///   overlaid on the good circuit's dense state);
+/// * a faulty circuit in the serial baseline (a dense state vector plus
+///   structural overrides).
+///
+/// The three overridable queries (`is_input`, `conduction`) exist
+/// because faults change them per circuit: a stuck node behaves as an
+/// input node; a stuck transistor ignores its gate.
+pub trait SwitchState {
+    /// The network being simulated. The engine assumes the network
+    /// outlives and is never structurally modified during a settle.
+    fn network(&self) -> &Network;
+
+    /// Current logic state of node `n`.
+    fn node_state(&self, n: NodeId) -> Logic;
+
+    /// Writes a new state for node `n`. Called only for nodes that are
+    /// not input-classified under [`SwitchState::is_input`].
+    fn set_node_state(&mut self, n: NodeId, v: Logic);
+
+    /// Whether `n` acts as an input (externally forced) node in this
+    /// view. Defaults to the netlist classification; stuck-node faults
+    /// override this.
+    #[inline]
+    fn is_input(&self, n: NodeId) -> bool {
+        self.network().node(n).is_input()
+    }
+
+    /// Conduction state of transistor `t` in this view. Defaults to the
+    /// type-dependent function of the gate-node state (Table 1);
+    /// stuck-open/closed faults override this.
+    #[inline]
+    fn conduction(&self, t: TransistorId) -> Conduction {
+        let tr = self.network().transistor(t);
+        tr.ttype.conduction(self.node_state(tr.gate))
+    }
+}
+
+/// Dense per-node state storage for whole-circuit simulation.
+///
+/// Storage nodes start at `X` (uninitialized charge); input nodes start
+/// at their declared default values.
+#[derive(Clone, Debug)]
+pub struct DenseState<'n> {
+    net: &'n Network,
+    states: Vec<Logic>,
+}
+
+impl<'n> DenseState<'n> {
+    /// Creates the reset state for `net`: inputs at their defaults,
+    /// storage nodes at `X`.
+    #[must_use]
+    pub fn new(net: &'n Network) -> Self {
+        let states = net
+            .nodes()
+            .map(|(_, node)| match node.class {
+                fmossim_netlist::NodeClass::Input(v) => v,
+                fmossim_netlist::NodeClass::Storage(_) => Logic::X,
+            })
+            .collect();
+        DenseState { net, states }
+    }
+
+    /// Direct read access to the state vector (for snapshotting and
+    /// divergence comparison in the fault simulator).
+    #[must_use]
+    pub fn states(&self) -> &[Logic] {
+        &self.states
+    }
+
+    /// Overwrites the state of `n` without any perturbation bookkeeping.
+    /// Used by the engine for input application; simulators should go
+    /// through [`crate::Engine::apply_input`].
+    #[inline]
+    pub fn force(&mut self, n: NodeId, v: Logic) {
+        self.states[n.index()] = v;
+    }
+}
+
+impl SwitchState for DenseState<'_> {
+    #[inline]
+    fn network(&self) -> &Network {
+        self.net
+    }
+
+    #[inline]
+    fn node_state(&self, n: NodeId) -> Logic {
+        self.states[n.index()]
+    }
+
+    #[inline]
+    fn set_node_state(&mut self, n: NodeId, v: Logic) {
+        self.states[n.index()] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_netlist::{Drive, Size, TransistorType};
+
+    #[test]
+    fn reset_state_matches_declarations() {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::X);
+        let s = net.add_storage("S", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, a, s, gnd);
+        let st = DenseState::new(&net);
+        assert_eq!(st.node_state(vdd), Logic::H);
+        assert_eq!(st.node_state(gnd), Logic::L);
+        assert_eq!(st.node_state(a), Logic::X);
+        assert_eq!(st.node_state(s), Logic::X);
+        assert!(st.is_input(a));
+        assert!(!st.is_input(s));
+    }
+
+    #[test]
+    fn conduction_tracks_gate_state() {
+        let mut net = Network::new();
+        let g = net.add_input("G", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let b = net.add_storage("B", Size::S1);
+        let t = net.add_transistor(TransistorType::N, Drive::D2, g, a, b);
+        let mut st = DenseState::new(&net);
+        assert_eq!(st.conduction(t), Conduction::Open);
+        st.force(g, Logic::H);
+        assert_eq!(st.conduction(t), Conduction::Closed);
+        st.force(g, Logic::X);
+        assert_eq!(st.conduction(t), Conduction::Maybe);
+    }
+}

@@ -1,0 +1,287 @@
+//! Waveform capture and VCD export.
+//!
+//! A [`Trace`] records the values of a chosen set of nodes at caller-
+//! defined sample points (typically once per phase or per pattern) and
+//! serialises them as a Value Change Dump, viewable in any waveform
+//! viewer (GTKWave etc.). Fault-simulation debugging leans on this
+//! heavily: dump the same nodes from the good circuit and a faulty
+//! overlay and diff the waves.
+
+use crate::state::SwitchState;
+use fmossim_netlist::{Logic, Network, NodeId};
+use std::fmt::Write as _;
+
+/// A recorded multi-node waveform.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    watched: Vec<NodeId>,
+    names: Vec<String>,
+    /// Sample times, strictly increasing.
+    times: Vec<u64>,
+    /// One value row per sample, parallel to `watched`.
+    values: Vec<Vec<Logic>>,
+}
+
+impl Trace {
+    /// Creates a trace watching `nodes` (names are captured from the
+    /// network for the VCD header).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node id is out of range for `net`.
+    #[must_use]
+    pub fn new(net: &Network, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let watched: Vec<NodeId> = nodes.into_iter().collect();
+        let names = watched
+            .iter()
+            .map(|&n| net.node(n).name.clone())
+            .collect();
+        Trace {
+            watched,
+            names,
+            times: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Convenience: a trace over every node of the network.
+    #[must_use]
+    pub fn all_nodes(net: &Network) -> Self {
+        Trace::new(net, net.node_ids())
+    }
+
+    /// The watched nodes, in column order.
+    #[must_use]
+    pub fn watched(&self) -> &[NodeId] {
+        &self.watched
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True iff nothing has been sampled yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Records the current state of every watched node at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not strictly greater than the previous
+    /// sample time.
+    pub fn sample<S: SwitchState>(&mut self, time: u64, st: &S) {
+        if let Some(&last) = self.times.last() {
+            assert!(time > last, "sample times must be strictly increasing");
+        }
+        self.times.push(time);
+        self.values
+            .push(self.watched.iter().map(|&n| st.node_state(n)).collect());
+    }
+
+    /// The value of watched node `n` at sample index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not watched or `idx` is out of range.
+    #[must_use]
+    pub fn value_at(&self, n: NodeId, idx: usize) -> Logic {
+        let col = self
+            .watched
+            .iter()
+            .position(|&w| w == n)
+            .expect("node is watched");
+        self.values[idx][col]
+    }
+
+    /// The change list of watched node `n`: `(time, new_value)` pairs,
+    /// starting with the first sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not watched.
+    #[must_use]
+    pub fn changes(&self, n: NodeId) -> Vec<(u64, Logic)> {
+        let col = self
+            .watched
+            .iter()
+            .position(|&w| w == n)
+            .expect("node is watched");
+        let mut out = Vec::new();
+        let mut last: Option<Logic> = None;
+        for (i, row) in self.values.iter().enumerate() {
+            let v = row[col];
+            if last != Some(v) {
+                out.push((self.times[i], v));
+                last = Some(v);
+            }
+        }
+        out
+    }
+
+    /// Serialises the trace as a Value Change Dump.
+    ///
+    /// `timescale` is emitted verbatim (e.g. `"1 ns"`); sample times
+    /// become VCD timestamps. Node names are sanitised for VCD
+    /// (whitespace replaced by `_`).
+    #[must_use]
+    pub fn to_vcd(&self, timescale: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$version fmossim switch-level trace $end");
+        let _ = writeln!(out, "$timescale {timescale} $end");
+        let _ = writeln!(out, "$scope module top $end");
+        for (i, name) in self.names.iter().enumerate() {
+            let clean: String = name
+                .chars()
+                .map(|c| if c.is_whitespace() { '_' } else { c })
+                .collect();
+            let _ = writeln!(out, "$var wire 1 {} {} $end", ident(i), clean);
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        let mut last: Vec<Option<Logic>> = vec![None; self.watched.len()];
+        for (si, row) in self.values.iter().enumerate() {
+            let mut emitted_time = false;
+            for (ci, &v) in row.iter().enumerate() {
+                if last[ci] == Some(v) {
+                    continue;
+                }
+                if !emitted_time {
+                    let _ = writeln!(out, "#{}", self.times[si]);
+                    emitted_time = true;
+                }
+                let ch = match v {
+                    Logic::L => '0',
+                    Logic::H => '1',
+                    Logic::X => 'x',
+                };
+                let _ = writeln!(out, "{ch}{}", ident(ci));
+                last[ci] = Some(v);
+            }
+        }
+        out
+    }
+}
+
+/// VCD identifier codes: printable ASCII 33..=126, little-endian
+/// multi-character for larger indexes.
+fn ident(mut i: usize) -> String {
+    const BASE: usize = 94;
+    let mut s = String::new();
+    loop {
+        s.push(char::from(b'!' + u8::try_from(i % BASE).expect("in range")));
+        i /= BASE;
+        if i == 0 {
+            break;
+        }
+        i -= 1; // bijective numeration so "!" and "!!" differ
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::LogicSim;
+    use fmossim_netlist::{Drive, Size, TransistorType};
+
+    fn inverter() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::P, Drive::D2, a, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+        (net, a, out)
+    }
+
+    #[test]
+    fn records_and_reads_back() {
+        let (net, a, out) = inverter();
+        let mut sim = LogicSim::new(&net);
+        let mut trace = Trace::new(&net, [a, out]);
+        sim.settle();
+        trace.sample(0, sim.state());
+        sim.set_input(a, Logic::H);
+        sim.settle();
+        trace.sample(1, sim.state());
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.value_at(out, 0), Logic::H);
+        assert_eq!(trace.value_at(out, 1), Logic::L);
+        assert_eq!(
+            trace.changes(out),
+            vec![(0, Logic::H), (1, Logic::L)]
+        );
+        assert_eq!(trace.changes(a).len(), 2);
+    }
+
+    #[test]
+    fn vcd_output_shape() {
+        let (net, a, out) = inverter();
+        let mut sim = LogicSim::new(&net);
+        let mut trace = Trace::new(&net, [a, out]);
+        sim.settle();
+        trace.sample(0, sim.state());
+        sim.set_input(a, Logic::H);
+        sim.settle();
+        trace.sample(5, sim.state());
+        let vcd = trace.to_vcd("1 ns");
+        assert!(vcd.contains("$timescale 1 ns $end"));
+        assert!(vcd.contains("$var wire 1 ! A $end"));
+        assert!(vcd.contains("$var wire 1 \" OUT $end"));
+        assert!(vcd.contains("#0\n"));
+        assert!(vcd.contains("#5\n"));
+        // OUT falls at t=5; unchanged values are not re-emitted.
+        let after_t5 = vcd.split("#5\n").nth(1).expect("t5 section");
+        assert!(after_t5.contains("0\""), "OUT change emitted: {after_t5}");
+        assert_eq!(vcd.matches("1\"").count(), 1, "initial OUT once");
+    }
+
+    #[test]
+    fn x_renders_lowercase() {
+        let (net, a, out) = inverter();
+        let mut sim = LogicSim::new(&net);
+        sim.set_input(a, Logic::X);
+        sim.settle();
+        let mut trace = Trace::new(&net, [out]);
+        trace.sample(0, sim.state());
+        assert!(trace.to_vcd("1 ns").contains("\nx!"));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotonic_time_rejected() {
+        let (net, _, out) = inverter();
+        let mut sim = LogicSim::new(&net);
+        sim.settle();
+        let mut trace = Trace::new(&net, [out]);
+        trace.sample(3, sim.state());
+        trace.sample(3, sim.state());
+    }
+
+    #[test]
+    fn ident_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let id = ident(i);
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(id), "duplicate identifier at {i}");
+        }
+        assert_eq!(ident(0), "!");
+        assert_eq!(ident(93), "~");
+        assert_eq!(ident(94), "!!");
+    }
+
+    #[test]
+    fn all_nodes_constructor() {
+        let (net, _, _) = inverter();
+        let trace = Trace::all_nodes(&net);
+        assert_eq!(trace.watched().len(), net.num_nodes());
+        assert!(trace.is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Stress tests of the strength lattice beyond the two-strength,
+//! two-size configurations the benchmark circuits use: deep drive
+//! ladders, three-level charge hierarchies, and series attenuation —
+//! the paper's "we can introduce additional strengths to model more
+//! peculiar circuit structures or to model fault effects".
+
+use fmossim_netlist::{Drive, Logic, Network, NodeId, Size, TransistorType};
+use fmossim_switch::LogicSim;
+
+fn rails(net: &mut Network) -> (NodeId, NodeId) {
+    (net.add_input("Vdd", Logic::H), net.add_input("Gnd", Logic::L))
+}
+
+/// A driver of each strength γ1..γ3 fighting over one node: the
+/// strongest present wins; equal opposing strengths give X.
+#[test]
+fn drive_strength_ladder_resolution() {
+    let mut net = Network::new();
+    let (vdd, gnd) = rails(&mut net);
+    let e1 = net.add_input("E1", Logic::L); // γ1 pull-up enable
+    let e2 = net.add_input("E2", Logic::L); // γ2 pull-down enable
+    let e3 = net.add_input("E3", Logic::L); // γ3 pull-up enable
+    let node = net.add_storage("N", Size::S1);
+    net.add_transistor(TransistorType::N, Drive::D1, e1, vdd, node);
+    net.add_transistor(TransistorType::N, Drive::D2, e2, node, gnd);
+    net.add_transistor(TransistorType::N, Drive::D3, e3, vdd, node);
+
+    let mut sim = LogicSim::new(&net);
+    sim.settle();
+    // γ1 up alone.
+    sim.set_input(e1, Logic::H);
+    sim.settle();
+    assert_eq!(sim.get(node), Logic::H);
+    // γ2 down beats γ1 up.
+    sim.set_input(e2, Logic::H);
+    sim.settle();
+    assert_eq!(sim.get(node), Logic::L);
+    // γ3 up beats γ2 down.
+    sim.set_input(e3, Logic::H);
+    sim.settle();
+    assert_eq!(sim.get(node), Logic::H);
+    // Equal γ3 opposition → X.
+    let e3d = net.add_input("E3D", Logic::L);
+    net.add_transistor(TransistorType::N, Drive::D3, e3d, node, gnd);
+    let mut sim = LogicSim::new(&net);
+    sim.settle();
+    for e in [e1, e2, e3, e3d] {
+        sim.set_input(e, Logic::H);
+    }
+    sim.settle();
+    assert_eq!(sim.get(node), Logic::X, "γ3 vs γ3 short");
+}
+
+/// κ3 > κ2 > κ1 charge sharing: the largest node dictates the result;
+/// chains resolve transitively.
+#[test]
+fn three_level_charge_hierarchy() {
+    let mut net = Network::new();
+    let clk = net.add_input("CLK", Logic::L);
+    let big = net.add_storage("BIG", Size::new(3).expect("κ3 valid"));
+    let mid = net.add_storage("MID", Size::S2);
+    let small = net.add_storage("SMALL", Size::S1);
+    net.add_transistor(TransistorType::N, Drive::D2, clk, big, mid);
+    net.add_transistor(TransistorType::N, Drive::D2, clk, mid, small);
+
+    let mut sim = LogicSim::new(&net);
+    sim.settle();
+    // Charge them to distinct values while isolated… they start X; use
+    // temporary drivers.
+    let wr_b = net.add_input("WB", Logic::L);
+    let wr_m = net.add_input("WM", Logic::L);
+    let wr_s = net.add_input("WS", Logic::L);
+    let (vdd, gnd) = (net.find_node("Vdd"), net.find_node("Gnd"));
+    assert!(vdd.is_none() && gnd.is_none(), "fresh rails below");
+    let vdd = net.add_input("Vdd", Logic::H);
+    let gnd = net.add_input("Gnd", Logic::L);
+    net.add_transistor(TransistorType::N, Drive::D2, wr_b, vdd, big);
+    net.add_transistor(TransistorType::N, Drive::D2, wr_m, gnd, mid);
+    net.add_transistor(TransistorType::N, Drive::D2, wr_s, gnd, small);
+
+    let mut sim = LogicSim::new(&net);
+    sim.settle();
+    for w in [wr_b, wr_m, wr_s] {
+        sim.set_input(w, Logic::H);
+    }
+    sim.settle();
+    for w in [wr_b, wr_m, wr_s] {
+        sim.set_input(w, Logic::L);
+    }
+    sim.settle();
+    assert_eq!(sim.get(big), Logic::H);
+    assert_eq!(sim.get(mid), Logic::L);
+    assert_eq!(sim.get(small), Logic::L);
+    // Connect all three: κ3's H charge overrides both smaller nodes.
+    sim.set_input(clk, Logic::H);
+    sim.settle();
+    assert_eq!(sim.get(big), Logic::H);
+    assert_eq!(sim.get(mid), Logic::H);
+    assert_eq!(sim.get(small), Logic::H);
+}
+
+/// Signal attenuation: a path through a weak transistor is capped at
+/// the weak strength, so a strong local driver wins at the far end.
+#[test]
+fn series_attenuation_caps_path_strength() {
+    let mut net = Network::new();
+    let (vdd, gnd) = rails(&mut net);
+    let en = net.add_input("EN", Logic::H);
+    let near = net.add_storage("NEAR", Size::S1);
+    let far = net.add_storage("FAR", Size::S1);
+    // Vdd --γ3-- near --γ1-- far --γ2-- Gnd
+    net.add_transistor(TransistorType::N, Drive::D3, en, vdd, near);
+    net.add_transistor(TransistorType::N, Drive::D1, en, near, far);
+    net.add_transistor(TransistorType::N, Drive::D2, en, far, gnd);
+    let mut sim = LogicSim::new(&net);
+    sim.settle();
+    // near: γ3 H beats the γ1-attenuated L from far's side.
+    assert_eq!(sim.get(near), Logic::H);
+    // far: the H arrives attenuated to γ1; the local γ2 pulldown wins.
+    assert_eq!(sim.get(far), Logic::L);
+}
+
+/// A long inverter chain settles exactly once per stage and stays
+/// correct at depth (regression guard for scheduler round handling).
+#[test]
+fn deep_inverter_chain() {
+    const DEPTH: usize = 64;
+    let mut net = Network::new();
+    let (vdd, gnd) = rails(&mut net);
+    let a = net.add_input("A", Logic::L);
+    let mut prev = a;
+    let mut nodes = Vec::new();
+    for i in 0..DEPTH {
+        let out = net.add_storage(format!("I{i}"), Size::S1);
+        net.add_transistor(TransistorType::P, Drive::D2, prev, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, prev, out, gnd);
+        nodes.push(out);
+        prev = out;
+    }
+    let mut sim = LogicSim::new(&net);
+    let rep = sim.settle();
+    assert!(!rep.oscillation_damped);
+    for (i, &n) in nodes.iter().enumerate() {
+        let want = Logic::from_bool(i % 2 == 0);
+        assert_eq!(sim.get(n), want, "stage {i}");
+    }
+    // Flip and re-check: the wave propagates the full depth.
+    sim.set_input(a, Logic::H);
+    let rep = sim.settle();
+    assert!(rep.rounds >= DEPTH, "one unit delay per stage");
+    for (i, &n) in nodes.iter().enumerate() {
+        let want = Logic::from_bool(i % 2 == 1);
+        assert_eq!(sim.get(n), want, "stage {i} after flip");
+    }
+}
+
+/// CMOS transmission gate passes both polarities cleanly and isolates
+/// when off, under both select senses.
+#[test]
+fn transmission_gate_bidirectional() {
+    let mut net = Network::new();
+    let (_vdd, _gnd) = rails(&mut net);
+    let d = net.add_input("D", Logic::L);
+    let sel = net.add_input("SEL", Logic::L);
+    let selb = net.add_input("SELB", Logic::H);
+    let out = net.add_storage("OUT", Size::S1);
+    net.add_transistor(TransistorType::N, Drive::D2, sel, d, out);
+    net.add_transistor(TransistorType::P, Drive::D2, selb, d, out);
+    let mut sim = LogicSim::new(&net);
+    sim.settle();
+    assert_eq!(sim.get(out), Logic::X, "off: keeps X charge");
+    // On: passes 0 and 1.
+    sim.set_input(sel, Logic::H);
+    sim.set_input(selb, Logic::L);
+    sim.settle();
+    assert_eq!(sim.get(out), Logic::L);
+    sim.set_input(d, Logic::H);
+    sim.settle();
+    assert_eq!(sim.get(out), Logic::H);
+    // Off again: retains the last value.
+    sim.set_input(sel, Logic::L);
+    sim.set_input(selb, Logic::H);
+    sim.settle();
+    sim.set_input(d, Logic::L);
+    sim.settle();
+    assert_eq!(sim.get(out), Logic::H, "charge retained through off gate");
+}

@@ -1,0 +1,164 @@
+//! Property tests for the steady-state solver and settle loop.
+//!
+//! The central invariants:
+//!
+//! 1. **Fixed point**: after a settle, re-perturbing every storage node
+//!    and settling again changes nothing.
+//! 2. **Determinism**: two simulators fed the same inputs agree on
+//!    every node state.
+//! 3. **Ternary monotonicity**: refining an `X` input to a definite
+//!    value can only refine node states — any node that was definite
+//!    with the `X` input keeps exactly that value.
+//! 4. **Locality ablation equivalence**: static (DC-component) and
+//!    dynamic (conduction-bounded) vicinity extraction produce the same
+//!    states.
+
+use fmossim_netlist::{Drive, Logic, Network, NodeId, Size, TransistorType};
+use fmossim_switch::{EngineConfig, LocalityMode, LogicSim};
+use proptest::prelude::*;
+
+/// A compact recipe for a random network that proptest can shrink.
+#[derive(Clone, Debug)]
+struct NetRecipe {
+    storage: usize,
+    inputs: Vec<Logic>,
+    /// (type, strength, gate, source, drain) — indices mod node count.
+    transistors: Vec<(u8, u8, u16, u16, u16)>,
+}
+
+fn arb_recipe() -> impl Strategy<Value = NetRecipe> {
+    (
+        1usize..10,
+        prop::collection::vec(
+            prop_oneof![Just(Logic::L), Just(Logic::H), Just(Logic::X)],
+            1..6,
+        ),
+        prop::collection::vec(
+            (0u8..3, 1u8..3, any::<u16>(), any::<u16>(), any::<u16>()),
+            1..25,
+        ),
+    )
+        .prop_map(|(storage, inputs, transistors)| NetRecipe {
+            storage,
+            inputs,
+            transistors,
+        })
+}
+
+fn build(recipe: &NetRecipe) -> (Network, Vec<NodeId>) {
+    let mut net = Network::new();
+    net.add_input("Vdd", Logic::H);
+    net.add_input("Gnd", Logic::L);
+    let mut input_ids = Vec::new();
+    for (i, v) in recipe.inputs.iter().enumerate() {
+        input_ids.push(net.add_input(format!("I{i}"), *v));
+    }
+    for i in 0..recipe.storage {
+        net.add_storage(format!("S{i}"), if i % 3 == 0 { Size::S2 } else { Size::S1 });
+    }
+    let n = net.num_nodes();
+    let ids: Vec<NodeId> = net.node_ids().collect();
+    for &(ty, g, a, b, c) in &recipe.transistors {
+        let ttype = [TransistorType::N, TransistorType::P, TransistorType::D][ty as usize];
+        let strength = Drive::new(g).expect("in range");
+        net.add_transistor(
+            ttype,
+            strength,
+            ids[a as usize % n],
+            ids[b as usize % n],
+            ids[c as usize % n],
+        );
+    }
+    (net, input_ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn settle_reaches_fixed_point(recipe in arb_recipe()) {
+        let (net, _) = build(&recipe);
+        let mut sim = LogicSim::new(&net);
+        let rep1 = sim.settle();
+        prop_assume!(!rep1.oscillation_damped);
+        let before: Vec<Logic> = sim.states().to_vec();
+        // Re-evaluating every vicinity from a stable state must be a
+        // no-op: settled states are fixed points of the steady-state
+        // response.
+        let rep2 = sim.resettle_all();
+        prop_assert_eq!(rep2.nodes_changed, 0);
+        prop_assert_eq!(before, sim.states().to_vec());
+    }
+
+    #[test]
+    fn settle_is_deterministic(recipe in arb_recipe()) {
+        let (net, _) = build(&recipe);
+        let mut a = LogicSim::new(&net);
+        let mut b = LogicSim::new(&net);
+        a.settle();
+        b.settle();
+        prop_assert_eq!(a.states(), b.states());
+    }
+
+    #[test]
+    fn refining_x_inputs_is_monotone(recipe in arb_recipe(), pick in any::<u16>(), to_one in any::<bool>()) {
+        let (net, input_ids) = build(&recipe);
+        // Choose one X-defaulted input (if any) and refine it.
+        let x_inputs: Vec<NodeId> = input_ids
+            .iter()
+            .copied()
+            .filter(|&n| matches!(net.node(n).class, fmossim_netlist::NodeClass::Input(Logic::X)))
+            .collect();
+        prop_assume!(!x_inputs.is_empty());
+        let target = x_inputs[pick as usize % x_inputs.len()];
+
+        let mut base = LogicSim::new(&net);
+        let rep = base.settle();
+        prop_assume!(!rep.oscillation_damped);
+
+        let mut refined = LogicSim::new(&net);
+        refined.set_input(target, Logic::from_bool(to_one));
+        let rep = refined.settle();
+        prop_assume!(!rep.oscillation_damped);
+
+        for id in net.node_ids() {
+            let vx = base.get(id);
+            let vr = refined.get(id);
+            if id != target && vx.is_definite() {
+                prop_assert_eq!(
+                    vx, vr,
+                    "node {} was definite {} with X input but {} when refined",
+                    net.node(id).name, vx, vr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn static_locality_matches_dynamic(recipe in arb_recipe()) {
+        let (net, input_ids) = build(&recipe);
+        let mut dynamic = LogicSim::with_config(
+            &net,
+            EngineConfig { locality: LocalityMode::Dynamic, ..EngineConfig::default() },
+        );
+        let mut static_ = LogicSim::with_config(
+            &net,
+            EngineConfig { locality: LocalityMode::Static, ..EngineConfig::default() },
+        );
+        let r1 = dynamic.settle();
+        let r2 = static_.settle();
+        prop_assume!(!r1.oscillation_damped && !r2.oscillation_damped);
+        prop_assert_eq!(dynamic.states(), static_.states());
+
+        // Drive a few input changes through both and re-compare.
+        for (i, &inp) in input_ids.iter().enumerate() {
+            let v = if i % 2 == 0 { Logic::H } else { Logic::L };
+            dynamic.set_input(inp, v);
+            static_.set_input(inp, v);
+            let r1 = dynamic.settle();
+            let r2 = static_.settle();
+            prop_assume!(!r1.oscillation_damped && !r2.oscillation_damped);
+            prop_assert_eq!(dynamic.states(), static_.states());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Memory operations as six-phase patterns.
+
+use fmossim_circuits::Ram;
+use fmossim_core::{Pattern, Phase};
+use fmossim_netlist::Logic;
+
+/// Builds six-phase patterns (the paper's "6 input settings to cycle
+/// the clocks") for read/write/idle operations on a [`Ram`].
+#[derive(Clone, Copy, Debug)]
+pub struct RamOps<'r> {
+    ram: &'r Ram,
+}
+
+impl<'r> RamOps<'r> {
+    /// Creates an operation builder for `ram`.
+    #[must_use]
+    pub fn new(ram: &'r Ram) -> Self {
+        RamOps { ram }
+    }
+
+    /// The RAM this builder targets.
+    #[must_use]
+    pub fn ram(&self) -> &'r Ram {
+        self.ram
+    }
+
+    fn pattern(&self, word: usize, write: Option<bool>, label: String) -> Pattern {
+        let io = self.ram.io();
+        let mut setup = self.ram.addr_assignments(word);
+        setup.push((io.we, Logic::from_bool(write.is_some())));
+        if let Some(d) = write {
+            setup.push((io.din, Logic::from_bool(d)));
+        }
+        setup.push((io.phi1, Logic::H));
+        Pattern::labelled(
+            vec![
+                Phase::strobe(setup),                          // 1: pins + PHI1↑
+                Phase::strobe(vec![(io.phi1, Logic::L)]),      // 2: PHI1↓
+                Phase::strobe(vec![(io.phi2, Logic::H)]),      // 3: PHI2↑
+                Phase::strobe(vec![(io.phi2, Logic::L)]),      // 4: PHI2↓
+                Phase::strobe(vec![(io.phi3, Logic::H)]),      // 5: PHI3↑ (output latch)
+                Phase::strobe(vec![(io.phi3, Logic::L)]),      // 6: PHI3↓, observe
+            ],
+            label,
+        )
+    }
+
+    /// A write of `value` to `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range for the RAM.
+    #[must_use]
+    pub fn write(&self, word: usize, value: bool) -> Pattern {
+        self.pattern(word, Some(value), format!("w{}@{word}", u8::from(value)))
+    }
+
+    /// A read of `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range for the RAM.
+    #[must_use]
+    pub fn read(&self, word: usize) -> Pattern {
+        self.pattern(word, None, format!("r@{word}"))
+    }
+
+    /// An idle pattern: clocks cycle with WE low at address 0 (used by
+    /// the control test to bring the clock generator and latches out of
+    /// the all-X reset state).
+    #[must_use]
+    pub fn idle(&self) -> Pattern {
+        let mut p = self.pattern(0, None, "idle".into());
+        p.label = "idle".into();
+        p
+    }
+
+    /// The flat word index of cell `(row, col)`.
+    #[must_use]
+    pub fn word_of(&self, row: usize, col: usize) -> usize {
+        row * self.ram.cols() + col
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_pattern_shape() {
+        let ram = Ram::new(4, 4);
+        let ops = RamOps::new(&ram);
+        let p = ops.write(5, true);
+        assert_eq!(p.phases.len(), 6, "six input settings per pattern");
+        assert!(p.phases.iter().all(|ph| ph.strobe), "output monitored continuously");
+        assert_eq!(p.label, "w1@5");
+        // Setup phase drives address, WE, DIN and PHI1.
+        let setup = &p.phases[0].inputs;
+        assert_eq!(setup.len(), 4 /* addr */ + 3);
+        assert!(setup.iter().any(|&(n, v)| n == ram.io().we && v == Logic::H));
+        assert!(setup.iter().any(|&(n, v)| n == ram.io().phi1 && v == Logic::H));
+    }
+
+    #[test]
+    fn read_pattern_drives_we_low_without_din() {
+        let ram = Ram::new(4, 4);
+        let ops = RamOps::new(&ram);
+        let p = ops.read(3);
+        let setup = &p.phases[0].inputs;
+        assert!(setup.iter().any(|&(n, v)| n == ram.io().we && v == Logic::L));
+        assert!(!setup.iter().any(|&(n, _)| n == ram.io().din));
+        assert_eq!(p.label, "r@3");
+    }
+
+    #[test]
+    fn word_of_is_row_major() {
+        let ram = Ram::new(4, 8);
+        let ops = RamOps::new(&ram);
+        assert_eq!(ops.word_of(0, 0), 0);
+        assert_eq!(ops.word_of(1, 0), 8);
+        assert_eq!(ops.word_of(3, 7), 31);
+    }
+
+    #[test]
+    fn clock_cycle_order() {
+        let ram = Ram::new(4, 4);
+        let p = RamOps::new(&ram).idle();
+        let io = ram.io();
+        // Phase 1 raises PHI1, phase 2 lowers it, phase 3 raises PHI2…
+        assert!(p.phases[0].inputs.iter().any(|&(n, v)| n == io.phi1 && v == Logic::H));
+        assert_eq!(p.phases[1].inputs, vec![(io.phi1, Logic::L)]);
+        assert_eq!(p.phases[2].inputs, vec![(io.phi2, Logic::H)]);
+        assert_eq!(p.phases[3].inputs, vec![(io.phi2, Logic::L)]);
+        assert_eq!(p.phases[4].inputs, vec![(io.phi3, Logic::H)]);
+        assert_eq!(p.phases[5].inputs, vec![(io.phi3, Logic::L)]);
+    }
+}

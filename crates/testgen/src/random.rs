@@ -1,0 +1,59 @@
+//! Random operation sequences (reproducible), for workloads beyond the
+//! paper's marches.
+
+use crate::ops::RamOps;
+use fmossim_circuits::Ram;
+use fmossim_core::Pattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` random read/write operations over the whole address
+/// space, seeded for reproducibility. Roughly half the operations are
+/// writes; reads of never-written words are possible (and legitimate —
+/// they read `X`).
+#[must_use]
+pub fn random_ops(ram: &Ram, n: usize, seed: u64) -> Vec<Pattern> {
+    let ops = RamOps::new(ram);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let word = rng.gen_range(0..ram.capacity());
+            if rng.gen_bool(0.5) {
+                ops.write(word, rng.gen_bool(0.5))
+            } else {
+                ops.read(word)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_and_correct_length() {
+        let ram = Ram::new(4, 4);
+        let a = random_ops(&ram, 25, 7);
+        let b = random_ops(&ram, 25, 7);
+        assert_eq!(a.len(), 25);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.label, y.label);
+        }
+        let c = random_ops(&ram, 25, 8);
+        assert!(
+            a.iter().zip(c.iter()).any(|(x, y)| x.label != y.label),
+            "different seeds give different ops"
+        );
+    }
+
+    #[test]
+    fn mixes_reads_and_writes() {
+        let ram = Ram::new(4, 4);
+        let ops = random_ops(&ram, 100, 42);
+        let writes = ops.iter().filter(|p| p.label.starts_with('w')).count();
+        let reads = ops.iter().filter(|p| p.label.starts_with('r')).count();
+        assert_eq!(writes + reads, 100);
+        assert!(writes > 20 && reads > 20, "{writes} writes, {reads} reads");
+    }
+}

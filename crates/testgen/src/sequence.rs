@@ -1,0 +1,273 @@
+//! The paper's test sequences.
+
+use crate::ops::RamOps;
+use fmossim_circuits::Ram;
+use fmossim_core::Pattern;
+
+/// A named, contiguous section of a test sequence (used for the paper's
+/// head/tail analysis: "the first 87 patterns during which all faults
+/// in the control and bus logic are detected").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    /// Section name ("control", "row march", …).
+    pub name: String,
+    /// Number of patterns in this section.
+    pub len: usize,
+}
+
+/// An ordered pattern sequence with section bookkeeping.
+#[derive(Clone, Debug, Default)]
+pub struct TestSequence {
+    /// Sequence name ("sequence 1", "sequence 2").
+    pub name: String,
+    patterns: Vec<Pattern>,
+    sections: Vec<Section>,
+}
+
+impl TestSequence {
+    /// **Sequence 1** of the paper: control/peripheral test, row-select
+    /// march, column-select march, then the full 5·N array march.
+    /// For an 8×8 RAM this is 7 + 40 + 40 + 320 = 407 patterns; for
+    /// 16×16, 7 + 80 + 80 + 1280 = 1447 — both exactly as published.
+    #[must_use]
+    pub fn full(ram: &Ram) -> Self {
+        let mut seq = TestSequence {
+            name: "sequence 1".into(),
+            ..TestSequence::default()
+        };
+        seq.push_section("control", control_test(ram));
+        seq.push_section("row march", row_march(ram));
+        seq.push_section("column march", column_march(ram));
+        seq.push_section("array march", array_march(ram));
+        seq
+    }
+
+    /// **Sequence 2** of the paper: as sequence 1 but with the row and
+    /// column marches omitted (327 patterns for RAM64). Faults in the
+    /// address decoding and bus control logic are then detected only
+    /// slowly, as the array march proceeds — the paper's demonstration
+    /// that the *shortest* test sequence need not give the shortest
+    /// simulation time.
+    #[must_use]
+    pub fn march_only(ram: &Ram) -> Self {
+        let mut seq = TestSequence {
+            name: "sequence 2".into(),
+            ..TestSequence::default()
+        };
+        seq.push_section("control", control_test(ram));
+        seq.push_section("array march", array_march(ram));
+        seq
+    }
+
+    /// The patterns, in order.
+    #[must_use]
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Total number of patterns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True iff the sequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The section structure.
+    #[must_use]
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Number of patterns before the array march begins — the paper's
+    /// "head" (87 for RAM64 sequence 1: 7 + 40 + 40).
+    #[must_use]
+    pub fn head_len(&self) -> usize {
+        self.sections
+            .iter()
+            .take_while(|s| s.name != "array march")
+            .map(|s| s.len)
+            .sum()
+    }
+
+    /// Appends a named section of patterns.
+    pub fn push_section(&mut self, name: &str, patterns: Vec<Pattern>) {
+        self.sections.push(Section {
+            name: name.into(),
+            len: patterns.len(),
+        });
+        self.patterns.extend(patterns);
+    }
+
+    /// The name of the section containing pattern index `idx` (useful
+    /// for attributing detections: "detected during the column march").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    #[must_use]
+    pub fn section_of(&self, idx: usize) -> &str {
+        assert!(idx < self.len(), "pattern index out of range");
+        let mut start = 0;
+        for s in &self.sections {
+            if idx < start + s.len {
+                return &s.name;
+            }
+            start += s.len;
+        }
+        unreachable!("sections cover all patterns");
+    }
+}
+
+/// The 7-pattern control/peripheral test: clock initialization, a
+/// write/read/write/read toggle of word 0 (exercising the data-in
+/// latch, write bus, sense path and output latch in both polarities)
+/// and a write/read of the highest word (exercising the opposite
+/// decoder corner).
+#[must_use]
+pub fn control_test(ram: &Ram) -> Vec<Pattern> {
+    let ops = RamOps::new(ram);
+    let last = ram.capacity() - 1;
+    vec![
+        ops.idle(),
+        ops.write(0, true),
+        ops.read(0),
+        ops.write(0, false),
+        ops.read(0),
+        ops.write(last, true),
+        ops.read(last),
+    ]
+}
+
+/// 5-operation march over one representative cell per row (column 0):
+/// `w0; r0,w1; r1,w0` per row — 5·R patterns exercising the row select
+/// logic.
+#[must_use]
+pub fn row_march(ram: &Ram) -> Vec<Pattern> {
+    let ops = RamOps::new(ram);
+    march_over(&ops, (0..ram.rows()).map(|r| ops.word_of(r, 0)).collect())
+}
+
+/// 5-operation march over one representative cell per column (row 0):
+/// 5·C patterns exercising the column select and bit line logic.
+#[must_use]
+pub fn column_march(ram: &Ram) -> Vec<Pattern> {
+    let ops = RamOps::new(ram);
+    march_over(&ops, (0..ram.cols()).map(|c| ops.word_of(0, c)).collect())
+}
+
+/// The full 5·N marching test of the memory array (Winegarden &
+/// Pannell): `↑(w0); ↑(r0,w1); ↑(r1,w0)`.
+#[must_use]
+pub fn array_march(ram: &Ram) -> Vec<Pattern> {
+    let ops = RamOps::new(ram);
+    march_over(&ops, (0..ram.capacity()).collect())
+}
+
+/// `↑(w0); ↑(r0,w1); ↑(r1,w0)` over the given words: 5 patterns per
+/// word.
+fn march_over(ops: &RamOps<'_>, words: Vec<usize>) -> Vec<Pattern> {
+    let mut patterns = Vec::with_capacity(5 * words.len());
+    for &w in &words {
+        patterns.push(ops.write(w, false));
+    }
+    for &w in &words {
+        patterns.push(ops.read(w));
+        patterns.push(ops.write(w, true));
+    }
+    for &w in &words {
+        patterns.push(ops.read(w));
+        patterns.push(ops.write(w, false));
+    }
+    patterns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram64_sequence_1_is_407_patterns() {
+        let ram = Ram::new(8, 8);
+        let seq = TestSequence::full(&ram);
+        assert_eq!(seq.len(), 407, "the paper's sequence-1 length");
+        let lens: Vec<usize> = seq.sections().iter().map(|s| s.len).collect();
+        assert_eq!(lens, vec![7, 40, 40, 320]);
+        assert_eq!(seq.head_len(), 87, "the paper's head length");
+    }
+
+    #[test]
+    fn ram64_sequence_2_is_327_patterns() {
+        let ram = Ram::new(8, 8);
+        let seq = TestSequence::march_only(&ram);
+        assert_eq!(seq.len(), 327, "the paper's sequence-2 length");
+        assert_eq!(seq.head_len(), 7);
+    }
+
+    #[test]
+    fn ram256_sequence_1_is_1447_patterns() {
+        let ram = Ram::new(16, 16);
+        let seq = TestSequence::full(&ram);
+        assert_eq!(seq.len(), 1447, "the paper's RAM256 sequence length");
+        let lens: Vec<usize> = seq.sections().iter().map(|s| s.len).collect();
+        assert_eq!(lens, vec![7, 80, 80, 1280]);
+    }
+
+    #[test]
+    fn march_element_structure() {
+        let ram = Ram::new(4, 4);
+        let patterns = array_march(&ram);
+        assert_eq!(patterns.len(), 5 * 16);
+        // First sweep: write 0 everywhere.
+        for (i, p) in patterns[..16].iter().enumerate() {
+            assert_eq!(p.label, format!("w0@{i}"));
+        }
+        // Second sweep: read 0, write 1.
+        assert_eq!(patterns[16].label, "r@0");
+        assert_eq!(patterns[17].label, "w1@0");
+        // Third sweep: read 1, write 0.
+        assert_eq!(patterns[48].label, "r@0");
+        assert_eq!(patterns[49].label, "w0@0");
+    }
+
+    #[test]
+    fn sequences_share_control_prefix() {
+        let ram = Ram::new(4, 4);
+        let s1 = TestSequence::full(&ram);
+        let s2 = TestSequence::march_only(&ram);
+        for i in 0..7 {
+            assert_eq!(s1.patterns()[i].label, s2.patterns()[i].label);
+        }
+        assert!(!s1.is_empty());
+    }
+
+    #[test]
+    fn row_and_column_marches_touch_distinct_lines() {
+        let ram = Ram::new(4, 8);
+        assert_eq!(row_march(&ram).len(), 5 * 4);
+        assert_eq!(column_march(&ram).len(), 5 * 8);
+    }
+
+    #[test]
+    fn section_of_attributes_patterns() {
+        let ram = Ram::new(4, 4);
+        let seq = TestSequence::full(&ram);
+        assert_eq!(seq.section_of(0), "control");
+        assert_eq!(seq.section_of(6), "control");
+        assert_eq!(seq.section_of(7), "row march");
+        assert_eq!(seq.section_of(7 + 20), "column march");
+        assert_eq!(seq.section_of(seq.len() - 1), "array march");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn section_of_rejects_out_of_range() {
+        let ram = Ram::new(4, 4);
+        let seq = TestSequence::march_only(&ram);
+        let _ = seq.section_of(seq.len());
+    }
+}

@@ -1,0 +1,72 @@
+//! Fault diagnosis with a fault dictionary — the flip side of fault
+//! simulation: given the syndrome a failing chip shows on the tester,
+//! which faults could explain it?
+//!
+//! Builds the full-syndrome dictionary for a small RAM under the
+//! marching test, then plays "tester": picks a secret fault, simulates
+//! its observable misbehaviour, and asks the dictionary for candidates.
+//!
+//! ```sh
+//! cargo run --release --example diagnosis
+//! ```
+
+use fmossim::circuits::Ram;
+use fmossim::concurrent::{ConcurrentConfig, FaultDictionary};
+use fmossim::faults::{FaultId, FaultUniverse};
+use fmossim::testgen::TestSequence;
+
+fn main() {
+    let ram = Ram::new(4, 4);
+    let universe = FaultUniverse::stuck_nodes(ram.network());
+    let seq = TestSequence::full(&ram);
+    println!(
+        "building dictionary: {} faults x {} patterns...",
+        universe.len(),
+        seq.len()
+    );
+    let dict = FaultDictionary::build(
+        ram.network(),
+        universe.faults(),
+        seq.patterns(),
+        ram.observed_outputs(),
+        ConcurrentConfig::default(),
+    );
+
+    // How well does the march distinguish faults?
+    let classes = dict.equivalence_classes();
+    let distinguishable = classes.iter().filter(|c| c.len() == 1).count();
+    let largest = classes.iter().map(Vec::len).max().unwrap_or(0);
+    println!(
+        "{} faults fall into {} distinguishable classes ({} singletons, largest class {})",
+        universe.len(),
+        classes.len(),
+        distinguishable,
+        largest
+    );
+    for class in classes.iter().filter(|c| c.len() > 1).take(4) {
+        let names: Vec<String> = class
+            .iter()
+            .map(|&f| universe.fault(f).describe(ram.network()))
+            .collect();
+        println!("  indistinguishable: {}", names.join("  ==  "));
+    }
+
+    // Play tester: the "defective part" has fault #17.
+    let secret = FaultId(17 % u32::try_from(universe.len()).expect("nonempty"));
+    let observed = dict.signature(secret).to_vec();
+    println!(
+        "\nsecret fault: {} ({} syndrome entries)",
+        universe.fault(secret).describe(ram.network()),
+        observed.len()
+    );
+    let candidates = dict.diagnose(&observed);
+    println!("diagnosis candidates ({}):", candidates.len());
+    for c in &candidates {
+        println!(
+            "  {}{}",
+            universe.fault(*c).describe(ram.network()),
+            if *c == secret { "   <-- the actual fault" } else { "" }
+        );
+    }
+    assert!(candidates.contains(&secret), "diagnosis must include truth");
+}

@@ -1,0 +1,76 @@
+//! Quickstart: build a circuit, simulate it, then fault-simulate it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fmossim::concurrent::{ConcurrentConfig, ConcurrentSim, Pattern, Phase};
+use fmossim::faults::FaultUniverse;
+use fmossim::netlist::{Drive, Logic, Network, Size, TransistorType};
+use fmossim::sim::LogicSim;
+
+fn main() {
+    // 1. Describe a CMOS NAND gate at the switch level: nodes connected
+    //    by bidirectional transistor switches.
+    let mut net = Network::new();
+    let vdd = net.add_input("Vdd", Logic::H);
+    let gnd = net.add_input("Gnd", Logic::L);
+    let a = net.add_input("A", Logic::L);
+    let b = net.add_input("B", Logic::L);
+    let out = net.add_storage("OUT", Size::S1);
+    let mid = net.add_storage("MID", Size::S1);
+    net.add_transistor(TransistorType::P, Drive::D2, a, vdd, out);
+    net.add_transistor(TransistorType::P, Drive::D2, b, vdd, out);
+    net.add_transistor(TransistorType::N, Drive::D2, a, out, mid);
+    net.add_transistor(TransistorType::N, Drive::D2, b, mid, gnd);
+    net.validate().expect("well-formed netlist");
+
+    // 2. Logic-simulate the fault-free circuit.
+    let mut sim = LogicSim::new(&net);
+    sim.settle();
+    println!("NAND truth table (switch-level):");
+    for (va, vb) in [
+        (Logic::L, Logic::L),
+        (Logic::L, Logic::H),
+        (Logic::H, Logic::L),
+        (Logic::H, Logic::H),
+    ] {
+        sim.set_input(a, va);
+        sim.set_input(b, vb);
+        sim.settle();
+        println!("  A={va} B={vb} -> OUT={}", sim.get(out));
+    }
+
+    // 3. Fault-simulate: every storage node stuck-at-0/1 and every
+    //    transistor stuck-open/closed, concurrently.
+    let universe =
+        FaultUniverse::stuck_nodes(&net).union(FaultUniverse::stuck_transistors(&net));
+    let patterns: Vec<Pattern> = [
+        (Logic::L, Logic::L),
+        (Logic::L, Logic::H),
+        (Logic::H, Logic::L),
+        (Logic::H, Logic::H),
+    ]
+    .into_iter()
+    .map(|(va, vb)| Pattern::new(vec![Phase::strobe(vec![(a, va), (b, vb)])]))
+    .collect();
+
+    let mut fsim = ConcurrentSim::new(&net, universe.faults(), ConcurrentConfig::paper());
+    let report = fsim.run(&patterns, &[out]);
+    println!(
+        "\nfault simulation: {}/{} faults detected ({:.0}% coverage) in {} patterns",
+        report.detected(),
+        report.num_faults,
+        report.coverage() * 100.0,
+        patterns.len()
+    );
+    for d in &report.detections {
+        println!(
+            "  pattern {:>2}: {} (good {} vs faulty {})",
+            d.pattern + 1,
+            universe.fault(d.fault).describe(&net),
+            d.good,
+            d.faulty
+        );
+    }
+}

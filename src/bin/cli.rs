@@ -1,0 +1,274 @@
+//! `fmossim` — command-line front end to the simulator.
+//!
+//! ```text
+//! fmossim stats    <netlist.snl>
+//! fmossim gen      ram <rows> <cols> | regfile <words> <bits>
+//! fmossim sim      <netlist.snl> --stim <file> [--watch N1,N2,…]
+//! fmossim faultsim <netlist.snl> --stim <file> --outputs N1[,N2…]
+//!                  [--universe stuck-nodes|stuck-transistors|all]
+//!                  [--sample K] [--seed S] [--serial]
+//! ```
+//!
+//! The stimulus file is line oriented: each non-comment line is one
+//! pattern; phases are separated by `;`; a phase is whitespace-
+//! separated `NAME=VALUE` input assignments (`0`, `1` or `X`). Every
+//! phase is observed (strobed). `#` starts a comment.
+//!
+//! ```text
+//! # cycle the clocks, then read
+//! A0=1 WE=1 DIN=1 PHI1=1 ; PHI1=0 ; PHI2=1 ; PHI2=0 ; PHI3=1 ; PHI3=0
+//! ```
+
+use fmossim::concurrent::{
+    ConcurrentConfig, ConcurrentSim, Pattern, Phase, SerialConfig, SerialSim,
+};
+use fmossim::circuits::{Ram, RegisterFile};
+use fmossim::faults::FaultUniverse;
+use fmossim::netlist::{parse_netlist, write_netlist, Logic, Network, NetworkStats, NodeId};
+use fmossim::sim::LogicSim;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("faultsim") => cmd_faultsim(&args[1..]),
+        Some("--help" | "-h") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+fmossim — concurrent switch-level fault simulator (Bryant & Schuster, DAC 1985)
+
+usage:
+  fmossim stats    <netlist.snl>
+  fmossim gen      ram <rows> <cols> | regfile <words> <bits>
+  fmossim sim      <netlist.snl> --stim <file> [--watch A,B,...]
+  fmossim faultsim <netlist.snl> --stim <file> --outputs A[,B...]
+                   [--universe stuck-nodes|stuck-transistors|all]
+                   [--sample K] [--seed S] [--serial]
+";
+
+fn load(path: &str) -> Result<Network, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let net = parse_netlist(&text).map_err(|e| format!("{path}: {e}"))?;
+    net.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(net)
+}
+
+fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn node_list(net: &Network, spec: &str) -> Result<Vec<NodeId>, String> {
+    spec.split(',')
+        .map(|name| {
+            net.find_node(name.trim())
+                .ok_or_else(|| format!("no node named `{name}`"))
+        })
+        .collect()
+}
+
+/// Parses the stimulus format: one pattern per line, phases split by
+/// `;`, assignments `NAME=0|1|X`.
+fn parse_stim(net: &Network, text: &str) -> Result<Vec<Pattern>, String> {
+    let mut patterns = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut phases = Vec::new();
+        for chunk in body.split(';') {
+            let mut inputs = Vec::new();
+            for assign in chunk.split_whitespace() {
+                let (name, val) = assign
+                    .split_once('=')
+                    .ok_or_else(|| format!("stim line {}: `{assign}` is not NAME=VALUE", lineno + 1))?;
+                let node = net
+                    .find_node(name)
+                    .ok_or_else(|| format!("stim line {}: no node `{name}`", lineno + 1))?;
+                let v = (val.len() == 1)
+                    .then(|| Logic::from_char(val.chars().next().expect("one char")))
+                    .flatten()
+                    .ok_or_else(|| format!("stim line {}: bad value `{val}`", lineno + 1))?;
+                inputs.push((node, v));
+            }
+            phases.push(Phase::strobe(inputs));
+        }
+        patterns.push(Pattern::labelled(phases, format!("line {}", lineno + 1)));
+    }
+    if patterns.is_empty() {
+        return Err("stimulus file contains no patterns".into());
+    }
+    Ok(patterns)
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats needs a netlist path")?;
+    let net = load(path)?;
+    println!("{}", NetworkStats::of(&net));
+    println!("inputs:");
+    for id in net.input_ids() {
+        let node = net.node(id);
+        let class = match node.class {
+            fmossim::netlist::NodeClass::Input(v) => v,
+            fmossim::netlist::NodeClass::Storage(_) => unreachable!("input_ids yields inputs"),
+        };
+        println!("  {} (default {})", node.name, class);
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    match args {
+        [kind, a, b] if kind == "ram" => {
+            let rows: usize = a.parse().map_err(|_| "rows must be a number")?;
+            let cols: usize = b.parse().map_err(|_| "cols must be a number")?;
+            let ram = Ram::new(rows, cols);
+            print!("{}", write_netlist(ram.network()));
+            eprintln!("generated RAM{}: {}", rows * cols, ram.stats());
+            Ok(())
+        }
+        [kind, a, b] if kind == "regfile" => {
+            let words: usize = a.parse().map_err(|_| "words must be a number")?;
+            let bits: usize = b.parse().map_err(|_| "bits must be a number")?;
+            let rf = RegisterFile::new(words, bits);
+            print!("{}", write_netlist(rf.network()));
+            eprintln!("generated register file: {}", rf.stats());
+            Ok(())
+        }
+        _ => Err("gen needs: ram <rows> <cols> | regfile <words> <bits>".into()),
+    }
+}
+
+fn cmd_sim(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("sim needs a netlist path")?;
+    let net = load(path)?;
+    let stim_path = opt(args, "--stim").ok_or("sim needs --stim <file>")?;
+    let stim_text =
+        std::fs::read_to_string(stim_path).map_err(|e| format!("cannot read stim: {e}"))?;
+    let patterns = parse_stim(&net, &stim_text)?;
+    let watch: Vec<NodeId> = match opt(args, "--watch") {
+        Some(spec) => node_list(&net, spec)?,
+        None => net.storage_ids().collect(),
+    };
+
+    let mut sim = LogicSim::new(&net);
+    sim.settle();
+    println!(
+        "pattern,{}",
+        watch
+            .iter()
+            .map(|&n| net.node(n).name.clone())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    for (pi, pattern) in patterns.iter().enumerate() {
+        for phase in &pattern.phases {
+            for &(n, v) in &phase.inputs {
+                sim.set_input(n, v);
+            }
+            sim.settle();
+        }
+        let row: Vec<String> = watch.iter().map(|&n| sim.get(n).to_string()).collect();
+        println!("{},{}", pi + 1, row.join(","));
+    }
+    Ok(())
+}
+
+fn cmd_faultsim(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("faultsim needs a netlist path")?;
+    let net = load(path)?;
+    let stim_path = opt(args, "--stim").ok_or("faultsim needs --stim <file>")?;
+    let stim_text =
+        std::fs::read_to_string(stim_path).map_err(|e| format!("cannot read stim: {e}"))?;
+    let patterns = parse_stim(&net, &stim_text)?;
+    let outputs = node_list(&net, opt(args, "--outputs").ok_or("faultsim needs --outputs")?)?;
+
+    let mut universe = match opt(args, "--universe").unwrap_or("stuck-nodes") {
+        "stuck-nodes" => FaultUniverse::stuck_nodes(&net),
+        "stuck-transistors" => FaultUniverse::stuck_transistors(&net),
+        "all" => FaultUniverse::stuck_nodes(&net).union(FaultUniverse::stuck_transistors(&net)),
+        other => return Err(format!("unknown universe `{other}`")),
+    };
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| s.parse().map_err(|_| "--seed takes a number"))
+        .transpose()?
+        .unwrap_or(fmossim::faults::DEFAULT_SEED);
+    if let Some(k) = opt(args, "--sample") {
+        let k: usize = k.parse().map_err(|_| "--sample takes a number")?;
+        universe = universe.sample(k, seed);
+    }
+    eprintln!(
+        "{} faults, {} patterns, observing {} output(s)",
+        universe.len(),
+        patterns.len(),
+        outputs.len()
+    );
+
+    let mut sim = ConcurrentSim::new(&net, universe.faults(), ConcurrentConfig::paper());
+    let report = sim.run(&patterns, &outputs);
+    println!(
+        "detected {}/{} faults ({:.1}% coverage) in {:.3}s",
+        report.detected(),
+        report.num_faults,
+        report.coverage() * 100.0,
+        report.total_seconds
+    );
+    for d in &report.detections {
+        println!(
+            "  pattern {:>4} phase {}: {}{}",
+            d.pattern + 1,
+            d.phase + 1,
+            universe.fault(d.fault).describe(&net),
+            if d.is_potential() { " (potential, X)" } else { "" }
+        );
+    }
+    let detected: std::collections::HashSet<_> =
+        report.detections.iter().map(|d| d.fault).collect();
+    let missed: Vec<_> = universe
+        .iter()
+        .filter(|(id, _)| !detected.contains(id))
+        .collect();
+    if !missed.is_empty() {
+        println!("undetected ({}):", missed.len());
+        for (_, f) in missed {
+            println!("  {}", f.describe(&net));
+        }
+    }
+
+    if flag(args, "--serial") {
+        let serial = SerialSim::new(&net, SerialConfig::paper());
+        let sreport = serial.run(universe.faults(), &patterns, &outputs);
+        println!(
+            "serial reference: detected {}/{} in {:.3}s ({:.1}x concurrent)",
+            sreport.detected(),
+            universe.len(),
+            sreport.total_seconds,
+            sreport.total_seconds / report.total_seconds
+        );
+    }
+    Ok(())
+}

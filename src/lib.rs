@@ -1,0 +1,51 @@
+//! # FMOSSIM — a concurrent switch-level fault simulator
+//!
+//! Rust reproduction of Bryant & Schuster, *Performance Evaluation of
+//! FMOSSIM, a Concurrent Switch-Level Fault Simulator*, DAC 1985.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`netlist`] — the switch-level network model (nodes, transistors,
+//!   strengths, text netlist format).
+//! * [`sim`] — the switch-level logic simulator (MOSSIM II equivalent):
+//!   steady-state solver, vicinities, event-driven unit-delay loop.
+//! * [`faults`] — fault models, fault-universe enumeration, sampling.
+//! * [`concurrent`] — the concurrent fault simulator (the paper's
+//!   contribution) and the serial baseline.
+//! * [`circuits`] — circuit generators: cell library and the paper's
+//!   RAM64/RAM256 dynamic-RAM benchmark circuits.
+//! * [`testgen`] — test-pattern generation: clock phases, marching
+//!   memory tests, the paper's exact test sequences.
+//!
+//! Beyond the paper: fault dictionaries and diagnosis
+//! ([`concurrent::FaultDictionary`]), multi-fault circuits
+//! ([`concurrent::ConcurrentSim::new_multi`]), VCD waveform export
+//! ([`sim::Trace`]), Berkeley `.sim` import ([`netlist::parse_sim`]),
+//! and a CLI (`cargo run --bin fmossim -- --help`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fmossim::circuits::Ram;
+//! use fmossim::testgen::TestSequence;
+//! use fmossim::faults::FaultUniverse;
+//! use fmossim::concurrent::{ConcurrentSim, ConcurrentConfig};
+//!
+//! // The paper's RAM64 is Ram::new(8, 8); a 4x4 keeps the doctest fast.
+//! let ram = Ram::new(4, 4);
+//! let seq = TestSequence::full(&ram);
+//! let universe = FaultUniverse::stuck_nodes(ram.network());
+//! let mut sim = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
+//! let report = sim.run(seq.patterns(), ram.observed_outputs());
+//! assert!(report.detected() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fmossim_circuits as circuits;
+pub use fmossim_core as concurrent;
+pub use fmossim_faults as faults;
+pub use fmossim_netlist as netlist;
+pub use fmossim_switch as sim;
+pub use fmossim_testgen as testgen;

@@ -1,0 +1,168 @@
+//! Coverage behaviour of the marching test sequences on the RAM —
+//! the functional claims behind the paper's evaluation setup.
+
+use fmossim::circuits::Ram;
+use fmossim::concurrent::{ConcurrentConfig, ConcurrentSim};
+use fmossim::faults::{inject, Fault, FaultUniverse};
+use fmossim::netlist::Logic;
+use fmossim::testgen::TestSequence;
+
+fn ram_with_bridges(dim: usize) -> (Ram, FaultUniverse) {
+    let mut ram = Ram::new(dim, dim);
+    let bridges: Vec<_> = ram
+        .adjacent_bitline_pairs()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (a, b))| inject::insert_bridge(ram.network_mut(), a, b, &format!("bl{i}")))
+        .collect();
+    let universe =
+        FaultUniverse::stuck_nodes(ram.network()).union(FaultUniverse::from_faults(bridges));
+    (ram, universe)
+}
+
+/// The paper: the RAMs "could be fully tested" by the control +
+/// marching sequences.
+#[test]
+fn sequence_1_fully_tests_the_ram() {
+    let (ram, universe) = ram_with_bridges(4);
+    let seq = TestSequence::full(&ram);
+    let mut sim = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
+    let report = sim.run(seq.patterns(), ram.observed_outputs());
+    assert_eq!(
+        report.detected(),
+        universe.len(),
+        "sequence 1 must detect every stuck-node and bridge fault"
+    );
+}
+
+/// Sequence 2 detects the same faults, just later (the paper: "all
+/// other faults are detected slowly as the marching test of the memory
+/// array proceeds").
+#[test]
+fn sequence_2_also_fully_tests_but_later() {
+    let (ram, universe) = ram_with_bridges(4);
+    let seq1 = TestSequence::full(&ram);
+    let seq2 = TestSequence::march_only(&ram);
+
+    let mut sim1 =
+        ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
+    let r1 = sim1.run(seq1.patterns(), ram.observed_outputs());
+    let mut sim2 =
+        ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
+    let r2 = sim2.run(seq2.patterns(), ram.observed_outputs());
+
+    assert_eq!(r1.detected(), universe.len());
+    assert_eq!(r2.detected(), universe.len());
+
+    // Mean pattern-of-detection comes later under sequence 2 relative
+    // to sequence length: the decoder/bus faults wait for the array
+    // march to reach the right addresses.
+    let mean = |r: &fmossim::concurrent::RunReport| {
+        r.detections.iter().map(|d| d.pattern).sum::<usize>() as f64 / r.detected() as f64
+    };
+    let frac1 = mean(&r1) / seq1.len() as f64;
+    let frac2 = mean(&r2) / seq2.len() as f64;
+    assert!(
+        frac2 > frac1,
+        "relative detection position: seq1 {frac1:.3} vs seq2 {frac2:.3}"
+    );
+}
+
+/// A planted cell stuck-at fault must be caught by the array march at
+/// the read of that cell, and no earlier than its first read.
+#[test]
+fn march_catches_planted_cell_fault_at_the_right_read() {
+    let ram = Ram::new(4, 4);
+    let victim = ram.cell(2, 3);
+    let fault = Fault::NodeStuck {
+        node: victim,
+        value: Logic::H, // stuck-at-1: caught when 0 is expected
+    };
+    let seq = TestSequence::full(&ram);
+    let mut sim = ConcurrentSim::new(ram.network(), &[fault], ConcurrentConfig::paper());
+    let report = sim.run(seq.patterns(), ram.observed_outputs());
+    assert_eq!(report.detected(), 1);
+    let d = report.detections[0];
+    let label = &seq.patterns()[d.pattern].label;
+    assert!(
+        label.starts_with("r@") || label.starts_with("w"),
+        "detected during a memory operation, got '{label}'"
+    );
+    // Stuck-at-1 in cell (2,3) = word 11: first march read of word 11
+    // expecting 0 is in the r0 sweep. It must not fire before the
+    // control section ends.
+    assert!(d.pattern >= 7, "not before the control section");
+}
+
+/// Every cell's stuck-at faults are detected by the array march alone.
+#[test]
+fn array_march_detects_every_cell_fault() {
+    let ram = Ram::new(4, 4);
+    let mut faults = Vec::new();
+    for r in 0..4 {
+        for c in 0..4 {
+            faults.push(Fault::NodeStuck {
+                node: ram.cell(r, c),
+                value: Logic::L,
+            });
+            faults.push(Fault::NodeStuck {
+                node: ram.cell(r, c),
+                value: Logic::H,
+            });
+        }
+    }
+    let seq = TestSequence::full(&ram);
+    let mut sim = ConcurrentSim::new(ram.network(), &faults, ConcurrentConfig::paper());
+    let report = sim.run(seq.patterns(), ram.observed_outputs());
+    assert_eq!(report.detected(), faults.len(), "all 2N cell faults detected");
+}
+
+/// Bridge faults between bit lines are detected.
+#[test]
+fn bitline_bridges_are_detected() {
+    let mut ram = Ram::new(4, 4);
+    let bridges: Vec<_> = ram
+        .adjacent_bitline_pairs()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (a, b))| inject::insert_bridge(ram.network_mut(), a, b, &format!("bl{i}")))
+        .collect();
+    let seq = TestSequence::full(&ram);
+    let mut sim = ConcurrentSim::new(ram.network(), &bridges, ConcurrentConfig::paper());
+    let report = sim.run(seq.patterns(), ram.observed_outputs());
+    assert_eq!(report.detected(), bridges.len(), "all bridges detected");
+}
+
+/// The severe clock/control faults fall in the head, as in Figure 1
+/// ("the first 87 patterns during which all faults in the control and
+/// bus logic are detected").
+#[test]
+fn control_faults_detected_in_the_head() {
+    let ram = Ram::new(4, 4);
+    let io = ram.io();
+    // Frozen-clock faults are the paper's canonical severe faults —
+    // clocks are inputs here, so freeze the internal strobe logic
+    // instead: WSTR / RSTR stuck.
+    let net = ram.network();
+    let wstr = net.find_node("WSTR").expect("write strobe exists");
+    let rstr = net.find_node("RSTR").expect("read strobe exists");
+    let faults = vec![
+        Fault::NodeStuck { node: wstr, value: Logic::L },
+        Fault::NodeStuck { node: wstr, value: Logic::H },
+        Fault::NodeStuck { node: rstr, value: Logic::L },
+        Fault::NodeStuck { node: rstr, value: Logic::H },
+    ];
+    let seq = TestSequence::full(&ram);
+    let head = seq.head_len();
+    let mut sim = ConcurrentSim::new(ram.network(), &faults, ConcurrentConfig::paper());
+    let report = sim.run(seq.patterns(), ram.observed_outputs());
+    assert_eq!(report.detected(), 4, "all strobe faults detected");
+    for d in &report.detections {
+        assert!(
+            d.pattern < head,
+            "strobe fault detected at pattern {} but head is {head}",
+            d.pattern
+        );
+    }
+    let _ = io;
+}

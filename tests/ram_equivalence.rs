@@ -1,0 +1,182 @@
+//! End-to-end equivalence on the benchmark circuit: the concurrent
+//! simulator must agree *exactly* with serial simulation on the RAM —
+//! a properly clocked, race-free circuit — for every fault class the
+//! paper exercises (node stuck-at, transistor stuck-open/closed,
+//! bit-line bridges) over a full marching test sequence.
+
+use fmossim::circuits::Ram;
+use fmossim::concurrent::{
+    ConcurrentConfig, ConcurrentSim, PatternStats, SerialConfig, SerialSim,
+};
+use fmossim::faults::{inject, FaultId, FaultUniverse};
+use fmossim::testgen::TestSequence;
+
+fn ram_with_bridges(dim: usize) -> (Ram, FaultUniverse) {
+    let mut ram = Ram::new(dim, dim);
+    let bridges: Vec<_> = ram
+        .adjacent_bitline_pairs()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (a, b))| inject::insert_bridge(ram.network_mut(), a, b, &format!("bl{i}")))
+        .collect();
+    let universe =
+        FaultUniverse::stuck_nodes(ram.network()).union(FaultUniverse::from_faults(bridges));
+    (ram, universe)
+}
+
+/// Full-trace equivalence for a fault sample on a 4×4 RAM.
+///
+/// Valid only for faults that cannot *create* races in the faulty
+/// circuit (node stuck-at, bridges, stuck-open): those behave like the
+/// good circuit, deterministically, under any event order. Stuck-closed
+/// faults can enable fighting paths (e.g. a spurious simultaneous
+/// read+write of one RAM cell) whose settled outcome legitimately
+/// depends on event order — serial and concurrent schedule events
+/// differently (as the original FMOSSIM did), so those are checked for
+/// coverage parity instead (see
+/// `stuck_closed_faults_have_coverage_parity`).
+fn assert_ram_equivalence(universe: &FaultUniverse, ram: &Ram) {
+    let seq = TestSequence::full(ram);
+    let outputs = ram.observed_outputs();
+    let faults = universe.faults();
+
+    let serial = SerialSim::new(
+        ram.network(),
+        SerialConfig {
+            stop_at_detection: false,
+            ..SerialConfig::default()
+        },
+    );
+    let sreport = serial.run(faults, seq.patterns(), outputs);
+
+    let mut csim = ConcurrentSim::new(
+        ram.network(),
+        faults,
+        ConcurrentConfig {
+            drop_on_detect: false,
+            ..ConcurrentConfig::default()
+        },
+    );
+    for (pi, pattern) in seq.patterns().iter().enumerate() {
+        let mut stats = PatternStats::default();
+        let mut strobe_idx = 0;
+        for (phi, phase) in pattern.phases.iter().enumerate() {
+            csim.step_phase(phase, outputs, pi, phi, &mut stats);
+            if phase.strobe {
+                for (k, fault) in faults.iter().enumerate() {
+                    let fid = FaultId(u32::try_from(k).unwrap());
+                    for (oi, &out) in outputs.iter().enumerate() {
+                        let cval = csim.fault_state(fid, out);
+                        let sval = sreport.outcomes[k].strobes[pi][strobe_idx][oi];
+                        assert_eq!(
+                            cval,
+                            sval,
+                            "fault {k} ({}) at pattern {pi} ('{}') phase {phi}: \
+                             concurrent={cval} serial={sval}",
+                            fault.describe(ram.network()),
+                            pattern.label
+                        );
+                    }
+                }
+                strobe_idx += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn node_and_bridge_faults_equivalent_on_ram() {
+    let (ram, universe) = ram_with_bridges(4);
+    // Sample to keep the serial reference fast; seeded for stability.
+    let sample = universe.sample(48, 1);
+    assert_ram_equivalence(&sample, &ram);
+}
+
+#[test]
+fn stuck_open_transistor_faults_equivalent_on_ram() {
+    // Stuck-open faults only *remove* conduction paths; they cannot
+    // create fighting paths, so exact agreement is expected.
+    let (ram, _) = ram_with_bridges(4);
+    let opens: Vec<_> = FaultUniverse::stuck_transistors(ram.network())
+        .faults()
+        .iter()
+        .copied()
+        .filter(|f| matches!(f, fmossim::faults::Fault::TransistorStuckOpen(_)))
+        .collect();
+    let universe = FaultUniverse::from_faults(opens).sample(32, 2);
+    assert_ram_equivalence(&universe, &ram);
+}
+
+/// Stuck-closed faults can make faulty-circuit behaviour genuinely
+/// order-dependent (a stuck-closed write strobe turns every read into a
+/// simultaneous read+write whose outcome depends on relative delays —
+/// physically real, and unresolvable in a unit-delay model). The two
+/// simulators then see different-but-legal universes; what must agree
+/// is the *quality signal*: detection coverage.
+#[test]
+fn stuck_closed_faults_have_coverage_parity() {
+    let (ram, _) = ram_with_bridges(4);
+    // d-type (depletion) devices always conduct, so *their* stuck-
+    // closed faults are no-ops — intrinsically undetectable. Keep only
+    // enhancement transistors.
+    let closed: Vec<_> = FaultUniverse::stuck_transistors(ram.network())
+        .faults()
+        .iter()
+        .copied()
+        .filter(|f| match f {
+            fmossim::faults::Fault::TransistorStuckClosed(t) => {
+                ram.network().transistor(*t).ttype
+                    != fmossim::netlist::TransistorType::D
+            }
+            _ => false,
+        })
+        .collect();
+    let universe = FaultUniverse::from_faults(closed).sample(48, 2);
+    let seq = TestSequence::full(&ram);
+    let outputs = ram.observed_outputs();
+
+    let serial = SerialSim::new(ram.network(), SerialConfig::paper());
+    let sreport = serial.run(universe.faults(), seq.patterns(), outputs);
+    let mut csim =
+        ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
+    let creport = csim.run(seq.patterns(), outputs);
+
+    let s = sreport.detected();
+    let c = creport.detected();
+    let diff = s.abs_diff(c);
+    assert!(
+        diff * 10 <= universe.len(),
+        "serial detected {s}, concurrent {c} of {} — more than 10% apart",
+        universe.len()
+    );
+    // The overwhelming majority of faults must be detected by both.
+    assert!(c * 10 >= universe.len() * 8, "concurrent coverage {c}/{}", universe.len());
+    assert!(s * 10 >= universe.len() * 8, "serial coverage {s}/{}", universe.len());
+}
+
+#[test]
+fn detections_match_serial_with_dropping() {
+    let (ram, universe) = ram_with_bridges(4);
+    let sample = universe.sample(64, 3);
+    let seq = TestSequence::full(&ram);
+    let outputs = ram.observed_outputs();
+
+    let serial = SerialSim::new(ram.network(), SerialConfig::paper());
+    let sreport = serial.run(sample.faults(), seq.patterns(), outputs);
+
+    let mut csim = ConcurrentSim::new(ram.network(), sample.faults(), ConcurrentConfig::paper());
+    let creport = csim.run(seq.patterns(), outputs);
+
+    let mut c_at = vec![None; sample.len()];
+    for d in &creport.detections {
+        c_at[d.fault.index()] = Some((d.pattern, d.phase));
+    }
+    for (k, o) in sreport.outcomes.iter().enumerate() {
+        assert_eq!(
+            c_at[k],
+            o.detection.map(|d| (d.pattern, d.phase)),
+            "fault {k} ({})",
+            sample.fault(FaultId(u32::try_from(k).unwrap())).describe(ram.network())
+        );
+    }
+}
