@@ -64,9 +64,7 @@ fn bench_fig3_sweep(c: &mut Criterion) {
                         sample.faults(),
                         ConcurrentConfig::paper(),
                     );
-                    std::hint::black_box(
-                        sim.run(seq.patterns(), ram.observed_outputs()).detected(),
-                    )
+                    std::hint::black_box(sim.run(seq.patterns(), ram.observed_outputs()).detected())
                 });
             },
         );

@@ -62,11 +62,7 @@ fn main() {
     println!("== Figure 2: RAM64, test sequence 2 (row/column marches omitted) ==");
     println!(
         "{}",
-        compare_row(
-            "detected in first 7 patterns",
-            format!("{}", cum[6]),
-            "65"
-        )
+        compare_row("detected in first 7 patterns", format!("{}", cum[6]), "65")
     );
     println!(
         "{}",
@@ -124,10 +120,7 @@ fn main() {
         "{}",
         compare_row(
             "concurrent seq2 : seq1 time",
-            format!(
-                "{:.2}x",
-                report2.total_seconds / report1.total_seconds
-            ),
+            format!("{:.2}x", report2.total_seconds / report1.total_seconds),
             "2.2x (49/21.9) despite fewer patterns"
         )
     );

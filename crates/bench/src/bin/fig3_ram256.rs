@@ -22,7 +22,11 @@ fn main() {
     let steps: usize = arg_value("--steps")
         .map(|v| v.parse().expect("--steps takes a number"))
         .unwrap_or(6);
-    let (rows, cols) = if arg_flag("--small") { (8, 8) } else { (16, 16) };
+    let (rows, cols) = if arg_flag("--small") {
+        (8, 8)
+    } else {
+        (16, 16)
+    };
     let (ram, bridges) = ram_with_bridges(rows, cols);
     let universe = paper_universe(&ram, bridges);
     let seq = TestSequence::full(&ram);
@@ -46,8 +50,7 @@ fn main() {
     for i in 0..=steps {
         let k = total * i / steps;
         let sample = universe.sample(k, SEED + i as u64);
-        let mut sim =
-            ConcurrentSim::new(ram.network(), sample.faults(), ConcurrentConfig::paper());
+        let mut sim = ConcurrentSim::new(ram.network(), sample.faults(), ConcurrentConfig::paper());
         let report = sim.run(seq.patterns(), ram.observed_outputs());
         let conc_pp = report.total_seconds / n_patterns;
         let serial_est: f64 = report

@@ -1,0 +1,139 @@
+//! Fault-parallel scaling sweep: wall-clock speedup vs. worker count.
+//!
+//! Runs the paper's RAM workload (stuck nodes + bit-line bridges over
+//! the full marching sequence) through [`fmossim_par::ParallelSim`] at
+//! increasing `--jobs`, and emits one JSON document with wall-clock
+//! seconds, aggregate CPU seconds, speedup relative to one job, and the
+//! (job-count-invariant) coverage. The JSON is the artifact the ROADMAP
+//! scaling work tracks over time.
+//!
+//! Usage:
+//! `scaling_par [--dim 8] [--jobs-list 1,2,4,8] [--strategy round-robin] [--sample K]`
+//!
+//! Speedup saturates at the machine's hardware parallelism (reported as
+//! `hardware_threads`): on a single-core container every job count
+//! measures the same work plus scheduling overhead.
+
+use fmossim_bench::{arg_value, paper_universe, ram_with_bridges, SEED};
+use fmossim_core::ConcurrentConfig;
+use fmossim_par::{ParallelConfig, ParallelSim, ShardStrategy};
+use fmossim_testgen::TestSequence;
+
+struct Point {
+    jobs: usize,
+    shards: usize,
+    wall_seconds: f64,
+    cpu_seconds: f64,
+    /// Critical path of the plan, measured uncontended (shards run
+    /// back to back on one thread): the longest single shard.
+    max_shard_seconds: f64,
+    detected: usize,
+    coverage: f64,
+}
+
+fn main() {
+    let dim: usize = arg_value("--dim")
+        .map(|s| s.parse().expect("--dim takes a number"))
+        .unwrap_or(8);
+    let jobs_list: Vec<usize> = arg_value("--jobs-list")
+        .unwrap_or_else(|| "1,2,4,8".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--jobs-list takes numbers"))
+        .collect();
+    let strategy = match arg_value("--strategy") {
+        None => ShardStrategy::default(),
+        Some(s) => ShardStrategy::parse(&s).expect("round-robin|contiguous|cost"),
+    };
+
+    let (ram, bridges) = ram_with_bridges(dim, dim);
+    let mut universe = paper_universe(&ram, bridges);
+    if let Some(k) = arg_value("--sample") {
+        let k: usize = k.parse().expect("--sample takes a number");
+        universe = universe.sample(k, SEED);
+    }
+    let seq = TestSequence::full(&ram);
+    let outputs = ram.observed_outputs();
+
+    let points: Vec<Point> = jobs_list
+        .iter()
+        .map(|&jobs| {
+            let config = ParallelConfig {
+                jobs,
+                strategy,
+                sim: ConcurrentConfig::paper(),
+                ..ParallelConfig::default()
+            };
+            let sim = ParallelSim::new(ram.network(), universe.clone(), config);
+            let report = sim.run(seq.patterns(), outputs);
+            // Re-run the same plan on one thread: shard times free of
+            // scheduling contention, for the machine-independent
+            // critical-path metric.
+            let sequential = ParallelConfig {
+                jobs: 1,
+                shards: Some(sim.plan().num_shards()),
+                ..config
+            };
+            let (seq_report, shard_times) =
+                ParallelSim::new(ram.network(), universe.clone(), sequential)
+                    .run_with_shard_times(seq.patterns(), outputs);
+            assert_eq!(seq_report.detected(), report.detected());
+            Point {
+                jobs,
+                shards: sim.plan().num_shards(),
+                wall_seconds: report.total_seconds,
+                cpu_seconds: report.patterns.iter().map(|p| p.seconds).sum(),
+                max_shard_seconds: shard_times.iter().copied().fold(0.0, f64::max),
+                detected: report.detected(),
+                coverage: report.coverage(),
+            }
+        })
+        .collect();
+
+    let base = points
+        .iter()
+        .find(|p| p.jobs == 1)
+        .map_or_else(|| points[0].wall_seconds, |p| p.wall_seconds);
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"jobs\": {}, \"shards\": {}, \"wall_seconds\": {:.4}, \
+                 \"cpu_seconds\": {:.4}, \"speedup\": {:.3}, \
+                 \"max_shard_seconds\": {:.4}, \"ideal_speedup\": {:.3}, \
+                 \"detected\": {}, \"coverage\": {:.4}}}",
+                p.jobs,
+                p.shards,
+                p.wall_seconds,
+                p.cpu_seconds,
+                base / p.wall_seconds,
+                p.max_shard_seconds,
+                base / p.max_shard_seconds,
+                p.detected,
+                p.coverage
+            )
+        })
+        .collect();
+    println!("{{");
+    println!("  \"circuit\": \"RAM{} ({})\",", dim * dim, ram.stats());
+    println!("  \"faults\": {},", universe.len());
+    println!("  \"patterns\": {},", seq.len());
+    println!("  \"strategy\": \"{strategy}\",");
+    println!(
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    println!("  \"results\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+
+    // Sanity: sharding must never change the verdicts.
+    let baseline = points.first().expect("at least one job count");
+    for p in &points[1..] {
+        assert_eq!(
+            p.detected, baseline.detected,
+            "jobs={} changed the detection count",
+            p.jobs
+        );
+    }
+}

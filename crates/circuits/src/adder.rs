@@ -103,7 +103,10 @@ impl RippleAdder {
     /// Panics if an operand does not fit in the adder width.
     #[must_use]
     pub fn operand_assignments(&self, a: u64, b: u64, cin: bool) -> Vec<(NodeId, Logic)> {
-        assert!(a < (1 << self.bits) && b < (1 << self.bits), "operand too wide");
+        assert!(
+            a < (1 << self.bits) && b < (1 << self.bits),
+            "operand too wide"
+        );
         let mut v = Vec::with_capacity(2 * self.bits + 1);
         for i in 0..self.bits {
             v.push((self.io.a[i], Logic::from_bool((a >> i) & 1 == 1)));

@@ -84,8 +84,14 @@ impl Ram {
     /// Panics if a dimension is not a power of two or is less than 2.
     #[must_use]
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows.is_power_of_two() && rows >= 2, "rows must be a power of two >= 2");
-        assert!(cols.is_power_of_two() && cols >= 2, "cols must be a power of two >= 2");
+        assert!(
+            rows.is_power_of_two() && rows >= 2,
+            "rows must be a power of two >= 2"
+        );
+        assert!(
+            cols.is_power_of_two() && cols >= 2,
+            "cols must be a power of two >= 2"
+        );
         let row_bits = rows.trailing_zeros() as usize;
         let col_bits = cols.trailing_zeros() as usize;
 
@@ -115,18 +121,8 @@ impl Ram {
             .collect();
 
         // ---- decoders ----------------------------------------------
-        let row_sel = nor_decoder(
-            &mut c,
-            "ROW",
-            &atrue[..row_bits],
-            &acomp[..row_bits],
-        );
-        let col_sel = nor_decoder(
-            &mut c,
-            "COL",
-            &atrue[row_bits..],
-            &acomp[row_bits..],
-        );
+        let row_sel = nor_decoder(&mut c, "ROW", &atrue[..row_bits], &acomp[..row_bits]);
+        let col_sel = nor_decoder(&mut c, "COL", &atrue[row_bits..], &acomp[row_bits..]);
 
         // ---- control strobes ---------------------------------------
         let nwe = c.inv("NWE", we);
@@ -458,11 +454,7 @@ mod tests {
         let pairs = ram.adjacent_bitline_pairs();
         assert_eq!(pairs.len(), 2 * 4 - 1);
         // All pair members are bit lines.
-        let lines: Vec<NodeId> = ram
-            .bit_lines()
-            .iter()
-            .flat_map(|&(w, r)| [w, r])
-            .collect();
+        let lines: Vec<NodeId> = ram.bit_lines().iter().flat_map(|&(w, r)| [w, r]).collect();
         for (a, b) in pairs {
             assert!(lines.contains(&a) && lines.contains(&b));
             assert_ne!(a, b);

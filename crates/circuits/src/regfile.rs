@@ -221,7 +221,11 @@ mod tests {
             write(&mut sim, &rf, w, (w as u32 * 5) & 0xF);
         }
         for w in 0..4 {
-            assert_eq!(read(&mut sim, &rf, w), Some((w as u32 * 5) & 0xF), "word {w}");
+            assert_eq!(
+                read(&mut sim, &rf, w),
+                Some((w as u32 * 5) & 0xF),
+                "word {w}"
+            );
         }
     }
 

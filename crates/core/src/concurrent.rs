@@ -132,11 +132,7 @@ impl<'n> ConcurrentSim<'n> {
     /// active.
     #[must_use]
     pub fn new(net: &'n Network, faults: &[Fault], config: ConcurrentConfig) -> Self {
-        ConcurrentSim::new_multi(
-            net,
-            faults.iter().map(|&f| vec![f]).collect(),
-            config,
-        )
+        ConcurrentSim::new_multi(net, faults.iter().map(|&f| vec![f]).collect(), config)
     }
 
     /// Creates a simulator where each circuit carries a *set* of
@@ -173,8 +169,7 @@ impl<'n> ConcurrentSim<'n> {
         for k in 0..n_sets {
             let circ = u32::try_from(k + 1).expect("too many faults");
             let set = &sim.fault_sets[k];
-            sim.overrides[circ as usize] =
-                Overrides::from_effects(set.iter().map(Fault::effect));
+            sim.overrides[circ as usize] = Overrides::from_effects(set.iter().map(Fault::effect));
             let mut seeds = Vec::new();
             for fault in set {
                 if let FaultEffect::ForceNode { node, value } = fault.effect() {
@@ -228,6 +223,22 @@ impl<'n> ConcurrentSim<'n> {
             .unwrap_or_else(|| self.good.node_state(n))
     }
 
+    /// Drops the faulty circuit of `f` without recording a detection,
+    /// reclaiming its records — the external counterpart of the
+    /// drop-on-detect rule. A sharded driver (or any coordinator that
+    /// learns about a fault from outside this simulator, e.g. a
+    /// cross-shard equivalence oracle) uses this to stop paying for a
+    /// circuit it no longer needs. Returns `false` if the fault is out
+    /// of range or already dropped.
+    pub fn drop_fault(&mut self, f: FaultId) -> bool {
+        let circ = f.index() + 1;
+        if circ > self.fault_sets.len() || self.dropped[circ] {
+            return false;
+        }
+        self.drop_circuit(u32::try_from(circ).expect("circuit id fits"));
+        true
+    }
+
     /// All detections so far, in occurrence order.
     #[must_use]
     pub fn detections(&self) -> &[Detection] {
@@ -247,10 +258,7 @@ impl<'n> ConcurrentSim<'n> {
     /// comparison, exposed for harnesses that need more than the
     /// built-in detection logic — e.g. building a fault dictionary.
     #[must_use]
-    pub fn output_divergences(
-        &self,
-        outputs: &[NodeId],
-    ) -> Vec<(FaultId, usize, Logic, Logic)> {
+    pub fn output_divergences(&self, outputs: &[NodeId]) -> Vec<(FaultId, usize, Logic, Logic)> {
         let mut v = Vec::new();
         for (oi, &out) in outputs.iter().enumerate() {
             let goodv = self.good.node_state(out);
@@ -280,7 +288,9 @@ impl<'n> ConcurrentSim<'n> {
             ..RunReport::default()
         };
         for (pi, pattern) in patterns.iter().enumerate() {
-            report.patterns.push(self.step_pattern(pattern, outputs, pi));
+            report
+                .patterns
+                .push(self.step_pattern(pattern, outputs, pi));
         }
         report.detections = self.detections[detections_before..].to_vec();
         report.total_seconds = t0.elapsed().as_secs_f64();
@@ -347,7 +357,11 @@ impl<'n> ConcurrentSim<'n> {
                     .members
                     .iter()
                     .copied()
-                    .chain(g.incident_transistors.iter().map(|&t| net.transistor(t).gate))
+                    .chain(
+                        g.incident_transistors
+                            .iter()
+                            .map(|&t| net.transistor(t).gate),
+                    )
                     .chain(g.boundary_inputs.iter().copied());
                 for s in support {
                     records.for_circuits_at(s, |c| {
@@ -769,7 +783,38 @@ mod tests {
             .collect();
         let d_sa1 = by_fault[0].expect("sa1 detected");
         let d_both = by_fault[2].expect("combined detected");
-        assert_eq!((d_sa1.pattern, d_sa1.faulty), (d_both.pattern, d_both.faulty));
+        assert_eq!(
+            (d_sa1.pattern, d_sa1.faulty),
+            (d_both.pattern, d_both.faulty)
+        );
+    }
+
+    /// The simulator is `Send`: shard drivers move one `ConcurrentSim`
+    /// per worker thread (the shared `&Network` is `Sync`). Compile-time
+    /// assertion — if a non-`Send` field is ever introduced, this stops
+    /// building.
+    #[test]
+    fn concurrent_sim_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ConcurrentSim<'static>>();
+        assert_send::<crate::report::RunReport>();
+    }
+
+    #[test]
+    fn external_drop_fault_hook() {
+        let (net, a, out) = inverter();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let mut sim = ConcurrentSim::new(&net, universe.faults(), ConcurrentConfig::paper());
+        assert_eq!(sim.live(), 2);
+        assert!(sim.drop_fault(FaultId(0)), "live fault drops");
+        assert!(!sim.drop_fault(FaultId(0)), "double drop refused");
+        assert!(!sim.drop_fault(FaultId(99)), "out of range refused");
+        assert_eq!(sim.live(), 1);
+        // The dropped circuit is never simulated or detected again.
+        let report = sim.run(&toggle_patterns(a), &[out]);
+        assert_eq!(report.detected(), 1);
+        assert_eq!(report.detections[0].fault, FaultId(1));
+        assert_eq!(sim.live(), 0);
     }
 
     #[test]

@@ -41,9 +41,7 @@ impl Overrides {
                     }
                 }
                 FaultEffect::ForceTransistor { t, cond } => {
-                    if let Some(slot) =
-                        ov.forced_transistors.iter_mut().find(|(tt, _)| *tt == t)
-                    {
+                    if let Some(slot) = ov.forced_transistors.iter_mut().find(|(tt, _)| *tt == t) {
                         slot.1 = cond;
                     } else {
                         ov.forced_transistors.push((t, cond));

@@ -64,6 +64,21 @@ pub struct PatternStats {
     pub damped: bool,
 }
 
+impl PatternStats {
+    /// Folds another shard's statistics for the same pattern into this
+    /// one: counters add up (`seconds` becomes aggregate CPU seconds
+    /// across shards), `damped` ors.
+    pub fn absorb(&mut self, other: &PatternStats) {
+        self.seconds += other.seconds;
+        self.detected += other.detected;
+        self.live_before += other.live_before;
+        self.good_groups += other.good_groups;
+        self.faulty_groups += other.faulty_groups;
+        self.circuit_settles += other.circuit_settles;
+        self.damped |= other.damped;
+    }
+}
+
 /// The result of a full concurrent fault-simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
@@ -124,6 +139,54 @@ impl RunReport {
         }
         let head_secs: f64 = self.patterns.iter().take(head).map(|p| p.seconds).sum();
         head_secs / self.total_seconds
+    }
+
+    /// Rewrites every detection's fault id through `map` — used by
+    /// shard runners to translate shard-local ids (fault `k` of the
+    /// shard universe) back to ids in the parent universe before
+    /// merging.
+    pub fn relabel_faults(&mut self, map: impl Fn(FaultId) -> FaultId) {
+        for d in &mut self.detections {
+            d.fault = map(d.fault);
+        }
+    }
+
+    /// Folds per-shard reports of the *same pattern sequence* over
+    /// disjoint fault sets into one report:
+    ///
+    /// * `num_faults` adds up (the shards partition one universe);
+    /// * per-pattern statistics are absorbed element-wise
+    ///   ([`PatternStats::absorb`] — `seconds` becomes aggregate CPU
+    ///   seconds across shards);
+    /// * detections are concatenated and canonically ordered by
+    ///   `(pattern, phase, fault)`, so the merged detection list is
+    ///   independent of how the universe was sharded;
+    /// * `total_seconds` is the maximum over shards (the makespan when
+    ///   shards run concurrently); drivers that measured real
+    ///   wall-clock time should overwrite it.
+    ///
+    /// Callers must [`RunReport::relabel_faults`] first if shard
+    /// reports carry shard-local ids.
+    #[must_use]
+    pub fn merge(reports: impl IntoIterator<Item = RunReport>) -> RunReport {
+        let mut merged = RunReport::default();
+        for rep in reports {
+            merged.num_faults += rep.num_faults;
+            if merged.patterns.len() < rep.patterns.len() {
+                merged
+                    .patterns
+                    .resize(rep.patterns.len(), PatternStats::default());
+            }
+            for (acc, p) in merged.patterns.iter_mut().zip(&rep.patterns) {
+                acc.absorb(p);
+            }
+            merged.detections.extend(rep.detections);
+            merged.total_seconds = merged.total_seconds.max(rep.total_seconds);
+        }
+        merged
+            .detections
+            .sort_by_key(|d| (d.pattern, d.phase, d.fault.index()));
+        merged
     }
 
     /// For each fault: the number of patterns until detection, or
@@ -210,6 +273,52 @@ mod tests {
         let r = report();
         assert!(!r.detections[0].is_potential());
         assert!(r.detections[1].is_potential());
+    }
+
+    #[test]
+    fn merge_folds_shard_reports() {
+        let mut a = report();
+        // Pretend `a` came from a shard whose local faults 0..3 are
+        // global faults 4..7.
+        let map = [FaultId(4), FaultId(5), FaultId(6), FaultId(7)];
+        a.relabel_faults(|f| map[f.index()]);
+        let b = report();
+        let merged = RunReport::merge(vec![b, a]);
+        assert_eq!(merged.num_faults, 8);
+        assert_eq!(merged.detected(), 6);
+        assert!((merged.coverage() - 0.75).abs() < 1e-12);
+        assert_eq!(merged.patterns.len(), 3);
+        assert_eq!(merged.patterns[0].detected, 4);
+        assert!((merged.patterns[0].seconds - 6.0).abs() < 1e-12);
+        assert_eq!(merged.patterns[0].live_before, 8);
+        assert!((merged.total_seconds - 5.0).abs() < 1e-12, "max, not sum");
+        // Canonical order: (pattern, phase, fault id).
+        let order: Vec<(usize, usize, usize)> = merged
+            .detections
+            .iter()
+            .map(|d| (d.pattern, d.phase, d.fault.index()))
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+        assert_eq!(merged.cumulative_detections(), vec![4, 4, 6]);
+    }
+
+    #[test]
+    fn merge_pads_shorter_pattern_lists() {
+        let a = report();
+        let b = RunReport {
+            patterns: vec![PatternStats {
+                seconds: 1.0,
+                ..PatternStats::default()
+            }],
+            num_faults: 1,
+            ..RunReport::default()
+        };
+        let merged = RunReport::merge(vec![b, a]);
+        assert_eq!(merged.patterns.len(), 3);
+        assert!((merged.patterns[0].seconds - 4.0).abs() < 1e-12);
+        assert!((merged.patterns[2].seconds - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -108,7 +108,10 @@ impl SerialReport {
     /// Number of detected faults.
     #[must_use]
     pub fn detected(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.detection.is_some()).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.detection.is_some())
+            .count()
     }
 
     /// The paper's serial-time estimator: Σ over faults of
@@ -120,9 +123,7 @@ impl SerialReport {
         self.outcomes
             .iter()
             .map(|o| {
-                let patterns = o
-                    .detection
-                    .map_or(total_patterns, |d| d.pattern + 1);
+                let patterns = o.detection.map_or(total_patterns, |d| d.pattern + 1);
                 patterns as f64 * avg
             })
             .sum()
@@ -234,8 +235,7 @@ impl<'n> SerialSim<'n> {
                 }
                 outcome.damped |= engine.settle(&mut st).oscillation_damped;
                 if phase.strobe {
-                    let values: Vec<Logic> =
-                        outputs.iter().map(|&o| st.node_state(o)).collect();
+                    let values: Vec<Logic> = outputs.iter().map(|&o| st.node_state(o)).collect();
                     let goodv = &good.strobes[pi][strobe_idx];
                     if outcome.detection.is_none() {
                         for (oi, (&f, &g)) in values.iter().zip(goodv.iter()).enumerate() {
@@ -447,8 +447,8 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let (net, a, out) = inverter();
-        let universe = FaultUniverse::stuck_nodes(&net)
-            .union(FaultUniverse::stuck_transistors(&net));
+        let universe =
+            FaultUniverse::stuck_nodes(&net).union(FaultUniverse::stuck_transistors(&net));
         let sim = SerialSim::new(&net, SerialConfig::paper());
         let seq = sim.run(universe.faults(), &toggles(a), &[out]);
         for threads in [1, 2, 3, 16] {

@@ -172,11 +172,7 @@ impl Fault {
     pub fn describe(&self, net: &Network) -> String {
         match *self {
             Fault::NodeStuck { node, value } => {
-                format!(
-                    "node {} stuck-at-{}",
-                    net.node(node).name,
-                    value.to_char()
-                )
+                format!("node {} stuck-at-{}", net.node(node).name, value.to_char())
             }
             Fault::TransistorStuckOpen(t) => {
                 let tr = net.transistor(t);

@@ -159,6 +159,55 @@ impl FaultUniverse {
         FaultUniverse { faults }
     }
 
+    /// The sub-universe containing exactly the given fault ids of
+    /// `self`, in the given order. Building shard universes for
+    /// fault-parallel simulation is the intended use: each shard keeps
+    /// the id list to map its local circuit numbers back to ids in the
+    /// parent universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    #[must_use]
+    pub fn subset(&self, ids: &[FaultId]) -> Self {
+        FaultUniverse {
+            faults: ids.iter().map(|&id| self.fault(id)).collect(),
+        }
+    }
+
+    /// Partitions the universe's fault ids into `k` shards by dealing
+    /// them out round-robin (fault `i` goes to shard `i % k`). Always
+    /// returns exactly `max(k, 1)` shards; trailing shards may be empty
+    /// when the universe is smaller than `k`. Within a shard, ids are
+    /// ascending.
+    #[must_use]
+    pub fn split_round_robin(&self, k: usize) -> Vec<Vec<FaultId>> {
+        let k = k.max(1);
+        let mut shards = vec![Vec::new(); k];
+        for (id, _) in self.iter() {
+            shards[id.index() % k].push(id);
+        }
+        shards
+    }
+
+    /// Partitions the universe's fault ids into `k` contiguous shards
+    /// of near-equal length (the first `len % k` shards hold one extra
+    /// fault). Always returns exactly `max(k, 1)` shards; trailing
+    /// shards may be empty when the universe is smaller than `k`.
+    #[must_use]
+    pub fn split_contiguous(&self, k: usize) -> Vec<Vec<FaultId>> {
+        let k = k.max(1);
+        let base = self.len() / k;
+        let extra = self.len() % k;
+        let mut ids = self.iter().map(|(id, _)| id);
+        (0..k)
+            .map(|s| {
+                let take = base + usize::from(s < extra);
+                ids.by_ref().take(take).collect()
+            })
+            .collect()
+    }
+
     /// Removes faults that are provably equivalent to the fault-free
     /// circuit and therefore undetectable by construction:
     ///
@@ -250,8 +299,7 @@ mod tests {
     #[test]
     fn bridges_and_opens_builders() {
         let (net, br, op) = net_with_faults();
-        let (Fault::BridgeShort { control: cb }, Fault::LineOpen { control: co }) = (br, op)
-        else {
+        let (Fault::BridgeShort { control: cb }, Fault::LineOpen { control: co }) = (br, op) else {
             panic!("wrong variants");
         };
         let u = FaultUniverse::bridges([cb]).union(FaultUniverse::opens([co]));
@@ -304,6 +352,59 @@ mod tests {
         let u = FaultUniverse::stuck_nodes(&net).clone();
         let before = u.len();
         assert_eq!(u.without_redundant(&net).len(), before);
+    }
+
+    #[test]
+    fn subset_preserves_order_and_faults() {
+        let (net, _, _) = net_with_faults();
+        let u = FaultUniverse::stuck_nodes(&net);
+        let ids = [FaultId(3), FaultId(0), FaultId(2)];
+        let sub = u.subset(&ids);
+        assert_eq!(sub.len(), 3);
+        for (k, &id) in ids.iter().enumerate() {
+            assert_eq!(sub.fault(FaultId(u32::try_from(k).unwrap())), u.fault(id));
+        }
+    }
+
+    #[test]
+    fn splits_partition_the_universe() {
+        let (net, _, _) = net_with_faults();
+        let u = FaultUniverse::stuck_nodes(&net).union(FaultUniverse::stuck_transistors(&net));
+        for k in [1, 2, 3, u.len(), u.len() + 5] {
+            for shards in [u.split_round_robin(k), u.split_contiguous(k)] {
+                assert_eq!(shards.len(), k);
+                let mut seen: Vec<FaultId> = shards.iter().flatten().copied().collect();
+                seen.sort_unstable_by_key(|id| id.index());
+                let all: Vec<FaultId> = u.iter().map(|(id, _)| id).collect();
+                assert_eq!(seen, all, "k={k}: shards partition the ids");
+                for shard in &shards {
+                    assert!(
+                        shard.windows(2).all(|w| w[0].index() < w[1].index()),
+                        "ids ascending within a shard"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_shard_sizes_are_balanced() {
+        let (net, _, _) = net_with_faults();
+        let u = FaultUniverse::stuck_nodes(&net); // 4 faults
+        for shards in [u.split_round_robin(3), u.split_contiguous(3)] {
+            let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+            assert_eq!(sizes.iter().sum::<usize>(), 4);
+            assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        }
+        // k=0 is clamped to one shard, k > len leaves empties.
+        assert_eq!(u.split_round_robin(0).len(), 1);
+        assert_eq!(
+            u.split_contiguous(9)
+                .iter()
+                .filter(|s| s.is_empty())
+                .count(),
+            5
+        );
     }
 
     #[test]

@@ -34,9 +34,7 @@
 //! # Ok::<(), fmossim_netlist::NetlistError>(())
 //! ```
 
-use crate::{
-    Drive, Logic, NetlistError, Network, NodeClass, Size, TransistorType,
-};
+use crate::{Drive, Logic, NetlistError, Network, NodeClass, Size, TransistorType};
 use std::fmt::Write as _;
 
 /// Parses the text netlist format into a [`Network`].
@@ -95,10 +93,9 @@ pub fn parse_netlist(text: &str) -> Result<Network, NetlistError> {
                     .map_err(|e| at_line(e, line))?;
             }
             "n" | "p" | "d" => {
-                let ttype = TransistorType::from_char(
-                    head.chars().next().expect("head is one char"),
-                )
-                .expect("head is n/p/d");
+                let ttype =
+                    TransistorType::from_char(head.chars().next().expect("head is one char"))
+                        .expect("head is n/p/d");
                 let gate = node_ref(&net, tok.next(), line)?;
                 let source = node_ref(&net, tok.next(), line)?;
                 let drain = node_ref(&net, tok.next(), line)?;
@@ -215,25 +212,19 @@ fn parse_u8(tok: Option<&str>, what: &str, line: usize) -> Result<u8, NetlistErr
     })
 }
 
-fn node_ref(
-    net: &Network,
-    tok: Option<&str>,
-    line: usize,
-) -> Result<crate::NodeId, NetlistError> {
+fn node_ref(net: &Network, tok: Option<&str>, line: usize) -> Result<crate::NodeId, NetlistError> {
     let name = tok.ok_or_else(|| NetlistError::Syntax {
         line,
         message: "transistor statement needs gate, source, drain".into(),
     })?;
-    net.find_node(name).ok_or_else(|| NetlistError::UnknownNode {
-        name: name.to_string(),
-        line,
-    })
+    net.find_node(name)
+        .ok_or_else(|| NetlistError::UnknownNode {
+            name: name.to_string(),
+            line,
+        })
 }
 
-fn check_end<'a>(
-    tok: &mut impl Iterator<Item = &'a str>,
-    line: usize,
-) -> Result<(), NetlistError> {
+fn check_end<'a>(tok: &mut impl Iterator<Item = &'a str>, line: usize) -> Result<(), NetlistError> {
     match tok.next() {
         None => Ok(()),
         Some(extra) => Err(NetlistError::Syntax {

@@ -152,8 +152,7 @@ pub fn parse_sim(
             "GND" | "VSS" => NodeClass::Input(Logic::L),
             _ if options.inputs.contains(&name) => NodeClass::Input(Logic::X),
             _ => {
-                let size = if cap_ff.get(&name).copied().unwrap_or(0.0)
-                    >= options.bus_threshold_ff
+                let size = if cap_ff.get(&name).copied().unwrap_or(0.0) >= options.bus_threshold_ff
                 {
                     Size::S2
                 } else {

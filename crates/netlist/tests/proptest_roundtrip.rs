@@ -2,8 +2,7 @@
 //! strength lattice behaves like a bounded total order.
 
 use fmossim_netlist::{
-    parse_netlist, write_netlist, Drive, Logic, Network, NodeClass, Size, Strength,
-    TransistorType,
+    parse_netlist, write_netlist, Drive, Logic, Network, NodeClass, Size, Strength, TransistorType,
 };
 use proptest::prelude::*;
 
@@ -23,7 +22,10 @@ fn arb_network(max_nodes: usize, max_t: usize) -> impl Strategy<Value = Network>
     });
     (
         prop::collection::vec(node, 1..=max_nodes),
-        prop::collection::vec((0u8..3, 1u8..=7, any::<u16>(), any::<u16>(), any::<u16>()), 0..=max_t),
+        prop::collection::vec(
+            (0u8..3, 1u8..=7, any::<u16>(), any::<u16>(), any::<u16>()),
+            0..=max_t,
+        ),
     )
         .prop_map(|(classes, trans)| {
             let mut net = Network::new();

@@ -1,0 +1,292 @@
+//! The fault-parallel driver: one [`ConcurrentSim`] per shard on a
+//! worker pool of scoped `std::thread`s.
+
+use crate::plan::{ShardPlan, ShardStrategy};
+use fmossim_core::{ConcurrentConfig, ConcurrentSim, Pattern, RunReport};
+use fmossim_faults::FaultUniverse;
+use fmossim_netlist::{Network, NodeId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Configuration of the parallel driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads. Clamped to at least 1; workers beyond the
+    /// number of (non-empty) shards are not spawned.
+    pub jobs: usize,
+    /// How the universe is partitioned.
+    pub strategy: ShardStrategy,
+    /// Number of shards; `None` means one per worker. Oversharding
+    /// (`shards > jobs`) turns the pool into a load balancer: workers
+    /// pull the next shard when they finish, smoothing out uneven
+    /// shard costs.
+    pub shards: Option<usize>,
+    /// Configuration forwarded to every shard's [`ConcurrentSim`]
+    /// (detection policy, per-shard drop-on-detect, store backend).
+    pub sim: ConcurrentConfig,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            jobs: 1,
+            strategy: ShardStrategy::default(),
+            shards: None,
+            sim: ConcurrentConfig::default(),
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// The paper's simulator configuration on `jobs` workers.
+    #[must_use]
+    pub fn paper(jobs: usize) -> Self {
+        ParallelConfig {
+            jobs,
+            sim: ConcurrentConfig::paper(),
+            ..ParallelConfig::default()
+        }
+    }
+}
+
+/// Fault-parallel concurrent simulation: the fault universe is split
+/// into shards ([`ShardPlan`]), each shard is graded by its own
+/// [`ConcurrentSim`] (good circuit re-simulated per shard, faulty
+/// circuits dropped on detection as usual), and the per-shard
+/// [`RunReport`]s are folded into one ([`RunReport::merge`]) whose
+/// detections and coverage are identical to a one-shard run — sharding
+/// changes wall-clock time, never results.
+///
+/// # Example
+///
+/// ```
+/// use fmossim_netlist::{Network, Logic, Size, Drive, TransistorType};
+/// use fmossim_faults::FaultUniverse;
+/// use fmossim_core::{Pattern, Phase};
+/// use fmossim_par::{ParallelConfig, ParallelSim};
+///
+/// let mut net = Network::new();
+/// let vdd = net.add_input("Vdd", Logic::H);
+/// let gnd = net.add_input("Gnd", Logic::L);
+/// let a = net.add_input("A", Logic::L);
+/// let out = net.add_storage("OUT", Size::S1);
+/// net.add_transistor(TransistorType::P, Drive::D2, a, vdd, out);
+/// net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+///
+/// let universe = FaultUniverse::stuck_nodes(&net);
+/// let sim = ParallelSim::new(&net, universe, ParallelConfig::paper(2));
+/// let patterns = vec![
+///     Pattern::new(vec![Phase::strobe(vec![(a, Logic::L)])]),
+///     Pattern::new(vec![Phase::strobe(vec![(a, Logic::H)])]),
+/// ];
+/// let report = sim.run(&patterns, &[out]);
+/// assert_eq!(report.detected(), 2);
+/// assert_eq!(report.coverage(), 1.0);
+/// ```
+pub struct ParallelSim<'n> {
+    net: &'n Network,
+    universe: FaultUniverse,
+    plan: ShardPlan,
+    config: ParallelConfig,
+}
+
+impl<'n> ParallelSim<'n> {
+    /// Plans shards for `universe` and prepares the driver. The
+    /// universe is owned: shard workers index into it concurrently.
+    #[must_use]
+    pub fn new(net: &'n Network, universe: FaultUniverse, config: ParallelConfig) -> Self {
+        let k = config.shards.unwrap_or(config.jobs).max(1);
+        let plan = ShardPlan::build(net, &universe, k, config.strategy);
+        ParallelSim {
+            net,
+            universe,
+            plan,
+            config,
+        }
+    }
+
+    /// The shard plan in use.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The fault universe being graded.
+    #[must_use]
+    pub fn universe(&self) -> &FaultUniverse {
+        &self.universe
+    }
+
+    /// Runs the pattern sequence over every shard and merges the
+    /// per-shard reports. `total_seconds` is the measured wall-clock
+    /// time of the whole parallel run; per-pattern `seconds` are
+    /// aggregate CPU seconds across shards.
+    #[must_use]
+    pub fn run(&self, patterns: &[Pattern], outputs: &[NodeId]) -> RunReport {
+        self.run_with_shard_times(patterns, outputs).0
+    }
+
+    /// Like [`ParallelSim::run`], additionally returning each shard's
+    /// own wall-clock seconds (indexed by shard). The maximum entry is
+    /// the run's critical path: `reference_seconds / max_shard_seconds`
+    /// is the speedup an unconstrained machine would reach with this
+    /// plan, independent of how many cores the measuring host has —
+    /// the quantity `scaling_par` reports as `ideal_speedup`.
+    #[must_use]
+    pub fn run_with_shard_times(
+        &self,
+        patterns: &[Pattern],
+        outputs: &[NodeId],
+    ) -> (RunReport, Vec<f64>) {
+        let t0 = Instant::now();
+        let n_shards = self.plan.num_shards();
+        let workers = self.config.jobs.clamp(1, n_shards.max(1));
+
+        let mut reports: Vec<(usize, RunReport)> = if n_shards <= 1 || workers == 1 {
+            // In-line fast path: no thread overhead, same merge below.
+            (0..n_shards)
+                .map(|s| (s, self.run_shard(s, patterns, outputs)))
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let done = Mutex::new(Vec::with_capacity(n_shards));
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let s = next.fetch_add(1, Ordering::Relaxed);
+                        if s >= n_shards {
+                            break;
+                        }
+                        let rep = self.run_shard(s, patterns, outputs);
+                        done.lock().expect("no poisoned workers").push((s, rep));
+                    });
+                }
+            });
+            done.into_inner().expect("workers joined")
+        };
+
+        // Merge in shard order for reproducible statistics; detection
+        // order is canonicalised by `merge` regardless.
+        reports.sort_by_key(|&(s, _)| s);
+        let shard_seconds = reports.iter().map(|(_, r)| r.total_seconds).collect();
+        let mut merged = RunReport::merge(reports.into_iter().map(|(_, r)| r));
+        merged.num_faults = self.universe.len();
+        merged.total_seconds = t0.elapsed().as_secs_f64();
+        (merged, shard_seconds)
+    }
+
+    /// Simulates one shard to completion, relabelling detections to
+    /// parent-universe fault ids.
+    fn run_shard(&self, s: usize, patterns: &[Pattern], outputs: &[NodeId]) -> RunReport {
+        let ids = self.plan.shard(s);
+        let shard_universe = self.universe.subset(ids);
+        let mut sim = ConcurrentSim::new(self.net, shard_universe.faults(), self.config.sim);
+        let mut report = sim.run(patterns, outputs);
+        report.relabel_faults(|local| ids[local.index()]);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ShardStrategy;
+    use fmossim_core::{Phase, RunReport};
+    use fmossim_faults::FaultId;
+    use fmossim_netlist::{Drive, Logic, Size, TransistorType};
+
+    fn two_inverters() -> (Network, Vec<NodeId>, Vec<Pattern>) {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let b = net.add_input("B", Logic::L);
+        let mut outs = Vec::new();
+        for (name, inp) in [("OA", a), ("OB", b)] {
+            let out = net.add_storage(name, Size::S1);
+            net.add_transistor(TransistorType::P, Drive::D2, inp, vdd, out);
+            net.add_transistor(TransistorType::N, Drive::D2, inp, out, gnd);
+            outs.push(out);
+        }
+        let patterns = vec![
+            Pattern::new(vec![Phase::strobe(vec![(a, Logic::L), (b, Logic::L)])]),
+            Pattern::new(vec![Phase::strobe(vec![(a, Logic::H), (b, Logic::H)])]),
+        ];
+        (net, outs, patterns)
+    }
+
+    fn detection_key(report: &RunReport) -> Vec<(usize, usize, usize)> {
+        report
+            .detections
+            .iter()
+            .map(|d| (d.pattern, d.phase, d.fault.index()))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_run_matches_single_shard() {
+        let (net, outs, patterns) = two_inverters();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let single = ParallelSim::new(&net, universe.clone(), ParallelConfig::paper(1))
+            .run(&patterns, &outs);
+        for jobs in [2, 3, 4] {
+            for strategy in ShardStrategy::ALL {
+                let config = ParallelConfig {
+                    strategy,
+                    ..ParallelConfig::paper(jobs)
+                };
+                let multi = ParallelSim::new(&net, universe.clone(), config).run(&patterns, &outs);
+                assert_eq!(detection_key(&multi), detection_key(&single), "{strategy}");
+                assert_eq!(multi.num_faults, single.num_faults);
+                assert_eq!(multi.coverage(), single.coverage());
+            }
+        }
+    }
+
+    #[test]
+    fn oversharding_pulls_from_the_queue() {
+        let (net, outs, patterns) = two_inverters();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let config = ParallelConfig {
+            shards: Some(4),
+            ..ParallelConfig::paper(2)
+        };
+        let sim = ParallelSim::new(&net, universe, config);
+        assert_eq!(sim.plan().num_shards(), 4);
+        let report = sim.run(&patterns, &outs);
+        assert_eq!(report.detected(), 4);
+        assert_eq!(report.coverage(), 1.0);
+    }
+
+    #[test]
+    fn empty_universe_runs_clean() {
+        let (net, outs, patterns) = two_inverters();
+        let sim = ParallelSim::new(&net, FaultUniverse::new(), ParallelConfig::paper(4));
+        let report = sim.run(&patterns, &outs);
+        assert_eq!(report.num_faults, 0);
+        assert_eq!(report.detected(), 0);
+        assert_eq!(report.coverage(), 0.0);
+    }
+
+    #[test]
+    fn detections_carry_global_ids() {
+        let (net, outs, patterns) = two_inverters();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let n = universe.len();
+        let config = ParallelConfig {
+            strategy: ShardStrategy::Contiguous,
+            ..ParallelConfig::paper(2)
+        };
+        let report = ParallelSim::new(&net, universe, config).run(&patterns, &outs);
+        let mut ids: Vec<usize> = report.detections.iter().map(|d| d.fault.index()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), report.detected(), "no duplicate fault ids");
+        assert!(ids.iter().all(|&i| i < n), "ids are parent-universe ids");
+        // Contiguous sharding would produce colliding *local* ids in
+        // every shard; globals must cover the high shard too.
+        assert!(ids.iter().any(|&i| i >= n / 2), "high shard represented");
+        let _ = FaultId(0);
+    }
+}

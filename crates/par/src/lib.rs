@@ -1,0 +1,35 @@
+//! Fault-parallel execution for the FMOSSIM reproduction.
+//!
+//! The paper's concurrent algorithm grades many faulty circuits in one
+//! simulation pass, but a single [`fmossim_core::ConcurrentSim`] is
+//! strictly sequential. This crate adds the execution layer above it:
+//!
+//! * [`ShardPlan`] partitions a [`fmossim_faults::FaultUniverse`] into
+//!   `K` disjoint shards — [`ShardStrategy::RoundRobin`],
+//!   [`ShardStrategy::Contiguous`], or [`ShardStrategy::CostEstimated`]
+//!   (greedy LPT over per-fault footprint costs).
+//! * [`ParallelSim`] runs one `ConcurrentSim` per shard on a pool of
+//!   scoped `std::thread` workers (no extra dependencies). Workers pull
+//!   shards from a shared queue, so oversharding
+//!   ([`ParallelConfig::shards`]` > `[`ParallelConfig::jobs`]) load
+//!   balances uneven shards. Within each shard the usual per-shard
+//!   drop-on-detect applies: a detected fault stops consuming time.
+//! * The per-shard [`fmossim_core::RunReport`]s are folded by
+//!   [`fmossim_core::RunReport::merge`] into a single report whose
+//!   detection set and coverage are identical to a one-shard run —
+//!   sharding is a pure throughput lever.
+//!
+//! The trade-off is the classical one for fault-partitioned
+//! simulation: every shard re-simulates the *good* circuit, so speedup
+//! approaches the worker count only while faulty-circuit work
+//! dominates — which is exactly the paper's regime (hundreds of live
+//! faults early in a test sequence).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod plan;
+
+pub use driver::{ParallelConfig, ParallelSim};
+pub use plan::{fault_cost, ShardPlan, ShardStrategy};

@@ -103,7 +103,10 @@ pub struct GroupView<'a> {
 
 impl GroupView<'_> {
     /// Iterates over the gate nodes of all incident transistors.
-    pub fn incident_gates<'n>(&self, net: &'n Network) -> impl Iterator<Item = NodeId> + use<'_, 'n> {
+    pub fn incident_gates<'n>(
+        &self,
+        net: &'n Network,
+    ) -> impl Iterator<Item = NodeId> + use<'_, 'n> {
         self.incident_transistors
             .iter()
             .map(move |&t| net.transistor(t).gate)
@@ -318,7 +321,13 @@ mod tests {
     use crate::state::DenseState;
     use fmossim_netlist::{Drive, Size, TransistorType};
 
-    fn cmos_inverter(net: &mut Network, name: &str, input: NodeId, vdd: NodeId, gnd: NodeId) -> NodeId {
+    fn cmos_inverter(
+        net: &mut Network,
+        name: &str,
+        input: NodeId,
+        vdd: NodeId,
+        gnd: NodeId,
+    ) -> NodeId {
         let out = net.add_storage(name, Size::S1);
         net.add_transistor(TransistorType::P, Drive::D2, input, vdd, out);
         net.add_transistor(TransistorType::N, Drive::D2, input, out, gnd);
@@ -326,7 +335,10 @@ mod tests {
     }
 
     fn rails(net: &mut Network) -> (NodeId, NodeId) {
-        (net.add_input("Vdd", Logic::H), net.add_input("Gnd", Logic::L))
+        (
+            net.add_input("Vdd", Logic::H),
+            net.add_input("Gnd", Logic::L),
+        )
     }
 
     #[test]

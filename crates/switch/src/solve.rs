@@ -141,12 +141,7 @@ impl Scratch {
     }
 
     /// Breadth-first vicinity extraction from `seed`.
-    pub(crate) fn extract<S: SwitchState>(
-        &mut self,
-        st: &S,
-        seed: NodeId,
-        static_locality: bool,
-    ) {
+    pub(crate) fn extract<S: SwitchState>(&mut self, st: &S, seed: NodeId, static_locality: bool) {
         self.current_epoch = self.current_epoch.wrapping_add(1);
         if self.current_epoch == 0 {
             // Extremely rare wraparound: clear stamps and restart at 1.
@@ -231,7 +226,10 @@ impl Scratch {
                         definite,
                     });
                 } else {
-                    debug_assert!(self.in_group(other), "conducting neighbour must be in group");
+                    debug_assert!(
+                        self.in_group(other),
+                        "conducting neighbour must be in group"
+                    );
                     self.edges[li].push(Edge {
                         from: self.node_local[other.index()],
                         drive: tr.strength,
@@ -296,9 +294,11 @@ impl Scratch {
                     }
                 }
             }
-            self.relax(&mut pos, /*definite_edges_only=*/ false, |str_, from| {
-                str_[from as usize] >= def_s[from as usize]
-            });
+            self.relax(
+                &mut pos,
+                /*definite_edges_only=*/ false,
+                |str_, from| str_[from as usize] >= def_s[from as usize],
+            );
             self.pos[idx] = pos;
         }
 
@@ -612,9 +612,17 @@ mod tests {
         let st = DenseState::new(&net);
         let mut scr = Scratch::new(net.num_nodes(), net.num_transistors());
         scr.extract(&st, a, false);
-        assert_eq!(scr.members.len(), 1, "dynamic locality stops at open transistor");
+        assert_eq!(
+            scr.members.len(),
+            1,
+            "dynamic locality stops at open transistor"
+        );
         scr.extract(&st, a, true);
-        assert_eq!(scr.members.len(), 2, "static locality spans the DC component");
+        assert_eq!(
+            scr.members.len(),
+            2,
+            "static locality spans the DC component"
+        );
     }
 
     #[test]

@@ -32,10 +32,7 @@ impl Trace {
     #[must_use]
     pub fn new(net: &Network, nodes: impl IntoIterator<Item = NodeId>) -> Self {
         let watched: Vec<NodeId> = nodes.into_iter().collect();
-        let names = watched
-            .iter()
-            .map(|&n| net.node(n).name.clone())
-            .collect();
+        let names = watched.iter().map(|&n| net.node(n).name.clone()).collect();
         Trace {
             watched,
             names,
@@ -213,10 +210,7 @@ mod tests {
         assert_eq!(trace.len(), 2);
         assert_eq!(trace.value_at(out, 0), Logic::H);
         assert_eq!(trace.value_at(out, 1), Logic::L);
-        assert_eq!(
-            trace.changes(out),
-            vec![(0, Logic::H), (1, Logic::L)]
-        );
+        assert_eq!(trace.changes(out), vec![(0, Logic::H), (1, Logic::L)]);
         assert_eq!(trace.changes(a).len(), 2);
     }
 

@@ -8,7 +8,10 @@ use fmossim_netlist::{Drive, Logic, Network, NodeId, Size, TransistorType};
 use fmossim_switch::LogicSim;
 
 fn rails(net: &mut Network) -> (NodeId, NodeId) {
-    (net.add_input("Vdd", Logic::H), net.add_input("Gnd", Logic::L))
+    (
+        net.add_input("Vdd", Logic::H),
+        net.add_input("Gnd", Logic::L),
+    )
 }
 
 /// A driver of each strength γ1..γ3 fighting over one node: the

@@ -54,7 +54,10 @@ fn build(recipe: &NetRecipe) -> (Network, Vec<NodeId>) {
         input_ids.push(net.add_input(format!("I{i}"), *v));
     }
     for i in 0..recipe.storage {
-        net.add_storage(format!("S{i}"), if i % 3 == 0 { Size::S2 } else { Size::S1 });
+        net.add_storage(
+            format!("S{i}"),
+            if i % 3 == 0 { Size::S2 } else { Size::S1 },
+        );
     }
     let n = net.num_nodes();
     let ids: Vec<NodeId> = net.node_ids().collect();

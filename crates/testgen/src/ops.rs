@@ -34,12 +34,12 @@ impl<'r> RamOps<'r> {
         setup.push((io.phi1, Logic::H));
         Pattern::labelled(
             vec![
-                Phase::strobe(setup),                          // 1: pins + PHI1↑
-                Phase::strobe(vec![(io.phi1, Logic::L)]),      // 2: PHI1↓
-                Phase::strobe(vec![(io.phi2, Logic::H)]),      // 3: PHI2↑
-                Phase::strobe(vec![(io.phi2, Logic::L)]),      // 4: PHI2↓
-                Phase::strobe(vec![(io.phi3, Logic::H)]),      // 5: PHI3↑ (output latch)
-                Phase::strobe(vec![(io.phi3, Logic::L)]),      // 6: PHI3↓, observe
+                Phase::strobe(setup),                     // 1: pins + PHI1↑
+                Phase::strobe(vec![(io.phi1, Logic::L)]), // 2: PHI1↓
+                Phase::strobe(vec![(io.phi2, Logic::H)]), // 3: PHI2↑
+                Phase::strobe(vec![(io.phi2, Logic::L)]), // 4: PHI2↓
+                Phase::strobe(vec![(io.phi3, Logic::H)]), // 5: PHI3↑ (output latch)
+                Phase::strobe(vec![(io.phi3, Logic::L)]), // 6: PHI3↓, observe
             ],
             label,
         )
@@ -92,13 +92,20 @@ mod tests {
         let ops = RamOps::new(&ram);
         let p = ops.write(5, true);
         assert_eq!(p.phases.len(), 6, "six input settings per pattern");
-        assert!(p.phases.iter().all(|ph| ph.strobe), "output monitored continuously");
+        assert!(
+            p.phases.iter().all(|ph| ph.strobe),
+            "output monitored continuously"
+        );
         assert_eq!(p.label, "w1@5");
         // Setup phase drives address, WE, DIN and PHI1.
         let setup = &p.phases[0].inputs;
         assert_eq!(setup.len(), 4 /* addr */ + 3);
-        assert!(setup.iter().any(|&(n, v)| n == ram.io().we && v == Logic::H));
-        assert!(setup.iter().any(|&(n, v)| n == ram.io().phi1 && v == Logic::H));
+        assert!(setup
+            .iter()
+            .any(|&(n, v)| n == ram.io().we && v == Logic::H));
+        assert!(setup
+            .iter()
+            .any(|&(n, v)| n == ram.io().phi1 && v == Logic::H));
     }
 
     #[test]
@@ -107,7 +114,9 @@ mod tests {
         let ops = RamOps::new(&ram);
         let p = ops.read(3);
         let setup = &p.phases[0].inputs;
-        assert!(setup.iter().any(|&(n, v)| n == ram.io().we && v == Logic::L));
+        assert!(setup
+            .iter()
+            .any(|&(n, v)| n == ram.io().we && v == Logic::L));
         assert!(!setup.iter().any(|&(n, _)| n == ram.io().din));
         assert_eq!(p.label, "r@3");
     }
@@ -127,7 +136,10 @@ mod tests {
         let p = RamOps::new(&ram).idle();
         let io = ram.io();
         // Phase 1 raises PHI1, phase 2 lowers it, phase 3 raises PHI2…
-        assert!(p.phases[0].inputs.iter().any(|&(n, v)| n == io.phi1 && v == Logic::H));
+        assert!(p.phases[0]
+            .inputs
+            .iter()
+            .any(|&(n, v)| n == io.phi1 && v == Logic::H));
         assert_eq!(p.phases[1].inputs, vec![(io.phi1, Logic::L)]);
         assert_eq!(p.phases[2].inputs, vec![(io.phi2, Logic::H)]);
         assert_eq!(p.phases[3].inputs, vec![(io.phi2, Logic::L)]);

@@ -65,7 +65,11 @@ fn main() {
         println!(
             "  {}{}",
             universe.fault(*c).describe(ram.network()),
-            if *c == secret { "   <-- the actual fault" } else { "" }
+            if *c == secret {
+                "   <-- the actual fault"
+            } else {
+                ""
+            }
         );
     }
     assert!(candidates.contains(&secret), "diagnosis must include truth");

@@ -6,8 +6,8 @@
 //! cargo run --release --example netlist_io
 //! ```
 
-use fmossim::concurrent::{ConcurrentConfig, ConcurrentSim, Pattern, Phase};
 use fmossim::circuits::Ram;
+use fmossim::concurrent::{ConcurrentConfig, ConcurrentSim, Pattern, Phase};
 use fmossim::faults::FaultUniverse;
 use fmossim::netlist::{parse_netlist, write_netlist, Logic, NetworkStats};
 
@@ -57,8 +57,8 @@ fn main() {
         Pattern::labelled(vec![Phase::strobe(vec![(reset, Logic::H)])], "reset"),
         Pattern::labelled(vec![Phase::strobe(vec![(reset, Logic::L)])], "hold 0"),
     ];
-    let universe = FaultUniverse::stuck_nodes(&latch)
-        .union(FaultUniverse::stuck_transistors(&latch));
+    let universe =
+        FaultUniverse::stuck_nodes(&latch).union(FaultUniverse::stuck_transistors(&latch));
     let mut sim = ConcurrentSim::new(&latch, universe.faults(), ConcurrentConfig::paper());
     let report = sim.run(&patterns, &[q]);
     println!(

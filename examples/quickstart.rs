@@ -43,8 +43,7 @@ fn main() {
 
     // 3. Fault-simulate: every storage node stuck-at-0/1 and every
     //    transistor stuck-open/closed, concurrently.
-    let universe =
-        FaultUniverse::stuck_nodes(&net).union(FaultUniverse::stuck_transistors(&net));
+    let universe = FaultUniverse::stuck_nodes(&net).union(FaultUniverse::stuck_transistors(&net));
     let patterns: Vec<Pattern> = [
         (Logic::L, Logic::L),
         (Logic::L, Logic::H),

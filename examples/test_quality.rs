@@ -25,12 +25,13 @@ fn summarize(name: &str, report: &RunReport, good_avg: f64) -> (f64, f64) {
     let cum = report.cumulative_detections();
     println!("{name}:");
     println!("  patterns:            {}", report.patterns.len());
-    println!("  detected:            {}/{}", report.detected(), report.num_faults);
-    println!("  detected by pat 7:   {}", cum[6]);
     println!(
-        "  detected by pat 87:  {}",
-        cum[86.min(cum.len() - 1)]
+        "  detected:            {}/{}",
+        report.detected(),
+        report.num_faults
     );
+    println!("  detected by pat 7:   {}", cum[6]);
+    println!("  detected by pat 87:  {}", cum[86.min(cum.len() - 1)]);
     println!("  concurrent time:     {:.3} s", report.total_seconds);
     println!("  serial estimate:     {serial_est:.3} s");
     println!(
@@ -85,11 +86,7 @@ fn main() {
         seq1.len() - seq2.len(),
         c2 / c1
     );
-    println!(
-        "(the paper observed 49 min vs 21.9 min = 2.2x: faults that cause behaviour"
-    );
-    println!(
-        " very different from the good machine stay live much longer without the"
-    );
+    println!("(the paper observed 49 min vs 21.9 min = 2.2x: faults that cause behaviour");
+    println!(" very different from the good machine stay live much longer without the");
     println!(" row/column marches, so every pattern pays for them)");
 }

@@ -3,10 +3,12 @@
 //! ```text
 //! fmossim stats    <netlist.snl>
 //! fmossim gen      ram <rows> <cols> | regfile <words> <bits>
+//! fmossim stim     ram <rows> <cols> [--march-only]
 //! fmossim sim      <netlist.snl> --stim <file> [--watch N1,N2,…]
 //! fmossim faultsim <netlist.snl> --stim <file> --outputs N1[,N2…]
 //!                  [--universe stuck-nodes|stuck-transistors|all]
 //!                  [--sample K] [--seed S] [--serial]
+//!                  [--jobs N] [--shard-strategy round-robin|contiguous|cost]
 //! ```
 //!
 //! The stimulus file is line oriented: each non-comment line is one
@@ -19,12 +21,11 @@
 //! A0=1 WE=1 DIN=1 PHI1=1 ; PHI1=0 ; PHI2=1 ; PHI2=0 ; PHI3=1 ; PHI3=0
 //! ```
 
-use fmossim::concurrent::{
-    ConcurrentConfig, ConcurrentSim, Pattern, Phase, SerialConfig, SerialSim,
-};
 use fmossim::circuits::{Ram, RegisterFile};
+use fmossim::concurrent::{ConcurrentConfig, Pattern, Phase, SerialConfig, SerialSim};
 use fmossim::faults::FaultUniverse;
 use fmossim::netlist::{parse_netlist, write_netlist, Logic, Network, NetworkStats, NodeId};
+use fmossim::par::{ParallelConfig, ParallelSim, ShardStrategy};
 use fmossim::sim::LogicSim;
 use std::process::ExitCode;
 
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("stats") => cmd_stats(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("stim") => cmd_stim(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
         Some("faultsim") => cmd_faultsim(&args[1..]),
         Some("--help" | "-h") | None => {
@@ -56,15 +58,21 @@ fmossim — concurrent switch-level fault simulator (Bryant & Schuster, DAC 1985
 usage:
   fmossim stats    <netlist.snl>
   fmossim gen      ram <rows> <cols> | regfile <words> <bits>
+  fmossim stim     ram <rows> <cols> [--march-only]
   fmossim sim      <netlist.snl> --stim <file> [--watch A,B,...]
   fmossim faultsim <netlist.snl> --stim <file> --outputs A[,B...]
                    [--universe stuck-nodes|stuck-transistors|all]
                    [--sample K] [--seed S] [--serial]
+                   [--jobs N] [--shard-strategy round-robin|contiguous|cost]
+
+faultsim grades all faults concurrently. --jobs N shards the fault
+universe across N worker threads (fault-parallel execution); results
+are identical to --jobs 1. --shard-strategy picks how faults are
+dealt to shards (default round-robin).
 ";
 
 fn load(path: &str) -> Result<Network, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let net = parse_netlist(&text).map_err(|e| format!("{path}: {e}"))?;
     net.validate().map_err(|e| format!("{path}: {e}"))?;
     Ok(net)
@@ -103,9 +111,9 @@ fn parse_stim(net: &Network, text: &str) -> Result<Vec<Pattern>, String> {
         for chunk in body.split(';') {
             let mut inputs = Vec::new();
             for assign in chunk.split_whitespace() {
-                let (name, val) = assign
-                    .split_once('=')
-                    .ok_or_else(|| format!("stim line {}: `{assign}` is not NAME=VALUE", lineno + 1))?;
+                let (name, val) = assign.split_once('=').ok_or_else(|| {
+                    format!("stim line {}: `{assign}` is not NAME=VALUE", lineno + 1)
+                })?;
                 let node = net
                     .find_node(name)
                     .ok_or_else(|| format!("stim line {}: no node `{name}`", lineno + 1))?;
@@ -163,6 +171,55 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Emits the paper's test sequence for a generated RAM in the
+/// stimulus-file format, so `gen` + `stim` + `faultsim` compose:
+///
+/// ```text
+/// fmossim gen  ram 8 8 > ram64.snl
+/// fmossim stim ram 8 8 > ram64.stim
+/// fmossim faultsim ram64.snl --stim ram64.stim --outputs DOUT --jobs 4
+/// ```
+fn cmd_stim(args: &[String]) -> Result<(), String> {
+    let [kind, a, b, ..] = args else {
+        return Err("stim needs: ram <rows> <cols> [--march-only]".into());
+    };
+    if kind != "ram" {
+        return Err(format!("stim supports `ram`, not `{kind}`"));
+    }
+    let rows: usize = a.parse().map_err(|_| "rows must be a number")?;
+    let cols: usize = b.parse().map_err(|_| "cols must be a number")?;
+    let ram = Ram::new(rows, cols);
+    let seq = if flag(args, "--march-only") {
+        fmossim::testgen::TestSequence::march_only(&ram)
+    } else {
+        fmossim::testgen::TestSequence::full(&ram)
+    };
+    let net = ram.network();
+    for pattern in seq.patterns() {
+        let phases: Vec<String> = pattern
+            .phases
+            .iter()
+            .map(|phase| {
+                phase
+                    .inputs
+                    .iter()
+                    .map(|&(n, v)| format!("{}={v}", net.node(n).name))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        println!("{} # {}", phases.join(" ; "), pattern.label);
+    }
+    eprintln!(
+        "emitted {} patterns for RAM{} ({} rows x {} cols)",
+        seq.len(),
+        rows * cols,
+        rows,
+        cols
+    );
+    Ok(())
+}
+
 fn cmd_sim(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("sim needs a netlist path")?;
     let net = load(path)?;
@@ -205,7 +262,10 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
     let stim_text =
         std::fs::read_to_string(stim_path).map_err(|e| format!("cannot read stim: {e}"))?;
     let patterns = parse_stim(&net, &stim_text)?;
-    let outputs = node_list(&net, opt(args, "--outputs").ok_or("faultsim needs --outputs")?)?;
+    let outputs = node_list(
+        &net,
+        opt(args, "--outputs").ok_or("faultsim needs --outputs")?,
+    )?;
 
     let mut universe = match opt(args, "--universe").unwrap_or("stuck-nodes") {
         "stuck-nodes" => FaultUniverse::stuck_nodes(&net),
@@ -221,15 +281,35 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
         let k: usize = k.parse().map_err(|_| "--sample takes a number")?;
         universe = universe.sample(k, seed);
     }
+    let jobs: usize = opt(args, "--jobs")
+        .map(|s| s.parse().map_err(|_| "--jobs takes a number"))
+        .transpose()?
+        .unwrap_or(1)
+        .max(1);
+    let strategy = match opt(args, "--shard-strategy") {
+        None => ShardStrategy::default(),
+        Some(spec) => ShardStrategy::parse(spec).ok_or_else(|| {
+            format!("unknown shard strategy `{spec}` (round-robin|contiguous|cost)")
+        })?,
+    };
     eprintln!(
-        "{} faults, {} patterns, observing {} output(s)",
+        "{} faults, {} patterns, observing {} output(s), {} job(s) [{}]",
         universe.len(),
         patterns.len(),
-        outputs.len()
+        outputs.len(),
+        jobs,
+        strategy,
     );
 
-    let mut sim = ConcurrentSim::new(&net, universe.faults(), ConcurrentConfig::paper());
+    let config = ParallelConfig {
+        strategy,
+        jobs,
+        sim: ConcurrentConfig::paper(),
+        ..ParallelConfig::default()
+    };
+    let sim = ParallelSim::new(&net, universe, config);
     let report = sim.run(&patterns, &outputs);
+    let universe = sim.universe();
     println!(
         "detected {}/{} faults ({:.1}% coverage) in {:.3}s",
         report.detected(),
@@ -243,7 +323,11 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
             d.pattern + 1,
             d.phase + 1,
             universe.fault(d.fault).describe(&net),
-            if d.is_potential() { " (potential, X)" } else { "" }
+            if d.is_potential() {
+                " (potential, X)"
+            } else {
+                ""
+            }
         );
     }
     let detected: std::collections::HashSet<_> =

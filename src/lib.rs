@@ -16,6 +16,9 @@
 //!   RAM64/RAM256 dynamic-RAM benchmark circuits.
 //! * [`testgen`] — test-pattern generation: clock phases, marching
 //!   memory tests, the paper's exact test sequences.
+//! * [`par`] — fault-parallel execution: sharded fault universes on a
+//!   `std::thread` worker pool ([`par::ParallelSim`]), with merged
+//!   reports identical to single-threaded runs.
 //!
 //! Beyond the paper: fault dictionaries and diagnosis
 //! ([`concurrent::FaultDictionary`]), multi-fault circuits
@@ -47,5 +50,6 @@ pub use fmossim_circuits as circuits;
 pub use fmossim_core as concurrent;
 pub use fmossim_faults as faults;
 pub use fmossim_netlist as netlist;
+pub use fmossim_par as par;
 pub use fmossim_switch as sim;
 pub use fmossim_testgen as testgen;

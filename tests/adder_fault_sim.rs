@@ -23,8 +23,9 @@ fn vectors(adder: &RippleAdder, cases: &[(u64, u64, bool)]) -> Vec<Pattern> {
 #[test]
 fn exhaustive_vectors_fully_test_small_adder() {
     let adder = RippleAdder::new(2);
-    let universe = FaultUniverse::stuck_nodes(adder.network())
-        .union(FaultUniverse::stuck_transistors(adder.network()).without_redundant(adder.network()));
+    let universe = FaultUniverse::stuck_nodes(adder.network()).union(
+        FaultUniverse::stuck_transistors(adder.network()).without_redundant(adder.network()),
+    );
     let mut cases = Vec::new();
     for a in 0..4u64 {
         for b in 0..4u64 {
@@ -34,8 +35,11 @@ fn exhaustive_vectors_fully_test_small_adder() {
         }
     }
     let patterns = vectors(&adder, &cases);
-    let mut sim =
-        ConcurrentSim::new(adder.network(), universe.faults(), ConcurrentConfig::paper());
+    let mut sim = ConcurrentSim::new(
+        adder.network(),
+        universe.faults(),
+        ConcurrentConfig::paper(),
+    );
     let report = sim.run(&patterns, &adder.observed_outputs());
     assert!(
         report.coverage() > 0.97,
@@ -51,8 +55,11 @@ fn sparse_vectors_leave_coverage_holes_the_simulator_pinpoints() {
     let universe = FaultUniverse::stuck_nodes(adder.network());
     // A deliberately weak test: only all-zeros and all-ones operands.
     let weak = vectors(&adder, &[(0, 0, false), (15, 15, true)]);
-    let mut sim =
-        ConcurrentSim::new(adder.network(), universe.faults(), ConcurrentConfig::paper());
+    let mut sim = ConcurrentSim::new(
+        adder.network(),
+        universe.faults(),
+        ConcurrentConfig::paper(),
+    );
     let weak_report = sim.run(&weak, &adder.observed_outputs());
 
     // A better set adds the classic carry-ripple and checkerboards.
@@ -69,8 +76,11 @@ fn sparse_vectors_leave_coverage_holes_the_simulator_pinpoints() {
             (8, 8, false),
         ],
     );
-    let mut sim2 =
-        ConcurrentSim::new(adder.network(), universe.faults(), ConcurrentConfig::paper());
+    let mut sim2 = ConcurrentSim::new(
+        adder.network(),
+        universe.faults(),
+        ConcurrentConfig::paper(),
+    );
     let strong_report = sim2.run(&strong, &adder.observed_outputs());
 
     assert!(
@@ -104,13 +114,19 @@ fn per_output_observability_matters() {
     let patterns = vectors(&adder, &cases);
 
     let all_outputs = adder.observed_outputs();
-    let mut sim_all =
-        ConcurrentSim::new(adder.network(), universe.faults(), ConcurrentConfig::paper());
+    let mut sim_all = ConcurrentSim::new(
+        adder.network(),
+        universe.faults(),
+        ConcurrentConfig::paper(),
+    );
     let all = sim_all.run(&patterns, &all_outputs);
 
     let cout_only = [adder.io().cout];
-    let mut sim_cout =
-        ConcurrentSim::new(adder.network(), universe.faults(), ConcurrentConfig::paper());
+    let mut sim_cout = ConcurrentSim::new(
+        adder.network(),
+        universe.faults(),
+        ConcurrentConfig::paper(),
+    );
     let cout = sim_cout.run(&patterns, &cout_only);
 
     assert!(

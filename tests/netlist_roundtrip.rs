@@ -67,7 +67,10 @@ fn faulted_ram_roundtrips_with_fault_devices() {
         inject::insert_bridge(ram.network_mut(), a, b, &format!("bl{i}"));
     }
     let text = write_netlist(ram.network());
-    assert!(text.contains("#fault.bridge.bl0"), "control nodes serialised");
+    assert!(
+        text.contains("#fault.bridge.bl0"),
+        "control nodes serialised"
+    );
     assert!(text.contains("strength 7"), "fault strength serialised");
     let back = parse_netlist(&text).expect("parses");
     assert_eq!(back.num_transistors(), ram.network().num_transistors());

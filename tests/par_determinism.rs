@@ -1,0 +1,135 @@
+//! Shard determinism: fault-parallel simulation is a pure throughput
+//! lever. For every shard count and strategy, `ParallelSim` must
+//! produce exactly the detection set (fault, pattern, phase, values)
+//! and coverage of a plain single-threaded `ConcurrentSim` run — on
+//! the paper's RAM benchmark and on the ALU-section adder.
+
+use fmossim::circuits::{Ram, RippleAdder};
+use fmossim::concurrent::{ConcurrentConfig, ConcurrentSim, Pattern, Phase, RunReport};
+use fmossim::faults::FaultUniverse;
+use fmossim::netlist::{Network, NodeId};
+use fmossim::par::{ParallelConfig, ParallelSim, ShardStrategy};
+use fmossim::testgen::TestSequence;
+
+/// Canonical view of a report's detections: one tuple per detected
+/// fault, sorted — independent of emission order.
+fn detection_set(report: &RunReport) -> Vec<(usize, usize, usize, String)> {
+    let mut v: Vec<_> = report
+        .detections
+        .iter()
+        .map(|d| {
+            (
+                d.fault.index(),
+                d.pattern,
+                d.phase,
+                format!("{}->{}", d.good, d.faulty),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// The property: for K ∈ {1, 2, 4, 7} shards × all strategies, the
+/// parallel run equals the reference `ConcurrentSim` run.
+fn assert_shard_invariance(
+    net: &Network,
+    universe: &FaultUniverse,
+    patterns: &[Pattern],
+    outputs: &[NodeId],
+) {
+    let mut reference_sim = ConcurrentSim::new(net, universe.faults(), ConcurrentConfig::paper());
+    let reference = reference_sim.run(patterns, outputs);
+    let expected = detection_set(&reference);
+    assert!(reference.detected() > 0, "workload must detect something");
+
+    for k in [1usize, 2, 4, 7] {
+        for strategy in ShardStrategy::ALL {
+            let config = ParallelConfig {
+                jobs: k,
+                strategy,
+                sim: ConcurrentConfig::paper(),
+                ..ParallelConfig::default()
+            };
+            let sim = ParallelSim::new(net, universe.clone(), config);
+            let report = sim.run(patterns, outputs);
+            assert_eq!(
+                detection_set(&report),
+                expected,
+                "K={k} strategy={strategy}: detection set diverged"
+            );
+            assert_eq!(report.num_faults, reference.num_faults);
+            assert!(
+                (report.coverage() - reference.coverage()).abs() < 1e-12,
+                "K={k} strategy={strategy}: coverage diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn ram_detections_invariant_under_sharding() {
+    // 4×4 keeps the 36-run sweep fast while exercising the full RAM
+    // control/march sequence; the 8×8 acceptance run lives in
+    // `scaling_par` and the CLI test below.
+    let ram = Ram::new(4, 4);
+    let universe = FaultUniverse::stuck_nodes(ram.network());
+    let seq = TestSequence::full(&ram);
+    assert_shard_invariance(
+        ram.network(),
+        &universe,
+        seq.patterns(),
+        ram.observed_outputs(),
+    );
+}
+
+#[test]
+fn adder_detections_invariant_under_sharding() {
+    let adder = RippleAdder::new(3);
+    let universe = FaultUniverse::stuck_nodes(adder.network()).union(
+        FaultUniverse::stuck_transistors(adder.network()).without_redundant(adder.network()),
+    );
+    let cases: Vec<(u64, u64, bool)> = (0..8)
+        .flat_map(|a| [(a, 7 - a, false), (a, a ^ 0b101, true)])
+        .collect();
+    let patterns: Vec<Pattern> = cases
+        .iter()
+        .map(|&(a, b, cin)| {
+            Pattern::labelled(
+                vec![Phase::strobe(adder.operand_assignments(a, b, cin))],
+                format!("{a}+{b}+{}", u8::from(cin)),
+            )
+        })
+        .collect();
+    assert_shard_invariance(
+        adder.network(),
+        &universe,
+        &patterns,
+        &adder.observed_outputs(),
+    );
+}
+
+/// Oversharding (more shards than workers, pulled from the queue) must
+/// also leave results untouched.
+#[test]
+fn oversharded_pool_detections_invariant() {
+    let ram = Ram::new(4, 4);
+    let universe = FaultUniverse::stuck_nodes(ram.network());
+    let seq = TestSequence::full(&ram);
+    let outputs = ram.observed_outputs();
+
+    let mut reference_sim =
+        ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
+    let reference = reference_sim.run(seq.patterns(), outputs);
+
+    let config = ParallelConfig {
+        jobs: 3,
+        shards: Some(11),
+        strategy: ShardStrategy::CostEstimated,
+        sim: ConcurrentConfig::paper(),
+    };
+    let sim = ParallelSim::new(ram.network(), universe, config);
+    assert_eq!(sim.plan().num_shards(), 11);
+    let report = sim.run(seq.patterns(), outputs);
+    assert_eq!(detection_set(&report), detection_set(&reference));
+}

@@ -44,11 +44,9 @@ fn sequence_2_also_fully_tests_but_later() {
     let seq1 = TestSequence::full(&ram);
     let seq2 = TestSequence::march_only(&ram);
 
-    let mut sim1 =
-        ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
+    let mut sim1 = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
     let r1 = sim1.run(seq1.patterns(), ram.observed_outputs());
-    let mut sim2 =
-        ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
+    let mut sim2 = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
     let r2 = sim2.run(seq2.patterns(), ram.observed_outputs());
 
     assert_eq!(r1.detected(), universe.len());
@@ -114,7 +112,11 @@ fn array_march_detects_every_cell_fault() {
     let seq = TestSequence::full(&ram);
     let mut sim = ConcurrentSim::new(ram.network(), &faults, ConcurrentConfig::paper());
     let report = sim.run(seq.patterns(), ram.observed_outputs());
-    assert_eq!(report.detected(), faults.len(), "all 2N cell faults detected");
+    assert_eq!(
+        report.detected(),
+        faults.len(),
+        "all 2N cell faults detected"
+    );
 }
 
 /// Bridge faults between bit lines are detected.
@@ -147,10 +149,22 @@ fn control_faults_detected_in_the_head() {
     let wstr = net.find_node("WSTR").expect("write strobe exists");
     let rstr = net.find_node("RSTR").expect("read strobe exists");
     let faults = vec![
-        Fault::NodeStuck { node: wstr, value: Logic::L },
-        Fault::NodeStuck { node: wstr, value: Logic::H },
-        Fault::NodeStuck { node: rstr, value: Logic::L },
-        Fault::NodeStuck { node: rstr, value: Logic::H },
+        Fault::NodeStuck {
+            node: wstr,
+            value: Logic::L,
+        },
+        Fault::NodeStuck {
+            node: wstr,
+            value: Logic::H,
+        },
+        Fault::NodeStuck {
+            node: rstr,
+            value: Logic::L,
+        },
+        Fault::NodeStuck {
+            node: rstr,
+            value: Logic::H,
+        },
     ];
     let seq = TestSequence::full(&ram);
     let head = seq.head_len();

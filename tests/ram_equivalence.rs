@@ -6,7 +6,7 @@
 
 use fmossim::circuits::Ram;
 use fmossim::concurrent::{
-    ConcurrentConfig, ConcurrentSim, PatternStats, SerialConfig, SerialSim,
+    ConcurrentConfig, ConcurrentSim, DetectionPolicy, PatternStats, SerialConfig, SerialSim,
 };
 use fmossim::faults::{inject, FaultId, FaultUniverse};
 use fmossim::testgen::TestSequence;
@@ -125,8 +125,7 @@ fn stuck_closed_faults_have_coverage_parity() {
         .copied()
         .filter(|f| match f {
             fmossim::faults::Fault::TransistorStuckClosed(t) => {
-                ram.network().transistor(*t).ttype
-                    != fmossim::netlist::TransistorType::D
+                ram.network().transistor(*t).ttype != fmossim::netlist::TransistorType::D
             }
             _ => false,
         })
@@ -137,8 +136,7 @@ fn stuck_closed_faults_have_coverage_parity() {
 
     let serial = SerialSim::new(ram.network(), SerialConfig::paper());
     let sreport = serial.run(universe.faults(), seq.patterns(), outputs);
-    let mut csim =
-        ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
+    let mut csim = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
     let creport = csim.run(seq.patterns(), outputs);
 
     let s = sreport.detected();
@@ -150,10 +148,29 @@ fn stuck_closed_faults_have_coverage_parity() {
         universe.len()
     );
     // The overwhelming majority of faults must be detected by both.
-    assert!(c * 10 >= universe.len() * 8, "concurrent coverage {c}/{}", universe.len());
-    assert!(s * 10 >= universe.len() * 8, "serial coverage {s}/{}", universe.len());
+    assert!(
+        c * 10 >= universe.len() * 8,
+        "concurrent coverage {c}/{}",
+        universe.len()
+    );
+    assert!(
+        s * 10 >= universe.len() * 8,
+        "serial coverage {s}/{}",
+        universe.len()
+    );
 }
 
+/// Drop-on-detect must not change *when* faults are detected: first
+/// detections agree with the serial baseline fault by fault.
+///
+/// Compared under [`DetectionPolicy::DefiniteOnly`]: definite (0 vs 1)
+/// divergences are forced by the logic and arrive at the same strobe in
+/// both simulators. First *potential* (X-involved) detections are not
+/// comparable for every fault — a stuck value on a control node (e.g.
+/// the write enable held active) creates the same read/write fighting
+/// paths as a stuck-closed strobe transistor, and how early the
+/// resulting `X`s resolve is event-order dependent (see the module note
+/// on `stuck_closed_faults_have_coverage_parity`).
 #[test]
 fn detections_match_serial_with_dropping() {
     let (ram, universe) = ram_with_bridges(4);
@@ -161,10 +178,23 @@ fn detections_match_serial_with_dropping() {
     let seq = TestSequence::full(&ram);
     let outputs = ram.observed_outputs();
 
-    let serial = SerialSim::new(ram.network(), SerialConfig::paper());
+    let serial = SerialSim::new(
+        ram.network(),
+        SerialConfig {
+            policy: DetectionPolicy::DefiniteOnly,
+            ..SerialConfig::paper()
+        },
+    );
     let sreport = serial.run(sample.faults(), seq.patterns(), outputs);
 
-    let mut csim = ConcurrentSim::new(ram.network(), sample.faults(), ConcurrentConfig::paper());
+    let mut csim = ConcurrentSim::new(
+        ram.network(),
+        sample.faults(),
+        ConcurrentConfig {
+            policy: DetectionPolicy::DefiniteOnly,
+            ..ConcurrentConfig::paper()
+        },
+    );
     let creport = csim.run(seq.patterns(), outputs);
 
     let mut c_at = vec![None; sample.len()];
@@ -176,7 +206,9 @@ fn detections_match_serial_with_dropping() {
             c_at[k],
             o.detection.map(|d| (d.pattern, d.phase)),
             "fault {k} ({})",
-            sample.fault(FaultId(u32::try_from(k).unwrap())).describe(ram.network())
+            sample
+                .fault(FaultId(u32::try_from(k).unwrap()))
+                .describe(ram.network())
         );
     }
 }

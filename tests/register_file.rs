@@ -45,8 +45,7 @@ fn register_file_full_stuck_node_coverage() {
     let rf = RegisterFile::new(4, 2);
     let universe = FaultUniverse::stuck_nodes(rf.network());
     let patterns = exercise(&rf);
-    let mut sim =
-        ConcurrentSim::new(rf.network(), universe.faults(), ConcurrentConfig::paper());
+    let mut sim = ConcurrentSim::new(rf.network(), universe.faults(), ConcurrentConfig::paper());
     let report = sim.run(&patterns, rf.observed_outputs());
     assert_eq!(
         report.detected(),
@@ -74,7 +73,10 @@ fn register_file_detects_faster_than_single_output_would() {
     let all_at = r_all.patterns_to_detect();
     let one_at = r_one.patterns_to_detect();
     for (k, (a, o)) in all_at.iter().zip(one_at.iter()).enumerate() {
-        assert!(a <= o, "fault {k}: full observation detects at {a}, single at {o}");
+        assert!(
+            a <= o,
+            "fault {k}: full observation detects at {a}, single at {o}"
+        );
     }
 }
 
@@ -83,8 +85,7 @@ fn register_file_transistor_faults() {
     let rf = RegisterFile::new(4, 2);
     let universe = FaultUniverse::stuck_transistors(rf.network());
     let patterns = exercise(&rf);
-    let mut sim =
-        ConcurrentSim::new(rf.network(), universe.faults(), ConcurrentConfig::paper());
+    let mut sim = ConcurrentSim::new(rf.network(), universe.faults(), ConcurrentConfig::paper());
     let report = sim.run(&patterns, rf.observed_outputs());
     assert!(
         report.coverage() > 0.8,

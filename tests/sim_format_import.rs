@@ -1,9 +1,9 @@
 //! Importing Berkeley `.sim` netlists and simulating them: the
 //! cross-crate path a user with a Magic-extracted layout would take.
 
-use fmossim::netlist::{parse_sim, Logic, SimImportOptions};
 use fmossim::concurrent::{ConcurrentConfig, ConcurrentSim, Pattern, Phase};
 use fmossim::faults::FaultUniverse;
+use fmossim::netlist::{parse_sim, Logic, SimImportOptions};
 use fmossim::sim::LogicSim;
 
 /// An nMOS RS latch as `ext2sim` would emit it: depletion loads with

@@ -109,7 +109,11 @@ fn x_detections_counted_separately() {
     let seq = TestSequence::full(&ram);
     let mut sim = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
     let report = sim.run(seq.patterns(), ram.observed_outputs());
-    let potential = report.detections.iter().filter(|d| d.is_potential()).count();
+    let potential = report
+        .detections
+        .iter()
+        .filter(|d| d.is_potential())
+        .count();
     let definite = report.detected() - potential;
     assert!(definite > 0, "most faults detected definitely");
     // The split is reported, whatever it is.
