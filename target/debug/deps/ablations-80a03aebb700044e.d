@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-80a03aebb700044e.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-80a03aebb700044e.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adder_fault_sim-54fbcd0e7643576f.d: tests/adder_fault_sim.rs
+
+/root/repo/target/debug/deps/adder_fault_sim-54fbcd0e7643576f: tests/adder_fault_sim.rs
+
+tests/adder_fault_sim.rs:

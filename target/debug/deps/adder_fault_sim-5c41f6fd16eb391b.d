@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adder_fault_sim-5c41f6fd16eb391b.d: tests/adder_fault_sim.rs
+
+/root/repo/target/debug/deps/libadder_fault_sim-5c41f6fd16eb391b.rmeta: tests/adder_fault_sim.rs
+
+tests/adder_fault_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adder_fault_sim-dacde8b47b5b4fdd.d: tests/adder_fault_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadder_fault_sim-dacde8b47b5b4fdd.rmeta: tests/adder_fault_sim.rs Cargo.toml
+
+tests/adder_fault_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_web-01e0b28d6e3545a0.d: tests/dbg_web.rs
+
+/root/repo/target/debug/deps/dbg_web-01e0b28d6e3545a0: tests/dbg_web.rs
+
+tests/dbg_web.rs:

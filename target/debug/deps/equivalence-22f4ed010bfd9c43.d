@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-22f4ed010bfd9c43.d: crates/core/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-22f4ed010bfd9c43: crates/core/tests/equivalence.rs
+
+crates/core/tests/equivalence.rs:

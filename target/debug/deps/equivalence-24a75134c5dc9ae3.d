@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-24a75134c5dc9ae3.d: crates/core/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-24a75134c5dc9ae3.rmeta: crates/core/tests/equivalence.rs Cargo.toml
+
+crates/core/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-f48c783a296cc3ce.d: crates/core/tests/equivalence.rs
+
+/root/repo/target/debug/deps/libequivalence-f48c783a296cc3ce.rmeta: crates/core/tests/equivalence.rs
+
+crates/core/tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_ram64-07eb5757126236ab.d: crates/bench/src/bin/fig1_ram64.rs
+
+/root/repo/target/debug/deps/fig1_ram64-07eb5757126236ab: crates/bench/src/bin/fig1_ram64.rs
+
+crates/bench/src/bin/fig1_ram64.rs:

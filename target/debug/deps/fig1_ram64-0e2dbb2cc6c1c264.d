@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_ram64-0e2dbb2cc6c1c264.d: crates/bench/src/bin/fig1_ram64.rs
+
+/root/repo/target/debug/deps/libfig1_ram64-0e2dbb2cc6c1c264.rmeta: crates/bench/src/bin/fig1_ram64.rs
+
+crates/bench/src/bin/fig1_ram64.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_ram64-9181cf59b9130702.d: crates/bench/src/bin/fig1_ram64.rs
+
+/root/repo/target/debug/deps/fig1_ram64-9181cf59b9130702: crates/bench/src/bin/fig1_ram64.rs
+
+crates/bench/src/bin/fig1_ram64.rs:

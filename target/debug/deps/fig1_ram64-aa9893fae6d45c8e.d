@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_ram64-aa9893fae6d45c8e.d: crates/bench/src/bin/fig1_ram64.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_ram64-aa9893fae6d45c8e.rmeta: crates/bench/src/bin/fig1_ram64.rs Cargo.toml
+
+crates/bench/src/bin/fig1_ram64.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_ram64-d8c96a4fa65486c2.d: crates/bench/src/bin/fig1_ram64.rs
+
+/root/repo/target/debug/deps/libfig1_ram64-d8c96a4fa65486c2.rmeta: crates/bench/src/bin/fig1_ram64.rs
+
+crates/bench/src/bin/fig1_ram64.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_ram64-58c8f8d5d2f60161.d: crates/bench/src/bin/fig2_ram64.rs
+
+/root/repo/target/debug/deps/fig2_ram64-58c8f8d5d2f60161: crates/bench/src/bin/fig2_ram64.rs
+
+crates/bench/src/bin/fig2_ram64.rs:

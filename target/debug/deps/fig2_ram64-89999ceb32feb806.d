@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_ram64-89999ceb32feb806.d: crates/bench/src/bin/fig2_ram64.rs
+
+/root/repo/target/debug/deps/libfig2_ram64-89999ceb32feb806.rmeta: crates/bench/src/bin/fig2_ram64.rs
+
+crates/bench/src/bin/fig2_ram64.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_ram64-94df7fb4a64e6233.d: crates/bench/src/bin/fig2_ram64.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_ram64-94df7fb4a64e6233.rmeta: crates/bench/src/bin/fig2_ram64.rs Cargo.toml
+
+crates/bench/src/bin/fig2_ram64.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_ram64-a2c8c0979f9e2603.d: crates/bench/src/bin/fig2_ram64.rs
+
+/root/repo/target/debug/deps/libfig2_ram64-a2c8c0979f9e2603.rmeta: crates/bench/src/bin/fig2_ram64.rs
+
+crates/bench/src/bin/fig2_ram64.rs:

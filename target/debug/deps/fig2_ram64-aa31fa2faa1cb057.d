@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_ram64-aa31fa2faa1cb057.d: crates/bench/src/bin/fig2_ram64.rs
+
+/root/repo/target/debug/deps/fig2_ram64-aa31fa2faa1cb057: crates/bench/src/bin/fig2_ram64.rs
+
+crates/bench/src/bin/fig2_ram64.rs:

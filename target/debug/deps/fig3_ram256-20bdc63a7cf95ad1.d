@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_ram256-20bdc63a7cf95ad1.d: crates/bench/src/bin/fig3_ram256.rs
+
+/root/repo/target/debug/deps/fig3_ram256-20bdc63a7cf95ad1: crates/bench/src/bin/fig3_ram256.rs
+
+crates/bench/src/bin/fig3_ram256.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_ram256-54f8ba5cbccb01d5.d: crates/bench/src/bin/fig3_ram256.rs
+
+/root/repo/target/debug/deps/fig3_ram256-54f8ba5cbccb01d5: crates/bench/src/bin/fig3_ram256.rs
+
+crates/bench/src/bin/fig3_ram256.rs:

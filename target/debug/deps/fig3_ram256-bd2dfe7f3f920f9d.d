@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_ram256-bd2dfe7f3f920f9d.d: crates/bench/src/bin/fig3_ram256.rs
+
+/root/repo/target/debug/deps/libfig3_ram256-bd2dfe7f3f920f9d.rmeta: crates/bench/src/bin/fig3_ram256.rs
+
+crates/bench/src/bin/fig3_ram256.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_ram256-cf86cb27cb090c37.d: crates/bench/src/bin/fig3_ram256.rs
+
+/root/repo/target/debug/deps/libfig3_ram256-cf86cb27cb090c37.rmeta: crates/bench/src/bin/fig3_ram256.rs
+
+crates/bench/src/bin/fig3_ram256.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_ram256-f694e92af745e4dd.d: crates/bench/src/bin/fig3_ram256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_ram256-f694e92af745e4dd.rmeta: crates/bench/src/bin/fig3_ram256.rs Cargo.toml
+
+crates/bench/src/bin/fig3_ram256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

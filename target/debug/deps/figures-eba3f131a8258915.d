@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-eba3f131a8258915.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/libfigures-eba3f131a8258915.rmeta: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fmossim-0ba552e185d9f68d.d: src/bin/cli.rs
+
+/root/repo/target/debug/deps/libfmossim-0ba552e185d9f68d.rmeta: src/bin/cli.rs
+
+src/bin/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fmossim-1e19d969e6855717.d: src/bin/cli.rs
+
+/root/repo/target/debug/deps/fmossim-1e19d969e6855717: src/bin/cli.rs
+
+src/bin/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fmossim-2977d3187bfcbc2c.d: src/bin/cli.rs
+
+/root/repo/target/debug/deps/libfmossim-2977d3187bfcbc2c.rmeta: src/bin/cli.rs
+
+src/bin/cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fmossim-42bd8213d5dd11cb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfmossim-42bd8213d5dd11cb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fmossim-6756d970c3b93a5f.d: src/bin/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfmossim-6756d970c3b93a5f.rmeta: src/bin/cli.rs Cargo.toml
+
+src/bin/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

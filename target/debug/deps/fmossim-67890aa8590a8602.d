@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fmossim-67890aa8590a8602.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfmossim-67890aa8590a8602.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fmossim-79341f3df987b5eb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfmossim-79341f3df987b5eb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fmossim-95dc9e8c254547d4.d: src/bin/cli.rs
+
+/root/repo/target/debug/deps/fmossim-95dc9e8c254547d4: src/bin/cli.rs
+
+src/bin/cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fmossim-97f41313f52edd17.d: src/bin/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfmossim-97f41313f52edd17.rmeta: src/bin/cli.rs Cargo.toml
+
+src/bin/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fmossim-a16efcab2495ebaf.d: src/lib.rs
+
+/root/repo/target/debug/deps/fmossim-a16efcab2495ebaf: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fmossim-dc396ebce15635d2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfmossim-dc396ebce15635d2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfmossim-dc396ebce15635d2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fmossim_bench-1f646c10a151ac99.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfmossim_bench-1f646c10a151ac99.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fmossim_bench-4a39e1dba3b17302.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfmossim_bench-4a39e1dba3b17302.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfmossim_bench-4a39e1dba3b17302.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

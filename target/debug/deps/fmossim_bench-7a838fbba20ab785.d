@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fmossim_bench-7a838fbba20ab785.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fmossim_bench-7a838fbba20ab785: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

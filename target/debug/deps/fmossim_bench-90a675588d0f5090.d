@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fmossim_bench-90a675588d0f5090.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfmossim_bench-90a675588d0f5090.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

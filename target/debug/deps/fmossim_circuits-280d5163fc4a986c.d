@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fmossim_circuits-280d5163fc4a986c.d: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/cells.rs crates/circuits/src/decoder.rs crates/circuits/src/ram.rs crates/circuits/src/regfile.rs
+
+/root/repo/target/debug/deps/libfmossim_circuits-280d5163fc4a986c.rmeta: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/cells.rs crates/circuits/src/decoder.rs crates/circuits/src/ram.rs crates/circuits/src/regfile.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/adder.rs:
+crates/circuits/src/cells.rs:
+crates/circuits/src/decoder.rs:
+crates/circuits/src/ram.rs:
+crates/circuits/src/regfile.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fmossim_circuits-4da962987af875f3.d: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/cells.rs crates/circuits/src/decoder.rs crates/circuits/src/ram.rs crates/circuits/src/regfile.rs
+
+/root/repo/target/debug/deps/libfmossim_circuits-4da962987af875f3.rlib: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/cells.rs crates/circuits/src/decoder.rs crates/circuits/src/ram.rs crates/circuits/src/regfile.rs
+
+/root/repo/target/debug/deps/libfmossim_circuits-4da962987af875f3.rmeta: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/cells.rs crates/circuits/src/decoder.rs crates/circuits/src/ram.rs crates/circuits/src/regfile.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/adder.rs:
+crates/circuits/src/cells.rs:
+crates/circuits/src/decoder.rs:
+crates/circuits/src/ram.rs:
+crates/circuits/src/regfile.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fmossim_circuits-4f16da62e5d53e71.d: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/cells.rs crates/circuits/src/decoder.rs crates/circuits/src/ram.rs crates/circuits/src/regfile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfmossim_circuits-4f16da62e5d53e71.rmeta: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/cells.rs crates/circuits/src/decoder.rs crates/circuits/src/ram.rs crates/circuits/src/regfile.rs Cargo.toml
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/adder.rs:
+crates/circuits/src/cells.rs:
+crates/circuits/src/decoder.rs:
+crates/circuits/src/ram.rs:
+crates/circuits/src/regfile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

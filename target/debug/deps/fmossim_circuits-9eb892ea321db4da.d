@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fmossim_circuits-9eb892ea321db4da.d: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/cells.rs crates/circuits/src/decoder.rs crates/circuits/src/ram.rs crates/circuits/src/regfile.rs
+
+/root/repo/target/debug/deps/libfmossim_circuits-9eb892ea321db4da.rmeta: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/cells.rs crates/circuits/src/decoder.rs crates/circuits/src/ram.rs crates/circuits/src/regfile.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/adder.rs:
+crates/circuits/src/cells.rs:
+crates/circuits/src/decoder.rs:
+crates/circuits/src/ram.rs:
+crates/circuits/src/regfile.rs:

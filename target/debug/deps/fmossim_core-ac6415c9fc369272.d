@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fmossim_core-ac6415c9fc369272.d: crates/core/src/lib.rs crates/core/src/concurrent.rs crates/core/src/dictionary.rs crates/core/src/overlay.rs crates/core/src/pattern.rs crates/core/src/records.rs crates/core/src/report.rs crates/core/src/serial.rs
+
+/root/repo/target/debug/deps/libfmossim_core-ac6415c9fc369272.rlib: crates/core/src/lib.rs crates/core/src/concurrent.rs crates/core/src/dictionary.rs crates/core/src/overlay.rs crates/core/src/pattern.rs crates/core/src/records.rs crates/core/src/report.rs crates/core/src/serial.rs
+
+/root/repo/target/debug/deps/libfmossim_core-ac6415c9fc369272.rmeta: crates/core/src/lib.rs crates/core/src/concurrent.rs crates/core/src/dictionary.rs crates/core/src/overlay.rs crates/core/src/pattern.rs crates/core/src/records.rs crates/core/src/report.rs crates/core/src/serial.rs
+
+crates/core/src/lib.rs:
+crates/core/src/concurrent.rs:
+crates/core/src/dictionary.rs:
+crates/core/src/overlay.rs:
+crates/core/src/pattern.rs:
+crates/core/src/records.rs:
+crates/core/src/report.rs:
+crates/core/src/serial.rs:

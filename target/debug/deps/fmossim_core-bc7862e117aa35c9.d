@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fmossim_core-bc7862e117aa35c9.d: crates/core/src/lib.rs crates/core/src/concurrent.rs crates/core/src/dictionary.rs crates/core/src/overlay.rs crates/core/src/pattern.rs crates/core/src/records.rs crates/core/src/report.rs crates/core/src/serial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfmossim_core-bc7862e117aa35c9.rmeta: crates/core/src/lib.rs crates/core/src/concurrent.rs crates/core/src/dictionary.rs crates/core/src/overlay.rs crates/core/src/pattern.rs crates/core/src/records.rs crates/core/src/report.rs crates/core/src/serial.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/concurrent.rs:
+crates/core/src/dictionary.rs:
+crates/core/src/overlay.rs:
+crates/core/src/pattern.rs:
+crates/core/src/records.rs:
+crates/core/src/report.rs:
+crates/core/src/serial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

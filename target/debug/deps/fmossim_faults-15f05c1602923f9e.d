@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fmossim_faults-15f05c1602923f9e.d: crates/faults/src/lib.rs crates/faults/src/fault.rs crates/faults/src/inject.rs crates/faults/src/universe.rs
+
+/root/repo/target/debug/deps/fmossim_faults-15f05c1602923f9e: crates/faults/src/lib.rs crates/faults/src/fault.rs crates/faults/src/inject.rs crates/faults/src/universe.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/fault.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/universe.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fmossim_faults-178436d402491cb8.d: crates/faults/src/lib.rs crates/faults/src/fault.rs crates/faults/src/inject.rs crates/faults/src/universe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfmossim_faults-178436d402491cb8.rmeta: crates/faults/src/lib.rs crates/faults/src/fault.rs crates/faults/src/inject.rs crates/faults/src/universe.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/fault.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/universe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

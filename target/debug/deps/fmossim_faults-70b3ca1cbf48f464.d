@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fmossim_faults-70b3ca1cbf48f464.d: crates/faults/src/lib.rs crates/faults/src/fault.rs crates/faults/src/inject.rs crates/faults/src/universe.rs
+
+/root/repo/target/debug/deps/libfmossim_faults-70b3ca1cbf48f464.rlib: crates/faults/src/lib.rs crates/faults/src/fault.rs crates/faults/src/inject.rs crates/faults/src/universe.rs
+
+/root/repo/target/debug/deps/libfmossim_faults-70b3ca1cbf48f464.rmeta: crates/faults/src/lib.rs crates/faults/src/fault.rs crates/faults/src/inject.rs crates/faults/src/universe.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/fault.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/universe.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fmossim_faults-c4dc181ac1223158.d: crates/faults/src/lib.rs crates/faults/src/fault.rs crates/faults/src/inject.rs crates/faults/src/universe.rs
+
+/root/repo/target/debug/deps/libfmossim_faults-c4dc181ac1223158.rmeta: crates/faults/src/lib.rs crates/faults/src/fault.rs crates/faults/src/inject.rs crates/faults/src/universe.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/fault.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/universe.rs:

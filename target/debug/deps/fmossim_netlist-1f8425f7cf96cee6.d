@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fmossim_netlist-1f8425f7cf96cee6.d: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/format.rs crates/netlist/src/ids.rs crates/netlist/src/logic.rs crates/netlist/src/network.rs crates/netlist/src/simformat.rs crates/netlist/src/stats.rs crates/netlist/src/strength.rs crates/netlist/src/ttype.rs
+
+/root/repo/target/debug/deps/fmossim_netlist-1f8425f7cf96cee6: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/format.rs crates/netlist/src/ids.rs crates/netlist/src/logic.rs crates/netlist/src/network.rs crates/netlist/src/simformat.rs crates/netlist/src/stats.rs crates/netlist/src/strength.rs crates/netlist/src/ttype.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/format.rs:
+crates/netlist/src/ids.rs:
+crates/netlist/src/logic.rs:
+crates/netlist/src/network.rs:
+crates/netlist/src/simformat.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/strength.rs:
+crates/netlist/src/ttype.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fmossim_netlist-694192ca7e280440.d: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/format.rs crates/netlist/src/ids.rs crates/netlist/src/logic.rs crates/netlist/src/network.rs crates/netlist/src/simformat.rs crates/netlist/src/stats.rs crates/netlist/src/strength.rs crates/netlist/src/ttype.rs
+
+/root/repo/target/debug/deps/libfmossim_netlist-694192ca7e280440.rmeta: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/format.rs crates/netlist/src/ids.rs crates/netlist/src/logic.rs crates/netlist/src/network.rs crates/netlist/src/simformat.rs crates/netlist/src/stats.rs crates/netlist/src/strength.rs crates/netlist/src/ttype.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/format.rs:
+crates/netlist/src/ids.rs:
+crates/netlist/src/logic.rs:
+crates/netlist/src/network.rs:
+crates/netlist/src/simformat.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/strength.rs:
+crates/netlist/src/ttype.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fmossim_netlist-b6a0daf58ed45e03.d: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/format.rs crates/netlist/src/ids.rs crates/netlist/src/logic.rs crates/netlist/src/network.rs crates/netlist/src/simformat.rs crates/netlist/src/stats.rs crates/netlist/src/strength.rs crates/netlist/src/ttype.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfmossim_netlist-b6a0daf58ed45e03.rmeta: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/format.rs crates/netlist/src/ids.rs crates/netlist/src/logic.rs crates/netlist/src/network.rs crates/netlist/src/simformat.rs crates/netlist/src/stats.rs crates/netlist/src/strength.rs crates/netlist/src/ttype.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/format.rs:
+crates/netlist/src/ids.rs:
+crates/netlist/src/logic.rs:
+crates/netlist/src/network.rs:
+crates/netlist/src/simformat.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/strength.rs:
+crates/netlist/src/ttype.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

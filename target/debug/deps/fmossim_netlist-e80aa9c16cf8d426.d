@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fmossim_netlist-e80aa9c16cf8d426.d: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/format.rs crates/netlist/src/ids.rs crates/netlist/src/logic.rs crates/netlist/src/network.rs crates/netlist/src/simformat.rs crates/netlist/src/stats.rs crates/netlist/src/strength.rs crates/netlist/src/ttype.rs
+
+/root/repo/target/debug/deps/libfmossim_netlist-e80aa9c16cf8d426.rlib: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/format.rs crates/netlist/src/ids.rs crates/netlist/src/logic.rs crates/netlist/src/network.rs crates/netlist/src/simformat.rs crates/netlist/src/stats.rs crates/netlist/src/strength.rs crates/netlist/src/ttype.rs
+
+/root/repo/target/debug/deps/libfmossim_netlist-e80aa9c16cf8d426.rmeta: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/format.rs crates/netlist/src/ids.rs crates/netlist/src/logic.rs crates/netlist/src/network.rs crates/netlist/src/simformat.rs crates/netlist/src/stats.rs crates/netlist/src/strength.rs crates/netlist/src/ttype.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/format.rs:
+crates/netlist/src/ids.rs:
+crates/netlist/src/logic.rs:
+crates/netlist/src/network.rs:
+crates/netlist/src/simformat.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/strength.rs:
+crates/netlist/src/ttype.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fmossim_par-5784a8ae6b18863f.d: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs
+
+/root/repo/target/debug/deps/libfmossim_par-5784a8ae6b18863f.rmeta: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs
+
+crates/par/src/lib.rs:
+crates/par/src/driver.rs:
+crates/par/src/plan.rs:

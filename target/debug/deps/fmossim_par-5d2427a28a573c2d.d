@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fmossim_par-5d2427a28a573c2d.d: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfmossim_par-5d2427a28a573c2d.rmeta: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs Cargo.toml
+
+crates/par/src/lib.rs:
+crates/par/src/driver.rs:
+crates/par/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

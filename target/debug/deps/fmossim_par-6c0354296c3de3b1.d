@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fmossim_par-6c0354296c3de3b1.d: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs
+
+/root/repo/target/debug/deps/fmossim_par-6c0354296c3de3b1: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs
+
+crates/par/src/lib.rs:
+crates/par/src/driver.rs:
+crates/par/src/plan.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fmossim_par-83de4e5c08de8097.d: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfmossim_par-83de4e5c08de8097.rmeta: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs Cargo.toml
+
+crates/par/src/lib.rs:
+crates/par/src/driver.rs:
+crates/par/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

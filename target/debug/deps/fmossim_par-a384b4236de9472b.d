@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fmossim_par-a384b4236de9472b.d: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs
+
+/root/repo/target/debug/deps/libfmossim_par-a384b4236de9472b.rmeta: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs
+
+crates/par/src/lib.rs:
+crates/par/src/driver.rs:
+crates/par/src/plan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fmossim_par-ed74690f383603e4.d: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs
+
+/root/repo/target/debug/deps/libfmossim_par-ed74690f383603e4.rlib: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs
+
+/root/repo/target/debug/deps/libfmossim_par-ed74690f383603e4.rmeta: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs
+
+crates/par/src/lib.rs:
+crates/par/src/driver.rs:
+crates/par/src/plan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fmossim_switch-3e56b598b0a11290.d: crates/switch/src/lib.rs crates/switch/src/engine.rs crates/switch/src/sim.rs crates/switch/src/solve.rs crates/switch/src/state.rs crates/switch/src/trace.rs
+
+/root/repo/target/debug/deps/libfmossim_switch-3e56b598b0a11290.rlib: crates/switch/src/lib.rs crates/switch/src/engine.rs crates/switch/src/sim.rs crates/switch/src/solve.rs crates/switch/src/state.rs crates/switch/src/trace.rs
+
+/root/repo/target/debug/deps/libfmossim_switch-3e56b598b0a11290.rmeta: crates/switch/src/lib.rs crates/switch/src/engine.rs crates/switch/src/sim.rs crates/switch/src/solve.rs crates/switch/src/state.rs crates/switch/src/trace.rs
+
+crates/switch/src/lib.rs:
+crates/switch/src/engine.rs:
+crates/switch/src/sim.rs:
+crates/switch/src/solve.rs:
+crates/switch/src/state.rs:
+crates/switch/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fmossim_switch-8df4cf85a573b669.d: crates/switch/src/lib.rs crates/switch/src/engine.rs crates/switch/src/sim.rs crates/switch/src/solve.rs crates/switch/src/state.rs crates/switch/src/trace.rs
+
+/root/repo/target/debug/deps/libfmossim_switch-8df4cf85a573b669.rmeta: crates/switch/src/lib.rs crates/switch/src/engine.rs crates/switch/src/sim.rs crates/switch/src/solve.rs crates/switch/src/state.rs crates/switch/src/trace.rs
+
+crates/switch/src/lib.rs:
+crates/switch/src/engine.rs:
+crates/switch/src/sim.rs:
+crates/switch/src/solve.rs:
+crates/switch/src/state.rs:
+crates/switch/src/trace.rs:

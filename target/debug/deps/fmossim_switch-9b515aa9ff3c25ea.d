@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fmossim_switch-9b515aa9ff3c25ea.d: crates/switch/src/lib.rs crates/switch/src/engine.rs crates/switch/src/sim.rs crates/switch/src/solve.rs crates/switch/src/state.rs crates/switch/src/trace.rs
+
+/root/repo/target/debug/deps/fmossim_switch-9b515aa9ff3c25ea: crates/switch/src/lib.rs crates/switch/src/engine.rs crates/switch/src/sim.rs crates/switch/src/solve.rs crates/switch/src/state.rs crates/switch/src/trace.rs
+
+crates/switch/src/lib.rs:
+crates/switch/src/engine.rs:
+crates/switch/src/sim.rs:
+crates/switch/src/solve.rs:
+crates/switch/src/state.rs:
+crates/switch/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fmossim_switch-b9a966ed9b0d5cf0.d: crates/switch/src/lib.rs crates/switch/src/engine.rs crates/switch/src/sim.rs crates/switch/src/solve.rs crates/switch/src/state.rs crates/switch/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfmossim_switch-b9a966ed9b0d5cf0.rmeta: crates/switch/src/lib.rs crates/switch/src/engine.rs crates/switch/src/sim.rs crates/switch/src/solve.rs crates/switch/src/state.rs crates/switch/src/trace.rs Cargo.toml
+
+crates/switch/src/lib.rs:
+crates/switch/src/engine.rs:
+crates/switch/src/sim.rs:
+crates/switch/src/solve.rs:
+crates/switch/src/state.rs:
+crates/switch/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

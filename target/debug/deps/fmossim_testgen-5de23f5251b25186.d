@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fmossim_testgen-5de23f5251b25186.d: crates/testgen/src/lib.rs crates/testgen/src/ops.rs crates/testgen/src/random.rs crates/testgen/src/sequence.rs
+
+/root/repo/target/debug/deps/fmossim_testgen-5de23f5251b25186: crates/testgen/src/lib.rs crates/testgen/src/ops.rs crates/testgen/src/random.rs crates/testgen/src/sequence.rs
+
+crates/testgen/src/lib.rs:
+crates/testgen/src/ops.rs:
+crates/testgen/src/random.rs:
+crates/testgen/src/sequence.rs:

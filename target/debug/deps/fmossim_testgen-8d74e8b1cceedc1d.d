@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fmossim_testgen-8d74e8b1cceedc1d.d: crates/testgen/src/lib.rs crates/testgen/src/ops.rs crates/testgen/src/random.rs crates/testgen/src/sequence.rs
+
+/root/repo/target/debug/deps/libfmossim_testgen-8d74e8b1cceedc1d.rmeta: crates/testgen/src/lib.rs crates/testgen/src/ops.rs crates/testgen/src/random.rs crates/testgen/src/sequence.rs
+
+crates/testgen/src/lib.rs:
+crates/testgen/src/ops.rs:
+crates/testgen/src/random.rs:
+crates/testgen/src/sequence.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fmossim_testgen-c11958eb9f65c2ba.d: crates/testgen/src/lib.rs crates/testgen/src/ops.rs crates/testgen/src/random.rs crates/testgen/src/sequence.rs
+
+/root/repo/target/debug/deps/libfmossim_testgen-c11958eb9f65c2ba.rmeta: crates/testgen/src/lib.rs crates/testgen/src/ops.rs crates/testgen/src/random.rs crates/testgen/src/sequence.rs
+
+crates/testgen/src/lib.rs:
+crates/testgen/src/ops.rs:
+crates/testgen/src/random.rs:
+crates/testgen/src/sequence.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fmossim_testgen-e360eaac06d789c3.d: crates/testgen/src/lib.rs crates/testgen/src/ops.rs crates/testgen/src/random.rs crates/testgen/src/sequence.rs
+
+/root/repo/target/debug/deps/libfmossim_testgen-e360eaac06d789c3.rlib: crates/testgen/src/lib.rs crates/testgen/src/ops.rs crates/testgen/src/random.rs crates/testgen/src/sequence.rs
+
+/root/repo/target/debug/deps/libfmossim_testgen-e360eaac06d789c3.rmeta: crates/testgen/src/lib.rs crates/testgen/src/ops.rs crates/testgen/src/random.rs crates/testgen/src/sequence.rs
+
+crates/testgen/src/lib.rs:
+crates/testgen/src/ops.rs:
+crates/testgen/src/random.rs:
+crates/testgen/src/sequence.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fmossim_testgen-f4caa586a88ddf03.d: crates/testgen/src/lib.rs crates/testgen/src/ops.rs crates/testgen/src/random.rs crates/testgen/src/sequence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfmossim_testgen-f4caa586a88ddf03.rmeta: crates/testgen/src/lib.rs crates/testgen/src/ops.rs crates/testgen/src/random.rs crates/testgen/src/sequence.rs Cargo.toml
+
+crates/testgen/src/lib.rs:
+crates/testgen/src/ops.rs:
+crates/testgen/src/random.rs:
+crates/testgen/src/sequence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

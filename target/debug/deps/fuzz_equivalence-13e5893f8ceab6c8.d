@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_equivalence-13e5893f8ceab6c8.d: crates/core/tests/fuzz_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_equivalence-13e5893f8ceab6c8.rmeta: crates/core/tests/fuzz_equivalence.rs Cargo.toml
+
+crates/core/tests/fuzz_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

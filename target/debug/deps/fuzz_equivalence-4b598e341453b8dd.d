@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_equivalence-4b598e341453b8dd.d: crates/core/tests/fuzz_equivalence.rs
+
+/root/repo/target/debug/deps/libfuzz_equivalence-4b598e341453b8dd.rmeta: crates/core/tests/fuzz_equivalence.rs
+
+crates/core/tests/fuzz_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_equivalence-723907ca136c83c4.d: crates/core/tests/fuzz_equivalence.rs
+
+/root/repo/target/debug/deps/fuzz_equivalence-723907ca136c83c4: crates/core/tests/fuzz_equivalence.rs
+
+crates/core/tests/fuzz_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lattice_stress-312e817758edf2ff.d: crates/switch/tests/lattice_stress.rs
+
+/root/repo/target/debug/deps/liblattice_stress-312e817758edf2ff.rmeta: crates/switch/tests/lattice_stress.rs
+
+crates/switch/tests/lattice_stress.rs:

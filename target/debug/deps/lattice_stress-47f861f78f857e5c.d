@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lattice_stress-47f861f78f857e5c.d: crates/switch/tests/lattice_stress.rs
+
+/root/repo/target/debug/deps/lattice_stress-47f861f78f857e5c: crates/switch/tests/lattice_stress.rs
+
+crates/switch/tests/lattice_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lattice_stress-588e89b940d53139.d: crates/switch/tests/lattice_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblattice_stress-588e89b940d53139.rmeta: crates/switch/tests/lattice_stress.rs Cargo.toml
+
+crates/switch/tests/lattice_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netlist_roundtrip-2a3bf51579757a39.d: tests/netlist_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetlist_roundtrip-2a3bf51579757a39.rmeta: tests/netlist_roundtrip.rs Cargo.toml
+
+tests/netlist_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netlist_roundtrip-4475d57aa051b0a0.d: tests/netlist_roundtrip.rs
+
+/root/repo/target/debug/deps/libnetlist_roundtrip-4475d57aa051b0a0.rmeta: tests/netlist_roundtrip.rs
+
+tests/netlist_roundtrip.rs:

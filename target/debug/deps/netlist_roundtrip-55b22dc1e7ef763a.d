@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netlist_roundtrip-55b22dc1e7ef763a.d: tests/netlist_roundtrip.rs
+
+/root/repo/target/debug/deps/netlist_roundtrip-55b22dc1e7ef763a: tests/netlist_roundtrip.rs
+
+tests/netlist_roundtrip.rs:

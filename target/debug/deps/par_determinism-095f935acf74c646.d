@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_determinism-095f935acf74c646.d: tests/par_determinism.rs
+
+/root/repo/target/debug/deps/par_determinism-095f935acf74c646: tests/par_determinism.rs
+
+tests/par_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/par_determinism-30ec78a6d0a80bd5.d: tests/par_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpar_determinism-30ec78a6d0a80bd5.rmeta: tests/par_determinism.rs Cargo.toml
+
+tests/par_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

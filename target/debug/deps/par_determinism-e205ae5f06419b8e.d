@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_determinism-e205ae5f06419b8e.d: tests/par_determinism.rs
+
+/root/repo/target/debug/deps/libpar_determinism-e205ae5f06419b8e.rmeta: tests/par_determinism.rs
+
+tests/par_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-87a2f94227ccb3b1.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-87a2f94227ccb3b1.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e0888c25984311f5.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e0888c25984311f5.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

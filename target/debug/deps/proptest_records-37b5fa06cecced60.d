@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_records-37b5fa06cecced60.d: crates/core/tests/proptest_records.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_records-37b5fa06cecced60.rmeta: crates/core/tests/proptest_records.rs Cargo.toml
+
+crates/core/tests/proptest_records.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_records-919ce658e1870c4c.d: crates/core/tests/proptest_records.rs
+
+/root/repo/target/debug/deps/proptest_records-919ce658e1870c4c: crates/core/tests/proptest_records.rs
+
+crates/core/tests/proptest_records.rs:

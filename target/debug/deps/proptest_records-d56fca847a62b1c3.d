@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_records-d56fca847a62b1c3.d: crates/core/tests/proptest_records.rs
+
+/root/repo/target/debug/deps/libproptest_records-d56fca847a62b1c3.rmeta: crates/core/tests/proptest_records.rs
+
+crates/core/tests/proptest_records.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-34ea85df2133ca53.d: crates/netlist/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/libproptest_roundtrip-34ea85df2133ca53.rmeta: crates/netlist/tests/proptest_roundtrip.rs
+
+crates/netlist/tests/proptest_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-acf3f00920b581ae.d: crates/netlist/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-acf3f00920b581ae: crates/netlist/tests/proptest_roundtrip.rs
+
+crates/netlist/tests/proptest_roundtrip.rs:

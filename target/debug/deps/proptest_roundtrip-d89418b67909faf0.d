@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrip-d89418b67909faf0.d: crates/netlist/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrip-d89418b67909faf0.rmeta: crates/netlist/tests/proptest_roundtrip.rs Cargo.toml
+
+crates/netlist/tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_solver-07b1e546f091d740.d: crates/switch/tests/proptest_solver.rs
+
+/root/repo/target/debug/deps/proptest_solver-07b1e546f091d740: crates/switch/tests/proptest_solver.rs
+
+crates/switch/tests/proptest_solver.rs:

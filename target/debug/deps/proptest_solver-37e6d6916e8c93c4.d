@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_solver-37e6d6916e8c93c4.d: crates/switch/tests/proptest_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_solver-37e6d6916e8c93c4.rmeta: crates/switch/tests/proptest_solver.rs Cargo.toml
+
+crates/switch/tests/proptest_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

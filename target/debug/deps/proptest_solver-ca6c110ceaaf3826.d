@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_solver-ca6c110ceaaf3826.d: crates/switch/tests/proptest_solver.rs
+
+/root/repo/target/debug/deps/libproptest_solver-ca6c110ceaaf3826.rmeta: crates/switch/tests/proptest_solver.rs
+
+crates/switch/tests/proptest_solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ram_coverage-3298a9035fd0a945.d: tests/ram_coverage.rs
+
+/root/repo/target/debug/deps/ram_coverage-3298a9035fd0a945: tests/ram_coverage.rs
+
+tests/ram_coverage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ram_coverage-4196bc594d66cab9.d: tests/ram_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libram_coverage-4196bc594d66cab9.rmeta: tests/ram_coverage.rs Cargo.toml
+
+tests/ram_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ram_coverage-f12f9780043f1dce.d: tests/ram_coverage.rs
+
+/root/repo/target/debug/deps/libram_coverage-f12f9780043f1dce.rmeta: tests/ram_coverage.rs
+
+tests/ram_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ram_equivalence-37e15a49306a80ff.d: tests/ram_equivalence.rs
+
+/root/repo/target/debug/deps/ram_equivalence-37e15a49306a80ff: tests/ram_equivalence.rs
+
+tests/ram_equivalence.rs:

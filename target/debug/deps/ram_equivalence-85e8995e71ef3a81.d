@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ram_equivalence-85e8995e71ef3a81.d: tests/ram_equivalence.rs
+
+/root/repo/target/debug/deps/libram_equivalence-85e8995e71ef3a81.rmeta: tests/ram_equivalence.rs
+
+tests/ram_equivalence.rs:

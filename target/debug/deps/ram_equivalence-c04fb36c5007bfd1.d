@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ram_equivalence-c04fb36c5007bfd1.d: tests/ram_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libram_equivalence-c04fb36c5007bfd1.rmeta: tests/ram_equivalence.rs Cargo.toml
+
+tests/ram_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/register_file-3c5e13edde25cb9e.d: tests/register_file.rs
+
+/root/repo/target/debug/deps/libregister_file-3c5e13edde25cb9e.rmeta: tests/register_file.rs
+
+tests/register_file.rs:

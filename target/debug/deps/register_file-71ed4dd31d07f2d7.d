@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/register_file-71ed4dd31d07f2d7.d: tests/register_file.rs
+
+/root/repo/target/debug/deps/register_file-71ed4dd31d07f2d7: tests/register_file.rs
+
+tests/register_file.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/register_file-eb2aab108978f52d.d: tests/register_file.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregister_file-eb2aab108978f52d.rmeta: tests/register_file.rs Cargo.toml
+
+tests/register_file.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-6c4179a1bca4b457.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-6c4179a1bca4b457.rmeta: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-6c91383c48deb1b3.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-6c91383c48deb1b3: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-9251b3172557a468.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-9251b3172557a468: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-f208722fa68e933b.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-f208722fa68e933b.rmeta: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

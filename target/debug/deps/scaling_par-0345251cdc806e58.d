@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling_par-0345251cdc806e58.d: crates/bench/src/bin/scaling_par.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling_par-0345251cdc806e58.rmeta: crates/bench/src/bin/scaling_par.rs Cargo.toml
+
+crates/bench/src/bin/scaling_par.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling_par-1f75b07a8386edd8.d: crates/bench/src/bin/scaling_par.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling_par-1f75b07a8386edd8.rmeta: crates/bench/src/bin/scaling_par.rs Cargo.toml
+
+crates/bench/src/bin/scaling_par.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

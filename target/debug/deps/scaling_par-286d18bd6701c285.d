@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_par-286d18bd6701c285.d: crates/bench/src/bin/scaling_par.rs
+
+/root/repo/target/debug/deps/scaling_par-286d18bd6701c285: crates/bench/src/bin/scaling_par.rs
+
+crates/bench/src/bin/scaling_par.rs:

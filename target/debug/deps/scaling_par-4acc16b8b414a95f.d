@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_par-4acc16b8b414a95f.d: crates/bench/src/bin/scaling_par.rs
+
+/root/repo/target/debug/deps/scaling_par-4acc16b8b414a95f: crates/bench/src/bin/scaling_par.rs
+
+crates/bench/src/bin/scaling_par.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_par-7666bdd0f84609f6.d: crates/bench/src/bin/scaling_par.rs
+
+/root/repo/target/debug/deps/libscaling_par-7666bdd0f84609f6.rmeta: crates/bench/src/bin/scaling_par.rs
+
+crates/bench/src/bin/scaling_par.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_par-dbced3764b67497a.d: crates/bench/src/bin/scaling_par.rs
+
+/root/repo/target/debug/deps/libscaling_par-dbced3764b67497a.rmeta: crates/bench/src/bin/scaling_par.rs
+
+crates/bench/src/bin/scaling_par.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_format_import-05d3123b1f4b5421.d: tests/sim_format_import.rs
+
+/root/repo/target/debug/deps/sim_format_import-05d3123b1f4b5421: tests/sim_format_import.rs
+
+tests/sim_format_import.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_format_import-5bdcdaa0d77c250e.d: tests/sim_format_import.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_format_import-5bdcdaa0d77c250e.rmeta: tests/sim_format_import.rs Cargo.toml
+
+tests/sim_format_import.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_format_import-fab2629d7cb49a2d.d: tests/sim_format_import.rs
+
+/root/repo/target/debug/deps/libsim_format_import-fab2629d7cb49a2d.rmeta: tests/sim_format_import.rs
+
+tests/sim_format_import.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver-6d730f194b480f92.d: crates/bench/benches/solver.rs
+
+/root/repo/target/debug/deps/libsolver-6d730f194b480f92.rmeta: crates/bench/benches/solver.rs
+
+crates/bench/benches/solver.rs:

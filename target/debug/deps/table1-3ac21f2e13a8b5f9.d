@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3ac21f2e13a8b5f9.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-3ac21f2e13a8b5f9.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-6cfa074718189a13.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-6cfa074718189a13.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

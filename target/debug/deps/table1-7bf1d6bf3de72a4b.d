@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-7bf1d6bf3de72a4b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-7bf1d6bf3de72a4b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-8012aef77a7effa9.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-8012aef77a7effa9: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

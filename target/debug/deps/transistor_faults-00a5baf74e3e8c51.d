@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transistor_faults-00a5baf74e3e8c51.d: tests/transistor_faults.rs
+
+/root/repo/target/debug/deps/transistor_faults-00a5baf74e3e8c51: tests/transistor_faults.rs
+
+tests/transistor_faults.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transistor_faults-2b3739e12352aa4a.d: tests/transistor_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransistor_faults-2b3739e12352aa4a.rmeta: tests/transistor_faults.rs Cargo.toml
+
+tests/transistor_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transistor_faults-3c595091dd9902d3.d: tests/transistor_faults.rs
+
+/root/repo/target/debug/deps/libtransistor_faults-3c595091dd9902d3.rmeta: tests/transistor_faults.rs
+
+tests/transistor_faults.rs:

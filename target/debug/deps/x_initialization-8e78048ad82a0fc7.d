@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/x_initialization-8e78048ad82a0fc7.d: tests/x_initialization.rs
+
+/root/repo/target/debug/deps/x_initialization-8e78048ad82a0fc7: tests/x_initialization.rs
+
+tests/x_initialization.rs:

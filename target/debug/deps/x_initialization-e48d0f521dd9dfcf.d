@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/x_initialization-e48d0f521dd9dfcf.d: tests/x_initialization.rs
+
+/root/repo/target/debug/deps/libx_initialization-e48d0f521dd9dfcf.rmeta: tests/x_initialization.rs
+
+tests/x_initialization.rs:

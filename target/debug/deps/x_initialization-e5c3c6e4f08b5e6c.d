@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/x_initialization-e5c3c6e4f08b5e6c.d: tests/x_initialization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libx_initialization-e5c3c6e4f08b5e6c.rmeta: tests/x_initialization.rs Cargo.toml
+
+tests/x_initialization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

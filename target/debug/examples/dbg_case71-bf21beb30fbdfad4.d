@@ -1,0 +1,6 @@
+/root/repo/target/debug/examples/dbg_case71-bf21beb30fbdfad4.d: crates/core/examples/dbg_case71.rs /root/repo/crates/core/tests/fuzz_equivalence_case_gen.rs
+
+/root/repo/target/debug/examples/dbg_case71-bf21beb30fbdfad4: crates/core/examples/dbg_case71.rs /root/repo/crates/core/tests/fuzz_equivalence_case_gen.rs
+
+crates/core/examples/dbg_case71.rs:
+/root/repo/crates/core/tests/fuzz_equivalence_case_gen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnosis-0ec22b44af0519e9.d: examples/diagnosis.rs
+
+/root/repo/target/debug/examples/diagnosis-0ec22b44af0519e9: examples/diagnosis.rs
+
+examples/diagnosis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnosis-1e3bc1cf170a7613.d: examples/diagnosis.rs
+
+/root/repo/target/debug/examples/libdiagnosis-1e3bc1cf170a7613.rmeta: examples/diagnosis.rs
+
+examples/diagnosis.rs:

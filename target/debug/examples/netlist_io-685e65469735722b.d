@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/netlist_io-685e65469735722b.d: examples/netlist_io.rs
+
+/root/repo/target/debug/examples/libnetlist_io-685e65469735722b.rmeta: examples/netlist_io.rs
+
+examples/netlist_io.rs:

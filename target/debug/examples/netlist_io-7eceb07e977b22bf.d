@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/netlist_io-7eceb07e977b22bf.d: examples/netlist_io.rs
+
+/root/repo/target/debug/examples/netlist_io-7eceb07e977b22bf: examples/netlist_io.rs
+
+examples/netlist_io.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/netlist_io-a8336cee0aa7dd43.d: examples/netlist_io.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetlist_io-a8336cee0aa7dd43.rmeta: examples/netlist_io.rs Cargo.toml
+
+examples/netlist_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

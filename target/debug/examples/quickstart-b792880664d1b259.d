@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b792880664d1b259.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-b792880664d1b259.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d49d21a9fb1291d6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d49d21a9fb1291d6: examples/quickstart.rs
+
+examples/quickstart.rs:

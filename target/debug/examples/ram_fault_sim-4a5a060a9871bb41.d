@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ram_fault_sim-4a5a060a9871bb41.d: examples/ram_fault_sim.rs
+
+/root/repo/target/debug/examples/libram_fault_sim-4a5a060a9871bb41.rmeta: examples/ram_fault_sim.rs
+
+examples/ram_fault_sim.rs:

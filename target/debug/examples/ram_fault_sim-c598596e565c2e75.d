@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ram_fault_sim-c598596e565c2e75.d: examples/ram_fault_sim.rs Cargo.toml
+
+/root/repo/target/debug/examples/libram_fault_sim-c598596e565c2e75.rmeta: examples/ram_fault_sim.rs Cargo.toml
+
+examples/ram_fault_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

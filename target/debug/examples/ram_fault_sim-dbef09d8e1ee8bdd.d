@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ram_fault_sim-dbef09d8e1ee8bdd.d: examples/ram_fault_sim.rs
+
+/root/repo/target/debug/examples/ram_fault_sim-dbef09d8e1ee8bdd: examples/ram_fault_sim.rs
+
+examples/ram_fault_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/test_quality-5dfbcca34e2306ef.d: examples/test_quality.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtest_quality-5dfbcca34e2306ef.rmeta: examples/test_quality.rs Cargo.toml
+
+examples/test_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/test_quality-621e6bc4adc2f639.d: examples/test_quality.rs
+
+/root/repo/target/debug/examples/libtest_quality-621e6bc4adc2f639.rmeta: examples/test_quality.rs
+
+examples/test_quality.rs:

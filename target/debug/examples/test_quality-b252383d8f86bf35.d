@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/test_quality-b252383d8f86bf35.d: examples/test_quality.rs
+
+/root/repo/target/debug/examples/test_quality-b252383d8f86bf35: examples/test_quality.rs
+
+examples/test_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveforms-37bb1fd1ddf1ad7e.d: examples/waveforms.rs
+
+/root/repo/target/debug/examples/libwaveforms-37bb1fd1ddf1ad7e.rmeta: examples/waveforms.rs
+
+examples/waveforms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/waveforms-a9dec05f19ea92d0.d: examples/waveforms.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwaveforms-a9dec05f19ea92d0.rmeta: examples/waveforms.rs Cargo.toml
+
+examples/waveforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

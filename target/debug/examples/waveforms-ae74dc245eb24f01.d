@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveforms-ae74dc245eb24f01.d: examples/waveforms.rs
+
+/root/repo/target/debug/examples/waveforms-ae74dc245eb24f01: examples/waveforms.rs
+
+examples/waveforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_ram64-0660ce61865f0afb.d: crates/bench/src/bin/fig1_ram64.rs
+
+/root/repo/target/release/deps/fig1_ram64-0660ce61865f0afb: crates/bench/src/bin/fig1_ram64.rs
+
+crates/bench/src/bin/fig1_ram64.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_ram64-ba3ed224ab6d6a47.d: crates/bench/src/bin/fig2_ram64.rs
+
+/root/repo/target/release/deps/fig2_ram64-ba3ed224ab6d6a47: crates/bench/src/bin/fig2_ram64.rs
+
+crates/bench/src/bin/fig2_ram64.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_ram256-a146440cf3337d42.d: crates/bench/src/bin/fig3_ram256.rs
+
+/root/repo/target/release/deps/fig3_ram256-a146440cf3337d42: crates/bench/src/bin/fig3_ram256.rs
+
+crates/bench/src/bin/fig3_ram256.rs:

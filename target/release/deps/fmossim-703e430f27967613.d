@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fmossim-703e430f27967613.d: src/lib.rs
+
+/root/repo/target/release/deps/libfmossim-703e430f27967613.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfmossim-703e430f27967613.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fmossim-a95605d85ea426b7.d: src/bin/cli.rs
+
+/root/repo/target/release/deps/fmossim-a95605d85ea426b7: src/bin/cli.rs
+
+src/bin/cli.rs:

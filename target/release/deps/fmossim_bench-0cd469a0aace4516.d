@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fmossim_bench-0cd469a0aace4516.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfmossim_bench-0cd469a0aace4516.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfmossim_bench-0cd469a0aace4516.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

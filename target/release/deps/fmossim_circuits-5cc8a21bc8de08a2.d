@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fmossim_circuits-5cc8a21bc8de08a2.d: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/cells.rs crates/circuits/src/decoder.rs crates/circuits/src/ram.rs crates/circuits/src/regfile.rs
+
+/root/repo/target/release/deps/libfmossim_circuits-5cc8a21bc8de08a2.rlib: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/cells.rs crates/circuits/src/decoder.rs crates/circuits/src/ram.rs crates/circuits/src/regfile.rs
+
+/root/repo/target/release/deps/libfmossim_circuits-5cc8a21bc8de08a2.rmeta: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/cells.rs crates/circuits/src/decoder.rs crates/circuits/src/ram.rs crates/circuits/src/regfile.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/adder.rs:
+crates/circuits/src/cells.rs:
+crates/circuits/src/decoder.rs:
+crates/circuits/src/ram.rs:
+crates/circuits/src/regfile.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fmossim_core-d990d3b6f1296d33.d: crates/core/src/lib.rs crates/core/src/concurrent.rs crates/core/src/dictionary.rs crates/core/src/overlay.rs crates/core/src/pattern.rs crates/core/src/records.rs crates/core/src/report.rs crates/core/src/serial.rs
+
+/root/repo/target/release/deps/libfmossim_core-d990d3b6f1296d33.rlib: crates/core/src/lib.rs crates/core/src/concurrent.rs crates/core/src/dictionary.rs crates/core/src/overlay.rs crates/core/src/pattern.rs crates/core/src/records.rs crates/core/src/report.rs crates/core/src/serial.rs
+
+/root/repo/target/release/deps/libfmossim_core-d990d3b6f1296d33.rmeta: crates/core/src/lib.rs crates/core/src/concurrent.rs crates/core/src/dictionary.rs crates/core/src/overlay.rs crates/core/src/pattern.rs crates/core/src/records.rs crates/core/src/report.rs crates/core/src/serial.rs
+
+crates/core/src/lib.rs:
+crates/core/src/concurrent.rs:
+crates/core/src/dictionary.rs:
+crates/core/src/overlay.rs:
+crates/core/src/pattern.rs:
+crates/core/src/records.rs:
+crates/core/src/report.rs:
+crates/core/src/serial.rs:

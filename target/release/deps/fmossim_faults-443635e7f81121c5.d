@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fmossim_faults-443635e7f81121c5.d: crates/faults/src/lib.rs crates/faults/src/fault.rs crates/faults/src/inject.rs crates/faults/src/universe.rs
+
+/root/repo/target/release/deps/libfmossim_faults-443635e7f81121c5.rlib: crates/faults/src/lib.rs crates/faults/src/fault.rs crates/faults/src/inject.rs crates/faults/src/universe.rs
+
+/root/repo/target/release/deps/libfmossim_faults-443635e7f81121c5.rmeta: crates/faults/src/lib.rs crates/faults/src/fault.rs crates/faults/src/inject.rs crates/faults/src/universe.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/fault.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/universe.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fmossim_netlist-87eb5ba3ee87cdf4.d: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/format.rs crates/netlist/src/ids.rs crates/netlist/src/logic.rs crates/netlist/src/network.rs crates/netlist/src/simformat.rs crates/netlist/src/stats.rs crates/netlist/src/strength.rs crates/netlist/src/ttype.rs
+
+/root/repo/target/release/deps/libfmossim_netlist-87eb5ba3ee87cdf4.rlib: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/format.rs crates/netlist/src/ids.rs crates/netlist/src/logic.rs crates/netlist/src/network.rs crates/netlist/src/simformat.rs crates/netlist/src/stats.rs crates/netlist/src/strength.rs crates/netlist/src/ttype.rs
+
+/root/repo/target/release/deps/libfmossim_netlist-87eb5ba3ee87cdf4.rmeta: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/format.rs crates/netlist/src/ids.rs crates/netlist/src/logic.rs crates/netlist/src/network.rs crates/netlist/src/simformat.rs crates/netlist/src/stats.rs crates/netlist/src/strength.rs crates/netlist/src/ttype.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/format.rs:
+crates/netlist/src/ids.rs:
+crates/netlist/src/logic.rs:
+crates/netlist/src/network.rs:
+crates/netlist/src/simformat.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/strength.rs:
+crates/netlist/src/ttype.rs:

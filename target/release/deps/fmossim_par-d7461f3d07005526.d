@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fmossim_par-d7461f3d07005526.d: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs
+
+/root/repo/target/release/deps/libfmossim_par-d7461f3d07005526.rlib: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs
+
+/root/repo/target/release/deps/libfmossim_par-d7461f3d07005526.rmeta: crates/par/src/lib.rs crates/par/src/driver.rs crates/par/src/plan.rs
+
+crates/par/src/lib.rs:
+crates/par/src/driver.rs:
+crates/par/src/plan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fmossim_switch-ca1d2f4cfa339cdb.d: crates/switch/src/lib.rs crates/switch/src/engine.rs crates/switch/src/sim.rs crates/switch/src/solve.rs crates/switch/src/state.rs crates/switch/src/trace.rs
+
+/root/repo/target/release/deps/libfmossim_switch-ca1d2f4cfa339cdb.rlib: crates/switch/src/lib.rs crates/switch/src/engine.rs crates/switch/src/sim.rs crates/switch/src/solve.rs crates/switch/src/state.rs crates/switch/src/trace.rs
+
+/root/repo/target/release/deps/libfmossim_switch-ca1d2f4cfa339cdb.rmeta: crates/switch/src/lib.rs crates/switch/src/engine.rs crates/switch/src/sim.rs crates/switch/src/solve.rs crates/switch/src/state.rs crates/switch/src/trace.rs
+
+crates/switch/src/lib.rs:
+crates/switch/src/engine.rs:
+crates/switch/src/sim.rs:
+crates/switch/src/solve.rs:
+crates/switch/src/state.rs:
+crates/switch/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fmossim_testgen-ffc3bafeb1335124.d: crates/testgen/src/lib.rs crates/testgen/src/ops.rs crates/testgen/src/random.rs crates/testgen/src/sequence.rs
+
+/root/repo/target/release/deps/libfmossim_testgen-ffc3bafeb1335124.rlib: crates/testgen/src/lib.rs crates/testgen/src/ops.rs crates/testgen/src/random.rs crates/testgen/src/sequence.rs
+
+/root/repo/target/release/deps/libfmossim_testgen-ffc3bafeb1335124.rmeta: crates/testgen/src/lib.rs crates/testgen/src/ops.rs crates/testgen/src/random.rs crates/testgen/src/sequence.rs
+
+crates/testgen/src/lib.rs:
+crates/testgen/src/ops.rs:
+crates/testgen/src/random.rs:
+crates/testgen/src/sequence.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-9a9b765640163da6.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-9a9b765640163da6.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-9a9b765640163da6.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

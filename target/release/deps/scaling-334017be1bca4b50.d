@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-334017be1bca4b50.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-334017be1bca4b50: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling_par-cd2f39f255d66024.d: crates/bench/src/bin/scaling_par.rs
+
+/root/repo/target/release/deps/scaling_par-cd2f39f255d66024: crates/bench/src/bin/scaling_par.rs
+
+crates/bench/src/bin/scaling_par.rs:

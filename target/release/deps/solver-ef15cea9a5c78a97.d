@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver-ef15cea9a5c78a97.d: crates/bench/benches/solver.rs
+
+/root/repo/target/release/deps/solver-ef15cea9a5c78a97: crates/bench/benches/solver.rs
+
+crates/bench/benches/solver.rs:

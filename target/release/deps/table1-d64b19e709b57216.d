@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d64b19e709b57216.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-d64b19e709b57216: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/shard_cost_probe-cc95d774fa2633d7.d: examples/shard_cost_probe.rs
+
+/root/repo/target/release/examples/shard_cost_probe-cc95d774fa2633d7: examples/shard_cost_probe.rs
+
+examples/shard_cost_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/split_probe-b7438aef5c52df5e.d: examples/split_probe.rs
+
+/root/repo/target/release/examples/split_probe-b7438aef5c52df5e: examples/split_probe.rs
+
+examples/split_probe.rs:
