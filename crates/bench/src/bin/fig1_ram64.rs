@@ -23,7 +23,8 @@ use fmossim_bench::{
     arg_flag, arg_value, compare_row, good_only_seconds, paper_universe, print_figure_csv,
     ram_with_bridges, seconds_in, transistor_universe, SEED,
 };
-use fmossim_core::{ConcurrentConfig, ConcurrentSim, SerialConfig, SerialSim};
+use fmossim_campaign::{Backend, Campaign, SerialConfig};
+use fmossim_core::ConcurrentConfig;
 use fmossim_testgen::TestSequence;
 
 fn main() {
@@ -45,16 +46,21 @@ fn main() {
     );
 
     let (good_total, good_avg) = good_only_seconds(&ram, seq.patterns());
-    let mut sim = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
-    let report = sim.run(seq.patterns(), ram.observed_outputs());
+    let campaign_report = Campaign::new(ram.network())
+        .faults(universe.clone())
+        .patterns(seq.patterns())
+        .outputs(ram.observed_outputs())
+        .backend(Backend::Concurrent(ConcurrentConfig::paper()))
+        .run();
+    let report = &campaign_report.run;
 
     if arg_flag("--csv") {
-        print_figure_csv(&report);
+        print_figure_csv(report);
     }
 
     let head = seq.head_len();
     let tail_patterns = report.patterns.len() - head;
-    let tail_secs = seconds_in(&report, head..report.patterns.len());
+    let tail_secs = seconds_in(report, head..report.patterns.len());
     let tail_per_pattern = tail_secs / tail_patterns as f64;
     let serial_est: f64 = report
         .patterns_to_detect()
@@ -129,13 +135,17 @@ fn main() {
     );
 
     if arg_flag("--measure-serial") {
-        let serial = SerialSim::new(ram.network(), SerialConfig::paper());
-        let sreport = serial.run(universe.faults(), seq.patterns(), ram.observed_outputs());
+        let sreport = Campaign::new(ram.network())
+            .faults(universe)
+            .patterns(seq.patterns())
+            .outputs(ram.observed_outputs())
+            .backend(Backend::Serial(SerialConfig::paper()))
+            .run();
         println!(
             "{}",
             compare_row(
                 "serial (measured)",
-                format!("{:.3} s", sreport.total_seconds),
+                format!("{:.3} s", sreport.run.total_seconds),
                 "(404 min est.)"
             )
         );
@@ -143,7 +153,7 @@ fn main() {
             "{}",
             compare_row(
                 "serial(measured) : concurrent ratio",
-                format!("{:.1}x", sreport.total_seconds / report.total_seconds),
+                format!("{:.1}x", sreport.run.total_seconds / report.total_seconds),
                 "18x"
             )
         );

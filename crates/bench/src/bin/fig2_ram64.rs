@@ -15,7 +15,8 @@ use fmossim_bench::{
     arg_flag, arg_value, compare_row, good_only_seconds, paper_universe, print_figure_csv,
     ram_with_bridges, SEED,
 };
-use fmossim_core::{ConcurrentConfig, ConcurrentSim};
+use fmossim_campaign::{Backend, Campaign};
+use fmossim_core::ConcurrentConfig;
 use fmossim_testgen::TestSequence;
 
 fn main() {
@@ -33,10 +34,19 @@ fn main() {
         universe.len()
     );
 
+    let concurrent = |patterns: &[fmossim_core::Pattern]| {
+        Campaign::new(ram.network())
+            .faults(universe.clone())
+            .patterns(patterns)
+            .outputs(ram.observed_outputs())
+            .backend(Backend::Concurrent(ConcurrentConfig::paper()))
+            .run()
+            .run
+    };
+
     // Sequence 2 run.
     let (good2, good2_avg) = good_only_seconds(&ram, seq2.patterns());
-    let mut sim = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
-    let report2 = sim.run(seq2.patterns(), ram.observed_outputs());
+    let report2 = concurrent(seq2.patterns());
     if arg_flag("--csv") {
         print_figure_csv(&report2);
     }
@@ -48,8 +58,7 @@ fn main() {
 
     // Sequence 1 reference (for the ratio-of-ratios comparison).
     let (_, good1_avg) = good_only_seconds(&ram, seq1.patterns());
-    let mut sim1 = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
-    let report1 = sim1.run(seq1.patterns(), ram.observed_outputs());
+    let report1 = concurrent(seq1.patterns());
     let serial1: f64 = report1
         .patterns_to_detect()
         .iter()

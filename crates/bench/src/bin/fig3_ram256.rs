@@ -15,7 +15,8 @@
 //! runs the true serial simulator as well (slow: O(faults × patterns)).
 
 use fmossim_bench::{arg_flag, arg_value, compare_row, paper_universe, ram_with_bridges, SEED};
-use fmossim_core::{ConcurrentConfig, ConcurrentSim, SerialConfig, SerialSim};
+use fmossim_campaign::{Backend, Campaign, SerialConfig};
+use fmossim_core::{ConcurrentConfig, SerialSim};
 use fmossim_testgen::TestSequence;
 
 fn main() {
@@ -50,8 +51,13 @@ fn main() {
     for i in 0..=steps {
         let k = total * i / steps;
         let sample = universe.sample(k, SEED + i as u64);
-        let mut sim = ConcurrentSim::new(ram.network(), sample.faults(), ConcurrentConfig::paper());
-        let report = sim.run(seq.patterns(), ram.observed_outputs());
+        let report = Campaign::new(ram.network())
+            .faults(sample.clone())
+            .patterns(seq.patterns())
+            .outputs(ram.observed_outputs())
+            .backend(Backend::Concurrent(ConcurrentConfig::paper()))
+            .run()
+            .run;
         let conc_pp = report.total_seconds / n_patterns;
         let serial_est: f64 = report
             .patterns_to_detect()
@@ -60,8 +66,13 @@ fn main() {
             .sum();
         let serial_est_pp = serial_est / n_patterns;
         let measured_pp = if arg_flag("--measure-serial") {
-            let sreport = serial_ref.run(sample.faults(), seq.patterns(), ram.observed_outputs());
-            format!("{:.6}", sreport.total_seconds / n_patterns)
+            let sreport = Campaign::new(ram.network())
+                .faults(sample)
+                .patterns(seq.patterns())
+                .outputs(ram.observed_outputs())
+                .backend(Backend::Serial(SerialConfig::paper()))
+                .run();
+            format!("{:.6}", sreport.run.total_seconds / n_patterns)
         } else {
             String::from("")
         };

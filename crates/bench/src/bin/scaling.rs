@@ -15,8 +15,9 @@
 //! Usage: `scaling [--sizes 8,16,32]` — sweeping more sizes shows the
 //! quadratic (good, concurrent) vs. cubic (serial) growth directly.
 
-use fmossim_bench::{arg_value, compare_row, paper_universe, ram_with_bridges};
-use fmossim_core::{ConcurrentConfig, ConcurrentSim, SerialConfig, SerialSim};
+use fmossim_bench::{arg_value, compare_row, good_only_seconds, paper_universe, ram_with_bridges};
+use fmossim_campaign::{Backend, Campaign};
+use fmossim_core::ConcurrentConfig;
 use fmossim_testgen::TestSequence;
 
 struct Row {
@@ -33,21 +34,25 @@ fn measure(dim: usize) -> Row {
     let (ram, bridges) = ram_with_bridges(dim, dim);
     let universe = paper_universe(&ram, bridges);
     let seq = TestSequence::full(&ram);
-    let serial = SerialSim::new(ram.network(), SerialConfig::paper());
-    let good = serial.good_trace(seq.patterns(), ram.observed_outputs());
-    let mut sim = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
-    let report = sim.run(seq.patterns(), ram.observed_outputs());
+    let (good_total, good_avg) = good_only_seconds(&ram, seq.patterns());
+    let report = Campaign::new(ram.network())
+        .faults(universe.clone())
+        .patterns(seq.patterns())
+        .outputs(ram.observed_outputs())
+        .backend(Backend::Concurrent(ConcurrentConfig::paper()))
+        .run();
     let serial_est: f64 = report
+        .run
         .patterns_to_detect()
         .iter()
-        .map(|&p| p as f64 * good.avg_pattern_seconds())
+        .map(|&p| p as f64 * good_avg)
         .sum();
     Row {
         label: format!("RAM{} ({})", dim * dim, ram.stats()),
         faults: universe.len(),
         patterns: seq.len(),
-        good: good.total_seconds,
-        concurrent: report.total_seconds,
+        good: good_total,
+        concurrent: report.run.total_seconds,
         serial_est,
         detected: report.detected(),
     }

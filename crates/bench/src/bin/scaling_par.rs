@@ -15,8 +15,9 @@
 //! measures the same work plus scheduling overhead.
 
 use fmossim_bench::{arg_value, paper_universe, ram_with_bridges, SEED};
+use fmossim_campaign::{Backend, Campaign};
 use fmossim_core::ConcurrentConfig;
-use fmossim_par::{ParallelConfig, ParallelSim, ShardStrategy};
+use fmossim_par::{Jobs, ParallelConfig, ShardStrategy};
 use fmossim_testgen::TestSequence;
 
 struct Point {
@@ -54,35 +55,42 @@ fn main() {
     let seq = TestSequence::full(&ram);
     let outputs = ram.observed_outputs();
 
+    let campaign = |config: ParallelConfig| {
+        Campaign::new(ram.network())
+            .faults(universe.clone())
+            .patterns(seq.patterns())
+            .outputs(outputs)
+            .backend(Backend::Parallel(config))
+            .run()
+    };
     let points: Vec<Point> = jobs_list
         .iter()
         .map(|&jobs| {
             let config = ParallelConfig {
-                jobs,
+                jobs: Jobs::Fixed(jobs),
                 strategy,
                 sim: ConcurrentConfig::paper(),
                 ..ParallelConfig::default()
             };
-            let sim = ParallelSim::new(ram.network(), universe.clone(), config);
-            let report = sim.run(seq.patterns(), outputs);
+            let report = campaign(config);
+            let shards = report.shards.expect("parallel backend reports shards");
             // Re-run the same plan on one thread: shard times free of
             // scheduling contention, for the machine-independent
             // critical-path metric.
-            let sequential = ParallelConfig {
-                jobs: 1,
-                shards: Some(sim.plan().num_shards()),
+            let sequential = campaign(ParallelConfig {
+                jobs: Jobs::Fixed(1),
+                shards: Some(shards),
                 ..config
-            };
-            let (seq_report, shard_times) =
-                ParallelSim::new(ram.network(), universe.clone(), sequential)
-                    .run_with_shard_times(seq.patterns(), outputs);
-            assert_eq!(seq_report.detected(), report.detected());
+            });
+            assert_eq!(sequential.detected(), report.detected());
             Point {
                 jobs,
-                shards: sim.plan().num_shards(),
-                wall_seconds: report.total_seconds,
-                cpu_seconds: report.patterns.iter().map(|p| p.seconds).sum(),
-                max_shard_seconds: shard_times.iter().copied().fold(0.0, f64::max),
+                shards,
+                wall_seconds: report.run.total_seconds,
+                cpu_seconds: report.run.patterns.iter().map(|p| p.seconds).sum(),
+                max_shard_seconds: sequential
+                    .max_shard_seconds
+                    .expect("parallel backend reports the critical path"),
                 detected: report.detected(),
                 coverage: report.coverage(),
             }

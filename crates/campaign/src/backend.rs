@@ -1,0 +1,358 @@
+//! The execution-strategy seam: one [`CampaignBackend`] trait that the
+//! serial, concurrent, and fault-parallel simulators implement behind
+//! adapter types, selected by the [`Backend`] enum.
+//!
+//! The adapters translate one campaign workload into each simulator's
+//! native execution order (pattern-major, fault-major, shard-major),
+//! honour the shared [`RunControl`] options, and stream
+//! [`SimEvent`]s — so callers swap strategies without touching their
+//! setup code, and future strategies (e.g. the ROADMAP's autotuned
+//! sharding) slot in behind the same trait.
+
+use crate::event::SimEvent;
+use fmossim_core::{
+    ConcurrentConfig, ConcurrentSim, Detection, DetectionPolicy, Pattern, PatternStats, RunReport,
+    SerialConfig, SerialSim,
+};
+use fmossim_faults::{FaultId, FaultUniverse};
+use fmossim_netlist::{Network, NodeId};
+use fmossim_par::{ParallelConfig, ParallelSim};
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+/// The workload a campaign grades: one network, one fault universe,
+/// one pattern sequence, one set of observed outputs.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload<'a> {
+    /// The circuit under test.
+    pub net: &'a Network,
+    /// The faults to grade.
+    pub universe: &'a FaultUniverse,
+    /// The stimulus, already truncated to any pattern limit.
+    pub patterns: &'a [Pattern],
+    /// The observed output nodes (strobe comparison points).
+    pub outputs: &'a [NodeId],
+}
+
+/// Backend-independent run-control options.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunControl {
+    /// Stop once detected/total coverage reaches this fraction.
+    /// Serial and parallel backends stop at their work-item granularity
+    /// (fault / shard); the concurrent backend at pattern granularity.
+    pub stop_at_coverage: Option<f64>,
+    /// Simulate at most this many patterns (applied by the campaign
+    /// before the backend runs).
+    pub pattern_limit: Option<usize>,
+    /// Stop spending time on a fault once it is detected — the paper's
+    /// drop-on-detect rule (concurrent/parallel) and the serial
+    /// baseline's stop-at-first-detection. Disable for full-trace runs.
+    pub drop_detected: bool,
+}
+
+impl Default for RunControl {
+    fn default() -> Self {
+        RunControl {
+            stop_at_coverage: None,
+            pattern_limit: None,
+            drop_detected: true,
+        }
+    }
+}
+
+impl RunControl {
+    /// The coverage target expressed as a detection count over
+    /// `num_faults`, if a (finite) target is set. A NaN target is
+    /// ignored rather than silently becoming "stop immediately".
+    #[must_use]
+    pub fn detection_target(&self, num_faults: usize) -> Option<usize> {
+        self.stop_at_coverage
+            .filter(|c| !c.is_nan())
+            .map(|c| (c.clamp(0.0, 1.0) * num_faults as f64).ceil() as usize)
+    }
+}
+
+/// What a backend hands back to the campaign: the merged [`RunReport`]
+/// plus backend-specific metadata for the campaign report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BackendRun {
+    /// The measurements, in the common report format.
+    pub run: RunReport,
+    /// True iff the run stopped early because the coverage target was
+    /// reached.
+    pub stopped_early: bool,
+    /// Resolved worker count (parallel backend).
+    pub jobs: Option<usize>,
+    /// Number of shards in the plan (parallel backend).
+    pub shards: Option<usize>,
+    /// The longest single shard's wall-clock seconds — the plan's
+    /// critical path (parallel backend).
+    pub max_shard_seconds: Option<f64>,
+    /// Wall-clock seconds of the good-circuit-only reference
+    /// simulation (serial backend).
+    pub good_seconds: Option<f64>,
+    /// The paper's serial-time estimate: Σ over faults of
+    /// patterns-to-detect × average good-circuit pattern time (serial
+    /// backend).
+    pub serial_estimate_seconds: Option<f64>,
+}
+
+/// An execution strategy a [`Campaign`](crate::Campaign) can run on.
+///
+/// The three built-in strategies are selected with [`Backend`]; custom
+/// implementations (an autotuned shard driver, a distributed runner)
+/// plug in via
+/// [`Campaign::backend_impl`](crate::Campaign::backend_impl).
+pub trait CampaignBackend {
+    /// Short strategy name for reports ("serial", "concurrent", …).
+    fn name(&self) -> String;
+
+    /// Grades the workload, streaming [`SimEvent`]s through `emit` and
+    /// honouring `control`.
+    fn run(
+        &mut self,
+        workload: &Workload<'_>,
+        control: &RunControl,
+        emit: &mut dyn FnMut(SimEvent),
+    ) -> BackendRun;
+}
+
+/// Selects one of the built-in execution strategies for a campaign.
+///
+/// All three grade the same workload and (for race-free fault classes
+/// under [`DetectionPolicy::DefiniteOnly`]) produce identical
+/// detection sets; they differ purely in execution: the concurrent
+/// algorithm shares one good circuit across all faults, the serial
+/// baseline simulates each fault privately, and the parallel strategy
+/// shards the concurrent algorithm across worker threads.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Backend {
+    /// The paper's serial baseline ([`SerialSim`]), fault by fault.
+    Serial(SerialConfig),
+    /// The paper's concurrent algorithm ([`ConcurrentSim`]).
+    Concurrent(ConcurrentConfig),
+    /// Fault-parallel sharded execution ([`ParallelSim`]) — use
+    /// [`Jobs::Auto`](fmossim_par::Jobs::Auto) in the config to size
+    /// the pool from the workload.
+    Parallel(ParallelConfig),
+}
+
+impl Backend {
+    /// The strategy name as it appears in reports and on the CLI.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Serial(_) => "serial",
+            Backend::Concurrent(_) => "concurrent",
+            Backend::Parallel(_) => "parallel",
+        }
+    }
+
+    /// The configured detection policy (echoed into reports).
+    #[must_use]
+    pub fn policy(&self) -> DetectionPolicy {
+        match self {
+            Backend::Serial(c) => c.policy,
+            Backend::Concurrent(c) => c.policy,
+            Backend::Parallel(c) => c.sim.policy,
+        }
+    }
+
+    /// Builds the adapter implementing this strategy.
+    #[must_use]
+    pub fn into_impl(self) -> Box<dyn CampaignBackend> {
+        match self {
+            Backend::Serial(config) => Box::new(SerialAdapter { config }),
+            Backend::Concurrent(config) => Box::new(ConcurrentAdapter { config }),
+            Backend::Parallel(config) => Box::new(ParallelAdapter { config }),
+        }
+    }
+}
+
+fn emit_detections(detections: &[Detection], drop_detected: bool, emit: &mut dyn FnMut(SimEvent)) {
+    for d in detections {
+        emit(SimEvent::Detected {
+            fault: d.fault,
+            pattern: d.pattern,
+            phase: d.phase,
+            potential: d.is_potential(),
+        });
+        if drop_detected {
+            emit(SimEvent::FaultDropped { fault: d.fault });
+        }
+    }
+}
+
+/// Adapter driving [`ConcurrentSim`] pattern by pattern.
+struct ConcurrentAdapter {
+    config: ConcurrentConfig,
+}
+
+impl CampaignBackend for ConcurrentAdapter {
+    fn name(&self) -> String {
+        "concurrent".into()
+    }
+
+    fn run(
+        &mut self,
+        w: &Workload<'_>,
+        control: &RunControl,
+        emit: &mut dyn FnMut(SimEvent),
+    ) -> BackendRun {
+        let t0 = Instant::now();
+        let config = ConcurrentConfig {
+            drop_on_detect: control.drop_detected,
+            ..self.config
+        };
+        let mut sim = ConcurrentSim::new(w.net, w.universe.faults(), config);
+        let target = control.detection_target(w.universe.len());
+        let mut run = RunReport {
+            num_faults: w.universe.len(),
+            ..RunReport::default()
+        };
+        let mut stopped_early = false;
+        for (pi, pattern) in w.patterns.iter().enumerate() {
+            if target.is_some_and(|t| sim.detections().len() >= t) {
+                stopped_early = true;
+                break;
+            }
+            emit(SimEvent::PatternStart {
+                pattern: pi,
+                live: sim.live(),
+            });
+            let before = sim.detections().len();
+            let stats = sim.step_pattern(pattern, w.outputs, pi);
+            emit_detections(&sim.detections()[before..], control.drop_detected, emit);
+            run.patterns.push(stats);
+            emit(SimEvent::PatternDone {
+                pattern: pi,
+                detected_so_far: sim.detections().len(),
+                seconds: stats.seconds,
+            });
+        }
+        run.detections = sim.detections().to_vec();
+        // Canonical order: the simulator emits same-strobe detections
+        // in output-node order; the report format promises
+        // (pattern, phase, fault).
+        run.detections
+            .sort_by_key(|d| (d.pattern, d.phase, d.fault.index()));
+        run.total_seconds = t0.elapsed().as_secs_f64();
+        BackendRun {
+            run,
+            stopped_early,
+            ..BackendRun::default()
+        }
+    }
+}
+
+/// Adapter driving [`SerialSim`] fault by fault.
+struct SerialAdapter {
+    config: SerialConfig,
+}
+
+impl CampaignBackend for SerialAdapter {
+    fn name(&self) -> String {
+        "serial".into()
+    }
+
+    fn run(
+        &mut self,
+        w: &Workload<'_>,
+        control: &RunControl,
+        emit: &mut dyn FnMut(SimEvent),
+    ) -> BackendRun {
+        let config = SerialConfig {
+            stop_at_detection: control.drop_detected,
+            ..self.config
+        };
+        let sim = SerialSim::new(w.net, config);
+        let good = sim.good_trace(w.patterns, w.outputs);
+        let t0 = Instant::now();
+        let target = control.detection_target(w.universe.len());
+        let mut run = RunReport {
+            num_faults: w.universe.len(),
+            patterns: vec![PatternStats::default(); w.patterns.len()],
+            ..RunReport::default()
+        };
+        let mut estimate = 0.0;
+        let mut stopped_early = false;
+        for (k, &fault) in w.universe.faults().iter().enumerate() {
+            if target.is_some_and(|t| run.detections.len() >= t) {
+                stopped_early = true;
+                break;
+            }
+            let id = FaultId(u32::try_from(k).expect("fault id fits"));
+            let outcome = sim.run_fault(id, fault, w.patterns, w.outputs, &good);
+            let charged = outcome
+                .detection
+                .map_or(w.patterns.len(), |d| d.pattern + 1);
+            estimate += charged as f64 * good.avg_pattern_seconds();
+            if let Some(d) = outcome.detection {
+                emit_detections(&[d], control.drop_detected, emit);
+                run.patterns[d.pattern].detected += 1;
+                run.detections.push(d);
+            }
+        }
+        // Canonical detection order, as the parallel merge produces:
+        // fault-major emission order is an execution detail.
+        run.detections
+            .sort_by_key(|d| (d.pattern, d.phase, d.fault.index()));
+        run.total_seconds = t0.elapsed().as_secs_f64();
+        BackendRun {
+            run,
+            stopped_early,
+            good_seconds: Some(good.total_seconds),
+            serial_estimate_seconds: Some(estimate),
+            ..BackendRun::default()
+        }
+    }
+}
+
+/// Adapter driving [`ParallelSim`] shard by shard.
+struct ParallelAdapter {
+    config: ParallelConfig,
+}
+
+impl CampaignBackend for ParallelAdapter {
+    fn name(&self) -> String {
+        "parallel".into()
+    }
+
+    fn run(
+        &mut self,
+        w: &Workload<'_>,
+        control: &RunControl,
+        emit: &mut dyn FnMut(SimEvent),
+    ) -> BackendRun {
+        let mut config = self.config;
+        config.sim.drop_on_detect = control.drop_detected;
+        let sim = ParallelSim::new(w.net, w.universe.clone(), config);
+        let target = control.detection_target(w.universe.len());
+        let mut detected = 0usize;
+        let mut stopped_early = false;
+        let (run, shard_seconds) = sim.run_streaming(w.patterns, w.outputs, |o, rep| {
+            emit_detections(&rep.detections, control.drop_detected, emit);
+            detected += o.detected;
+            emit(SimEvent::ShardDone {
+                shard: o.shard,
+                faults: o.faults,
+                detected: o.detected,
+                seconds: o.seconds,
+            });
+            if target.is_some_and(|t| detected >= t) {
+                stopped_early = true;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        BackendRun {
+            run,
+            stopped_early,
+            jobs: Some(sim.workers()),
+            shards: Some(sim.plan().num_shards()),
+            max_shard_seconds: Some(shard_seconds.iter().copied().fold(0.0, f64::max)),
+            ..BackendRun::default()
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The campaign builder — the single entry point over every execution
+//! strategy.
+
+use crate::backend::{Backend, BackendRun, CampaignBackend, RunControl, Workload};
+use crate::event::SimEvent;
+use crate::report::{CampaignReport, ControlEcho, StopReason};
+use fmossim_core::{ConcurrentConfig, Pattern};
+use fmossim_faults::FaultUniverse;
+use fmossim_netlist::{Network, NodeId};
+use std::time::Instant;
+
+/// A fault-simulation campaign: one workload (network, faults,
+/// patterns, outputs), one execution strategy, shared run-control
+/// options, and an optional streaming observer.
+///
+/// Built fluently and consumed by [`Campaign::run`]:
+///
+/// ```
+/// use fmossim_circuits::Ram;
+/// use fmossim_testgen::TestSequence;
+/// use fmossim_faults::FaultUniverse;
+/// use fmossim_campaign::{Backend, Campaign, ConcurrentConfig};
+///
+/// let ram = Ram::new(4, 4);
+/// let seq = TestSequence::full(&ram);
+/// let report = Campaign::new(ram.network())
+///     .faults(FaultUniverse::stuck_nodes(ram.network()))
+///     .patterns(seq.patterns())
+///     .outputs(ram.observed_outputs())
+///     .backend(Backend::Concurrent(ConcurrentConfig::paper()))
+///     .run();
+/// assert!(report.detected() > 0);
+/// ```
+///
+/// Swapping strategies is one line — `Backend::Serial(..)`,
+/// `Backend::Parallel(..)` — with the workload, run control, reporting
+/// and observers unchanged.
+///
+/// `'n` is the network's lifetime; `'o` bounds captured observer and
+/// custom-backend state.
+pub struct Campaign<'n, 'o> {
+    net: &'n Network,
+    universe: FaultUniverse,
+    patterns: Vec<Pattern>,
+    outputs: Vec<NodeId>,
+    backend: Backend,
+    custom: Option<Box<dyn CampaignBackend + 'o>>,
+    control: RunControl,
+    observer: Option<Box<dyn FnMut(SimEvent) + 'o>>,
+}
+
+impl<'n, 'o> Campaign<'n, 'o> {
+    /// Starts a campaign on `net` with an empty workload and the
+    /// paper's concurrent backend.
+    #[must_use]
+    pub fn new(net: &'n Network) -> Self {
+        Campaign {
+            net,
+            universe: FaultUniverse::new(),
+            patterns: Vec::new(),
+            outputs: Vec::new(),
+            backend: Backend::Concurrent(ConcurrentConfig::paper()),
+            custom: None,
+            control: RunControl::default(),
+            observer: None,
+        }
+    }
+
+    /// Sets the fault universe to grade.
+    #[must_use]
+    pub fn faults(mut self, universe: FaultUniverse) -> Self {
+        self.universe = universe;
+        self
+    }
+
+    /// Sets the stimulus patterns (cloned; sliced further by
+    /// [`Campaign::pattern_limit`]).
+    #[must_use]
+    pub fn patterns(mut self, patterns: &[Pattern]) -> Self {
+        self.patterns = patterns.to_vec();
+        self
+    }
+
+    /// Sets the observed output nodes compared at every strobe.
+    #[must_use]
+    pub fn outputs(mut self, outputs: &[NodeId]) -> Self {
+        self.outputs = outputs.to_vec();
+        self
+    }
+
+    /// Selects the execution strategy (default: the paper's concurrent
+    /// simulator).
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self.custom = None;
+        self
+    }
+
+    /// Plugs in a custom [`CampaignBackend`] implementation — the seam
+    /// for strategies beyond the built-in three (autotuned sharding,
+    /// remote execution). Overrides [`Campaign::backend`].
+    #[must_use]
+    pub fn backend_impl(mut self, backend: Box<dyn CampaignBackend + 'o>) -> Self {
+        self.custom = Some(backend);
+        self
+    }
+
+    /// Stops the run once coverage (detected / total faults) reaches
+    /// `target` (clamped to `[0, 1]`). Backends stop at their work-item
+    /// granularity: the concurrent backend between patterns, the serial
+    /// backend between faults, the parallel backend between shards.
+    #[must_use]
+    pub fn stop_at_coverage(mut self, target: f64) -> Self {
+        self.control.stop_at_coverage = Some(target);
+        self
+    }
+
+    /// Simulates at most the first `n` patterns.
+    #[must_use]
+    pub fn pattern_limit(mut self, n: usize) -> Self {
+        self.control.pattern_limit = Some(n);
+        self
+    }
+
+    /// Whether to stop spending time on a fault once it is detected
+    /// (default `true` — the paper's drop-on-detect rule). Disable for
+    /// full-sequence grading of every fault.
+    #[must_use]
+    pub fn drop_detected(mut self, drop: bool) -> Self {
+        self.control.drop_detected = drop;
+        self
+    }
+
+    /// Registers a streaming observer receiving [`SimEvent`]s while
+    /// the backend runs. See [`SimEvent`](crate::SimEvent) for which
+    /// events each backend emits.
+    #[must_use]
+    pub fn on_event(mut self, observer: impl FnMut(SimEvent) + 'o) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Runs the campaign and returns the wrapped report.
+    #[must_use]
+    pub fn run(self) -> CampaignReport {
+        let t0 = Instant::now();
+        let cut = self
+            .control
+            .pattern_limit
+            .map_or(self.patterns.len(), |n| n.min(self.patterns.len()));
+        let limited = cut < self.patterns.len();
+        let workload = Workload {
+            net: self.net,
+            universe: &self.universe,
+            patterns: &self.patterns[..cut],
+            outputs: &self.outputs,
+        };
+        // A custom backend's policy is invisible to the campaign; echo
+        // `None` rather than the unused built-in default.
+        let policy = if self.custom.is_some() {
+            None
+        } else {
+            Some(self.backend.policy())
+        };
+        let mut backend: Box<dyn CampaignBackend + 'o> = match self.custom {
+            Some(custom) => custom,
+            None => self.backend.into_impl(),
+        };
+        let mut observer = self.observer;
+        let mut emit = move |e: SimEvent| {
+            if let Some(obs) = observer.as_mut() {
+                obs(e);
+            }
+        };
+        let BackendRun {
+            run,
+            stopped_early,
+            jobs,
+            shards,
+            max_shard_seconds,
+            good_seconds,
+            serial_estimate_seconds,
+        } = backend.run(&workload, &self.control, &mut emit);
+        let stop = if stopped_early {
+            StopReason::CoverageReached
+        } else if limited {
+            StopReason::PatternLimit
+        } else {
+            StopReason::Completed
+        };
+        CampaignReport {
+            backend: backend.name(),
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            patterns_total: cut,
+            stop,
+            control: ControlEcho {
+                stop_at_coverage: self.control.stop_at_coverage,
+                pattern_limit: self.control.pattern_limit,
+                drop_detected: self.control.drop_detected,
+                policy,
+            },
+            jobs,
+            shards,
+            max_shard_seconds,
+            good_seconds,
+            serial_estimate_seconds,
+            run,
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Streaming campaign events, delivered to the observer registered
+//! with [`Campaign::on_event`](crate::Campaign::on_event) while the
+//! backend runs.
+//!
+//! Which events a backend emits follows its execution order:
+//!
+//! * [`Backend::Concurrent`](crate::Backend::Concurrent) is
+//!   pattern-major — it streams [`SimEvent::PatternStart`] /
+//!   [`SimEvent::PatternDone`] around each pattern, with
+//!   [`SimEvent::Detected`] / [`SimEvent::FaultDropped`] in between.
+//! * [`Backend::Serial`](crate::Backend::Serial) is fault-major — it
+//!   streams `Detected` / `FaultDropped` per fault as each private
+//!   simulation finishes (pattern events would be meaningless).
+//! * [`Backend::Parallel`](crate::Backend::Parallel) streams one
+//!   [`SimEvent::ShardDone`] per completed shard (in completion order,
+//!   which is scheduling-dependent across worker threads) with the
+//!   shard's `Detected` / `FaultDropped` events just before it.
+
+use fmossim_faults::FaultId;
+
+/// One streaming event from a running campaign.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SimEvent {
+    /// A pattern is about to be simulated (concurrent backend).
+    PatternStart {
+        /// Zero-based pattern index.
+        pattern: usize,
+        /// Faulty circuits still live when the pattern starts.
+        live: usize,
+    },
+    /// A pattern finished (concurrent backend).
+    PatternDone {
+        /// Zero-based pattern index.
+        pattern: usize,
+        /// Total detections so far in this run.
+        detected_so_far: usize,
+        /// Wall-clock seconds this pattern took.
+        seconds: f64,
+    },
+    /// A fault was detected.
+    Detected {
+        /// The detected fault (parent-universe id).
+        fault: FaultId,
+        /// Pattern index of the detecting strobe.
+        pattern: usize,
+        /// Phase index within the pattern.
+        phase: usize,
+        /// True iff the difference involved an `X` (potential
+        /// detection).
+        potential: bool,
+    },
+    /// A faulty circuit was dropped and will not be simulated again —
+    /// follows `Detected` when
+    /// [`drop_detected`](crate::Campaign::drop_detected) is on.
+    FaultDropped {
+        /// The dropped fault (parent-universe id).
+        fault: FaultId,
+    },
+    /// A shard completed (parallel backend).
+    ShardDone {
+        /// Shard index in the plan.
+        shard: usize,
+        /// Faults the shard graded.
+        faults: usize,
+        /// Faults the shard detected.
+        detected: usize,
+        /// The shard's own wall-clock seconds.
+        seconds: f64,
+    },
+}

@@ -1,0 +1,70 @@
+//! Unified fault-simulation campaigns: one builder + one backend seam
+//! over every execution strategy in the workspace.
+//!
+//! The paper's whole point is comparing execution strategies on the
+//! same workload — concurrent against serial, and (beyond the paper)
+//! fault-parallel sharding. This crate makes that comparison a
+//! one-line change instead of three unrelated APIs:
+//!
+//! ```
+//! use fmossim_circuits::Ram;
+//! use fmossim_testgen::TestSequence;
+//! use fmossim_faults::FaultUniverse;
+//! use fmossim_campaign::{Backend, Campaign, ParallelConfig, SimEvent};
+//!
+//! let ram = Ram::new(4, 4);
+//! let seq = TestSequence::full(&ram);
+//! let report = Campaign::new(ram.network())
+//!     .faults(FaultUniverse::stuck_nodes(ram.network()))
+//!     .patterns(seq.patterns())
+//!     .outputs(ram.observed_outputs())
+//!     // paper sim config + Jobs::Auto: pool sized from the workload
+//!     .backend(Backend::Parallel(ParallelConfig::auto()))
+//!     .stop_at_coverage(0.95)
+//!     .on_event(|e| {
+//!         if let SimEvent::ShardDone { shard, detected, .. } = e {
+//!             eprintln!("shard {shard}: {detected} detected");
+//!         }
+//!     })
+//!     .run();
+//! assert!(report.coverage() >= 0.95);
+//! let artifact = report.to_json(); // stable, hand-rolled format
+//! # let _ = artifact;
+//! ```
+//!
+//! * [`Campaign`] — the builder: workload (`faults`/`patterns`/
+//!   `outputs`), strategy ([`Campaign::backend`]), run control
+//!   ([`stop_at_coverage`](Campaign::stop_at_coverage),
+//!   [`pattern_limit`](Campaign::pattern_limit),
+//!   [`drop_detected`](Campaign::drop_detected)), streaming observer
+//!   ([`on_event`](Campaign::on_event)).
+//! * [`Backend`] — selects serial / concurrent / parallel;
+//!   [`CampaignBackend`] is the trait the adapters implement, open for
+//!   custom strategies via [`Campaign::backend_impl`].
+//! * [`CampaignReport`] — one artifact for every backend, wrapping the
+//!   common [`fmossim_core::RunReport`] with campaign metadata and a
+//!   stable JSON form ([`CampaignReport::to_json`] /
+//!   [`CampaignReport::from_json`], no external deps).
+//! * [`universe_from_spec`] — the CLI's textual fault-universe specs,
+//!   shared with examples and tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod campaign;
+mod event;
+pub mod json;
+mod report;
+mod spec;
+
+pub use backend::{Backend, BackendRun, CampaignBackend, RunControl, Workload};
+pub use campaign::Campaign;
+pub use event::SimEvent;
+pub use report::{CampaignReport, ControlEcho, StopReason};
+pub use spec::{universe_from_spec, UNIVERSE_SPECS};
+
+// Re-export the per-backend configuration types so campaign call sites
+// need only this crate (plus circuits/testgen for the workload).
+pub use fmossim_core::{ConcurrentConfig, DetectionPolicy, SerialConfig};
+pub use fmossim_par::{Jobs, ParallelConfig, ShardStrategy};

@@ -1,0 +1,471 @@
+//! The campaign-level report: the common [`RunReport`] measurements
+//! wrapped with campaign metadata (backend, wall time, config echo),
+//! serialisable to a stable JSON artifact with hand-rolled
+//! [`to_json`](CampaignReport::to_json) /
+//! [`from_json`](CampaignReport::from_json) (no external deps).
+
+use crate::json::{obj, parse, Value};
+use fmossim_core::{Detection, DetectionPolicy, PatternStats, RunReport};
+use fmossim_faults::FaultId;
+use fmossim_netlist::Logic;
+
+/// Why a campaign stopped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StopReason {
+    /// The whole pattern sequence was simulated.
+    #[default]
+    Completed,
+    /// The coverage target was reached and the run cut short.
+    CoverageReached,
+    /// The pattern limit truncated the sequence.
+    PatternLimit,
+}
+
+impl StopReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            StopReason::Completed => "completed",
+            StopReason::CoverageReached => "coverage-reached",
+            StopReason::PatternLimit => "pattern-limit",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "completed" => Some(StopReason::Completed),
+            "coverage-reached" => Some(StopReason::CoverageReached),
+            "pattern-limit" => Some(StopReason::PatternLimit),
+            _ => None,
+        }
+    }
+}
+
+/// Echo of the run-control options and detection policy a campaign ran
+/// with, so an archived report is self-describing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ControlEcho {
+    /// The coverage target, if one was set.
+    pub stop_at_coverage: Option<f64>,
+    /// The pattern limit, if one was set.
+    pub pattern_limit: Option<usize>,
+    /// Whether detected faults were dropped.
+    pub drop_detected: bool,
+    /// The detection policy in force — `None` for custom
+    /// [`backend_impl`](crate::Campaign::backend_impl) strategies,
+    /// whose policy the campaign cannot see.
+    pub policy: Option<DetectionPolicy>,
+}
+
+fn policy_str(p: DetectionPolicy) -> &'static str {
+    match p {
+        DetectionPolicy::AnyDifference => "any-difference",
+        DetectionPolicy::DefiniteOnly => "definite-only",
+    }
+}
+
+fn policy_parse(s: &str) -> Option<DetectionPolicy> {
+    match s {
+        "any-difference" => Some(DetectionPolicy::AnyDifference),
+        "definite-only" => Some(DetectionPolicy::DefiniteOnly),
+        _ => None,
+    }
+}
+
+/// The result of [`Campaign::run`](crate::Campaign::run): one stable
+/// artifact covering every backend, so benches, the CLI, and archived
+/// runs all speak the same format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignReport {
+    /// Strategy name ("serial", "concurrent", "parallel", or a custom
+    /// backend's name).
+    pub backend: String,
+    /// Wall-clock seconds of the whole campaign (backend setup
+    /// included).
+    pub wall_seconds: f64,
+    /// Patterns offered to the backend (after any pattern limit).
+    pub patterns_total: usize,
+    /// Why the campaign stopped.
+    pub stop: StopReason,
+    /// Echo of the run-control configuration.
+    pub control: ControlEcho,
+    /// Resolved worker count (parallel backend only).
+    pub jobs: Option<usize>,
+    /// Shards in the plan (parallel backend only).
+    pub shards: Option<usize>,
+    /// Critical path: the longest single shard's seconds (parallel
+    /// backend only).
+    pub max_shard_seconds: Option<f64>,
+    /// Good-circuit-only reference seconds (serial backend only).
+    pub good_seconds: Option<f64>,
+    /// The paper's serial-time estimate (serial backend only).
+    pub serial_estimate_seconds: Option<f64>,
+    /// The measurements, in the common per-pattern report format.
+    pub run: RunReport,
+}
+
+impl CampaignReport {
+    /// Number of faults detected.
+    #[must_use]
+    pub fn detected(&self) -> usize {
+        self.run.detected()
+    }
+
+    /// Fault coverage in `[0, 1]`.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        self.run.coverage()
+    }
+
+    /// All detections, canonically ordered by `(pattern, phase,
+    /// fault)`.
+    #[must_use]
+    pub fn detections(&self) -> &[Detection] {
+        &self.run.detections
+    }
+
+    /// Serialises to the stable JSON artifact format (compact, one
+    /// line, deterministic key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let opt_num = |v: Option<f64>| v.map_or(Value::Null, Value::Num);
+        let opt_count = |v: Option<usize>| v.map_or(Value::Null, |n| Value::Num(n as f64));
+        let detections: Vec<Value> = self
+            .run
+            .detections
+            .iter()
+            .map(|d| {
+                obj([
+                    ("fault", Value::Num(f64::from(d.fault.0))),
+                    ("pattern", Value::Num(d.pattern as f64)),
+                    ("phase", Value::Num(d.phase as f64)),
+                    ("good", Value::Str(d.good.to_string())),
+                    ("faulty", Value::Str(d.faulty.to_string())),
+                ])
+            })
+            .collect();
+        let patterns: Vec<Value> = self
+            .run
+            .patterns
+            .iter()
+            .map(|p| {
+                obj([
+                    ("seconds", Value::Num(p.seconds)),
+                    ("detected", Value::Num(p.detected as f64)),
+                    ("live_before", Value::Num(p.live_before as f64)),
+                    ("good_groups", Value::Num(p.good_groups as f64)),
+                    ("faulty_groups", Value::Num(p.faulty_groups as f64)),
+                    ("circuit_settles", Value::Num(p.circuit_settles as f64)),
+                    ("damped", Value::Bool(p.damped)),
+                ])
+            })
+            .collect();
+        obj([
+            ("format", Value::Str("fmossim-campaign-report".into())),
+            ("version", Value::Num(1.0)),
+            ("backend", Value::Str(self.backend.clone())),
+            ("wall_seconds", Value::Num(self.wall_seconds)),
+            ("patterns_total", Value::Num(self.patterns_total as f64)),
+            ("stop", Value::Str(self.stop.as_str().into())),
+            (
+                "control",
+                obj([
+                    ("stop_at_coverage", opt_num(self.control.stop_at_coverage)),
+                    ("pattern_limit", opt_count(self.control.pattern_limit)),
+                    ("drop_detected", Value::Bool(self.control.drop_detected)),
+                    (
+                        "policy",
+                        self.control
+                            .policy
+                            .map_or(Value::Null, |p| Value::Str(policy_str(p).into())),
+                    ),
+                ]),
+            ),
+            ("jobs", opt_count(self.jobs)),
+            ("shards", opt_count(self.shards)),
+            ("max_shard_seconds", opt_num(self.max_shard_seconds)),
+            ("good_seconds", opt_num(self.good_seconds)),
+            (
+                "serial_estimate_seconds",
+                opt_num(self.serial_estimate_seconds),
+            ),
+            (
+                "run",
+                obj([
+                    ("num_faults", Value::Num(self.run.num_faults as f64)),
+                    ("total_seconds", Value::Num(self.run.total_seconds)),
+                    ("detections", Value::Arr(detections)),
+                    ("patterns", Value::Arr(patterns)),
+                ]),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parses a report back from its JSON artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(text: &str) -> Result<CampaignReport, String> {
+        let v = parse(text)?;
+        if v.get("format").and_then(Value::as_str) != Some("fmossim-campaign-report") {
+            return Err("not a fmossim-campaign-report document".into());
+        }
+        match v.get("version").and_then(Value::as_usize) {
+            Some(1) => {}
+            Some(other) => return Err(format!("unsupported report version {other}")),
+            None => return Err("missing report version".into()),
+        }
+        let field = |name: &str| v.get(name).ok_or(format!("missing field `{name}`"));
+        let num = |name: &str| {
+            field(name)?
+                .as_f64()
+                .ok_or(format!("field `{name}` is not a number"))
+        };
+        let count = |name: &str| {
+            field(name)?
+                .as_usize()
+                .ok_or(format!("field `{name}` is not a count"))
+        };
+        let opt_num = |name: &str| -> Result<Option<f64>, String> {
+            let val = field(name)?;
+            if val.is_null() {
+                Ok(None)
+            } else {
+                Ok(Some(
+                    val.as_f64()
+                        .ok_or(format!("field `{name}` is not a number"))?,
+                ))
+            }
+        };
+        let opt_count = |name: &str| -> Result<Option<usize>, String> {
+            let val = field(name)?;
+            if val.is_null() {
+                Ok(None)
+            } else {
+                Ok(Some(
+                    val.as_usize()
+                        .ok_or(format!("field `{name}` is not a count"))?,
+                ))
+            }
+        };
+
+        let control = field("control")?;
+        let control = ControlEcho {
+            stop_at_coverage: match control.get("stop_at_coverage") {
+                None | Some(Value::Null) => None,
+                Some(val) => Some(val.as_f64().ok_or("bad stop_at_coverage")?),
+            },
+            pattern_limit: match control.get("pattern_limit") {
+                None | Some(Value::Null) => None,
+                Some(val) => Some(val.as_usize().ok_or("bad pattern_limit")?),
+            },
+            drop_detected: control
+                .get("drop_detected")
+                .and_then(Value::as_bool)
+                .ok_or("bad drop_detected")?,
+            policy: match control.get("policy") {
+                None | Some(Value::Null) => None,
+                Some(val) => Some(val.as_str().and_then(policy_parse).ok_or("bad policy")?),
+            },
+        };
+
+        let run_v = field("run")?;
+        let run_count = |name: &str| {
+            run_v
+                .get(name)
+                .and_then(Value::as_usize)
+                .ok_or(format!("bad run.{name}"))
+        };
+        let logic = |val: Option<&Value>, name: &str| {
+            val.and_then(Value::as_str)
+                .and_then(|s| s.chars().next())
+                .and_then(Logic::from_char)
+                .ok_or(format!("bad detection {name}"))
+        };
+        let mut detections = Vec::new();
+        for d in run_v
+            .get("detections")
+            .and_then(Value::as_arr)
+            .ok_or("bad run.detections")?
+        {
+            detections.push(Detection {
+                fault: FaultId(
+                    u32::try_from(
+                        d.get("fault")
+                            .and_then(Value::as_usize)
+                            .ok_or("bad fault")?,
+                    )
+                    .map_err(|_| "fault id out of range")?,
+                ),
+                pattern: d
+                    .get("pattern")
+                    .and_then(Value::as_usize)
+                    .ok_or("bad pattern")?,
+                phase: d
+                    .get("phase")
+                    .and_then(Value::as_usize)
+                    .ok_or("bad phase")?,
+                good: logic(d.get("good"), "good")?,
+                faulty: logic(d.get("faulty"), "faulty")?,
+            });
+        }
+        let mut patterns = Vec::new();
+        for p in run_v
+            .get("patterns")
+            .and_then(Value::as_arr)
+            .ok_or("bad run.patterns")?
+        {
+            let pcount = |name: &str| {
+                p.get(name)
+                    .and_then(Value::as_usize)
+                    .ok_or(format!("bad pattern stat {name}"))
+            };
+            patterns.push(PatternStats {
+                seconds: p
+                    .get("seconds")
+                    .and_then(Value::as_f64)
+                    .ok_or("bad pattern seconds")?,
+                detected: pcount("detected")?,
+                live_before: pcount("live_before")?,
+                good_groups: pcount("good_groups")?,
+                faulty_groups: pcount("faulty_groups")?,
+                circuit_settles: pcount("circuit_settles")?,
+                damped: p
+                    .get("damped")
+                    .and_then(Value::as_bool)
+                    .ok_or("bad pattern damped")?,
+            });
+        }
+        let run = RunReport {
+            patterns,
+            detections,
+            num_faults: run_count("num_faults")?,
+            total_seconds: run_v
+                .get("total_seconds")
+                .and_then(Value::as_f64)
+                .ok_or("bad run.total_seconds")?,
+        };
+
+        Ok(CampaignReport {
+            backend: field("backend")?.as_str().ok_or("bad backend")?.to_string(),
+            wall_seconds: num("wall_seconds")?,
+            patterns_total: count("patterns_total")?,
+            stop: field("stop")?
+                .as_str()
+                .and_then(StopReason::parse)
+                .ok_or("bad stop reason")?,
+            control,
+            jobs: opt_count("jobs")?,
+            shards: opt_count("shards")?,
+            max_shard_seconds: opt_num("max_shard_seconds")?,
+            good_seconds: opt_num("good_seconds")?,
+            serial_estimate_seconds: opt_num("serial_estimate_seconds")?,
+            run,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> CampaignReport {
+        CampaignReport {
+            backend: "parallel".into(),
+            wall_seconds: 1.25,
+            patterns_total: 3,
+            stop: StopReason::CoverageReached,
+            control: ControlEcho {
+                stop_at_coverage: Some(0.9),
+                pattern_limit: None,
+                drop_detected: true,
+                policy: Some(DetectionPolicy::AnyDifference),
+            },
+            jobs: Some(4),
+            shards: Some(8),
+            max_shard_seconds: Some(0.5),
+            good_seconds: None,
+            serial_estimate_seconds: None,
+            run: RunReport {
+                patterns: vec![
+                    PatternStats {
+                        seconds: 0.25,
+                        detected: 2,
+                        live_before: 10,
+                        good_groups: 7,
+                        faulty_groups: 21,
+                        circuit_settles: 5,
+                        damped: false,
+                    },
+                    PatternStats {
+                        seconds: 0.125,
+                        detected: 0,
+                        live_before: 8,
+                        good_groups: 7,
+                        faulty_groups: 3,
+                        circuit_settles: 1,
+                        damped: true,
+                    },
+                ],
+                detections: vec![
+                    Detection {
+                        fault: FaultId(3),
+                        pattern: 0,
+                        phase: 5,
+                        good: Logic::H,
+                        faulty: Logic::L,
+                    },
+                    Detection {
+                        fault: FaultId(7),
+                        pattern: 0,
+                        phase: 5,
+                        good: Logic::L,
+                        faulty: Logic::X,
+                    },
+                ],
+                num_faults: 10,
+                total_seconds: 0.375,
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let report = sample_report();
+        let text = report.to_json();
+        let back = CampaignReport::from_json(&text).expect("parses");
+        assert_eq!(report, back);
+        // Serialisation is deterministic.
+        assert_eq!(text, back.to_json());
+    }
+
+    #[test]
+    fn convenience_accessors() {
+        let report = sample_report();
+        assert_eq!(report.detected(), 2);
+        assert!((report.coverage() - 0.2).abs() < 1e-12);
+        assert_eq!(report.detections()[1].fault, FaultId(7));
+        assert!(report.detections()[1].is_potential());
+    }
+
+    #[test]
+    fn rejects_foreign_documents() {
+        assert!(CampaignReport::from_json("{}").is_err());
+        assert!(CampaignReport::from_json("[1,2]").is_err());
+        assert!(CampaignReport::from_json("not json").is_err());
+        // An emptied backend name is still a well-formed document...
+        let mangled = sample_report().to_json().replace("parallel", "");
+        assert!(CampaignReport::from_json(&mangled).is_ok());
+        // ...but a missing required field must fail,
+        let missing = sample_report()
+            .to_json()
+            .replace("\"wall_seconds\"", "\"renamed\"");
+        assert!(CampaignReport::from_json(&missing).is_err());
+        // ...as must an unknown format version.
+        let future = sample_report()
+            .to_json()
+            .replace("\"version\":1", "\"version\":2");
+        assert!(CampaignReport::from_json(&future).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Textual fault-universe specs — one parser shared by the CLI's
+//! `--universe` option and the examples, instead of each call site
+//! re-assembling the same unions.
+
+use fmossim_faults::FaultUniverse;
+use fmossim_netlist::Network;
+
+/// Spellings accepted by [`universe_from_spec`], for usage messages.
+pub const UNIVERSE_SPECS: [&str; 3] = ["stuck-nodes", "stuck-transistors", "all"];
+
+/// Builds a fault universe from its CLI spelling:
+///
+/// * `stuck-nodes` — every storage node stuck-at-0/1 (the paper's
+///   primary class);
+/// * `stuck-transistors` — every functional transistor
+///   stuck-open/closed (the paper's §5 validation class);
+/// * `all` — the union of both.
+///
+/// Structural fault classes that must first mutate the network (bridge
+/// shorts, line opens) are built with
+/// [`fmossim_faults::inject`] and combined via
+/// [`FaultUniverse::union`].
+///
+/// # Errors
+///
+/// Returns a message naming the accepted spellings on an unknown spec.
+pub fn universe_from_spec(net: &Network, spec: &str) -> Result<FaultUniverse, String> {
+    match spec {
+        "stuck-nodes" => Ok(FaultUniverse::stuck_nodes(net)),
+        "stuck-transistors" => Ok(FaultUniverse::stuck_transistors(net)),
+        "all" => Ok(FaultUniverse::stuck_nodes(net).union(FaultUniverse::stuck_transistors(net))),
+        other => Err(format!(
+            "unknown universe `{other}` (expected {})",
+            UNIVERSE_SPECS.join("|")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_netlist::{Drive, Logic, Size, TransistorType};
+
+    fn inverter() -> Network {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::P, Drive::D2, a, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+        net
+    }
+
+    #[test]
+    fn specs_build_the_expected_universes() {
+        let net = inverter();
+        assert_eq!(universe_from_spec(&net, "stuck-nodes").unwrap().len(), 2);
+        assert_eq!(
+            universe_from_spec(&net, "stuck-transistors").unwrap().len(),
+            4
+        );
+        assert_eq!(universe_from_spec(&net, "all").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn unknown_spec_names_the_options() {
+        let net = inverter();
+        let err = universe_from_spec(&net, "everything").unwrap_err();
+        for spec in UNIVERSE_SPECS {
+            assert!(err.contains(spec), "error should mention {spec}: {err}");
+        }
+    }
+}

@@ -80,7 +80,7 @@ impl PatternStats {
 }
 
 /// The result of a full concurrent fault-simulation run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
     /// Per-pattern statistics, in pattern order.
     pub patterns: Vec<PatternStats>,

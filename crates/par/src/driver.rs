@@ -1,20 +1,23 @@
 //! The fault-parallel driver: one [`ConcurrentSim`] per shard on a
 //! worker pool of scoped `std::thread`s.
 
+use crate::jobs::Jobs;
 use crate::plan::{ShardPlan, ShardStrategy};
 use fmossim_core::{ConcurrentConfig, ConcurrentSim, Pattern, RunReport};
 use fmossim_faults::FaultUniverse;
 use fmossim_netlist::{Network, NodeId};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::time::Instant;
 
 /// Configuration of the parallel driver.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ParallelConfig {
-    /// Worker threads. Clamped to at least 1; workers beyond the
-    /// number of (non-empty) shards are not spawned.
-    pub jobs: usize,
+    /// Worker threads: a fixed count, or [`Jobs::Auto`] to size the
+    /// pool from the universe's estimated fault cost. Workers beyond
+    /// the number of (non-empty) shards are not spawned.
+    pub jobs: Jobs,
     /// How the universe is partitioned.
     pub strategy: ShardStrategy,
     /// Number of shards; `None` means one per worker. Oversharding
@@ -27,27 +30,40 @@ pub struct ParallelConfig {
     pub sim: ConcurrentConfig,
 }
 
-impl Default for ParallelConfig {
-    fn default() -> Self {
-        ParallelConfig {
-            jobs: 1,
-            strategy: ShardStrategy::default(),
-            shards: None,
-            sim: ConcurrentConfig::default(),
-        }
-    }
-}
-
 impl ParallelConfig {
     /// The paper's simulator configuration on `jobs` workers.
     #[must_use]
     pub fn paper(jobs: usize) -> Self {
         ParallelConfig {
-            jobs,
+            jobs: Jobs::Fixed(jobs),
             sim: ConcurrentConfig::paper(),
             ..ParallelConfig::default()
         }
     }
+
+    /// The paper's simulator configuration with autotuned workers.
+    #[must_use]
+    pub fn auto() -> Self {
+        ParallelConfig {
+            jobs: Jobs::Auto,
+            sim: ConcurrentConfig::paper(),
+            ..ParallelConfig::default()
+        }
+    }
+}
+
+/// Summary of one completed shard, streamed to the observer of
+/// [`ParallelSim::run_streaming`] as workers finish.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardOutcome {
+    /// Shard index in the [`ShardPlan`].
+    pub shard: usize,
+    /// Faults the shard graded.
+    pub faults: usize,
+    /// Faults the shard detected.
+    pub detected: usize,
+    /// The shard's own wall-clock seconds.
+    pub seconds: f64,
 }
 
 /// Fault-parallel concurrent simulation: the fault universe is split
@@ -89,20 +105,25 @@ pub struct ParallelSim<'n> {
     universe: FaultUniverse,
     plan: ShardPlan,
     config: ParallelConfig,
+    /// `config.jobs` resolved against the universe at planning time.
+    workers: usize,
 }
 
 impl<'n> ParallelSim<'n> {
     /// Plans shards for `universe` and prepares the driver. The
     /// universe is owned: shard workers index into it concurrently.
+    /// [`Jobs::Auto`] is resolved here, against this universe.
     #[must_use]
     pub fn new(net: &'n Network, universe: FaultUniverse, config: ParallelConfig) -> Self {
-        let k = config.shards.unwrap_or(config.jobs).max(1);
+        let workers = config.jobs.resolve(net, &universe);
+        let k = config.shards.unwrap_or(workers).max(1);
         let plan = ShardPlan::build(net, &universe, k, config.strategy);
         ParallelSim {
             net,
             universe,
             plan,
             config,
+            workers,
         }
     }
 
@@ -116,6 +137,13 @@ impl<'n> ParallelSim<'n> {
     #[must_use]
     pub fn universe(&self) -> &FaultUniverse {
         &self.universe
+    }
+
+    /// The resolved worker count ([`Jobs::Auto`] already applied);
+    /// the pool never spawns more threads than non-empty shards.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Runs the pattern sequence over every shard and merges the
@@ -139,37 +167,97 @@ impl<'n> ParallelSim<'n> {
         patterns: &[Pattern],
         outputs: &[NodeId],
     ) -> (RunReport, Vec<f64>) {
+        self.run_streaming(patterns, outputs, |_, _| ControlFlow::Continue(()))
+    }
+
+    /// Runs the shards, invoking `on_shard` from the calling thread as
+    /// each shard completes — the streaming seam campaign drivers use
+    /// for progress events and early stopping (coverage targets).
+    ///
+    /// `on_shard` receives the shard's [`ShardOutcome`] and its
+    /// (globally relabelled) [`RunReport`]. Returning
+    /// [`ControlFlow::Break`] stops the queue: shards already running
+    /// finish and are included, shards never started are skipped — the
+    /// merged report then covers only the shards that ran, while
+    /// `num_faults` still counts the whole universe (skipped faults are
+    /// simply unsimulated, like undetected faults).
+    ///
+    /// With more than one worker, completion order — and therefore the
+    /// `on_shard` call order — is scheduling-dependent; the merged
+    /// report is canonically ordered regardless.
+    ///
+    /// Returns the merged report and each shard's own wall-clock
+    /// seconds (indexed by shard; `0.0` for skipped shards).
+    pub fn run_streaming(
+        &self,
+        patterns: &[Pattern],
+        outputs: &[NodeId],
+        mut on_shard: impl FnMut(&ShardOutcome, &RunReport) -> ControlFlow<()>,
+    ) -> (RunReport, Vec<f64>) {
         let t0 = Instant::now();
         let n_shards = self.plan.num_shards();
-        let workers = self.config.jobs.clamp(1, n_shards.max(1));
+        let workers = self.workers.clamp(1, n_shards.max(1));
 
-        let mut reports: Vec<(usize, RunReport)> = if n_shards <= 1 || workers == 1 {
+        let outcome = |s: usize, rep: &RunReport| ShardOutcome {
+            shard: s,
+            faults: self.plan.shard(s).len(),
+            detected: rep.detected(),
+            seconds: rep.total_seconds,
+        };
+
+        let mut reports: Vec<(usize, RunReport)> = Vec::with_capacity(n_shards);
+        if n_shards <= 1 || workers == 1 {
             // In-line fast path: no thread overhead, same merge below.
-            (0..n_shards)
-                .map(|s| (s, self.run_shard(s, patterns, outputs)))
-                .collect()
+            for s in 0..n_shards {
+                let rep = self.run_shard(s, patterns, outputs);
+                let flow = on_shard(&outcome(s, &rep), &rep);
+                reports.push((s, rep));
+                if flow.is_break() {
+                    break;
+                }
+            }
         } else {
-            let next = AtomicUsize::new(0);
-            let done = Mutex::new(Vec::with_capacity(n_shards));
+            let next = &AtomicUsize::new(0);
+            let stop = &AtomicBool::new(false);
+            let (tx, rx) = mpsc::channel::<(usize, RunReport)>();
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| loop {
+                    let tx = tx.clone();
+                    scope.spawn(move || loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let s = next.fetch_add(1, Ordering::Relaxed);
                         if s >= n_shards {
                             break;
                         }
                         let rep = self.run_shard(s, patterns, outputs);
-                        done.lock().expect("no poisoned workers").push((s, rep));
+                        if tx.send((s, rep)).is_err() {
+                            break;
+                        }
                     });
                 }
+                drop(tx);
+                // Observe completions from the calling thread, in
+                // completion order; a Break stops the queue but drains
+                // in-flight shards.
+                for (s, rep) in rx {
+                    let flow = on_shard(&outcome(s, &rep), &rep);
+                    reports.push((s, rep));
+                    if flow.is_break() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
             });
-            done.into_inner().expect("workers joined")
-        };
+        }
 
         // Merge in shard order for reproducible statistics; detection
         // order is canonicalised by `merge` regardless.
         reports.sort_by_key(|&(s, _)| s);
-        let shard_seconds = reports.iter().map(|(_, r)| r.total_seconds).collect();
+        let mut shard_seconds = vec![0.0; n_shards];
+        for (s, r) in &reports {
+            shard_seconds[*s] = r.total_seconds;
+        }
         let mut merged = RunReport::merge(reports.into_iter().map(|(_, r)| r));
         merged.num_faults = self.universe.len();
         merged.total_seconds = t0.elapsed().as_secs_f64();
@@ -267,6 +355,61 @@ mod tests {
         assert_eq!(report.num_faults, 0);
         assert_eq!(report.detected(), 0);
         assert_eq!(report.coverage(), 0.0);
+    }
+
+    #[test]
+    fn streaming_reports_every_shard_once() {
+        let (net, outs, patterns) = two_inverters();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let config = ParallelConfig {
+            shards: Some(3),
+            ..ParallelConfig::paper(2)
+        };
+        let sim = ParallelSim::new(&net, universe, config);
+        let mut seen = Vec::new();
+        let (report, times) = sim.run_streaming(&patterns, &outs, |o, rep| {
+            assert_eq!(o.detected, rep.detected());
+            assert_eq!(o.faults, sim.plan().shard(o.shard).len());
+            seen.push(o.shard);
+            std::ops::ControlFlow::Continue(())
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2], "each shard observed exactly once");
+        assert_eq!(times.len(), 3);
+        assert_eq!(report.detected(), 4);
+    }
+
+    #[test]
+    fn streaming_break_stops_the_queue() {
+        let (net, outs, patterns) = two_inverters();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let n = universe.len();
+        // One worker, one shard per fault: breaking after the first
+        // completed shard must leave the rest unsimulated.
+        let config = ParallelConfig {
+            shards: Some(n),
+            ..ParallelConfig::paper(1)
+        };
+        let sim = ParallelSim::new(&net, universe, config);
+        let mut completed = 0;
+        let (report, times) = sim.run_streaming(&patterns, &outs, |_, _| {
+            completed += 1;
+            std::ops::ControlFlow::Break(())
+        });
+        assert_eq!(completed, 1);
+        assert_eq!(report.detected(), 1, "only the first shard's fault");
+        assert_eq!(report.num_faults, n, "universe size unchanged");
+        assert_eq!(times.iter().filter(|&&t| t > 0.0).count(), 1);
+    }
+
+    #[test]
+    fn auto_jobs_resolves_and_runs() {
+        let (net, outs, patterns) = two_inverters();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let sim = ParallelSim::new(&net, universe, ParallelConfig::auto());
+        assert!(sim.workers() >= 1);
+        let report = sim.run(&patterns, &outs);
+        assert_eq!(report.detected(), 4);
     }
 
     #[test]

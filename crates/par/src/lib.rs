@@ -29,7 +29,9 @@
 #![warn(missing_docs)]
 
 mod driver;
+mod jobs;
 mod plan;
 
-pub use driver::{ParallelConfig, ParallelSim};
+pub use driver::{ParallelConfig, ParallelSim, ShardOutcome};
+pub use jobs::{Jobs, AUTO_COST_PER_WORKER};
 pub use plan::{fault_cost, ShardPlan, ShardStrategy};

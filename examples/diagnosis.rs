@@ -10,14 +10,15 @@
 //! cargo run --release --example diagnosis
 //! ```
 
+use fmossim::campaign::universe_from_spec;
 use fmossim::circuits::Ram;
 use fmossim::concurrent::{ConcurrentConfig, FaultDictionary};
-use fmossim::faults::{FaultId, FaultUniverse};
+use fmossim::faults::FaultId;
 use fmossim::testgen::TestSequence;
 
 fn main() {
     let ram = Ram::new(4, 4);
-    let universe = FaultUniverse::stuck_nodes(ram.network());
+    let universe = universe_from_spec(ram.network(), "stuck-nodes").expect("known spec");
     let seq = TestSequence::full(&ram);
     println!(
         "building dictionary: {} faults x {} patterns...",

@@ -6,9 +6,9 @@
 //! cargo run --release --example netlist_io
 //! ```
 
+use fmossim::campaign::{universe_from_spec, Campaign};
 use fmossim::circuits::Ram;
-use fmossim::concurrent::{ConcurrentConfig, ConcurrentSim, Pattern, Phase};
-use fmossim::faults::FaultUniverse;
+use fmossim::concurrent::{Pattern, Phase};
 use fmossim::netlist::{parse_netlist, write_netlist, Logic, NetworkStats};
 
 const HAND_WRITTEN: &str = "\
@@ -57,16 +57,18 @@ fn main() {
         Pattern::labelled(vec![Phase::strobe(vec![(reset, Logic::H)])], "reset"),
         Pattern::labelled(vec![Phase::strobe(vec![(reset, Logic::L)])], "hold 0"),
     ];
-    let universe =
-        FaultUniverse::stuck_nodes(&latch).union(FaultUniverse::stuck_transistors(&latch));
-    let mut sim = ConcurrentSim::new(&latch, universe.faults(), ConcurrentConfig::paper());
-    let report = sim.run(&patterns, &[q]);
+    let universe = universe_from_spec(&latch, "all").expect("known spec");
+    let report = Campaign::new(&latch)
+        .faults(universe.clone())
+        .patterns(&patterns)
+        .outputs(&[q])
+        .run();
     println!(
         "\nSR-latch fault simulation: {}/{} faults detected observing Q alone",
         report.detected(),
-        report.num_faults
+        report.run.num_faults
     );
-    for d in &report.detections {
+    for d in report.detections() {
         println!(
             "  '{}' detects {}",
             patterns[d.pattern].label,

@@ -4,8 +4,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use fmossim::concurrent::{ConcurrentConfig, ConcurrentSim, Pattern, Phase};
-use fmossim::faults::FaultUniverse;
+use fmossim::campaign::universe_from_spec;
+use fmossim::campaign::Campaign;
+use fmossim::concurrent::{Pattern, Phase};
 use fmossim::netlist::{Drive, Logic, Network, Size, TransistorType};
 use fmossim::sim::LogicSim;
 
@@ -42,8 +43,11 @@ fn main() {
     }
 
     // 3. Fault-simulate: every storage node stuck-at-0/1 and every
-    //    transistor stuck-open/closed, concurrently.
-    let universe = FaultUniverse::stuck_nodes(&net).union(FaultUniverse::stuck_transistors(&net));
+    //    transistor stuck-open/closed, as one campaign on the default
+    //    (concurrent) backend. Swapping in the serial baseline or a
+    //    fault-parallel pool is a one-line `.backend(..)` change — see
+    //    `examples/campaign.rs`.
+    let universe = universe_from_spec(&net, "all").expect("known spec");
     let patterns: Vec<Pattern> = [
         (Logic::L, Logic::L),
         (Logic::L, Logic::H),
@@ -54,16 +58,19 @@ fn main() {
     .map(|(va, vb)| Pattern::new(vec![Phase::strobe(vec![(a, va), (b, vb)])]))
     .collect();
 
-    let mut fsim = ConcurrentSim::new(&net, universe.faults(), ConcurrentConfig::paper());
-    let report = fsim.run(&patterns, &[out]);
+    let report = Campaign::new(&net)
+        .faults(universe.clone())
+        .patterns(&patterns)
+        .outputs(&[out])
+        .run();
     println!(
         "\nfault simulation: {}/{} faults detected ({:.0}% coverage) in {} patterns",
         report.detected(),
-        report.num_faults,
+        report.run.num_faults,
         report.coverage() * 100.0,
         patterns.len()
     );
-    for d in &report.detections {
+    for d in report.detections() {
         println!(
             "  pattern {:>2}: {} (good {} vs faulty {})",
             d.pattern + 1,

@@ -12,8 +12,8 @@
 //! cargo run --release --example ram_fault_sim
 //! ```
 
+use fmossim::campaign::{universe_from_spec, Campaign};
 use fmossim::circuits::Ram;
-use fmossim::concurrent::{ConcurrentConfig, ConcurrentSim};
 use fmossim::faults::{inject, FaultUniverse};
 use fmossim::testgen::TestSequence;
 
@@ -32,8 +32,9 @@ fn main() {
         .enumerate()
         .map(|(i, (x, y))| inject::insert_bridge(ram.network_mut(), x, y, &format!("bl{i}")))
         .collect();
-    let universe =
-        FaultUniverse::stuck_nodes(ram.network()).union(FaultUniverse::from_faults(bridges));
+    let universe = universe_from_spec(ram.network(), "stuck-nodes")
+        .expect("known spec")
+        .union(FaultUniverse::from_faults(bridges));
     println!("fault universe: {} faults", universe.len());
 
     // Sequence 1: control test, row march, column march, array march.
@@ -48,8 +49,12 @@ fn main() {
             .join(" + ")
     );
 
-    let mut sim = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
-    let report = sim.run(seq.patterns(), ram.observed_outputs());
+    let campaign_report = Campaign::new(ram.network())
+        .faults(universe.clone())
+        .patterns(seq.patterns())
+        .outputs(ram.observed_outputs())
+        .run();
+    let report = &campaign_report.run;
 
     println!(
         "\ndetected {}/{} faults ({:.1}% coverage) in {:.3} s",

@@ -11,8 +11,9 @@
 //! cargo run --release --example test_quality
 //! ```
 
+use fmossim::campaign::Campaign;
 use fmossim::circuits::Ram;
-use fmossim::concurrent::{ConcurrentConfig, ConcurrentSim, RunReport};
+use fmossim::concurrent::RunReport;
 use fmossim::faults::{inject, FaultUniverse};
 use fmossim::testgen::TestSequence;
 
@@ -63,8 +64,15 @@ fn main() {
     let good1 = serial.good_trace(seq1.patterns(), ram.observed_outputs());
     let good2 = serial.good_trace(seq2.patterns(), ram.observed_outputs());
 
-    let mut sim1 = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
-    let r1 = sim1.run(seq1.patterns(), ram.observed_outputs());
+    let concurrent = |patterns: &[fmossim::concurrent::Pattern]| {
+        Campaign::new(ram.network())
+            .faults(universe.clone())
+            .patterns(patterns)
+            .outputs(ram.observed_outputs())
+            .run()
+            .run
+    };
+    let r1 = concurrent(seq1.patterns());
     let (c1, _s1) = summarize(
         "sequence 1 (control + row/col marches + array march)",
         &r1,
@@ -72,8 +80,7 @@ fn main() {
     );
 
     println!();
-    let mut sim2 = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
-    let r2 = sim2.run(seq2.patterns(), ram.observed_outputs());
+    let r2 = concurrent(seq2.patterns());
     let (c2, _s2) = summarize(
         "sequence 2 (row/col marches omitted)",
         &r2,

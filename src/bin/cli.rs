@@ -6,9 +6,11 @@
 //! fmossim stim     ram <rows> <cols> [--march-only]
 //! fmossim sim      <netlist.snl> --stim <file> [--watch N1,N2,…]
 //! fmossim faultsim <netlist.snl> --stim <file> --outputs N1[,N2…]
+//!                  [--backend serial|concurrent|parallel] [--json]
 //!                  [--universe stuck-nodes|stuck-transistors|all]
 //!                  [--sample K] [--seed S] [--serial]
-//!                  [--jobs N] [--shard-strategy round-robin|contiguous|cost]
+//!                  [--stop-at-coverage F] [--pattern-limit N]
+//!                  [--jobs N|auto] [--shard-strategy round-robin|contiguous|cost]
 //! ```
 //!
 //! The stimulus file is line oriented: each non-comment line is one
@@ -21,11 +23,13 @@
 //! A0=1 WE=1 DIN=1 PHI1=1 ; PHI1=0 ; PHI2=1 ; PHI2=0 ; PHI3=1 ; PHI3=0
 //! ```
 
+use fmossim::campaign::{
+    universe_from_spec, Backend, Campaign, ConcurrentConfig, Jobs, ParallelConfig, SerialConfig,
+    ShardStrategy,
+};
 use fmossim::circuits::{Ram, RegisterFile};
-use fmossim::concurrent::{ConcurrentConfig, Pattern, Phase, SerialConfig, SerialSim};
-use fmossim::faults::FaultUniverse;
+use fmossim::concurrent::{Pattern, Phase};
 use fmossim::netlist::{parse_netlist, write_netlist, Logic, Network, NetworkStats, NodeId};
-use fmossim::par::{ParallelConfig, ParallelSim, ShardStrategy};
 use fmossim::sim::LogicSim;
 use std::process::ExitCode;
 
@@ -61,14 +65,20 @@ usage:
   fmossim stim     ram <rows> <cols> [--march-only]
   fmossim sim      <netlist.snl> --stim <file> [--watch A,B,...]
   fmossim faultsim <netlist.snl> --stim <file> --outputs A[,B...]
+                   [--backend serial|concurrent|parallel] [--json]
                    [--universe stuck-nodes|stuck-transistors|all]
                    [--sample K] [--seed S] [--serial]
-                   [--jobs N] [--shard-strategy round-robin|contiguous|cost]
+                   [--stop-at-coverage F] [--pattern-limit N]
+                   [--jobs N|auto] [--shard-strategy round-robin|contiguous|cost]
 
-faultsim grades all faults concurrently. --jobs N shards the fault
-universe across N worker threads (fault-parallel execution); results
-are identical to --jobs 1. --shard-strategy picks how faults are
-dealt to shards (default round-robin).
+faultsim runs one campaign on the chosen backend: `concurrent` (the
+paper's algorithm, default), `serial` (the per-fault baseline), or
+`parallel` (fault-parallel shards on a worker pool; implied by
+--jobs). --jobs N picks the worker count, `auto` sizes the pool from
+the workload; results are identical for every backend and job count.
+--json emits the machine-readable campaign report instead of text;
+--stop-at-coverage / --pattern-limit cut the run short; --serial
+appends a serial-baseline comparison run.
 ";
 
 fn load(path: &str) -> Result<Network, String> {
@@ -267,12 +277,7 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
         opt(args, "--outputs").ok_or("faultsim needs --outputs")?,
     )?;
 
-    let mut universe = match opt(args, "--universe").unwrap_or("stuck-nodes") {
-        "stuck-nodes" => FaultUniverse::stuck_nodes(&net),
-        "stuck-transistors" => FaultUniverse::stuck_transistors(&net),
-        "all" => FaultUniverse::stuck_nodes(&net).union(FaultUniverse::stuck_transistors(&net)),
-        other => return Err(format!("unknown universe `{other}`")),
-    };
+    let mut universe = universe_from_spec(&net, opt(args, "--universe").unwrap_or("stuck-nodes"))?;
     let seed: u64 = opt(args, "--seed")
         .map(|s| s.parse().map_err(|_| "--seed takes a number"))
         .transpose()?
@@ -281,43 +286,106 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
         let k: usize = k.parse().map_err(|_| "--sample takes a number")?;
         universe = universe.sample(k, seed);
     }
-    let jobs: usize = opt(args, "--jobs")
-        .map(|s| s.parse().map_err(|_| "--jobs takes a number"))
-        .transpose()?
-        .unwrap_or(1)
-        .max(1);
+    let jobs = opt(args, "--jobs")
+        .map(|s| {
+            Jobs::parse(s).ok_or(format!(
+                "--jobs takes a positive number or `auto`, not `{s}`"
+            ))
+        })
+        .transpose()?;
     let strategy = match opt(args, "--shard-strategy") {
         None => ShardStrategy::default(),
         Some(spec) => ShardStrategy::parse(spec).ok_or_else(|| {
             format!("unknown shard strategy `{spec}` (round-robin|contiguous|cost)")
         })?,
     };
+    // --jobs implies the parallel backend unless --backend overrides.
+    let backend_name = opt(args, "--backend").unwrap_or(if jobs.is_some() {
+        "parallel"
+    } else {
+        "concurrent"
+    });
+    if backend_name != "parallel" {
+        if jobs.is_some() {
+            return Err(format!(
+                "--jobs requires the parallel backend, not `{backend_name}`"
+            ));
+        }
+        if opt(args, "--shard-strategy").is_some() {
+            return Err(format!(
+                "--shard-strategy requires the parallel backend, not `{backend_name}`"
+            ));
+        }
+    }
+    if flag(args, "--json") && flag(args, "--serial") {
+        return Err(
+            "--serial has no place in the --json artifact; run --backend serial --json as its \
+             own campaign"
+                .into(),
+        );
+    }
+    let backend = match backend_name {
+        "serial" => Backend::Serial(SerialConfig::paper()),
+        "concurrent" => Backend::Concurrent(ConcurrentConfig::paper()),
+        "parallel" => Backend::Parallel(ParallelConfig {
+            jobs: jobs.unwrap_or(Jobs::Auto),
+            strategy,
+            ..ParallelConfig::auto()
+        }),
+        other => {
+            return Err(format!(
+                "unknown backend `{other}` (serial|concurrent|parallel)"
+            ))
+        }
+    };
+    let pool = match backend {
+        Backend::Parallel(_) => format!(" [jobs {}, {}]", jobs.unwrap_or(Jobs::Auto), strategy),
+        _ => String::new(),
+    };
     eprintln!(
-        "{} faults, {} patterns, observing {} output(s), {} job(s) [{}]",
+        "{} faults, {} patterns, observing {} output(s), backend {}{}",
         universe.len(),
         patterns.len(),
         outputs.len(),
-        jobs,
-        strategy,
+        backend.name(),
+        pool,
     );
 
-    let config = ParallelConfig {
-        strategy,
-        jobs,
-        sim: ConcurrentConfig::paper(),
-        ..ParallelConfig::default()
-    };
-    let sim = ParallelSim::new(&net, universe, config);
-    let report = sim.run(&patterns, &outputs);
-    let universe = sim.universe();
+    let mut campaign = Campaign::new(&net)
+        .faults(universe.clone())
+        .patterns(&patterns)
+        .outputs(&outputs)
+        .backend(backend);
+    if let Some(cov) = opt(args, "--stop-at-coverage") {
+        let cov: f64 = cov
+            .parse()
+            .map_err(|_| "--stop-at-coverage takes a fraction")?;
+        if !(0.0..=1.0).contains(&cov) {
+            return Err(format!(
+                "--stop-at-coverage takes a fraction in [0, 1], not {cov}"
+            ));
+        }
+        campaign = campaign.stop_at_coverage(cov);
+    }
+    if let Some(n) = opt(args, "--pattern-limit") {
+        let n: usize = n.parse().map_err(|_| "--pattern-limit takes a number")?;
+        campaign = campaign.pattern_limit(n);
+    }
+    let report = campaign.run();
+
+    if flag(args, "--json") {
+        println!("{}", report.to_json());
+        return Ok(());
+    }
     println!(
-        "detected {}/{} faults ({:.1}% coverage) in {:.3}s",
+        "detected {}/{} faults ({:.1}% coverage) in {:.3}s [{}]",
         report.detected(),
-        report.num_faults,
+        report.run.num_faults,
         report.coverage() * 100.0,
-        report.total_seconds
+        report.wall_seconds,
+        report.backend,
     );
-    for d in &report.detections {
+    for d in report.detections() {
         println!(
             "  pattern {:>4} phase {}: {}{}",
             d.pattern + 1,
@@ -331,7 +399,7 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
         );
     }
     let detected: std::collections::HashSet<_> =
-        report.detections.iter().map(|d| d.fault).collect();
+        report.detections().iter().map(|d| d.fault).collect();
     let missed: Vec<_> = universe
         .iter()
         .filter(|(id, _)| !detected.contains(id))
@@ -344,14 +412,19 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
     }
 
     if flag(args, "--serial") {
-        let serial = SerialSim::new(&net, SerialConfig::paper());
-        let sreport = serial.run(universe.faults(), &patterns, &outputs);
+        let sreport = Campaign::new(&net)
+            .faults(universe)
+            .patterns(&patterns)
+            .outputs(&outputs)
+            .backend(Backend::Serial(SerialConfig::paper()))
+            .run();
         println!(
-            "serial reference: detected {}/{} in {:.3}s ({:.1}x concurrent)",
+            "serial reference: detected {}/{} in {:.3}s ({:.1}x {})",
             sreport.detected(),
-            universe.len(),
-            sreport.total_seconds,
-            sreport.total_seconds / report.total_seconds
+            sreport.run.num_faults,
+            sreport.wall_seconds,
+            sreport.wall_seconds / report.wall_seconds,
+            report.backend,
         );
     }
     Ok(())

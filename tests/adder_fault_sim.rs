@@ -4,9 +4,26 @@
 //! array), the fault simulator provides information that is hard to
 //! obtain by any other means".
 
+use fmossim::campaign::{Campaign, CampaignReport};
 use fmossim::circuits::RippleAdder;
-use fmossim::concurrent::{ConcurrentConfig, ConcurrentSim, Pattern, Phase};
+use fmossim::concurrent::{Pattern, Phase};
 use fmossim::faults::FaultUniverse;
+use fmossim::netlist::NodeId;
+
+/// Grades `universe` on the adder through the unified campaign API
+/// (paper-configured concurrent backend).
+fn grade(
+    adder: &RippleAdder,
+    universe: &FaultUniverse,
+    patterns: &[Pattern],
+    outputs: &[NodeId],
+) -> CampaignReport {
+    Campaign::new(adder.network())
+        .faults(universe.clone())
+        .patterns(patterns)
+        .outputs(outputs)
+        .run()
+}
 
 fn vectors(adder: &RippleAdder, cases: &[(u64, u64, bool)]) -> Vec<Pattern> {
     cases
@@ -35,12 +52,7 @@ fn exhaustive_vectors_fully_test_small_adder() {
         }
     }
     let patterns = vectors(&adder, &cases);
-    let mut sim = ConcurrentSim::new(
-        adder.network(),
-        universe.faults(),
-        ConcurrentConfig::paper(),
-    );
-    let report = sim.run(&patterns, &adder.observed_outputs());
+    let report = grade(&adder, &universe, &patterns, &adder.observed_outputs());
     assert!(
         report.coverage() > 0.97,
         "exhaustive vectors reach {:.1}% on {} faults",
@@ -55,12 +67,7 @@ fn sparse_vectors_leave_coverage_holes_the_simulator_pinpoints() {
     let universe = FaultUniverse::stuck_nodes(adder.network());
     // A deliberately weak test: only all-zeros and all-ones operands.
     let weak = vectors(&adder, &[(0, 0, false), (15, 15, true)]);
-    let mut sim = ConcurrentSim::new(
-        adder.network(),
-        universe.faults(),
-        ConcurrentConfig::paper(),
-    );
-    let weak_report = sim.run(&weak, &adder.observed_outputs());
+    let weak_report = grade(&adder, &universe, &weak, &adder.observed_outputs());
 
     // A better set adds the classic carry-ripple and checkerboards.
     let strong = vectors(
@@ -76,12 +83,7 @@ fn sparse_vectors_leave_coverage_holes_the_simulator_pinpoints() {
             (8, 8, false),
         ],
     );
-    let mut sim2 = ConcurrentSim::new(
-        adder.network(),
-        universe.faults(),
-        ConcurrentConfig::paper(),
-    );
-    let strong_report = sim2.run(&strong, &adder.observed_outputs());
+    let strong_report = grade(&adder, &universe, &strong, &adder.observed_outputs());
 
     assert!(
         strong_report.detected() > weak_report.detected(),
@@ -114,20 +116,10 @@ fn per_output_observability_matters() {
     let patterns = vectors(&adder, &cases);
 
     let all_outputs = adder.observed_outputs();
-    let mut sim_all = ConcurrentSim::new(
-        adder.network(),
-        universe.faults(),
-        ConcurrentConfig::paper(),
-    );
-    let all = sim_all.run(&patterns, &all_outputs);
+    let all = grade(&adder, &universe, &patterns, &all_outputs);
 
     let cout_only = [adder.io().cout];
-    let mut sim_cout = ConcurrentSim::new(
-        adder.network(),
-        universe.faults(),
-        ConcurrentConfig::paper(),
-    );
-    let cout = sim_cout.run(&patterns, &cout_only);
+    let cout = grade(&adder, &universe, &patterns, &cout_only);
 
     assert!(
         all.detected() >= cout.detected() * 2,

@@ -1,11 +1,13 @@
 //! Shard determinism: fault-parallel simulation is a pure throughput
-//! lever. For every shard count and strategy, `ParallelSim` must
-//! produce exactly the detection set (fault, pattern, phase, values)
-//! and coverage of a plain single-threaded `ConcurrentSim` run — on
-//! the paper's RAM benchmark and on the ALU-section adder.
+//! lever. For every shard count and strategy, a `Campaign` on the
+//! parallel backend must produce exactly the detection set (fault,
+//! pattern, phase, values) and coverage of the same campaign on the
+//! concurrent backend — on the paper's RAM benchmark and on the
+//! ALU-section adder.
 
+use fmossim::campaign::{Backend, Campaign, CampaignReport, Jobs};
 use fmossim::circuits::{Ram, RippleAdder};
-use fmossim::concurrent::{ConcurrentConfig, ConcurrentSim, Pattern, Phase, RunReport};
+use fmossim::concurrent::{ConcurrentConfig, ConcurrentSim, Pattern, Phase};
 use fmossim::faults::FaultUniverse;
 use fmossim::netlist::{Network, NodeId};
 use fmossim::par::{ParallelConfig, ParallelSim, ShardStrategy};
@@ -13,9 +15,9 @@ use fmossim::testgen::TestSequence;
 
 /// Canonical view of a report's detections: one tuple per detected
 /// fault, sorted — independent of emission order.
-fn detection_set(report: &RunReport) -> Vec<(usize, usize, usize, String)> {
+fn detection_set(report: &CampaignReport) -> Vec<(usize, usize, usize, String)> {
     let mut v: Vec<_> = report
-        .detections
+        .detections()
         .iter()
         .map(|d| {
             (
@@ -31,38 +33,45 @@ fn detection_set(report: &RunReport) -> Vec<(usize, usize, usize, String)> {
 }
 
 /// The property: for K ∈ {1, 2, 4, 7} shards × all strategies, the
-/// parallel run equals the reference `ConcurrentSim` run.
+/// parallel-backend campaign equals the concurrent-backend reference.
 fn assert_shard_invariance(
     net: &Network,
     universe: &FaultUniverse,
     patterns: &[Pattern],
     outputs: &[NodeId],
 ) {
-    let mut reference_sim = ConcurrentSim::new(net, universe.faults(), ConcurrentConfig::paper());
-    let reference = reference_sim.run(patterns, outputs);
+    let campaign = |backend: Backend| {
+        Campaign::new(net)
+            .faults(universe.clone())
+            .patterns(patterns)
+            .outputs(outputs)
+            .backend(backend)
+            .run()
+    };
+    let reference = campaign(Backend::Concurrent(ConcurrentConfig::paper()));
     let expected = detection_set(&reference);
     assert!(reference.detected() > 0, "workload must detect something");
 
     for k in [1usize, 2, 4, 7] {
         for strategy in ShardStrategy::ALL {
             let config = ParallelConfig {
-                jobs: k,
+                jobs: Jobs::Fixed(k),
                 strategy,
                 sim: ConcurrentConfig::paper(),
                 ..ParallelConfig::default()
             };
-            let sim = ParallelSim::new(net, universe.clone(), config);
-            let report = sim.run(patterns, outputs);
+            let report = campaign(Backend::Parallel(config));
             assert_eq!(
                 detection_set(&report),
                 expected,
                 "K={k} strategy={strategy}: detection set diverged"
             );
-            assert_eq!(report.num_faults, reference.num_faults);
+            assert_eq!(report.run.num_faults, reference.run.num_faults);
             assert!(
                 (report.coverage() - reference.coverage()).abs() < 1e-12,
                 "K={k} strategy={strategy}: coverage diverged"
             );
+            assert_eq!(report.jobs, Some(k), "resolved worker count reported");
         }
     }
 }
@@ -109,8 +118,30 @@ fn adder_detections_invariant_under_sharding() {
     );
 }
 
+/// `Jobs::Auto` is a sizing decision, never a results decision: the
+/// autotuned campaign matches the fixed-size reference exactly.
+#[test]
+fn auto_jobs_detections_match_fixed() {
+    let ram = Ram::new(4, 4);
+    let universe = FaultUniverse::stuck_nodes(ram.network());
+    let seq = TestSequence::full(&ram);
+    let campaign = |backend: Backend| {
+        Campaign::new(ram.network())
+            .faults(universe.clone())
+            .patterns(seq.patterns())
+            .outputs(ram.observed_outputs())
+            .backend(backend)
+            .run()
+    };
+    let fixed = campaign(Backend::Parallel(ParallelConfig::paper(2)));
+    let auto = campaign(Backend::Parallel(ParallelConfig::auto()));
+    assert_eq!(detection_set(&auto), detection_set(&fixed));
+    assert!(auto.jobs.expect("parallel backend reports jobs") >= 1);
+}
+
 /// Oversharding (more shards than workers, pulled from the queue) must
-/// also leave results untouched.
+/// also leave results untouched — exercised through the raw
+/// `ParallelSim` API, which stays public beneath the campaign layer.
 #[test]
 fn oversharded_pool_detections_invariant() {
     let ram = Ram::new(4, 4);
@@ -123,7 +154,7 @@ fn oversharded_pool_detections_invariant() {
     let reference = reference_sim.run(seq.patterns(), outputs);
 
     let config = ParallelConfig {
-        jobs: 3,
+        jobs: Jobs::Fixed(3),
         shards: Some(11),
         strategy: ShardStrategy::CostEstimated,
         sim: ConcurrentConfig::paper(),
@@ -131,5 +162,14 @@ fn oversharded_pool_detections_invariant() {
     let sim = ParallelSim::new(ram.network(), universe, config);
     assert_eq!(sim.plan().num_shards(), 11);
     let report = sim.run(seq.patterns(), outputs);
-    assert_eq!(detection_set(&report), detection_set(&reference));
+
+    let key = |detections: &[fmossim::concurrent::Detection]| {
+        let mut v: Vec<_> = detections
+            .iter()
+            .map(|d| (d.fault.index(), d.pattern, d.phase))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(key(&report.detections), key(&reference.detections));
 }

@@ -1,11 +1,21 @@
 //! Coverage behaviour of the marching test sequences on the RAM —
 //! the functional claims behind the paper's evaluation setup.
 
+use fmossim::campaign::{Campaign, CampaignReport};
 use fmossim::circuits::Ram;
-use fmossim::concurrent::{ConcurrentConfig, ConcurrentSim};
 use fmossim::faults::{inject, Fault, FaultUniverse};
 use fmossim::netlist::Logic;
 use fmossim::testgen::TestSequence;
+
+/// Grades `universe` on the RAM through the unified campaign API
+/// (paper-configured concurrent backend).
+fn grade(ram: &Ram, universe: FaultUniverse, seq: &TestSequence) -> CampaignReport {
+    Campaign::new(ram.network())
+        .faults(universe)
+        .patterns(seq.patterns())
+        .outputs(ram.observed_outputs())
+        .run()
+}
 
 fn ram_with_bridges(dim: usize) -> (Ram, FaultUniverse) {
     let mut ram = Ram::new(dim, dim);
@@ -26,11 +36,11 @@ fn ram_with_bridges(dim: usize) -> (Ram, FaultUniverse) {
 fn sequence_1_fully_tests_the_ram() {
     let (ram, universe) = ram_with_bridges(4);
     let seq = TestSequence::full(&ram);
-    let mut sim = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
-    let report = sim.run(seq.patterns(), ram.observed_outputs());
+    let n = universe.len();
+    let report = grade(&ram, universe, &seq);
     assert_eq!(
         report.detected(),
-        universe.len(),
+        n,
         "sequence 1 must detect every stuck-node and bridge fault"
     );
 }
@@ -44,10 +54,8 @@ fn sequence_2_also_fully_tests_but_later() {
     let seq1 = TestSequence::full(&ram);
     let seq2 = TestSequence::march_only(&ram);
 
-    let mut sim1 = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
-    let r1 = sim1.run(seq1.patterns(), ram.observed_outputs());
-    let mut sim2 = ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
-    let r2 = sim2.run(seq2.patterns(), ram.observed_outputs());
+    let r1 = grade(&ram, universe.clone(), &seq1);
+    let r2 = grade(&ram, universe.clone(), &seq2);
 
     assert_eq!(r1.detected(), universe.len());
     assert_eq!(r2.detected(), universe.len());
@@ -55,8 +63,8 @@ fn sequence_2_also_fully_tests_but_later() {
     // Mean pattern-of-detection comes later under sequence 2 relative
     // to sequence length: the decoder/bus faults wait for the array
     // march to reach the right addresses.
-    let mean = |r: &fmossim::concurrent::RunReport| {
-        r.detections.iter().map(|d| d.pattern).sum::<usize>() as f64 / r.detected() as f64
+    let mean = |r: &CampaignReport| {
+        r.detections().iter().map(|d| d.pattern).sum::<usize>() as f64 / r.detected() as f64
     };
     let frac1 = mean(&r1) / seq1.len() as f64;
     let frac2 = mean(&r2) / seq2.len() as f64;
@@ -77,10 +85,9 @@ fn march_catches_planted_cell_fault_at_the_right_read() {
         value: Logic::H, // stuck-at-1: caught when 0 is expected
     };
     let seq = TestSequence::full(&ram);
-    let mut sim = ConcurrentSim::new(ram.network(), &[fault], ConcurrentConfig::paper());
-    let report = sim.run(seq.patterns(), ram.observed_outputs());
+    let report = grade(&ram, FaultUniverse::from_faults(vec![fault]), &seq);
     assert_eq!(report.detected(), 1);
-    let d = report.detections[0];
+    let d = report.detections()[0];
     let label = &seq.patterns()[d.pattern].label;
     assert!(
         label.starts_with("r@") || label.starts_with("w"),
@@ -110,13 +117,9 @@ fn array_march_detects_every_cell_fault() {
         }
     }
     let seq = TestSequence::full(&ram);
-    let mut sim = ConcurrentSim::new(ram.network(), &faults, ConcurrentConfig::paper());
-    let report = sim.run(seq.patterns(), ram.observed_outputs());
-    assert_eq!(
-        report.detected(),
-        faults.len(),
-        "all 2N cell faults detected"
-    );
+    let n = faults.len();
+    let report = grade(&ram, FaultUniverse::from_faults(faults), &seq);
+    assert_eq!(report.detected(), n, "all 2N cell faults detected");
 }
 
 /// Bridge faults between bit lines are detected.
@@ -130,9 +133,9 @@ fn bitline_bridges_are_detected() {
         .map(|(i, (a, b))| inject::insert_bridge(ram.network_mut(), a, b, &format!("bl{i}")))
         .collect();
     let seq = TestSequence::full(&ram);
-    let mut sim = ConcurrentSim::new(ram.network(), &bridges, ConcurrentConfig::paper());
-    let report = sim.run(seq.patterns(), ram.observed_outputs());
-    assert_eq!(report.detected(), bridges.len(), "all bridges detected");
+    let n = bridges.len();
+    let report = grade(&ram, FaultUniverse::from_faults(bridges), &seq);
+    assert_eq!(report.detected(), n, "all bridges detected");
 }
 
 /// The severe clock/control faults fall in the head, as in Figure 1
@@ -168,10 +171,9 @@ fn control_faults_detected_in_the_head() {
     ];
     let seq = TestSequence::full(&ram);
     let head = seq.head_len();
-    let mut sim = ConcurrentSim::new(ram.network(), &faults, ConcurrentConfig::paper());
-    let report = sim.run(seq.patterns(), ram.observed_outputs());
+    let report = grade(&ram, FaultUniverse::from_faults(faults), &seq);
     assert_eq!(report.detected(), 4, "all strobe faults detected");
-    for d in &report.detections {
+    for d in report.detections() {
         assert!(
             d.pattern < head,
             "strobe fault detected at pattern {} but head is {head}",
