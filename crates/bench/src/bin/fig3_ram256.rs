@@ -42,7 +42,7 @@ fn main() {
     );
 
     let serial_ref = SerialSim::new(ram.network(), SerialConfig::paper());
-    let good = serial_ref.good_trace(seq.patterns(), ram.observed_outputs());
+    let good = serial_ref.observe_good(seq.patterns(), ram.observed_outputs());
     let good_avg = good.avg_pattern_seconds();
     let n_patterns = seq.len() as f64;
 

@@ -1,35 +1,72 @@
-//! Fault-parallel scaling sweep: wall-clock speedup vs. worker count.
+//! Fault-parallel scaling sweep: wall-clock speedup vs. worker count,
+//! with a record/replay A/B over the good-machine tape.
 //!
 //! Runs the paper's RAM workload (stuck nodes + bit-line bridges over
 //! the full marching sequence) through [`fmossim_par::ParallelSim`] at
 //! increasing `--jobs`, and emits one JSON document with wall-clock
-//! seconds, aggregate CPU seconds, speedup relative to one job, and the
-//! (job-count-invariant) coverage. The JSON is the artifact the ROADMAP
-//! scaling work tracks over time.
+//! seconds, aggregate CPU seconds, speedup relative to one job, the
+//! (job-count-invariant) coverage — and, per point, the *good-machine
+//! fraction*: how much of the total work went into simulating the
+//! fault-free circuit. With the tape (`replay on`) that fraction is one
+//! record pass regardless of the shard count; without it (`replay
+//! off`) every shard re-settles the good circuit, so the fraction
+//! grows with K. The JSON is the artifact the ROADMAP scaling work
+//! tracks over time (`BENCH_replay.json`).
 //!
 //! Usage:
-//! `scaling_par [--dim 8] [--jobs-list 1,2,4,8] [--strategy round-robin] [--sample K]`
+//! `scaling_par [--dim 8] [--jobs-list 1,2,4,8] [--strategy round-robin]
+//!              [--sample K] [--replay on|off|ab]`
 //!
-//! Speedup saturates at the machine's hardware parallelism (reported as
-//! `hardware_threads`): on a single-core container every job count
-//! measures the same work plus scheduling overhead.
+//! `--replay ab` (the default) measures both modes per point and
+//! asserts their detection sets are bit-identical. Wall-clock speedup
+//! saturates at the machine's hardware parallelism (reported as
+//! `hardware_threads`); the good-machine fraction does not — it is a
+//! work ratio, not a wall-clock ratio.
 
 use fmossim_bench::{arg_value, paper_universe, ram_with_bridges, SEED};
-use fmossim_campaign::{Backend, Campaign};
-use fmossim_core::ConcurrentConfig;
+use fmossim_campaign::{Backend, Campaign, CampaignReport};
+use fmossim_core::{ConcurrentConfig, GoodTape};
 use fmossim_par::{Jobs, ParallelConfig, ShardStrategy};
 use fmossim_testgen::TestSequence;
+
+/// One replay mode's measurements at one job count.
+struct ModePoint {
+    wall_seconds: f64,
+    cpu_seconds: f64,
+    /// Seconds of the one-time tape record pass (`None` when the tape
+    /// was not used: replay off, or a single shard).
+    tape_record_seconds: Option<f64>,
+    /// Good-machine seconds / total work seconds for this mode.
+    good_fraction: f64,
+    detected: usize,
+}
 
 struct Point {
     jobs: usize,
     shards: usize,
-    wall_seconds: f64,
-    cpu_seconds: f64,
     /// Critical path of the plan, measured uncontended (shards run
     /// back to back on one thread): the longest single shard.
     max_shard_seconds: f64,
-    detected: usize,
+    replay_on: Option<ModePoint>,
+    replay_off: Option<ModePoint>,
     coverage: f64,
+}
+
+fn fmt_mode(p: &Option<ModePoint>) -> String {
+    match p {
+        None => "null".into(),
+        Some(m) => format!(
+            "{{\"wall_seconds\": {:.4}, \"cpu_seconds\": {:.4}, \
+             \"tape_record_seconds\": {}, \"good_fraction\": {:.4}, \
+             \"detected\": {}}}",
+            m.wall_seconds,
+            m.cpu_seconds,
+            m.tape_record_seconds
+                .map_or("null".into(), |s| format!("{s:.4}")),
+            m.good_fraction,
+            m.detected,
+        ),
+    }
 }
 
 fn main() {
@@ -45,6 +82,13 @@ fn main() {
         None => ShardStrategy::default(),
         Some(s) => ShardStrategy::parse(&s).expect("round-robin|contiguous|cost"),
     };
+    let replay_mode = arg_value("--replay").unwrap_or_else(|| "ab".into());
+    let (run_on, run_off) = match replay_mode.as_str() {
+        "on" => (true, false),
+        "off" => (false, true),
+        "ab" => (true, true),
+        other => panic!("--replay takes on|off|ab, not `{other}`"),
+    };
 
     let (ram, bridges) = ram_with_bridges(dim, dim);
     let mut universe = paper_universe(&ram, bridges);
@@ -55,14 +99,44 @@ fn main() {
     let seq = TestSequence::full(&ram);
     let outputs = ram.observed_outputs();
 
+    // One pure good-machine pass: the unit of the good-fraction
+    // estimate for recompute mode (each shard embeds one such pass).
+    let good_pass_seconds = GoodTape::record(
+        ram.network(),
+        seq.patterns(),
+        ConcurrentConfig::paper().engine,
+    )
+    .record_seconds();
+
     let campaign = |config: ParallelConfig| {
         Campaign::new(ram.network())
             .faults(universe.clone())
             .patterns(seq.patterns())
             .outputs(outputs)
             .backend(Backend::Parallel(config))
+            .reuse_good_tape(config.reuse_good_tape)
             .run()
     };
+    let cpu_of = |r: &CampaignReport| -> f64 { r.run.patterns.iter().map(|p| p.seconds).sum() };
+    let mode_point = |r: &CampaignReport| -> ModePoint {
+        let cpu = cpu_of(r);
+        let shards = r.shards.expect("parallel backend reports shards") as f64;
+        // Replay: the good machine ran once (the record pass), on top
+        // of the shards' faulty-only CPU. Recompute: every shard's CPU
+        // already embeds one good pass.
+        let (good_seconds, total_work) = match r.tape_record_seconds {
+            Some(record) => (record, cpu + record),
+            None => (shards * good_pass_seconds, cpu),
+        };
+        ModePoint {
+            wall_seconds: r.run.total_seconds,
+            cpu_seconds: cpu,
+            tape_record_seconds: r.tape_record_seconds,
+            good_fraction: (good_seconds / total_work.max(f64::MIN_POSITIVE)).clamp(0.0, 1.0),
+            detected: r.detected(),
+        }
+    };
+
     let points: Vec<Point> = jobs_list
         .iter()
         .map(|&jobs| {
@@ -72,8 +146,22 @@ fn main() {
                 sim: ConcurrentConfig::paper(),
                 ..ParallelConfig::default()
             };
-            let report = campaign(config);
-            let shards = report.shards.expect("parallel backend reports shards");
+            let on = run_on.then(|| campaign(config));
+            let off = run_off.then(|| {
+                campaign(ParallelConfig {
+                    reuse_good_tape: false,
+                    ..config
+                })
+            });
+            let primary = on.as_ref().or(off.as_ref()).expect("one mode runs");
+            let shards = primary.shards.expect("parallel backend reports shards");
+            if let (Some(a), Some(b)) = (&on, &off) {
+                assert_eq!(
+                    a.detections(),
+                    b.detections(),
+                    "jobs={jobs}: replay must be bit-identical to recompute"
+                );
+            }
             // Re-run the same plan on one thread: shard times free of
             // scheduling contention, for the machine-independent
             // critical-path metric.
@@ -82,42 +170,46 @@ fn main() {
                 shards: Some(shards),
                 ..config
             });
-            assert_eq!(sequential.detected(), report.detected());
+            assert_eq!(sequential.detected(), primary.detected());
             Point {
                 jobs,
                 shards,
-                wall_seconds: report.run.total_seconds,
-                cpu_seconds: report.run.patterns.iter().map(|p| p.seconds).sum(),
                 max_shard_seconds: sequential
                     .max_shard_seconds
                     .expect("parallel backend reports the critical path"),
-                detected: report.detected(),
-                coverage: report.coverage(),
+                coverage: primary.coverage(),
+                replay_on: on.as_ref().map(&mode_point),
+                replay_off: off.as_ref().map(&mode_point),
             }
         })
         .collect();
 
+    let wall_of = |p: &Point| -> f64 {
+        p.replay_on
+            .as_ref()
+            .or(p.replay_off.as_ref())
+            .expect("one mode ran")
+            .wall_seconds
+    };
     let base = points
         .iter()
         .find(|p| p.jobs == 1)
-        .map_or_else(|| points[0].wall_seconds, |p| p.wall_seconds);
+        .map_or_else(|| wall_of(&points[0]), wall_of);
     let rows: Vec<String> = points
         .iter()
         .map(|p| {
             format!(
-                "    {{\"jobs\": {}, \"shards\": {}, \"wall_seconds\": {:.4}, \
-                 \"cpu_seconds\": {:.4}, \"speedup\": {:.3}, \
+                "    {{\"jobs\": {}, \"shards\": {}, \"speedup\": {:.3}, \
                  \"max_shard_seconds\": {:.4}, \"ideal_speedup\": {:.3}, \
-                 \"detected\": {}, \"coverage\": {:.4}}}",
+                 \"coverage\": {:.4}, \"replay_on\": {}, \"replay_off\": {}}}",
                 p.jobs,
                 p.shards,
-                p.wall_seconds,
-                p.cpu_seconds,
-                base / p.wall_seconds,
+                base / wall_of(p),
                 p.max_shard_seconds,
                 base / p.max_shard_seconds,
-                p.detected,
-                p.coverage
+                p.coverage,
+                fmt_mode(&p.replay_on),
+                fmt_mode(&p.replay_off),
             )
         })
         .collect();
@@ -126,6 +218,8 @@ fn main() {
     println!("  \"faults\": {},", universe.len());
     println!("  \"patterns\": {},", seq.len());
     println!("  \"strategy\": \"{strategy}\",");
+    println!("  \"replay\": \"{replay_mode}\",");
+    println!("  \"good_pass_seconds\": {good_pass_seconds:.4},");
     println!(
         "  \"hardware_threads\": {},",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -135,13 +229,36 @@ fn main() {
     println!("  ]");
     println!("}}");
 
-    // Sanity: sharding must never change the verdicts.
+    // Sanity: neither sharding nor the tape may change the verdicts,
+    // and at K >= 2 the tape must shrink the good-machine fraction.
     let baseline = points.first().expect("at least one job count");
+    let detected_of = |p: &Point| {
+        p.replay_on
+            .as_ref()
+            .or(p.replay_off.as_ref())
+            .expect("one mode ran")
+            .detected
+    };
     for p in &points[1..] {
         assert_eq!(
-            p.detected, baseline.detected,
+            detected_of(p),
+            detected_of(baseline),
             "jobs={} changed the detection count",
             p.jobs
         );
+    }
+    for p in &points {
+        if let (Some(a), Some(b)) = (&p.replay_on, &p.replay_off) {
+            if p.shards >= 2 {
+                assert!(
+                    a.good_fraction < b.good_fraction,
+                    "jobs={}: replay-on good fraction {:.4} must undercut \
+                     replay-off {:.4}",
+                    p.jobs,
+                    a.good_fraction,
+                    b.good_fraction
+                );
+            }
+        }
     }
 }

@@ -106,7 +106,7 @@ pub fn arg_flag(name: &str) -> bool {
 #[must_use]
 pub fn good_only_seconds(ram: &Ram, patterns: &[Pattern]) -> (f64, f64) {
     let sim = fmossim_core::SerialSim::new(ram.network(), fmossim_core::SerialConfig::paper());
-    let trace = sim.good_trace(patterns, ram.observed_outputs());
+    let trace = sim.observe_good(patterns, ram.observed_outputs());
     (trace.total_seconds, trace.avg_pattern_seconds())
 }
 

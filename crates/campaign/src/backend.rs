@@ -48,6 +48,13 @@ pub struct RunControl {
     /// drop-on-detect rule (concurrent/parallel) and the serial
     /// baseline's stop-at-first-detection. Disable for full-trace runs.
     pub drop_detected: bool,
+    /// Record the good machine once and replay the shared
+    /// [`fmossim_core::GoodTape`] in every shard instead of
+    /// re-settling the good circuit per shard (default `true`).
+    /// Honoured by the parallel backend (and custom backends that
+    /// choose to); results are bit-identical either way — this is a
+    /// measurement/escape-hatch knob, not a semantics knob.
+    pub reuse_good_tape: bool,
 }
 
 impl Default for RunControl {
@@ -56,6 +63,7 @@ impl Default for RunControl {
             stop_at_coverage: None,
             pattern_limit: None,
             drop_detected: true,
+            reuse_good_tape: true,
         }
     }
 }
@@ -95,6 +103,13 @@ pub struct BackendRun {
     /// patterns-to-detect × average good-circuit pattern time (serial
     /// backend).
     pub serial_estimate_seconds: Option<f64>,
+    /// Wall-clock seconds of the one-time good-tape record pass
+    /// (parallel backend with tape reuse).
+    pub tape_record_seconds: Option<f64>,
+    /// Good-machine vicinities recorded on the tape — the solver work
+    /// each replaying shard skipped (parallel backend with tape
+    /// reuse).
+    pub tape_groups: Option<usize>,
 }
 
 /// An execution strategy a [`Campaign`](crate::Campaign) can run on.
@@ -266,7 +281,7 @@ impl CampaignBackend for SerialAdapter {
             ..self.config
         };
         let sim = SerialSim::new(w.net, config);
-        let good = sim.good_trace(w.patterns, w.outputs);
+        let good = sim.observe_good(w.patterns, w.outputs);
         let t0 = Instant::now();
         let target = control.detection_target(w.universe.len());
         let mut run = RunReport {
@@ -326,11 +341,12 @@ impl CampaignBackend for ParallelAdapter {
     ) -> BackendRun {
         let mut config = self.config;
         config.sim.drop_on_detect = control.drop_detected;
+        config.reuse_good_tape = control.reuse_good_tape;
         let sim = ParallelSim::new(w.net, w.universe.clone(), config);
         let target = control.detection_target(w.universe.len());
         let mut detected = 0usize;
         let mut stopped_early = false;
-        let (run, shard_seconds) = sim.run_streaming(w.patterns, w.outputs, |o, rep| {
+        let run = sim.run_streaming(w.patterns, w.outputs, |o, rep| {
             emit_detections(&rep.detections, control.drop_detected, emit);
             detected += o.detected;
             emit(SimEvent::ShardDone {
@@ -347,11 +363,13 @@ impl CampaignBackend for ParallelAdapter {
             }
         });
         BackendRun {
-            run,
+            run: run.report,
             stopped_early,
             jobs: Some(sim.workers()),
             shards: Some(sim.plan().num_shards()),
-            max_shard_seconds: Some(shard_seconds.iter().copied().fold(0.0, f64::max)),
+            max_shard_seconds: Some(run.shard_seconds.iter().copied().fold(0.0, f64::max)),
+            tape_record_seconds: run.tape.map(|t| t.record_seconds),
+            tape_groups: run.tape.map(|t| t.groups),
             ..BackendRun::default()
         }
     }

@@ -132,6 +132,17 @@ impl<'n, 'o> Campaign<'n, 'o> {
         self
     }
 
+    /// Whether the parallel backend records the good machine once and
+    /// replays the shared [`fmossim_core::GoodTape`] in every shard
+    /// (default `true`), instead of re-settling the good circuit per
+    /// shard. Results are bit-identical either way; disable only for
+    /// A/B measurement of the good-machine fraction.
+    #[must_use]
+    pub fn reuse_good_tape(mut self, reuse: bool) -> Self {
+        self.control.reuse_good_tape = reuse;
+        self
+    }
+
     /// Registers a streaming observer receiving [`SimEvent`]s while
     /// the backend runs. See [`SimEvent`](crate::SimEvent) for which
     /// events each backend emits.
@@ -181,6 +192,8 @@ impl<'n, 'o> Campaign<'n, 'o> {
             max_shard_seconds,
             good_seconds,
             serial_estimate_seconds,
+            tape_record_seconds,
+            tape_groups,
         } = backend.run(&workload, &self.control, &mut emit);
         let stop = if stopped_early {
             StopReason::CoverageReached
@@ -198,6 +211,7 @@ impl<'n, 'o> Campaign<'n, 'o> {
                 stop_at_coverage: self.control.stop_at_coverage,
                 pattern_limit: self.control.pattern_limit,
                 drop_detected: self.control.drop_detected,
+                reuse_good_tape: self.control.reuse_good_tape,
                 policy,
             },
             jobs,
@@ -205,6 +219,8 @@ impl<'n, 'o> Campaign<'n, 'o> {
             max_shard_seconds,
             good_seconds,
             serial_estimate_seconds,
+            tape_record_seconds,
+            tape_groups,
             run,
         }
     }

@@ -50,6 +50,10 @@ pub struct ControlEcho {
     pub pattern_limit: Option<usize>,
     /// Whether detected faults were dropped.
     pub drop_detected: bool,
+    /// Whether good-tape record/replay was requested (honoured by the
+    /// parallel backend; see the `tape_*` report fields for whether a
+    /// tape was actually recorded).
+    pub reuse_good_tape: bool,
     /// The detection policy in force — `None` for custom
     /// [`backend_impl`](crate::Campaign::backend_impl) strategies,
     /// whose policy the campaign cannot see.
@@ -99,6 +103,12 @@ pub struct CampaignReport {
     pub good_seconds: Option<f64>,
     /// The paper's serial-time estimate (serial backend only).
     pub serial_estimate_seconds: Option<f64>,
+    /// Seconds of the one-time good-tape record pass (parallel backend
+    /// when a tape was recorded and replayed).
+    pub tape_record_seconds: Option<f64>,
+    /// Good-machine vicinities on the tape — the per-shard solver work
+    /// replay skipped (parallel backend when a tape was used).
+    pub tape_groups: Option<usize>,
     /// The measurements, in the common per-pattern report format.
     pub run: RunReport,
 }
@@ -172,6 +182,7 @@ impl CampaignReport {
                     ("stop_at_coverage", opt_num(self.control.stop_at_coverage)),
                     ("pattern_limit", opt_count(self.control.pattern_limit)),
                     ("drop_detected", Value::Bool(self.control.drop_detected)),
+                    ("reuse_good_tape", Value::Bool(self.control.reuse_good_tape)),
                     (
                         "policy",
                         self.control
@@ -188,6 +199,8 @@ impl CampaignReport {
                 "serial_estimate_seconds",
                 opt_num(self.serial_estimate_seconds),
             ),
+            ("tape_record_seconds", opt_num(self.tape_record_seconds)),
+            ("tape_groups", opt_count(self.tape_groups)),
             (
                 "run",
                 obj([
@@ -264,6 +277,12 @@ impl CampaignReport {
                 .get("drop_detected")
                 .and_then(Value::as_bool)
                 .ok_or("bad drop_detected")?,
+            // Absent in pre-tape version-1 documents: default to the
+            // knob's default rather than rejecting the archive.
+            reuse_good_tape: match control.get("reuse_good_tape") {
+                None | Some(Value::Null) => true,
+                Some(val) => val.as_bool().ok_or("bad reuse_good_tape")?,
+            },
             policy: match control.get("policy") {
                 None | Some(Value::Null) => None,
                 Some(val) => Some(val.as_str().and_then(policy_parse).ok_or("bad policy")?),
@@ -361,6 +380,16 @@ impl CampaignReport {
             max_shard_seconds: opt_num("max_shard_seconds")?,
             good_seconds: opt_num("good_seconds")?,
             serial_estimate_seconds: opt_num("serial_estimate_seconds")?,
+            // Tape fields are lenient: absent in pre-tape version-1
+            // documents.
+            tape_record_seconds: match v.get("tape_record_seconds") {
+                None | Some(Value::Null) => None,
+                Some(val) => Some(val.as_f64().ok_or("bad tape_record_seconds")?),
+            },
+            tape_groups: match v.get("tape_groups") {
+                None | Some(Value::Null) => None,
+                Some(val) => Some(val.as_usize().ok_or("bad tape_groups")?),
+            },
             run,
         })
     }
@@ -380,6 +409,7 @@ mod tests {
                 stop_at_coverage: Some(0.9),
                 pattern_limit: None,
                 drop_detected: true,
+                reuse_good_tape: true,
                 policy: Some(DetectionPolicy::AnyDifference),
             },
             jobs: Some(4),
@@ -387,6 +417,8 @@ mod tests {
             max_shard_seconds: Some(0.5),
             good_seconds: None,
             serial_estimate_seconds: None,
+            tape_record_seconds: Some(0.0625),
+            tape_groups: Some(40),
             run: RunReport {
                 patterns: vec![
                     PatternStats {
@@ -447,6 +479,22 @@ mod tests {
         assert!((report.coverage() - 0.2).abs() < 1e-12);
         assert_eq!(report.detections()[1].fault, FaultId(7));
         assert!(report.detections()[1].is_potential());
+    }
+
+    /// Version-1 documents written before the tape subsystem carry no
+    /// tape keys; parsing must default them instead of rejecting the
+    /// archive.
+    #[test]
+    fn parses_pre_tape_documents() {
+        let text = sample_report()
+            .to_json()
+            .replace(",\"reuse_good_tape\":true", "")
+            .replace(",\"tape_record_seconds\":0.0625", "")
+            .replace(",\"tape_groups\":40", "");
+        let back = CampaignReport::from_json(&text).expect("lenient parse");
+        assert!(back.control.reuse_good_tape, "defaults to the knob default");
+        assert_eq!(back.tape_record_seconds, None);
+        assert_eq!(back.tape_groups, None);
     }
 
     #[test]

@@ -36,11 +36,72 @@ use crate::overlay::{FaultyView, Overrides};
 use crate::pattern::{Pattern, Phase};
 use crate::records::{StateListStore, StateLists};
 use crate::report::{Detection, DetectionPolicy, PatternStats, RunReport};
+use crate::tape::{GoodTape, PhaseTape};
 use fmossim_faults::{Fault, FaultEffect, FaultId};
 use fmossim_netlist::{Logic, Network, NodeId};
 use fmossim_switch::{DenseState, Engine, EngineConfig, SwitchState};
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Computes the circuits triggered by one good-machine event (live or
+/// replayed from a [`GoodTape`]) and queues their private events:
+/// circuits with a divergence record or fault attachment anywhere in
+/// the event's support are triggered, their records receive the
+/// pre-change values of every changed node (old-value preservation),
+/// and the group's members become pending private-event seeds.
+///
+/// Free function over the simulator's fields so both call sites can
+/// borrow: the live path calls it from inside the engine's observer
+/// closure (which already holds `engine` and `good` mutably), the
+/// replay path from a plain method.
+#[allow(clippy::too_many_arguments)]
+fn trigger_group(
+    records: &mut StateLists,
+    attach: &[Vec<u32>],
+    pending: &mut BTreeMap<u32, Vec<NodeId>>,
+    dropped: &[bool],
+    overrides: &[Overrides],
+    triggered: &mut Vec<u32>,
+    members: &[NodeId],
+    support_rest: impl Iterator<Item = NodeId>,
+    changed: &[(NodeId, Logic, Logic)],
+) {
+    triggered.clear();
+    for s in members.iter().copied().chain(support_rest) {
+        records.for_circuits_at(s, |c| {
+            if !dropped[c as usize] {
+                triggered.push(c);
+            }
+        });
+        for &c in &attach[s.index()] {
+            if !dropped[c as usize] {
+                triggered.push(c);
+            }
+        }
+    }
+    if triggered.is_empty() {
+        return;
+    }
+    triggered.sort_unstable();
+    triggered.dedup();
+    for &c in triggered.iter() {
+        // Old-value preservation: the triggered circuit must still see
+        // the pre-change state until it re-settles. A circuit's forced
+        // nodes are exempt — their values are fixed by the fault and
+        // the records could never be cleaned up (the engine never
+        // solves forced nodes).
+        let forced = &overrides[c as usize];
+        for &(node, old, _new) in changed {
+            if forced.forced_value(node).is_some() {
+                continue;
+            }
+            if records.get(node, c).is_none() {
+                records.set(node, c, old);
+            }
+        }
+        pending.entry(c).or_default().extend_from_slice(members);
+    }
+}
 
 /// Configuration of the concurrent simulator.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -329,13 +390,7 @@ impl<'n> ConcurrentSim<'n> {
         stats: &mut PatternStats,
     ) {
         // 1. Input changes (with the open-channel trigger special case).
-        for &(n, v) in &phase.inputs {
-            if self.good.node_state(n) == v {
-                continue;
-            }
-            self.trigger_input_change(n);
-            self.engine.apply_input(&mut self.good, n, v);
-        }
+        self.apply_phase_inputs(phase, true);
 
         // 2. Good-circuit settle with support-based triggering.
         {
@@ -352,108 +407,246 @@ impl<'n> ConcurrentSim<'n> {
                 ..
             } = self;
             let rep = engine.settle_observed(good, |g| {
-                triggered.clear();
-                let support = g
-                    .members
-                    .iter()
-                    .copied()
-                    .chain(
-                        g.incident_transistors
-                            .iter()
-                            .map(|&t| net.transistor(t).gate),
-                    )
-                    .chain(g.boundary_inputs.iter().copied());
-                for s in support {
-                    records.for_circuits_at(s, |c| {
-                        if !dropped[c as usize] {
-                            triggered.push(c);
-                        }
-                    });
-                    for &c in &attach[s.index()] {
-                        if !dropped[c as usize] {
-                            triggered.push(c);
-                        }
-                    }
-                }
-                if triggered.is_empty() {
-                    return;
-                }
-                triggered.sort_unstable();
-                triggered.dedup();
-                for &c in triggered.iter() {
-                    // Old-value preservation: the triggered circuit must
-                    // still see the pre-change state until it re-settles.
-                    // A circuit's forced nodes are exempt — their
-                    // values are fixed by the fault and the records
-                    // could never be cleaned up (the engine never
-                    // solves forced nodes).
-                    let forced = &overrides[c as usize];
-                    for &(node, old, _new) in g.changed {
-                        if forced.forced_value(node).is_some() {
-                            continue;
-                        }
-                        if records.get(node, c).is_none() {
-                            records.set(node, c, old);
-                        }
-                    }
-                    pending.entry(c).or_default().extend_from_slice(g.members);
-                }
+                trigger_group(
+                    records,
+                    attach,
+                    pending,
+                    dropped,
+                    overrides,
+                    triggered,
+                    g.members,
+                    g.incident_gates(net)
+                        .chain(g.boundary_inputs.iter().copied()),
+                    g.changed,
+                );
             });
             stats.good_groups += rep.groups_solved;
             stats.damped |= rep.oscillation_damped;
         }
 
         // 3. Faulty circuits, in circuit-id order.
-        {
-            let net = self.net;
-            let ConcurrentSim {
-                good,
-                engine,
-                records,
-                overrides,
-                pending,
-                dropped,
-                ..
-            } = self;
-            while let Some((circ, mut seeds)) = pending.pop_first() {
-                if dropped[circ as usize] {
-                    continue;
-                }
-                seeds.sort_unstable();
-                seeds.dedup();
-                let rep = {
-                    let mut view = FaultyView::new(
-                        net,
-                        good.states(),
-                        records,
-                        circ,
-                        &overrides[circ as usize],
-                    );
-                    for &s in &seeds {
-                        engine.perturb(s);
-                    }
-                    engine.settle(&mut view)
-                };
-                // Convergence sweep: when the *good* circuit moved to the
-                // value this circuit already held, the settle saw no
-                // change and left the record in place — now equal to the
-                // good state. Seeds cover every node the good circuit
-                // changed (that is what triggered us), so sweeping them
-                // restores the records-iff-divergent invariant.
-                for &s in &seeds {
-                    if records.get(s, circ) == Some(good.node_state(s)) {
-                        records.remove(s, circ);
-                    }
-                }
-                stats.faulty_groups += rep.groups_solved;
-                stats.circuit_settles += 1;
-                stats.damped |= rep.oscillation_damped;
-            }
-        }
+        self.settle_triggered(stats);
 
         // 4. Strobe: compare observed outputs, detect and drop.
         if phase.strobe {
             self.observe(outputs, pattern_idx, phase_idx, stats);
+        }
+    }
+
+    /// Settles every triggered faulty circuit, in circuit-id order —
+    /// step 3 of the phase loop, shared between the live and replayed
+    /// good-machine paths.
+    fn settle_triggered(&mut self, stats: &mut PatternStats) {
+        let net = self.net;
+        let ConcurrentSim {
+            good,
+            engine,
+            records,
+            overrides,
+            pending,
+            dropped,
+            ..
+        } = self;
+        while let Some((circ, mut seeds)) = pending.pop_first() {
+            if dropped[circ as usize] {
+                continue;
+            }
+            seeds.sort_unstable();
+            seeds.dedup();
+            let rep = {
+                let mut view =
+                    FaultyView::new(net, good.states(), records, circ, &overrides[circ as usize]);
+                for &s in &seeds {
+                    engine.perturb(s);
+                }
+                engine.settle(&mut view)
+            };
+            // Convergence sweep: when the *good* circuit moved to the
+            // value this circuit already held, the settle saw no
+            // change and left the record in place — now equal to the
+            // good state. Seeds cover every node the good circuit
+            // changed (that is what triggered us), so sweeping them
+            // restores the records-iff-divergent invariant.
+            for &s in &seeds {
+                if records.get(s, circ) == Some(good.node_state(s)) {
+                    records.remove(s, circ);
+                }
+            }
+            stats.faulty_groups += rep.groups_solved;
+            stats.circuit_settles += 1;
+            stats.damped |= rep.oscillation_damped;
+        }
+    }
+
+    /// Runs a pattern sequence against a recorded good-machine
+    /// [`GoodTape`] instead of re-settling the good circuit — the
+    /// replay half of the record/replay split. Triggered faults,
+    /// old-value preservation and private events are re-derived from
+    /// the tape's solved groups, so the result (detections, drops,
+    /// per-pattern counters) is bit-identical to [`ConcurrentSim::run`]
+    /// over the same patterns; only the good-machine solver work is
+    /// saved.
+    ///
+    /// The tape must have been recorded over the same network and the
+    /// same patterns, starting from the state this simulator's good
+    /// machine is currently in: for a fresh simulator, a tape recorded
+    /// from reset ([`GoodTape::record`]); when simulating a long
+    /// sequence in batches, the `k`-th call must replay the `k`-th
+    /// batch of a single [`TapeRecorder`](crate::TapeRecorder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tape's shape (network node count, pattern and
+    /// phase counts) does not match `patterns`.
+    pub fn run_replayed(
+        &mut self,
+        patterns: &[Pattern],
+        outputs: &[NodeId],
+        tape: &GoodTape,
+    ) -> RunReport {
+        assert!(
+            tape.matches(self.net.num_nodes(), patterns),
+            "good tape does not match the pattern sequence \
+             (tape: {} nodes, {} patterns; run: {} nodes, {} patterns)",
+            tape.num_nodes(),
+            tape.num_patterns(),
+            self.net.num_nodes(),
+            patterns.len(),
+        );
+        let t0 = Instant::now();
+        let detections_before = self.detections.len();
+        let mut report = RunReport {
+            num_faults: self.fault_sets.len(),
+            ..RunReport::default()
+        };
+        for (pi, pattern) in patterns.iter().enumerate() {
+            report.patterns.push(self.step_pattern_replayed(
+                pattern,
+                tape.pattern(pi),
+                outputs,
+                pi,
+            ));
+        }
+        report.detections = self.detections[detections_before..].to_vec();
+        report.total_seconds = t0.elapsed().as_secs_f64();
+        report
+    }
+
+    /// Simulates one pattern against its recorded phase tapes
+    /// (the replay counterpart of [`ConcurrentSim::step_pattern`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase_tapes` has a different phase count than
+    /// `pattern`.
+    pub fn step_pattern_replayed(
+        &mut self,
+        pattern: &Pattern,
+        phase_tapes: &[PhaseTape],
+        outputs: &[NodeId],
+        pattern_idx: usize,
+    ) -> PatternStats {
+        assert_eq!(
+            pattern.phases.len(),
+            phase_tapes.len(),
+            "phase tape count mismatch"
+        );
+        // Pending good-machine perturbations (the constructor's
+        // all-storage seeding, on a fresh simulator) are covered by the
+        // tape: discard them so they cannot leak into the first faulty
+        // settle. Between replayed patterns the queue is always empty,
+        // so this is free thereafter.
+        self.engine.clear_pending();
+        let t0 = Instant::now();
+        let mut stats = PatternStats {
+            live_before: self.live,
+            ..PatternStats::default()
+        };
+        for (phi, (phase, ptape)) in pattern.phases.iter().zip(phase_tapes).enumerate() {
+            self.step_phase_replayed(phase, ptape, outputs, pattern_idx, phi, &mut stats);
+        }
+        stats.seconds = t0.elapsed().as_secs_f64();
+        stats
+    }
+
+    /// One phase of the replay path: inputs are forced directly (the
+    /// tape knows their settle consequences), the recorded groups
+    /// replace the good settle, then faulty settles and strobes run
+    /// exactly as in [`ConcurrentSim::step_phase`].
+    fn step_phase_replayed(
+        &mut self,
+        phase: &Phase,
+        ptape: &PhaseTape,
+        outputs: &[NodeId],
+        pattern_idx: usize,
+        phase_idx: usize,
+        stats: &mut PatternStats,
+    ) {
+        // 1. Input changes (with the open-channel trigger special
+        // case), via the same helper as the live path.
+        self.apply_phase_inputs(phase, false);
+
+        // 2. Replay the recorded good settle: per group, apply the
+        // recorded state changes and trigger from the recorded support.
+        let settle = &ptape.settle;
+        for g in settle.groups() {
+            for &(node, _old, new) in g.changed {
+                self.good.force(node, new);
+            }
+            let ConcurrentSim {
+                records,
+                attach,
+                pending,
+                dropped,
+                overrides,
+                triggered,
+                ..
+            } = self;
+            trigger_group(
+                records,
+                attach,
+                pending,
+                dropped,
+                overrides,
+                triggered,
+                g.members,
+                g.support_rest.iter().copied(),
+                g.changed,
+            );
+        }
+        stats.good_groups += settle.num_groups();
+        stats.damped |= settle.damped();
+
+        // 3. Faulty circuits, in circuit-id order.
+        self.settle_triggered(stats);
+
+        // 4. Strobe: compare observed outputs, detect and drop.
+        if phase.strobe {
+            self.observe(outputs, pattern_idx, phase_idx, stats);
+        }
+    }
+
+    /// Step 1 of a phase, shared by the live and replay paths: applies
+    /// every input assignment that actually changes the good circuit,
+    /// with the open-channel trigger special case. The change/skip
+    /// decision lives only here and — for the record pass — inside
+    /// [`Engine::apply_input`], which skips unchanged inputs by the
+    /// same `old == v` test; record and replay must agree on it for
+    /// bit-identity, which is why neither decision is duplicated at a
+    /// call site.
+    fn apply_phase_inputs(&mut self, phase: &Phase, live: bool) {
+        for &(n, v) in &phase.inputs {
+            if self.good.node_state(n) == v {
+                continue;
+            }
+            self.trigger_input_change(n);
+            if live {
+                // Schedule consequences; the good settle consumes them.
+                self.engine.apply_input(&mut self.good, n, v);
+            } else {
+                // The tape already knows the consequences.
+                self.good.force(n, v);
+            }
         }
     }
 
@@ -815,6 +1008,87 @@ mod tests {
         assert_eq!(report.detected(), 1);
         assert_eq!(report.detections[0].fault, FaultId(1));
         assert_eq!(sim.live(), 0);
+    }
+
+    /// Replay against a recorded tape must match recompute bit for bit
+    /// (the workspace-level `replay_equivalence` suite covers the
+    /// benchmark circuits; this is the smallest instance).
+    #[test]
+    fn replayed_run_matches_recomputed() {
+        let (net, a, out) = inverter();
+        let universe =
+            FaultUniverse::stuck_nodes(&net).union(FaultUniverse::stuck_transistors(&net));
+        let patterns = toggle_patterns(a);
+        let config = ConcurrentConfig::paper();
+
+        let mut live = ConcurrentSim::new(&net, universe.faults(), config);
+        let live_report = live.run(&patterns, &[out]);
+
+        let tape = crate::tape::GoodTape::record(&net, &patterns, config.engine);
+        let mut replay = ConcurrentSim::new(&net, universe.faults(), config);
+        let replay_report = replay.run_replayed(&patterns, &[out], &tape);
+
+        assert_eq!(replay_report.detections, live_report.detections);
+        assert_eq!(replay.live(), live.live());
+        assert_eq!(replay.record_count(), live.record_count());
+        for (r, l) in replay_report.patterns.iter().zip(&live_report.patterns) {
+            assert_eq!(r.detected, l.detected);
+            assert_eq!(r.live_before, l.live_before);
+            assert_eq!(r.good_groups, l.good_groups);
+            assert_eq!(r.faulty_groups, l.faulty_groups);
+            assert_eq!(r.circuit_settles, l.circuit_settles);
+            assert_eq!(r.damped, l.damped);
+        }
+    }
+
+    /// Driving replay pattern by pattern through the public step API
+    /// on a fresh simulator must match the live step API — in
+    /// particular, the constructor's pending all-storage perturbation
+    /// must not leak into the first faulty settle.
+    #[test]
+    fn step_level_replay_matches_live_steps() {
+        let (net, a, out) = inverter();
+        let universe =
+            FaultUniverse::stuck_nodes(&net).union(FaultUniverse::stuck_transistors(&net));
+        let patterns = toggle_patterns(a);
+        let config = ConcurrentConfig::paper();
+        let tape = crate::tape::GoodTape::record(&net, &patterns, config.engine);
+
+        let mut live = ConcurrentSim::new(&net, universe.faults(), config);
+        let mut replay = ConcurrentSim::new(&net, universe.faults(), config);
+        for (pi, pattern) in patterns.iter().enumerate() {
+            let l = live.step_pattern(pattern, &[out], pi);
+            let r = replay.step_pattern_replayed(pattern, tape.pattern(pi), &[out], pi);
+            assert_eq!(
+                (
+                    r.detected,
+                    r.live_before,
+                    r.faulty_groups,
+                    r.circuit_settles
+                ),
+                (
+                    l.detected,
+                    l.live_before,
+                    l.faulty_groups,
+                    l.circuit_settles
+                ),
+                "pattern {pi}"
+            );
+        }
+        assert_eq!(replay.detections(), live.detections());
+        assert_eq!(replay.record_count(), live.record_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "good tape does not match")]
+    fn replay_rejects_mismatched_tape() {
+        let (net, a, out) = inverter();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let patterns = toggle_patterns(a);
+        let tape =
+            crate::tape::GoodTape::record(&net, &patterns[..1], ConcurrentConfig::paper().engine);
+        let mut sim = ConcurrentSim::new(&net, universe.faults(), ConcurrentConfig::paper());
+        let _ = sim.run_replayed(&patterns, &[out], &tape);
     }
 
     #[test]

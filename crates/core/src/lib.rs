@@ -35,6 +35,7 @@ mod pattern;
 mod records;
 mod report;
 mod serial;
+mod tape;
 
 pub use concurrent::{ConcurrentConfig, ConcurrentSim};
 pub use dictionary::{FaultDictionary, Syndrome};
@@ -42,4 +43,7 @@ pub use overlay::{FaultyView, Overrides, SerialState};
 pub use pattern::{Pattern, Phase};
 pub use records::{StateListStore, StateLists};
 pub use report::{Detection, DetectionPolicy, PatternStats, RunReport};
-pub use serial::{GoodTrace, SerialConfig, SerialOutcome, SerialReport, SerialSim};
+#[allow(deprecated)]
+pub use serial::GoodTrace;
+pub use serial::{GoodObservations, SerialConfig, SerialOutcome, SerialReport, SerialSim};
+pub use tape::{GoodTape, PhaseTape, TapeRecorder};

@@ -47,11 +47,17 @@ impl SerialConfig {
     }
 }
 
-/// The good circuit's observed-output trace: for every pattern, for
-/// every strobe phase, the output values — plus timing of the good-only
+/// The good circuit's observed outputs: for every pattern, for every
+/// strobe phase, the output values — plus timing of the good-only
 /// simulation (the paper's "simulation of the good circuit alone").
+///
+/// Naming note: this is an *observation log* (strobed output values),
+/// not a waveform ([`fmossim_switch::Trace`]) and not a replay log
+/// ([`GoodTape`](crate::GoodTape)). It was called `GoodTrace` before
+/// the tape subsystem landed; the old name remains as a deprecated
+/// alias.
 #[derive(Clone, Debug, Default)]
-pub struct GoodTrace {
+pub struct GoodObservations {
     /// `strobes[pattern][strobe_index][output_index]`.
     pub strobes: Vec<Vec<Vec<Logic>>>,
     /// Seconds per pattern for the good-only simulation.
@@ -60,7 +66,13 @@ pub struct GoodTrace {
     pub total_seconds: f64,
 }
 
-impl GoodTrace {
+/// Deprecated name of [`GoodObservations`] — "trace" now means a
+/// waveform ([`fmossim_switch::Trace`]) and "tape" a replay log
+/// ([`GoodTape`](crate::GoodTape)).
+#[deprecated(since = "0.2.0", note = "renamed to `GoodObservations`")]
+pub type GoodTrace = GoodObservations;
+
+impl GoodObservations {
     /// Average good-circuit time per pattern — the unit of the paper's
     /// serial estimator.
     #[must_use]
@@ -85,7 +97,7 @@ pub struct SerialOutcome {
     pub patterns_run: usize,
     /// Wall-clock seconds for this fault.
     pub seconds: f64,
-    /// Observed-output trace (only collected when `stop_at_detection`
+    /// Observed-output log (only collected when `stop_at_detection`
     /// is off): `strobes[pattern][strobe_index][output_index]`.
     pub strobes: Vec<Vec<Vec<Logic>>>,
     /// True iff any settle hit the oscillation cap and was X-damped.
@@ -100,8 +112,8 @@ pub struct SerialReport {
     /// Total measured wall-clock seconds across all faults (excluding
     /// the good-only reference run).
     pub total_seconds: f64,
-    /// The good-only reference trace and timing.
-    pub good: GoodTrace,
+    /// The good-only reference observations and timing.
+    pub good: GoodObservations,
 }
 
 impl SerialReport {
@@ -172,10 +184,10 @@ impl<'n> SerialSim<'n> {
     /// Simulates the fault-free circuit through `patterns`, recording
     /// the observed outputs at every strobe and per-pattern timing.
     #[must_use]
-    pub fn good_trace(&self, patterns: &[Pattern], outputs: &[NodeId]) -> GoodTrace {
+    pub fn observe_good(&self, patterns: &[Pattern], outputs: &[NodeId]) -> GoodObservations {
         let t0 = Instant::now();
         let mut sim = LogicSim::with_config(self.net, self.config.engine);
-        let mut trace = GoodTrace::default();
+        let mut trace = GoodObservations::default();
         for pattern in patterns {
             let p0 = Instant::now();
             let mut strobes = Vec::new();
@@ -195,6 +207,13 @@ impl<'n> SerialSim<'n> {
         trace
     }
 
+    /// Deprecated name of [`SerialSim::observe_good`].
+    #[deprecated(since = "0.2.0", note = "renamed to `observe_good`")]
+    #[must_use]
+    pub fn good_trace(&self, patterns: &[Pattern], outputs: &[NodeId]) -> GoodObservations {
+        self.observe_good(patterns, outputs)
+    }
+
     /// Simulates one fault through `patterns`, comparing observed
     /// outputs against `good` at every strobe.
     #[must_use]
@@ -204,7 +223,7 @@ impl<'n> SerialSim<'n> {
         fault: Fault,
         patterns: &[Pattern],
         outputs: &[NodeId],
-        good: &GoodTrace,
+        good: &GoodObservations,
     ) -> SerialOutcome {
         let t0 = Instant::now();
         let ov = Overrides::from_effect(fault.effect());
@@ -279,7 +298,7 @@ impl<'n> SerialSim<'n> {
     /// computed first and included in the report.
     #[must_use]
     pub fn run(&self, faults: &[Fault], patterns: &[Pattern], outputs: &[NodeId]) -> SerialReport {
-        let good = self.good_trace(patterns, outputs);
+        let good = self.observe_good(patterns, outputs);
         let t0 = Instant::now();
         let outcomes = faults
             .iter()
@@ -321,7 +340,7 @@ impl<'n> SerialSim<'n> {
         threads: usize,
     ) -> SerialReport {
         assert!(threads > 0, "need at least one thread");
-        let good = self.good_trace(patterns, outputs);
+        let good = self.observe_good(patterns, outputs);
         let t0 = Instant::now();
         let chunk = faults.len().div_ceil(threads.max(1)).max(1);
         let mut outcomes: Vec<SerialOutcome> = Vec::with_capacity(faults.len());
@@ -387,10 +406,10 @@ mod tests {
     }
 
     #[test]
-    fn good_trace_records_outputs() {
+    fn observe_good_records_outputs() {
         let (net, a, out) = inverter();
         let sim = SerialSim::new(&net, SerialConfig::paper());
-        let trace = sim.good_trace(&toggles(a), &[out]);
+        let trace = sim.observe_good(&toggles(a), &[out]);
         assert_eq!(trace.strobes.len(), 2);
         assert_eq!(trace.strobes[0], vec![vec![Logic::H]]);
         assert_eq!(trace.strobes[1], vec![vec![Logic::L]]);

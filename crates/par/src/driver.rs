@@ -3,16 +3,17 @@
 
 use crate::jobs::Jobs;
 use crate::plan::{ShardPlan, ShardStrategy};
-use fmossim_core::{ConcurrentConfig, ConcurrentSim, Pattern, RunReport};
+use fmossim_core::{ConcurrentConfig, ConcurrentSim, GoodTape, Pattern, RunReport};
 use fmossim_faults::FaultUniverse;
 use fmossim_netlist::{Network, NodeId};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of the parallel driver.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ParallelConfig {
     /// Worker threads: a fixed count, or [`Jobs::Auto`] to size the
     /// pool from the universe's estimated fault cost. Workers beyond
@@ -25,9 +26,29 @@ pub struct ParallelConfig {
     /// pull the next shard when they finish, smoothing out uneven
     /// shard costs.
     pub shards: Option<usize>,
+    /// Record the good machine once per pattern batch and replay the
+    /// shared [`GoodTape`] in every shard, instead of re-settling the
+    /// good circuit per shard (default `true`). Replay is bit-identical
+    /// to recompute — this knob exists for A/B measurement
+    /// (`scaling_par --replay off`) and as an escape hatch. With a
+    /// single shard the tape is skipped either way: recording would
+    /// cost an extra good pass without saving one.
+    pub reuse_good_tape: bool,
     /// Configuration forwarded to every shard's [`ConcurrentSim`]
     /// (detection policy, per-shard drop-on-detect, store backend).
     pub sim: ConcurrentConfig,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            jobs: Jobs::default(),
+            strategy: ShardStrategy::default(),
+            shards: None,
+            reuse_good_tape: true,
+            sim: ConcurrentConfig::default(),
+        }
+    }
 }
 
 impl ParallelConfig {
@@ -66,13 +87,46 @@ pub struct ShardOutcome {
     pub seconds: f64,
 }
 
+/// Measurements of the good-machine tape a parallel run recorded and
+/// replayed (absent when recompute mode was used — a single shard or
+/// [`ParallelConfig::reuse_good_tape`] off).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TapeStats {
+    /// Wall-clock seconds of the one-time record pass.
+    pub record_seconds: f64,
+    /// Good-machine vicinities recorded (work each shard skipped).
+    pub groups: usize,
+    /// Shards that replayed the tape.
+    pub replayed_shards: usize,
+    /// Approximate tape heap footprint in bytes.
+    pub heap_bytes: usize,
+}
+
+/// Everything a parallel run produces: the merged report, per-shard
+/// timing, and the tape measurements when record/replay was used.
+#[derive(Clone, Debug, Default)]
+pub struct ParallelRun {
+    /// The merged, canonically-ordered report (see
+    /// [`fmossim_core::RunReport::merge`]).
+    pub report: RunReport,
+    /// Each shard's own wall-clock seconds, indexed by shard (`0.0`
+    /// for shards skipped after an early stop).
+    pub shard_seconds: Vec<f64>,
+    /// Good-tape measurements, when the good machine was recorded once
+    /// and replayed per shard.
+    pub tape: Option<TapeStats>,
+}
+
 /// Fault-parallel concurrent simulation: the fault universe is split
 /// into shards ([`ShardPlan`]), each shard is graded by its own
-/// [`ConcurrentSim`] (good circuit re-simulated per shard, faulty
-/// circuits dropped on detection as usual), and the per-shard
-/// [`RunReport`]s are folded into one ([`RunReport::merge`]) whose
-/// detections and coverage are identical to a one-shard run — sharding
-/// changes wall-clock time, never results.
+/// [`ConcurrentSim`] (faulty circuits dropped on detection as usual),
+/// and the per-shard [`RunReport`]s are folded into one
+/// ([`RunReport::merge`]) whose detections and coverage are identical
+/// to a one-shard run — sharding changes wall-clock time, never
+/// results. By default the good machine is recorded once per run
+/// ([`GoodTape`]) and replayed in every shard, so only one shard-count-
+/// independent good pass is paid; see
+/// [`ParallelConfig::reuse_good_tape`].
 ///
 /// # Example
 ///
@@ -167,7 +221,8 @@ impl<'n> ParallelSim<'n> {
         patterns: &[Pattern],
         outputs: &[NodeId],
     ) -> (RunReport, Vec<f64>) {
-        self.run_streaming(patterns, outputs, |_, _| ControlFlow::Continue(()))
+        let run = self.run_streaming(patterns, outputs, |_, _| ControlFlow::Continue(()));
+        (run.report, run.shard_seconds)
     }
 
     /// Runs the shards, invoking `on_shard` from the calling thread as
@@ -186,17 +241,29 @@ impl<'n> ParallelSim<'n> {
     /// `on_shard` call order — is scheduling-dependent; the merged
     /// report is canonically ordered regardless.
     ///
-    /// Returns the merged report and each shard's own wall-clock
-    /// seconds (indexed by shard; `0.0` for skipped shards).
+    /// When [`ParallelConfig::reuse_good_tape`] is on and the plan has
+    /// more than one shard, the good machine is recorded once (on the
+    /// calling thread, before the pool starts) and every shard replays
+    /// the shared [`GoodTape`] instead of re-settling the good
+    /// circuit; [`ParallelRun::tape`] carries the measurements.
+    ///
+    /// Returns the merged report, each shard's own wall-clock seconds
+    /// (indexed by shard; `0.0` for skipped shards), and the tape
+    /// stats.
     pub fn run_streaming(
         &self,
         patterns: &[Pattern],
         outputs: &[NodeId],
         mut on_shard: impl FnMut(&ShardOutcome, &RunReport) -> ControlFlow<()>,
-    ) -> (RunReport, Vec<f64>) {
+    ) -> ParallelRun {
         let t0 = Instant::now();
         let n_shards = self.plan.num_shards();
         let workers = self.workers.clamp(1, n_shards.max(1));
+
+        // Record the good machine once; shards replay the shared tape.
+        // With zero or one shard there is nothing to amortise.
+        let tape: Option<Arc<GoodTape>> = (self.config.reuse_good_tape && n_shards > 1)
+            .then(|| Arc::new(GoodTape::record(self.net, patterns, self.config.sim.engine)));
 
         let outcome = |s: usize, rep: &RunReport| ShardOutcome {
             shard: s,
@@ -209,7 +276,7 @@ impl<'n> ParallelSim<'n> {
         if n_shards <= 1 || workers == 1 {
             // In-line fast path: no thread overhead, same merge below.
             for s in 0..n_shards {
-                let rep = self.run_shard(s, patterns, outputs);
+                let rep = self.run_shard(s, patterns, outputs, tape.as_deref());
                 let flow = on_shard(&outcome(s, &rep), &rep);
                 reports.push((s, rep));
                 if flow.is_break() {
@@ -223,6 +290,7 @@ impl<'n> ParallelSim<'n> {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     let tx = tx.clone();
+                    let tape = tape.clone();
                     scope.spawn(move || loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
@@ -231,7 +299,7 @@ impl<'n> ParallelSim<'n> {
                         if s >= n_shards {
                             break;
                         }
-                        let rep = self.run_shard(s, patterns, outputs);
+                        let rep = self.run_shard(s, patterns, outputs, tape.as_deref());
                         if tx.send((s, rep)).is_err() {
                             break;
                         }
@@ -251,6 +319,7 @@ impl<'n> ParallelSim<'n> {
             });
         }
 
+        let replayed_shards = reports.len();
         // Merge in shard order for reproducible statistics; detection
         // order is canonicalised by `merge` regardless.
         reports.sort_by_key(|&(s, _)| s);
@@ -261,16 +330,35 @@ impl<'n> ParallelSim<'n> {
         let mut merged = RunReport::merge(reports.into_iter().map(|(_, r)| r));
         merged.num_faults = self.universe.len();
         merged.total_seconds = t0.elapsed().as_secs_f64();
-        (merged, shard_seconds)
+        ParallelRun {
+            report: merged,
+            shard_seconds,
+            tape: tape.map(|t| TapeStats {
+                record_seconds: t.record_seconds(),
+                groups: t.num_groups(),
+                replayed_shards,
+                heap_bytes: t.heap_bytes(),
+            }),
+        }
     }
 
     /// Simulates one shard to completion, relabelling detections to
-    /// parent-universe fault ids.
-    fn run_shard(&self, s: usize, patterns: &[Pattern], outputs: &[NodeId]) -> RunReport {
+    /// parent-universe fault ids. With a tape, the shard replays the
+    /// recorded good machine instead of re-settling it.
+    fn run_shard(
+        &self,
+        s: usize,
+        patterns: &[Pattern],
+        outputs: &[NodeId],
+        tape: Option<&GoodTape>,
+    ) -> RunReport {
         let ids = self.plan.shard(s);
         let shard_universe = self.universe.subset(ids);
         let mut sim = ConcurrentSim::new(self.net, shard_universe.faults(), self.config.sim);
-        let mut report = sim.run(patterns, outputs);
+        let mut report = match tape {
+            Some(tape) => sim.run_replayed(patterns, outputs, tape),
+            None => sim.run(patterns, outputs),
+        };
         report.relabel_faults(|local| ids[local.index()]);
         report
     }
@@ -367,7 +455,7 @@ mod tests {
         };
         let sim = ParallelSim::new(&net, universe, config);
         let mut seen = Vec::new();
-        let (report, times) = sim.run_streaming(&patterns, &outs, |o, rep| {
+        let run = sim.run_streaming(&patterns, &outs, |o, rep| {
             assert_eq!(o.detected, rep.detected());
             assert_eq!(o.faults, sim.plan().shard(o.shard).len());
             seen.push(o.shard);
@@ -375,8 +463,12 @@ mod tests {
         });
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1, 2], "each shard observed exactly once");
-        assert_eq!(times.len(), 3);
-        assert_eq!(report.detected(), 4);
+        assert_eq!(run.shard_seconds.len(), 3);
+        assert_eq!(run.report.detected(), 4);
+        let tape = run.tape.expect("multi-shard run records a tape");
+        assert_eq!(tape.replayed_shards, 3);
+        assert!(tape.groups > 0);
+        assert!(tape.heap_bytes > 0);
     }
 
     #[test]
@@ -392,14 +484,55 @@ mod tests {
         };
         let sim = ParallelSim::new(&net, universe, config);
         let mut completed = 0;
-        let (report, times) = sim.run_streaming(&patterns, &outs, |_, _| {
+        let run = sim.run_streaming(&patterns, &outs, |_, _| {
             completed += 1;
             std::ops::ControlFlow::Break(())
         });
         assert_eq!(completed, 1);
-        assert_eq!(report.detected(), 1, "only the first shard's fault");
-        assert_eq!(report.num_faults, n, "universe size unchanged");
-        assert_eq!(times.iter().filter(|&&t| t > 0.0).count(), 1);
+        assert_eq!(run.report.detected(), 1, "only the first shard's fault");
+        assert_eq!(run.report.num_faults, n, "universe size unchanged");
+        assert_eq!(run.shard_seconds.iter().filter(|&&t| t > 0.0).count(), 1);
+        let tape = run.tape.expect("tape recorded before the early stop");
+        assert_eq!(tape.replayed_shards, 1, "only one shard consumed it");
+    }
+
+    /// The tape is a pure execution detail: replay and recompute runs
+    /// are bit-identical (detections, counters), and single-shard runs
+    /// skip the tape entirely.
+    #[test]
+    fn replay_matches_recompute_and_single_shard_skips_tape() {
+        let (net, outs, patterns) = two_inverters();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let run_with = |reuse: bool, jobs: usize| {
+            let config = ParallelConfig {
+                reuse_good_tape: reuse,
+                ..ParallelConfig::paper(jobs)
+            };
+            ParallelSim::new(&net, universe.clone(), config).run_streaming(
+                &patterns,
+                &outs,
+                |_, _| ControlFlow::Continue(()),
+            )
+        };
+        let recompute = run_with(false, 3);
+        assert!(recompute.tape.is_none(), "recompute mode records no tape");
+        let replay = run_with(true, 3);
+        assert!(replay.tape.is_some());
+        assert_eq!(replay.report.detections, recompute.report.detections);
+        for (r, l) in replay
+            .report
+            .patterns
+            .iter()
+            .zip(&recompute.report.patterns)
+        {
+            assert_eq!(
+                (r.detected, r.live_before, r.good_groups, r.faulty_groups),
+                (l.detected, l.live_before, l.good_groups, l.faulty_groups)
+            );
+        }
+        let single = run_with(true, 1);
+        assert!(single.tape.is_none(), "one shard has nothing to amortise");
+        assert_eq!(single.report.detections, recompute.report.detections);
     }
 
     #[test]

@@ -19,11 +19,15 @@
 //!   detection set and coverage are identical to a one-shard run —
 //!   sharding is a pure throughput lever.
 //!
-//! The trade-off is the classical one for fault-partitioned
-//! simulation: every shard re-simulates the *good* circuit, so speedup
-//! approaches the worker count only while faulty-circuit work
-//! dominates — which is exactly the paper's regime (hundreds of live
-//! faults early in a test sequence).
+//! The classical trade-off of fault-partitioned simulation — every
+//! shard re-simulating the *good* circuit — is retired by the
+//! record/replay tape: the good machine is recorded once per run
+//! ([`fmossim_core::GoodTape`], on by default via
+//! [`ParallelConfig::reuse_good_tape`]) and each shard *replays* the
+//! shared log, re-deriving triggering and private events without
+//! re-settling the good circuit. Replay is bit-identical to recompute,
+//! so the remaining serial fraction is one good pass regardless of the
+//! shard count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +36,6 @@ mod driver;
 mod jobs;
 mod plan;
 
-pub use driver::{ParallelConfig, ParallelSim, ShardOutcome};
+pub use driver::{ParallelConfig, ParallelRun, ParallelSim, ShardOutcome, TapeStats};
 pub use jobs::{Jobs, AUTO_COST_PER_WORKER};
 pub use plan::{fault_cost, ShardPlan, ShardStrategy};

@@ -167,6 +167,17 @@ impl Engine {
         !self.next_queue.is_empty()
     }
 
+    /// Discards every pending perturbation. Used by tape replay: the
+    /// perturbations a recorded settle would have drained (e.g. the
+    /// initial all-storage seeding) are covered by the tape, so a
+    /// replaying simulator clears them instead of settling them.
+    pub fn clear_pending(&mut self) {
+        for &n in &self.next_queue {
+            self.queued[n.index()] = false;
+        }
+        self.next_queue.clear();
+    }
+
     /// Schedules node `n` for (re-)evaluation at the next settle.
     /// Input-classified nodes are filtered out at processing time, so
     /// perturbing them is harmless.

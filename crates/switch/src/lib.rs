@@ -76,10 +76,12 @@ mod engine;
 mod sim;
 mod solve;
 mod state;
+mod tape;
 mod trace;
 
 pub use engine::{Engine, EngineConfig, GroupView, LocalityMode, SettleReport};
 pub use sim::LogicSim;
 pub use solve::{GroupOutcome, Scratch};
 pub use state::{DenseState, SwitchState};
+pub use tape::{SettleTape, TapeGroup};
 pub use trace::Trace;

@@ -61,8 +61,8 @@ fn main() {
         ram.network(),
         fmossim::concurrent::SerialConfig::paper(),
     );
-    let good1 = serial.good_trace(seq1.patterns(), ram.observed_outputs());
-    let good2 = serial.good_trace(seq2.patterns(), ram.observed_outputs());
+    let good1 = serial.observe_good(seq1.patterns(), ram.observed_outputs());
+    let good2 = serial.observe_good(seq2.patterns(), ram.observed_outputs());
 
     let concurrent = |patterns: &[fmossim::concurrent::Pattern]| {
         Campaign::new(ram.network())

@@ -11,6 +11,7 @@
 //!                  [--sample K] [--seed S] [--serial]
 //!                  [--stop-at-coverage F] [--pattern-limit N]
 //!                  [--jobs N|auto] [--shard-strategy round-robin|contiguous|cost]
+//!                  [--replay on|off]
 //! ```
 //!
 //! The stimulus file is line oriented: each non-comment line is one
@@ -70,15 +71,19 @@ usage:
                    [--sample K] [--seed S] [--serial]
                    [--stop-at-coverage F] [--pattern-limit N]
                    [--jobs N|auto] [--shard-strategy round-robin|contiguous|cost]
+                   [--replay on|off]
 
 faultsim runs one campaign on the chosen backend: `concurrent` (the
 paper's algorithm, default), `serial` (the per-fault baseline), or
 `parallel` (fault-parallel shards on a worker pool; implied by
 --jobs). --jobs N picks the worker count, `auto` sizes the pool from
 the workload; results are identical for every backend and job count.
---json emits the machine-readable campaign report instead of text;
---stop-at-coverage / --pattern-limit cut the run short; --serial
-appends a serial-baseline comparison run.
+The parallel backend records the good machine once and replays the
+tape in every shard (--replay on, the default); --replay off re-settles
+the good circuit per shard (A/B measurement). --json emits the
+machine-readable campaign report instead of text; --stop-at-coverage /
+--pattern-limit cut the run short; --serial appends a serial-baseline
+comparison run.
 ";
 
 fn load(path: &str) -> Result<Network, String> {
@@ -299,6 +304,13 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
             format!("unknown shard strategy `{spec}` (round-robin|contiguous|cost)")
         })?,
     };
+    let replay = opt(args, "--replay")
+        .map(|s| match s {
+            "on" => Ok(true),
+            "off" => Ok(false),
+            other => Err(format!("--replay takes `on` or `off`, not `{other}`")),
+        })
+        .transpose()?;
     // --jobs implies the parallel backend unless --backend overrides.
     let backend_name = opt(args, "--backend").unwrap_or(if jobs.is_some() {
         "parallel"
@@ -314,6 +326,11 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
         if opt(args, "--shard-strategy").is_some() {
             return Err(format!(
                 "--shard-strategy requires the parallel backend, not `{backend_name}`"
+            ));
+        }
+        if replay.is_some() {
+            return Err(format!(
+                "--replay requires the parallel backend, not `{backend_name}`"
             ));
         }
     }
@@ -371,6 +388,9 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
         let n: usize = n.parse().map_err(|_| "--pattern-limit takes a number")?;
         campaign = campaign.pattern_limit(n);
     }
+    if let Some(reuse) = replay {
+        campaign = campaign.reuse_good_tape(reuse);
+    }
     let report = campaign.run();
 
     if flag(args, "--json") {
@@ -385,6 +405,20 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
         report.wall_seconds,
         report.backend,
     );
+    // Echo what `--jobs auto` and the tape knob actually resolved to —
+    // the plan is otherwise invisible to the user.
+    if let (Some(jobs), Some(shards)) = (report.jobs, report.shards) {
+        let tape = match (report.tape_record_seconds, report.tape_groups) {
+            (Some(secs), Some(groups)) => {
+                format!("good tape replayed ({groups} groups recorded in {secs:.3}s)")
+            }
+            _ if report.control.reuse_good_tape && shards <= 1 => {
+                "good tape skipped (single shard)".to_string()
+            }
+            _ => "good machine recomputed per shard".to_string(),
+        };
+        println!("parallel plan: {jobs} worker(s) x {shards} shard(s), {tape}");
+    }
     for d in report.detections() {
         println!(
             "  pattern {:>4} phase {}: {}{}",

@@ -27,7 +27,9 @@
 //! * [`par`] — fault-parallel execution: sharded fault universes on a
 //!   `std::thread` worker pool ([`par::ParallelSim`]), with merged
 //!   reports identical to single-threaded runs; worker counts can be
-//!   autotuned from the workload ([`par::Jobs::Auto`]).
+//!   autotuned from the workload ([`par::Jobs::Auto`]), and the good
+//!   machine is recorded once per run ([`concurrent::GoodTape`]) and
+//!   replayed in every shard instead of re-simulated.
 //!
 //! Beyond the paper: fault dictionaries and diagnosis
 //! ([`concurrent::FaultDictionary`]), multi-fault circuits
