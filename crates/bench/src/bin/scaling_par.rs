@@ -15,16 +15,40 @@
 //!
 //! Usage:
 //! `scaling_par [--dim 8] [--jobs-list 1,2,4,8] [--strategy round-robin]
-//!              [--sample K] [--replay on|off|ab]`
+//!              [--sample K] [--replay on|off|ab]
+//!              [--backend parallel|adaptive] [--batch 16]`
 //!
 //! `--replay ab` (the default) measures both modes per point and
 //! asserts their detection sets are bit-identical. Wall-clock speedup
 //! saturates at the machine's hardware parallelism (reported as
 //! `hardware_threads`); the good-machine fraction does not — it is a
 //! work ratio, not a wall-clock ratio.
+//!
+//! `--backend adaptive` switches to the batch-rebalancing A/B: per job
+//! count it runs the adaptive backend in both modes — re-planning
+//! shards from measured times between batches (`rebalanced`) vs. the
+//! same batched loop with the initial cost-LPT plan frozen (`static`)
+//! — and asserts both detection sets are bit-identical to the one-shot
+//! parallel backend. Batch 0 runs the identical plan in both modes
+//! (nothing has been measured yet) and is excluded from both
+//! aggregates.
+//!
+//! The headline `*_imbalance` is the mean over rebalanced batches of
+//! each batch's ratio `max_shard_seconds / mean_shard_seconds`
+//! (1.0 = perfectly balanced): plan quality at each re-planning point,
+//! every batch an equal observation — the quantity the re-planner
+//! controls. The `*_weighted_imbalance` companion is
+//! `Σ max / Σ mean` over the same batches; it is dominated by the few
+//! burst batches whose max is a *single* fault's intrinsic cost (the
+//! RAM march activates individual faults for milliseconds while the
+//! rest idle), which no partition can split, so it is reported but not
+//! gated on. Both are medians over `--reps 5` repetitions — late
+//! batches run in microseconds and a single measurement is
+//! noise-limited. The JSON is the `BENCH_adaptive.json` artifact; at
+//! K ≥ 2 the rebalanced ratio must undercut the static one.
 
 use fmossim_bench::{arg_value, paper_universe, ram_with_bridges, SEED};
-use fmossim_campaign::{Backend, Campaign, CampaignReport};
+use fmossim_campaign::{AdaptiveConfig, Backend, Campaign, CampaignReport};
 use fmossim_core::{ConcurrentConfig, GoodTape};
 use fmossim_par::{Jobs, ParallelConfig, ShardStrategy};
 use fmossim_testgen::TestSequence;
@@ -82,6 +106,32 @@ fn main() {
         None => ShardStrategy::default(),
         Some(s) => ShardStrategy::parse(&s).expect("round-robin|contiguous|cost"),
     };
+    match arg_value("--backend").as_deref() {
+        None | Some("parallel") => {}
+        Some("adaptive") => {
+            let batch: usize = arg_value("--batch")
+                .map(|s| s.parse().expect("--batch takes a number"))
+                .unwrap_or(16);
+            assert!(
+                batch > 0,
+                "--backend adaptive needs --batch > 0: a single whole-sequence batch has no \
+                 rebalanced batches to compare"
+            );
+            assert!(
+                arg_value("--replay").is_none(),
+                "--replay does not apply to --backend adaptive (the batch loop is tape-based)"
+            );
+            // The A/B defaults to the strongest static baseline
+            // (cost-LPT); an explicit --strategy overrides it.
+            let initial = match arg_value("--strategy") {
+                None => ShardStrategy::CostEstimated,
+                Some(_) => strategy,
+            };
+            adaptive_ab(dim, &jobs_list, batch, initial);
+            return;
+        }
+        Some(other) => panic!("--backend takes parallel|adaptive, not `{other}`"),
+    }
     let replay_mode = arg_value("--replay").unwrap_or_else(|| "ab".into());
     let (run_on, run_off) = match replay_mode.as_str() {
         "on" => (true, false),
@@ -261,4 +311,153 @@ fn main() {
             }
         }
     }
+}
+
+/// One adaptive mode's aggregate measurements at one job count.
+struct AdaptiveMode {
+    /// Mean over the rebalanced batches of each batch's imbalance
+    /// ratio `max_shard_seconds / mean_shard_seconds` (1.0 = every
+    /// plan perfectly balanced) — plan quality at each re-planning
+    /// point, every batch an equal observation.
+    imbalance: f64,
+    /// `Σ max_shard_seconds / Σ mean_shard_seconds` over the same
+    /// batches: the seconds-weighted companion, dominated by the few
+    /// heavy early batches.
+    weighted_imbalance: f64,
+    batches: usize,
+    moved_faults: usize,
+    cpu_seconds: f64,
+}
+
+/// The batch-rebalancing A/B (`--backend adaptive`): measured-cost
+/// re-planning vs. the frozen initial plan (both planned with
+/// `strategy` for batch 0), both bit-identical to the one-shot
+/// parallel backend.
+fn adaptive_ab(dim: usize, jobs_list: &[usize], batch: usize, strategy: ShardStrategy) {
+    let (ram, bridges) = ram_with_bridges(dim, dim);
+    let mut universe = paper_universe(&ram, bridges);
+    if let Some(k) = arg_value("--sample") {
+        let k: usize = k.parse().expect("--sample takes a number");
+        universe = universe.sample(k, SEED);
+    }
+    let seq = TestSequence::full(&ram);
+    let outputs = ram.observed_outputs();
+
+    let campaign = |backend: Backend| {
+        Campaign::new(ram.network())
+            .faults(universe.clone())
+            .patterns(seq.patterns())
+            .outputs(outputs)
+            .backend(backend)
+            .run()
+    };
+    let reps: usize = arg_value("--reps")
+        .map(|s| s.parse().expect("--reps takes a number"))
+        .unwrap_or(5)
+        .max(1);
+    let mode = |r: &CampaignReport| -> AdaptiveMode {
+        // Batch 0 runs the identical initial plan in both modes (no
+        // measurement exists yet to re-plan from); the before/after
+        // comparison is over the batches a rebalance could have
+        // touched, so it is excluded from both aggregates.
+        assert!(
+            r.batches.len() >= 2,
+            "the A/B needs at least one rebalanced batch; lower --batch \
+             (got {} batch(es) of {batch} patterns)",
+            r.batches.len()
+        );
+        let rebalanced = &r.batches[1..];
+        let max_sum: f64 = rebalanced.iter().map(|b| b.max_shard_seconds).sum();
+        let mean_sum: f64 = rebalanced.iter().map(|b| b.mean_shard_seconds).sum();
+        AdaptiveMode {
+            imbalance: rebalanced.iter().map(|b| b.imbalance).sum::<f64>()
+                / (rebalanced.len().max(1)) as f64,
+            weighted_imbalance: max_sum / mean_sum.max(f64::MIN_POSITIVE),
+            batches: r.batches.len(),
+            moved_faults: r.batches.iter().map(|b| b.moved_faults).sum(),
+            cpu_seconds: r.run.patterns.iter().map(|p| p.seconds).sum(),
+        }
+    };
+    let median = |mut modes: Vec<AdaptiveMode>| -> AdaptiveMode {
+        modes.sort_by(|a, b| a.imbalance.total_cmp(&b.imbalance));
+        modes.swap_remove(modes.len() / 2)
+    };
+
+    let rows: Vec<String> = jobs_list
+        .iter()
+        .map(|&jobs| {
+            let config = AdaptiveConfig {
+                jobs: Jobs::Fixed(jobs),
+                initial_strategy: strategy,
+                ..AdaptiveConfig::paper(batch)
+            };
+            let reference = campaign(Backend::Parallel(ParallelConfig {
+                jobs: Jobs::Fixed(jobs),
+                strategy,
+                sim: ConcurrentConfig::paper(),
+                ..ParallelConfig::default()
+            }));
+            let measure = |backend_config: AdaptiveConfig| -> AdaptiveMode {
+                median(
+                    (0..reps)
+                        .map(|_| {
+                            let report = campaign(Backend::Adaptive(backend_config));
+                            assert_eq!(
+                                report.detections(),
+                                reference.detections(),
+                                "jobs={jobs} rebalance={}: batching changed the detection set",
+                                backend_config.rebalance
+                            );
+                            mode(&report)
+                        })
+                        .collect(),
+                )
+            };
+            let re = measure(config);
+            let st = measure(AdaptiveConfig {
+                rebalance: false,
+                ..config
+            });
+            // The acceptance gate: at K >= 2 measured-cost re-planning
+            // must beat the frozen static plan.
+            if jobs >= 2 {
+                assert!(
+                    re.imbalance < st.imbalance,
+                    "jobs={jobs}: rebalanced imbalance {:.4} must undercut static {:.4}",
+                    re.imbalance,
+                    st.imbalance
+                );
+            }
+            format!(
+                "    {{\"jobs\": {jobs}, \"batches\": {}, \
+                 \"static_imbalance\": {:.4}, \"rebalanced_imbalance\": {:.4}, \
+                 \"static_weighted_imbalance\": {:.4}, \
+                 \"rebalanced_weighted_imbalance\": {:.4}, \
+                 \"moved_faults\": {}, \"static_cpu_seconds\": {:.4}, \
+                 \"rebalanced_cpu_seconds\": {:.4}, \"coverage\": {:.4}}}",
+                re.batches,
+                st.imbalance,
+                re.imbalance,
+                st.weighted_imbalance,
+                re.weighted_imbalance,
+                re.moved_faults,
+                st.cpu_seconds,
+                re.cpu_seconds,
+                reference.coverage(),
+            )
+        })
+        .collect();
+    println!("{{");
+    println!("  \"circuit\": \"RAM{} ({})\",", dim * dim, ram.stats());
+    println!("  \"faults\": {},", universe.len());
+    println!("  \"patterns\": {},", seq.len());
+    println!("  \"batch\": {batch},");
+    println!(
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    println!("  \"results\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
 }

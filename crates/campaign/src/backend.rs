@@ -9,6 +9,7 @@
 //! setup code, and future strategies (e.g. the ROADMAP's autotuned
 //! sharding) slot in behind the same trait.
 
+use crate::adaptive::{AdaptiveBackend, AdaptiveConfig, BatchTelemetry};
 use crate::event::SimEvent;
 use fmossim_core::{
     ConcurrentConfig, ConcurrentSim, Detection, DetectionPolicy, Pattern, PatternStats, RunReport,
@@ -22,6 +23,24 @@ use std::time::Instant;
 
 /// The workload a campaign grades: one network, one fault universe,
 /// one pattern sequence, one set of observed outputs.
+///
+/// ```
+/// use fmossim_campaign::Workload;
+/// use fmossim_circuits::Ram;
+/// use fmossim_faults::FaultUniverse;
+/// use fmossim_testgen::TestSequence;
+///
+/// let ram = Ram::new(4, 4);
+/// let universe = FaultUniverse::stuck_nodes(ram.network());
+/// let seq = TestSequence::full(&ram);
+/// let w = Workload {
+///     net: ram.network(),
+///     universe: &universe,
+///     patterns: seq.patterns(),
+///     outputs: ram.observed_outputs(),
+/// };
+/// assert_eq!(w.universe.len(), universe.len());
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct Workload<'a> {
     /// The circuit under test.
@@ -35,6 +54,13 @@ pub struct Workload<'a> {
 }
 
 /// Backend-independent run-control options.
+///
+/// ```
+/// let control = fmossim_campaign::RunControl::default();
+/// assert!(control.drop_detected && control.reuse_good_tape);
+/// assert_eq!(control.stop_at_coverage, None);
+/// assert_eq!(control.pattern_limit, None);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RunControl {
     /// Stop once detected/total coverage reaches this fraction.
@@ -72,6 +98,17 @@ impl RunControl {
     /// The coverage target expressed as a detection count over
     /// `num_faults`, if a (finite) target is set. A NaN target is
     /// ignored rather than silently becoming "stop immediately".
+    ///
+    /// ```
+    /// use fmossim_campaign::RunControl;
+    ///
+    /// let mut control = RunControl::default();
+    /// assert_eq!(control.detection_target(100), None);
+    /// control.stop_at_coverage = Some(0.905);
+    /// assert_eq!(control.detection_target(100), Some(91), "ceil");
+    /// control.stop_at_coverage = Some(f64::NAN);
+    /// assert_eq!(control.detection_target(100), None);
+    /// ```
     #[must_use]
     pub fn detection_target(&self, num_faults: usize) -> Option<usize> {
         self.stop_at_coverage
@@ -82,6 +119,18 @@ impl RunControl {
 
 /// What a backend hands back to the campaign: the merged [`RunReport`]
 /// plus backend-specific metadata for the campaign report.
+///
+/// ```
+/// use fmossim_campaign::BackendRun;
+///
+/// // Custom backends fill only what they measure; the rest defaults.
+/// let run = BackendRun {
+///     jobs: Some(4),
+///     ..BackendRun::default()
+/// };
+/// assert_eq!(run.run.detected(), 0);
+/// assert!(!run.stopped_early && run.batches.is_empty());
+/// ```
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BackendRun {
     /// The measurements, in the common report format.
@@ -110,14 +159,59 @@ pub struct BackendRun {
     /// each replaying shard skipped (parallel backend with tape
     /// reuse).
     pub tape_groups: Option<usize>,
+    /// Per-batch telemetry (adaptive backend; empty otherwise). For
+    /// the adaptive backend the scalar `tape_*` fields above aggregate
+    /// these per-batch entries.
+    pub batches: Vec<BatchTelemetry>,
 }
 
 /// An execution strategy a [`Campaign`](crate::Campaign) can run on.
 ///
-/// The three built-in strategies are selected with [`Backend`]; custom
-/// implementations (an autotuned shard driver, a distributed runner)
+/// The built-in strategies are selected with [`Backend`]; custom
+/// implementations (a distributed runner, an instrumentation shim)
 /// plug in via
-/// [`Campaign::backend_impl`](crate::Campaign::backend_impl).
+/// [`Campaign::backend_impl`](crate::Campaign::backend_impl):
+///
+/// ```
+/// use fmossim_campaign::{BackendRun, Campaign, CampaignBackend, RunControl, SimEvent, Workload};
+/// use fmossim_circuits::Ram;
+/// use fmossim_core::{ConcurrentConfig, ConcurrentSim};
+/// use fmossim_faults::FaultUniverse;
+/// use fmossim_testgen::TestSequence;
+///
+/// /// A minimal single-simulator strategy.
+/// struct Inline;
+///
+/// impl CampaignBackend for Inline {
+///     fn name(&self) -> String {
+///         "inline".into()
+///     }
+///     fn run(
+///         &mut self,
+///         w: &Workload<'_>,
+///         _control: &RunControl,
+///         _emit: &mut dyn FnMut(SimEvent),
+///     ) -> BackendRun {
+///         let mut sim =
+///             ConcurrentSim::new(w.net, w.universe.faults(), ConcurrentConfig::paper());
+///         BackendRun {
+///             run: sim.run(w.patterns, w.outputs),
+///             ..BackendRun::default()
+///         }
+///     }
+/// }
+///
+/// let ram = Ram::new(4, 4);
+/// let seq = TestSequence::full(&ram);
+/// let report = Campaign::new(ram.network())
+///     .faults(FaultUniverse::stuck_nodes(ram.network()))
+///     .patterns(seq.patterns())
+///     .outputs(ram.observed_outputs())
+///     .backend_impl(Box::new(Inline))
+///     .run();
+/// assert_eq!(report.backend, "inline");
+/// assert!(report.detected() > 0);
+/// ```
 pub trait CampaignBackend {
     /// Short strategy name for reports ("serial", "concurrent", …).
     fn name(&self) -> String;
@@ -134,7 +228,17 @@ pub trait CampaignBackend {
 
 /// Selects one of the built-in execution strategies for a campaign.
 ///
-/// All three grade the same workload and (for race-free fault classes
+/// ```
+/// use fmossim_campaign::{AdaptiveConfig, Backend, DetectionPolicy, SerialConfig};
+///
+/// let backend = Backend::Serial(SerialConfig::paper());
+/// assert_eq!(backend.name(), "serial");
+/// assert_eq!(backend.policy(), DetectionPolicy::AnyDifference);
+/// assert_eq!(backend.into_impl().name(), "serial");
+/// assert_eq!(Backend::Adaptive(AdaptiveConfig::paper(8)).name(), "adaptive");
+/// ```
+///
+/// All built-in strategies grade the same workload and (for race-free fault classes
 /// under [`DetectionPolicy::DefiniteOnly`]) produce identical
 /// detection sets; they differ purely in execution: the concurrent
 /// algorithm shares one good circuit across all faults, the serial
@@ -150,6 +254,13 @@ pub enum Backend {
     /// [`Jobs::Auto`](fmossim_par::Jobs::Auto) in the config to size
     /// the pool from the workload.
     Parallel(ParallelConfig),
+    /// Adaptive batch-rebalancing execution
+    /// ([`AdaptiveBackend`](crate::AdaptiveBackend)): the pattern
+    /// sequence runs in batches, detected faults leave the universe,
+    /// and shards are re-planned between batches from *measured*
+    /// shard times. Detection sets stay bit-identical to
+    /// [`Backend::Parallel`].
+    Adaptive(AdaptiveConfig),
 }
 
 impl Backend {
@@ -160,6 +271,7 @@ impl Backend {
             Backend::Serial(_) => "serial",
             Backend::Concurrent(_) => "concurrent",
             Backend::Parallel(_) => "parallel",
+            Backend::Adaptive(_) => "adaptive",
         }
     }
 
@@ -170,6 +282,7 @@ impl Backend {
             Backend::Serial(c) => c.policy,
             Backend::Concurrent(c) => c.policy,
             Backend::Parallel(c) => c.sim.policy,
+            Backend::Adaptive(c) => c.sim.policy,
         }
     }
 
@@ -180,11 +293,16 @@ impl Backend {
             Backend::Serial(config) => Box::new(SerialAdapter { config }),
             Backend::Concurrent(config) => Box::new(ConcurrentAdapter { config }),
             Backend::Parallel(config) => Box::new(ParallelAdapter { config }),
+            Backend::Adaptive(config) => Box::new(AdaptiveBackend::new(config)),
         }
     }
 }
 
-fn emit_detections(detections: &[Detection], drop_detected: bool, emit: &mut dyn FnMut(SimEvent)) {
+pub(crate) fn emit_detections(
+    detections: &[Detection],
+    drop_detected: bool,
+    emit: &mut dyn FnMut(SimEvent),
+) {
     for d in detections {
         emit(SimEvent::Detected {
             fault: d.fault,

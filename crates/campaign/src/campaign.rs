@@ -109,7 +109,26 @@ impl<'n, 'o> Campaign<'n, 'o> {
     /// Stops the run once coverage (detected / total faults) reaches
     /// `target` (clamped to `[0, 1]`). Backends stop at their work-item
     /// granularity: the concurrent backend between patterns, the serial
-    /// backend between faults, the parallel backend between shards.
+    /// backend between faults, the parallel backend between shards, the
+    /// adaptive backend between batches.
+    ///
+    /// ```
+    /// use fmossim_campaign::{Campaign, StopReason};
+    /// use fmossim_circuits::Ram;
+    /// use fmossim_faults::FaultUniverse;
+    /// use fmossim_testgen::TestSequence;
+    ///
+    /// let ram = Ram::new(4, 4);
+    /// let seq = TestSequence::full(&ram);
+    /// let report = Campaign::new(ram.network())
+    ///     .faults(FaultUniverse::stuck_nodes(ram.network()))
+    ///     .patterns(seq.patterns())
+    ///     .outputs(ram.observed_outputs())
+    ///     .stop_at_coverage(0.5)
+    ///     .run();
+    /// assert!(report.coverage() >= 0.5);
+    /// assert_eq!(report.stop, StopReason::CoverageReached);
+    /// ```
     #[must_use]
     pub fn stop_at_coverage(mut self, target: f64) -> Self {
         self.control.stop_at_coverage = Some(target);
@@ -136,7 +155,26 @@ impl<'n, 'o> Campaign<'n, 'o> {
     /// replays the shared [`fmossim_core::GoodTape`] in every shard
     /// (default `true`), instead of re-settling the good circuit per
     /// shard. Results are bit-identical either way; disable only for
-    /// A/B measurement of the good-machine fraction.
+    /// A/B measurement of the good-machine fraction. (The adaptive
+    /// backend ignores `false`: its batch loop is built on the tape.)
+    ///
+    /// ```
+    /// use fmossim_campaign::{Backend, Campaign, ParallelConfig};
+    /// use fmossim_circuits::Ram;
+    /// use fmossim_faults::FaultUniverse;
+    /// use fmossim_testgen::TestSequence;
+    ///
+    /// let ram = Ram::new(4, 4);
+    /// let seq = TestSequence::full(&ram);
+    /// let report = Campaign::new(ram.network())
+    ///     .faults(FaultUniverse::stuck_nodes(ram.network()))
+    ///     .patterns(seq.patterns())
+    ///     .outputs(ram.observed_outputs())
+    ///     .backend(Backend::Parallel(ParallelConfig::paper(2)))
+    ///     .reuse_good_tape(false) // recompute mode: no tape recorded
+    ///     .run();
+    /// assert_eq!(report.tape_record_seconds, None);
+    /// ```
     #[must_use]
     pub fn reuse_good_tape(mut self, reuse: bool) -> Self {
         self.control.reuse_good_tape = reuse;
@@ -194,6 +232,7 @@ impl<'n, 'o> Campaign<'n, 'o> {
             serial_estimate_seconds,
             tape_record_seconds,
             tape_groups,
+            batches,
         } = backend.run(&workload, &self.control, &mut emit);
         let stop = if stopped_early {
             StopReason::CoverageReached
@@ -221,6 +260,7 @@ impl<'n, 'o> Campaign<'n, 'o> {
             serial_estimate_seconds,
             tape_record_seconds,
             tape_groups,
+            batches,
             run,
         }
     }

@@ -19,6 +19,28 @@
 use fmossim_faults::FaultId;
 
 /// One streaming event from a running campaign.
+///
+/// ```
+/// use fmossim_campaign::{Campaign, SimEvent};
+/// use fmossim_circuits::Ram;
+/// use fmossim_faults::FaultUniverse;
+/// use fmossim_testgen::TestSequence;
+///
+/// let ram = Ram::new(4, 4);
+/// let seq = TestSequence::full(&ram);
+/// let mut drops = 0;
+/// let report = Campaign::new(ram.network())
+///     .faults(FaultUniverse::stuck_nodes(ram.network()))
+///     .patterns(seq.patterns())
+///     .outputs(ram.observed_outputs())
+///     .on_event(|e| {
+///         if let SimEvent::FaultDropped { .. } = e {
+///             drops += 1;
+///         }
+///     })
+///     .run();
+/// assert_eq!(drops, report.detected(), "drop-on-detect is the default");
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SimEvent {
     /// A pattern is about to be simulated (concurrent backend).
@@ -56,7 +78,9 @@ pub enum SimEvent {
         /// The dropped fault (parent-universe id).
         fault: FaultId,
     },
-    /// A shard completed (parallel backend).
+    /// A shard completed (parallel backend, in scheduling-dependent
+    /// completion order; adaptive backend, in deterministic shard
+    /// order per batch).
     ShardDone {
         /// Shard index in the plan.
         shard: usize,
@@ -66,5 +90,22 @@ pub enum SimEvent {
         detected: usize,
         /// The shard's own wall-clock seconds.
         seconds: f64,
+    },
+    /// A pattern batch completed (adaptive backend), after its shards'
+    /// `Detected`/`FaultDropped`/`ShardDone` events.
+    BatchDone {
+        /// Zero-based batch index.
+        batch: usize,
+        /// Global index of the batch's first pattern.
+        first_pattern: usize,
+        /// Patterns in the batch.
+        patterns: usize,
+        /// Shards the batch ran.
+        shards: usize,
+        /// Total detections so far in this run.
+        detected_so_far: usize,
+        /// The batch's measured load-imbalance ratio
+        /// (`max_shard_seconds / mean_shard_seconds`).
+        imbalance: f64,
     },
 }

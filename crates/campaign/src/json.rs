@@ -11,6 +11,25 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// A parsed JSON value.
+///
+/// ```
+/// use fmossim_campaign::json::{parse, Value};
+///
+/// let v = parse(r#"{"jobs": 4, "name": "ram64", "ok": true, "gone": null, "xs": [1, 2]}"#)
+///     .expect("well-formed");
+/// assert_eq!(v.get("jobs").and_then(Value::as_usize), Some(4));
+/// assert_eq!(v.get("jobs").and_then(Value::as_f64), Some(4.0));
+/// assert_eq!(v.get("name").and_then(Value::as_str), Some("ram64"));
+/// assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+/// assert!(v.get("gone").is_some_and(Value::is_null));
+/// assert_eq!(v.get("xs").and_then(Value::as_arr).map(<[Value]>::len), Some(2));
+/// assert_eq!(v.get("missing"), None);
+/// // `Display` serialises back to compact JSON with sorted keys.
+/// assert_eq!(
+///     v.to_string(),
+///     r#"{"gone":null,"jobs":4,"name":"ram64","ok":true,"xs":[1,2]}"#
+/// );
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub enum Value {
     /// `null`.
@@ -135,6 +154,13 @@ impl std::fmt::Display for Value {
 }
 
 /// Convenience: builds an object from key/value pairs.
+///
+/// ```
+/// use fmossim_campaign::json::{obj, Value};
+///
+/// let v = obj([("b", Value::Num(1.0)), ("a", Value::Bool(false))]);
+/// assert_eq!(v.to_string(), r#"{"a":false,"b":1}"#); // sorted keys
+/// ```
 #[must_use]
 pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
     Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
@@ -159,6 +185,13 @@ fn write_json_string(s: &str, out: &mut String) {
 }
 
 /// Parses JSON text into a [`Value`].
+///
+/// ```
+/// use fmossim_campaign::json::{parse, Value};
+///
+/// assert_eq!(parse("[1, true]").unwrap().as_arr().unwrap().len(), 2);
+/// assert!(parse("{\"open\": ").is_err());
+/// ```
 ///
 /// # Errors
 ///

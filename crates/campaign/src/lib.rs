@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod backend;
 mod campaign;
 mod event;
@@ -58,6 +59,7 @@ pub mod json;
 mod report;
 mod spec;
 
+pub use adaptive::{AdaptiveBackend, AdaptiveConfig, BatchTelemetry, DEFAULT_BATCH_PATTERNS};
 pub use backend::{Backend, BackendRun, CampaignBackend, RunControl, Workload};
 pub use campaign::Campaign;
 pub use event::SimEvent;

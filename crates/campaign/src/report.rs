@@ -4,12 +4,19 @@
 //! [`to_json`](CampaignReport::to_json) /
 //! [`from_json`](CampaignReport::from_json) (no external deps).
 
+use crate::adaptive::BatchTelemetry;
 use crate::json::{obj, parse, Value};
 use fmossim_core::{Detection, DetectionPolicy, PatternStats, RunReport};
 use fmossim_faults::FaultId;
 use fmossim_netlist::Logic;
 
 /// Why a campaign stopped.
+///
+/// ```
+/// use fmossim_campaign::StopReason;
+///
+/// assert_eq!(StopReason::default(), StopReason::Completed);
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum StopReason {
     /// The whole pattern sequence was simulated.
@@ -42,6 +49,26 @@ impl StopReason {
 
 /// Echo of the run-control options and detection policy a campaign ran
 /// with, so an archived report is self-describing.
+///
+/// ```
+/// use fmossim_campaign::{Campaign, StopReason};
+/// use fmossim_circuits::Ram;
+/// use fmossim_faults::FaultUniverse;
+/// use fmossim_testgen::TestSequence;
+///
+/// let ram = Ram::new(4, 4);
+/// let seq = TestSequence::full(&ram);
+/// let report = Campaign::new(ram.network())
+///     .faults(FaultUniverse::stuck_nodes(ram.network()))
+///     .patterns(seq.patterns())
+///     .outputs(ram.observed_outputs())
+///     .pattern_limit(3)
+///     .drop_detected(false)
+///     .run();
+/// assert_eq!(report.control.pattern_limit, Some(3));
+/// assert!(!report.control.drop_detected);
+/// assert_eq!(report.stop, StopReason::PatternLimit);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ControlEcho {
     /// The coverage target, if one was set.
@@ -78,6 +105,26 @@ fn policy_parse(s: &str) -> Option<DetectionPolicy> {
 /// The result of [`Campaign::run`](crate::Campaign::run): one stable
 /// artifact covering every backend, so benches, the CLI, and archived
 /// runs all speak the same format.
+///
+/// ```
+/// use fmossim_campaign::{Campaign, CampaignReport};
+/// use fmossim_circuits::Ram;
+/// use fmossim_faults::FaultUniverse;
+/// use fmossim_testgen::TestSequence;
+///
+/// let ram = Ram::new(4, 4);
+/// let seq = TestSequence::full(&ram);
+/// let report = Campaign::new(ram.network())
+///     .faults(FaultUniverse::stuck_nodes(ram.network()))
+///     .patterns(seq.patterns())
+///     .outputs(ram.observed_outputs())
+///     .run();
+/// assert_eq!(report.detected(), report.detections().len());
+/// assert!(report.coverage() > 0.0);
+/// // The JSON artifact round-trips exactly.
+/// let back = CampaignReport::from_json(&report.to_json()).unwrap();
+/// assert_eq!(back, report);
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct CampaignReport {
     /// Strategy name ("serial", "concurrent", "parallel", or a custom
@@ -107,8 +154,14 @@ pub struct CampaignReport {
     /// when a tape was recorded and replayed).
     pub tape_record_seconds: Option<f64>,
     /// Good-machine vicinities on the tape — the per-shard solver work
-    /// replay skipped (parallel backend when a tape was used).
+    /// replay skipped (parallel backend when a tape was used; for the
+    /// adaptive backend, summed over its per-batch tapes).
     pub tape_groups: Option<usize>,
+    /// Per-batch telemetry of an adaptive run (shard counts, rebalance
+    /// deltas, imbalance ratios, tape stats); empty for every other
+    /// backend and for documents written before the adaptive backend
+    /// existed.
+    pub batches: Vec<BatchTelemetry>,
     /// The measurements, in the common per-pattern report format.
     pub run: RunReport,
 }
@@ -135,6 +188,24 @@ impl CampaignReport {
 
     /// Serialises to the stable JSON artifact format (compact, one
     /// line, deterministic key order).
+    ///
+    /// ```
+    /// # use fmossim_campaign::{Campaign, CampaignReport};
+    /// # use fmossim_circuits::Ram;
+    /// # use fmossim_faults::FaultUniverse;
+    /// # use fmossim_testgen::TestSequence;
+    /// # let ram = Ram::new(4, 4);
+    /// # let seq = TestSequence::full(&ram);
+    /// # let report = Campaign::new(ram.network())
+    /// #     .faults(FaultUniverse::stuck_nodes(ram.network()))
+    /// #     .patterns(seq.patterns())
+    /// #     .outputs(ram.observed_outputs())
+    /// #     .pattern_limit(2)
+    /// #     .run();
+    /// let text = report.to_json();
+    /// assert!(text.starts_with("{\"backend\":"));
+    /// assert!(text.contains("\"format\":\"fmossim-campaign-report\""));
+    /// ```
     #[must_use]
     pub fn to_json(&self) -> String {
         let opt_num = |v: Option<f64>| v.map_or(Value::Null, Value::Num);
@@ -202,6 +273,30 @@ impl CampaignReport {
             ("tape_record_seconds", opt_num(self.tape_record_seconds)),
             ("tape_groups", opt_count(self.tape_groups)),
             (
+                "batches",
+                Value::Arr(
+                    self.batches
+                        .iter()
+                        .map(|b| {
+                            obj([
+                                ("first_pattern", Value::Num(b.first_pattern as f64)),
+                                ("patterns", Value::Num(b.patterns as f64)),
+                                ("live_before", Value::Num(b.live_before as f64)),
+                                ("detected", Value::Num(b.detected as f64)),
+                                ("workers", Value::Num(b.workers as f64)),
+                                ("shards", Value::Num(b.shards as f64)),
+                                ("moved_faults", Value::Num(b.moved_faults as f64)),
+                                ("max_shard_seconds", Value::Num(b.max_shard_seconds)),
+                                ("mean_shard_seconds", Value::Num(b.mean_shard_seconds)),
+                                ("imbalance", Value::Num(b.imbalance)),
+                                ("tape_record_seconds", Value::Num(b.tape_record_seconds)),
+                                ("tape_groups", Value::Num(b.tape_groups as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
                 "run",
                 obj([
                     ("num_faults", Value::Num(self.run.num_faults as f64)),
@@ -215,6 +310,13 @@ impl CampaignReport {
     }
 
     /// Parses a report back from its JSON artifact.
+    ///
+    /// ```
+    /// use fmossim_campaign::CampaignReport;
+    ///
+    /// assert!(CampaignReport::from_json("{}").is_err(), "foreign document");
+    /// assert!(CampaignReport::from_json("not json").is_err());
+    /// ```
     ///
     /// # Errors
     ///
@@ -390,6 +492,41 @@ impl CampaignReport {
                 None | Some(Value::Null) => None,
                 Some(val) => Some(val.as_usize().ok_or("bad tape_groups")?),
             },
+            // Absent in version-1 documents written before the
+            // adaptive backend: default to "no batch telemetry".
+            batches: match v.get("batches") {
+                None | Some(Value::Null) => Vec::new(),
+                Some(val) => {
+                    let mut batches = Vec::new();
+                    for b in val.as_arr().ok_or("bad batches")? {
+                        let bcount = |name: &str| {
+                            b.get(name)
+                                .and_then(Value::as_usize)
+                                .ok_or(format!("bad batch {name}"))
+                        };
+                        let bnum = |name: &str| {
+                            b.get(name)
+                                .and_then(Value::as_f64)
+                                .ok_or(format!("bad batch {name}"))
+                        };
+                        batches.push(BatchTelemetry {
+                            first_pattern: bcount("first_pattern")?,
+                            patterns: bcount("patterns")?,
+                            live_before: bcount("live_before")?,
+                            detected: bcount("detected")?,
+                            workers: bcount("workers")?,
+                            shards: bcount("shards")?,
+                            moved_faults: bcount("moved_faults")?,
+                            max_shard_seconds: bnum("max_shard_seconds")?,
+                            mean_shard_seconds: bnum("mean_shard_seconds")?,
+                            imbalance: bnum("imbalance")?,
+                            tape_record_seconds: bnum("tape_record_seconds")?,
+                            tape_groups: bcount("tape_groups")?,
+                        });
+                    }
+                    batches
+                }
+            },
             run,
         })
     }
@@ -419,6 +556,20 @@ mod tests {
             serial_estimate_seconds: None,
             tape_record_seconds: Some(0.0625),
             tape_groups: Some(40),
+            batches: vec![BatchTelemetry {
+                first_pattern: 0,
+                patterns: 2,
+                live_before: 10,
+                detected: 2,
+                workers: 4,
+                shards: 8,
+                moved_faults: 3,
+                max_shard_seconds: 0.5,
+                mean_shard_seconds: 0.25,
+                imbalance: 2.0,
+                tape_record_seconds: 0.0625,
+                tape_groups: 40,
+            }],
             run: RunReport {
                 patterns: vec![
                     PatternStats {
@@ -486,7 +637,12 @@ mod tests {
     /// archive.
     #[test]
     fn parses_pre_tape_documents() {
-        let text = sample_report()
+        // Pre-tape documents predate batch telemetry too; an empty
+        // `batches` also keeps the textual surgery below from touching
+        // the per-batch tape keys.
+        let mut report = sample_report();
+        report.batches.clear();
+        let text = report
             .to_json()
             .replace(",\"reuse_good_tape\":true", "")
             .replace(",\"tape_record_seconds\":0.0625", "")
@@ -495,6 +651,18 @@ mod tests {
         assert!(back.control.reuse_good_tape, "defaults to the knob default");
         assert_eq!(back.tape_record_seconds, None);
         assert_eq!(back.tape_groups, None);
+    }
+
+    /// Version-1 documents written before the adaptive backend carry
+    /// no `batches` key; parsing must default to empty telemetry.
+    #[test]
+    fn parses_pre_adaptive_documents() {
+        let mut report = sample_report();
+        report.batches.clear();
+        let text = report.to_json().replace(",\"batches\":[]", "");
+        assert!(!text.contains("batches"), "key really removed: {text}");
+        let back = CampaignReport::from_json(&text).expect("lenient parse");
+        assert!(back.batches.is_empty());
     }
 
     #[test]

@@ -6,9 +6,24 @@ use fmossim_faults::FaultUniverse;
 use fmossim_netlist::Network;
 
 /// Spellings accepted by [`universe_from_spec`], for usage messages.
+///
+/// ```
+/// assert!(fmossim_campaign::UNIVERSE_SPECS.contains(&"stuck-nodes"));
+/// ```
 pub const UNIVERSE_SPECS: [&str; 3] = ["stuck-nodes", "stuck-transistors", "all"];
 
 /// Builds a fault universe from its CLI spelling:
+///
+/// ```
+/// use fmossim_campaign::universe_from_spec;
+/// use fmossim_circuits::Ram;
+///
+/// let ram = Ram::new(4, 4);
+/// let nodes = universe_from_spec(ram.network(), "stuck-nodes").unwrap();
+/// let all = universe_from_spec(ram.network(), "all").unwrap();
+/// assert!(all.len() > nodes.len());
+/// assert!(universe_from_spec(ram.network(), "everything").is_err());
+/// ```
 ///
 /// * `stuck-nodes` — every storage node stuck-at-0/1 (the paper's
 ///   primary class);

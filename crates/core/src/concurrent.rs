@@ -130,6 +130,32 @@ impl ConcurrentConfig {
     }
 }
 
+/// A faulty circuit's complete carried state at a pattern boundary,
+/// exported by [`ConcurrentSim::export_fault`] and re-imported by
+/// [`ConcurrentSim::resume`].
+///
+/// Because the good machine is shared (and, under record/replay,
+/// carried by the [`GoodTape`] / [`TapeRecorder`](crate::TapeRecorder)
+/// pair), a faulty circuit's entire mid-sequence state reduces to its
+/// divergence records plus a detected-once flag: private event queues
+/// are empty between patterns (every settle drains them), and the
+/// structural overrides are re-derivable from the fault itself. This
+/// is what lets a batch-level driver re-partition surviving faults
+/// into *different* shards between pattern batches without changing
+/// any result bit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// The circuit's divergence records, `(node, state)` in ascending
+    /// node order — exactly the nodes where the faulty circuit differs
+    /// from the good one.
+    pub records: Vec<(NodeId, Logic)>,
+    /// True iff the fault has already been counted as detected
+    /// (meaningful when simulating past detection with
+    /// [`ConcurrentConfig::drop_on_detect`] off; a resumed circuit
+    /// with this flag set is never counted again).
+    pub detected: bool,
+}
+
 /// The concurrent switch-level fault simulator.
 ///
 /// # Example
@@ -250,6 +276,85 @@ impl<'n> ConcurrentSim<'n> {
             list.dedup();
         }
         sim
+    }
+
+    /// Reconstructs a mid-sequence simulator from a good-machine state
+    /// snapshot and per-fault [`FaultSnapshot`]s — the batch-continuable
+    /// replay entry point that shard re-planners use between pattern
+    /// batches.
+    ///
+    /// `good` must be the good machine's state at the batch boundary
+    /// (for replay: the [`TapeRecorder`](crate::TapeRecorder)'s state
+    /// *before* recording the next batch), and `snapshots[k]` the state
+    /// [`ConcurrentSim::export_fault`] returned for `faults[k]` at that
+    /// same boundary. Unlike [`ConcurrentSim::new`], no initial fault
+    /// seeds are queued and no reset perturbation is pending: the
+    /// circuits were already seeded when their original simulator
+    /// started, and re-seeding here would replay start-of-sequence
+    /// transients into the middle of it.
+    ///
+    /// Continuing such a simulator with
+    /// [`ConcurrentSim::run_replayed_from`] over the next batch's tape
+    /// is bit-identical to having simulated the whole sequence in one
+    /// simulator — regardless of how faults are re-partitioned across
+    /// simulators at each boundary (`tests/adaptive_equivalence.rs`
+    /// asserts this workspace-wide).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshots` and `faults` have different lengths.
+    #[must_use]
+    pub fn resume(
+        net: &'n Network,
+        faults: &[Fault],
+        config: ConcurrentConfig,
+        good: &DenseState<'n>,
+        snapshots: &[FaultSnapshot],
+    ) -> Self {
+        assert_eq!(
+            faults.len(),
+            snapshots.len(),
+            "one snapshot per resumed fault"
+        );
+        let mut sim = ConcurrentSim::new(net, faults, config);
+        // Replace the reset-state good machine with the boundary state
+        // and discard the constructor's pending perturbations and
+        // initial fault seeds: the tape covers the former, the original
+        // batch-0 run already consumed the latter.
+        sim.good = good.clone();
+        sim.engine.clear_pending();
+        sim.pending.clear();
+        for (k, snap) in snapshots.iter().enumerate() {
+            let circ = u32::try_from(k + 1).expect("fault id fits");
+            for &(node, v) in &snap.records {
+                sim.records.set(node, circ, v);
+            }
+            sim.detected_once[circ as usize] = snap.detected;
+        }
+        sim
+    }
+
+    /// Exports the carried state of fault `f` at a pattern boundary —
+    /// the other half of [`ConcurrentSim::resume`]. Returns `None` for
+    /// a dropped circuit (nothing survives to carry) or an
+    /// out-of-range id.
+    #[must_use]
+    pub fn export_fault(&self, f: FaultId) -> Option<FaultSnapshot> {
+        let circ = f.index() + 1;
+        if circ > self.fault_sets.len() || self.dropped[circ] {
+            return None;
+        }
+        let circ = u32::try_from(circ).expect("fault id fits");
+        let records = self
+            .records
+            .nodes_of(circ)
+            .into_iter()
+            .map(|n| (n, self.records.get(n, circ).expect("node has a record")))
+            .collect();
+        Some(FaultSnapshot {
+            records,
+            detected: self.detected_once[circ as usize],
+        })
     }
 
     /// The fault sets being simulated, in circuit order (singleton
@@ -504,6 +609,35 @@ impl<'n> ConcurrentSim<'n> {
         outputs: &[NodeId],
         tape: &GoodTape,
     ) -> RunReport {
+        self.run_replayed_from(patterns, outputs, tape, 0)
+    }
+
+    /// [`ConcurrentSim::run_replayed`] for one *batch* of a longer
+    /// sequence: `patterns` is the batch, `tape` its recorded
+    /// good-machine activity, and `first_pattern` the batch's offset in
+    /// the full sequence — detections carry global pattern indices, so
+    /// batch reports merge into whole-sequence reports without
+    /// relabelling. The returned per-pattern statistics remain local to
+    /// the batch (index 0 is the batch's first pattern); batch drivers
+    /// concatenate them in batch order.
+    ///
+    /// The simulator must be at the batch's starting state: a fresh
+    /// simulator for the first batch, or one rebuilt at the boundary
+    /// via [`ConcurrentSim::resume`] (equivalently, the same simulator
+    /// continued across batches), with the tape recorded by a single
+    /// [`TapeRecorder`](crate::TapeRecorder) batch by batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tape's shape (network node count, pattern and
+    /// phase counts) does not match `patterns`.
+    pub fn run_replayed_from(
+        &mut self,
+        patterns: &[Pattern],
+        outputs: &[NodeId],
+        tape: &GoodTape,
+        first_pattern: usize,
+    ) -> RunReport {
         assert!(
             tape.matches(self.net.num_nodes(), patterns),
             "good tape does not match the pattern sequence \
@@ -524,7 +658,7 @@ impl<'n> ConcurrentSim<'n> {
                 pattern,
                 tape.pattern(pi),
                 outputs,
-                pi,
+                first_pattern + pi,
             ));
         }
         report.detections = self.detections[detections_before..].to_vec();
@@ -1077,6 +1211,68 @@ mod tests {
         }
         assert_eq!(replay.detections(), live.detections());
         assert_eq!(replay.record_count(), live.record_count());
+    }
+
+    /// Export at a pattern boundary, re-partition the surviving faults
+    /// into *different* simulators, resume, replay the rest of the
+    /// sequence batch by batch: detections (with global pattern
+    /// indices) must equal the unbroken run's.
+    #[test]
+    fn export_resume_repartition_is_bit_identical() {
+        let (net, a, out) = inverter();
+        let universe =
+            FaultUniverse::stuck_nodes(&net).union(FaultUniverse::stuck_transistors(&net));
+        let mut patterns = toggle_patterns(a);
+        patterns.extend(toggle_patterns(a));
+        let config = ConcurrentConfig {
+            drop_on_detect: false, // keep every circuit alive across the cut
+            ..ConcurrentConfig::default()
+        };
+
+        let mut whole = ConcurrentSim::new(&net, universe.faults(), config);
+        let whole_report = whole.run(&patterns, &[out]);
+
+        let cut = 1;
+        let mut recorder = crate::tape::TapeRecorder::new(&net, config.engine);
+        let tape0 = recorder.record(&patterns[..cut]);
+        let mut first = ConcurrentSim::new(&net, universe.faults(), config);
+        let rep0 = first.run_replayed_from(&patterns[..cut], &[out], &tape0, 0);
+
+        // Boundary: snapshot the good machine and every fault, then
+        // deal the faults to two new simulators in reversed order.
+        let boundary_good = recorder.good_state().clone();
+        let n = universe.len();
+        let snaps: Vec<FaultSnapshot> = (0..n)
+            .map(|k| {
+                first
+                    .export_fault(FaultId(u32::try_from(k).unwrap()))
+                    .expect("nothing dropped")
+            })
+            .collect();
+        let tape1 = recorder.record(&patterns[cut..]);
+        let (half_a, half_b) = universe.faults().split_at(n / 2);
+        let (snap_a, snap_b) = snaps.split_at(n / 2);
+        let mut detections = rep0.detections.clone();
+        for (faults, snaps, id_base) in [(half_b, snap_b, n / 2), (half_a, snap_a, 0)] {
+            let mut sim = ConcurrentSim::resume(&net, faults, config, &boundary_good, snaps);
+            let mut rep = sim.run_replayed_from(&patterns[cut..], &[out], &tape1, cut);
+            rep.relabel_faults(|local| FaultId(u32::try_from(id_base + local.index()).unwrap()));
+            detections.extend(rep.detections);
+        }
+        detections.sort_by_key(|d| (d.pattern, d.phase, d.fault.index()));
+        let mut expected = whole_report.detections.clone();
+        expected.sort_by_key(|d| (d.pattern, d.phase, d.fault.index()));
+        assert_eq!(detections, expected);
+    }
+
+    #[test]
+    fn export_fault_reports_dropped_and_out_of_range() {
+        let (net, a, out) = inverter();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let mut sim = ConcurrentSim::new(&net, universe.faults(), ConcurrentConfig::paper());
+        let _ = sim.run(&toggle_patterns(a), &[out]);
+        assert_eq!(sim.export_fault(FaultId(0)), None, "dropped on detection");
+        assert_eq!(sim.export_fault(FaultId(99)), None, "out of range");
     }
 
     #[test]

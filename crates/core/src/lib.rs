@@ -37,8 +37,12 @@ mod report;
 mod serial;
 mod tape;
 
-pub use concurrent::{ConcurrentConfig, ConcurrentSim};
+pub use concurrent::{ConcurrentConfig, ConcurrentSim, FaultSnapshot};
 pub use dictionary::{FaultDictionary, Syndrome};
+// `DenseState` is re-exported so batch drivers can snapshot the good
+// machine (`TapeRecorder::good_state`) and hand it to
+// `ConcurrentSim::resume` without depending on `fmossim-switch`.
+pub use fmossim_switch::DenseState;
 pub use overlay::{FaultyView, Overrides, SerialState};
 pub use pattern::{Pattern, Phase};
 pub use records::{StateListStore, StateLists};

@@ -1,0 +1,410 @@
+//! Batch-level execution mechanics for *adaptive* parallel runs: a
+//! measured per-fault cost model ([`CostModel`]) and a pool that runs
+//! one pattern batch over a [`ShardPlan`] ([`run_batch`]), resuming
+//! carried fault state at every batch boundary.
+//!
+//! [`ParallelSim`](crate::ParallelSim) plans once and runs the whole
+//! sequence; the adaptive loop (implemented as a campaign backend on
+//! top of this module) instead iterates `record → replay-into-shards →
+//! merge → re-plan`. Between batches the surviving faults are
+//! re-partitioned from *measured* shard times — which is only sound
+//! because a faulty circuit's whole mid-sequence state is portable: the
+//! good machine is carried by the
+//! [`TapeRecorder`](fmossim_core::TapeRecorder), and each fault reduces
+//! to a [`FaultSnapshot`] ([`fmossim_core::ConcurrentSim::export_fault`]
+//! / [`resume`](fmossim_core::ConcurrentSim::resume)).
+
+use crate::plan::{fault_cost, ShardPlan};
+use fmossim_core::{
+    ConcurrentConfig, ConcurrentSim, DenseState, FaultSnapshot, GoodTape, Pattern, RunReport,
+};
+use fmossim_faults::{FaultId, FaultUniverse};
+use fmossim_netlist::{Network, NodeId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Default EWMA smoothing factor for [`CostModel::observe`]: half new
+/// measurement, half history — reactive enough to follow the falling
+/// live-fault curve, damped enough to ride out timer noise on short
+/// batches.
+pub const DEFAULT_COST_ALPHA: f64 = 0.5;
+
+/// Per-fault simulation-cost estimates, seeded from the static
+/// footprint proxy ([`fault_cost`]) and refined between batches from
+/// measured shard times — the feedback signal the adaptive backend
+/// re-plans with.
+///
+/// A shard's measured seconds are apportioned over its faults in
+/// proportion to their current estimates, then folded into each
+/// estimate with an exponentially weighted moving average. After the
+/// first observation the estimates are in (approximate) seconds; only
+/// their *ratios* matter to [`ShardPlan::build_weighted`].
+///
+/// ```
+/// use fmossim_faults::{Fault, FaultId, FaultUniverse};
+/// use fmossim_netlist::{Logic, Network, Size};
+/// use fmossim_par::{CostModel, ShardPlan};
+///
+/// let mut net = Network::new();
+/// let s = net.add_storage("S", Size::S1);
+/// let fault = |v| Fault::NodeStuck { node: s, value: v };
+/// let universe = FaultUniverse::from_faults(vec![fault(Logic::L), fault(Logic::H)]);
+/// let mut model = CostModel::new(&net, &universe);
+/// // Both faults start at the same static estimate...
+/// assert_eq!(model.estimate(FaultId(0)), model.estimate(FaultId(1)));
+/// // ...until a measured batch shows shard 1 (fault 1) running 3x longer.
+/// let plan = ShardPlan::build_weighted(&[FaultId(0), FaultId(1)], 2, |_| 1.0);
+/// model.observe(&plan, &[1.0, 3.0]);
+/// assert!(model.estimate(FaultId(1)) > model.estimate(FaultId(0)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Estimate per parent-universe fault id.
+    est: Vec<f64>,
+    alpha: f64,
+}
+
+impl CostModel {
+    /// Seeds the model with the static footprint cost of every fault in
+    /// `universe`, with the default smoothing factor
+    /// ([`DEFAULT_COST_ALPHA`]).
+    #[must_use]
+    pub fn new(net: &Network, universe: &FaultUniverse) -> Self {
+        CostModel::with_alpha(net, universe, DEFAULT_COST_ALPHA)
+    }
+
+    /// [`CostModel::new`] with an explicit EWMA factor in `(0, 1]`
+    /// (1 = trust only the latest measurement; values are clamped into
+    /// that range).
+    #[must_use]
+    pub fn with_alpha(net: &Network, universe: &FaultUniverse, alpha: f64) -> Self {
+        CostModel {
+            est: universe
+                .iter()
+                .map(|(_, f)| fault_cost(net, &f) as f64)
+                .collect(),
+            alpha: if alpha.is_finite() {
+                alpha.clamp(f64::MIN_POSITIVE, 1.0)
+            } else {
+                DEFAULT_COST_ALPHA
+            },
+        }
+    }
+
+    /// The current estimate for one fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the seeding universe.
+    #[must_use]
+    pub fn estimate(&self, id: FaultId) -> f64 {
+        self.est[id.index()]
+    }
+
+    /// Summed estimates over a set of fault ids (e.g. the survivors a
+    /// re-plan must cover).
+    #[must_use]
+    pub fn total(&self, ids: &[FaultId]) -> f64 {
+        ids.iter().map(|&id| self.estimate(id)).sum()
+    }
+
+    /// Folds one batch's measured per-shard seconds into the
+    /// estimates. `shard_seconds[s]` is the measured wall-clock time of
+    /// `plan.shard(s)`; it is apportioned over the shard's faults in
+    /// proportion to their current estimates and EWMA-merged. Shards
+    /// with non-positive measurements or all-zero estimates are
+    /// skipped (no information).
+    pub fn observe(&mut self, plan: &ShardPlan, shard_seconds: &[f64]) {
+        for (s, ids) in plan.shards().enumerate() {
+            let Some(&secs) = shard_seconds.get(s) else {
+                continue;
+            };
+            if secs <= 0.0 || !secs.is_finite() {
+                continue;
+            }
+            let base: f64 = ids.iter().map(|&id| self.estimate(id)).sum();
+            if base <= 0.0 {
+                continue;
+            }
+            let scale = secs / base;
+            for &id in ids {
+                let measured = self.est[id.index()] * scale;
+                let e = &mut self.est[id.index()];
+                *e += self.alpha * (measured - *e);
+            }
+        }
+    }
+}
+
+/// The state a batch resumes from: the good machine at the batch
+/// boundary plus every surviving fault's carried divergence, indexed by
+/// parent-universe fault id.
+///
+/// Produced by the previous [`run_batch`] call's
+/// [`BatchRun::survivors`] (folded into the id-indexed table) and the
+/// [`TapeRecorder::good_state`](fmossim_core::TapeRecorder::good_state)
+/// snapshot taken *before* recording the next batch.
+#[derive(Clone, Debug)]
+pub struct ResumePoint<'n> {
+    /// The good machine's state at the boundary.
+    pub good: DenseState<'n>,
+    /// `snapshots[id.index()]` for every surviving fault; `None` for
+    /// faults that were detected-and-dropped (they must not appear in
+    /// the plan).
+    pub snapshots: Vec<Option<FaultSnapshot>>,
+}
+
+/// Everything one [`run_batch`] call produces.
+#[derive(Clone, Debug, Default)]
+pub struct BatchRun {
+    /// Per-shard reports (indexed by shard, detections relabelled to
+    /// parent-universe fault ids and carrying *global* pattern
+    /// indices).
+    pub reports: Vec<RunReport>,
+    /// Each shard's own wall-clock seconds, indexed by shard — the
+    /// feedback signal for [`CostModel::observe`].
+    pub shard_seconds: Vec<f64>,
+    /// Carried state of every fault that survived the batch
+    /// (undetected, or detected with dropping off), as
+    /// `(parent id, snapshot)` in ascending id order per shard.
+    pub survivors: Vec<(FaultId, FaultSnapshot)>,
+}
+
+/// Runs one pattern batch over `plan` on a pool of `workers` scoped
+/// threads, replaying `tape` in every shard.
+///
+/// For the first batch pass `resume: None`: each shard starts a fresh
+/// [`ConcurrentSim`] exactly as [`ParallelSim`](crate::ParallelSim)
+/// would. For later batches pass the [`ResumePoint`] assembled at the
+/// boundary; shard membership may differ arbitrarily from the previous
+/// batch's plan — results are bit-identical either way.
+///
+/// `patterns` is the batch slice, `first_pattern` its offset in the
+/// full sequence (detections carry global indices), and `tape` must be
+/// this batch's recording from the single
+/// [`TapeRecorder`](fmossim_core::TapeRecorder) that is carrying the
+/// good machine across batches.
+///
+/// # Panics
+///
+/// Panics if a planned fault id has no snapshot in `resume`, or if the
+/// tape does not match the batch.
+#[allow(clippy::too_many_arguments)] // one call site, symmetric data
+#[must_use]
+pub fn run_batch(
+    net: &Network,
+    universe: &FaultUniverse,
+    plan: &ShardPlan,
+    workers: usize,
+    sim: ConcurrentConfig,
+    resume: Option<&ResumePoint<'_>>,
+    tape: &GoodTape,
+    patterns: &[Pattern],
+    outputs: &[NodeId],
+    first_pattern: usize,
+) -> BatchRun {
+    let n_shards = plan.num_shards();
+    let workers = workers.clamp(1, n_shards.max(1));
+
+    let run_shard = |s: usize| -> (RunReport, Vec<(FaultId, FaultSnapshot)>) {
+        let ids = plan.shard(s);
+        let shard_universe = universe.subset(ids);
+        let mut shard_sim = match resume {
+            None => ConcurrentSim::new(net, shard_universe.faults(), sim),
+            Some(point) => {
+                let snaps: Vec<FaultSnapshot> = ids
+                    .iter()
+                    .map(|id| {
+                        point.snapshots[id.index()]
+                            .clone()
+                            .expect("planned fault has a carried snapshot")
+                    })
+                    .collect();
+                ConcurrentSim::resume(net, shard_universe.faults(), sim, &point.good, &snaps)
+            }
+        };
+        let mut report = shard_sim.run_replayed_from(patterns, outputs, tape, first_pattern);
+        report.relabel_faults(|local| ids[local.index()]);
+        let survivors = ids
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &gid)| {
+                shard_sim
+                    .export_fault(FaultId(u32::try_from(k).expect("shard fits u32")))
+                    .map(|snap| (gid, snap))
+            })
+            .collect();
+        (report, survivors)
+    };
+
+    let mut out = BatchRun {
+        reports: vec![RunReport::default(); n_shards],
+        shard_seconds: vec![0.0; n_shards],
+        survivors: Vec::new(),
+    };
+    let mut per_shard_survivors: Vec<Vec<(FaultId, FaultSnapshot)>> = vec![Vec::new(); n_shards];
+    if n_shards <= 1 || workers == 1 {
+        for (s, slot) in per_shard_survivors.iter_mut().enumerate() {
+            let (report, survivors) = run_shard(s);
+            out.shard_seconds[s] = report.total_seconds;
+            out.reports[s] = report;
+            *slot = survivors;
+        }
+    } else {
+        // Queue-pulling pool, the sibling of `ParallelSim::run_streaming`
+        // (driver.rs). Kept separate rather than unified: that pool
+        // streams completions to an observer and supports early
+        // cancellation mid-run, while a batch is the unit of
+        // cancellation here (the adaptive loop stops *between*
+        // batches), so this one only collects. A fix to the queue
+        // mechanics of either should be mirrored in the other.
+        let next = &AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let run_shard = &run_shard;
+                scope.spawn(move || loop {
+                    let s = next.fetch_add(1, Ordering::Relaxed);
+                    if s >= n_shards {
+                        break;
+                    }
+                    if tx.send((s, run_shard(s))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (s, (report, survivors)) in rx {
+                out.shard_seconds[s] = report.total_seconds;
+                out.reports[s] = report;
+                per_shard_survivors[s] = survivors;
+            }
+        });
+    }
+    // Survivors in shard-then-id order; callers index by id anyway.
+    out.survivors = per_shard_survivors.into_iter().flatten().collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_core::{Phase, TapeRecorder};
+    use fmossim_netlist::{Drive, Logic, Size, TransistorType};
+
+    fn two_inverters() -> (Network, Vec<NodeId>, Vec<Pattern>) {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let b = net.add_input("B", Logic::L);
+        let mut outs = Vec::new();
+        for (name, inp) in [("OA", a), ("OB", b)] {
+            let out = net.add_storage(name, Size::S1);
+            net.add_transistor(TransistorType::P, Drive::D2, inp, vdd, out);
+            net.add_transistor(TransistorType::N, Drive::D2, inp, out, gnd);
+            outs.push(out);
+        }
+        let patterns = vec![
+            Pattern::new(vec![Phase::strobe(vec![(a, Logic::L), (b, Logic::L)])]),
+            Pattern::new(vec![Phase::strobe(vec![(a, Logic::H), (b, Logic::H)])]),
+        ];
+        (net, outs, patterns)
+    }
+
+    /// Two single-pattern batches with a re-partition in between must
+    /// reproduce the one-shot parallel detection set, with global
+    /// pattern indices.
+    #[test]
+    fn batched_run_matches_one_shot() {
+        let (net, outs, patterns) = two_inverters();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let sim = ConcurrentConfig::paper();
+        let one_shot = {
+            let config = crate::ParallelConfig {
+                jobs: crate::Jobs::Fixed(2),
+                sim,
+                ..crate::ParallelConfig::default()
+            };
+            crate::ParallelSim::new(&net, universe.clone(), config).run(&patterns, &outs)
+        };
+
+        let all: Vec<FaultId> = universe.iter().map(|(id, _)| id).collect();
+        let mut recorder = TapeRecorder::new(&net, sim.engine);
+        let plan0 = ShardPlan::build_weighted(&all, 2, |_| 1.0);
+        let tape0 = recorder.record(&patterns[..1]);
+        let b0 = run_batch(
+            &net,
+            &universe,
+            &plan0,
+            2,
+            sim,
+            None,
+            &tape0,
+            &patterns[..1],
+            &outs,
+            0,
+        );
+
+        // Boundary: snapshot, drop detected, re-plan the survivors
+        // into a deliberately different partition (one shard).
+        let good = recorder.good_state().clone();
+        let mut snapshots: Vec<Option<FaultSnapshot>> = vec![None; universe.len()];
+        let mut alive = Vec::new();
+        for (id, snap) in &b0.survivors {
+            snapshots[id.index()] = Some(snap.clone());
+            alive.push(*id);
+        }
+        assert!(alive.len() < universe.len(), "pattern 0 detects something");
+        let resume = ResumePoint { good, snapshots };
+        let plan1 = ShardPlan::build_weighted(&alive, 1, |_| 1.0);
+        let tape1 = recorder.record(&patterns[1..]);
+        let b1 = run_batch(
+            &net,
+            &universe,
+            &plan1,
+            2,
+            sim,
+            Some(&resume),
+            &tape1,
+            &patterns[1..],
+            &outs,
+            1,
+        );
+
+        let mut detections: Vec<_> = b0
+            .reports
+            .iter()
+            .chain(&b1.reports)
+            .flat_map(|r| r.detections.clone())
+            .collect();
+        detections.sort_by_key(|d| (d.pattern, d.phase, d.fault.index()));
+        assert_eq!(detections, one_shot.detections);
+    }
+
+    #[test]
+    fn cost_model_feedback_shifts_estimates() {
+        let (net, _, _) = two_inverters();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let all: Vec<FaultId> = universe.iter().map(|(id, _)| id).collect();
+        let mut model = CostModel::with_alpha(&net, &universe, 1.0);
+        let before = model.total(&all);
+        assert!(before > 0.0);
+        let plan = ShardPlan::build_weighted(&all, all.len(), |_| 1.0);
+        // Shard k measured at (k+1) seconds: estimates become exactly
+        // the measurements under alpha = 1.
+        let secs: Vec<f64> = (0..plan.num_shards()).map(|k| (k + 1) as f64).collect();
+        model.observe(&plan, &secs);
+        for (s, ids) in plan.shards().enumerate() {
+            let est: f64 = ids.iter().map(|&id| model.estimate(id)).sum();
+            assert!((est - secs[s]).abs() < 1e-9, "shard {s}: {est}");
+        }
+        // Zero / missing measurements leave estimates untouched.
+        let frozen = model.clone();
+        model.observe(&plan, &[0.0]);
+        for &id in &all {
+            assert_eq!(model.estimate(id), frozen.estimate(id));
+        }
+    }
+}

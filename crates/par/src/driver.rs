@@ -284,6 +284,9 @@ impl<'n> ParallelSim<'n> {
                 }
             }
         } else {
+            // Queue-pulling pool with streaming + early cancel; its
+            // collect-only sibling lives in `batch::run_batch`. A fix
+            // to the queue mechanics of either should be mirrored.
             let next = &AtomicUsize::new(0);
             let stop = &AtomicBool::new(false);
             let (tx, rx) = mpsc::channel::<(usize, RunReport)>();

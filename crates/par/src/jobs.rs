@@ -56,6 +56,44 @@ impl Jobs {
             }
         }
     }
+
+    /// The feedback half of [`Jobs::Auto`]: re-sizes an
+    /// already-resolved pool between pattern batches as the surviving
+    /// workload shrinks. `resolved` is what [`Jobs::resolve`] returned
+    /// at planning time, `initial_cost` the whole universe's estimated
+    /// cost then, and `surviving_cost` the current estimate for the
+    /// faults still live (both in any consistent unit — the static
+    /// [`fault_cost`] total, or a [`crate::CostModel`]'s
+    /// measured-seconds total).
+    ///
+    /// `Fixed(n)` pools never resize (the user asked for exactly `n`);
+    /// `Auto` pools scale down proportionally with the surviving cost,
+    /// never below one worker and never above the initial resolution —
+    /// detected faults dropping out is the only feedback that can
+    /// shrink a batch, so growing back is impossible by construction.
+    ///
+    /// ```
+    /// use fmossim_par::Jobs;
+    ///
+    /// assert_eq!(Jobs::Auto.refine(8, 1000.0, 1000.0), 8);
+    /// assert_eq!(Jobs::Auto.refine(8, 1000.0, 500.0), 4); // half detected
+    /// assert_eq!(Jobs::Auto.refine(8, 1000.0, 1.0), 1);   // floor
+    /// assert_eq!(Jobs::Fixed(8).refine(8, 1000.0, 1.0), 8); // user said 8
+    /// ```
+    #[must_use]
+    pub fn refine(self, resolved: usize, initial_cost: f64, surviving_cost: f64) -> usize {
+        match self {
+            Jobs::Fixed(_) => resolved.max(1),
+            Jobs::Auto => {
+                if initial_cost <= 0.0 || !initial_cost.is_finite() || !surviving_cost.is_finite() {
+                    return resolved.max(1);
+                }
+                let scaled = (resolved as f64 * (surviving_cost / initial_cost).clamp(0.0, 1.0))
+                    .round() as usize;
+                scaled.clamp(1, resolved.max(1))
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for Jobs {

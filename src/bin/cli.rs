@@ -6,12 +6,12 @@
 //! fmossim stim     ram <rows> <cols> [--march-only]
 //! fmossim sim      <netlist.snl> --stim <file> [--watch N1,N2,…]
 //! fmossim faultsim <netlist.snl> --stim <file> --outputs N1[,N2…]
-//!                  [--backend serial|concurrent|parallel] [--json]
+//!                  [--backend serial|concurrent|parallel|adaptive] [--json]
 //!                  [--universe stuck-nodes|stuck-transistors|all]
 //!                  [--sample K] [--seed S] [--serial]
 //!                  [--stop-at-coverage F] [--pattern-limit N]
 //!                  [--jobs N|auto] [--shard-strategy round-robin|contiguous|cost]
-//!                  [--replay on|off]
+//!                  [--replay on|off] [--batch N]
 //! ```
 //!
 //! The stimulus file is line oriented: each non-comment line is one
@@ -25,8 +25,8 @@
 //! ```
 
 use fmossim::campaign::{
-    universe_from_spec, Backend, Campaign, ConcurrentConfig, Jobs, ParallelConfig, SerialConfig,
-    ShardStrategy,
+    universe_from_spec, AdaptiveConfig, Backend, Campaign, ConcurrentConfig, Jobs, ParallelConfig,
+    SerialConfig, ShardStrategy,
 };
 use fmossim::circuits::{Ram, RegisterFile};
 use fmossim::concurrent::{Pattern, Phase};
@@ -66,25 +66,43 @@ usage:
   fmossim stim     ram <rows> <cols> [--march-only]
   fmossim sim      <netlist.snl> --stim <file> [--watch A,B,...]
   fmossim faultsim <netlist.snl> --stim <file> --outputs A[,B...]
-                   [--backend serial|concurrent|parallel] [--json]
+                   [--backend serial|concurrent|parallel|adaptive] [--json]
                    [--universe stuck-nodes|stuck-transistors|all]
                    [--sample K] [--seed S] [--serial]
                    [--stop-at-coverage F] [--pattern-limit N]
                    [--jobs N|auto] [--shard-strategy round-robin|contiguous|cost]
-                   [--replay on|off]
+                   [--replay on|off] [--batch N]
 
 faultsim runs one campaign on the chosen backend: `concurrent` (the
-paper's algorithm, default), `serial` (the per-fault baseline), or
+paper's algorithm, default), `serial` (the per-fault baseline),
 `parallel` (fault-parallel shards on a worker pool; implied by
---jobs). --jobs N picks the worker count, `auto` sizes the pool from
-the workload; results are identical for every backend and job count.
-The parallel backend records the good machine once and replays the
-tape in every shard (--replay on, the default); --replay off re-settles
-the good circuit per shard (A/B measurement). --json emits the
-machine-readable campaign report instead of text; --stop-at-coverage /
---pattern-limit cut the run short; --serial appends a serial-baseline
-comparison run.
+--jobs), or `adaptive` (the parallel strategy run in pattern batches
+of --batch N, dropping detected faults and re-planning shards from
+measured shard times between batches). Results are identical for
+every backend, job count, and batch size.
+
+--jobs N picks the worker count, `auto` sizes the pool from the
+workload (and, on the adaptive backend, re-sizes it between batches).
+--replay on (the default) records the good machine once and replays
+the tape in every shard; --replay off re-settles the good circuit per
+shard (A/B measurement; not available on the adaptive backend, whose
+batching is built on the tape). The two options resolve in this
+order: --jobs is resolved first (auto -> a worker count sized from
+the workload), the shard count follows from the resolved workers, and
+--replay on then takes effect only when more than one shard exists —
+with --jobs auto on a small workload the pool resolves to one worker,
+one shard, and the tape is skipped even under --replay on (recording
+would cost a good pass without saving one). The post-run `plan:` line
+echoes what actually resolved.
+
+--json emits the machine-readable campaign report instead of text;
+--stop-at-coverage / --pattern-limit cut the run short; --serial
+appends a serial-baseline comparison run.
 ";
+
+/// Default `--batch` for the adaptive backend, re-exported for the
+/// usage text.
+const DEFAULT_BATCH: usize = fmossim::campaign::DEFAULT_BATCH_PATTERNS;
 
 fn load(path: &str) -> Result<Network, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
@@ -311,28 +329,47 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
             other => Err(format!("--replay takes `on` or `off`, not `{other}`")),
         })
         .transpose()?;
-    // --jobs implies the parallel backend unless --backend overrides.
-    let backend_name = opt(args, "--backend").unwrap_or(if jobs.is_some() {
+    let batch = opt(args, "--batch")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| "--batch takes a number of patterns (0 = one batch)")
+        })
+        .transpose()?;
+    // --jobs implies the parallel backend, --batch the adaptive one,
+    // unless --backend overrides.
+    let backend_name = opt(args, "--backend").unwrap_or(if batch.is_some() {
+        "adaptive"
+    } else if jobs.is_some() {
         "parallel"
     } else {
         "concurrent"
     });
-    if backend_name != "parallel" {
+    let sharded = matches!(backend_name, "parallel" | "adaptive");
+    if !sharded {
         if jobs.is_some() {
             return Err(format!(
-                "--jobs requires the parallel backend, not `{backend_name}`"
+                "--jobs requires the parallel or adaptive backend, not `{backend_name}`"
             ));
         }
         if opt(args, "--shard-strategy").is_some() {
             return Err(format!(
-                "--shard-strategy requires the parallel backend, not `{backend_name}`"
+                "--shard-strategy requires the parallel or adaptive backend, not `{backend_name}`"
             ));
         }
-        if replay.is_some() {
-            return Err(format!(
-                "--replay requires the parallel backend, not `{backend_name}`"
-            ));
-        }
+    }
+    if replay.is_some() && backend_name != "parallel" {
+        return Err(if backend_name == "adaptive" {
+            "--replay has no effect on the adaptive backend: its batching is built on the \
+             good tape, which is always recorded and replayed"
+                .to_string()
+        } else {
+            format!("--replay requires the parallel backend, not `{backend_name}`")
+        });
+    }
+    if batch.is_some() && backend_name != "adaptive" {
+        return Err(format!(
+            "--batch requires the adaptive backend, not `{backend_name}`"
+        ));
     }
     if flag(args, "--json") && flag(args, "--serial") {
         return Err(
@@ -349,14 +386,28 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
             strategy,
             ..ParallelConfig::auto()
         }),
+        "adaptive" => Backend::Adaptive(AdaptiveConfig {
+            jobs: jobs.unwrap_or(Jobs::Auto),
+            initial_strategy: strategy,
+            ..AdaptiveConfig::paper(batch.unwrap_or(DEFAULT_BATCH))
+        }),
         other => {
             return Err(format!(
-                "unknown backend `{other}` (serial|concurrent|parallel)"
+                "unknown backend `{other}` (serial|concurrent|parallel|adaptive)"
             ))
         }
     };
     let pool = match backend {
         Backend::Parallel(_) => format!(" [jobs {}, {}]", jobs.unwrap_or(Jobs::Auto), strategy),
+        Backend::Adaptive(c) => format!(
+            " [jobs {}, batch {}]",
+            jobs.unwrap_or(Jobs::Auto),
+            if c.batch == 0 {
+                "all".to_string()
+            } else {
+                c.batch.to_string()
+            }
+        ),
         _ => String::new(),
     };
     eprintln!(
@@ -406,7 +457,9 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
         report.backend,
     );
     // Echo what `--jobs auto` and the tape knob actually resolved to —
-    // the plan is otherwise invisible to the user.
+    // the plan is otherwise invisible to the user. (Resolution order:
+    // jobs first, shard count from the resolved workers, tape only
+    // when more than one shard exists.)
     if let (Some(jobs), Some(shards)) = (report.jobs, report.shards) {
         let tape = match (report.tape_record_seconds, report.tape_groups) {
             (Some(secs), Some(groups)) => {
@@ -417,7 +470,24 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
             }
             _ => "good machine recomputed per shard".to_string(),
         };
-        println!("parallel plan: {jobs} worker(s) x {shards} shard(s), {tape}");
+        println!(
+            "{} plan: {jobs} worker(s) x {shards} shard(s), {tape}",
+            report.backend
+        );
+    }
+    if !report.batches.is_empty() {
+        let moved: usize = report.batches.iter().map(|b| b.moved_faults).sum();
+        let last = report.batches.last().expect("non-empty");
+        println!(
+            "adaptive: {} batch(es), {} fault moves, imbalance {:.2} (first) -> {:.2} (last), \
+             final plan {} worker(s) x {} shard(s)",
+            report.batches.len(),
+            moved,
+            report.batches[0].imbalance,
+            last.imbalance,
+            last.workers,
+            last.shards,
+        );
     }
     for d in report.detections() {
         println!(

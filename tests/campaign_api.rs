@@ -149,6 +149,7 @@ fn observer_streams_consistent_events() {
             SimEvent::PatternStart { .. } => pattern_starts += 1,
             SimEvent::PatternDone { .. } => pattern_dones += 1,
             SimEvent::ShardDone { .. } => panic!("concurrent backend has no shards"),
+            SimEvent::BatchDone { .. } => panic!("concurrent backend has no batches"),
         })
         .run();
     assert_eq!(detected_events, report.detected());
