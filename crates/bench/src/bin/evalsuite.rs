@@ -1,0 +1,282 @@
+//! The paper-style evaluation suite over the benchmark circuit zoo:
+//! every zoo circuit × every backend (serial / concurrent / parallel /
+//! adaptive) × every worker count, one campaign each, one JSON
+//! artifact (`BENCH_suite.json`).
+//!
+//! The source paper argues FMOSSIM's worth by relating simulation cost
+//! to concurrent fault-list activity across a spread of MOS circuits;
+//! this binary is that methodology for the reproduction. Per run it
+//! records the paper's shape metrics — patterns per second, the
+//! good-machine fraction of solver work, mean concurrent fault-list
+//! activity (live faulty circuits per pattern), mean faulty vicinities
+//! per pattern — plus the re-planner's per-batch imbalance for the
+//! adaptive backend, and it **asserts cross-backend conformance**: the
+//! canonical detection set of every run of a circuit must be
+//! bit-identical (the suite aborts otherwise), with the shared
+//! fingerprint archived per circuit.
+//!
+//! Usage:
+//! `evalsuite [--smoke] [--circuit name] [--jobs-list 2,4]
+//!            [--sample N] [--pattern-limit N] [--batch N]`
+//!
+//! All campaigns run under `DetectionPolicy::DefiniteOnly` — the
+//! policy under which detection sets are provably schedule-independent
+//! (see `tests/campaign_api.rs`) — so equality across backends is a
+//! hard invariant, not a statistical one. `--smoke` shrinks every
+//! workload (few faults, few patterns) for CI; the archived
+//! `BENCH_suite.json` is a full run.
+
+use fmossim_bench::{arg_flag, arg_value};
+use fmossim_campaign::{
+    AdaptiveConfig, Backend, Campaign, CampaignReport, ConcurrentConfig, DetectionPolicy, Jobs,
+    ParallelConfig, SerialConfig,
+};
+use fmossim_faults::FaultUniverse;
+use fmossim_testgen::zoo::{build_zoo, ZooWorkload, ZOO, ZOO_SEED};
+
+/// One campaign's row in the suite.
+struct Run {
+    backend: &'static str,
+    jobs: Option<usize>,
+    wall_seconds: f64,
+    patterns_per_second: f64,
+    cpu_seconds: f64,
+    /// Good-machine share of solver work:
+    /// `good_groups / (good_groups + faulty_groups)`. `None` for
+    /// serial, which has no vicinity counters.
+    good_fraction: Option<f64>,
+    /// Mean live faulty circuits per pattern — the paper's
+    /// "concurrent fault-list activity".
+    mean_live: Option<f64>,
+    /// Mean faulty vicinities solved per pattern.
+    mean_faulty_groups: Option<f64>,
+    /// Mean per-batch imbalance ratio (adaptive only).
+    mean_batch_imbalance: Option<f64>,
+    detected: usize,
+    fingerprint: u64,
+}
+
+/// FNV-1a over the canonical detection sequence: two runs share the
+/// fingerprint iff their detection sets are bit-identical.
+fn detection_fingerprint(r: &CampaignReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for d in r.detections() {
+        eat(d.canonical_key().as_bytes());
+        eat(b";");
+    }
+    h
+}
+
+fn measure(report: &CampaignReport, jobs: Option<usize>, backend: &'static str) -> Run {
+    let cpu: f64 = report.run.patterns.iter().map(|p| p.seconds).sum();
+    let good_groups: usize = report.run.patterns.iter().map(|p| p.good_groups).sum();
+    let faulty_groups: usize = report.run.patterns.iter().map(|p| p.faulty_groups).sum();
+    let n_patterns = report.run.patterns.len().max(1) as f64;
+    let live: usize = report.run.patterns.iter().map(|p| p.live_before).sum();
+    let has_counters = good_groups + faulty_groups > 0;
+    let mean_batch_imbalance = (!report.batches.is_empty()).then(|| {
+        report.batches.iter().map(|b| b.imbalance).sum::<f64>() / report.batches.len() as f64
+    });
+    Run {
+        backend,
+        jobs,
+        wall_seconds: report.wall_seconds,
+        patterns_per_second: report.patterns_total as f64
+            / report.wall_seconds.max(f64::MIN_POSITIVE),
+        cpu_seconds: cpu,
+        good_fraction: has_counters
+            .then(|| good_groups as f64 / (good_groups + faulty_groups) as f64),
+        mean_live: has_counters.then(|| live as f64 / n_patterns),
+        mean_faulty_groups: has_counters.then(|| faulty_groups as f64 / n_patterns),
+        mean_batch_imbalance,
+        detected: report.detected(),
+        fingerprint: detection_fingerprint(report),
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or("null".into(), |x| format!("{x:.4}"))
+}
+
+fn fmt_run(r: &Run) -> String {
+    format!(
+        "      {{\"backend\": \"{}\", \"jobs\": {}, \"wall_seconds\": {:.4}, \
+         \"patterns_per_second\": {:.2}, \"cpu_seconds\": {:.4}, \
+         \"good_fraction\": {}, \"mean_live\": {}, \"mean_faulty_groups\": {}, \
+         \"mean_batch_imbalance\": {}, \"detected\": {}, \
+         \"detections_fnv1a\": \"{:016x}\"}}",
+        r.backend,
+        r.jobs.map_or("null".into(), |j| j.to_string()),
+        r.wall_seconds,
+        r.patterns_per_second,
+        r.cpu_seconds,
+        fmt_opt(r.good_fraction),
+        fmt_opt(r.mean_live),
+        fmt_opt(r.mean_faulty_groups),
+        fmt_opt(r.mean_batch_imbalance),
+        r.detected,
+        r.fingerprint,
+    )
+}
+
+fn main() {
+    let smoke = arg_flag("--smoke");
+    let only = arg_value("--circuit");
+    let jobs_list: Vec<usize> = arg_value("--jobs-list")
+        .unwrap_or_else(|| if smoke { "2".into() } else { "2,4".into() })
+        .split(',')
+        .map(|s| s.trim().parse().expect("--jobs-list takes numbers"))
+        .collect();
+    // Universe caps keep the serial baseline tractable on the big
+    // members; sampling is seeded, so the suite is reproducible.
+    let sample: usize = arg_value("--sample")
+        .map(|s| s.parse().expect("--sample takes a number"))
+        .unwrap_or(if smoke { 12 } else { 48 });
+    let pattern_limit: Option<usize> = arg_value("--pattern-limit")
+        .map(|s| s.parse().expect("--pattern-limit takes a number"))
+        .or(if smoke { Some(24) } else { None });
+    let batch: usize = arg_value("--batch")
+        .map(|s| s.parse().expect("--batch takes a number"))
+        .unwrap_or(if smoke { 8 } else { 16 });
+
+    let policy = DetectionPolicy::DefiniteOnly;
+    let sim = ConcurrentConfig {
+        policy,
+        ..ConcurrentConfig::paper()
+    };
+
+    let mut circuit_rows = Vec::new();
+    for (name, _) in ZOO {
+        if only.as_deref().is_some_and(|o| o != name) {
+            continue;
+        }
+        let w: ZooWorkload = build_zoo(name).expect("registry member builds");
+        let full_universe = FaultUniverse::stuck_nodes(&w.net);
+        let (universe, sampled) = if full_universe.len() > sample {
+            (full_universe.sample(sample, ZOO_SEED), true)
+        } else {
+            (full_universe, false)
+        };
+        let campaign = |backend: Backend| -> CampaignReport {
+            let mut c = Campaign::new(&w.net)
+                .faults(universe.clone())
+                .patterns(&w.patterns)
+                .outputs(&w.outputs)
+                .backend(backend);
+            if let Some(n) = pattern_limit {
+                c = c.pattern_limit(n);
+            }
+            c.run()
+        };
+
+        let mut runs = Vec::new();
+        runs.push(measure(
+            &campaign(Backend::Serial(SerialConfig {
+                policy,
+                ..SerialConfig::paper()
+            })),
+            None,
+            "serial",
+        ));
+        runs.push(measure(
+            &campaign(Backend::Concurrent(sim)),
+            None,
+            "concurrent",
+        ));
+        for &jobs in &jobs_list {
+            runs.push(measure(
+                &campaign(Backend::Parallel(ParallelConfig {
+                    jobs: Jobs::Fixed(jobs),
+                    sim,
+                    ..ParallelConfig::default()
+                })),
+                Some(jobs),
+                "parallel",
+            ));
+            runs.push(measure(
+                &campaign(Backend::Adaptive(AdaptiveConfig {
+                    jobs: Jobs::Fixed(jobs),
+                    sim,
+                    ..AdaptiveConfig::paper(batch)
+                })),
+                Some(jobs),
+                "adaptive",
+            ));
+        }
+
+        // The conformance gate: every run of this circuit must grade
+        // identically — backends and worker counts move time, never
+        // results.
+        let reference = &runs[0];
+        for r in &runs[1..] {
+            assert_eq!(
+                (r.detected, r.fingerprint),
+                (reference.detected, reference.fingerprint),
+                "{name}: {} (jobs {:?}) diverged from {} — cross-backend parity broken",
+                r.backend,
+                r.jobs,
+                reference.backend,
+            );
+        }
+
+        let stats = w.stats();
+        let patterns_used = pattern_limit.map_or(w.patterns.len(), |n| n.min(w.patterns.len()));
+        eprintln!(
+            "{name}: {} faults{} x {} patterns, {} runs, {} detected — parity ok",
+            universe.len(),
+            if sampled { " (sampled)" } else { "" },
+            patterns_used,
+            runs.len(),
+            reference.detected,
+        );
+        circuit_rows.push(format!(
+            "    {{\"name\": \"{name}\", \"description\": \"{}\",\n     \
+             \"nodes\": {}, \"transistors\": {}, \"storage\": {}, \
+             \"faults\": {}, \"sampled\": {}, \"patterns\": {},\n     \
+             \"detected\": {}, \"coverage\": {:.4},\n     \"runs\": [\n{}\n    ]}}",
+            w.description,
+            stats.nodes,
+            stats.transistors,
+            stats.storage,
+            universe.len(),
+            sampled,
+            patterns_used,
+            reference.detected,
+            reference.detected as f64 / universe.len().max(1) as f64,
+            runs.iter().map(fmt_run).collect::<Vec<_>>().join(",\n"),
+        ));
+    }
+    assert!(
+        !circuit_rows.is_empty(),
+        "--circuit filtered everything out (see fmossim_testgen::zoo::ZOO)"
+    );
+
+    println!("{{");
+    println!("  \"format\": \"fmossim-evalsuite\",");
+    println!("  \"version\": 1,");
+    println!("  \"smoke\": {smoke},");
+    println!("  \"policy\": \"definite-only\",");
+    println!("  \"sample_cap\": {sample},");
+    println!(
+        "  \"pattern_limit\": {},",
+        pattern_limit.map_or("null".into(), |n| n.to_string())
+    );
+    println!("  \"jobs_list\": [{}],", {
+        let s: Vec<String> = jobs_list.iter().map(ToString::to_string).collect();
+        s.join(", ")
+    });
+    println!(
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    println!("  \"circuits\": [");
+    println!("{}", circuit_rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

@@ -186,6 +186,16 @@ impl CampaignReport {
         &self.run.detections
     }
 
+    /// The schema version [`CampaignReport::to_json`] writes.
+    ///
+    /// Version 2 locks the adaptive generation's keys — `batches`
+    /// telemetry and the `tape_*` fields are part of the schema, not
+    /// lenient extensions. [`CampaignReport::from_json`] still accepts
+    /// version-1 documents (where those keys may be absent). The
+    /// golden fixtures under `tests/fixtures/` pin the byte-exact
+    /// format per backend.
+    pub const JSON_VERSION: usize = 2;
+
     /// Serialises to the stable JSON artifact format (compact, one
     /// line, deterministic key order).
     ///
@@ -242,7 +252,7 @@ impl CampaignReport {
             .collect();
         obj([
             ("format", Value::Str("fmossim-campaign-report".into())),
-            ("version", Value::Num(1.0)),
+            ("version", Value::Num(Self::JSON_VERSION as f64)),
             ("backend", Value::Str(self.backend.clone())),
             ("wall_seconds", Value::Num(self.wall_seconds)),
             ("patterns_total", Value::Num(self.patterns_total as f64)),
@@ -326,8 +336,10 @@ impl CampaignReport {
         if v.get("format").and_then(Value::as_str) != Some("fmossim-campaign-report") {
             return Err("not a fmossim-campaign-report document".into());
         }
+        // Version 1 documents parse leniently (tape/batches keys may
+        // be absent); version 2 made those keys part of the schema.
         match v.get("version").and_then(Value::as_usize) {
-            Some(1) => {}
+            Some(1 | 2) => {}
             Some(other) => return Err(format!("unsupported report version {other}")),
             None => return Err("missing report version".into()),
         }
@@ -644,6 +656,7 @@ mod tests {
         report.batches.clear();
         let text = report
             .to_json()
+            .replace("\"version\":2", "\"version\":1")
             .replace(",\"reuse_good_tape\":true", "")
             .replace(",\"tape_record_seconds\":0.0625", "")
             .replace(",\"tape_groups\":40", "");
@@ -659,7 +672,10 @@ mod tests {
     fn parses_pre_adaptive_documents() {
         let mut report = sample_report();
         report.batches.clear();
-        let text = report.to_json().replace(",\"batches\":[]", "");
+        let text = report
+            .to_json()
+            .replace("\"version\":2", "\"version\":1")
+            .replace(",\"batches\":[]", "");
         assert!(!text.contains("batches"), "key really removed: {text}");
         let back = CampaignReport::from_json(&text).expect("lenient parse");
         assert!(back.batches.is_empty());
@@ -681,7 +697,7 @@ mod tests {
         // ...as must an unknown format version.
         let future = sample_report()
             .to_json()
-            .replace("\"version\":1", "\"version\":2");
+            .replace("\"version\":2", "\"version\":3");
         assert!(CampaignReport::from_json(&future).is_err());
     }
 }

@@ -124,8 +124,9 @@ impl RippleAdder {
 }
 
 /// One full-adder slice from NOR/NAND/inverter cells:
-/// `sum = a⊕b⊕c`, `cout = ab + bc + ca` (majority).
-fn full_adder(
+/// `sum = a⊕b⊕c`, `cout = ab + bc + ca` (majority). Shared with the
+/// ALU datapath, which embeds the same slice behind its result mux.
+pub(crate) fn full_adder(
     c: &mut Cells<'_>,
     name: &str,
     a: NodeId,

@@ -103,6 +103,28 @@ impl<'a> Cells<'a> {
         self.inv(name, mid)
     }
 
+    /// Ratioed inverter driving an *existing* node: `out = NOT a`.
+    ///
+    /// The ordinary [`Cells::inv`] creates its output node; this
+    /// variant attaches the load and pull-down to a node the caller
+    /// already owns — the cell that closes feedback loops (a counter
+    /// bit's slave output is consumed by the toggle logic *above* the
+    /// point where its inverter can be built).
+    pub fn inv_into(&mut self, out: NodeId, a: NodeId) {
+        self.pullup(out);
+        self.net
+            .add_transistor(TransistorType::N, Drive::D2, a, out, self.gnd);
+    }
+
+    /// Ratioed 2-input XOR via the NOR network the adder slices use:
+    /// `x = NOR(NOR(a, b), AND(a, b))` (creates internal nodes
+    /// `<name>.n` and `<name>.a*`).
+    pub fn xor2(&mut self, name: &str, a: NodeId, b: NodeId) -> NodeId {
+        let nab = self.nor(&format!("{name}.n"), &[a, b]);
+        let aab = self.and2(&format!("{name}.a"), a, b);
+        self.nor(name, &[nab, aab])
+    }
+
     /// Ratioed 2-input NAND: `out = NOT (a AND b)` via a series
     /// pull-down stack (creates one internal node `<name>.m`).
     pub fn nand2(&mut self, name: &str, a: NodeId, b: NodeId) -> NodeId {
@@ -241,6 +263,37 @@ mod tests {
             },
             &[(&[L, L], L), (&[H, L], L), (&[H, H], H), (&[L, H], L)],
         );
+    }
+
+    #[test]
+    fn xor2_truth_table() {
+        check(
+            |c| {
+                let a = c.input("A", L);
+                let b = c.input("B", L);
+                let out = c.xor2("OUT", a, b);
+                (vec![a, b], out)
+            },
+            &[(&[L, L], L), (&[L, H], H), (&[H, L], H), (&[H, H], L)],
+        );
+    }
+
+    #[test]
+    fn inv_into_drives_existing_node() {
+        let mut net = Network::new();
+        let (a, out) = {
+            let mut c = Cells::new(&mut net);
+            let a = c.input("A", L);
+            let out = c.node("OUT");
+            c.inv_into(out, a);
+            (a, out)
+        };
+        let mut sim = LogicSim::new(&net);
+        sim.settle();
+        assert_eq!(sim.get(out), H);
+        sim.set_input(a, H);
+        sim.settle();
+        assert_eq!(sim.get(out), L);
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! A clocked binary counter with a rippling carry-enable chain.
+//!
+//! Each bit is a master/slave toggle stage on the external two-phase
+//! clock; bit `k` toggles when the enable input and every lower bit
+//! are high, the enable rippling through an AND chain exactly like a
+//! ripple-carry adder's carry. (Deriving each stage's clock from the
+//! previous bit — the asynchronous ripple-counter textbook form — is a
+//! race under two-phase switch-level timing: the master and slave
+//! latches of a stage would be transparent simultaneously while the
+//! derived clock and its in-network complement cross. The rippling
+//! enable keeps the counting chain but clocks every stage safely.)
+//!
+//! For the fault-simulation zoo this is the "deep state feedback"
+//! profile: every bit's next value depends on the whole lower half of
+//! the register, so a stuck fault in bit 0 corrupts the entire count
+//! sequence — the opposite of the shift register's bounded-latency
+//! fault propagation.
+
+use crate::cells::Cells;
+use fmossim_netlist::{Logic, Network, NetworkStats, NodeId};
+
+/// Pin map of a [`RippleCounter`].
+#[derive(Clone, Debug)]
+pub struct RippleCounterIo {
+    /// Master-latch clock.
+    pub phi1: NodeId,
+    /// Slave-latch clock. Must not overlap `phi1`.
+    pub phi2: NodeId,
+    /// Count enable: the counter increments on clock cycles with `en`
+    /// high and holds its value otherwise.
+    pub en: NodeId,
+    /// Synchronous clear: one clock cycle with `clr` high zeroes every
+    /// bit (and wins over `en`).
+    pub clr: NodeId,
+    /// Counter state, LSB first (restored, directly observable).
+    pub q: Vec<NodeId>,
+}
+
+/// An N-bit synchronous counter with ripple carry-enable.
+#[derive(Clone, Debug)]
+pub struct RippleCounter {
+    net: Network,
+    bits: usize,
+    io: RippleCounterIo,
+}
+
+impl RippleCounter {
+    /// Builds a `bits`-wide counter (`bits >= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    #[must_use]
+    pub fn new(bits: usize) -> Self {
+        assert!(bits >= 1, "counter needs at least one bit");
+        let mut net = Network::new();
+        let mut c = Cells::new(&mut net);
+        let phi1 = c.input("PHI1", Logic::L);
+        let phi2 = c.input("PHI2", Logic::L);
+        let en = c.input("EN", Logic::L);
+        let clr = c.input("CLR", Logic::L);
+
+        let mut toggle = en;
+        let mut q_bits = Vec::with_capacity(bits);
+        for k in 0..bits {
+            // The slave output feeds the toggle logic above it, so the
+            // node pair is forward-declared and wired with `inv_into`.
+            let q = c.node(&format!("Q{k}"));
+            let qb = c.node(&format!("QB{k}"));
+            let next = c.xor2(&format!("CB{k}.x"), q, toggle);
+            // Synchronous clear: d = next AND NOT clr.
+            let nextb = c.inv(&format!("CB{k}.nb"), next);
+            let d = c.nor(&format!("CB{k}.d"), &[nextb, clr]);
+            let m = c.dynamic_latch(&format!("CB{k}.m"), phi1, d);
+            let mb = c.inv(&format!("CB{k}.mb"), m);
+            let mv = c.inv(&format!("CB{k}.mv"), mb);
+            let s = c.dynamic_latch(&format!("CB{k}.s"), phi2, mv);
+            c.inv_into(qb, s);
+            c.inv_into(q, qb);
+            q_bits.push(q);
+            if k + 1 < bits {
+                toggle = c.and2(&format!("T{}", k + 1), toggle, q);
+            }
+        }
+        let io = RippleCounterIo {
+            phi1,
+            phi2,
+            en,
+            clr,
+            q: q_bits,
+        };
+        RippleCounter { net, bits, io }
+    }
+
+    /// The generated network.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The pin map.
+    #[must_use]
+    pub fn io(&self) -> &RippleCounterIo {
+        &self.io
+    }
+
+    /// Counter width in bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// All observable outputs: every counter bit, LSB first.
+    #[must_use]
+    pub fn observed_outputs(&self) -> &[NodeId] {
+        &self.io.q
+    }
+
+    /// Summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        NetworkStats::of(&self.net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_switch::LogicSim;
+
+    /// One clock cycle with the given control inputs.
+    fn cycle(sim: &mut LogicSim<'_>, c: &RippleCounter, en: bool, clr: bool) {
+        let io = c.io();
+        sim.set_input(io.en, Logic::from_bool(en));
+        sim.set_input(io.clr, Logic::from_bool(clr));
+        sim.set_input(io.phi1, Logic::H);
+        sim.settle();
+        sim.set_input(io.phi1, Logic::L);
+        sim.settle();
+        sim.set_input(io.phi2, Logic::H);
+        sim.settle();
+        sim.set_input(io.phi2, Logic::L);
+        sim.settle();
+    }
+
+    fn value(sim: &LogicSim<'_>, c: &RippleCounter) -> Option<u64> {
+        let mut v = 0u64;
+        for (k, &q) in c.io().q.iter().enumerate() {
+            match sim.get(q).to_bool() {
+                Some(true) => v |= 1 << k,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(v)
+    }
+
+    #[test]
+    fn clear_then_count_wraps() {
+        let counter = RippleCounter::new(3);
+        let mut sim = LogicSim::new(counter.network());
+        sim.settle();
+        assert_eq!(value(&sim, &counter), None, "unclocked state is X");
+        cycle(&mut sim, &counter, false, true);
+        assert_eq!(value(&sim, &counter), Some(0), "clear zeroes every bit");
+        for want in 1..=9u64 {
+            cycle(&mut sim, &counter, true, false);
+            assert_eq!(value(&sim, &counter), Some(want % 8), "count {want}");
+        }
+    }
+
+    #[test]
+    fn enable_low_holds_the_count() {
+        let counter = RippleCounter::new(4);
+        let mut sim = LogicSim::new(counter.network());
+        sim.settle();
+        cycle(&mut sim, &counter, false, true);
+        for _ in 0..5 {
+            cycle(&mut sim, &counter, true, false);
+        }
+        assert_eq!(value(&sim, &counter), Some(5));
+        for _ in 0..3 {
+            cycle(&mut sim, &counter, false, false);
+        }
+        assert_eq!(value(&sim, &counter), Some(5), "EN low freezes the count");
+    }
+
+    #[test]
+    fn clear_wins_over_enable() {
+        let counter = RippleCounter::new(4);
+        let mut sim = LogicSim::new(counter.network());
+        sim.settle();
+        cycle(&mut sim, &counter, false, true);
+        for _ in 0..7 {
+            cycle(&mut sim, &counter, true, false);
+        }
+        assert_eq!(value(&sim, &counter), Some(7));
+        cycle(&mut sim, &counter, true, true);
+        assert_eq!(value(&sim, &counter), Some(0));
+    }
+
+    #[test]
+    fn carry_ripples_the_full_width() {
+        let counter = RippleCounter::new(5);
+        let mut sim = LogicSim::new(counter.network());
+        sim.settle();
+        cycle(&mut sim, &counter, false, true);
+        for _ in 0..16 {
+            cycle(&mut sim, &counter, true, false);
+        }
+        assert_eq!(value(&sim, &counter), Some(16), "carry into the MSB");
+        assert_eq!(counter.observed_outputs().len(), 5);
+        assert!(counter.stats().transistors > 0);
+    }
+}

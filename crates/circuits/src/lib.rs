@@ -24,18 +24,43 @@
 //! * [`RegisterFile`] — a small register array (the paper's conclusion
 //!   names register arrays as a typical use case), used by the examples
 //!   and extra tests.
+//!
+//! Beyond the paper's two RAMs, the **benchmark zoo** adds workloads
+//! with deliberately different structure and observability profiles,
+//! so the evaluation suite (`evalsuite` in `fmossim-bench`) measures
+//! the simulator across the spread of MOS circuit styles the paper's
+//! methodology calls for:
+//!
+//! * [`ShiftRegister`] — a two-phase dynamic master/slave pipeline:
+//!   pure sequential dataflow, every stage observable.
+//! * [`RippleCounter`] — a clocked binary counter with a rippling
+//!   carry-enable chain: deep state feedback, every bit observable.
+//! * [`Pla`] — a dynamic NOR–NOR PLA with precharged AND/OR planes on
+//!   a three-phase clock, programmable via [`PlaSpec`] (including
+//!   seeded random programmings).
+//! * [`AluDatapath`] — the adder slice plus AND/OR/XOR blocks behind a
+//!   pass-gate result mux: combinational, with opcode-dependent fault
+//!   masking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adder;
+mod alu;
 mod cells;
+mod counter;
 mod decoder;
+mod pla;
 mod ram;
 mod regfile;
+mod shift;
 
 pub use adder::{RippleAdder, RippleAdderIo};
+pub use alu::{AluDatapath, AluIo, AluOp, ALU_OPS};
 pub use cells::Cells;
+pub use counter::{RippleCounter, RippleCounterIo};
 pub use decoder::nor_decoder;
+pub use pla::{Pla, PlaIo, PlaSpec};
 pub use ram::{Ram, RamIo};
 pub use regfile::{RegisterFile, RegisterFileIo};
+pub use shift::{ShiftRegister, ShiftRegisterIo};

@@ -1,0 +1,417 @@
+//! A dynamic-logic PLA: precharged NOR–NOR AND/OR planes, evaluated on
+//! a three-phase clock.
+//!
+//! The zoo's "wide shallow dynamic logic" profile — every node is a
+//! precharged line whose final value depends on a whole plane of
+//! pull-downs, the structure the paper's charge-sharing and dynamic-
+//! node machinery exists for (the RAM exercises the same mechanisms
+//! only along its bit lines).
+//!
+//! ```text
+//!   x0..xI ──┬── inverters ──┐
+//!            ▼               ▼
+//!   AND plane: product lines, precharged by PHI1, discharged while
+//!   PHI2 is high through (literal, PHI2) pull-down pairs — a product
+//!   line stays high iff its term is satisfied.
+//!            │
+//!   OR plane: output lines, precharged by PHI1, discharged while PHI3
+//!   is high through (product, PHI3) pairs — an output line falls iff
+//!   any selected product fired; a sense inverter restores OUTo.
+//! ```
+//!
+//! The OR plane evaluates on its own later phase (PHI3) because the
+//! two planes must not race: at the instant PHI2 rises every product
+//! line is still precharged high, and an OR pull-down that evaluated
+//! concurrently would discharge its output line before the false
+//! products have fallen — dynamic charge never comes back. (This is
+//! the same hazard that gives the RAM its third clock.)
+
+use crate::cells::Cells;
+use fmossim_netlist::{Logic, Network, NetworkStats, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The programming of a [`Pla`]: its two planes as truth tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlaSpec {
+    /// Number of input pins.
+    pub inputs: usize,
+    /// One row per product term; `and_plane[j][i]` is the literal of
+    /// input `i` in product `j` — `Some(true)` requires `x_i = 1`,
+    /// `Some(false)` requires `x_i = 0`, `None` is a don't-care.
+    pub and_plane: Vec<Vec<Option<bool>>>,
+    /// One row per output; `or_plane[o][j]` selects product `j` into
+    /// output `o`.
+    pub or_plane: Vec<Vec<bool>>,
+}
+
+impl PlaSpec {
+    /// A seeded random programming: `products` terms over `inputs`
+    /// pins feeding `outputs` OR lines. Every product carries at least
+    /// one literal and every output selects at least one product, so
+    /// no plane row is degenerate; the same seed always yields the
+    /// same spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn random(inputs: usize, products: usize, outputs: usize, seed: u64) -> Self {
+        assert!(
+            inputs >= 1 && products >= 1 && outputs >= 1,
+            "PLA dimensions must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let and_plane = (0..products)
+            .map(|_| {
+                let mut row: Vec<Option<bool>> = (0..inputs)
+                    .map(|_| {
+                        if rng.gen_bool(0.5) {
+                            Some(rng.gen_bool(0.5))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                if row.iter().all(Option::is_none) {
+                    let i = rng.gen_range(0..inputs);
+                    row[i] = Some(rng.gen_bool(0.5));
+                }
+                row
+            })
+            .collect();
+        let or_plane = (0..outputs)
+            .map(|_| {
+                let mut row: Vec<bool> = (0..products).map(|_| rng.gen_bool(0.4)).collect();
+                if !row.iter().any(|&s| s) {
+                    let j = rng.gen_range(0..products);
+                    row[j] = true;
+                }
+                row
+            })
+            .collect();
+        PlaSpec {
+            inputs,
+            and_plane,
+            or_plane,
+        }
+    }
+
+    /// Number of product terms.
+    #[must_use]
+    pub fn products(&self) -> usize {
+        self.and_plane.len()
+    }
+
+    /// Number of outputs.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.or_plane.len()
+    }
+
+    /// The programmed function, evaluated on boolean inputs — the
+    /// reference model the circuit is tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    #[must_use]
+    pub fn eval(&self, x: &[bool]) -> Vec<bool> {
+        assert_eq!(x.len(), self.inputs, "input width mismatch");
+        let product: Vec<bool> = self
+            .and_plane
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(x)
+                    .all(|(lit, &xi)| lit.is_none_or(|want| xi == want))
+            })
+            .collect();
+        self.or_plane
+            .iter()
+            .map(|row| row.iter().zip(&product).any(|(&sel, &p)| sel && p))
+            .collect()
+    }
+
+    /// Checks the plane dimensions agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatched row.
+    pub fn validate(&self) -> Result<(), String> {
+        for (j, row) in self.and_plane.iter().enumerate() {
+            if row.len() != self.inputs {
+                return Err(format!(
+                    "product {j} has {} literals, expected {}",
+                    row.len(),
+                    self.inputs
+                ));
+            }
+        }
+        let products = self.and_plane.len();
+        for (o, row) in self.or_plane.iter().enumerate() {
+            if row.len() != products {
+                return Err(format!(
+                    "output {o} selects over {} products, expected {products}",
+                    row.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Pin map of a [`Pla`].
+#[derive(Clone, Debug)]
+pub struct PlaIo {
+    /// Precharge clock (both planes).
+    pub phi1: NodeId,
+    /// AND-plane evaluate clock.
+    pub phi2: NodeId,
+    /// OR-plane evaluate clock (raised after PHI2 has fallen).
+    pub phi3: NodeId,
+    /// Data inputs.
+    pub x: Vec<NodeId>,
+    /// Restored outputs (sense inverters on the OR lines).
+    pub out: Vec<NodeId>,
+}
+
+/// A generated dynamic PLA.
+#[derive(Clone, Debug)]
+pub struct Pla {
+    net: Network,
+    spec: PlaSpec,
+    io: PlaIo,
+    /// Product-term lines, for observability experiments.
+    products: Vec<NodeId>,
+}
+
+impl Pla {
+    /// Builds the PLA for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`PlaSpec::validate`].
+    #[must_use]
+    pub fn new(spec: PlaSpec) -> Self {
+        spec.validate().expect("consistent PLA spec");
+        let mut net = Network::new();
+        let mut c = Cells::new(&mut net);
+        let phi1 = c.input("PHI1", Logic::L);
+        let phi2 = c.input("PHI2", Logic::L);
+        let phi3 = c.input("PHI3", Logic::L);
+        let x: Vec<NodeId> = (0..spec.inputs)
+            .map(|i| c.input(&format!("X{i}"), Logic::L))
+            .collect();
+        let xb: Vec<NodeId> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &xi)| c.inv(&format!("XB{i}"), xi))
+            .collect();
+
+        // AND plane: product line high after evaluation iff the term
+        // is satisfied. A pull-down pair fires when its literal is
+        // *violated* (true literal → gated by the complement).
+        let gnd = c.gnd();
+        let mut products = Vec::with_capacity(spec.products());
+        for (j, row) in spec.and_plane.iter().enumerate() {
+            let p = c.bus(&format!("P{j}"));
+            c.precharge(phi1, p);
+            for (i, lit) in row.iter().enumerate() {
+                let Some(want) = *lit else { continue };
+                let gate = if want { xb[i] } else { x[i] };
+                let mid = c.node(&format!("P{j}.m{i}"));
+                c.pass(gate, p, mid);
+                c.pass(phi2, mid, gnd);
+            }
+            products.push(p);
+        }
+
+        // OR plane: output line falls iff a selected product stayed
+        // high; the sense inverter restores the positive sense.
+        let mut out = Vec::with_capacity(spec.outputs());
+        for (o, row) in spec.or_plane.iter().enumerate() {
+            let line = c.bus(&format!("OB{o}"));
+            c.precharge(phi1, line);
+            for (j, &sel) in row.iter().enumerate() {
+                if !sel {
+                    continue;
+                }
+                let mid = c.node(&format!("OB{o}.m{j}"));
+                c.pass(products[j], line, mid);
+                c.pass(phi3, mid, gnd);
+            }
+            out.push(c.inv(&format!("OUT{o}"), line));
+        }
+
+        let io = PlaIo {
+            phi1,
+            phi2,
+            phi3,
+            x,
+            out,
+        };
+        Pla {
+            net,
+            spec,
+            io,
+            products,
+        }
+    }
+
+    /// The generated network.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The pin map.
+    #[must_use]
+    pub fn io(&self) -> &PlaIo {
+        &self.io
+    }
+
+    /// The programming this PLA was built from.
+    #[must_use]
+    pub fn spec(&self) -> &PlaSpec {
+        &self.spec
+    }
+
+    /// The product-term lines (AND-plane outputs), in product order.
+    #[must_use]
+    pub fn product_lines(&self) -> &[NodeId] {
+        &self.products
+    }
+
+    /// All observable outputs: the restored OR-plane outputs.
+    #[must_use]
+    pub fn observed_outputs(&self) -> &[NodeId] {
+        &self.io.out
+    }
+
+    /// Input assignments for the data pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` has the wrong width.
+    #[must_use]
+    pub fn input_assignments(&self, bits: &[bool]) -> Vec<(NodeId, Logic)> {
+        assert_eq!(bits.len(), self.spec.inputs, "input width mismatch");
+        self.io
+            .x
+            .iter()
+            .zip(bits)
+            .map(|(&n, &b)| (n, Logic::from_bool(b)))
+            .collect()
+    }
+
+    /// Summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        NetworkStats::of(&self.net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_switch::LogicSim;
+
+    /// One full evaluate cycle with the given input vector.
+    fn evaluate(sim: &mut LogicSim<'_>, pla: &Pla, bits: &[bool]) -> Vec<Option<bool>> {
+        let io = pla.io();
+        for (n, v) in pla.input_assignments(bits) {
+            sim.set_input(n, v);
+        }
+        for (clk, v) in [
+            (io.phi1, Logic::H),
+            (io.phi1, Logic::L),
+            (io.phi2, Logic::H),
+            (io.phi2, Logic::L),
+            (io.phi3, Logic::H),
+            (io.phi3, Logic::L),
+        ] {
+            sim.set_input(clk, v);
+            sim.settle();
+        }
+        io.out.iter().map(|&o| sim.get(o).to_bool()).collect()
+    }
+
+    fn bits_of(v: usize, width: usize) -> Vec<bool> {
+        (0..width).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn fixed_program_matches_model_exhaustively() {
+        // out0 = (x0 & ~x1) | (x1 & x2); out1 = ~x0 & ~x2.
+        let spec = PlaSpec {
+            inputs: 3,
+            and_plane: vec![
+                vec![Some(true), Some(false), None],
+                vec![None, Some(true), Some(true)],
+                vec![Some(false), None, Some(false)],
+            ],
+            or_plane: vec![vec![true, true, false], vec![false, false, true]],
+        };
+        let pla = Pla::new(spec);
+        let mut sim = LogicSim::new(pla.network());
+        sim.settle();
+        for v in 0..8usize {
+            let bits = bits_of(v, 3);
+            let want: Vec<Option<bool>> = pla.spec().eval(&bits).into_iter().map(Some).collect();
+            assert_eq!(evaluate(&mut sim, &pla, &bits), want, "x={bits:?}");
+        }
+    }
+
+    #[test]
+    fn random_program_matches_model_exhaustively() {
+        let pla = Pla::new(PlaSpec::random(4, 6, 3, 850_715));
+        let mut sim = LogicSim::new(pla.network());
+        sim.settle();
+        for v in 0..16usize {
+            let bits = bits_of(v, 4);
+            let want: Vec<Option<bool>> = pla.spec().eval(&bits).into_iter().map(Some).collect();
+            assert_eq!(evaluate(&mut sim, &pla, &bits), want, "x={bits:?}");
+        }
+    }
+
+    #[test]
+    fn random_spec_is_reproducible_and_nondegenerate() {
+        let a = PlaSpec::random(5, 8, 4, 7);
+        let b = PlaSpec::random(5, 8, 4, 7);
+        assert_eq!(a, b, "same seed, same programming");
+        let c = PlaSpec::random(5, 8, 4, 8);
+        assert_ne!(a, c, "different seeds differ");
+        assert!(a
+            .and_plane
+            .iter()
+            .all(|row| row.iter().any(Option::is_some)));
+        assert!(a.or_plane.iter().all(|row| row.iter().any(|&s| s)));
+        a.validate().expect("random specs validate");
+    }
+
+    #[test]
+    fn validate_rejects_ragged_planes() {
+        let spec = PlaSpec {
+            inputs: 2,
+            and_plane: vec![vec![Some(true)]],
+            or_plane: vec![vec![true]],
+        };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn products_stay_precharged_between_cycles() {
+        let pla = Pla::new(PlaSpec::random(3, 4, 2, 1));
+        let mut sim = LogicSim::new(pla.network());
+        sim.settle();
+        let io = pla.io();
+        sim.set_input(io.phi1, Logic::H);
+        sim.settle();
+        sim.set_input(io.phi1, Logic::L);
+        sim.settle();
+        for &p in pla.product_lines() {
+            assert_eq!(sim.get(p), Logic::H, "precharge holds on the bus node");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! A synchronous two-phase dynamic shift register — the canonical
+//! sequential nMOS structure (a chain of master/slave dynamic latches)
+//! and the zoo's "pure pipeline" observability profile: every stage
+//! output is a tap, so a fault's effect surfaces a bounded number of
+//! clock cycles after it is excited.
+
+use crate::cells::Cells;
+use fmossim_netlist::{Logic, Network, NetworkStats, NodeId};
+
+/// Pin map of a [`ShiftRegister`].
+#[derive(Clone, Debug)]
+pub struct ShiftRegisterIo {
+    /// Master-latch clock (data advances into the masters while high).
+    pub phi1: NodeId,
+    /// Slave-latch clock (data advances to the stage outputs while
+    /// high). Must not overlap `phi1`.
+    pub phi2: NodeId,
+    /// Serial data input.
+    pub sin: NodeId,
+    /// Restored stage outputs, stage 0 (nearest `sin`) first. The last
+    /// tap is the serial output.
+    pub taps: Vec<NodeId>,
+}
+
+/// An N-stage dynamic shift register.
+///
+/// Per stage: a PHI1-gated master latch, an inverter pair restoring
+/// the stored charge, a PHI2-gated slave latch, and a second inverter
+/// pair producing the restored stage output that feeds the next
+/// master. One full `PHI1↑ PHI1↓ PHI2↑ PHI2↓` cycle advances the
+/// register by one stage.
+#[derive(Clone, Debug)]
+pub struct ShiftRegister {
+    net: Network,
+    stages: usize,
+    io: ShiftRegisterIo,
+}
+
+impl ShiftRegister {
+    /// Builds an `stages`-deep shift register (`stages >= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0`.
+    #[must_use]
+    pub fn new(stages: usize) -> Self {
+        assert!(stages >= 1, "shift register needs at least one stage");
+        let mut net = Network::new();
+        let mut c = Cells::new(&mut net);
+        let phi1 = c.input("PHI1", Logic::L);
+        let phi2 = c.input("PHI2", Logic::L);
+        let sin = c.input("SIN", Logic::L);
+
+        let mut d = sin;
+        let mut taps = Vec::with_capacity(stages);
+        for k in 0..stages {
+            let m = c.dynamic_latch(&format!("SR{k}.m"), phi1, d);
+            let mb = c.inv(&format!("SR{k}.mb"), m);
+            let mv = c.inv(&format!("SR{k}.mv"), mb);
+            let s = c.dynamic_latch(&format!("SR{k}.s"), phi2, mv);
+            let qb = c.inv(&format!("SR{k}.qb"), s);
+            let q = c.inv(&format!("Q{k}"), qb);
+            taps.push(q);
+            d = q;
+        }
+        let io = ShiftRegisterIo {
+            phi1,
+            phi2,
+            sin,
+            taps,
+        };
+        ShiftRegister { net, stages, io }
+    }
+
+    /// The generated network.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The pin map.
+    #[must_use]
+    pub fn io(&self) -> &ShiftRegisterIo {
+        &self.io
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// All observable outputs: every stage tap, stage 0 first.
+    #[must_use]
+    pub fn observed_outputs(&self) -> &[NodeId] {
+        &self.io.taps
+    }
+
+    /// Summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        NetworkStats::of(&self.net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_switch::LogicSim;
+
+    /// One full clock cycle with `bit` on the serial input.
+    fn cycle(sim: &mut LogicSim<'_>, sr: &ShiftRegister, bit: bool) {
+        let io = sr.io();
+        sim.set_input(io.sin, Logic::from_bool(bit));
+        sim.set_input(io.phi1, Logic::H);
+        sim.settle();
+        sim.set_input(io.phi1, Logic::L);
+        sim.settle();
+        sim.set_input(io.phi2, Logic::H);
+        sim.settle();
+        sim.set_input(io.phi2, Logic::L);
+        sim.settle();
+    }
+
+    fn taps(sim: &LogicSim<'_>, sr: &ShiftRegister) -> Vec<Logic> {
+        sr.io().taps.iter().map(|&t| sim.get(t)).collect()
+    }
+
+    #[test]
+    fn bits_advance_one_stage_per_cycle() {
+        let sr = ShiftRegister::new(4);
+        let mut sim = LogicSim::new(sr.network());
+        sim.settle();
+        let bits = [true, false, true, true];
+        for &b in &bits {
+            cycle(&mut sim, &sr, b);
+        }
+        // After 4 cycles the first bit sits in the last stage.
+        let got = taps(&sim, &sr);
+        let want: Vec<Logic> = bits.iter().rev().map(|&b| Logic::from_bool(b)).collect();
+        assert_eq!(got, want, "taps hold the reversed input window");
+    }
+
+    #[test]
+    fn unclocked_register_holds_x() {
+        let sr = ShiftRegister::new(3);
+        let mut sim = LogicSim::new(sr.network());
+        sim.settle();
+        assert!(
+            taps(&sim, &sr).iter().all(|&v| v == Logic::X),
+            "no clock, no definite state"
+        );
+    }
+
+    #[test]
+    fn deep_register_flushes_completely() {
+        let sr = ShiftRegister::new(8);
+        let mut sim = LogicSim::new(sr.network());
+        sim.settle();
+        for _ in 0..8 {
+            cycle(&mut sim, &sr, true);
+        }
+        assert!(taps(&sim, &sr).iter().all(|&v| v == Logic::H));
+        for _ in 0..8 {
+            cycle(&mut sim, &sr, false);
+        }
+        assert!(taps(&sim, &sr).iter().all(|&v| v == Logic::L));
+    }
+
+    #[test]
+    fn stats_scale_linearly() {
+        let s2 = ShiftRegister::new(2).stats();
+        let s8 = ShiftRegister::new(8).stats();
+        assert!(s8.transistors > 3 * s2.transistors);
+        assert!(s8.transistors < 5 * s2.transistors);
+        assert_eq!(ShiftRegister::new(5).observed_outputs().len(), 5);
+    }
+}

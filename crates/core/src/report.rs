@@ -40,6 +40,24 @@ impl Detection {
     pub fn is_potential(&self) -> bool {
         !(self.good.is_definite() && self.faulty.is_definite())
     }
+
+    /// The canonical textual key of this detection —
+    /// `f<fault> p<pattern> ph<phase> <good>-><faulty>` — the single
+    /// definition of "the same detection" that the cross-backend
+    /// conformance tests (`tests/zoo_equivalence.rs`,
+    /// `tests/adaptive_equivalence.rs`, `tests/replay_equivalence.rs`)
+    /// and the `evalsuite` parity fingerprint all compare on.
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "f{} p{} ph{} {}->{}",
+            self.fault.index(),
+            self.pattern,
+            self.phase,
+            self.good,
+            self.faulty
+        )
+    }
 }
 
 /// Per-pattern measurements, mirroring the two curves of the paper's
@@ -302,6 +320,50 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(order, sorted);
         assert_eq!(merged.cumulative_detections(), vec![4, 4, 6]);
+    }
+
+    /// Shards complete in scheduling-dependent order under
+    /// `run_streaming`; the driver sorts by shard index before
+    /// merging, but `merge` itself must already be input-order
+    /// invariant for everything the reports promise — canonical
+    /// detections, integer counters, and (for exactly representable
+    /// seconds) the per-pattern sums. Regression guard for the
+    /// relabel-then-merge pipeline.
+    #[test]
+    fn merge_is_invariant_under_shard_completion_order() {
+        // Three disjoint "shards": local reports relabelled to global
+        // ids 0..4, 4..8, 8..12, with power-of-two seconds so float
+        // sums are exact under any association.
+        let shard = |base: u32, secs: f64| {
+            let mut r = report();
+            r.relabel_faults(|f| FaultId(base + f.0));
+            for p in &mut r.patterns {
+                p.seconds = secs;
+            }
+            r
+        };
+        let shards = [shard(0, 0.25), shard(4, 0.5), shard(8, 2.0)];
+        let in_order = RunReport::merge(shards.clone());
+        for permutation in [[2, 1, 0], [1, 2, 0], [0, 2, 1], [2, 0, 1], [1, 0, 2]] {
+            let scrambled = RunReport::merge(permutation.map(|i| shards[i].clone()));
+            assert_eq!(
+                scrambled, in_order,
+                "merge depends on completion order: {permutation:?}"
+            );
+        }
+        // The merged detections really are canonical and globally
+        // relabelled: strictly sorted, ids spanning every shard.
+        let keys: Vec<_> = in_order
+            .detections
+            .iter()
+            .map(|d| (d.pattern, d.phase, d.fault.index()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "canonical order with no duplicates");
+        assert!(in_order.detections.iter().any(|d| d.fault.index() >= 8));
+        assert_eq!(in_order.num_faults, 12);
     }
 
     #[test]

@@ -27,10 +27,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+//! Beyond the RAM sequences, the crate hosts the **benchmark circuit
+//! zoo** ([`zoo`]: named, ready-to-run workloads over every
+//! `fmossim-circuits` generator) and a **seeded random-netlist
+//! generator** ([`RandomNetlist`]: valid, always-settling acyclic
+//! logic of configurable size and fan-in) — the workload spread the
+//! `evalsuite` benchmark and the differential conformance tests run
+//! on.
+
+mod netgen;
 mod ops;
 mod random;
 mod sequence;
+pub mod zoo;
 
+pub use netgen::{max_transistors_per_gate, RandomNetSpec, RandomNetlist};
 pub use ops::RamOps;
 pub use random::random_ops;
 pub use sequence::{Section, TestSequence};
+pub use zoo::{build_zoo, zoo_names, ZooWorkload, ZOO, ZOO_SEED};

@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! fmossim stats    <netlist.snl>
+//! fmossim zoo
 //! fmossim gen      ram <rows> <cols> | regfile <words> <bits>
 //! fmossim stim     ram <rows> <cols> [--march-only]
 //! fmossim sim      <netlist.snl> --stim <file> [--watch N1,N2,…]
 //! fmossim faultsim <netlist.snl> --stim <file> --outputs N1[,N2…]
+//! fmossim faultsim --circuit <zoo-name>
 //!                  [--backend serial|concurrent|parallel|adaptive] [--json]
 //!                  [--universe stuck-nodes|stuck-transistors|all]
 //!                  [--sample K] [--seed S] [--serial]
@@ -38,6 +40,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("stats") => cmd_stats(&args[1..]),
+        Some("zoo") => cmd_zoo(),
         Some("gen") => cmd_gen(&args[1..]),
         Some("stim") => cmd_stim(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
@@ -62,16 +65,22 @@ fmossim — concurrent switch-level fault simulator (Bryant & Schuster, DAC 1985
 
 usage:
   fmossim stats    <netlist.snl>
+  fmossim zoo
   fmossim gen      ram <rows> <cols> | regfile <words> <bits>
   fmossim stim     ram <rows> <cols> [--march-only]
   fmossim sim      <netlist.snl> --stim <file> [--watch A,B,...]
   fmossim faultsim <netlist.snl> --stim <file> --outputs A[,B...]
+  fmossim faultsim --circuit <zoo-name>
                    [--backend serial|concurrent|parallel|adaptive] [--json]
                    [--universe stuck-nodes|stuck-transistors|all]
                    [--sample K] [--seed S] [--serial]
                    [--stop-at-coverage F] [--pattern-limit N]
                    [--jobs N|auto] [--shard-strategy round-robin|contiguous|cost]
                    [--replay on|off] [--batch N]
+
+`zoo` lists the benchmark circuit zoo; `faultsim --circuit <name>`
+runs a campaign on a zoo member (circuit, stimulus and observed
+outputs all built in-process — no netlist or stimulus file needed).
 
 faultsim runs one campaign on the chosen backend: `concurrent` (the
 paper's algorithm, default), `serial` (the per-fault baseline),
@@ -178,6 +187,29 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
             fmossim::netlist::NodeClass::Storage(_) => unreachable!("input_ids yields inputs"),
         };
         println!("  {} (default {})", node.name, class);
+    }
+    Ok(())
+}
+
+/// Lists the benchmark circuit zoo with per-circuit statistics — the
+/// registry `faultsim --circuit` and the `evalsuite` bench bin run on.
+fn cmd_zoo() -> Result<(), String> {
+    println!(
+        "{:<12} {:>11} {:>7} {:>8} {:>8}  description",
+        "name", "transistors", "nodes", "patterns", "outputs"
+    );
+    for (name, _) in fmossim::testgen::ZOO {
+        let w = fmossim::testgen::build_zoo(name)?;
+        let stats = w.stats();
+        println!(
+            "{:<12} {:>11} {:>7} {:>8} {:>8}  {}",
+            w.name,
+            stats.transistors,
+            stats.nodes,
+            w.patterns.len(),
+            w.outputs.len(),
+            w.description,
+        );
     }
     Ok(())
 }
@@ -289,16 +321,53 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_faultsim(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("faultsim needs a netlist path")?;
-    let net = load(path)?;
-    let stim_path = opt(args, "--stim").ok_or("faultsim needs --stim <file>")?;
-    let stim_text =
-        std::fs::read_to_string(stim_path).map_err(|e| format!("cannot read stim: {e}"))?;
-    let patterns = parse_stim(&net, &stim_text)?;
-    let outputs = node_list(
-        &net,
-        opt(args, "--outputs").ok_or("faultsim needs --outputs")?,
-    )?;
+    let (net, patterns, outputs) = if let Some(name) = opt(args, "--circuit") {
+        // Zoo mode: the registry supplies circuit, stimulus and
+        // observed outputs; the file-based options would be ignored,
+        // so mixing the modes is rejected rather than half-honoured.
+        // A netlist path is any positional argument — scan past each
+        // flag (and its value, for the value-taking ones) so a path
+        // is caught in any position, not just the first.
+        let mut i = 0;
+        while i < args.len() {
+            if !args[i].starts_with("--") {
+                return Err(format!(
+                    "--circuit replaces the netlist path; pass one or the other (got `{}`)",
+                    args[i]
+                ));
+            }
+            i += if matches!(args[i].as_str(), "--json" | "--serial") {
+                1
+            } else {
+                2 // value-taking flag: skip its argument too
+            };
+        }
+        for conflicting in ["--stim", "--outputs"] {
+            if opt(args, conflicting).is_some() {
+                return Err(format!(
+                    "{conflicting} has no effect with --circuit: the zoo workload carries \
+                     its own stimulus and observed outputs"
+                ));
+            }
+        }
+        let w = fmossim::testgen::build_zoo(name)?;
+        eprintln!("zoo circuit {}: {}", w.name, w.stats());
+        (w.net, w.patterns, w.outputs)
+    } else {
+        let path = args
+            .first()
+            .ok_or("faultsim needs a netlist path (or --circuit <zoo-name>; see `fmossim zoo`)")?;
+        let net = load(path)?;
+        let stim_path = opt(args, "--stim").ok_or("faultsim needs --stim <file>")?;
+        let stim_text =
+            std::fs::read_to_string(stim_path).map_err(|e| format!("cannot read stim: {e}"))?;
+        let patterns = parse_stim(&net, &stim_text)?;
+        let outputs = node_list(
+            &net,
+            opt(args, "--outputs").ok_or("faultsim needs --outputs")?,
+        )?;
+        (net, patterns, outputs)
+    };
 
     let mut universe = universe_from_spec(&net, opt(args, "--universe").unwrap_or("stuck-nodes"))?;
     let seed: u64 = opt(args, "--seed")

@@ -31,16 +31,7 @@ fn fingerprint(r: &CampaignReport) -> (Vec<String>, usize, usize) {
     let detections = r
         .detections()
         .iter()
-        .map(|d| {
-            format!(
-                "f{} p{} ph{} {}->{}",
-                d.fault.index(),
-                d.pattern,
-                d.phase,
-                d.good,
-                d.faulty
-            )
-        })
+        .map(fmossim::concurrent::Detection::canonical_key)
         .collect();
     (detections, r.run.num_faults, r.detected())
 }

@@ -26,16 +26,7 @@ fn fingerprint(r: &CampaignReport) -> (Vec<String>, usize, Vec<String>) {
     let detections = r
         .detections()
         .iter()
-        .map(|d| {
-            format!(
-                "f{} p{} ph{} {}->{}",
-                d.fault.index(),
-                d.pattern,
-                d.phase,
-                d.good,
-                d.faulty
-            )
-        })
+        .map(fmossim::concurrent::Detection::canonical_key)
         .collect();
     let patterns = r
         .run

@@ -1,0 +1,197 @@
+//! Golden-report snapshots: one real campaign per backend, archived
+//! as a checked-in JSON fixture under `tests/fixtures/`, locking the
+//! version-2 `CampaignReport` schema (including the `batches`
+//! telemetry the adaptive generation added).
+//!
+//! Each fixture is checked three ways:
+//!
+//! 1. **Byte-exactness** — `to_json(from_json(fixture)) == fixture`:
+//!    the serialised format (key order, number formatting, null
+//!    spelling) cannot drift without the diff showing up here.
+//! 2. **Schema shape** — the version tag and the backend-specific
+//!    keys are literally present in the document.
+//! 3. **Reproduction** — a fresh run of the identical workload equals
+//!    the fixture after timing fields are zeroed; everything
+//!    deterministic (detections, counters, plan echo, batch
+//!    telemetry) must match bit for bit.
+//!
+//! Regenerate with `UPDATE_FIXTURES=1 cargo test --test
+//! report_snapshots` after an *intentional* schema change.
+
+use fmossim::campaign::{
+    AdaptiveConfig, Backend, Campaign, CampaignReport, ConcurrentConfig, Jobs, ParallelConfig,
+    SerialConfig,
+};
+use fmossim::circuits::Ram;
+use fmossim::faults::FaultUniverse;
+use fmossim::testgen::TestSequence;
+use std::path::PathBuf;
+
+/// The four built-in backends, in fixture order. The adaptive entry
+/// freezes its initial plan (`rebalance: false`) so the fixture is
+/// fully deterministic — measured-cost re-planning would make
+/// `moved_faults` timing-dependent; the schema it exercises is the
+/// same either way.
+fn fixture_backends() -> [(&'static str, Backend); 4] {
+    [
+        ("serial", Backend::Serial(SerialConfig::paper())),
+        ("concurrent", Backend::Concurrent(ConcurrentConfig::paper())),
+        (
+            "parallel",
+            Backend::Parallel(ParallelConfig {
+                jobs: Jobs::Fixed(2),
+                sim: ConcurrentConfig::paper(),
+                ..ParallelConfig::default()
+            }),
+        ),
+        (
+            "adaptive",
+            Backend::Adaptive(AdaptiveConfig {
+                jobs: Jobs::Fixed(2),
+                rebalance: false,
+                ..AdaptiveConfig::paper(8)
+            }),
+        ),
+    ]
+}
+
+/// The fixtures' common workload: the 4×4 RAM over the full paper
+/// sequence, every stuck-node fault.
+fn run_fixture_campaign(backend: Backend) -> CampaignReport {
+    let ram = Ram::new(4, 4);
+    let seq = TestSequence::full(&ram);
+    Campaign::new(ram.network())
+        .faults(FaultUniverse::stuck_nodes(ram.network()))
+        .patterns(seq.patterns())
+        .outputs(ram.observed_outputs())
+        .backend(backend)
+        .run()
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("report_v2_{name}.json"))
+}
+
+/// Zeroes every measured-time field, leaving only deterministic
+/// content. Counters (groups, settles, detections, batch shapes) are
+/// *not* normalised — they must reproduce exactly.
+fn normalize(r: &mut CampaignReport) {
+    r.wall_seconds = 0.0;
+    r.max_shard_seconds = r.max_shard_seconds.map(|_| 0.0);
+    r.good_seconds = r.good_seconds.map(|_| 0.0);
+    r.serial_estimate_seconds = r.serial_estimate_seconds.map(|_| 0.0);
+    r.tape_record_seconds = r.tape_record_seconds.map(|_| 0.0);
+    r.run.total_seconds = 0.0;
+    for p in &mut r.run.patterns {
+        p.seconds = 0.0;
+    }
+    for b in &mut r.batches {
+        b.max_shard_seconds = 0.0;
+        b.mean_shard_seconds = 0.0;
+        b.imbalance = 0.0;
+        b.tape_record_seconds = 0.0;
+    }
+}
+
+#[test]
+fn fixtures_lock_the_v2_schema() {
+    let update = std::env::var_os("UPDATE_FIXTURES").is_some();
+    for (name, backend) in fixture_backends() {
+        let path = fixture_path(name);
+        if update {
+            let report = run_fixture_campaign(backend);
+            std::fs::create_dir_all(path.parent().expect("fixture dir"))
+                .expect("create fixtures dir");
+            std::fs::write(&path, report.to_json() + "\n").expect("write fixture");
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run with UPDATE_FIXTURES=1",
+                path.display()
+            )
+        });
+        let text = text.trim_end();
+
+        // 1. Byte-exact round-trip: parsing and re-serialising the
+        // archive reproduces it exactly, so key order, number
+        // formatting and null spelling are all pinned.
+        let parsed = CampaignReport::from_json(text)
+            .unwrap_or_else(|e| panic!("{name}: fixture does not parse: {e}"));
+        assert_eq!(
+            parsed.to_json(),
+            text,
+            "{name}: serialisation drifted from the checked-in fixture"
+        );
+
+        // 2. Schema shape: the literal keys the v2 format promises.
+        assert!(text.contains("\"version\":2"), "{name}: not a v2 document");
+        assert!(text.contains("\"format\":\"fmossim-campaign-report\""));
+        assert!(text.contains("\"batches\":"), "{name}: batches key missing");
+        assert!(text.contains("\"control\":"));
+        assert_eq!(parsed.backend, name);
+        match name {
+            "serial" => {
+                assert!(parsed.good_seconds.is_some());
+                assert!(parsed.serial_estimate_seconds.is_some());
+            }
+            "parallel" => {
+                assert_eq!(parsed.jobs, Some(2));
+                assert_eq!(parsed.shards, Some(2));
+                assert!(parsed.tape_record_seconds.is_some(), "tape echoed");
+            }
+            "adaptive" => {
+                assert!(
+                    !parsed.batches.is_empty(),
+                    "adaptive fixture locks the batches telemetry"
+                );
+                assert!(text.contains("\"moved_faults\":"));
+                assert!(text.contains("\"imbalance\":"));
+            }
+            _ => {}
+        }
+
+        // 3. Reproduction: a fresh run of the same workload matches
+        // the archive exactly once measured times are zeroed.
+        let mut fresh = run_fixture_campaign(backend);
+        let mut archived = parsed;
+        normalize(&mut fresh);
+        normalize(&mut archived);
+        assert_eq!(
+            fresh.to_json(),
+            archived.to_json(),
+            "{name}: fresh run diverged from the archived report"
+        );
+    }
+}
+
+/// The v2 writer round-trips value-exactly through its own parser on
+/// every backend's real output (fixture-independent, so this also
+/// covers hosts where the fixtures were regenerated).
+#[test]
+fn real_runs_roundtrip_value_exactly() {
+    for (name, backend) in fixture_backends() {
+        let report = run_fixture_campaign(backend);
+        let text = report.to_json();
+        let back = CampaignReport::from_json(&text)
+            .unwrap_or_else(|e| panic!("{name}: round-trip parse failed: {e}"));
+        assert_eq!(back, report, "{name}: round-trip changed the report");
+        assert_eq!(back.to_json(), text, "{name}: re-serialisation drifted");
+    }
+}
+
+/// Version-1 documents (no tape keys, no batches) still parse — the
+/// v2 reader keeps the lenient v1 path alive for archived artifacts.
+#[test]
+fn v1_documents_still_parse() {
+    let report = run_fixture_campaign(Backend::Concurrent(ConcurrentConfig::paper()));
+    let v1 = report
+        .to_json()
+        .replace("\"version\":2", "\"version\":1")
+        .replace(",\"batches\":[]", "");
+    let back = CampaignReport::from_json(&v1).expect("v1 document parses");
+    assert_eq!(back.run.detections, report.run.detections);
+    assert!(back.batches.is_empty());
+}
