@@ -17,7 +17,14 @@
 //!
 //! Usage:
 //! `evalsuite [--smoke] [--circuit name] [--jobs-list 2,4]
-//!            [--sample N] [--pattern-limit N] [--batch N]`
+//!            [--sample N] [--pattern-limit N] [--batch N]
+//!            [--metrics <path>]`
+//!
+//! Every campaign runs with a fresh telemetry registry; each run's row
+//! embeds the registry's counter snapshot (`metrics`), and `--metrics
+//! <path>` additionally writes the whole suite's merged registry as
+//! one Prometheus text-format snapshot — the artifact CI lints and
+//! uploads.
 //!
 //! All campaigns run under `DetectionPolicy::DefiniteOnly` — the
 //! policy under which detection sets are provably schedule-independent
@@ -26,10 +33,10 @@
 //! workload (few faults, few patterns) for CI; the archived
 //! `BENCH_suite.json` is a full run.
 
-use fmossim_bench::{arg_flag, arg_value};
+use fmossim_bench::{arg_flag, arg_value, stats};
 use fmossim_campaign::{
     AdaptiveConfig, Backend, Campaign, CampaignReport, ConcurrentConfig, DetectionPolicy, Jobs,
-    ParallelConfig, SerialConfig,
+    MetricsSnapshot, ParallelConfig, Registry, SerialConfig,
 };
 use fmossim_faults::FaultUniverse;
 use fmossim_testgen::zoo::{build_zoo, ZooWorkload, ZOO, ZOO_SEED};
@@ -54,6 +61,9 @@ struct Run {
     mean_batch_imbalance: Option<f64>,
     detected: usize,
     fingerprint: u64,
+    /// The run's telemetry registry snapshot (every campaign runs with
+    /// a fresh registry; counters are archived per run).
+    metrics: MetricsSnapshot,
 }
 
 /// FNV-1a over the canonical detection sequence: two runs share the
@@ -77,12 +87,9 @@ fn measure(report: &CampaignReport, jobs: Option<usize>, backend: &'static str) 
     let cpu: f64 = report.run.patterns.iter().map(|p| p.seconds).sum();
     let good_groups: usize = report.run.patterns.iter().map(|p| p.good_groups).sum();
     let faulty_groups: usize = report.run.patterns.iter().map(|p| p.faulty_groups).sum();
-    let n_patterns = report.run.patterns.len().max(1) as f64;
-    let live: usize = report.run.patterns.iter().map(|p| p.live_before).sum();
     let has_counters = good_groups + faulty_groups > 0;
-    let mean_batch_imbalance = (!report.batches.is_empty()).then(|| {
-        report.batches.iter().map(|b| b.imbalance).sum::<f64>() / report.batches.len() as f64
-    });
+    let mean_batch_imbalance = (!report.batches.is_empty())
+        .then(|| stats::mean(report.batches.iter().map(|b| b.imbalance)));
     Run {
         backend,
         jobs,
@@ -91,12 +98,15 @@ fn measure(report: &CampaignReport, jobs: Option<usize>, backend: &'static str) 
             / report.wall_seconds.max(f64::MIN_POSITIVE),
         cpu_seconds: cpu,
         good_fraction: has_counters
-            .then(|| good_groups as f64 / (good_groups + faulty_groups) as f64),
-        mean_live: has_counters.then(|| live as f64 / n_patterns),
-        mean_faulty_groups: has_counters.then(|| faulty_groups as f64 / n_patterns),
+            .then(|| stats::fraction(good_groups as f64, (good_groups + faulty_groups) as f64)),
+        mean_live: has_counters
+            .then(|| stats::mean(report.run.patterns.iter().map(|p| p.live_before as f64))),
+        mean_faulty_groups: has_counters
+            .then(|| stats::mean(report.run.patterns.iter().map(|p| p.faulty_groups as f64))),
         mean_batch_imbalance,
         detected: report.detected(),
         fingerprint: detection_fingerprint(report),
+        metrics: report.metrics.clone(),
     }
 }
 
@@ -105,12 +115,21 @@ fn fmt_opt(v: Option<f64>) -> String {
 }
 
 fn fmt_run(r: &Run) -> String {
+    // Counters only: they are deterministic measurements; the
+    // registry's gauges/histograms are timing-shaped and live in the
+    // merged --metrics snapshot instead.
+    let counters: Vec<String> = r
+        .metrics
+        .counters
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
     format!(
         "      {{\"backend\": \"{}\", \"jobs\": {}, \"wall_seconds\": {:.4}, \
          \"patterns_per_second\": {:.2}, \"cpu_seconds\": {:.4}, \
          \"good_fraction\": {}, \"mean_live\": {}, \"mean_faulty_groups\": {}, \
          \"mean_batch_imbalance\": {}, \"detected\": {}, \
-         \"detections_fnv1a\": \"{:016x}\"}}",
+         \"detections_fnv1a\": \"{:016x}\",\n       \"metrics\": {{{}}}}}",
         r.backend,
         r.jobs.map_or("null".into(), |j| j.to_string()),
         r.wall_seconds,
@@ -122,6 +141,7 @@ fn fmt_run(r: &Run) -> String {
         fmt_opt(r.mean_batch_imbalance),
         r.detected,
         r.fingerprint,
+        counters.join(", "),
     )
 }
 
@@ -145,12 +165,16 @@ fn main() {
         .map(|s| s.parse().expect("--batch takes a number"))
         .unwrap_or(if smoke { 8 } else { 16 });
 
+    let metrics_path = arg_value("--metrics");
     let policy = DetectionPolicy::DefiniteOnly;
     let sim = ConcurrentConfig {
         policy,
         ..ConcurrentConfig::paper()
     };
 
+    // The whole suite's telemetry, merged run by run, for the
+    // `--metrics` Prometheus snapshot.
+    let suite_registry = Registry::new();
     let mut circuit_rows = Vec::new();
     for (name, _) in ZOO {
         if only.as_deref().is_some_and(|o| o != name) {
@@ -164,15 +188,21 @@ fn main() {
             (full_universe, false)
         };
         let campaign = |backend: Backend| -> CampaignReport {
+            // Fresh registry per run: each row's snapshot stands alone,
+            // and the suite registry accumulates the merged total.
+            let registry = Registry::new();
             let mut c = Campaign::new(&w.net)
                 .faults(universe.clone())
                 .patterns(&w.patterns)
                 .outputs(&w.outputs)
-                .backend(backend);
+                .backend(backend)
+                .with_telemetry(&registry);
             if let Some(n) = pattern_limit {
                 c = c.pattern_limit(n);
             }
-            c.run()
+            let report = c.run();
+            suite_registry.merge(&registry);
+            report
         };
 
         let mut runs = Vec::new();
@@ -279,4 +309,19 @@ fn main() {
     println!("{}", circuit_rows.join(",\n"));
     println!("  ]");
     println!("}}");
+
+    if let Some(path) = metrics_path {
+        let snap = suite_registry.snapshot();
+        let text = snap.to_prometheus();
+        MetricsSnapshot::lint_prometheus(&text).unwrap_or_else(|(line, msg)| {
+            panic!("exporter produced bad text (line {line}): {msg}")
+        });
+        std::fs::write(&path, &text).expect("writable --metrics path");
+        eprintln!(
+            "metrics: merged {} counter(s), {} gauge(s), {} histogram(s) -> {path}",
+            snap.counters.len(),
+            snap.gauges.len(),
+            snap.histograms.len(),
+        );
+    }
 }

@@ -47,7 +47,7 @@
 //! noise-limited. The JSON is the `BENCH_adaptive.json` artifact; at
 //! K ≥ 2 the rebalanced ratio must undercut the static one.
 
-use fmossim_bench::{arg_value, paper_universe, ram_with_bridges, SEED};
+use fmossim_bench::{arg_value, paper_universe, ram_with_bridges, stats, SEED};
 use fmossim_campaign::{AdaptiveConfig, Backend, Campaign, CampaignReport};
 use fmossim_core::{ConcurrentConfig, GoodTape};
 use fmossim_par::{Jobs, ParallelConfig, ShardStrategy};
@@ -182,7 +182,7 @@ fn main() {
             wall_seconds: r.run.total_seconds,
             cpu_seconds: cpu,
             tape_record_seconds: r.tape_record_seconds,
-            good_fraction: (good_seconds / total_work.max(f64::MIN_POSITIVE)).clamp(0.0, 1.0),
+            good_fraction: stats::fraction(good_seconds, total_work),
             detected: r.detected(),
         }
     };
@@ -370,18 +370,14 @@ fn adaptive_ab(dim: usize, jobs_list: &[usize], batch: usize, strategy: ShardStr
         let max_sum: f64 = rebalanced.iter().map(|b| b.max_shard_seconds).sum();
         let mean_sum: f64 = rebalanced.iter().map(|b| b.mean_shard_seconds).sum();
         AdaptiveMode {
-            imbalance: rebalanced.iter().map(|b| b.imbalance).sum::<f64>()
-                / (rebalanced.len().max(1)) as f64,
-            weighted_imbalance: max_sum / mean_sum.max(f64::MIN_POSITIVE),
+            imbalance: stats::mean(rebalanced.iter().map(|b| b.imbalance)),
+            weighted_imbalance: stats::imbalance(max_sum, mean_sum),
             batches: r.batches.len(),
             moved_faults: r.batches.iter().map(|b| b.moved_faults).sum(),
             cpu_seconds: r.run.patterns.iter().map(|p| p.seconds).sum(),
         }
     };
-    let median = |mut modes: Vec<AdaptiveMode>| -> AdaptiveMode {
-        modes.sort_by(|a, b| a.imbalance.total_cmp(&b.imbalance));
-        modes.swap_remove(modes.len() / 2)
-    };
+    let median = |modes: Vec<AdaptiveMode>| stats::median_by(modes, |m| m.imbalance);
 
     let rows: Vec<String> = jobs_list
         .iter()

@@ -27,6 +27,8 @@ use fmossim_circuits::Ram;
 use fmossim_core::{Pattern, RunReport};
 use fmossim_faults::{Fault, FaultUniverse};
 
+pub mod stats;
+
 /// The random seed used everywhere (the paper's publication date).
 pub const SEED: u64 = 850_715;
 

@@ -35,6 +35,7 @@ use fmossim_faults::FaultId;
 use fmossim_par::{
     run_batch, CostModel, Jobs, ResumePoint, ShardPlan, ShardStrategy, DEFAULT_COST_ALPHA,
 };
+use fmossim_telemetry::Registry;
 use std::time::Instant;
 
 /// Default patterns per batch when none is configured: small enough to
@@ -192,16 +193,20 @@ pub struct BatchTelemetry {
 /// assert!(!adaptive.batches.is_empty());
 /// # let _ = AdaptiveBackend::new(AdaptiveConfig::paper(8));
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct AdaptiveBackend {
     config: AdaptiveConfig,
+    telemetry: Registry,
 }
 
 impl AdaptiveBackend {
     /// Creates the backend from its configuration.
     #[must_use]
     pub fn new(config: AdaptiveConfig) -> Self {
-        AdaptiveBackend { config }
+        AdaptiveBackend {
+            config,
+            telemetry: Registry::null(),
+        }
     }
 }
 
@@ -221,6 +226,10 @@ impl CampaignBackend for AdaptiveBackend {
         "adaptive".into()
     }
 
+    fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = registry.clone();
+    }
+
     fn run(
         &mut self,
         w: &Workload<'_>,
@@ -228,6 +237,10 @@ impl CampaignBackend for AdaptiveBackend {
         emit: &mut dyn FnMut(SimEvent),
     ) -> BackendRun {
         let t0 = Instant::now();
+        let m_batches = self.telemetry.counter("campaign.batches");
+        let m_imbalance = self.telemetry.gauge("campaign.batch.imbalance");
+        let m_replan = self.telemetry.gauge("campaign.replan.seconds");
+        let m_moved = self.telemetry.counter("campaign.moved_faults");
         let cfg = &self.config;
         let n = w.universe.len();
         let total_patterns = w.patterns.len();
@@ -301,6 +314,7 @@ impl CampaignBackend for AdaptiveBackend {
                 batch,
                 w.outputs,
                 first,
+                &self.telemetry,
             );
 
             // Stream events in shard order (deterministic, unlike the
@@ -349,6 +363,8 @@ impl CampaignBackend for AdaptiveBackend {
                 detected_so_far: detected_total,
                 imbalance,
             });
+            m_batches.inc();
+            m_imbalance.add(imbalance);
 
             let merged = RunReport::merge(run.reports);
             pattern_stats.extend(merged.patterns);
@@ -365,6 +381,7 @@ impl CampaignBackend for AdaptiveBackend {
 
             // Batch boundary: feed measurements back, carry the good
             // machine and the surviving fault states, and re-plan.
+            let replan_t0 = Instant::now();
             cost.observe(&plan, &run.shard_seconds);
             let mut snapshots = vec![None; n];
             survivors.clear();
@@ -399,6 +416,13 @@ impl CampaignBackend for AdaptiveBackend {
                 plan = plan.retain(|id| alive[id.index()]);
                 moved_faults = 0;
             }
+            let replan_seconds = replan_t0.elapsed().as_secs_f64();
+            m_replan.add(replan_seconds);
+            m_moved.add(moved_faults as u64);
+            emit(SimEvent::Span {
+                name: "campaign.replan",
+                seconds: replan_seconds,
+            });
         }
 
         let mut run = RunReport {

@@ -18,6 +18,7 @@ use fmossim_core::{
 use fmossim_faults::{FaultId, FaultUniverse};
 use fmossim_netlist::{Network, NodeId};
 use fmossim_par::{ParallelConfig, ParallelSim};
+use fmossim_telemetry::Registry;
 use std::ops::ControlFlow;
 use std::time::Instant;
 
@@ -216,6 +217,13 @@ pub trait CampaignBackend {
     /// Short strategy name for reports ("serial", "concurrent", …).
     fn name(&self) -> String;
 
+    /// Hands the backend the campaign's telemetry [`Registry`] before
+    /// [`run`](CampaignBackend::run). Built-in backends clone the
+    /// handle and attach it (or per-shard forks of it) to their
+    /// simulators; the default implementation ignores it, so custom
+    /// backends without instrumentation need no change.
+    fn attach_telemetry(&mut self, _registry: &Registry) {}
+
     /// Grades the workload, streaming [`SimEvent`]s through `emit` and
     /// honouring `control`.
     fn run(
@@ -291,8 +299,14 @@ impl Backend {
     pub fn into_impl(self) -> Box<dyn CampaignBackend> {
         match self {
             Backend::Serial(config) => Box::new(SerialAdapter { config }),
-            Backend::Concurrent(config) => Box::new(ConcurrentAdapter { config }),
-            Backend::Parallel(config) => Box::new(ParallelAdapter { config }),
+            Backend::Concurrent(config) => Box::new(ConcurrentAdapter {
+                config,
+                telemetry: Registry::null(),
+            }),
+            Backend::Parallel(config) => Box::new(ParallelAdapter {
+                config,
+                telemetry: Registry::null(),
+            }),
             Backend::Adaptive(config) => Box::new(AdaptiveBackend::new(config)),
         }
     }
@@ -319,11 +333,16 @@ pub(crate) fn emit_detections(
 /// Adapter driving [`ConcurrentSim`] pattern by pattern.
 struct ConcurrentAdapter {
     config: ConcurrentConfig,
+    telemetry: Registry,
 }
 
 impl CampaignBackend for ConcurrentAdapter {
     fn name(&self) -> String {
         "concurrent".into()
+    }
+
+    fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = registry.clone();
     }
 
     fn run(
@@ -338,6 +357,7 @@ impl CampaignBackend for ConcurrentAdapter {
             ..self.config
         };
         let mut sim = ConcurrentSim::new(w.net, w.universe.faults(), config);
+        sim.attach_metrics(&self.telemetry);
         let target = control.detection_target(w.universe.len());
         let mut run = RunReport {
             num_faults: w.universe.len(),
@@ -444,11 +464,16 @@ impl CampaignBackend for SerialAdapter {
 /// Adapter driving [`ParallelSim`] shard by shard.
 struct ParallelAdapter {
     config: ParallelConfig,
+    telemetry: Registry,
 }
 
 impl CampaignBackend for ParallelAdapter {
     fn name(&self) -> String {
         "parallel".into()
+    }
+
+    fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = registry.clone();
     }
 
     fn run(
@@ -460,7 +485,8 @@ impl CampaignBackend for ParallelAdapter {
         let mut config = self.config;
         config.sim.drop_on_detect = control.drop_detected;
         config.reuse_good_tape = control.reuse_good_tape;
-        let sim = ParallelSim::new(w.net, w.universe.clone(), config);
+        let mut sim = ParallelSim::new(w.net, w.universe.clone(), config);
+        sim.attach_metrics(&self.telemetry);
         let target = control.detection_target(w.universe.len());
         let mut detected = 0usize;
         let mut stopped_early = false;

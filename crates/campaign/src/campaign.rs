@@ -7,6 +7,7 @@ use crate::report::{CampaignReport, ControlEcho, StopReason};
 use fmossim_core::{ConcurrentConfig, Pattern};
 use fmossim_faults::FaultUniverse;
 use fmossim_netlist::{Network, NodeId};
+use fmossim_telemetry::Registry;
 use std::time::Instant;
 
 /// A fault-simulation campaign: one workload (network, faults,
@@ -47,6 +48,7 @@ pub struct Campaign<'n, 'o> {
     custom: Option<Box<dyn CampaignBackend + 'o>>,
     control: RunControl,
     observer: Option<Box<dyn FnMut(SimEvent) + 'o>>,
+    telemetry: Registry,
 }
 
 impl<'n, 'o> Campaign<'n, 'o> {
@@ -63,6 +65,7 @@ impl<'n, 'o> Campaign<'n, 'o> {
             custom: None,
             control: RunControl::default(),
             observer: None,
+            telemetry: Registry::null(),
         }
     }
 
@@ -190,6 +193,38 @@ impl<'n, 'o> Campaign<'n, 'o> {
         self
     }
 
+    /// Attaches a telemetry [`Registry`]: the backend and every
+    /// simulator underneath it record into `registry` (per-shard forks
+    /// are merged back at report time), and the final
+    /// [`CampaignReport::metrics`] snapshot is taken from it. The
+    /// default is the free [`Registry::null`], which records nothing.
+    ///
+    /// ```
+    /// use fmossim_campaign::Campaign;
+    /// use fmossim_circuits::Ram;
+    /// use fmossim_faults::FaultUniverse;
+    /// use fmossim_telemetry::Registry;
+    /// use fmossim_testgen::TestSequence;
+    ///
+    /// let ram = Ram::new(4, 4);
+    /// let seq = TestSequence::full(&ram);
+    /// let registry = Registry::new();
+    /// let report = Campaign::new(ram.network())
+    ///     .faults(FaultUniverse::stuck_nodes(ram.network()))
+    ///     .patterns(seq.patterns())
+    ///     .outputs(ram.observed_outputs())
+    ///     .with_telemetry(&registry)
+    ///     .run();
+    /// let snap = registry.snapshot();
+    /// assert_eq!(snap.counters["core.detections"], report.detected() as u64);
+    /// assert_eq!(report.metrics, snap);
+    /// ```
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.telemetry = registry.clone();
+        self
+    }
+
     /// Runs the campaign and returns the wrapped report.
     #[must_use]
     pub fn run(self) -> CampaignReport {
@@ -216,6 +251,7 @@ impl<'n, 'o> Campaign<'n, 'o> {
             Some(custom) => custom,
             None => self.backend.into_impl(),
         };
+        backend.attach_telemetry(&self.telemetry);
         let mut observer = self.observer;
         let mut emit = move |e: SimEvent| {
             if let Some(obs) = observer.as_mut() {
@@ -234,6 +270,14 @@ impl<'n, 'o> Campaign<'n, 'o> {
             tape_groups,
             batches,
         } = backend.run(&workload, &self.control, &mut emit);
+        let run_seconds = t0.elapsed().as_secs_f64();
+        self.telemetry
+            .gauge("campaign.run.seconds")
+            .add(run_seconds);
+        emit(SimEvent::Span {
+            name: "campaign.run",
+            seconds: run_seconds,
+        });
         let stop = if stopped_early {
             StopReason::CoverageReached
         } else if limited {
@@ -261,6 +305,7 @@ impl<'n, 'o> Campaign<'n, 'o> {
             tape_record_seconds,
             tape_groups,
             batches,
+            metrics: self.telemetry.snapshot(),
             run,
         }
     }

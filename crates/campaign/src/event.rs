@@ -15,6 +15,12 @@
 //!   [`SimEvent::ShardDone`] per completed shard (in completion order,
 //!   which is scheduling-dependent across worker threads) with the
 //!   shard's `Detected` / `FaultDropped` events just before it.
+//! * [`Backend::Adaptive`](crate::Backend::Adaptive) additionally
+//!   closes every batch with a [`SimEvent::BatchDone`] and every
+//!   re-plan with a [`SimEvent::Span`].
+//!
+//! Every backend's stream ends with one `Span { name: "campaign.run" }`
+//! carrying the whole run's wall-clock seconds.
 
 use fmossim_faults::FaultId;
 
@@ -107,5 +113,16 @@ pub enum SimEvent {
         /// The batch's measured load-imbalance ratio
         /// (`max_shard_seconds / mean_shard_seconds`).
         imbalance: f64,
+    },
+    /// A named timed section finished — the span-tracing hook. The
+    /// adaptive backend emits one per between-batch re-plan
+    /// (`"campaign.replan"`); every campaign run ends with one
+    /// `"campaign.run"` span covering the whole backend run.
+    Span {
+        /// Dotted span name, matching the telemetry metric catalogue
+        /// (e.g. `"campaign.run"`, `"campaign.replan"`).
+        name: &'static str,
+        /// The span's wall-clock duration in seconds.
+        seconds: f64,
     },
 }

@@ -9,6 +9,7 @@ use crate::json::{obj, parse, Value};
 use fmossim_core::{Detection, DetectionPolicy, PatternStats, RunReport};
 use fmossim_faults::FaultId;
 use fmossim_netlist::Logic;
+use fmossim_telemetry::{HistogramSnapshot, MetricsSnapshot};
 
 /// Why a campaign stopped.
 ///
@@ -102,6 +103,97 @@ fn policy_parse(s: &str) -> Option<DetectionPolicy> {
     }
 }
 
+/// Serialises a telemetry snapshot as the report's `metrics` block.
+fn metrics_to_value(m: &MetricsSnapshot) -> Value {
+    let counters = Value::Obj(
+        m.counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Value::Num(v as f64)))
+            .collect(),
+    );
+    let gauges = Value::Obj(
+        m.gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), Value::Num(v)))
+            .collect(),
+    );
+    let histograms = Value::Obj(
+        m.histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    obj([
+                        (
+                            "buckets",
+                            Value::Arr(h.buckets.iter().map(|&b| Value::Num(b as f64)).collect()),
+                        ),
+                        ("count", Value::Num(h.count as f64)),
+                        ("sum", Value::Num(h.sum as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    obj([
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ])
+}
+
+/// Parses the `metrics` block; absent/null (pre-v3 documents) is an
+/// empty snapshot.
+fn metrics_from_value(val: Option<&Value>) -> Result<MetricsSnapshot, String> {
+    let mut snap = MetricsSnapshot::default();
+    let Some(val) = val.filter(|v| !v.is_null()) else {
+        return Ok(snap);
+    };
+    let section = |name: &str| -> Result<Vec<(&String, &Value)>, String> {
+        match val.get(name) {
+            None => Ok(Vec::new()),
+            Some(Value::Obj(m)) => Ok(m.iter().collect()),
+            Some(_) => Err(format!("bad metrics.{name}")),
+        }
+    };
+    for (k, v) in section("counters")? {
+        let n = v.as_usize().ok_or(format!("bad metrics counter `{k}`"))?;
+        snap.counters.insert(k.clone(), n as u64);
+    }
+    for (k, v) in section("gauges")? {
+        let n = v.as_f64().ok_or(format!("bad metrics gauge `{k}`"))?;
+        snap.gauges.insert(k.clone(), n);
+    }
+    for (k, v) in section("histograms")? {
+        let hcount = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_usize)
+                .map(|n| n as u64)
+                .ok_or(format!("bad metrics histogram `{k}` {name}"))
+        };
+        let buckets = v
+            .get("buckets")
+            .and_then(Value::as_arr)
+            .ok_or(format!("bad metrics histogram `{k}` buckets"))?
+            .iter()
+            .map(|b| {
+                b.as_usize()
+                    .map(|n| n as u64)
+                    .ok_or(format!("bad metrics histogram `{k}` bucket"))
+            })
+            .collect::<Result<Vec<u64>, String>>()?;
+        snap.histograms.insert(
+            k.clone(),
+            HistogramSnapshot {
+                buckets,
+                count: hcount("count")?,
+                sum: hcount("sum")?,
+            },
+        );
+    }
+    Ok(snap)
+}
+
 /// The result of [`Campaign::run`](crate::Campaign::run): one stable
 /// artifact covering every backend, so benches, the CLI, and archived
 /// runs all speak the same format.
@@ -162,6 +254,13 @@ pub struct CampaignReport {
     /// backend and for documents written before the adaptive backend
     /// existed.
     pub batches: Vec<BatchTelemetry>,
+    /// Snapshot of the campaign's telemetry registry at the end of the
+    /// run — every `switch.*` / `core.*` / `par.*` / `campaign.*`
+    /// metric recorded under
+    /// [`Campaign::with_telemetry`](crate::Campaign::with_telemetry).
+    /// Empty when no registry was attached (the default) and for
+    /// documents written before schema version 3.
+    pub metrics: MetricsSnapshot,
     /// The measurements, in the common per-pattern report format.
     pub run: RunReport,
 }
@@ -188,13 +287,14 @@ impl CampaignReport {
 
     /// The schema version [`CampaignReport::to_json`] writes.
     ///
-    /// Version 2 locks the adaptive generation's keys — `batches`
+    /// Version 3 adds the `metrics` block (the telemetry snapshot).
+    /// Version 2 locked the adaptive generation's keys — `batches`
     /// telemetry and the `tape_*` fields are part of the schema, not
     /// lenient extensions. [`CampaignReport::from_json`] still accepts
-    /// version-1 documents (where those keys may be absent). The
-    /// golden fixtures under `tests/fixtures/` pin the byte-exact
-    /// format per backend.
-    pub const JSON_VERSION: usize = 2;
+    /// version-1 and version-2 documents (where the newer keys may be
+    /// absent). The golden fixtures under `tests/fixtures/` pin the
+    /// byte-exact format per backend.
+    pub const JSON_VERSION: usize = 3;
 
     /// Serialises to the stable JSON artifact format (compact, one
     /// line, deterministic key order).
@@ -306,6 +406,7 @@ impl CampaignReport {
                         .collect(),
                 ),
             ),
+            ("metrics", metrics_to_value(&self.metrics)),
             (
                 "run",
                 obj([
@@ -336,10 +437,11 @@ impl CampaignReport {
         if v.get("format").and_then(Value::as_str) != Some("fmossim-campaign-report") {
             return Err("not a fmossim-campaign-report document".into());
         }
-        // Version 1 documents parse leniently (tape/batches keys may
-        // be absent); version 2 made those keys part of the schema.
+        // Older documents parse leniently: version 1 may lack the
+        // tape/batches keys, versions 1–2 lack the `metrics` block
+        // version 3 added.
         match v.get("version").and_then(Value::as_usize) {
-            Some(1 | 2) => {}
+            Some(1..=3) => {}
             Some(other) => return Err(format!("unsupported report version {other}")),
             None => return Err("missing report version".into()),
         }
@@ -539,6 +641,9 @@ impl CampaignReport {
                     batches
                 }
             },
+            // Absent in pre-telemetry version-1/2 documents: default
+            // to an empty snapshot.
+            metrics: metrics_from_value(v.get("metrics"))?,
             run,
         })
     }
@@ -582,6 +687,20 @@ mod tests {
                 tape_record_seconds: 0.0625,
                 tape_groups: 40,
             }],
+            metrics: {
+                let mut m = MetricsSnapshot::default();
+                m.counters.insert("core.detections".into(), 2);
+                m.gauges.insert("par.shard.seconds".into(), 0.375);
+                m.histograms.insert(
+                    "switch.solve_group.size".into(),
+                    HistogramSnapshot {
+                        buckets: vec![1, 2],
+                        count: 3,
+                        sum: 9,
+                    },
+                );
+                m
+            },
             run: RunReport {
                 patterns: vec![
                     PatternStats {
@@ -654,9 +773,10 @@ mod tests {
         // the per-batch tape keys.
         let mut report = sample_report();
         report.batches.clear();
+        report.metrics = MetricsSnapshot::default();
         let text = report
             .to_json()
-            .replace("\"version\":2", "\"version\":1")
+            .replace("\"version\":3", "\"version\":1")
             .replace(",\"reuse_good_tape\":true", "")
             .replace(",\"tape_record_seconds\":0.0625", "")
             .replace(",\"tape_groups\":40", "");
@@ -674,11 +794,26 @@ mod tests {
         report.batches.clear();
         let text = report
             .to_json()
-            .replace("\"version\":2", "\"version\":1")
+            .replace("\"version\":3", "\"version\":1")
             .replace(",\"batches\":[]", "");
         assert!(!text.contains("batches"), "key really removed: {text}");
         let back = CampaignReport::from_json(&text).expect("lenient parse");
         assert!(back.batches.is_empty());
+    }
+
+    /// Version-2 documents written before the telemetry layer carry no
+    /// `metrics` block; parsing must default to an empty snapshot.
+    #[test]
+    fn parses_pre_telemetry_documents() {
+        let report = sample_report();
+        let v3 = report.to_json();
+        let metrics_block = format!(",\"metrics\":{}", metrics_to_value(&report.metrics));
+        let text = v3
+            .replace("\"version\":3", "\"version\":2")
+            .replace(&metrics_block, "");
+        assert!(!text.contains("metrics"), "key really removed: {text}");
+        let back = CampaignReport::from_json(&text).expect("lenient parse");
+        assert_eq!(back.metrics, MetricsSnapshot::default());
     }
 
     #[test]
@@ -697,7 +832,7 @@ mod tests {
         // ...as must an unknown format version.
         let future = sample_report()
             .to_json()
-            .replace("\"version\":2", "\"version\":3");
+            .replace("\"version\":3", "\"version\":4");
         assert!(CampaignReport::from_json(&future).is_err());
     }
 }

@@ -40,8 +40,76 @@ use crate::tape::{GoodTape, PhaseTape};
 use fmossim_faults::{Fault, FaultEffect, FaultId};
 use fmossim_netlist::{Logic, Network, NodeId};
 use fmossim_switch::{DenseState, Engine, EngineConfig, SwitchState};
+use fmossim_telemetry::{Counter, Gauge, Registry};
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Telemetry of one [`ConcurrentSim`] (`core.*` metrics); defaulted
+/// handles are no-ops. The per-settle quantities accumulate into the
+/// plain `local_*` fields — one plain integer add per circuit settle
+/// instead of shared-atomic traffic — and [`CoreMetrics::flush`] folds
+/// them into the handles once per pattern. The per-detection handles
+/// (`detections`, `faults_dropped`, `faults_live`) stay direct: they
+/// fire at most once per fault.
+#[derive(Clone, Debug, Default)]
+struct CoreMetrics {
+    /// `core.events_scheduled` — private events delivered to faulty
+    /// circuits (deduplicated seeds per circuit settle).
+    events_scheduled: Counter,
+    /// `core.circuit.settles` — faulty-circuit settles executed.
+    circuit_settles: Counter,
+    /// `core.faulty.groups` — vicinities solved inside faulty circuits.
+    faulty_groups: Counter,
+    /// `core.good.groups` — vicinities solved in the live good machine
+    /// (zero under tape replay; see `core.tape.replayed_groups`).
+    good_groups: Counter,
+    /// `core.tape.replayed_groups` — recorded good-machine groups
+    /// applied from a [`GoodTape`] instead of being re-solved.
+    replayed_groups: Counter,
+    /// `core.detections` — faults detected (once each).
+    detections: Counter,
+    /// `core.faults_dropped` — faulty circuits dropped (detection or
+    /// external [`ConcurrentSim::drop_fault`]).
+    faults_dropped: Counter,
+    /// `core.faults_live` — live (undetected, undropped) faulty
+    /// circuits at the last update; merged shard registries sum to the
+    /// fleet-wide live count.
+    faults_live: Gauge,
+    local_events_scheduled: u64,
+    local_circuit_settles: u64,
+    local_faulty_groups: u64,
+    local_good_groups: u64,
+    local_replayed_groups: u64,
+}
+
+impl CoreMetrics {
+    fn attach(registry: &Registry) -> Self {
+        CoreMetrics {
+            events_scheduled: registry.counter("core.events_scheduled"),
+            circuit_settles: registry.counter("core.circuit.settles"),
+            faulty_groups: registry.counter("core.faulty.groups"),
+            good_groups: registry.counter("core.good.groups"),
+            replayed_groups: registry.counter("core.tape.replayed_groups"),
+            detections: registry.counter("core.detections"),
+            faults_dropped: registry.counter("core.faults_dropped"),
+            faults_live: registry.gauge("core.faults_live"),
+            ..CoreMetrics::default()
+        }
+    }
+
+    fn flush(&mut self) {
+        self.events_scheduled.add(self.local_events_scheduled);
+        self.circuit_settles.add(self.local_circuit_settles);
+        self.faulty_groups.add(self.local_faulty_groups);
+        self.good_groups.add(self.local_good_groups);
+        self.replayed_groups.add(self.local_replayed_groups);
+        self.local_events_scheduled = 0;
+        self.local_circuit_settles = 0;
+        self.local_faulty_groups = 0;
+        self.local_good_groups = 0;
+        self.local_replayed_groups = 0;
+    }
+}
 
 /// Computes the circuits triggered by one good-machine event (live or
 /// replayed from a [`GoodTape`]) and queues their private events:
@@ -210,6 +278,7 @@ pub struct ConcurrentSim<'n> {
     config: ConcurrentConfig,
     /// Scratch: circuits triggered by the current group.
     triggered: Vec<u32>,
+    metrics: CoreMetrics,
 }
 
 impl<'n> ConcurrentSim<'n> {
@@ -252,6 +321,7 @@ impl<'n> ConcurrentSim<'n> {
             detections: Vec::new(),
             config,
             triggered: Vec::new(),
+            metrics: CoreMetrics::default(),
         };
         for k in 0..n_sets {
             let circ = u32::try_from(k + 1).expect("too many faults");
@@ -355,6 +425,33 @@ impl<'n> ConcurrentSim<'n> {
             records,
             detected: self.detected_once[circ as usize],
         })
+    }
+
+    /// Publishes this simulator's activity into `registry`: the
+    /// `core.*` metrics (events scheduled, circuit settles, detections,
+    /// live faults, tape replay hits) plus the owned engine's
+    /// `switch.*` metrics. Until attached (or when `registry` is null)
+    /// the instrumentation is a no-op. Fault-parallel drivers attach a
+    /// per-shard [`Registry::fork`] and merge at report time.
+    ///
+    /// Per-settle activity is accumulated locally and folded into the
+    /// registry at every pattern boundary (both live and replayed
+    /// paths); callers stepping individual phases via
+    /// [`ConcurrentSim::step_phase`] call
+    /// [`ConcurrentSim::flush_metrics`] before reading the registry.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.metrics = CoreMetrics::attach(registry);
+        self.metrics.faults_live.set(self.live as f64);
+        self.engine.attach_metrics(registry);
+    }
+
+    /// Folds locally accumulated settle activity (this simulator's and
+    /// its engine's) into the attached registry. Runs automatically at
+    /// every pattern boundary; needed explicitly only when stepping
+    /// phases by hand.
+    pub fn flush_metrics(&mut self) {
+        self.metrics.flush();
+        self.engine.flush_metrics();
     }
 
     /// The fault sets being simulated, in circuit order (singleton
@@ -478,6 +575,7 @@ impl<'n> ConcurrentSim<'n> {
         for (phi, phase) in pattern.phases.iter().enumerate() {
             self.step_phase(phase, outputs, pattern_idx, phi, &mut stats);
         }
+        self.flush_metrics();
         stats.seconds = t0.elapsed().as_secs_f64();
         stats
     }
@@ -527,6 +625,7 @@ impl<'n> ConcurrentSim<'n> {
             });
             stats.good_groups += rep.groups_solved;
             stats.damped |= rep.oscillation_damped;
+            self.metrics.local_good_groups += rep.groups_solved as u64;
         }
 
         // 3. Faulty circuits, in circuit-id order.
@@ -550,6 +649,7 @@ impl<'n> ConcurrentSim<'n> {
             overrides,
             pending,
             dropped,
+            metrics,
             ..
         } = self;
         while let Some((circ, mut seeds)) = pending.pop_first() {
@@ -558,6 +658,7 @@ impl<'n> ConcurrentSim<'n> {
             }
             seeds.sort_unstable();
             seeds.dedup();
+            metrics.local_events_scheduled += seeds.len() as u64;
             let rep = {
                 let mut view =
                     FaultyView::new(net, good.states(), records, circ, &overrides[circ as usize]);
@@ -580,6 +681,8 @@ impl<'n> ConcurrentSim<'n> {
             stats.faulty_groups += rep.groups_solved;
             stats.circuit_settles += 1;
             stats.damped |= rep.oscillation_damped;
+            metrics.local_faulty_groups += rep.groups_solved as u64;
+            metrics.local_circuit_settles += 1;
         }
     }
 
@@ -699,6 +802,7 @@ impl<'n> ConcurrentSim<'n> {
         for (phi, (phase, ptape)) in pattern.phases.iter().zip(phase_tapes).enumerate() {
             self.step_phase_replayed(phase, ptape, outputs, pattern_idx, phi, &mut stats);
         }
+        self.flush_metrics();
         stats.seconds = t0.elapsed().as_secs_f64();
         stats
     }
@@ -750,6 +854,7 @@ impl<'n> ConcurrentSim<'n> {
         }
         stats.good_groups += settle.num_groups();
         stats.damped |= settle.damped();
+        self.metrics.local_replayed_groups += settle.num_groups() as u64;
 
         // 3. Faulty circuits, in circuit-id order.
         self.settle_triggered(stats);
@@ -878,6 +983,7 @@ impl<'n> ConcurrentSim<'n> {
             faulty: faultyv,
         });
         stats.detected += 1;
+        self.metrics.detections.inc();
         if self.config.drop_on_detect {
             self.drop_circuit(circ);
         }
@@ -889,6 +995,8 @@ impl<'n> ConcurrentSim<'n> {
         self.live -= 1;
         self.records.drop_circuit(circ);
         self.pending.remove(&circ);
+        self.metrics.faults_dropped.inc();
+        self.metrics.faults_live.set(self.live as f64);
     }
 }
 

@@ -20,6 +20,7 @@ use fmossim_core::{
 };
 use fmossim_faults::{FaultId, FaultUniverse};
 use fmossim_netlist::{Network, NodeId};
+use fmossim_telemetry::Registry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -185,6 +186,11 @@ pub struct BatchRun {
 /// [`TapeRecorder`](fmossim_core::TapeRecorder) that is carrying the
 /// good machine across batches.
 ///
+/// `telemetry` collects the batch's activity (pass
+/// [`Registry::null`] when unused): every shard simulator publishes
+/// into a per-shard [`Registry::fork`] that is merged back on the
+/// collecting thread, plus the `par.*` shard timing metrics.
+///
 /// # Panics
 ///
 /// Panics if a planned fault id has no snapshot in `resume`, or if the
@@ -202,11 +208,13 @@ pub fn run_batch(
     patterns: &[Pattern],
     outputs: &[NodeId],
     first_pattern: usize,
+    telemetry: &Registry,
 ) -> BatchRun {
     let n_shards = plan.num_shards();
     let workers = workers.clamp(1, n_shards.max(1));
 
-    let run_shard = |s: usize| -> (RunReport, Vec<(FaultId, FaultSnapshot)>) {
+    let run_shard = |s: usize| -> (RunReport, Vec<(FaultId, FaultSnapshot)>, Registry) {
+        let shard_metrics = telemetry.fork();
         let ids = plan.shard(s);
         let shard_universe = universe.subset(ids);
         let mut shard_sim = match resume {
@@ -223,6 +231,7 @@ pub fn run_batch(
                 ConcurrentSim::resume(net, shard_universe.faults(), sim, &point.good, &snaps)
             }
         };
+        shard_sim.attach_metrics(&shard_metrics);
         let mut report = shard_sim.run_replayed_from(patterns, outputs, tape, first_pattern);
         report.relabel_faults(|local| ids[local.index()]);
         let survivors = ids
@@ -234,7 +243,11 @@ pub fn run_batch(
                     .map(|snap| (gid, snap))
             })
             .collect();
-        (report, survivors)
+        shard_metrics.counter("par.shards").inc();
+        shard_metrics
+            .gauge("par.shard.seconds")
+            .add(report.total_seconds);
+        (report, survivors, shard_metrics)
     };
 
     let mut out = BatchRun {
@@ -245,7 +258,8 @@ pub fn run_batch(
     let mut per_shard_survivors: Vec<Vec<(FaultId, FaultSnapshot)>> = vec![Vec::new(); n_shards];
     if n_shards <= 1 || workers == 1 {
         for (s, slot) in per_shard_survivors.iter_mut().enumerate() {
-            let (report, survivors) = run_shard(s);
+            let (report, survivors, shard_metrics) = run_shard(s);
+            telemetry.merge(&shard_metrics);
             out.shard_seconds[s] = report.total_seconds;
             out.reports[s] = report;
             *slot = survivors;
@@ -275,7 +289,8 @@ pub fn run_batch(
                 });
             }
             drop(tx);
-            for (s, (report, survivors)) in rx {
+            for (s, (report, survivors, shard_metrics)) in rx {
+                telemetry.merge(&shard_metrics);
                 out.shard_seconds[s] = report.total_seconds;
                 out.reports[s] = report;
                 per_shard_survivors[s] = survivors;
@@ -345,6 +360,7 @@ mod tests {
             &patterns[..1],
             &outs,
             0,
+            &Registry::null(),
         );
 
         // Boundary: snapshot, drop detected, re-plan the survivors
@@ -371,6 +387,7 @@ mod tests {
             &patterns[1..],
             &outs,
             1,
+            &Registry::null(),
         );
 
         let mut detections: Vec<_> = b0

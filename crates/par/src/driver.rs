@@ -6,6 +6,7 @@ use crate::plan::{ShardPlan, ShardStrategy};
 use fmossim_core::{ConcurrentConfig, ConcurrentSim, GoodTape, Pattern, RunReport};
 use fmossim_faults::FaultUniverse;
 use fmossim_netlist::{Network, NodeId};
+use fmossim_telemetry::Registry;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -161,6 +162,10 @@ pub struct ParallelSim<'n> {
     config: ParallelConfig,
     /// `config.jobs` resolved against the universe at planning time.
     workers: usize,
+    /// Telemetry sink (null by default): each shard gets a
+    /// [`Registry::fork`], merged back on the calling thread as the
+    /// shard completes.
+    telemetry: Registry,
 }
 
 impl<'n> ParallelSim<'n> {
@@ -178,7 +183,17 @@ impl<'n> ParallelSim<'n> {
             plan,
             config,
             workers,
+            telemetry: Registry::null(),
         }
+    }
+
+    /// Publishes this driver's activity into `registry`: `par.*`
+    /// metrics (shard seconds, queue wait, merge time), the tape's
+    /// `core.tape.*` record measurements, and — via a per-shard
+    /// [`Registry::fork`] merged at completion — every shard
+    /// simulator's `core.*` / `switch.*` metrics.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.telemetry = registry.clone();
     }
 
     /// The shard plan in use.
@@ -264,6 +279,14 @@ impl<'n> ParallelSim<'n> {
         // With zero or one shard there is nothing to amortise.
         let tape: Option<Arc<GoodTape>> = (self.config.reuse_good_tape && n_shards > 1)
             .then(|| Arc::new(GoodTape::record(self.net, patterns, self.config.sim.engine)));
+        if let Some(t) = &tape {
+            self.telemetry
+                .gauge("core.tape.record_seconds")
+                .add(t.record_seconds());
+            self.telemetry
+                .counter("core.tape.groups")
+                .add(t.num_groups() as u64);
+        }
 
         let outcome = |s: usize, rep: &RunReport| ShardOutcome {
             shard: s,
@@ -276,7 +299,9 @@ impl<'n> ParallelSim<'n> {
         if n_shards <= 1 || workers == 1 {
             // In-line fast path: no thread overhead, same merge below.
             for s in 0..n_shards {
-                let rep = self.run_shard(s, patterns, outputs, tape.as_deref());
+                let (rep, shard_metrics) =
+                    self.run_shard(s, patterns, outputs, tape.as_deref(), t0);
+                self.telemetry.merge(&shard_metrics);
                 let flow = on_shard(&outcome(s, &rep), &rep);
                 reports.push((s, rep));
                 if flow.is_break() {
@@ -289,7 +314,7 @@ impl<'n> ParallelSim<'n> {
             // to the queue mechanics of either should be mirrored.
             let next = &AtomicUsize::new(0);
             let stop = &AtomicBool::new(false);
-            let (tx, rx) = mpsc::channel::<(usize, RunReport)>();
+            let (tx, rx) = mpsc::channel::<(usize, RunReport, Registry)>();
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     let tx = tx.clone();
@@ -302,8 +327,9 @@ impl<'n> ParallelSim<'n> {
                         if s >= n_shards {
                             break;
                         }
-                        let rep = self.run_shard(s, patterns, outputs, tape.as_deref());
-                        if tx.send((s, rep)).is_err() {
+                        let (rep, shard_metrics) =
+                            self.run_shard(s, patterns, outputs, tape.as_deref(), t0);
+                        if tx.send((s, rep, shard_metrics)).is_err() {
                             break;
                         }
                     });
@@ -311,8 +337,11 @@ impl<'n> ParallelSim<'n> {
                 drop(tx);
                 // Observe completions from the calling thread, in
                 // completion order; a Break stops the queue but drains
-                // in-flight shards.
-                for (s, rep) in rx {
+                // in-flight shards. Per-shard registries merge here —
+                // single-threaded, in completion order (merging is
+                // commutative, so the order does not matter).
+                for (s, rep, shard_metrics) in rx {
+                    self.telemetry.merge(&shard_metrics);
                     let flow = on_shard(&outcome(s, &rep), &rep);
                     reports.push((s, rep));
                     if flow.is_break() {
@@ -325,6 +354,7 @@ impl<'n> ParallelSim<'n> {
         let replayed_shards = reports.len();
         // Merge in shard order for reproducible statistics; detection
         // order is canonicalised by `merge` regardless.
+        let merge_t0 = Instant::now();
         reports.sort_by_key(|&(s, _)| s);
         let mut shard_seconds = vec![0.0; n_shards];
         for (s, r) in &reports {
@@ -333,6 +363,9 @@ impl<'n> ParallelSim<'n> {
         let mut merged = RunReport::merge(reports.into_iter().map(|(_, r)| r));
         merged.num_faults = self.universe.len();
         merged.total_seconds = t0.elapsed().as_secs_f64();
+        self.telemetry
+            .gauge("par.merge.seconds")
+            .add(merge_t0.elapsed().as_secs_f64());
         ParallelRun {
             report: merged,
             shard_seconds,
@@ -348,22 +381,37 @@ impl<'n> ParallelSim<'n> {
     /// Simulates one shard to completion, relabelling detections to
     /// parent-universe fault ids. With a tape, the shard replays the
     /// recorded good machine instead of re-settling it.
+    ///
+    /// Returns the report plus the shard's local metric registry
+    /// (`run_started` is the whole run's start instant — the gap until
+    /// now is the shard's queue wait). The caller merges the registry
+    /// into the run-wide one on the collecting thread.
     fn run_shard(
         &self,
         s: usize,
         patterns: &[Pattern],
         outputs: &[NodeId],
         tape: Option<&GoodTape>,
-    ) -> RunReport {
+        run_started: Instant,
+    ) -> (RunReport, Registry) {
+        let shard_metrics = self.telemetry.fork();
+        shard_metrics
+            .gauge("par.queue.wait_seconds")
+            .add(run_started.elapsed().as_secs_f64());
         let ids = self.plan.shard(s);
         let shard_universe = self.universe.subset(ids);
         let mut sim = ConcurrentSim::new(self.net, shard_universe.faults(), self.config.sim);
+        sim.attach_metrics(&shard_metrics);
         let mut report = match tape {
             Some(tape) => sim.run_replayed(patterns, outputs, tape),
             None => sim.run(patterns, outputs),
         };
         report.relabel_faults(|local| ids[local.index()]);
-        report
+        shard_metrics.counter("par.shards").inc();
+        shard_metrics
+            .gauge("par.shard.seconds")
+            .add(report.total_seconds);
+        (report, shard_metrics)
     }
 }
 

@@ -18,6 +18,7 @@
 use crate::solve::Scratch;
 use crate::state::SwitchState;
 use fmossim_netlist::{Logic, Network, NodeId, TransistorId};
+use fmossim_telemetry::{Counter, Histogram, LocalHistogram, Registry};
 
 /// Vicinity partitioning discipline; see the DAC-85 paper's §4
 /// discussion of dynamic vs. static locality.
@@ -113,6 +114,66 @@ impl GroupView<'_> {
     }
 }
 
+/// Telemetry of one [`Engine`]. Settles accumulate into the plain
+/// `local_*` fields (no atomics on the per-group hot path) and
+/// [`EngineMetrics::flush`] folds them into the shared registry handles;
+/// the core simulator flushes once per pattern. `active` is false for an
+/// unattached engine, which then skips even the local bucketing.
+#[derive(Clone, Debug, Default)]
+struct EngineMetrics {
+    active: bool,
+    /// `switch.settles` — settle calls that did work (≥ 1 round).
+    settles: Counter,
+    /// `switch.settle.rounds` — unit-delay rounds executed.
+    rounds: Counter,
+    /// `switch.vicinity.solves` — vicinities extracted and solved.
+    vicinity_solves: Counter,
+    /// `switch.nodes_changed` — node state changes applied.
+    nodes_changed: Counter,
+    /// `switch.oscillation.damped` — settles that engaged X-damping.
+    oscillation_damped: Counter,
+    /// `switch.solve_group.size` — storage-node count per solved group.
+    group_size: Histogram,
+    local_settles: u64,
+    local_rounds: u64,
+    local_vicinity_solves: u64,
+    local_nodes_changed: u64,
+    local_oscillation_damped: u64,
+    local_group_size: LocalHistogram,
+}
+
+impl EngineMetrics {
+    fn attach(registry: &Registry) -> Self {
+        EngineMetrics {
+            active: registry.is_active(),
+            settles: registry.counter("switch.settles"),
+            rounds: registry.counter("switch.settle.rounds"),
+            vicinity_solves: registry.counter("switch.vicinity.solves"),
+            nodes_changed: registry.counter("switch.nodes_changed"),
+            oscillation_damped: registry.counter("switch.oscillation.damped"),
+            group_size: registry.histogram("switch.solve_group.size"),
+            ..EngineMetrics::default()
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.active {
+            return;
+        }
+        self.settles.add(self.local_settles);
+        self.rounds.add(self.local_rounds);
+        self.vicinity_solves.add(self.local_vicinity_solves);
+        self.nodes_changed.add(self.local_nodes_changed);
+        self.oscillation_damped.add(self.local_oscillation_damped);
+        self.local_settles = 0;
+        self.local_rounds = 0;
+        self.local_vicinity_solves = 0;
+        self.local_nodes_changed = 0;
+        self.local_oscillation_damped = 0;
+        self.group_size.merge_local(&mut self.local_group_size);
+    }
+}
+
 /// The unit-delay event scheduler. Owns the perturbation queues and the
 /// solver scratch; generic over the [`SwitchState`] being simulated so
 /// the same engine drives good, concurrent-faulty and serial-faulty
@@ -131,6 +192,7 @@ pub struct Engine {
     round_id: u64,
     changed_buf: Vec<(NodeId, Logic, Logic)>,
     config: EngineConfig,
+    metrics: EngineMetrics,
 }
 
 impl Engine {
@@ -152,6 +214,7 @@ impl Engine {
             round_id: 0,
             changed_buf: Vec::new(),
             config,
+            metrics: EngineMetrics::default(),
         }
     }
 
@@ -159,6 +222,25 @@ impl Engine {
     #[must_use]
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Publishes this engine's activity (`switch.*` metrics) into
+    /// `registry`. Handles are minted once here; until attached (or
+    /// when `registry` is null) the instrumentation is a no-op.
+    ///
+    /// Settle activity is accumulated locally (no shared-atomic traffic
+    /// per solve group) and published by [`Engine::flush_metrics`] —
+    /// the core simulators flush once per pattern. Callers driving the
+    /// engine directly must flush before reading the registry.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.metrics = EngineMetrics::attach(registry);
+    }
+
+    /// Folds locally accumulated settle activity into the attached
+    /// registry (a no-op for an unattached engine). Cheap — a handful
+    /// of atomic adds — but not meant for the per-settle hot path.
+    pub fn flush_metrics(&mut self) {
+        self.metrics.flush();
     }
 
     /// True iff perturbations are pending (a settle would do work).
@@ -279,6 +361,9 @@ impl Engine {
                 self.scratch.steady_state(st);
                 let (members, values) = (&self.scratch.members, &self.scratch.out_values);
                 report.groups_solved += 1;
+                if self.metrics.active {
+                    self.metrics.local_group_size.observe(members.len() as u64);
+                }
                 self.changed_buf.clear();
                 for (i, &m) in members.iter().enumerate() {
                     self.solved_round[m.index()] = self.round_id;
@@ -313,6 +398,13 @@ impl Engine {
                 }
             }
             self.queue.clear();
+        }
+        if report.rounds > 0 {
+            self.metrics.local_settles += 1;
+            self.metrics.local_rounds += report.rounds as u64;
+            self.metrics.local_vicinity_solves += report.groups_solved as u64;
+            self.metrics.local_nodes_changed += report.nodes_changed as u64;
+            self.metrics.local_oscillation_damped += u64::from(report.oscillation_damped);
         }
         report
     }

@@ -14,6 +14,7 @@
 //!                  [--stop-at-coverage F] [--pattern-limit N]
 //!                  [--jobs N|auto] [--shard-strategy round-robin|contiguous|cost]
 //!                  [--replay on|off] [--batch N]
+//!                  [--metrics <path>[.prom|.json]]
 //! ```
 //!
 //! The stimulus file is line oriented: each non-comment line is one
@@ -28,7 +29,7 @@
 
 use fmossim::campaign::{
     universe_from_spec, AdaptiveConfig, Backend, Campaign, ConcurrentConfig, Jobs, ParallelConfig,
-    SerialConfig, ShardStrategy,
+    Registry, SerialConfig, ShardStrategy,
 };
 use fmossim::circuits::{Ram, RegisterFile};
 use fmossim::concurrent::{Pattern, Phase};
@@ -77,6 +78,7 @@ usage:
                    [--stop-at-coverage F] [--pattern-limit N]
                    [--jobs N|auto] [--shard-strategy round-robin|contiguous|cost]
                    [--replay on|off] [--batch N]
+                   [--metrics <path>[.prom|.json]]
 
 `zoo` lists the benchmark circuit zoo; `faultsim --circuit <name>`
 runs a campaign on a zoo member (circuit, stimulus and observed
@@ -107,6 +109,13 @@ echoes what actually resolved.
 --json emits the machine-readable campaign report instead of text;
 --stop-at-coverage / --pattern-limit cut the run short; --serial
 appends a serial-baseline comparison run.
+
+--metrics <path> attaches a telemetry registry to the campaign and
+writes its final snapshot to <path> after the run: Prometheus text
+exposition format by default (and for a `.prom` suffix), JSON for a
+`.json` suffix. The same snapshot is embedded in the --json report's
+`metrics` block. Telemetry never changes results; without --metrics
+the null registry records nothing.
 ";
 
 /// Default `--batch` for the adaptive backend, re-exported for the
@@ -488,11 +497,20 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
         pool,
     );
 
+    // An attached --metrics registry records; the default null
+    // registry is a no-op, so the campaign wiring is unconditional.
+    let metrics_path = opt(args, "--metrics");
+    let registry = if metrics_path.is_some() {
+        Registry::new()
+    } else {
+        Registry::null()
+    };
     let mut campaign = Campaign::new(&net)
         .faults(universe.clone())
         .patterns(&patterns)
         .outputs(&outputs)
-        .backend(backend);
+        .backend(backend)
+        .with_telemetry(&registry);
     if let Some(cov) = opt(args, "--stop-at-coverage") {
         let cov: f64 = cov
             .parse()
@@ -512,6 +530,21 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
         campaign = campaign.reuse_good_tape(reuse);
     }
     let report = campaign.run();
+
+    if let Some(path) = metrics_path {
+        let text = if path.ends_with(".json") {
+            registry.to_json()
+        } else {
+            registry.to_prometheus()
+        };
+        std::fs::write(path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!(
+            "metrics: {} counter(s), {} gauge(s), {} histogram(s) -> {path}",
+            report.metrics.counters.len(),
+            report.metrics.gauges.len(),
+            report.metrics.histograms.len(),
+        );
+    }
 
     if flag(args, "--json") {
         println!("{}", report.to_json());

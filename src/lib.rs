@@ -30,6 +30,13 @@
 //!   autotuned from the workload ([`par::Jobs::Auto`]), and the good
 //!   machine is recorded once per run ([`concurrent::GoodTape`]) and
 //!   replayed in every shard instead of re-simulated.
+//! * [`telemetry`] — hierarchical counters/gauges/histograms
+//!   ([`telemetry::Registry`]) recorded by every layer above, merged
+//!   across shards, snapshotted into
+//!   [`campaign::CampaignReport::metrics`], and exportable as
+//!   Prometheus text or JSON; attach one with
+//!   [`campaign::Campaign::with_telemetry`] or the CLI's
+//!   `--metrics <path>` flag.
 //!
 //! Beyond the paper: fault dictionaries and diagnosis
 //! ([`concurrent::FaultDictionary`]), multi-fault circuits
@@ -72,4 +79,5 @@ pub use fmossim_faults as faults;
 pub use fmossim_netlist as netlist;
 pub use fmossim_par as par;
 pub use fmossim_switch as sim;
+pub use fmossim_telemetry as telemetry;
 pub use fmossim_testgen as testgen;

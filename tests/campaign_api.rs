@@ -139,6 +139,7 @@ fn observer_streams_consistent_events() {
     let mut dropped_events = 0usize;
     let mut pattern_starts = 0usize;
     let mut pattern_dones = 0usize;
+    let mut spans = 0usize;
     let report = Campaign::new(ram.network())
         .faults(universe.clone())
         .patterns(seq.patterns())
@@ -148,6 +149,10 @@ fn observer_streams_consistent_events() {
             SimEvent::FaultDropped { .. } => dropped_events += 1,
             SimEvent::PatternStart { .. } => pattern_starts += 1,
             SimEvent::PatternDone { .. } => pattern_dones += 1,
+            SimEvent::Span { name, .. } => {
+                assert_eq!(name, "campaign.run", "concurrent backend has no re-plans");
+                spans += 1;
+            }
             SimEvent::ShardDone { .. } => panic!("concurrent backend has no shards"),
             SimEvent::BatchDone { .. } => panic!("concurrent backend has no batches"),
         })
@@ -156,6 +161,7 @@ fn observer_streams_consistent_events() {
     assert_eq!(dropped_events, report.detected(), "drop-on-detect is on");
     assert_eq!(pattern_starts, seq.len());
     assert_eq!(pattern_dones, seq.len());
+    assert_eq!(spans, 1, "one campaign.run span per run");
 }
 
 #[test]

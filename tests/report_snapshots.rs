@@ -1,7 +1,9 @@
 //! Golden-report snapshots: one real campaign per backend, archived
 //! as a checked-in JSON fixture under `tests/fixtures/`, locking the
-//! version-2 `CampaignReport` schema (including the `batches`
-//! telemetry the adaptive generation added).
+//! version-3 `CampaignReport` schema (including the `batches`
+//! telemetry the adaptive generation added and the v3 `metrics`
+//! block). The previous generation's `report_v2_*.json` fixtures stay
+//! checked in as lenient-parse coverage for archived artifacts.
 //!
 //! Each fixture is checked three ways:
 //!
@@ -20,7 +22,7 @@
 
 use fmossim::campaign::{
     AdaptiveConfig, Backend, Campaign, CampaignReport, ConcurrentConfig, Jobs, ParallelConfig,
-    SerialConfig,
+    Registry, SerialConfig,
 };
 use fmossim::circuits::Ram;
 use fmossim::faults::FaultUniverse;
@@ -56,7 +58,8 @@ fn fixture_backends() -> [(&'static str, Backend); 4] {
 }
 
 /// The fixtures' common workload: the 4×4 RAM over the full paper
-/// sequence, every stuck-node fault.
+/// sequence, every stuck-node fault, with an active telemetry
+/// registry attached so the fixtures lock the v3 `metrics` block.
 fn run_fixture_campaign(backend: Backend) -> CampaignReport {
     let ram = Ram::new(4, 4);
     let seq = TestSequence::full(&ram);
@@ -65,18 +68,22 @@ fn run_fixture_campaign(backend: Backend) -> CampaignReport {
         .patterns(seq.patterns())
         .outputs(ram.observed_outputs())
         .backend(backend)
+        .with_telemetry(&Registry::new())
         .run()
 }
 
-fn fixture_path(name: &str) -> PathBuf {
+fn fixture_path(version: usize, name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
-        .join(format!("report_v2_{name}.json"))
+        .join(format!("report_v{version}_{name}.json"))
 }
 
 /// Zeroes every measured-time field, leaving only deterministic
-/// content. Counters (groups, settles, detections, batch shapes) are
-/// *not* normalised — they must reproduce exactly.
+/// content. Counters and histograms (groups, settles, detections,
+/// batch shapes, the metrics block) are *not* normalised — they must
+/// reproduce exactly. Metrics *gauges* are all zeroed: every exported
+/// gauge is timing-shaped (seconds, imbalance ratios) or tracks the
+/// timing-independent-but-path-dependent live count.
 fn normalize(r: &mut CampaignReport) {
     r.wall_seconds = 0.0;
     r.max_shard_seconds = r.max_shard_seconds.map(|_| 0.0);
@@ -93,13 +100,16 @@ fn normalize(r: &mut CampaignReport) {
         b.imbalance = 0.0;
         b.tape_record_seconds = 0.0;
     }
+    for g in r.metrics.gauges.values_mut() {
+        *g = 0.0;
+    }
 }
 
 #[test]
-fn fixtures_lock_the_v2_schema() {
+fn fixtures_lock_the_v3_schema() {
     let update = std::env::var_os("UPDATE_FIXTURES").is_some();
     for (name, backend) in fixture_backends() {
-        let path = fixture_path(name);
+        let path = fixture_path(3, name);
         if update {
             let report = run_fixture_campaign(backend);
             std::fs::create_dir_all(path.parent().expect("fixture dir"))
@@ -126,21 +136,33 @@ fn fixtures_lock_the_v2_schema() {
             "{name}: serialisation drifted from the checked-in fixture"
         );
 
-        // 2. Schema shape: the literal keys the v2 format promises.
-        assert!(text.contains("\"version\":2"), "{name}: not a v2 document");
+        // 2. Schema shape: the literal keys the v3 format promises.
+        assert!(text.contains("\"version\":3"), "{name}: not a v3 document");
         assert!(text.contains("\"format\":\"fmossim-campaign-report\""));
         assert!(text.contains("\"batches\":"), "{name}: batches key missing");
         assert!(text.contains("\"control\":"));
+        assert!(text.contains("\"metrics\":"), "{name}: metrics key missing");
         assert_eq!(parsed.backend, name);
         match name {
             "serial" => {
                 assert!(parsed.good_seconds.is_some());
                 assert!(parsed.serial_estimate_seconds.is_some());
             }
+            "concurrent" => {
+                assert!(
+                    parsed.metrics.counters["core.detections"] > 0,
+                    "{name}: instrumented backend locks non-empty counters"
+                );
+                assert!(
+                    parsed.metrics.histograms["switch.solve_group.size"].count > 0,
+                    "{name}: the solve-group histogram is archived"
+                );
+            }
             "parallel" => {
                 assert_eq!(parsed.jobs, Some(2));
                 assert_eq!(parsed.shards, Some(2));
                 assert!(parsed.tape_record_seconds.is_some(), "tape echoed");
+                assert_eq!(parsed.metrics.counters["par.shards"], 2);
             }
             "adaptive" => {
                 assert!(
@@ -149,12 +171,17 @@ fn fixtures_lock_the_v2_schema() {
                 );
                 assert!(text.contains("\"moved_faults\":"));
                 assert!(text.contains("\"imbalance\":"));
+                assert_eq!(
+                    parsed.metrics.counters["campaign.batches"],
+                    parsed.batches.len() as u64
+                );
             }
             _ => {}
         }
 
         // 3. Reproduction: a fresh run of the same workload matches
-        // the archive exactly once measured times are zeroed.
+        // the archive exactly once measured times (and the
+        // timing-shaped metrics gauges) are zeroed.
         let mut fresh = run_fixture_campaign(backend);
         let mut archived = parsed;
         normalize(&mut fresh);
@@ -167,7 +194,45 @@ fn fixtures_lock_the_v2_schema() {
     }
 }
 
-/// The v2 writer round-trips value-exactly through its own parser on
+/// The previous generation's archived v2 fixtures still parse through
+/// the lenient reader: no `metrics` key means an empty snapshot, and
+/// everything deterministic still reproduces against a fresh
+/// (untelemetered) run of the same workload.
+#[test]
+fn v2_fixtures_still_parse() {
+    let ram = Ram::new(4, 4);
+    let seq = TestSequence::full(&ram);
+    for (name, backend) in fixture_backends() {
+        let path = fixture_path(2, name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing archived v2 fixture {}: {e}", path.display()));
+        let archived = CampaignReport::from_json(text.trim_end())
+            .unwrap_or_else(|e| panic!("{name}: v2 fixture does not parse: {e}"));
+        assert!(
+            archived.metrics.counters.is_empty()
+                && archived.metrics.gauges.is_empty()
+                && archived.metrics.histograms.is_empty(),
+            "{name}: pre-telemetry document reads as an empty snapshot"
+        );
+        // No telemetry attached: the fresh report's metrics block is
+        // empty too, so whole-struct equality holds after normalize.
+        let mut fresh = Campaign::new(ram.network())
+            .faults(FaultUniverse::stuck_nodes(ram.network()))
+            .patterns(seq.patterns())
+            .outputs(ram.observed_outputs())
+            .backend(backend)
+            .run();
+        let mut archived = archived;
+        normalize(&mut fresh);
+        normalize(&mut archived);
+        assert_eq!(
+            fresh, archived,
+            "{name}: fresh run diverged from the archived v2 report"
+        );
+    }
+}
+
+/// The v3 writer round-trips value-exactly through its own parser on
 /// every backend's real output (fixture-independent, so this also
 /// covers hosts where the fixtures were regenerated).
 #[test]
@@ -183,15 +248,19 @@ fn real_runs_roundtrip_value_exactly() {
 }
 
 /// Version-1 documents (no tape keys, no batches) still parse — the
-/// v2 reader keeps the lenient v1 path alive for archived artifacts.
+/// v3 reader keeps the lenient v1 path alive for archived artifacts.
 #[test]
 fn v1_documents_still_parse() {
     let report = run_fixture_campaign(Backend::Concurrent(ConcurrentConfig::paper()));
     let v1 = report
         .to_json()
-        .replace("\"version\":2", "\"version\":1")
+        .replace("\"version\":3", "\"version\":1")
         .replace(",\"batches\":[]", "");
     let back = CampaignReport::from_json(&v1).expect("v1 document parses");
     assert_eq!(back.run.detections, report.run.detections);
     assert!(back.batches.is_empty());
+    assert_eq!(
+        back.metrics, report.metrics,
+        "the metrics block parses even in an old-version document"
+    );
 }
