@@ -20,6 +20,20 @@
 //!            [--sample N] [--pattern-limit N] [--batch N]
 //!            [--metrics <path>]`
 //!
+//! `evalsuite --serve [--circuit name] [--requests N]` runs the
+//! server A/B instead (the `BENCH_serve.json` artifact): N campaigns
+//! of one zoo circuit served concurrently by an in-process
+//! `fmossim-serve` instance (first submission warms the good-tape
+//! cache, the rest hit it) against the same N campaigns run
+//! sequentially offline, each paying its own record pass. Both sides
+//! must grade identically; the row archives wall times and the
+//! measured cache-hit rate. The pool is sized from the host
+//! (`hardware_threads` is archived with the row): on a few-core host
+//! the served side cannot beat sequential wall time — its measured
+//! win is the seven retired record passes (`tape_record_seconds`)
+//! and request multiplexing, while wall-time speedup needs real
+//! cores to spend the freed cycles on.
+//!
 //! Every campaign runs with a fresh telemetry registry; each run's row
 //! embeds the registry's counter snapshot (`metrics`), and `--metrics
 //! <path>` additionally writes the whole suite's merged registry as
@@ -146,6 +160,10 @@ fn fmt_run(r: &Run) -> String {
 }
 
 fn main() {
+    if arg_flag("--serve") {
+        serve_ab();
+        return;
+    }
     let smoke = arg_flag("--smoke");
     let only = arg_value("--circuit");
     let jobs_list: Vec<usize> = arg_value("--jobs-list")
@@ -324,4 +342,165 @@ fn main() {
             snap.histograms.len(),
         );
     }
+}
+
+/// The `--serve` A/B: N campaigns of one zoo circuit, served
+/// concurrently with a warm good-tape cache versus run sequentially
+/// offline with a per-run record pass. Emits the `BENCH_serve.json`
+/// document on stdout and asserts served/offline grading parity.
+fn serve_ab() {
+    use fmossim_campaign::json;
+    use fmossim_serve::{request, served_config, Server, ServerConfig};
+    use std::time::{Duration, Instant};
+
+    let circuit = arg_value("--circuit").unwrap_or_else(|| "ram4x4".into());
+    let requests: usize = arg_value("--requests")
+        .map(|s| s.parse().expect("--requests takes a number"))
+        .unwrap_or(8);
+    assert!(requests >= 2, "--requests needs at least a warmup + one");
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let workers = threads.min(4);
+    // One shard per worker: every extra shard replays the whole tape
+    // once more, so over-sharding only inflates CPU on a small host.
+    let shards = workers;
+
+    // B side: the same N campaigns back to back, offline — the
+    // workflow the server replaces. Every run records its own tape.
+    let w = build_zoo(&circuit).expect("zoo circuit");
+    let universe = FaultUniverse::stuck_nodes(&w.net);
+    let offline_one = || -> CampaignReport {
+        Campaign::new(&w.net)
+            .faults(universe.clone())
+            .patterns(&w.patterns)
+            .outputs(&w.outputs)
+            .backend(Backend::Parallel(ParallelConfig {
+                jobs: Jobs::Fixed(workers),
+                sim: served_config(),
+                shards: Some(shards),
+                ..ParallelConfig::default()
+            }))
+            .run()
+    };
+    let offline_start = Instant::now();
+    let offline_reports: Vec<CampaignReport> = (0..requests).map(|_| offline_one()).collect();
+    let offline_wall = offline_start.elapsed().as_secs_f64();
+    let reference = detection_fingerprint(&offline_reports[0]);
+    let detected = offline_reports[0].detected();
+    let offline_record: f64 = offline_reports
+        .iter()
+        .map(|r| r.tape_record_seconds.unwrap_or(0.0))
+        .sum();
+
+    // A side: an in-process server. The first submission warms the
+    // tape cache; the remaining N-1 are issued concurrently and all
+    // replay the cached tape.
+    let server = Server::bind(&ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || server.run());
+
+    let submit = |circuit: &str| -> String {
+        let body = format!("{{\"circuit\":\"{circuit}\",\"shards\":{shards}}}");
+        let resp = request(addr, "POST", "/campaigns", Some(&body)).expect("POST /campaigns");
+        assert_eq!(resp.status, 202, "{}", resp.body_str().unwrap_or("?"));
+        json::parse(resp.body_str().expect("utf8"))
+            .expect("json")
+            .get("id")
+            .and_then(json::Value::as_str)
+            .expect("id")
+            .to_string()
+    };
+    let wait = |id: &str| -> json::Value {
+        let deadline = Instant::now() + Duration::from_secs(300);
+        loop {
+            let resp = request(addr, "GET", &format!("/campaigns/{id}"), None).expect("GET status");
+            let doc = json::parse(resp.body_str().expect("utf8")).expect("json");
+            let status = doc
+                .get("status")
+                .and_then(json::Value::as_str)
+                .unwrap_or("?");
+            if matches!(status, "done" | "cancelled" | "failed") {
+                assert_eq!(status, "done", "{id} ended {status}");
+                return doc;
+            }
+            assert!(Instant::now() < deadline, "{id} stuck");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+    let report_of = |doc: &json::Value| -> CampaignReport {
+        CampaignReport::from_json(&doc.get("report").expect("report").to_string())
+            .expect("report parses")
+    };
+
+    let served_start = Instant::now();
+    let warm_doc = wait(&submit(&circuit));
+    let warmup_seconds = served_start.elapsed().as_secs_f64();
+    let ids: Vec<String> = (0..requests - 1).map(|_| submit(&circuit)).collect();
+    let served_reports: Vec<CampaignReport> = {
+        let mut reports = vec![report_of(&warm_doc)];
+        reports.extend(ids.iter().map(|id| report_of(&wait(id))));
+        reports
+    };
+    let served_wall = served_start.elapsed().as_secs_f64();
+
+    // Grading parity is the hard gate, exactly as in the main suite.
+    for (i, r) in served_reports.iter().enumerate() {
+        assert_eq!(
+            (r.detected(), detection_fingerprint(r)),
+            (detected, reference),
+            "served request {i} diverged from the offline reference"
+        );
+    }
+    let warm_hits = served_reports[1..]
+        .iter()
+        .filter(|r| r.tape_record_seconds == Some(0.0))
+        .count();
+
+    let metrics = request(addr, "GET", "/metrics", None).expect("GET /metrics");
+    let text = metrics.body_str().expect("utf8");
+    MetricsSnapshot::lint_prometheus(text)
+        .unwrap_or_else(|(line, msg)| panic!("/metrics lint failed (line {line}): {msg}"));
+    let counter = |name: &str| -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let hits = counter("fmossim_serve_cache_hits");
+    let misses = counter("fmossim_serve_cache_misses");
+
+    eprintln!(
+        "{circuit}: {requests} campaigns — served {served_wall:.3}s \
+         (warmup {warmup_seconds:.3}s, {warm_hits} warm replays, cache {hits} hit / {misses} miss) \
+         vs offline {offline_wall:.3}s ({offline_record:.3}s re-recording tapes) — parity ok"
+    );
+    println!("{{");
+    println!("  \"format\": \"fmossim-evalsuite-serve\",");
+    println!("  \"version\": 1,");
+    println!("  \"circuit\": \"{circuit}\",");
+    println!("  \"requests\": {requests},");
+    println!("  \"hardware_threads\": {threads},");
+    println!("  \"workers\": {workers},");
+    println!("  \"shards\": {shards},");
+    println!("  \"detected\": {detected},");
+    println!("  \"detections_fnv1a\": \"{reference:016x}\",");
+    println!(
+        "  \"offline\": {{\"wall_seconds\": {offline_wall:.4}, \
+         \"tape_record_seconds\": {offline_record:.4}}},"
+    );
+    println!(
+        "  \"served\": {{\"wall_seconds\": {served_wall:.4}, \
+         \"warmup_seconds\": {warmup_seconds:.4}, \"warm_replays\": {warm_hits}, \
+         \"cache_hits\": {hits}, \"cache_misses\": {misses}, \
+         \"cache_hit_rate\": {:.4}}},",
+        hits as f64 / (hits + misses).max(1) as f64,
+    );
+    println!(
+        "  \"served_speedup\": {:.4}",
+        offline_wall / served_wall.max(f64::MIN_POSITIVE)
+    );
+    println!("}}");
 }

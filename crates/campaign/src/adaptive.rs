@@ -28,7 +28,9 @@
 //! every batch size (`tests/adaptive_equivalence.rs` asserts it) —
 //! re-planning moves time around, never results.
 
-use crate::backend::{emit_detections, BackendRun, CampaignBackend, RunControl, Workload};
+use crate::backend::{
+    emit_detections, is_cancelled, no_cancel, BackendRun, CampaignBackend, RunControl, Workload,
+};
 use crate::event::SimEvent;
 use fmossim_core::{ConcurrentConfig, PatternStats, RunReport, TapeRecorder};
 use fmossim_faults::FaultId;
@@ -36,6 +38,8 @@ use fmossim_par::{
     run_batch, CostModel, Jobs, ResumePoint, ShardPlan, ShardStrategy, DEFAULT_COST_ALPHA,
 };
 use fmossim_telemetry::Registry;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default patterns per batch when none is configured: small enough to
@@ -197,6 +201,7 @@ pub struct BatchTelemetry {
 pub struct AdaptiveBackend {
     config: AdaptiveConfig,
     telemetry: Registry,
+    cancel: Arc<AtomicBool>,
 }
 
 impl AdaptiveBackend {
@@ -206,6 +211,7 @@ impl AdaptiveBackend {
         AdaptiveBackend {
             config,
             telemetry: Registry::null(),
+            cancel: no_cancel(),
         }
     }
 }
@@ -228,6 +234,10 @@ impl CampaignBackend for AdaptiveBackend {
 
     fn attach_telemetry(&mut self, registry: &Registry) {
         self.telemetry = registry.clone();
+    }
+
+    fn attach_cancel(&mut self, token: &Arc<AtomicBool>) {
+        self.cancel = Arc::clone(token);
     }
 
     fn run(
@@ -282,6 +292,7 @@ impl CampaignBackend for AdaptiveBackend {
         let target = control.detection_target(n);
         let mut detected_total = 0usize;
         let mut stopped_early = false;
+        let mut cancelled = false;
         let mut pattern_stats: Vec<PatternStats> = Vec::new();
         let mut detections = Vec::new();
         let mut batches: Vec<BatchTelemetry> = Vec::new();
@@ -290,6 +301,10 @@ impl CampaignBackend for AdaptiveBackend {
 
         let mut first = 0usize;
         while first < total_patterns {
+            if is_cancelled(&self.cancel) {
+                cancelled = true;
+                break;
+            }
             if survivors.is_empty() {
                 // Every fault detected and dropped: the remaining
                 // patterns would be all-idle shards. Keep the report's
@@ -438,6 +453,7 @@ impl CampaignBackend for AdaptiveBackend {
         BackendRun {
             run,
             stopped_early,
+            cancelled,
             jobs: Some(resolved),
             shards: shards0,
             max_shard_seconds: Some(max_shard_seconds),

@@ -12,15 +12,24 @@
 use crate::adaptive::{AdaptiveBackend, AdaptiveConfig, BatchTelemetry};
 use crate::event::SimEvent;
 use fmossim_core::{
-    ConcurrentConfig, ConcurrentSim, Detection, DetectionPolicy, Pattern, PatternStats, RunReport,
-    SerialConfig, SerialSim,
+    ConcurrentConfig, ConcurrentSim, Detection, DetectionPolicy, GoodTape, Pattern, PatternStats,
+    RunReport, SerialConfig, SerialSim,
 };
 use fmossim_faults::{FaultId, FaultUniverse};
 use fmossim_netlist::{Network, NodeId};
 use fmossim_par::{ParallelConfig, ParallelSim};
 use fmossim_telemetry::Registry;
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// A shared slot a backend deposits the run's good tape into — the
+/// extraction half of the campaign tape seams (see
+/// [`Campaign::export_good_tape`](crate::Campaign::export_good_tape)).
+/// A plain `Arc<Mutex<..>>` so a caching layer can hold the slot across
+/// campaigns and threads.
+pub type TapeSlot = Arc<Mutex<Option<Arc<GoodTape>>>>;
 
 /// The workload a campaign grades: one network, one fault universe,
 /// one pattern sequence, one set of observed outputs.
@@ -164,6 +173,9 @@ pub struct BackendRun {
     /// the adaptive backend the scalar `tape_*` fields above aggregate
     /// these per-batch entries.
     pub batches: Vec<BatchTelemetry>,
+    /// True iff the run was cut short by a cooperative cancel (see
+    /// [`Campaign::cancel_token`](crate::Campaign::cancel_token)).
+    pub cancelled: bool,
 }
 
 /// An execution strategy a [`Campaign`](crate::Campaign) can run on.
@@ -223,6 +235,30 @@ pub trait CampaignBackend {
     /// simulators; the default implementation ignores it, so custom
     /// backends without instrumentation need no change.
     fn attach_telemetry(&mut self, _registry: &Registry) {}
+
+    /// Hands the backend the campaign's cancel token before
+    /// [`run`](CampaignBackend::run). Built-in backends poll it at
+    /// their work-item boundary (pattern / fault / shard / batch) and
+    /// return early with [`BackendRun::cancelled`] set; the default
+    /// implementation ignores it, so custom backends that cannot stop
+    /// mid-run need no change (their campaigns simply run to
+    /// completion).
+    fn attach_cancel(&mut self, _token: &Arc<AtomicBool>) {}
+
+    /// Offers the backend a pre-recorded good tape to replay instead
+    /// of paying its own record pass. Only the parallel backend
+    /// honours it (its shards all replay one tape); the default
+    /// implementation ignores the offer — a wrong-shape tape is also
+    /// ignored at the driver layer, so injection can never change
+    /// results.
+    fn inject_good_tape(&mut self, _tape: Arc<GoodTape>) {}
+
+    /// Hands the backend a [`TapeSlot`] to deposit the run's good tape
+    /// into after [`run`](CampaignBackend::run). Only the parallel
+    /// backend deposits (the adaptive backend records one short-lived
+    /// tape per batch — there is no single whole-run tape to cache);
+    /// the default implementation leaves the slot untouched.
+    fn export_good_tape(&mut self, _slot: &TapeSlot) {}
 
     /// Grades the workload, streaming [`SimEvent`]s through `emit` and
     /// honouring `control`.
@@ -298,18 +334,37 @@ impl Backend {
     #[must_use]
     pub fn into_impl(self) -> Box<dyn CampaignBackend> {
         match self {
-            Backend::Serial(config) => Box::new(SerialAdapter { config }),
+            Backend::Serial(config) => Box::new(SerialAdapter {
+                config,
+                cancel: no_cancel(),
+            }),
             Backend::Concurrent(config) => Box::new(ConcurrentAdapter {
                 config,
                 telemetry: Registry::null(),
+                cancel: no_cancel(),
             }),
             Backend::Parallel(config) => Box::new(ParallelAdapter {
                 config,
                 telemetry: Registry::null(),
+                cancel: no_cancel(),
+                inject_tape: None,
+                export_tape: None,
             }),
             Backend::Adaptive(config) => Box::new(AdaptiveBackend::new(config)),
         }
     }
+}
+
+/// A fresh, never-set cancel token — the default until
+/// [`CampaignBackend::attach_cancel`] replaces it.
+pub(crate) fn no_cancel() -> Arc<AtomicBool> {
+    Arc::new(AtomicBool::new(false))
+}
+
+/// One relaxed load: cancellation needs no ordering beyond "seen
+/// eventually at the next work-item boundary".
+pub(crate) fn is_cancelled(token: &AtomicBool) -> bool {
+    token.load(Ordering::Relaxed)
 }
 
 pub(crate) fn emit_detections(
@@ -334,6 +389,7 @@ pub(crate) fn emit_detections(
 struct ConcurrentAdapter {
     config: ConcurrentConfig,
     telemetry: Registry,
+    cancel: Arc<AtomicBool>,
 }
 
 impl CampaignBackend for ConcurrentAdapter {
@@ -343,6 +399,10 @@ impl CampaignBackend for ConcurrentAdapter {
 
     fn attach_telemetry(&mut self, registry: &Registry) {
         self.telemetry = registry.clone();
+    }
+
+    fn attach_cancel(&mut self, token: &Arc<AtomicBool>) {
+        self.cancel = Arc::clone(token);
     }
 
     fn run(
@@ -364,7 +424,12 @@ impl CampaignBackend for ConcurrentAdapter {
             ..RunReport::default()
         };
         let mut stopped_early = false;
+        let mut cancelled = false;
         for (pi, pattern) in w.patterns.iter().enumerate() {
+            if is_cancelled(&self.cancel) {
+                cancelled = true;
+                break;
+            }
             if target.is_some_and(|t| sim.detections().len() >= t) {
                 stopped_early = true;
                 break;
@@ -393,6 +458,7 @@ impl CampaignBackend for ConcurrentAdapter {
         BackendRun {
             run,
             stopped_early,
+            cancelled,
             ..BackendRun::default()
         }
     }
@@ -401,11 +467,16 @@ impl CampaignBackend for ConcurrentAdapter {
 /// Adapter driving [`SerialSim`] fault by fault.
 struct SerialAdapter {
     config: SerialConfig,
+    cancel: Arc<AtomicBool>,
 }
 
 impl CampaignBackend for SerialAdapter {
     fn name(&self) -> String {
         "serial".into()
+    }
+
+    fn attach_cancel(&mut self, token: &Arc<AtomicBool>) {
+        self.cancel = Arc::clone(token);
     }
 
     fn run(
@@ -429,7 +500,12 @@ impl CampaignBackend for SerialAdapter {
         };
         let mut estimate = 0.0;
         let mut stopped_early = false;
+        let mut cancelled = false;
         for (k, &fault) in w.universe.faults().iter().enumerate() {
+            if is_cancelled(&self.cancel) {
+                cancelled = true;
+                break;
+            }
             if target.is_some_and(|t| run.detections.len() >= t) {
                 stopped_early = true;
                 break;
@@ -454,6 +530,7 @@ impl CampaignBackend for SerialAdapter {
         BackendRun {
             run,
             stopped_early,
+            cancelled,
             good_seconds: Some(good.total_seconds),
             serial_estimate_seconds: Some(estimate),
             ..BackendRun::default()
@@ -465,6 +542,9 @@ impl CampaignBackend for SerialAdapter {
 struct ParallelAdapter {
     config: ParallelConfig,
     telemetry: Registry,
+    cancel: Arc<AtomicBool>,
+    inject_tape: Option<Arc<GoodTape>>,
+    export_tape: Option<TapeSlot>,
 }
 
 impl CampaignBackend for ParallelAdapter {
@@ -474,6 +554,18 @@ impl CampaignBackend for ParallelAdapter {
 
     fn attach_telemetry(&mut self, registry: &Registry) {
         self.telemetry = registry.clone();
+    }
+
+    fn attach_cancel(&mut self, token: &Arc<AtomicBool>) {
+        self.cancel = Arc::clone(token);
+    }
+
+    fn inject_good_tape(&mut self, tape: Arc<GoodTape>) {
+        self.inject_tape = Some(tape);
+    }
+
+    fn export_good_tape(&mut self, slot: &TapeSlot) {
+        self.export_tape = Some(Arc::clone(slot));
     }
 
     fn run(
@@ -487,9 +579,14 @@ impl CampaignBackend for ParallelAdapter {
         config.reuse_good_tape = control.reuse_good_tape;
         let mut sim = ParallelSim::new(w.net, w.universe.clone(), config);
         sim.attach_metrics(&self.telemetry);
+        if let Some(tape) = self.inject_tape.take() {
+            sim.inject_good_tape(tape);
+        }
         let target = control.detection_target(w.universe.len());
+        let cancel = Arc::clone(&self.cancel);
         let mut detected = 0usize;
         let mut stopped_early = false;
+        let mut cancelled = false;
         let run = sim.run_streaming(w.patterns, w.outputs, |o, rep| {
             emit_detections(&rep.detections, control.drop_detected, emit);
             detected += o.detected;
@@ -499,16 +596,23 @@ impl CampaignBackend for ParallelAdapter {
                 detected: o.detected,
                 seconds: o.seconds,
             });
-            if target.is_some_and(|t| detected >= t) {
+            if is_cancelled(&cancel) {
+                cancelled = true;
+                ControlFlow::Break(())
+            } else if target.is_some_and(|t| detected >= t) {
                 stopped_early = true;
                 ControlFlow::Break(())
             } else {
                 ControlFlow::Continue(())
             }
         });
+        if let (Some(slot), Some(tape)) = (&self.export_tape, &run.good_tape) {
+            *slot.lock().expect("tape slot poisoned") = Some(Arc::clone(tape));
+        }
         BackendRun {
             run: run.report,
             stopped_early,
+            cancelled,
             jobs: Some(sim.workers()),
             shards: Some(sim.plan().num_shards()),
             max_shard_seconds: Some(run.shard_seconds.iter().copied().fold(0.0, f64::max)),

@@ -1,13 +1,17 @@
 //! The campaign builder — the single entry point over every execution
 //! strategy.
 
-use crate::backend::{Backend, BackendRun, CampaignBackend, RunControl, Workload};
+use crate::backend::{
+    no_cancel, Backend, BackendRun, CampaignBackend, RunControl, TapeSlot, Workload,
+};
 use crate::event::SimEvent;
 use crate::report::{CampaignReport, ControlEcho, StopReason};
-use fmossim_core::{ConcurrentConfig, Pattern};
+use fmossim_core::{ConcurrentConfig, GoodTape, Pattern};
 use fmossim_faults::FaultUniverse;
 use fmossim_netlist::{Network, NodeId};
 use fmossim_telemetry::Registry;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A fault-simulation campaign: one workload (network, faults,
@@ -49,6 +53,9 @@ pub struct Campaign<'n, 'o> {
     control: RunControl,
     observer: Option<Box<dyn FnMut(SimEvent) + 'o>>,
     telemetry: Registry,
+    cancel: Arc<AtomicBool>,
+    inject_tape: Option<Arc<GoodTape>>,
+    export_tape: Option<TapeSlot>,
 }
 
 impl<'n, 'o> Campaign<'n, 'o> {
@@ -66,6 +73,9 @@ impl<'n, 'o> Campaign<'n, 'o> {
             control: RunControl::default(),
             observer: None,
             telemetry: Registry::null(),
+            cancel: no_cancel(),
+            inject_tape: None,
+            export_tape: None,
         }
     }
 
@@ -184,6 +194,87 @@ impl<'n, 'o> Campaign<'n, 'o> {
         self
     }
 
+    /// The campaign's cooperative cancel token. Setting it to `true`
+    /// (from any thread) makes the backend stop at its next work-item
+    /// boundary — the concurrent backend between patterns, the serial
+    /// backend between faults, the parallel backend between shards,
+    /// the adaptive backend between batches. A cancelled run still
+    /// returns a complete, parseable report covering the work done so
+    /// far, with [`CampaignReport::cancelled`] set and
+    /// [`StopReason::Cancelled`].
+    ///
+    /// The token is a plain `Arc<AtomicBool>` — cheap to clone, cheap
+    /// to poll, and shareable before [`Campaign::run`] consumes the
+    /// builder:
+    ///
+    /// ```
+    /// use fmossim_campaign::{Campaign, StopReason};
+    /// use fmossim_circuits::Ram;
+    /// use fmossim_faults::FaultUniverse;
+    /// use fmossim_testgen::TestSequence;
+    /// use std::sync::atomic::Ordering;
+    ///
+    /// let ram = Ram::new(4, 4);
+    /// let seq = TestSequence::full(&ram);
+    /// let campaign = Campaign::new(ram.network())
+    ///     .faults(FaultUniverse::stuck_nodes(ram.network()))
+    ///     .patterns(seq.patterns())
+    ///     .outputs(ram.observed_outputs());
+    /// let token = campaign.cancel_token();
+    /// token.store(true, Ordering::Relaxed); // cancel before it starts
+    /// let report = campaign.run();
+    /// assert!(report.cancelled);
+    /// assert_eq!(report.stop, StopReason::Cancelled);
+    /// ```
+    #[must_use]
+    pub fn cancel_token(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// Offers the backend a pre-recorded good tape (e.g. from a cache
+    /// keyed on [`fmossim_netlist::Network::content_hash`] and
+    /// [`fmossim_core::stimulus_content_hash`]) so the run skips its
+    /// own record pass; the report's `tape_record_seconds` is then
+    /// `0.0`. Only the parallel backend replays injected tapes; a
+    /// tape whose shape does not match the workload is ignored, so
+    /// injection can never change results.
+    #[must_use]
+    pub fn with_good_tape(mut self, tape: Arc<GoodTape>) -> Self {
+        self.inject_tape = Some(tape);
+        self
+    }
+
+    /// Asks the backend to deposit the run's good tape into `slot`
+    /// after the run — the extraction half of the tape seams, feeding
+    /// caches that serve future [`Campaign::with_good_tape`] calls.
+    /// Only the parallel backend deposits; other backends leave the
+    /// slot untouched.
+    ///
+    /// ```
+    /// use fmossim_campaign::{Backend, Campaign, ParallelConfig, TapeSlot};
+    /// use fmossim_circuits::Ram;
+    /// use fmossim_faults::FaultUniverse;
+    /// use fmossim_testgen::TestSequence;
+    ///
+    /// let ram = Ram::new(4, 4);
+    /// let seq = TestSequence::full(&ram);
+    /// let slot = TapeSlot::default();
+    /// let report = Campaign::new(ram.network())
+    ///     .faults(FaultUniverse::stuck_nodes(ram.network()))
+    ///     .patterns(seq.patterns())
+    ///     .outputs(ram.observed_outputs())
+    ///     .backend(Backend::Parallel(ParallelConfig::paper(2)))
+    ///     .export_good_tape(&slot)
+    ///     .run();
+    /// let tape = slot.lock().unwrap().clone().expect("tape deposited");
+    /// assert_eq!(tape.num_patterns(), report.patterns_total);
+    /// ```
+    #[must_use]
+    pub fn export_good_tape(mut self, slot: &TapeSlot) -> Self {
+        self.export_tape = Some(Arc::clone(slot));
+        self
+    }
+
     /// Registers a streaming observer receiving [`SimEvent`]s while
     /// the backend runs. See [`SimEvent`](crate::SimEvent) for which
     /// events each backend emits.
@@ -252,6 +343,13 @@ impl<'n, 'o> Campaign<'n, 'o> {
             None => self.backend.into_impl(),
         };
         backend.attach_telemetry(&self.telemetry);
+        backend.attach_cancel(&self.cancel);
+        if let Some(tape) = self.inject_tape {
+            backend.inject_good_tape(tape);
+        }
+        if let Some(slot) = &self.export_tape {
+            backend.export_good_tape(slot);
+        }
         let mut observer = self.observer;
         let mut emit = move |e: SimEvent| {
             if let Some(obs) = observer.as_mut() {
@@ -269,6 +367,7 @@ impl<'n, 'o> Campaign<'n, 'o> {
             tape_record_seconds,
             tape_groups,
             batches,
+            cancelled,
         } = backend.run(&workload, &self.control, &mut emit);
         let run_seconds = t0.elapsed().as_secs_f64();
         self.telemetry
@@ -278,7 +377,9 @@ impl<'n, 'o> Campaign<'n, 'o> {
             name: "campaign.run",
             seconds: run_seconds,
         });
-        let stop = if stopped_early {
+        let stop = if cancelled {
+            StopReason::Cancelled
+        } else if stopped_early {
             StopReason::CoverageReached
         } else if limited {
             StopReason::PatternLimit
@@ -290,6 +391,7 @@ impl<'n, 'o> Campaign<'n, 'o> {
             wall_seconds: t0.elapsed().as_secs_f64(),
             patterns_total: cut,
             stop,
+            cancelled,
             control: ControlEcho {
                 stop_at_coverage: self.control.stop_at_coverage,
                 pattern_limit: self.control.pattern_limit,

@@ -83,7 +83,7 @@ mod report;
 mod spec;
 
 pub use adaptive::{AdaptiveBackend, AdaptiveConfig, BatchTelemetry, DEFAULT_BATCH_PATTERNS};
-pub use backend::{Backend, BackendRun, CampaignBackend, RunControl, Workload};
+pub use backend::{Backend, BackendRun, CampaignBackend, RunControl, TapeSlot, Workload};
 pub use campaign::Campaign;
 pub use event::SimEvent;
 pub use report::{CampaignReport, ControlEcho, StopReason};

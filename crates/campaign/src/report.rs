@@ -27,6 +27,10 @@ pub enum StopReason {
     CoverageReached,
     /// The pattern limit truncated the sequence.
     PatternLimit,
+    /// The campaign's cancel token was set and the backend stopped at
+    /// its next work-item boundary (see
+    /// [`Campaign::cancel_token`](crate::Campaign::cancel_token)).
+    Cancelled,
 }
 
 impl StopReason {
@@ -35,6 +39,7 @@ impl StopReason {
             StopReason::Completed => "completed",
             StopReason::CoverageReached => "coverage-reached",
             StopReason::PatternLimit => "pattern-limit",
+            StopReason::Cancelled => "cancelled",
         }
     }
 
@@ -43,6 +48,7 @@ impl StopReason {
             "completed" => Some(StopReason::Completed),
             "coverage-reached" => Some(StopReason::CoverageReached),
             "pattern-limit" => Some(StopReason::PatternLimit),
+            "cancelled" => Some(StopReason::Cancelled),
             _ => None,
         }
     }
@@ -70,7 +76,7 @@ impl StopReason {
 /// assert!(!report.control.drop_detected);
 /// assert_eq!(report.stop, StopReason::PatternLimit);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ControlEcho {
     /// The coverage target, if one was set.
     pub stop_at_coverage: Option<f64>,
@@ -217,7 +223,7 @@ fn metrics_from_value(val: Option<&Value>) -> Result<MetricsSnapshot, String> {
 /// let back = CampaignReport::from_json(&report.to_json()).unwrap();
 /// assert_eq!(back, report);
 /// ```
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CampaignReport {
     /// Strategy name ("serial", "concurrent", "parallel", or a custom
     /// backend's name).
@@ -229,6 +235,12 @@ pub struct CampaignReport {
     pub patterns_total: usize,
     /// Why the campaign stopped.
     pub stop: StopReason,
+    /// True iff the run was cut short by a cooperative cancel
+    /// ([`Campaign::cancel_token`](crate::Campaign::cancel_token)); the
+    /// report then covers the work done before the stop. A lenient
+    /// version-3 addition: documents written before cancellation
+    /// existed parse as `false`.
+    pub cancelled: bool,
     /// Echo of the run-control configuration.
     pub control: ControlEcho,
     /// Resolved worker count (parallel backend only).
@@ -287,7 +299,9 @@ impl CampaignReport {
 
     /// The schema version [`CampaignReport::to_json`] writes.
     ///
-    /// Version 3 adds the `metrics` block (the telemetry snapshot).
+    /// Version 3 adds the `metrics` block (the telemetry snapshot) and
+    /// — as a later lenient addition within the same version — the
+    /// `cancelled` flag (absent parses as `false`).
     /// Version 2 locked the adaptive generation's keys — `batches`
     /// telemetry and the `tape_*` fields are part of the schema, not
     /// lenient extensions. [`CampaignReport::from_json`] still accepts
@@ -357,6 +371,7 @@ impl CampaignReport {
             ("wall_seconds", Value::Num(self.wall_seconds)),
             ("patterns_total", Value::Num(self.patterns_total as f64)),
             ("stop", Value::Str(self.stop.as_str().into())),
+            ("cancelled", Value::Bool(self.cancelled)),
             (
                 "control",
                 obj([
@@ -590,6 +605,12 @@ impl CampaignReport {
                 .as_str()
                 .and_then(StopReason::parse)
                 .ok_or("bad stop reason")?,
+            // A lenient version-3 addition: absent in documents written
+            // before cooperative cancellation existed.
+            cancelled: match v.get("cancelled") {
+                None | Some(Value::Null) => false,
+                Some(val) => val.as_bool().ok_or("bad cancelled")?,
+            },
             control,
             jobs: opt_count("jobs")?,
             shards: opt_count("shards")?,
@@ -659,6 +680,7 @@ mod tests {
             wall_seconds: 1.25,
             patterns_total: 3,
             stop: StopReason::CoverageReached,
+            cancelled: false,
             control: ControlEcho {
                 stop_at_coverage: Some(0.9),
                 pattern_limit: None,
@@ -799,6 +821,25 @@ mod tests {
         assert!(!text.contains("batches"), "key really removed: {text}");
         let back = CampaignReport::from_json(&text).expect("lenient parse");
         assert!(back.batches.is_empty());
+    }
+
+    /// Documents written before cooperative cancellation carry no
+    /// `cancelled` key; parsing must default it to `false`, and the
+    /// "cancelled" stop reason must round-trip.
+    #[test]
+    fn parses_pre_cancellation_documents() {
+        let text = sample_report()
+            .to_json()
+            .replace(",\"cancelled\":false", "");
+        assert!(!text.contains("cancelled"), "key really removed: {text}");
+        let back = CampaignReport::from_json(&text).expect("lenient parse");
+        assert!(!back.cancelled);
+
+        let mut report = sample_report();
+        report.cancelled = true;
+        report.stop = StopReason::Cancelled;
+        let back = CampaignReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(back, report);
     }
 
     /// Version-2 documents written before the telemetry layer carry no

@@ -44,7 +44,7 @@ pub use dictionary::{FaultDictionary, Syndrome};
 // `ConcurrentSim::resume` without depending on `fmossim-switch`.
 pub use fmossim_switch::DenseState;
 pub use overlay::{FaultyView, Overrides, SerialState};
-pub use pattern::{Pattern, Phase};
+pub use pattern::{stimulus_content_hash, Pattern, Phase};
 pub use records::{StateListStore, StateLists};
 pub use report::{Detection, DetectionPolicy, PatternStats, RunReport};
 #[allow(deprecated)]

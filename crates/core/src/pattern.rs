@@ -7,7 +7,7 @@
 //! network, and optionally *strobes* (compares observed outputs between
 //! good and faulty circuits).
 
-use fmossim_netlist::{Logic, NodeId};
+use fmossim_netlist::{Fnv1a, Logic, NodeId};
 
 /// One input setting: a batch of input changes followed by a settle.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -70,6 +70,57 @@ impl Pattern {
     }
 }
 
+/// A stable 64-bit FNV-1a fingerprint of a stimulus — the pattern half
+/// of the campaign server's good-tape cache key (paired with
+/// [`fmossim_netlist::Network::content_hash`]).
+///
+/// The encoding covers exactly what the simulator consumes: pattern
+/// count, then per pattern its phase count, then per phase the input
+/// assignments in listed order as `(node index, logic char)` plus the
+/// strobe flag. Pattern *labels* are deliberately excluded — they are
+/// report decoration, and two stimuli that differ only in labels drive
+/// the good machine identically, so they must share a tape.
+///
+/// Input order within a phase is hashed as given: `[(A,1),(B,0)]` and
+/// `[(B,0),(A,1)]` hash differently. Generators in this workspace emit
+/// inputs in a fixed canonical order, so this never splits a cache line
+/// in practice, and it keeps the hash a pure function of the bytes the
+/// engine sees.
+///
+/// ```
+/// use fmossim_core::{stimulus_content_hash, Pattern, Phase};
+/// use fmossim_netlist::{Logic, NodeId};
+///
+/// let n = NodeId::from_index(2);
+/// let a = vec![Pattern::new(vec![Phase::strobe(vec![(n, Logic::H)])])];
+/// let b = vec![Pattern::labelled(
+///     vec![Phase::strobe(vec![(n, Logic::H)])],
+///     "write 1",
+/// )];
+/// // Labels do not affect the hash ...
+/// assert_eq!(stimulus_content_hash(&a), stimulus_content_hash(&b));
+/// // ... but the applied values do.
+/// let c = vec![Pattern::new(vec![Phase::strobe(vec![(n, Logic::L)])])];
+/// assert_ne!(stimulus_content_hash(&a), stimulus_content_hash(&c));
+/// ```
+#[must_use]
+pub fn stimulus_content_hash(patterns: &[Pattern]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_usize(patterns.len());
+    for pattern in patterns {
+        h.write_usize(pattern.phases.len());
+        for phase in &pattern.phases {
+            h.write_usize(phase.inputs.len());
+            for &(node, value) in &phase.inputs {
+                h.write_usize(node.index());
+                h.write_u8(value.to_char() as u8);
+            }
+            h.write_u8(u8::from(phase.strobe));
+        }
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +136,60 @@ mod tests {
         assert_eq!(pat.label, "read cell 3");
         assert_eq!(pat.phases.len(), 1);
         assert_eq!(Pattern::new(vec![p]).label, "");
+    }
+
+    #[test]
+    fn stimulus_hash_is_deterministic_and_sensitive() {
+        let n0 = NodeId::from_index(0);
+        let n1 = NodeId::from_index(1);
+        let base = vec![
+            Pattern::new(vec![
+                Phase::apply(vec![(n0, Logic::H), (n1, Logic::L)]),
+                Phase::strobe(vec![(n0, Logic::L)]),
+            ]),
+            Pattern::new(vec![Phase::strobe(vec![])]),
+        ];
+        let h = stimulus_content_hash(&base);
+        assert_eq!(h, stimulus_content_hash(&base.clone()));
+
+        // Flipping a strobe flag changes the hash.
+        let mut m = base.clone();
+        m[0].phases[0].strobe = true;
+        assert_ne!(stimulus_content_hash(&m), h);
+
+        // A different target node changes the hash.
+        let mut m = base.clone();
+        m[0].phases[1].inputs[0].0 = n1;
+        assert_ne!(stimulus_content_hash(&m), h);
+
+        // Dropping a pattern changes the hash.
+        assert_ne!(stimulus_content_hash(&base[..1]), h);
+
+        // Phase-count aliasing: [2 phases] + [1 phase] must differ
+        // from [1 phase] + [2 phases] even with identical flattening.
+        let p = Phase::strobe(vec![]);
+        let a = vec![
+            Pattern::new(vec![p.clone(), p.clone()]),
+            Pattern::new(vec![p.clone()]),
+        ];
+        let b = vec![
+            Pattern::new(vec![p.clone()]),
+            Pattern::new(vec![p.clone(), p]),
+        ];
+        assert_ne!(stimulus_content_hash(&a), stimulus_content_hash(&b));
+    }
+
+    #[test]
+    fn stimulus_hash_ignores_labels() {
+        let n = NodeId::from_index(3);
+        let plain = vec![Pattern::new(vec![Phase::strobe(vec![(n, Logic::H)])])];
+        let labelled = vec![Pattern::labelled(
+            vec![Phase::strobe(vec![(n, Logic::H)])],
+            "march w1 @3",
+        )];
+        assert_eq!(
+            stimulus_content_hash(&plain),
+            stimulus_content_hash(&labelled)
+        );
     }
 }

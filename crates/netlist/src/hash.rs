@@ -1,0 +1,231 @@
+//! Stable content hashing for networks — the cache key of the
+//! campaign server's good-tape cache, and a provenance fingerprint for
+//! archived reports.
+//!
+//! The hash is 64-bit FNV-1a (offset basis `0xcbf29ce484222325`, prime
+//! `0x100000001b3`) over a canonical byte encoding of the network's
+//! *semantic content*: nodes in id order (class, default value or size,
+//! name) followed by transistors in id order (type, strength, node
+//! indices). Because the `.snl` text format defines declaration order
+//! to *be* id order, parsing a netlist and re-parsing its
+//! [`write_netlist`](crate::write_netlist) round-trip produce the same
+//! hash — the encoding is order-canonical and byte-reproducible across
+//! runs, platforms, and process restarts (no pointer values, no
+//! `HashMap` iteration order, no randomized hasher state).
+//!
+//! Two networks share a [`Network::content_hash`] iff they describe
+//! the same circuit node-for-node and transistor-for-transistor.
+//! Renaming a node changes the hash (names are part of `.snl`
+//! identity); reordering declarations changes the hash too, because
+//! ids — and therefore every stimulus and fault referring to them —
+//! change meaning with the order.
+
+use crate::{Network, NodeClass};
+
+/// An incremental 64-bit FNV-1a hasher.
+///
+/// Deliberately tiny and dependency-free: unlike
+/// [`std::hash::Hasher`] implementations, its output is *specified*
+/// (FNV-1a with the standard constants) and therefore stable across
+/// Rust versions — safe to persist in caches and artifacts.
+///
+/// ```
+/// use fmossim_netlist::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write(b"hello");
+/// // The well-known FNV-1a test vector for "hello".
+/// assert_eq!(h.finish(), 0xa430d84680aabd0b);
+/// assert_eq!(Fnv1a::new().finish(), 0xcbf29ce484222325, "offset basis");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+/// The FNV-1a 64-bit offset basis.
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const PRIME: u64 = 0x100_0000_01b3;
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Starts a hasher at the offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv1a(OFFSET_BASIS)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.write(&[b]);
+    }
+
+    /// Feeds a `u64` as its 8 little-endian bytes (fixed-width, so
+    /// adjacent variable-length fields cannot alias).
+    pub fn write_u64(&mut self, n: u64) {
+        self.write(&n.to_le_bytes());
+    }
+
+    /// Feeds a `usize` widened to `u64` (platform-independent).
+    pub fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    /// Feeds a string as its length (u64) followed by its UTF-8 bytes
+    /// — length-prefixed, so `("ab","c")` and `("a","bc")` differ.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Network {
+    /// A stable 64-bit FNV-1a fingerprint of this network's content.
+    ///
+    /// The encoding is canonical and byte-reproducible: node count,
+    /// then each node in id order (class tag `i`/`s`, default value or
+    /// size, length-prefixed name), then transistor count, then each
+    /// transistor in id order (type letter, strength level, gate /
+    /// source / drain indices). Because `.snl` declaration order *is*
+    /// id order, equal text netlists hash equal — across runs,
+    /// platforms, and process restarts. This is the netlist half of
+    /// the campaign server's good-tape cache key.
+    ///
+    /// ```
+    /// use fmossim_netlist::{parse_netlist, write_netlist};
+    ///
+    /// let text = "input A 0\nnode OUT\ninput Vdd 1\ninput Gnd 0\n\
+    ///             p A Vdd OUT\nn A OUT Gnd\n";
+    /// let net = parse_netlist(text).unwrap();
+    /// // Text round-trips preserve ids, so they preserve the hash.
+    /// let again = parse_netlist(&write_netlist(&net)).unwrap();
+    /// assert_eq!(net.content_hash(), again.content_hash());
+    /// ```
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_usize(self.num_nodes());
+        for (_, node) in self.nodes() {
+            match node.class {
+                NodeClass::Input(default) => {
+                    h.write_u8(b'i');
+                    h.write_u8(default.to_char() as u8);
+                }
+                NodeClass::Storage(size) => {
+                    h.write_u8(b's');
+                    h.write_u8(size.level());
+                }
+            }
+            h.write_str(&node.name);
+        }
+        h.write_usize(self.num_transistors());
+        for (_, t) in self.transistors() {
+            h.write_u8(t.ttype.to_char() as u8);
+            h.write_u8(t.strength.level());
+            h.write_usize(t.gate.index());
+            h.write_usize(t.source.index());
+            h.write_usize(t.drain.index());
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Drive, Logic, Size, TransistorType};
+
+    fn inverter() -> Network {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::P, Drive::D2, a, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+        net
+    }
+
+    #[test]
+    fn deterministic_across_rebuilds() {
+        assert_eq!(inverter().content_hash(), inverter().content_hash());
+    }
+
+    /// The hash is pinned: changing the encoding is a cache-format
+    /// break and must be deliberate (update this vector alongside the
+    /// module docs).
+    #[test]
+    fn pinned_value() {
+        assert_eq!(inverter().content_hash(), 0xc626_a54d_ff8b_f51e);
+    }
+
+    #[test]
+    fn every_field_matters() {
+        let base = inverter().content_hash();
+        // A renamed node.
+        let mut net = inverter();
+        net.add_storage("EXTRA", Size::S1);
+        assert_ne!(net.content_hash(), base, "extra node");
+        // A different input default.
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::H); // was L
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::P, Drive::D2, a, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+        assert_ne!(net.content_hash(), base, "input default");
+        // A different transistor strength.
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::P, Drive::D1, a, vdd, out); // was D2
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+        assert_ne!(net.content_hash(), base, "drive strength");
+    }
+
+    #[test]
+    fn declaration_order_is_identity() {
+        // Same devices, different node declaration order: ids differ,
+        // so the content differs (stimuli/faults index by id).
+        let mut net = Network::new();
+        let a = net.add_input("A", Logic::L);
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::P, Drive::D2, a, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+        assert_ne!(net.content_hash(), inverter().content_hash());
+    }
+
+    #[test]
+    fn length_prefixing_prevents_aliasing() {
+        let mut h1 = Fnv1a::new();
+        h1.write_str("ab");
+        h1.write_str("c");
+        let mut h2 = Fnv1a::new();
+        h2.write_str("a");
+        h2.write_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

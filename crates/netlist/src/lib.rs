@@ -46,6 +46,7 @@
 
 mod error;
 mod format;
+mod hash;
 mod ids;
 mod logic;
 mod network;
@@ -56,6 +57,7 @@ mod ttype;
 
 pub use error::NetlistError;
 pub use format::{parse_netlist, write_netlist};
+pub use hash::Fnv1a;
 pub use ids::{NodeId, TransistorId};
 pub use logic::Logic;
 pub use network::{Network, Node, NodeClass, Transistor};

@@ -116,6 +116,10 @@ pub struct ParallelRun {
     /// Good-tape measurements, when the good machine was recorded once
     /// and replayed per shard.
     pub tape: Option<TapeStats>,
+    /// The good tape the run replayed (recorded here or injected via
+    /// [`ParallelSim::inject_good_tape`]) — the extraction seam a
+    /// caching layer deposits into. `None` in recompute mode.
+    pub good_tape: Option<Arc<GoodTape>>,
 }
 
 /// Fault-parallel concurrent simulation: the fault universe is split
@@ -166,6 +170,9 @@ pub struct ParallelSim<'n> {
     /// [`Registry::fork`], merged back on the calling thread as the
     /// shard completes.
     telemetry: Registry,
+    /// A pre-recorded good tape to replay instead of recording one —
+    /// see [`ParallelSim::inject_good_tape`].
+    injected_tape: Option<Arc<GoodTape>>,
 }
 
 impl<'n> ParallelSim<'n> {
@@ -184,7 +191,23 @@ impl<'n> ParallelSim<'n> {
             config,
             workers,
             telemetry: Registry::null(),
+            injected_tape: None,
         }
+    }
+
+    /// Injects a pre-recorded [`GoodTape`] (e.g. from a cross-run
+    /// cache): every shard replays it instead of this run recording
+    /// one, and the reported [`TapeStats::record_seconds`] is `0.0` —
+    /// the record pass was paid elsewhere. Unlike a freshly recorded
+    /// tape, an injected tape is replayed even by a single-shard plan
+    /// (replay is free; recording is what needs amortising).
+    ///
+    /// The tape must describe this network and stimulus
+    /// ([`GoodTape::matches`]); a tape of the wrong shape is ignored
+    /// and the run falls back to its normal record-or-recompute
+    /// behaviour.
+    pub fn inject_good_tape(&mut self, tape: Arc<GoodTape>) {
+        self.injected_tape = Some(tape);
     }
 
     /// Publishes this driver's activity into `registry`: `par.*`
@@ -275,11 +298,21 @@ impl<'n> ParallelSim<'n> {
         let n_shards = self.plan.num_shards();
         let workers = self.workers.clamp(1, n_shards.max(1));
 
-        // Record the good machine once; shards replay the shared tape.
-        // With zero or one shard there is nothing to amortise.
-        let tape: Option<Arc<GoodTape>> = (self.config.reuse_good_tape && n_shards > 1)
-            .then(|| Arc::new(GoodTape::record(self.net, patterns, self.config.sim.engine)));
-        if let Some(t) = &tape {
+        // An injected tape (of the right shape) replays in every shard
+        // with no record pass here; otherwise record the good machine
+        // once and let shards replay the shared tape. With zero or one
+        // shard there is nothing to amortise by recording.
+        let injected: Option<Arc<GoodTape>> = self
+            .injected_tape
+            .as_ref()
+            .filter(|t| t.matches(self.net.num_nodes(), patterns))
+            .cloned();
+        let was_injected = injected.is_some();
+        let tape: Option<Arc<GoodTape>> = injected.or_else(|| {
+            (self.config.reuse_good_tape && n_shards > 1)
+                .then(|| Arc::new(GoodTape::record(self.net, patterns, self.config.sim.engine)))
+        });
+        if let (Some(t), false) = (&tape, was_injected) {
             self.telemetry
                 .gauge("core.tape.record_seconds")
                 .add(t.record_seconds());
@@ -367,14 +400,19 @@ impl<'n> ParallelSim<'n> {
             .gauge("par.merge.seconds")
             .add(merge_t0.elapsed().as_secs_f64());
         ParallelRun {
-            report: merged,
             shard_seconds,
-            tape: tape.map(|t| TapeStats {
-                record_seconds: t.record_seconds(),
+            tape: tape.as_ref().map(|t| TapeStats {
+                record_seconds: if was_injected {
+                    0.0
+                } else {
+                    t.record_seconds()
+                },
                 groups: t.num_groups(),
                 replayed_shards,
                 heap_bytes: t.heap_bytes(),
             }),
+            good_tape: tape,
+            report: merged,
         }
     }
 
@@ -584,6 +622,37 @@ mod tests {
         let single = run_with(true, 1);
         assert!(single.tape.is_none(), "one shard has nothing to amortise");
         assert_eq!(single.report.detections, recompute.report.detections);
+    }
+
+    /// An injected tape is replayed (even by a single-shard plan),
+    /// reports a zero-cost record pass, and never changes results; a
+    /// wrong-shape tape is ignored.
+    #[test]
+    fn injected_tape_replays_without_recording() {
+        let (net, outs, patterns) = two_inverters();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let baseline = ParallelSim::new(&net, universe.clone(), ParallelConfig::paper(2))
+            .run(&patterns, &outs);
+        let tape = Arc::new(GoodTape::record(
+            &net,
+            &patterns,
+            ConcurrentConfig::paper().engine,
+        ));
+        let mut sim = ParallelSim::new(&net, universe.clone(), ParallelConfig::paper(1));
+        sim.inject_good_tape(Arc::clone(&tape));
+        let run = sim.run_streaming(&patterns, &outs, |_, _| ControlFlow::Continue(()));
+        let stats = run.tape.expect("injected tape replays even at one shard");
+        assert_eq!(stats.record_seconds, 0.0, "record pass was paid elsewhere");
+        assert!(run.good_tape.is_some(), "tape re-exported for caching");
+        assert_eq!(run.report.detections, baseline.detections);
+
+        // A tape of the wrong shape (here: empty) is ignored; the
+        // single-shard run falls back to recompute mode.
+        let mut sim = ParallelSim::new(&net, universe, ParallelConfig::paper(1));
+        sim.inject_good_tape(Arc::new(GoodTape::default()));
+        let run = sim.run_streaming(&patterns, &outs, |_, _| ControlFlow::Continue(()));
+        assert!(run.tape.is_none(), "mismatched tape not replayed");
+        assert_eq!(run.report.detections, baseline.detections);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! A minimal blocking HTTP client for the campaign server, used by
+//! the `fmossim` CLI subcommands and the end-to-end tests. It speaks
+//! exactly the subset the server emits: `HTTP/1.1` responses with
+//! either a `content-length` body or a chunked `text/event-stream`.
+
+use crate::http::MAX_BODY;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A fully-read HTTP response.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// Status code, e.g. `202`.
+    pub status: u16,
+    /// Headers as `(lowercased-name, value)` pairs in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The (de-chunked) body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First value of a header, by case-insensitive name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid UTF-8.
+    pub fn body_str(&self) -> io::Result<&str> {
+        std::str::from_utf8(&self.body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Performs one request and reads the whole response (the connection
+/// is not reused).
+///
+/// # Errors
+///
+/// Propagates socket and malformed-response errors.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+/// Connects to a job's SSE stream and collects `(event, data)` pairs
+/// until the server closes the stream (the job reached a terminal
+/// state). Multi-line `data:` payloads are joined with `\n`.
+///
+/// # Errors
+///
+/// Propagates socket and framing errors.
+pub fn sse_events(addr: SocketAddr, path: &str) -> io::Result<Vec<(String, String)>> {
+    let resp = request(addr, "GET", path, None)?;
+    if resp.status != 200 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("SSE request failed with status {}", resp.status),
+        ));
+    }
+    Ok(parse_sse(resp.body_str()?))
+}
+
+/// Splits an SSE document into `(event, data)` pairs.
+#[must_use]
+pub fn parse_sse(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let (mut event, mut data) = (String::new(), Vec::new());
+    for line in text.split('\n') {
+        if line.is_empty() {
+            if !event.is_empty() || !data.is_empty() {
+                out.push((std::mem::take(&mut event), data.join("\n")));
+                data.clear();
+            }
+        } else if let Some(v) = line.strip_prefix("event: ") {
+            event = v.to_string();
+        } else if let Some(v) = line.strip_prefix("data: ") {
+            data.push(v.to_string());
+        }
+    }
+    out
+}
+
+fn read_response(r: &mut impl BufRead) -> io::Result<HttpResponse> {
+    let status_line = read_line(r)?;
+    let mut parts = status_line.split(' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(&format!("not an HTTP response: {status_line:?}")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("missing status code"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(&format!("malformed header: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        read_chunked(r)?
+    } else {
+        let len: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map_or(Ok(0), |(_, v)| {
+                v.parse().map_err(|_| bad("bad content-length"))
+            })?;
+        if len > MAX_BODY {
+            return Err(bad("response body too large"));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        body
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn read_chunked(r: &mut impl BufRead) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let size_line = read_line(r)?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| bad(&format!("bad chunk size: {size_line:?}")))?;
+        if body.len() + size > MAX_BODY {
+            return Err(bad("chunked response too large"));
+        }
+        let mut chunk = vec![0u8; size + 2]; // data + trailing CRLF
+        r.read_exact(&mut chunk)?;
+        if &chunk[size..] != b"\r\n" {
+            return Err(bad("chunk missing CRLF terminator"));
+        }
+        if size == 0 {
+            return Ok(body);
+        }
+        chunk.truncate(size);
+        body.extend_from_slice(&chunk);
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line without the terminator.
+fn read_line(r: &mut impl BufRead) -> io::Result<String> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+fn bad(detail: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn reads_a_content_length_response() {
+        let wire = b"HTTP/1.1 202 Accepted\r\ncontent-length: 9\r\ncontent-type: application/json\r\n\r\n{\"ok\":true".to_vec();
+        // Body is 9 bytes — the final byte of the payload above is
+        // deliberately beyond it and must not be consumed.
+        let mut r = BufReader::new(&wire[..]);
+        let resp = read_response(&mut r).unwrap();
+        assert_eq!(resp.status, 202);
+        assert_eq!(resp.header("Content-Type"), Some("application/json"));
+        assert_eq!(resp.body_str().unwrap(), "{\"ok\":tru");
+    }
+
+    #[test]
+    fn reads_a_chunked_sse_response() {
+        let wire = concat!(
+            "HTTP/1.1 200 OK\r\n",
+            "transfer-encoding: chunked\r\n",
+            "content-type: text/event-stream\r\n",
+            "\r\n",
+            "18\r\nevent: status\ndata: {}\n\n\r\n",
+            "16\r\nevent: done\ndata: {}\n\n\r\n",
+            "0\r\n\r\n",
+        )
+        .as_bytes()
+        .to_vec();
+        let mut r = BufReader::new(&wire[..]);
+        let resp = read_response(&mut r).unwrap();
+        assert_eq!(resp.status, 200);
+        let events = parse_sse(resp.body_str().unwrap());
+        assert_eq!(
+            events,
+            vec![
+                ("status".to_string(), "{}".to_string()),
+                ("done".to_string(), "{}".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut r = BufReader::new(&b"not http at all\r\n\r\n"[..]);
+        assert!(read_response(&mut r).is_err());
+    }
+}

@@ -1,0 +1,446 @@
+//! The job table: one entry per submitted campaign, carrying its
+//! lifecycle state, cancel token, finished report, and the SSE event
+//! backlog.
+//!
+//! Every job's stream of [`SimEvent`]s is rendered to SSE frames
+//! *once* (by the coordinator thread, via [`crate::proto::sse_event`]) and
+//! appended to a per-job backlog; any number of `GET
+//! /campaigns/{id}/events` readers replay the backlog from the start
+//! and then block on the job's condvar for more — a late subscriber
+//! sees the identical stream a prompt one did. The backlog is capped
+//! at [`MAX_EVENT_FRAMES`] frames ([`Detected`](SimEvent::Detected)
+//! events scale with the universe); overflow drops *sim* frames,
+//! counts them, and reports the count in the terminal `done` frame.
+//! Lifecycle (`status`/`done`/`error`) frames are never dropped.
+
+use crate::proto::sse_event;
+use fmossim_campaign::json::{obj, parse, Value};
+use fmossim_campaign::{CampaignReport, SimEvent};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Cap on buffered SSE frames per job (see the module docs).
+pub const MAX_EVENT_FRAMES: usize = 8192;
+
+/// A job's lifecycle state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, coordinator not yet running the campaign.
+    Queued,
+    /// The campaign is running (or waiting for pool slots).
+    Running,
+    /// Finished normally; the report is available.
+    Done,
+    /// Finished early after a cooperative cancel; the partial report
+    /// is available.
+    Cancelled,
+    /// The coordinator failed; `error` says why.
+    Failed,
+}
+
+impl JobStatus {
+    /// The wire spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    /// True once the job can no longer change state.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Cancelled | JobStatus::Failed
+        )
+    }
+}
+
+/// Formats a job id for the wire (`job-7`).
+#[must_use]
+pub fn format_job_id(id: u64) -> String {
+    format!("job-{id}")
+}
+
+/// Parses a wire job id (`job-7` → `7`).
+#[must_use]
+pub fn parse_job_id(s: &str) -> Option<u64> {
+    s.strip_prefix("job-")?.parse().ok()
+}
+
+struct JobState {
+    status: JobStatus,
+    cache_hit: Option<bool>,
+    report: Option<CampaignReport>,
+    error: Option<String>,
+    frames: Vec<Arc<str>>,
+    dropped: usize,
+}
+
+/// One submitted campaign (see the module docs).
+pub struct Job {
+    /// Numeric id (`format_job_id` for the wire form).
+    pub id: u64,
+    /// Display name from the submission.
+    pub name: String,
+    /// The cooperative cancel token, shared with the running backend.
+    pub cancel: Arc<AtomicBool>,
+    state: Mutex<JobState>,
+    cond: Condvar,
+}
+
+impl Job {
+    fn new(id: u64, name: String) -> Arc<Job> {
+        let job = Arc::new(Job {
+            id,
+            name,
+            cancel: Arc::new(AtomicBool::new(false)),
+            state: Mutex::new(JobState {
+                status: JobStatus::Queued,
+                cache_hit: None,
+                report: None,
+                error: None,
+                frames: Vec::new(),
+                dropped: 0,
+            }),
+            cond: Condvar::new(),
+        });
+        job.push_status_frame(JobStatus::Queued, None);
+        job
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JobState> {
+        self.state.lock().expect("job state poisoned")
+    }
+
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn status(&self) -> JobStatus {
+        self.lock().status
+    }
+
+    /// Whether the run reused a cached tape (`None` until known).
+    #[must_use]
+    pub fn cache_hit(&self) -> Option<bool> {
+        self.lock().cache_hit
+    }
+
+    /// The finished report, if terminal with one.
+    #[must_use]
+    pub fn report(&self) -> Option<CampaignReport> {
+        self.lock().report.clone()
+    }
+
+    /// Requests a cooperative cancel. The running backend observes the
+    /// token at its next work-item boundary; a queued job cancels
+    /// before simulating anything.
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Marks the job running and records the cache-lookup outcome.
+    pub fn set_running(&self, cache_hit: bool) {
+        {
+            let mut st = self.lock();
+            st.status = JobStatus::Running;
+            st.cache_hit = Some(cache_hit);
+        }
+        self.push_status_frame(JobStatus::Running, Some(cache_hit));
+    }
+
+    /// Appends one simulation event to the SSE backlog (dropped, and
+    /// counted, past [`MAX_EVENT_FRAMES`]).
+    pub fn push_event(&self, e: &SimEvent) {
+        let (event, data) = sse_event(e);
+        let frame = crate::http::sse_frame(event, &data);
+        let mut st = self.lock();
+        if st.frames.len() >= MAX_EVENT_FRAMES {
+            st.dropped += 1;
+            return;
+        }
+        st.frames.push(Arc::from(frame.as_str()));
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// Finishes the job with its report: [`JobStatus::Cancelled`] when
+    /// the report says so, [`JobStatus::Done`] otherwise.
+    pub fn finish(&self, report: CampaignReport) {
+        let status = if report.cancelled {
+            JobStatus::Cancelled
+        } else {
+            JobStatus::Done
+        };
+        let (detected, coverage, dropped) = {
+            let mut st = self.lock();
+            st.status = status;
+            let detected = report.detected();
+            let coverage = report.coverage();
+            st.report = Some(report);
+            (detected, coverage, st.dropped)
+        };
+        let data = obj([
+            ("coverage", Value::Num(coverage)),
+            ("detected", Value::Num(detected as f64)),
+            ("dropped_frames", Value::Num(dropped as f64)),
+            ("id", Value::Str(format_job_id(self.id))),
+            ("status", Value::Str(status.as_str().to_string())),
+        ]);
+        self.push_lifecycle_frame("done", &data.to_string());
+    }
+
+    /// Finishes the job as [`JobStatus::Failed`].
+    pub fn fail(&self, error: String) {
+        {
+            let mut st = self.lock();
+            st.status = JobStatus::Failed;
+            st.error = Some(error.clone());
+        }
+        let data = obj([
+            ("error", Value::Str(error)),
+            ("id", Value::Str(format_job_id(self.id))),
+        ]);
+        self.push_lifecycle_frame("error", &data.to_string());
+    }
+
+    fn push_status_frame(&self, status: JobStatus, cache_hit: Option<bool>) {
+        let mut pairs = vec![
+            ("id", Value::Str(format_job_id(self.id))),
+            ("status", Value::Str(status.as_str().to_string())),
+        ];
+        if let Some(hit) = cache_hit {
+            pairs.push(("cache_hit", Value::Bool(hit)));
+        }
+        let data = obj(pairs);
+        self.push_lifecycle_frame("status", &data.to_string());
+    }
+
+    /// Lifecycle frames ignore the cap — they are few and load-bearing.
+    fn push_lifecycle_frame(&self, event: &str, data: &str) {
+        let frame = crate::http::sse_frame(event, data);
+        self.lock().frames.push(Arc::from(frame.as_str()));
+        self.cond.notify_all();
+    }
+
+    /// Blocks until there are frames past `cursor` or the job is
+    /// terminal; returns the new frames and whether the stream is
+    /// complete (terminal *and* fully delivered).
+    #[must_use]
+    pub fn wait_frames(&self, cursor: usize) -> (Vec<Arc<str>>, bool) {
+        let mut st = self.lock();
+        while st.frames.len() <= cursor && !st.status.is_terminal() {
+            st = self.cond.wait(st).expect("job state poisoned");
+        }
+        let new = st.frames[cursor.min(st.frames.len())..].to_vec();
+        let complete = st.status.is_terminal();
+        (new, complete)
+    }
+
+    /// The status document for `GET /campaigns/{id}`: id, name,
+    /// status, cache outcome, error, and — once terminal — the full
+    /// v3 report embedded under `"report"`.
+    #[must_use]
+    pub fn status_json(&self) -> String {
+        let st = self.lock();
+        let mut pairs = vec![
+            ("id", Value::Str(format_job_id(self.id))),
+            ("name", Value::Str(self.name.clone())),
+            ("status", Value::Str(st.status.as_str().to_string())),
+            ("cache_hit", st.cache_hit.map_or(Value::Null, Value::Bool)),
+            (
+                "error",
+                st.error
+                    .as_ref()
+                    .map_or(Value::Null, |e| Value::Str(e.clone())),
+            ),
+        ];
+        let report = st
+            .report
+            .as_ref()
+            .map(|r| parse(&r.to_json()).expect("report JSON round-trips"));
+        pairs.push(("report", report.unwrap_or(Value::Null)));
+        let doc = obj(pairs);
+        drop(st);
+        doc.to_string()
+    }
+
+    /// The one-line summary used by `GET /campaigns` listings.
+    #[must_use]
+    pub fn summary_json(&self) -> Value {
+        let st = self.lock();
+        obj([
+            ("id", Value::Str(format_job_id(self.id))),
+            ("name", Value::Str(self.name.clone())),
+            ("status", Value::Str(st.status.as_str().to_string())),
+            ("cache_hit", st.cache_hit.map_or(Value::Null, Value::Bool)),
+        ])
+    }
+}
+
+/// The server's id-ordered registry of jobs.
+#[derive(Default)]
+pub struct JobTable {
+    jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
+    next: AtomicU64,
+}
+
+impl JobTable {
+    /// An empty table; ids start at `job-1`.
+    #[must_use]
+    pub fn new() -> JobTable {
+        JobTable {
+            jobs: Mutex::new(BTreeMap::new()),
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Creates and registers a fresh [`JobStatus::Queued`] job.
+    pub fn create(&self, name: String) -> Arc<Job> {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        let job = Job::new(id, name);
+        self.jobs
+            .lock()
+            .expect("job table poisoned")
+            .insert(id, Arc::clone(&job));
+        job
+    }
+
+    /// Looks up a job by numeric id.
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .expect("job table poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Summaries of every job, in id order.
+    #[must_use]
+    pub fn summaries(&self) -> Vec<Value> {
+        self.jobs
+            .lock()
+            .expect("job table poisoned")
+            .values()
+            .map(|j| j.summary_json())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmossim_campaign::StopReason;
+
+    fn report(cancelled: bool) -> CampaignReport {
+        let mut r = CampaignReport {
+            backend: "served".into(),
+            ..CampaignReport::default()
+        };
+        r.cancelled = cancelled;
+        if cancelled {
+            r.stop = StopReason::Cancelled;
+        }
+        r
+    }
+
+    #[test]
+    fn ids_round_trip_the_wire_form() {
+        assert_eq!(format_job_id(7), "job-7");
+        assert_eq!(parse_job_id("job-7"), Some(7));
+        assert_eq!(parse_job_id("7"), None);
+        assert_eq!(parse_job_id("job-x"), None);
+    }
+
+    #[test]
+    fn lifecycle_frames_bracket_the_stream() {
+        let table = JobTable::new();
+        let job = table.create("ram4x4".into());
+        assert_eq!(job.status(), JobStatus::Queued);
+        job.set_running(true);
+        job.push_event(&SimEvent::Span {
+            name: "campaign.run",
+            seconds: 0.5,
+        });
+        job.finish(report(false));
+        assert_eq!(job.status(), JobStatus::Done);
+
+        let (frames, complete) = job.wait_frames(0);
+        assert!(complete);
+        let all: String = frames.iter().map(|f| f.as_ref()).collect();
+        assert!(
+            all.starts_with("event: status\ndata: {\"id\":\"job-1\",\"status\":\"queued\"}\n\n")
+        );
+        assert!(all.contains("\"status\":\"running\""));
+        assert!(all.contains("\"cache_hit\":true"));
+        assert!(all.contains("event: span\n"));
+        assert!(all.contains("event: done\n"));
+        assert!(all.contains("\"dropped_frames\":0"));
+
+        // A later cursor sees only the tail.
+        let (tail, complete) = job.wait_frames(frames.len() - 1);
+        assert!(complete);
+        assert_eq!(tail.len(), 1);
+        assert!(tail[0].starts_with("event: done\n"));
+    }
+
+    #[test]
+    fn backlog_caps_sim_frames_but_never_lifecycle_frames() {
+        let table = JobTable::new();
+        let job = table.create("x".into());
+        job.set_running(false);
+        for i in 0..(MAX_EVENT_FRAMES + 10) {
+            job.push_event(&SimEvent::PatternStart {
+                pattern: i,
+                live: 0,
+            });
+        }
+        job.finish(report(false));
+        let (frames, complete) = job.wait_frames(0);
+        assert!(complete);
+        assert_eq!(frames.len(), MAX_EVENT_FRAMES + 1, "cap plus done frame");
+        let done = frames.last().unwrap();
+        assert!(done.contains("\"dropped_frames\":12"), "{done}");
+    }
+
+    #[test]
+    fn status_json_embeds_the_report_once_terminal() {
+        let table = JobTable::new();
+        let job = table.create("ram4x4".into());
+        let doc = parse(&job.status_json()).unwrap();
+        assert!(doc.get("report").unwrap().is_null());
+        assert!(doc.get("cache_hit").unwrap().is_null());
+
+        job.set_running(false);
+        job.finish(report(true));
+        assert_eq!(job.status(), JobStatus::Cancelled);
+        let doc = parse(&job.status_json()).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("cancelled"));
+        assert_eq!(doc.get("cache_hit").unwrap().as_bool(), Some(false));
+        let embedded = doc.get("report").unwrap();
+        assert_eq!(
+            embedded.get("cancelled").unwrap().as_bool(),
+            Some(true),
+            "v3 report embedded verbatim"
+        );
+    }
+
+    #[test]
+    fn failed_jobs_carry_the_error() {
+        let table = JobTable::new();
+        let job = table.create("x".into());
+        job.fail("boom".into());
+        assert_eq!(job.status(), JobStatus::Failed);
+        let doc = parse(&job.status_json()).unwrap();
+        assert_eq!(doc.get("error").unwrap().as_str(), Some("boom"));
+        let (frames, complete) = job.wait_frames(0);
+        assert!(complete);
+        assert!(frames.last().unwrap().starts_with("event: error\n"));
+    }
+}

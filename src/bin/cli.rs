@@ -46,6 +46,9 @@ fn main() -> ExitCode {
         Some("stim") => cmd_stim(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
         Some("faultsim") => cmd_faultsim(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("cancel") => cmd_cancel(&args[1..]),
         Some("--help" | "-h") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -79,6 +82,13 @@ usage:
                    [--jobs N|auto] [--shard-strategy round-robin|contiguous|cost]
                    [--replay on|off] [--batch N]
                    [--metrics <path>[.prom|.json]]
+  fmossim serve    [--addr HOST:PORT] [--workers N] [--cache-mb N]
+                   [--default-shards N]
+  fmossim submit   --addr HOST:PORT --circuit <zoo-name>
+  fmossim submit   --addr HOST:PORT <netlist.snl> --stim <file> --outputs A[,B...]
+                   [--universe stuck-nodes|stuck-transistors|all]
+                   [--shards N] [--name LABEL] [--no-wait] [--json]
+  fmossim cancel   --addr HOST:PORT <job-id>
 
 `zoo` lists the benchmark circuit zoo; `faultsim --circuit <name>`
 runs a campaign on a zoo member (circuit, stimulus and observed
@@ -109,6 +119,17 @@ echoes what actually resolved.
 --json emits the machine-readable campaign report instead of text;
 --stop-at-coverage / --pattern-limit cut the run short; --serial
 appends a serial-baseline comparison run.
+
+`serve` starts the long-running campaign server (see docs/SERVER.md):
+jobs queue onto one shared worker pool of --workers threads, progress
+streams over SSE, and recorded good tapes are cached across
+submissions in a --cache-mb byte budget. The bound address is printed
+to stdout (--addr defaults to 127.0.0.1:0, a free port). `submit`
+posts a campaign — a zoo circuit or a netlist + stimulus file — then
+streams its lifecycle events and prints the finished report summary
+(--no-wait returns after the job id; --json prints the full status
+document). `cancel` requests a cooperative cancel; the job's report
+arrives with `cancelled: true` and the detections found so far.
 
 --metrics <path> attaches a telemetry registry to the campaign and
 writes its final snapshot to <path> after the run: Prometheus text
@@ -633,5 +654,210 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
             report.backend,
         );
     }
+    Ok(())
+}
+
+fn resolve_addr(args: &[String]) -> Result<std::net::SocketAddr, String> {
+    use std::net::ToSocketAddrs;
+    let spec = opt(args, "--addr").ok_or("--addr HOST:PORT is required")?;
+    spec.to_socket_addrs()
+        .map_err(|e| format!("cannot resolve `{spec}`: {e}"))?
+        .next()
+        .ok_or_else(|| format!("`{spec}` resolves to no address"))
+}
+
+/// Starts the campaign server and serves until killed. The bound
+/// address goes to stdout first so scripts can capture it even when
+/// `--addr` leaves the port at 0.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use fmossim::serve::{Server, ServerConfig};
+    let mut config = ServerConfig::default();
+    if let Some(addr) = opt(args, "--addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(w) = opt(args, "--workers") {
+        config.workers = w
+            .parse()
+            .map_err(|_| format!("--workers takes a number, not `{w}`"))?;
+    }
+    if let Some(mb) = opt(args, "--cache-mb") {
+        let mb: usize = mb
+            .parse()
+            .map_err(|_| format!("--cache-mb takes a number, not `{mb}`"))?;
+        config.cache_bytes = mb << 20;
+    }
+    if let Some(s) = opt(args, "--default-shards") {
+        config.default_shards = s
+            .parse()
+            .map_err(|_| format!("--default-shards takes a number, not `{s}`"))?;
+    }
+    let server = Server::bind(&config).map_err(|e| format!("bind `{}`: {e}", config.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| e.to_string())
+}
+
+/// Builds the `POST /campaigns` JSON body from the CLI arguments —
+/// either the zoo form or the inline netlist + stimulus form.
+fn submission_body(args: &[String]) -> Result<String, String> {
+    use fmossim::campaign::json::{obj, Value};
+    use fmossim::serve::proto::patterns_to_json;
+    let mut fields: Vec<(&str, Value)> = Vec::new();
+    let positional: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && (*i == 0
+                    || !args[i - 1].starts_with("--")
+                    || args[i - 1] == "--no-wait"
+                    || args[i - 1] == "--json")
+        })
+        .map(|(_, a)| a)
+        .collect();
+    match (opt(args, "--circuit"), positional.first()) {
+        (Some(circuit), None) => fields.push(("circuit", Value::Str(circuit.to_string()))),
+        (None, Some(path)) => {
+            let net = load(path)?;
+            let stim_path = opt(args, "--stim").ok_or("inline submissions need --stim <file>")?;
+            let stim = std::fs::read_to_string(stim_path)
+                .map_err(|e| format!("cannot read `{stim_path}`: {e}"))?;
+            let patterns = parse_stim(&net, &stim)?;
+            let outputs = opt(args, "--outputs").ok_or("inline submissions need --outputs")?;
+            let output_names: Vec<Value> = node_list(&net, outputs)?
+                .into_iter()
+                .map(|id| Value::Str(net.node(id).name.clone()))
+                .collect();
+            let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            fields.push(("netlist", Value::Str(text)));
+            fields.push(("outputs", Value::Arr(output_names)));
+            fields.push(("patterns", patterns_to_json(&net, &patterns)));
+        }
+        (Some(_), Some(_)) => return Err("give --circuit or a netlist file, not both".into()),
+        (None, None) => return Err("submit needs --circuit <zoo-name> or a netlist file".into()),
+    }
+    if let Some(u) = opt(args, "--universe") {
+        fields.push(("universe", Value::Str(u.to_string())));
+    }
+    if let Some(s) = opt(args, "--shards") {
+        let shards: usize = s
+            .parse()
+            .map_err(|_| format!("--shards takes a number, not `{s}`"))?;
+        fields.push(("shards", Value::Num(shards as f64)));
+    }
+    if let Some(name) = opt(args, "--name") {
+        fields.push(("name", Value::Str(name.to_string())));
+    }
+    Ok(obj(fields).to_string())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    use fmossim::campaign::json;
+    use fmossim::campaign::CampaignReport;
+    use fmossim::serve::{request, sse_events};
+
+    let addr = resolve_addr(args)?;
+    let body = submission_body(args)?;
+    let resp = request(addr, "POST", "/campaigns", Some(&body))
+        .map_err(|e| format!("POST /campaigns: {e}"))?;
+    let text = resp.body_str().map_err(|e| e.to_string())?;
+    if resp.status != 202 {
+        return Err(format!(
+            "server rejected the submission ({}): {}",
+            resp.status,
+            text.trim()
+        ));
+    }
+    let doc = json::parse(text)?;
+    let id = doc
+        .get("id")
+        .and_then(json::Value::as_str)
+        .ok_or("malformed submission response")?
+        .to_string();
+    // With --json, stdout carries only the final status document so
+    // the command pipes cleanly; progress goes to stderr.
+    let json_out = flag(args, "--json");
+    let progress = |line: String| {
+        if json_out {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    progress(format!("submitted {id}"));
+    if flag(args, "--no-wait") {
+        return Ok(());
+    }
+
+    // Stream lifecycle events until the job is terminal; sim events
+    // ride the same stream but only state changes are echoed.
+    let events = sse_events(addr, &format!("/campaigns/{id}/events"))
+        .map_err(|e| format!("SSE stream: {e}"))?;
+    for (event, data) in &events {
+        if matches!(event.as_str(), "status" | "done" | "error") {
+            progress(format!("[{event}] {data}"));
+        }
+    }
+
+    let resp = request(addr, "GET", &format!("/campaigns/{id}"), None)
+        .map_err(|e| format!("GET /campaigns/{id}: {e}"))?;
+    let text = resp.body_str().map_err(|e| e.to_string())?;
+    if json_out {
+        println!("{text}");
+        return Ok(());
+    }
+    let doc = json::parse(text)?;
+    let status = doc
+        .get("status")
+        .and_then(json::Value::as_str)
+        .unwrap_or("unknown");
+    if status == "failed" {
+        let err = doc
+            .get("error")
+            .and_then(json::Value::as_str)
+            .unwrap_or("unknown error");
+        return Err(format!("{id} failed: {err}"));
+    }
+    let report_value = doc.get("report").ok_or("status document has no report")?;
+    let report = CampaignReport::from_json(&report_value.to_string())?;
+    let cache_hit = doc.get("cache_hit").and_then(json::Value::as_bool);
+    println!(
+        "{id} {status}: detected {}/{} faults (coverage {:.1}%) in {:.3}s",
+        report.detected(),
+        report.run.num_faults,
+        report.coverage() * 100.0,
+        report.wall_seconds,
+    );
+    println!(
+        "tape cache: {} (record pass {})",
+        match cache_hit {
+            Some(true) => "hit",
+            Some(false) => "miss",
+            None => "unknown",
+        },
+        match report.tape_record_seconds {
+            Some(s) => format!("{s:.3}s"),
+            None => "none".to_string(),
+        },
+    );
+    Ok(())
+}
+
+fn cmd_cancel(args: &[String]) -> Result<(), String> {
+    use fmossim::serve::request;
+    let addr = resolve_addr(args)?;
+    let id = args
+        .iter()
+        .find(|a| a.starts_with("job-"))
+        .ok_or("cancel needs a job id (job-N)")?;
+    let resp = request(addr, "DELETE", &format!("/campaigns/{id}"), None)
+        .map_err(|e| format!("DELETE /campaigns/{id}: {e}"))?;
+    let text = resp.body_str().map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("cancel failed ({}): {}", resp.status, text.trim()));
+    }
+    println!("{}", text.trim());
     Ok(())
 }

@@ -78,6 +78,7 @@ pub use fmossim_core as concurrent;
 pub use fmossim_faults as faults;
 pub use fmossim_netlist as netlist;
 pub use fmossim_par as par;
+pub use fmossim_serve as serve;
 pub use fmossim_switch as sim;
 pub use fmossim_telemetry as telemetry;
 pub use fmossim_testgen as testgen;
