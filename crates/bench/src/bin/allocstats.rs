@@ -1,0 +1,151 @@
+//! Allocator-traffic A/B for the adaptive backend's engine pool.
+//!
+//! The adaptive backend rebuilds one `ConcurrentSim` per shard at
+//! every batch boundary; each rebuild used to allocate a fresh
+//! [`Engine`](fmossim_core::Engine) (solver scratch, event queues,
+//! per-node stamps — all sized for the network). The
+//! [`EnginePool`](fmossim_par::EnginePool) recycles those buffers
+//! across batches instead. This binary measures the difference at the
+//! global allocator: it runs the identical adaptive campaign with
+//! [`AdaptiveConfig::reuse_engines`] off and on, counts every
+//! `alloc`/`realloc` call and requested byte through a counting
+//! `#[global_allocator]` wrapper around [`System`], asserts the
+//! detection sets are bit-identical, and prints one JSON document.
+//!
+//! Usage: `allocstats [--dim 8] [--batch 8] [--jobs 2] [--sample K]`
+//!
+//! Allocation *counts* are deterministic per mode on a given build
+//! (the campaign itself is deterministic; only wall-clock varies), so
+//! the printed delta is a stable measurement, not a noisy benchmark.
+
+use fmossim_bench::arg_value;
+use fmossim_campaign::{AdaptiveConfig, Backend, Campaign, CampaignReport};
+use fmossim_circuits::Ram;
+use fmossim_faults::{FaultUniverse, DEFAULT_SEED};
+use fmossim_par::Jobs;
+use fmossim_testgen::TestSequence;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts calls into the system allocator. `Relaxed` is enough: the
+/// totals are read only between runs, after the worker threads have
+/// been joined.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One mode's measurement: allocator traffic across the whole run.
+struct Measurement {
+    calls: u64,
+    bytes: u64,
+    wall_seconds: f64,
+    report: CampaignReport,
+}
+
+fn measure(
+    ram: &Ram,
+    universe: &FaultUniverse,
+    patterns: &[fmossim_core::Pattern],
+    config: AdaptiveConfig,
+) -> Measurement {
+    let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let report = Campaign::new(ram.network())
+        .faults(universe.clone())
+        .patterns(patterns)
+        .outputs(ram.observed_outputs())
+        .backend(Backend::Adaptive(config))
+        .run();
+    Measurement {
+        calls: ALLOC_CALLS.load(Ordering::Relaxed) - calls0,
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed) - bytes0,
+        wall_seconds: report.wall_seconds,
+        report,
+    }
+}
+
+fn main() {
+    let parse = |name: &str| arg_value(name).and_then(|s| s.parse::<usize>().ok());
+    let dim = parse("--dim").unwrap_or(8);
+    let batch = parse("--batch").unwrap_or(8);
+    let jobs = parse("--jobs").unwrap_or(2);
+    let sample = parse("--sample");
+
+    let ram = Ram::new(dim, dim);
+    let seq = TestSequence::march_only(&ram);
+    let mut universe = FaultUniverse::stuck_nodes(ram.network());
+    if let Some(k) = sample {
+        universe = universe.sample(k, DEFAULT_SEED);
+    }
+    let config = |reuse_engines| AdaptiveConfig {
+        jobs: Jobs::Fixed(jobs),
+        reuse_engines,
+        ..AdaptiveConfig::paper(batch)
+    };
+
+    // Warm-up run so one-time lazy initialisation (thread stacks,
+    // stdio buffers) is not attributed to the first measured mode.
+    let _ = measure(&ram, &universe, seq.patterns(), config(false));
+
+    let fresh = measure(&ram, &universe, seq.patterns(), config(false));
+    let pooled = measure(&ram, &universe, seq.patterns(), config(true));
+    assert_eq!(
+        fresh.report.detections(),
+        pooled.report.detections(),
+        "engine reuse changed the detection set"
+    );
+
+    let saved_calls = fresh.calls.saturating_sub(pooled.calls);
+    let saved_bytes = fresh.bytes.saturating_sub(pooled.bytes);
+    let batches = fresh.report.batches.len();
+    println!("{{");
+    println!("  \"circuit\": \"RAM{} ({})\",", dim * dim, ram.stats());
+    println!("  \"faults\": {},", universe.len());
+    println!("  \"patterns\": {},", seq.len());
+    println!("  \"batch\": {batch},");
+    println!("  \"batches\": {batches},");
+    println!("  \"jobs\": {jobs},");
+    println!(
+        "  \"fresh\":  {{\"alloc_calls\": {}, \"alloc_bytes\": {}, \"wall_seconds\": {:.4}}},",
+        fresh.calls, fresh.bytes, fresh.wall_seconds
+    );
+    println!(
+        "  \"pooled\": {{\"alloc_calls\": {}, \"alloc_bytes\": {}, \"wall_seconds\": {:.4}}},",
+        pooled.calls, pooled.bytes, pooled.wall_seconds
+    );
+    println!(
+        "  \"saved\":  {{\"alloc_calls\": {saved_calls}, \"alloc_bytes\": {saved_bytes}, \
+         \"calls_pct\": {:.2}, \"bytes_pct\": {:.2}}}",
+        100.0 * saved_calls as f64 / fresh.calls.max(1) as f64,
+        100.0 * saved_bytes as f64 / fresh.bytes.max(1) as f64,
+    );
+    println!("}}");
+    assert!(
+        pooled.calls < fresh.calls,
+        "engine pool should reduce allocator calls ({} -> {})",
+        fresh.calls,
+        pooled.calls
+    );
+}

@@ -20,6 +20,23 @@
 //!            [--sample N] [--pattern-limit N] [--batch N]
 //!            [--metrics <path>]`
 //!
+//! `evalsuite --packing [--smoke] [--circuit name] [--sample N]
+//! [--reps N]` runs the bit-parallel packing A/B instead (the
+//! `BENCH_packed.json` artifact): per zoo circuit, the concurrent
+//! backend with `ConcurrentConfig::packing` off and on, median wall
+//! time over `--reps` repetitions each. Detections must be
+//! bit-identical (the suite aborts otherwise); the packed row archives
+//! the lane statistics (`switch.packed_solves`,
+//! `switch.scalar_fallbacks`, mean lanes per packed solve) next to the
+//! patterns-per-second ratio. The win scales with fault *density* —
+//! lanes share work where two machines' propagation fronts meet, so
+//! members whose patterns trigger many faulty circuits in the same
+//! region at once (the RAMs, the PLA) pack many lanes per solve,
+//! while sparse universes mostly fall back to the scalar path and
+//! break even. `--sample` defaults much higher here (192) than in the
+//! main suite: lane occupancy *is* the mechanism under test, and it
+//! rises with the number of live fault machines per circuit region.
+//!
 //! `evalsuite --serve [--circuit name] [--requests N]` runs the
 //! server A/B instead (the `BENCH_serve.json` artifact): N campaigns
 //! of one zoo circuit served concurrently by an in-process
@@ -162,6 +179,10 @@ fn fmt_run(r: &Run) -> String {
 fn main() {
     if arg_flag("--serve") {
         serve_ab();
+        return;
+    }
+    if arg_flag("--packing") {
+        packing_ab();
         return;
     }
     let smoke = arg_flag("--smoke");
@@ -342,6 +363,139 @@ fn main() {
             snap.histograms.len(),
         );
     }
+}
+
+/// The `--packing` A/B: per zoo circuit, the concurrent backend with
+/// the bit-parallel packed path off and on, `--reps` repetitions each
+/// (median wall time), with bit-identical detections as the hard gate.
+/// Emits the `BENCH_packed.json` document on stdout.
+fn packing_ab() {
+    let smoke = arg_flag("--smoke");
+    let only = arg_value("--circuit");
+    let reps: usize = arg_value("--reps")
+        .map(|s| s.parse().expect("--reps takes a number"))
+        .unwrap_or(if smoke { 2 } else { 5 });
+    assert!(reps >= 1, "--reps needs at least one repetition");
+    // Much higher default cap than the main suite: packing wins by
+    // settling many simultaneously-triggered fault machines per bitwise
+    // pass, so the fault population is the independent variable here —
+    // on the big RAMs, occupancy (and the packed win) grows with it.
+    let sample: usize = arg_value("--sample")
+        .map(|s| s.parse().expect("--sample takes a number"))
+        .unwrap_or(if smoke { 12 } else { 192 });
+    let pattern_limit: Option<usize> = arg_value("--pattern-limit")
+        .map(|s| s.parse().expect("--pattern-limit takes a number"))
+        .or(if smoke { Some(24) } else { None });
+    let policy = DetectionPolicy::DefiniteOnly;
+
+    let mut circuit_rows = Vec::new();
+    for (name, _) in ZOO {
+        if only.as_deref().is_some_and(|o| o != name) {
+            continue;
+        }
+        let w: ZooWorkload = build_zoo(name).expect("registry member builds");
+        let full_universe = FaultUniverse::stuck_nodes(&w.net);
+        let (universe, sampled) = if full_universe.len() > sample {
+            (full_universe.sample(sample, ZOO_SEED), true)
+        } else {
+            (full_universe, false)
+        };
+        let run_once = |packing: bool| -> CampaignReport {
+            let registry = Registry::new();
+            let mut c = Campaign::new(&w.net)
+                .faults(universe.clone())
+                .patterns(&w.patterns)
+                .outputs(&w.outputs)
+                .backend(Backend::Concurrent(ConcurrentConfig {
+                    policy,
+                    packing,
+                    ..ConcurrentConfig::paper()
+                }))
+                .with_telemetry(&registry);
+            if let Some(n) = pattern_limit {
+                c = c.pattern_limit(n);
+            }
+            c.run()
+        };
+
+        let scalar_reps: Vec<CampaignReport> = (0..reps).map(|_| run_once(false)).collect();
+        let packed_reps: Vec<CampaignReport> = (0..reps).map(|_| run_once(true)).collect();
+        let reference = detection_fingerprint(&scalar_reps[0]);
+        let detected = scalar_reps[0].detected();
+        for r in scalar_reps.iter().chain(&packed_reps) {
+            assert_eq!(
+                (r.detected(), detection_fingerprint(r)),
+                (detected, reference),
+                "{name}: packed/scalar parity broken"
+            );
+        }
+        let scalar = stats::median_by(scalar_reps, |r| r.wall_seconds);
+        let packed = stats::median_by(packed_reps, |r| r.wall_seconds);
+
+        let pps =
+            |r: &CampaignReport| r.patterns_total as f64 / r.wall_seconds.max(f64::MIN_POSITIVE);
+        let counter = |r: &CampaignReport, k: &str| r.metrics.counters.get(k).copied().unwrap_or(0);
+        let packed_solves = counter(&packed, "switch.packed_solves");
+        let scalar_fallbacks = counter(&packed, "switch.scalar_fallbacks");
+        let occupancy = packed.metrics.histograms.get("switch.lane.occupancy");
+        let mean_lanes = occupancy
+            .filter(|h| h.count > 0)
+            .map(|h| h.sum as f64 / h.count as f64);
+        let mean_faulty_groups =
+            stats::mean(scalar.run.patterns.iter().map(|p| p.faulty_groups as f64));
+        let speedup = pps(&packed) / pps(&scalar).max(f64::MIN_POSITIVE);
+        eprintln!(
+            "{name}: {} faults x {} patterns — scalar {:.2} pat/s, packed {:.2} pat/s \
+             ({speedup:.2}x, {packed_solves} packed solves, mean lanes {}) — parity ok",
+            universe.len(),
+            scalar.patterns_total,
+            pps(&scalar),
+            pps(&packed),
+            fmt_opt(mean_lanes),
+        );
+        circuit_rows.push(format!(
+            "    {{\"name\": \"{name}\", \"faults\": {}, \"sampled\": {sampled}, \
+             \"patterns\": {}, \"detected\": {detected}, \
+             \"detections_fnv1a\": \"{reference:016x}\", \
+             \"mean_faulty_groups\": {mean_faulty_groups:.4},\n     \
+             \"scalar\": {{\"wall_seconds\": {:.4}, \"patterns_per_second\": {:.2}}},\n     \
+             \"packed\": {{\"wall_seconds\": {:.4}, \"patterns_per_second\": {:.2}, \
+             \"packed_solves\": {packed_solves}, \"scalar_fallbacks\": {scalar_fallbacks}, \
+             \"mean_lane_occupancy\": {}}},\n     \
+             \"packed_speedup\": {speedup:.4}}}",
+            universe.len(),
+            scalar.patterns_total,
+            scalar.wall_seconds,
+            pps(&scalar),
+            packed.wall_seconds,
+            pps(&packed),
+            fmt_opt(mean_lanes),
+        ));
+    }
+    assert!(
+        !circuit_rows.is_empty(),
+        "--circuit filtered everything out (see fmossim_testgen::zoo::ZOO)"
+    );
+
+    println!("{{");
+    println!("  \"format\": \"fmossim-evalsuite-packing\",");
+    println!("  \"version\": 1,");
+    println!("  \"smoke\": {smoke},");
+    println!("  \"policy\": \"definite-only\",");
+    println!("  \"sample_cap\": {sample},");
+    println!("  \"reps\": {reps},");
+    println!(
+        "  \"pattern_limit\": {},",
+        pattern_limit.map_or("null".into(), |n| n.to_string())
+    );
+    println!(
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    println!("  \"circuits\": [");
+    println!("{}", circuit_rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
 }
 
 /// The `--serve` A/B: N campaigns of one zoo circuit, served

@@ -35,7 +35,8 @@ use crate::event::SimEvent;
 use fmossim_core::{ConcurrentConfig, PatternStats, RunReport, TapeRecorder};
 use fmossim_faults::FaultId;
 use fmossim_par::{
-    run_batch, CostModel, Jobs, ResumePoint, ShardPlan, ShardStrategy, DEFAULT_COST_ALPHA,
+    run_batch, CostModel, EnginePool, Jobs, ResumePoint, ShardPlan, ShardStrategy,
+    DEFAULT_COST_ALPHA,
 };
 use fmossim_telemetry::Registry;
 use std::sync::atomic::AtomicBool;
@@ -82,6 +83,13 @@ pub struct AdaptiveConfig {
     pub rebalance: bool,
     /// EWMA smoothing factor for the measured cost model, in `(0, 1]`.
     pub alpha: f64,
+    /// Recycle shard-simulator engines across batch boundaries through
+    /// an [`fmossim_par::EnginePool`] (default `true`). Every batch
+    /// rebuilds one simulator per shard; without reuse each rebuild
+    /// reallocates the engine's solver scratch and queues. Reuse is
+    /// bit-invisible — `false` restores the allocate-per-shard
+    /// behaviour for allocator A/B measurements (`allocstats`).
+    pub reuse_engines: bool,
     /// Configuration forwarded to every shard's
     /// [`ConcurrentSim`](fmossim_core::ConcurrentSim).
     pub sim: ConcurrentConfig,
@@ -96,6 +104,7 @@ impl Default for AdaptiveConfig {
             initial_strategy: ShardStrategy::CostEstimated,
             rebalance: true,
             alpha: DEFAULT_COST_ALPHA,
+            reuse_engines: true,
             sim: ConcurrentConfig::default(),
         }
     }
@@ -286,6 +295,7 @@ impl CampaignBackend for AdaptiveBackend {
             cfg.initial_strategy,
         );
         let mut recorder = TapeRecorder::new(w.net, sim.engine);
+        let engines = cfg.reuse_engines.then(EnginePool::new);
         let mut resume: Option<ResumePoint<'_>> = None;
         let mut moved_faults = 0usize; // churn that produced the *current* plan
 
@@ -330,6 +340,7 @@ impl CampaignBackend for AdaptiveBackend {
                 w.outputs,
                 first,
                 &self.telemetry,
+                engines.as_ref(),
             );
 
             // Stream events in shard order (deterministic, unlike the

@@ -330,6 +330,20 @@ impl Backend {
         }
     }
 
+    /// Whether bit-parallel fault packing
+    /// ([`ConcurrentConfig::packing`]) is configured, for the backends
+    /// built on the concurrent simulator; `None` for the serial
+    /// baseline, which has no packed path (echoed into reports).
+    #[must_use]
+    pub fn packing(&self) -> Option<bool> {
+        match self {
+            Backend::Serial(_) => None,
+            Backend::Concurrent(c) => Some(c.packing),
+            Backend::Parallel(c) => Some(c.sim.packing),
+            Backend::Adaptive(c) => Some(c.sim.packing),
+        }
+    }
+
     /// Builds the adapter implementing this strategy.
     #[must_use]
     pub fn into_impl(self) -> Box<dyn CampaignBackend> {

@@ -338,6 +338,11 @@ impl<'n, 'o> Campaign<'n, 'o> {
         } else {
             Some(self.backend.policy())
         };
+        let packing = if self.custom.is_some() {
+            None
+        } else {
+            self.backend.packing()
+        };
         let mut backend: Box<dyn CampaignBackend + 'o> = match self.custom {
             Some(custom) => custom,
             None => self.backend.into_impl(),
@@ -398,6 +403,7 @@ impl<'n, 'o> Campaign<'n, 'o> {
                 drop_detected: self.control.drop_detected,
                 reuse_good_tape: self.control.reuse_good_tape,
                 policy,
+                packing,
             },
             jobs,
             shards,

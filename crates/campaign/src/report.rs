@@ -92,6 +92,10 @@ pub struct ControlEcho {
     /// [`backend_impl`](crate::Campaign::backend_impl) strategies,
     /// whose policy the campaign cannot see.
     pub policy: Option<DetectionPolicy>,
+    /// Whether bit-parallel fault packing was configured — `None` for
+    /// the serial baseline (no packed path) and for custom strategies.
+    /// A lenient version-3 addition: absent parses as `None`.
+    pub packing: Option<bool>,
 }
 
 fn policy_str(p: DetectionPolicy) -> &'static str {
@@ -385,6 +389,10 @@ impl CampaignReport {
                             .policy
                             .map_or(Value::Null, |p| Value::Str(policy_str(p).into())),
                     ),
+                    (
+                        "packing",
+                        self.control.packing.map_or(Value::Null, Value::Bool),
+                    ),
                 ]),
             ),
             ("jobs", opt_count(self.jobs)),
@@ -517,6 +525,12 @@ impl CampaignReport {
             policy: match control.get("policy") {
                 None | Some(Value::Null) => None,
                 Some(val) => Some(val.as_str().and_then(policy_parse).ok_or("bad policy")?),
+            },
+            // Absent in pre-packing version-3 documents: a lenient
+            // addition, like the metrics block.
+            packing: match control.get("packing") {
+                None | Some(Value::Null) => None,
+                Some(val) => Some(val.as_bool().ok_or("bad packing")?),
             },
         };
 
@@ -687,6 +701,7 @@ mod tests {
                 drop_detected: true,
                 reuse_good_tape: true,
                 policy: Some(DetectionPolicy::AnyDifference),
+                packing: Some(false),
             },
             jobs: Some(4),
             shards: Some(8),
@@ -838,6 +853,22 @@ mod tests {
         let mut report = sample_report();
         report.cancelled = true;
         report.stop = StopReason::Cancelled;
+        let back = CampaignReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(back, report);
+    }
+
+    /// Documents written before the bit-parallel packing knob carry no
+    /// `packing` key; parsing must default it to `None`, and explicit
+    /// values must round-trip.
+    #[test]
+    fn parses_pre_packing_documents() {
+        let text = sample_report().to_json().replace(",\"packing\":false", "");
+        assert!(!text.contains("packing"), "key really removed: {text}");
+        let back = CampaignReport::from_json(&text).expect("lenient parse");
+        assert_eq!(back.control.packing, None);
+
+        let mut report = sample_report();
+        report.control.packing = Some(true);
         let back = CampaignReport::from_json(&report.to_json()).expect("parses");
         assert_eq!(back, report);
     }

@@ -33,13 +33,14 @@
 //! their ends.
 
 use crate::overlay::{FaultyView, Overrides};
+use crate::packed::{PackedBucketView, PackedViewScratch};
 use crate::pattern::{Pattern, Phase};
 use crate::records::{StateListStore, StateLists};
 use crate::report::{Detection, DetectionPolicy, PatternStats, RunReport};
 use crate::tape::{GoodTape, PhaseTape};
 use fmossim_faults::{Fault, FaultEffect, FaultId};
 use fmossim_netlist::{Logic, Network, NodeId};
-use fmossim_switch::{DenseState, Engine, EngineConfig, SwitchState};
+use fmossim_switch::{DenseState, Engine, EngineConfig, LocalityMode, PackedEngine, SwitchState};
 use fmossim_telemetry::{Counter, Gauge, Registry};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -75,11 +76,17 @@ struct CoreMetrics {
     /// circuits at the last update; merged shard registries sum to the
     /// fleet-wide live count.
     faults_live: Gauge,
+    /// `switch.scalar_fallbacks` — under packing, circuit settles routed
+    /// through the scalar engine because their seed bucket held a single
+    /// circuit. Same metric name as the packed engine's in-settle
+    /// fallback counter: both mean "work packing could not share".
+    scalar_fallbacks: Counter,
     local_events_scheduled: u64,
     local_circuit_settles: u64,
     local_faulty_groups: u64,
     local_good_groups: u64,
     local_replayed_groups: u64,
+    local_scalar_fallbacks: u64,
 }
 
 impl CoreMetrics {
@@ -93,6 +100,7 @@ impl CoreMetrics {
             detections: registry.counter("core.detections"),
             faults_dropped: registry.counter("core.faults_dropped"),
             faults_live: registry.gauge("core.faults_live"),
+            scalar_fallbacks: registry.counter("switch.scalar_fallbacks"),
             ..CoreMetrics::default()
         }
     }
@@ -103,11 +111,13 @@ impl CoreMetrics {
         self.faulty_groups.add(self.local_faulty_groups);
         self.good_groups.add(self.local_good_groups);
         self.replayed_groups.add(self.local_replayed_groups);
+        self.scalar_fallbacks.add(self.local_scalar_fallbacks);
         self.local_events_scheduled = 0;
         self.local_circuit_settles = 0;
         self.local_faulty_groups = 0;
         self.local_good_groups = 0;
         self.local_replayed_groups = 0;
+        self.local_scalar_fallbacks = 0;
     }
 }
 
@@ -184,6 +194,19 @@ pub struct ConcurrentConfig {
     pub drop_on_detect: bool,
     /// Divergence-record storage back-end.
     pub store: StateListStore,
+    /// Bit-parallel (PPSFP-style) faulty-circuit settling: the
+    /// triggered circuits of each phase are settled up to 64 at a time
+    /// through one pass of bitwise plane operations
+    /// ([`fmossim_switch::PackedEngine`]), each lane perturbed with its
+    /// own seed set and lanes evicted to a scalar-equivalent re-solve
+    /// whenever their vicinity structure diverges. Results are
+    /// bit-identical to the scalar path; only
+    /// the work counters (`faulty_groups`, `switch.*`) differ. Ignored
+    /// (scalar path used) under [`LocalityMode::Static`], which the
+    /// packed engine does not implement. Off by default and in
+    /// [`ConcurrentConfig::paper`]: the paper predates bit-parallel
+    /// fault packing.
+    pub packing: bool,
 }
 
 impl ConcurrentConfig {
@@ -278,7 +301,31 @@ pub struct ConcurrentSim<'n> {
     config: ConcurrentConfig,
     /// Scratch: circuits triggered by the current group.
     triggered: Vec<u32>,
+    /// The bit-parallel lane machinery; present iff
+    /// [`ConcurrentConfig::packing`] is on (and locality is dynamic).
+    packed: Option<Box<PackedLanes>>,
     metrics: CoreMetrics,
+}
+
+/// The packed settling machinery: one engine plus the reusable
+/// gather/scatter scratch behind [`PackedBucketView`]. Boxed so the
+/// scalar configuration pays one pointer.
+struct PackedLanes {
+    engine: PackedEngine,
+    scratch: PackedViewScratch,
+    /// Scratch: the triggered circuits of the current phase with their
+    /// sorted seed sets, drained from `pending` and chunked into lanes.
+    batch: Vec<(u32, Vec<NodeId>)>,
+    /// Scratch: the seed-sharing circuits of the batch (packed lanes).
+    shared: Vec<(u32, Vec<NodeId>)>,
+    /// Scratch: the circuits with fully private seed sets (scalar).
+    solo: Vec<(u32, Vec<NodeId>)>,
+    /// Scratch: per-node triggered-circuit count, epoch-stamped.
+    seed_count: Vec<u32>,
+    seed_epoch: Vec<u32>,
+    seed_gen: u32,
+    /// Scratch: the current chunk's lane → circuit map.
+    lane_circs: Vec<u32>,
 }
 
 impl<'n> ConcurrentSim<'n> {
@@ -291,6 +338,27 @@ impl<'n> ConcurrentSim<'n> {
         ConcurrentSim::new_multi(net, faults.iter().map(|&f| vec![f]).collect(), config)
     }
 
+    /// [`ConcurrentSim::new`] with a recycled [`Engine`] — the
+    /// allocation-free construction path for drivers that rebuild
+    /// simulators over the same network (the engine is
+    /// [`recycle`](Engine::recycle)d, so any prior state is fine).
+    /// Reclaim the engine afterwards with
+    /// [`ConcurrentSim::take_engine`].
+    #[must_use]
+    pub fn new_with_engine(
+        net: &'n Network,
+        faults: &[Fault],
+        config: ConcurrentConfig,
+        engine: Engine,
+    ) -> Self {
+        ConcurrentSim::new_multi_with_engine(
+            net,
+            faults.iter().map(|&f| vec![f]).collect(),
+            config,
+            engine,
+        )
+    }
+
     /// Creates a simulator where each circuit carries a *set* of
     /// simultaneous faults — double-fault and fault-masking studies.
     /// Set `k` becomes circuit `k + 1`; its [`Detection`] reports
@@ -301,9 +369,40 @@ impl<'n> ConcurrentSim<'n> {
         fault_sets: Vec<Vec<Fault>>,
         config: ConcurrentConfig,
     ) -> Self {
+        ConcurrentSim::new_multi_with_engine(
+            net,
+            fault_sets,
+            config,
+            Engine::with_config(net, config.engine),
+        )
+    }
+
+    /// [`ConcurrentSim::new_multi`] with a recycled [`Engine`] (see
+    /// [`ConcurrentSim::new_with_engine`]).
+    #[must_use]
+    pub fn new_multi_with_engine(
+        net: &'n Network,
+        fault_sets: Vec<Vec<Fault>>,
+        config: ConcurrentConfig,
+        mut engine: Engine,
+    ) -> Self {
         let good = DenseState::new(net);
-        let mut engine = Engine::with_config(net, config.engine);
+        engine.recycle(net, config.engine);
         engine.perturb_all_storage(&good);
+        let packed =
+            (config.packing && config.engine.locality == LocalityMode::Dynamic).then(|| {
+                Box::new(PackedLanes {
+                    engine: PackedEngine::with_config(net, config.engine),
+                    scratch: PackedViewScratch::new(net.num_nodes()),
+                    batch: Vec::new(),
+                    shared: Vec::new(),
+                    solo: Vec::new(),
+                    seed_count: vec![0; net.num_nodes()],
+                    seed_epoch: vec![0; net.num_nodes()],
+                    seed_gen: 0,
+                    lane_circs: Vec::new(),
+                })
+            });
         let n_sets = fault_sets.len();
         let mut sim = ConcurrentSim {
             net,
@@ -321,6 +420,7 @@ impl<'n> ConcurrentSim<'n> {
             detections: Vec::new(),
             config,
             triggered: Vec::new(),
+            packed,
             metrics: CoreMetrics::default(),
         };
         for k in 0..n_sets {
@@ -381,12 +481,37 @@ impl<'n> ConcurrentSim<'n> {
         good: &DenseState<'n>,
         snapshots: &[FaultSnapshot],
     ) -> Self {
+        ConcurrentSim::resume_with_engine(
+            net,
+            faults,
+            config,
+            good,
+            snapshots,
+            Engine::with_config(net, config.engine),
+        )
+    }
+
+    /// [`ConcurrentSim::resume`] with a recycled [`Engine`] (see
+    /// [`ConcurrentSim::new_with_engine`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshots` and `faults` have different lengths.
+    #[must_use]
+    pub fn resume_with_engine(
+        net: &'n Network,
+        faults: &[Fault],
+        config: ConcurrentConfig,
+        good: &DenseState<'n>,
+        snapshots: &[FaultSnapshot],
+        engine: Engine,
+    ) -> Self {
         assert_eq!(
             faults.len(),
             snapshots.len(),
             "one snapshot per resumed fault"
         );
-        let mut sim = ConcurrentSim::new(net, faults, config);
+        let mut sim = ConcurrentSim::new_with_engine(net, faults, config, engine);
         // Replace the reset-state good machine with the boundary state
         // and discard the constructor's pending perturbations and
         // initial fault seeds: the tape covers the former, the original
@@ -402,6 +527,17 @@ impl<'n> ConcurrentSim<'n> {
             sim.detected_once[circ as usize] = snap.detected;
         }
         sim
+    }
+
+    /// Consumes the simulator and returns its [`Engine`] for reuse via
+    /// [`ConcurrentSim::new_with_engine`] /
+    /// [`ConcurrentSim::resume_with_engine`] — together they let a
+    /// batch driver keep one engine's buffers (solver scratch, queues,
+    /// round stamps) alive across per-batch simulator rebuilds instead
+    /// of reallocating them every time.
+    #[must_use]
+    pub fn take_engine(self) -> Engine {
+        self.engine
     }
 
     /// Exports the carried state of fault `f` at a pattern boundary —
@@ -443,6 +579,9 @@ impl<'n> ConcurrentSim<'n> {
         self.metrics = CoreMetrics::attach(registry);
         self.metrics.faults_live.set(self.live as f64);
         self.engine.attach_metrics(registry);
+        if let Some(packed) = &mut self.packed {
+            packed.engine.attach_metrics(registry);
+        }
     }
 
     /// Folds locally accumulated settle activity (this simulator's and
@@ -452,6 +591,9 @@ impl<'n> ConcurrentSim<'n> {
     pub fn flush_metrics(&mut self) {
         self.metrics.flush();
         self.engine.flush_metrics();
+        if let Some(packed) = &mut self.packed {
+            packed.engine.flush_metrics();
+        }
     }
 
     /// The fault sets being simulated, in circuit order (singleton
@@ -637,53 +779,212 @@ impl<'n> ConcurrentSim<'n> {
         }
     }
 
-    /// Settles every triggered faulty circuit, in circuit-id order —
-    /// step 3 of the phase loop, shared between the live and replayed
-    /// good-machine paths.
+    /// Settles every triggered faulty circuit — step 3 of the phase
+    /// loop, shared between the live and replayed good-machine paths.
+    ///
+    /// The scalar path works in circuit-id order; the packed path
+    /// regroups circuits by identical seed sets first. Circuits never
+    /// interact during this step (each settles its own records against
+    /// the read-only good state), so the order does not affect any
+    /// result bit.
     fn settle_triggered(&mut self, stats: &mut PatternStats) {
+        if self.packed.is_some() {
+            self.settle_triggered_packed(stats);
+            return;
+        }
+        while let Some((circ, mut seeds)) = self.pending.pop_first() {
+            if self.dropped[circ as usize] {
+                continue;
+            }
+            seeds.sort_unstable();
+            seeds.dedup();
+            self.settle_circuit_scalar(circ, &seeds, stats, false);
+        }
+    }
+
+    /// The packed lane scheduler: drains the pending private events,
+    /// splits the triggered circuits by seed sharing, and settles the
+    /// sharing ones in chunks of up to 64 lanes through the packed
+    /// engine, each lane perturbed with its own (sorted, deduplicated)
+    /// seed set. Lanes are independent inside the engine — pending,
+    /// solved and damping masks are all per-lane — so a lane's
+    /// round-by-round schedule is exactly its scalar schedule no matter
+    /// what the other lanes do; lanes whose vicinity structure diverges
+    /// mid-solve are evicted to an immediate re-solve.
+    ///
+    /// Bit-sharing happens wherever two lanes' propagation fronts meet
+    /// at the same group in the same round, and the first round is the
+    /// predictor: circuits woken at a common node (a shared bitline, a
+    /// bus) start aligned, while a circuit whose every seed is private
+    /// to it — no other triggered circuit was woken there — propagates
+    /// in its own region and would only pay the packed machinery's
+    /// per-chunk overhead. The split routes the latter (and any phase
+    /// that triggers a single circuit) through the scalar engine,
+    /// counted as `switch.scalar_fallbacks`. Both paths are
+    /// bit-identical, so the split is pure scheduling.
+    fn settle_triggered_packed(&mut self, stats: &mut PatternStats) {
+        let lanes = self.packed.as_mut().expect("packed path active");
+        let mut batch = std::mem::take(&mut lanes.batch);
+        let mut shared = std::mem::take(&mut lanes.shared);
+        let mut solo = std::mem::take(&mut lanes.solo);
+        batch.clear();
+        shared.clear();
+        solo.clear();
+        while let Some((circ, mut seeds)) = self.pending.pop_first() {
+            if self.dropped[circ as usize] {
+                continue;
+            }
+            seeds.sort_unstable();
+            seeds.dedup();
+            // Popping in circuit-id order keeps the batch ascending —
+            // the lane→circuit map the packed view binary-searches.
+            batch.push((circ, seeds));
+        }
+        {
+            let lanes = self.packed.as_mut().expect("packed path active");
+            lanes.seed_gen = lanes.seed_gen.wrapping_add(1);
+            if lanes.seed_gen == 0 {
+                lanes.seed_epoch.fill(0);
+                lanes.seed_gen = 1;
+            }
+            for (_, seeds) in &batch {
+                for &s in seeds {
+                    let i = s.index();
+                    if lanes.seed_epoch[i] != lanes.seed_gen {
+                        lanes.seed_epoch[i] = lanes.seed_gen;
+                        lanes.seed_count[i] = 0;
+                    }
+                    lanes.seed_count[i] += 1;
+                }
+            }
+            for (circ, seeds) in batch.drain(..) {
+                let shares = seeds.iter().any(|s| lanes.seed_count[s.index()] >= 2);
+                if shares {
+                    shared.push((circ, seeds));
+                } else {
+                    solo.push((circ, seeds));
+                }
+            }
+        }
+        for start in (0..shared.len()).step_by(64) {
+            let chunk = &shared[start..(start + 64).min(shared.len())];
+            if chunk.len() == 1 {
+                let (circ, seeds) = &chunk[0];
+                self.settle_circuit_scalar(*circ, seeds, stats, true);
+            } else {
+                self.settle_chunk_packed(chunk, stats);
+            }
+        }
+        for (circ, seeds) in &solo {
+            self.settle_circuit_scalar(*circ, seeds, stats, true);
+        }
+        let lanes = self.packed.as_mut().expect("packed path active");
+        lanes.batch = batch;
+        lanes.shared = shared;
+        lanes.solo = solo;
+    }
+
+    /// Settles one faulty circuit through the scalar engine (the
+    /// original concurrent path; under packing, the singleton-bucket
+    /// fallback).
+    fn settle_circuit_scalar(
+        &mut self,
+        circ: u32,
+        seeds: &[NodeId],
+        stats: &mut PatternStats,
+        fallback: bool,
+    ) {
         let net = self.net;
         let ConcurrentSim {
             good,
             engine,
             records,
             overrides,
-            pending,
-            dropped,
             metrics,
             ..
         } = self;
-        while let Some((circ, mut seeds)) = pending.pop_first() {
-            if dropped[circ as usize] {
-                continue;
+        metrics.local_events_scheduled += seeds.len() as u64;
+        let rep = {
+            let mut view =
+                FaultyView::new(net, good.states(), records, circ, &overrides[circ as usize]);
+            for &s in seeds {
+                engine.perturb(s);
             }
-            seeds.sort_unstable();
-            seeds.dedup();
-            metrics.local_events_scheduled += seeds.len() as u64;
-            let rep = {
-                let mut view =
-                    FaultyView::new(net, good.states(), records, circ, &overrides[circ as usize]);
-                for &s in &seeds {
-                    engine.perturb(s);
-                }
-                engine.settle(&mut view)
-            };
-            // Convergence sweep: when the *good* circuit moved to the
-            // value this circuit already held, the settle saw no
-            // change and left the record in place — now equal to the
-            // good state. Seeds cover every node the good circuit
-            // changed (that is what triggered us), so sweeping them
-            // restores the records-iff-divergent invariant.
-            for &s in &seeds {
-                if records.get(s, circ) == Some(good.node_state(s)) {
-                    records.remove(s, circ);
-                }
+            engine.settle(&mut view)
+        };
+        // Convergence sweep: when the *good* circuit moved to the
+        // value this circuit already held, the settle saw no
+        // change and left the record in place — now equal to the
+        // good state. Seeds cover every node the good circuit
+        // changed (that is what triggered us), so sweeping them
+        // restores the records-iff-divergent invariant.
+        for &s in seeds {
+            if records.get(s, circ) == Some(good.node_state(s)) {
+                records.remove(s, circ);
             }
-            stats.faulty_groups += rep.groups_solved;
-            stats.circuit_settles += 1;
-            stats.damped |= rep.oscillation_damped;
-            metrics.local_faulty_groups += rep.groups_solved as u64;
-            metrics.local_circuit_settles += 1;
         }
+        stats.faulty_groups += rep.groups_solved;
+        stats.circuit_settles += 1;
+        stats.damped |= rep.oscillation_damped;
+        metrics.local_faulty_groups += rep.groups_solved as u64;
+        metrics.local_circuit_settles += 1;
+        if fallback {
+            metrics.local_scalar_fallbacks += rep.groups_solved as u64;
+        }
+    }
+
+    /// Settles a chunk of 2–64 circuits through the packed engine —
+    /// lane `i` perturbed with `chunk[i]`'s seeds — then scatters the
+    /// dirty lanes back into the record lists and runs the per-lane
+    /// convergence sweep.
+    fn settle_chunk_packed(&mut self, chunk: &[(u32, Vec<NodeId>)], stats: &mut PatternStats) {
+        let net = self.net;
+        let ConcurrentSim {
+            good,
+            records,
+            overrides,
+            packed,
+            metrics,
+            ..
+        } = self;
+        let PackedLanes {
+            engine,
+            scratch,
+            lane_circs,
+            ..
+        } = &mut **packed.as_mut().expect("packed path active");
+        lane_circs.clear();
+        lane_circs.extend(chunk.iter().map(|&(c, _)| c));
+        let rep = {
+            let mut view =
+                PackedBucketView::new(net, good.states(), records, lane_circs, overrides, scratch);
+            for (lane, (_, seeds)) in chunk.iter().enumerate() {
+                metrics.local_events_scheduled += seeds.len() as u64;
+                let bit = 1u64 << lane;
+                for &s in seeds {
+                    engine.perturb(s, bit);
+                }
+            }
+            engine.settle(&mut view)
+        };
+        scratch.scatter(good.states(), records, lane_circs);
+        // Per-lane convergence sweep, as in the scalar path.
+        for (circ, seeds) in chunk {
+            for &s in seeds {
+                if records.get(s, *circ) == Some(good.node_state(s)) {
+                    records.remove(s, *circ);
+                }
+            }
+        }
+        // `faulty_groups` counts packed solves here (each covering up
+        // to 64 circuits), so it is not comparable with the scalar
+        // path's per-circuit count; `circuit_settles` stays per
+        // circuit. Detections and states are bit-identical either way.
+        stats.faulty_groups += rep.groups_solved;
+        stats.circuit_settles += chunk.len();
+        stats.damped |= rep.oscillation_damped();
+        metrics.local_faulty_groups += rep.groups_solved as u64;
+        metrics.local_circuit_settles += chunk.len() as u64;
     }
 
     /// Runs a pattern sequence against a recorded good-machine
@@ -1403,5 +1704,134 @@ mod tests {
         let report = sim.run(&toggle_patterns(a), &[out]);
         assert_eq!(report.detected(), 2);
         assert_eq!(sim.record_count(), 0, "all records reclaimed");
+    }
+
+    /// Runs the same workload scalar and packed and asserts detections,
+    /// drops and the final record population are bit-identical.
+    fn assert_packed_matches_scalar(
+        net: &Network,
+        faults: &[Fault],
+        patterns: &[Pattern],
+        outputs: &[NodeId],
+        base: ConcurrentConfig,
+    ) {
+        let mut scalar = ConcurrentSim::new(net, faults, base);
+        let s_rep = scalar.run(patterns, outputs);
+        let packed_cfg = ConcurrentConfig {
+            packing: true,
+            ..base
+        };
+        let mut packed = ConcurrentSim::new(net, faults, packed_cfg);
+        let p_rep = packed.run(patterns, outputs);
+        assert_eq!(p_rep.detections, s_rep.detections);
+        assert_eq!(packed.live(), scalar.live());
+        assert_eq!(packed.record_count(), scalar.record_count());
+        for k in 0..faults.len() {
+            let f = FaultId(u32::try_from(k).unwrap());
+            for (n, _) in net.nodes() {
+                assert_eq!(
+                    packed.fault_state(f, n),
+                    scalar.fault_state(f, n),
+                    "fault {k} node {n:?}"
+                );
+            }
+        }
+        for (p, s) in p_rep.patterns.iter().zip(&s_rep.patterns) {
+            assert_eq!(p.detected, s.detected);
+            assert_eq!(p.live_before, s.live_before);
+            assert_eq!(p.circuit_settles, s.circuit_settles);
+            assert_eq!(p.damped, s.damped);
+        }
+    }
+
+    #[test]
+    fn packed_matches_scalar_on_inverter_stuck_faults() {
+        let (net, a, out) = inverter();
+        let universe =
+            FaultUniverse::stuck_nodes(&net).union(FaultUniverse::stuck_transistors(&net));
+        let mut patterns = toggle_patterns(a);
+        patterns.extend(toggle_patterns(a));
+        for drop_on_detect in [true, false] {
+            assert_packed_matches_scalar(
+                &net,
+                universe.faults(),
+                &patterns,
+                &[out],
+                ConcurrentConfig {
+                    drop_on_detect,
+                    ..ConcurrentConfig::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn packed_falls_back_to_scalar_under_static_locality() {
+        let (net, a, out) = inverter();
+        let universe = FaultUniverse::stuck_nodes(&net);
+        let config = ConcurrentConfig {
+            packing: true,
+            engine: EngineConfig {
+                locality: LocalityMode::Static,
+                ..EngineConfig::default()
+            },
+            ..ConcurrentConfig::paper()
+        };
+        let mut sim = ConcurrentSim::new(&net, universe.faults(), config);
+        assert!(sim.packed.is_none(), "static locality disables packing");
+        let report = sim.run(&toggle_patterns(a), &[out]);
+        assert_eq!(report.detected(), 2);
+    }
+
+    #[test]
+    fn packed_chunks_split_buckets_beyond_64_lanes() {
+        // 80 circuits carrying the same stuck-at fault: one bucket,
+        // two chunks (64 + 16). All are detected identically.
+        let (net, a, out) = inverter();
+        let fault = Fault::NodeStuck {
+            node: out,
+            value: Logic::H,
+        };
+        let sets: Vec<Vec<Fault>> = (0..80).map(|_| vec![fault]).collect();
+        let config = ConcurrentConfig {
+            packing: true,
+            ..ConcurrentConfig::paper()
+        };
+        let mut sim = ConcurrentSim::new_multi(&net, sets.clone(), config);
+        let report = sim.run(&toggle_patterns(a), &[out]);
+        let mut scalar = ConcurrentSim::new_multi(&net, sets, ConcurrentConfig::paper());
+        let s_report = scalar.run(&toggle_patterns(a), &[out]);
+        assert_eq!(report.detections, s_report.detections);
+        assert_eq!(report.detected(), 80);
+    }
+
+    #[test]
+    fn packed_emits_lane_metrics() {
+        // Transistor faults: their seeds are ordinary storage nodes, so
+        // the shared seed bucket actually reaches the packed solver
+        // (stuck-node faults on OUT would leave every seed
+        // input-classified in every lane).
+        let (net, a, out) = inverter();
+        let universe = FaultUniverse::stuck_transistors(&net);
+        let registry = Registry::new();
+        let config = ConcurrentConfig {
+            packing: true,
+            drop_on_detect: false,
+            ..ConcurrentConfig::default()
+        };
+        let mut sim = ConcurrentSim::new(&net, universe.faults(), config);
+        sim.attach_metrics(&registry);
+        let _ = sim.run(&toggle_patterns(a), &[out]);
+        let snap = registry.snapshot();
+        let packed = snap.counters.get("switch.packed_solves").copied();
+        assert!(
+            packed.unwrap_or(0) > 0,
+            "multi-lane buckets reach the packed solver: {snap:?}"
+        );
+        let occ = snap
+            .histograms
+            .get("switch.lane.occupancy")
+            .expect("occupancy histogram minted");
+        assert!(occ.count > 0, "occupancy observed per packed solve");
     }
 }

@@ -31,6 +31,7 @@
 mod concurrent;
 mod dictionary;
 mod overlay;
+mod packed;
 mod pattern;
 mod records;
 mod report;
@@ -43,6 +44,11 @@ pub use dictionary::{FaultDictionary, Syndrome};
 // machine (`TapeRecorder::good_state`) and hand it to
 // `ConcurrentSim::resume` without depending on `fmossim-switch`.
 pub use fmossim_switch::DenseState;
+// `Engine` rides along for the engine-reuse constructors
+// (`ConcurrentSim::new_with_engine` / `take_engine`): batch drivers
+// pool engines across simulator rebuilds without depending on
+// `fmossim-switch`.
+pub use fmossim_switch::Engine;
 pub use overlay::{FaultyView, Overrides, SerialState};
 pub use pattern::{stimulus_content_hash, Pattern, Phase};
 pub use records::{StateListStore, StateLists};

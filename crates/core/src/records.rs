@@ -171,6 +171,23 @@ impl StateLists {
         }
     }
 
+    /// Visits the records at `n` as `(circuit, state)` pairs without
+    /// allocating (SortedVec backend; used by the packed-lane gather).
+    pub fn for_records_at(&self, n: NodeId, mut f: impl FnMut(u32, Logic)) {
+        match self.store {
+            StateListStore::SortedVec => {
+                for &(c, v) in &self.per_node[n.index()] {
+                    f(c, v);
+                }
+            }
+            StateListStore::Hash => {
+                for (c, v) in self.circuits_at(n) {
+                    f(c, v);
+                }
+            }
+        }
+    }
+
     /// Removes every record of `circuit` (fault dropped after
     /// detection). Returns the number of records reclaimed.
     pub fn drop_circuit(&mut self, circuit: u32) -> usize {

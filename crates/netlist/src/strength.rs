@@ -162,6 +162,24 @@ impl Strength {
     pub fn is_drive(self) -> bool {
         (MAX_SIZES + 1..=MAX_SIZES + MAX_DRIVES).contains(&self.0)
     }
+
+    /// Number of distinct lattice ranks (λ, κ1…κ7, γ1…γ7, ω):
+    /// [`Strength::rank`] returns values in `0..NUM_RANKS`.
+    pub const NUM_RANKS: usize = (MAX_SIZES + MAX_DRIVES + 2) as usize;
+
+    /// The dense lattice rank: λ → 0, κk → k, γg → `MAX_SIZES` + g,
+    /// ω → `NUM_RANKS - 1` (15). Rank order equals strength order, so
+    /// bit-parallel solvers can represent a strength as a thermometer
+    /// code over `NUM_RANKS` planes.
+    #[inline]
+    #[must_use]
+    pub fn rank(self) -> usize {
+        if self == Strength::INPUT {
+            Self::NUM_RANKS - 1
+        } else {
+            self.0 as usize
+        }
+    }
 }
 
 impl fmt::Display for Strength {
@@ -249,6 +267,25 @@ mod tests {
         assert_eq!(Strength::from_drive(Drive::D3).to_string(), "γ3");
         assert_eq!(Size::S1.to_string(), "κ1");
         assert_eq!(Drive::D2.to_string(), "γ2");
+    }
+
+    #[test]
+    fn rank_is_dense_and_order_preserving() {
+        let mut all = vec![Strength::NONE];
+        for k in 1..=MAX_SIZES {
+            all.push(Strength::from_size(Size::new(k).unwrap()));
+        }
+        for g in 1..=MAX_DRIVES {
+            all.push(Strength::from_drive(Drive::new(g).unwrap()));
+        }
+        all.push(Strength::INPUT);
+        assert_eq!(all.len(), Strength::NUM_RANKS);
+        for (i, s) in all.iter().enumerate() {
+            assert_eq!(s.rank(), i, "{s} occupies rank {i}");
+        }
+        for w in all.windows(2) {
+            assert!(w[0] < w[1], "rank order equals strength order");
+        }
     }
 
     #[test]

@@ -16,13 +16,64 @@
 
 use crate::plan::{fault_cost, ShardPlan};
 use fmossim_core::{
-    ConcurrentConfig, ConcurrentSim, DenseState, FaultSnapshot, GoodTape, Pattern, RunReport,
+    ConcurrentConfig, ConcurrentSim, DenseState, Engine, FaultSnapshot, GoodTape, Pattern,
+    RunReport,
 };
 use fmossim_faults::{FaultId, FaultUniverse};
 use fmossim_netlist::{Network, NodeId};
 use fmossim_telemetry::Registry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// A bag of recycled [`Engine`]s shared by the shard workers of
+/// consecutive [`run_batch`] calls.
+///
+/// Every shard simulator owns an engine — solver scratch, event
+/// queues, per-node round stamps, all sized for the network. A batch
+/// driver rebuilds its shard simulators at every batch boundary, so
+/// without reuse that whole buffer set is reallocated `shards ×
+/// batches` times per run. Shards returning engines here
+/// ([`EnginePool::put`]) let later shards skip the allocation
+/// ([`EnginePool::take`] + [`Engine::recycle`] inside
+/// `ConcurrentSim::new_with_engine`); the pool never holds more
+/// engines than the widest batch's shard count. Reuse is bit-invisible:
+/// a recycled engine is indistinguishable from a fresh one.
+#[derive(Debug, Default)]
+pub struct EnginePool {
+    engines: Mutex<Vec<Engine>>,
+}
+
+impl EnginePool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        EnginePool::default()
+    }
+
+    /// Takes a recycled engine, if any shard has returned one.
+    #[must_use]
+    pub fn take(&self) -> Option<Engine> {
+        self.engines.lock().expect("pool poisoned").pop()
+    }
+
+    /// Returns an engine for a later simulator build to reuse.
+    pub fn put(&self, engine: Engine) {
+        self.engines.lock().expect("pool poisoned").push(engine);
+    }
+
+    /// Engines currently parked in the pool.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.engines.lock().expect("pool poisoned").len()
+    }
+
+    /// True iff no engine is parked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Default EWMA smoothing factor for [`CostModel::observe`]: half new
 /// measurement, half history — reactive enough to follow the falling
@@ -191,6 +242,11 @@ pub struct BatchRun {
 /// into a per-shard [`Registry::fork`] that is merged back on the
 /// collecting thread, plus the `par.*` shard timing metrics.
 ///
+/// `engines` is an optional [`EnginePool`]: shards draw recycled
+/// engines from it and park theirs back when done, so consecutive
+/// batches reuse the same buffer allocations. Pass `None` to allocate
+/// fresh per shard (the pre-pool behaviour); results are identical.
+///
 /// # Panics
 ///
 /// Panics if a planned fault id has no snapshot in `resume`, or if the
@@ -209,6 +265,7 @@ pub fn run_batch(
     outputs: &[NodeId],
     first_pattern: usize,
     telemetry: &Registry,
+    engines: Option<&EnginePool>,
 ) -> BatchRun {
     let n_shards = plan.num_shards();
     let workers = workers.clamp(1, n_shards.max(1));
@@ -217,8 +274,14 @@ pub fn run_batch(
         let shard_metrics = telemetry.fork();
         let ids = plan.shard(s);
         let shard_universe = universe.subset(ids);
+        let recycled = engines.and_then(EnginePool::take);
         let mut shard_sim = match resume {
-            None => ConcurrentSim::new(net, shard_universe.faults(), sim),
+            None => match recycled {
+                Some(engine) => {
+                    ConcurrentSim::new_with_engine(net, shard_universe.faults(), sim, engine)
+                }
+                None => ConcurrentSim::new(net, shard_universe.faults(), sim),
+            },
             Some(point) => {
                 let snaps: Vec<FaultSnapshot> = ids
                     .iter()
@@ -228,7 +291,23 @@ pub fn run_batch(
                             .expect("planned fault has a carried snapshot")
                     })
                     .collect();
-                ConcurrentSim::resume(net, shard_universe.faults(), sim, &point.good, &snaps)
+                match recycled {
+                    Some(engine) => ConcurrentSim::resume_with_engine(
+                        net,
+                        shard_universe.faults(),
+                        sim,
+                        &point.good,
+                        &snaps,
+                        engine,
+                    ),
+                    None => ConcurrentSim::resume(
+                        net,
+                        shard_universe.faults(),
+                        sim,
+                        &point.good,
+                        &snaps,
+                    ),
+                }
             }
         };
         shard_sim.attach_metrics(&shard_metrics);
@@ -243,6 +322,9 @@ pub fn run_batch(
                     .map(|snap| (gid, snap))
             })
             .collect();
+        if let Some(pool) = engines {
+            pool.put(shard_sim.take_engine());
+        }
         shard_metrics.counter("par.shards").inc();
         shard_metrics
             .gauge("par.shard.seconds")
@@ -349,6 +431,11 @@ mod tests {
         let mut recorder = TapeRecorder::new(&net, sim.engine);
         let plan0 = ShardPlan::build_weighted(&all, 2, |_| 1.0);
         let tape0 = recorder.record(&patterns[..1]);
+        // Batch 0 parks its engines in the pool; batch 1 draws them
+        // back out — with bit-identical results either way. The parked
+        // count is 1 or 2, not exactly 2: a shard that finishes before
+        // the other starts donates its engine *within* the batch.
+        let pool = EnginePool::new();
         let b0 = run_batch(
             &net,
             &universe,
@@ -361,6 +448,12 @@ mod tests {
             &outs,
             0,
             &Registry::null(),
+            Some(&pool),
+        );
+        let parked = pool.len();
+        assert!(
+            (1..=2).contains(&parked),
+            "shards parked their engines: {parked}"
         );
 
         // Boundary: snapshot, drop detected, re-plan the survivors
@@ -388,7 +481,9 @@ mod tests {
             &outs,
             1,
             &Registry::null(),
+            Some(&pool),
         );
+        assert_eq!(pool.len(), parked, "one engine reused, then re-parked");
 
         let mut detections: Vec<_> = b0
             .reports

@@ -15,9 +15,9 @@
 //! `X`, which bounds the remaining work and leaves the oscillating set
 //! at `X` — the MOSSIM II treatment of unstable networks.
 
-use crate::solve::Scratch;
-use crate::state::SwitchState;
-use fmossim_netlist::{Logic, Network, NodeId, TransistorId};
+use crate::solve::{PackedScratch, Scratch};
+use crate::state::{PackedLogic, PackedState, SwitchState};
+use fmossim_netlist::{Conduction, Logic, Network, NodeId, TransistorId, TransistorType};
 use fmossim_telemetry::{Counter, Histogram, LocalHistogram, Registry};
 
 /// Vicinity partitioning discipline; see the DAC-85 paper's §4
@@ -224,6 +224,28 @@ impl Engine {
         &self.config
     }
 
+    /// Resets the engine to the state [`Engine::with_config`] would
+    /// produce for `net`, keeping every buffer allocation that already
+    /// suffices — the cheap path for drivers that build many
+    /// short-lived simulators over the same network (the adaptive
+    /// backend rebuilds every shard simulator at every batch
+    /// boundary). For a same-sized network no allocation happens; a
+    /// differently-sized one re-fits the buffers. Metrics detach:
+    /// re-attach after recycling if the new owner is instrumented.
+    pub fn recycle(&mut self, net: &Network, config: EngineConfig) {
+        self.scratch.fit(net.num_nodes(), net.num_transistors());
+        self.queue.clear();
+        self.next_queue.clear();
+        self.queued.clear();
+        self.queued.resize(net.num_nodes(), false);
+        self.solved_round.clear();
+        self.solved_round.resize(net.num_nodes(), 0);
+        self.round_id = 0;
+        self.changed_buf.clear();
+        self.config = config;
+        self.metrics = EngineMetrics::default();
+    }
+
     /// Publishes this engine's activity (`switch.*` metrics) into
     /// `registry`. Handles are minted once here; until attached (or
     /// when `registry` is null) the instrumentation is a no-op.
@@ -418,6 +440,388 @@ impl Engine {
     }
 }
 
+/// Outcome of one [`PackedEngine::settle`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PackedSettleReport {
+    /// Number of unit-delay rounds executed.
+    pub rounds: usize,
+    /// Number of packed vicinity solves (each covering 1–64 lanes).
+    pub groups_solved: usize,
+    /// Number of per-lane node state changes applied.
+    pub nodes_changed: usize,
+    /// Mask of lanes in which oscillation damping was engaged.
+    pub damped_lanes: u64,
+}
+
+impl PackedSettleReport {
+    /// True iff any lane needed X-damping to terminate.
+    #[must_use]
+    pub fn oscillation_damped(self) -> bool {
+        self.damped_lanes != 0
+    }
+}
+
+/// Telemetry of one [`PackedEngine`], following the same
+/// local-accumulate / flush-per-pattern discipline as [`EngineMetrics`].
+#[derive(Clone, Debug, Default)]
+struct PackedEngineMetrics {
+    active: bool,
+    /// `switch.packed_solves` — packed solves covering ≥ 2 lanes.
+    packed_solves: Counter,
+    /// `switch.scalar_fallbacks` — solves degraded to a single lane
+    /// (support divergence left nothing to share).
+    scalar_fallbacks: Counter,
+    /// `switch.lane.occupancy` — lanes per packed solve.
+    occupancy: Histogram,
+    local_packed: u64,
+    local_fallbacks: u64,
+    local_occupancy: LocalHistogram,
+}
+
+impl PackedEngineMetrics {
+    fn attach(registry: &Registry) -> Self {
+        PackedEngineMetrics {
+            active: registry.is_active(),
+            packed_solves: registry.counter("switch.packed_solves"),
+            scalar_fallbacks: registry.counter("switch.scalar_fallbacks"),
+            occupancy: registry.histogram("switch.lane.occupancy"),
+            ..PackedEngineMetrics::default()
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.active {
+            return;
+        }
+        self.packed_solves.add(self.local_packed);
+        self.scalar_fallbacks.add(self.local_fallbacks);
+        self.local_packed = 0;
+        self.local_fallbacks = 0;
+        self.occupancy.merge_local(&mut self.local_occupancy);
+    }
+}
+
+/// The bit-parallel sibling of [`Engine`]: drains per-lane perturbations
+/// in unit-delay rounds, settling up to 64 fault machines per vicinity
+/// solve through [`PackedScratch`].
+///
+/// The scheduling discipline matches the scalar engine round for round:
+/// a per-node pending mask plays the role of the scalar queued flag, a
+/// per-node `(round, lanes)` stamp plays the role of `solved_round`, and
+/// gate-driven wake-ups propagate per changed lane (any value change
+/// flips an N/P conduction class; depletion gates never wake). Lanes
+/// evicted by a mid-extraction support divergence re-enter the worklist
+/// from the same seed in the same round, so each lane settles exactly
+/// as its scalar schedule would — the bit-identity the equivalence
+/// tests assert.
+#[derive(Clone, Debug)]
+pub struct PackedEngine {
+    scratch: PackedScratch,
+    /// Scalar solver for degenerate (single-lane) solves: plane
+    /// operations cost the same at one active lane as at sixty-four,
+    /// so routing them through the scalar fixed point keeps the packed
+    /// path competitive when occupancy is low.
+    scalar: Scratch,
+    /// Nodes to process this round.
+    queue: Vec<NodeId>,
+    /// Nodes scheduled for the next round.
+    next_queue: Vec<NodeId>,
+    /// Per-node lanes scheduled for the next round; nonzero iff the
+    /// node is in `next_queue`.
+    pending: Vec<u64>,
+    /// Per-node lanes awaiting processing in the current round.
+    todo: Vec<u64>,
+    /// Per-node lanes already solved in the round stamped below.
+    solved_mask: Vec<u64>,
+    solved_round: Vec<u64>,
+    round_id: u64,
+    config: EngineConfig,
+    metrics: PackedEngineMetrics,
+}
+
+impl PackedEngine {
+    /// Creates a packed engine sized for `net`, with default
+    /// configuration.
+    #[must_use]
+    pub fn new(net: &Network) -> Self {
+        PackedEngine::with_config(net, EngineConfig::default())
+    }
+
+    /// Creates a packed engine sized for `net` with an explicit
+    /// configuration. The packed path always uses dynamic locality;
+    /// callers wanting [`LocalityMode::Static`] must use the scalar
+    /// engine.
+    #[must_use]
+    pub fn with_config(net: &Network, config: EngineConfig) -> Self {
+        PackedEngine {
+            scratch: PackedScratch::new(net.num_nodes(), net.num_transistors()),
+            scalar: Scratch::new(net.num_nodes(), net.num_transistors()),
+            queue: Vec::new(),
+            next_queue: Vec::new(),
+            pending: vec![0; net.num_nodes()],
+            todo: vec![0; net.num_nodes()],
+            solved_mask: vec![0; net.num_nodes()],
+            solved_round: vec![0; net.num_nodes()],
+            round_id: 0,
+            config,
+            metrics: PackedEngineMetrics::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Publishes this engine's activity (`switch.packed_solves`,
+    /// `switch.scalar_fallbacks`, `switch.lane.occupancy`) into
+    /// `registry`; see [`Engine::attach_metrics`] for the discipline.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.metrics = PackedEngineMetrics::attach(registry);
+    }
+
+    /// Folds locally accumulated activity into the attached registry.
+    pub fn flush_metrics(&mut self) {
+        self.metrics.flush();
+    }
+
+    /// True iff perturbations are pending in any lane.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        !self.next_queue.is_empty()
+    }
+
+    /// Discards every pending perturbation in every lane.
+    pub fn clear_pending(&mut self) {
+        for &n in &self.next_queue {
+            self.pending[n.index()] = 0;
+        }
+        self.next_queue.clear();
+    }
+
+    /// Schedules node `n` for (re-)evaluation in the given lanes at the
+    /// next settle. Input-classified lanes are filtered out at
+    /// processing time, so perturbing them is harmless.
+    #[inline]
+    pub fn perturb(&mut self, n: NodeId, lanes: u64) {
+        if lanes == 0 {
+            return;
+        }
+        let e = &mut self.pending[n.index()];
+        if *e == 0 {
+            self.next_queue.push(n);
+        }
+        *e |= lanes;
+    }
+
+    /// Drains all pending perturbations across every lane, solving
+    /// packed vicinities round by round until all machines are stable.
+    pub fn settle<P: PackedState>(&mut self, st: &mut P) -> PackedSettleReport {
+        let mut report = PackedSettleReport::default();
+        let all_lanes = st.lanes();
+        while !self.next_queue.is_empty() {
+            report.rounds += 1;
+            let x_damp = report.rounds > self.config.max_rounds;
+            if x_damp {
+                for &n in &self.next_queue {
+                    report.damped_lanes |= self.pending[n.index()] & all_lanes;
+                }
+            }
+            self.round_id += 1;
+            for qi in 0..self.next_queue.len() {
+                let n = self.next_queue[qi];
+                self.todo[n.index()] = self.pending[n.index()];
+                self.pending[n.index()] = 0;
+            }
+            std::mem::swap(&mut self.queue, &mut self.next_queue);
+            let mut qi = 0;
+            while qi < self.queue.len() {
+                let seed = self.queue[qi];
+                qi += 1;
+                let mut m = self.todo[seed.index()];
+                self.todo[seed.index()] = 0;
+                m &= all_lanes & !st.is_input_lanes(seed);
+                if self.solved_round[seed.index()] == self.round_id {
+                    m &= !self.solved_mask[seed.index()];
+                }
+                if m == 0 {
+                    continue;
+                }
+                if m & (m - 1) == 0 {
+                    // One active lane: the packed fixed point would run
+                    // full-width plane operations for it; the scalar
+                    // solver computes the identical result cheaper.
+                    self.solve_lane_scalar(st, seed, m, x_damp, &mut report);
+                    continue;
+                }
+                let (kept, evicted) = self.scratch.solve(st, seed, m);
+                if evicted != 0 {
+                    // Diverged lanes re-extract from the same seed in the
+                    // same round, preserving each lane's scalar schedule.
+                    self.todo[seed.index()] |= evicted;
+                    self.queue.push(seed);
+                }
+                report.groups_solved += 1;
+                if self.metrics.active {
+                    let occ = u64::from(kept.count_ones());
+                    self.metrics.local_occupancy.observe(occ);
+                    if occ >= 2 {
+                        self.metrics.local_packed += 1;
+                    } else {
+                        self.metrics.local_fallbacks += 1;
+                    }
+                }
+                for i in 0..self.scratch.members.len() {
+                    let member = self.scratch.members[i];
+                    if self.solved_round[member.index()] == self.round_id {
+                        self.solved_mask[member.index()] |= kept;
+                    } else {
+                        self.solved_round[member.index()] = self.round_id;
+                        self.solved_mask[member.index()] = kept;
+                    }
+                    let old = st.node_state(member).masked(kept);
+                    let mut new = self.scratch.out_values[i];
+                    if x_damp {
+                        new = old.lub(new);
+                    }
+                    let ch = old.diff_mask(new) & kept;
+                    if ch == 0 {
+                        continue;
+                    }
+                    st.set_node_state(member, ch, new);
+                    report.nodes_changed += ch.count_ones() as usize;
+                    // Gate-driven wake-ups for the next round: every
+                    // value change flips an N/P conduction class, and
+                    // depletion gates never change class.
+                    let net = st.network();
+                    for &t in net.gated_transistors(member) {
+                        let tr = net.transistor(t);
+                        if tr.ttype == TransistorType::D {
+                            continue;
+                        }
+                        self.perturb_next(tr.source, ch);
+                        self.perturb_next(tr.drain, ch);
+                    }
+                }
+            }
+            self.queue.clear();
+        }
+        report
+    }
+
+    /// Solves `seed`'s vicinity for exactly one lane through the scalar
+    /// solver, with the same round bookkeeping, damping and wake-ups as
+    /// the packed branch. Bit-identical to a one-lane packed solve (the
+    /// equivalence tests pin the two solvers to each other), so the
+    /// dispatch is invisible in the results — only
+    /// `switch.scalar_fallbacks` sees it.
+    fn solve_lane_scalar<P: PackedState>(
+        &mut self,
+        st: &mut P,
+        seed: NodeId,
+        bit: u64,
+        x_damp: bool,
+        report: &mut PackedSettleReport,
+    ) {
+        let lane = bit.trailing_zeros();
+        {
+            let view = LaneView { st: &*st, lane };
+            self.scalar.extract(&view, seed, false);
+            self.scalar.steady_state(&view);
+        }
+        report.groups_solved += 1;
+        if self.metrics.active {
+            self.metrics.local_occupancy.observe(1);
+            self.metrics.local_fallbacks += 1;
+        }
+        for i in 0..self.scalar.members.len() {
+            let member = self.scalar.members[i];
+            if self.solved_round[member.index()] == self.round_id {
+                self.solved_mask[member.index()] |= bit;
+            } else {
+                self.solved_round[member.index()] = self.round_id;
+                self.solved_mask[member.index()] = bit;
+            }
+            let old = st
+                .node_state(member)
+                .get(lane)
+                .expect("chunk lane holds a value");
+            let mut new = self.scalar.out_values[i];
+            if x_damp {
+                new = old.lub(new);
+            }
+            if new == old {
+                continue;
+            }
+            let mut pv = PackedLogic::default();
+            pv.set(lane, new);
+            st.set_node_state(member, bit, pv);
+            report.nodes_changed += 1;
+            let net = st.network();
+            for &t in net.gated_transistors(member) {
+                let tr = net.transistor(t);
+                if tr.ttype == TransistorType::D {
+                    continue;
+                }
+                self.perturb_next(tr.source, bit);
+                self.perturb_next(tr.drain, bit);
+            }
+        }
+    }
+
+    #[inline]
+    fn perturb_next(&mut self, n: NodeId, lanes: u64) {
+        let e = &mut self.pending[n.index()];
+        if *e == 0 {
+            self.next_queue.push(n);
+        }
+        *e |= lanes;
+    }
+}
+
+/// A single lane of a [`PackedState`] exposed as a read-only scalar
+/// [`SwitchState`] — the adapter behind the packed engine's
+/// degenerate-solve fast path. The solver only reads; writes go through
+/// the packed state directly with a one-bit lane mask.
+struct LaneView<'a, P> {
+    st: &'a P,
+    lane: u32,
+}
+
+impl<P: PackedState> SwitchState for LaneView<'_, P> {
+    fn network(&self) -> &Network {
+        self.st.network()
+    }
+
+    fn node_state(&self, n: NodeId) -> Logic {
+        self.st
+            .node_state(n)
+            .get(self.lane)
+            .expect("chunk lane holds a value")
+    }
+
+    fn set_node_state(&mut self, _n: NodeId, _v: Logic) {
+        unreachable!("LaneView is the solver's read-only view");
+    }
+
+    fn is_input(&self, n: NodeId) -> bool {
+        self.st.is_input_lanes(n) & (1 << self.lane) != 0
+    }
+
+    fn conduction(&self, t: TransistorId) -> Conduction {
+        let pc = self.st.conduction(t);
+        let bit = 1 << self.lane;
+        if pc.closed & bit != 0 {
+            Conduction::Closed
+        } else if pc.maybe & bit != 0 {
+            Conduction::Maybe
+        } else {
+            Conduction::Open
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,6 +1005,176 @@ mod tests {
             assert_eq!(st.node_state(x1), Logic::H, "{locality:?}");
             assert_eq!(st.node_state(x2), Logic::L, "{locality:?}");
         }
+    }
+
+    use crate::state::{PackedDenseState, PackedState};
+
+    /// Settles a packed broadcast of `lane_forces.len()` lanes and the
+    /// corresponding per-lane scalar engines, asserting bit-identical
+    /// final states and per-lane damping flags.
+    fn packed_vs_scalar_settle(
+        net: &Network,
+        lane_forces: &[Vec<(NodeId, Logic)>],
+        max_rounds: usize,
+    ) {
+        let cfg = EngineConfig {
+            max_rounds,
+            ..EngineConfig::default()
+        };
+        let base = DenseState::new(net);
+        let mut packed =
+            PackedDenseState::broadcast(&base, u32::try_from(lane_forces.len()).unwrap());
+        for (lane, forces) in lane_forces.iter().enumerate() {
+            for &(n, v) in forces {
+                packed.force_lane(n, u32::try_from(lane).unwrap(), v);
+            }
+        }
+        let mut peng = PackedEngine::with_config(net, cfg);
+        for n in net.node_ids() {
+            peng.perturb(n, packed.lanes() & !packed.is_input_lanes(n));
+        }
+        let prep = peng.settle(&mut packed);
+        for (lane, forces) in lane_forces.iter().enumerate() {
+            let lane = u32::try_from(lane).unwrap();
+            let mut st = DenseState::new(net);
+            for &(n, v) in forces {
+                st.force(n, v);
+            }
+            let mut eng = Engine::with_config(net, cfg);
+            eng.perturb_all_storage(&st);
+            let rep = eng.settle(&mut st);
+            for n in net.node_ids() {
+                if st.is_input(n) {
+                    continue;
+                }
+                assert_eq!(
+                    packed.lane_value(n, lane),
+                    st.node_state(n),
+                    "lane {lane}, node {}",
+                    n.index()
+                );
+            }
+            assert_eq!(
+                prep.damped_lanes & (1 << lane) != 0,
+                rep.oscillation_damped,
+                "lane {lane} damping"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_engine_matches_scalar_on_inverter_chain() {
+        let mut net = Network::new();
+        let (vdd, gnd) = rails(&mut net);
+        let a = net.add_input("A", Logic::L);
+        let x1 = cmos_inverter(&mut net, "X1", a, vdd, gnd);
+        let x2 = cmos_inverter(&mut net, "X2", x1, vdd, gnd);
+        cmos_inverter(&mut net, "X3", x2, vdd, gnd);
+        packed_vs_scalar_settle(
+            &net,
+            &[
+                vec![],
+                vec![(a, Logic::H)],
+                vec![(a, Logic::X)],
+                vec![(a, Logic::H), (x1, Logic::H)],
+            ],
+            400,
+        );
+    }
+
+    #[test]
+    fn packed_engine_matches_scalar_on_dynamic_latch() {
+        let mut net = Network::new();
+        let (vdd, gnd) = rails(&mut net);
+        let d = net.add_input("D", Logic::H);
+        let clk = net.add_input("CLK", Logic::H);
+        let store = net.add_storage("STORE", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, clk, d, store);
+        cmos_inverter(&mut net, "Q", store, vdd, gnd);
+        packed_vs_scalar_settle(
+            &net,
+            &[
+                vec![],
+                vec![(clk, Logic::L), (store, Logic::H)],
+                vec![(clk, Logic::L), (store, Logic::L)],
+                vec![(d, Logic::L)],
+                vec![(clk, Logic::X)],
+            ],
+            400,
+        );
+    }
+
+    #[test]
+    fn packed_engine_damps_oscillating_lanes_only() {
+        let mut net = Network::new();
+        let (vdd, gnd) = rails(&mut net);
+        let pre: Vec<NodeId> = (0..3)
+            .map(|i| net.add_storage(format!("R{i}"), Size::S1))
+            .collect();
+        for i in 0..3 {
+            let inp = pre[i];
+            let out = pre[(i + 1) % 3];
+            net.add_transistor(TransistorType::P, Drive::D2, inp, vdd, out);
+            net.add_transistor(TransistorType::N, Drive::D2, inp, out, gnd);
+        }
+        // Lane 0 seeds a definite oscillation; lane 1 starts all-X and
+        // settles immediately. Only lane 0 must be damped.
+        packed_vs_scalar_settle(
+            &net,
+            &[
+                vec![(pre[0], Logic::L), (pre[1], Logic::H), (pre[2], Logic::L)],
+                vec![],
+            ],
+            50,
+        );
+    }
+
+    #[test]
+    fn packed_engine_respects_forced_input_lanes() {
+        let mut net = Network::new();
+        let (vdd, gnd) = rails(&mut net);
+        let a = net.add_input("A", Logic::H);
+        let out = cmos_inverter(&mut net, "OUT", a, vdd, gnd);
+        let base = DenseState::new(&net);
+        let mut packed = PackedDenseState::broadcast(&base, 2);
+        // Lane 1: OUT is stuck-at-H (input-classified with value H).
+        packed.force_input_lane(out, 1, Logic::H);
+        let mut peng = PackedEngine::new(&net);
+        for n in net.node_ids() {
+            peng.perturb(n, packed.lanes() & !packed.is_input_lanes(n));
+        }
+        let rep = peng.settle(&mut packed);
+        assert_eq!(rep.damped_lanes, 0);
+        assert_eq!(packed.lane_value(out, 0), Logic::L);
+        assert_eq!(packed.lane_value(out, 1), Logic::H, "stuck lane holds");
+    }
+
+    #[test]
+    fn packed_engine_metrics_count_solves_and_occupancy() {
+        let mut net = Network::new();
+        let (vdd, gnd) = rails(&mut net);
+        let a = net.add_input("A", Logic::L);
+        let out = cmos_inverter(&mut net, "OUT", a, vdd, gnd);
+        let base = DenseState::new(&net);
+        let mut packed = PackedDenseState::broadcast(&base, 4);
+        let registry = Registry::new();
+        let mut peng = PackedEngine::new(&net);
+        peng.attach_metrics(&registry);
+        peng.perturb(out, packed.lanes());
+        peng.settle(&mut packed);
+        peng.flush_metrics();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.get("switch.packed_solves").copied(), Some(1));
+        assert_eq!(
+            snap.counters.get("switch.scalar_fallbacks").copied(),
+            Some(0)
+        );
+        let occ = snap
+            .histograms
+            .get("switch.lane.occupancy")
+            .expect("occupancy histogram");
+        assert_eq!(occ.count, 1);
+        assert_eq!(occ.sum, 4, "one solve covering all four lanes");
     }
 
     #[test]

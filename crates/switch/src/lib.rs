@@ -19,6 +19,13 @@
 //!   and nodes whose state changed retrigger the transistors they gate.
 //! * [`LogicSim`] — a convenient wrapper owning a [`DenseState`] plus an
 //!   [`Engine`] for plain (fault-free) simulation.
+//! * [`PackedState`] / [`PackedEngine`] — the bit-parallel (PPSFP-style)
+//!   path: up to 64 fault machines encoded across two `u64` planes per
+//!   node ([`PackedLogic`]) settle together in one pass of bitwise
+//!   plane operations, with lanes evicted to a re-solve whenever their
+//!   vicinity structure diverges. Behind the `simd` cargo feature
+//!   (nightly only) the strength-plane operations are specialized with
+//!   `std::simd`.
 //!
 //! # The steady-state solver
 //!
@@ -71,6 +78,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 mod engine;
 mod sim;
@@ -79,9 +87,13 @@ mod state;
 mod tape;
 mod trace;
 
-pub use engine::{Engine, EngineConfig, GroupView, LocalityMode, SettleReport};
+pub use engine::{
+    Engine, EngineConfig, GroupView, LocalityMode, PackedEngine, PackedSettleReport, SettleReport,
+};
 pub use sim::LogicSim;
-pub use solve::{GroupOutcome, Scratch};
-pub use state::{DenseState, SwitchState};
+pub use solve::{GroupOutcome, PackedOutcome, PackedScratch, Scratch};
+pub use state::{
+    DenseState, PackedConduction, PackedDenseState, PackedLogic, PackedState, SwitchState,
+};
 pub use tape::{SettleTape, TapeGroup};
 pub use trace::Trace;

@@ -4,8 +4,12 @@
 //! scratch memory is owned by [`Scratch`] and reused across calls, so a
 //! steady-state solve allocates nothing in the common case.
 
-use crate::state::SwitchState;
+use crate::state::{PackedLogic, PackedState, SwitchState};
 use fmossim_netlist::{Logic, NodeId, Strength, TransistorId};
+
+/// Number of strength planes in a packed thermometer code — one per
+/// lattice rank (λ, κ1…κ7, γ1…γ7, ω).
+const PLANES: usize = Strength::NUM_RANKS;
 
 /// Reusable scratch buffers for vicinity extraction and steady-state
 /// solving, sized for a particular network (node/transistor counts).
@@ -92,6 +96,20 @@ impl Scratch {
             incident: Vec::new(),
             boundary_inputs: Vec::new(),
         }
+    }
+
+    /// Re-fits the buffers to a network's counts, keeping every
+    /// allocation that already suffices. Afterwards the scratch is
+    /// indistinguishable from a fresh [`Scratch::new`] — the recycle
+    /// path for drivers that rebuild simulators over the same network.
+    pub fn fit(&mut self, num_nodes: usize, num_transistors: usize) {
+        self.node_epoch.clear();
+        self.node_epoch.resize(num_nodes, 0);
+        self.node_local.clear();
+        self.node_local.resize(num_nodes, 0);
+        self.t_epoch.clear();
+        self.t_epoch.resize(num_transistors, 0);
+        self.current_epoch = 0;
     }
 
     /// True iff `n` belongs to the group extracted in the current epoch.
@@ -394,6 +412,546 @@ fn relax_edges<F>(
     }
 }
 
+/// Per-lane strengths as a thermometer code over the lattice ranks.
+///
+/// `ge[r]` holds the mask of lanes whose strength rank is at least `r`
+/// (see [`Strength::rank`]); `ge[0]` is unused and always zero so that
+/// plane-wise comparisons can sweep all [`PLANES`] words uniformly.
+/// Strength comparison, attenuation (`min` with a drive rank), and
+/// `max`-merge all become a handful of bitwise plane operations, which
+/// is what lets one relaxation sweep settle up to 64 fault machines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Ranks {
+    ge: [u64; PLANES],
+}
+
+/// Plane selectors for attenuation: `RANK_SELECTORS[d][r]` is all-ones
+/// iff `1 <= r <= d`, so ANDing a source's planes with row `d` computes
+/// `min(strength, rank d)` for every lane at once.
+#[cfg(feature = "simd")]
+const RANK_SELECTORS: [[u64; PLANES]; PLANES] = {
+    let mut t = [[0u64; PLANES]; PLANES];
+    let mut d = 0;
+    while d < PLANES {
+        let mut r = 1;
+        while r <= d {
+            t[d][r] = u64::MAX;
+            r += 1;
+        }
+        d += 1;
+    }
+    t
+};
+
+impl Ranks {
+    const EMPTY: Ranks = Ranks { ge: [0; PLANES] };
+
+    /// Raises the lanes in `mask` to at least `rank` (a `max` with a
+    /// uniform strength).
+    #[inline]
+    fn raise(&mut self, mask: u64, rank: usize) {
+        for r in 1..=rank {
+            self.ge[r] |= mask;
+        }
+    }
+
+    /// Mask of lanes whose strength rank is at least `rank`.
+    /// `rank` must be nonzero (every lane is trivially ≥ λ).
+    #[inline]
+    fn at_least(&self, rank: usize) -> u64 {
+        debug_assert!(rank > 0);
+        self.ge[rank]
+    }
+
+    /// Mask of lanes where `self`'s strength is strictly greater than
+    /// `other`'s: some plane is set in `self` but not in `other`.
+    #[cfg(not(feature = "simd"))]
+    #[inline]
+    fn gt(&self, other: &Ranks) -> u64 {
+        let mut acc = 0u64;
+        for r in 1..PLANES {
+            acc |= self.ge[r] & !other.ge[r];
+        }
+        acc
+    }
+
+    /// Mask of lanes where `self`'s strength is strictly greater than
+    /// `other`'s: some plane is set in `self` but not in `other`.
+    #[cfg(feature = "simd")]
+    #[inline]
+    fn gt(&self, other: &Ranks) -> u64 {
+        use std::simd::prelude::*;
+        let mut acc = u64x8::splat(0);
+        let mut o = 0;
+        while o < PLANES {
+            acc |= u64x8::from_slice(&self.ge[o..o + 8]) & !u64x8::from_slice(&other.ge[o..o + 8]);
+            o += 8;
+        }
+        acc.reduce_or()
+    }
+
+    /// Merges `min(src, rank max_rank)` into `self` for the lanes in
+    /// `mask` (attenuation through a drive followed by `max`). Returns
+    /// whether any plane changed.
+    #[cfg(not(feature = "simd"))]
+    #[inline]
+    fn merge_through(&mut self, src: &Ranks, max_rank: usize, mask: u64) -> bool {
+        let mut changed = 0u64;
+        for r in 1..=max_rank {
+            let add = src.ge[r] & mask & !self.ge[r];
+            self.ge[r] |= add;
+            changed |= add;
+        }
+        changed != 0
+    }
+
+    /// Merges `min(src, rank max_rank)` into `self` for the lanes in
+    /// `mask` (attenuation through a drive followed by `max`). Returns
+    /// whether any plane changed.
+    #[cfg(feature = "simd")]
+    #[inline]
+    fn merge_through(&mut self, src: &Ranks, max_rank: usize, mask: u64) -> bool {
+        use std::simd::prelude::*;
+        let sel = &RANK_SELECTORS[max_rank];
+        let m = u64x8::splat(mask);
+        let mut changed = u64x8::splat(0);
+        let mut o = 0;
+        while o < PLANES {
+            let cur = u64x8::from_slice(&self.ge[o..o + 8]);
+            let add =
+                u64x8::from_slice(&src.ge[o..o + 8]) & u64x8::from_slice(&sel[o..o + 8]) & m & !cur;
+            changed |= add;
+            (cur | add).copy_to_slice(&mut self.ge[o..o + 8]);
+            o += 8;
+        }
+        changed.reduce_or() != 0
+    }
+}
+
+/// A boundary signal entering a packed group from an input node, with a
+/// per-lane value (input *values* may differ across fault machines even
+/// though strength and definiteness are lane-uniform after eviction).
+#[derive(Clone, Copy, Debug)]
+struct PackedSource {
+    /// Strength after attenuation by the boundary transistor.
+    strength: Strength,
+    /// The input node's per-lane value.
+    value: PackedLogic,
+    /// Whether the boundary transistor definitely conducts.
+    definite: bool,
+}
+
+/// The result of solving one vicinity for up to 64 fault machines with
+/// [`PackedScratch::solve_group_packed`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PackedOutcome {
+    /// The storage nodes of the vicinity, in discovery order.
+    pub members: Vec<NodeId>,
+    /// The per-lane steady-state value of each member (parallel to
+    /// `members`; only the bits in `lanes` are meaningful).
+    pub values: Vec<PackedLogic>,
+    /// The lanes actually solved by this pass.
+    pub lanes: u64,
+    /// Lanes evicted because their vicinity diverged (different
+    /// conduction or input classification); re-solve these from the
+    /// same seed — typically through the scalar path or another packed
+    /// pass.
+    pub evicted: u64,
+}
+
+/// Reusable scratch buffers for the bit-parallel (PPSFP-style) group
+/// solver: the packed sibling of [`Scratch`].
+///
+/// One packed solve settles a vicinity for every lane (fault machine)
+/// whose support coincides. Where the machines disagree about the
+/// *structure* of the group — a transistor conducts in one lane but not
+/// another, or a node is input-classified in only some lanes — the
+/// minority lanes are evicted mid-extraction and reported back for a
+/// scalar (or later packed) re-solve; the surviving lanes share one
+/// lane-uniform vicinity and settle together in bitwise plane
+/// operations.
+#[derive(Clone, Debug)]
+pub struct PackedScratch {
+    node_epoch: Vec<u32>,
+    node_local: Vec<u32>,
+    t_epoch: Vec<u32>,
+    current_epoch: u32,
+    /// Members of the current group, in discovery order.
+    pub(crate) members: Vec<NodeId>,
+    edges: Vec<Vec<Edge>>,
+    sources: Vec<Vec<PackedSource>>,
+    /// Definite-presence strengths (lane-uniform, hence scalar).
+    def_s: Vec<Strength>,
+    pos: [Vec<Ranks>; 2],
+    defv: [Vec<Ranks>; 2],
+    /// Resolved per-lane values, parallel to `members`.
+    pub(crate) out_values: Vec<PackedLogic>,
+    /// Lanes kept by the current extraction.
+    pub(crate) cur: u64,
+    /// Lanes evicted by the current extraction.
+    pub(crate) evicted: u64,
+}
+
+impl PackedScratch {
+    /// Creates packed scratch buffers for a network with the given
+    /// counts.
+    #[must_use]
+    pub fn new(num_nodes: usize, num_transistors: usize) -> Self {
+        PackedScratch {
+            node_epoch: vec![0; num_nodes],
+            node_local: vec![0; num_nodes],
+            t_epoch: vec![0; num_transistors],
+            current_epoch: 0,
+            members: Vec::new(),
+            edges: Vec::new(),
+            sources: Vec::new(),
+            def_s: Vec::new(),
+            pos: [Vec::new(), Vec::new()],
+            defv: [Vec::new(), Vec::new()],
+            out_values: Vec::new(),
+            cur: 0,
+            evicted: 0,
+        }
+    }
+
+    /// True iff `n` belongs to the group extracted in the current epoch.
+    #[inline]
+    pub(crate) fn in_group(&self, n: NodeId) -> bool {
+        self.node_epoch[n.index()] == self.current_epoch
+    }
+
+    /// Extracts and solves the vicinity of `seed` for the machines in
+    /// `active`, returning an owned outcome. Up to 64 machines settle
+    /// in one pass; machines whose support diverges are evicted (see
+    /// [`PackedOutcome::evicted`]) and must be re-solved from the same
+    /// seed.
+    ///
+    /// This is the allocating convenience wrapper around the
+    /// zero-allocation internals used by the
+    /// [`PackedEngine`](crate::PackedEngine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is empty, and (in debug builds) if `seed` is
+    /// input-classified in any active lane.
+    pub fn solve_group_packed<P: PackedState>(
+        &mut self,
+        st: &P,
+        seed: NodeId,
+        active: u64,
+    ) -> PackedOutcome {
+        let (kept, evicted) = self.solve(st, seed, active);
+        PackedOutcome {
+            members: self.members.clone(),
+            values: self.out_values.clone(),
+            lanes: kept,
+            evicted,
+        }
+    }
+
+    /// Zero-allocation packed solve; members and values stay borrowable
+    /// from scratch storage until the next call. Returns
+    /// `(kept, evicted)` lane masks.
+    pub(crate) fn solve<P: PackedState>(
+        &mut self,
+        st: &P,
+        seed: NodeId,
+        active: u64,
+    ) -> (u64, u64) {
+        assert!(active != 0, "packed solve needs at least one active lane");
+        debug_assert_eq!(
+            active & st.is_input_lanes(seed),
+            0,
+            "vicinity seeds must be storage nodes in every active lane"
+        );
+        self.extract(st, seed, active);
+        self.steady_state(st);
+        (self.cur, self.evicted)
+    }
+
+    /// Breadth-first vicinity extraction from `seed`, evicting lanes
+    /// whose structure diverges from the majority class.
+    ///
+    /// Uniformity rule: whenever the active lanes disagree on a
+    /// transistor's conduction class (open / closed / maybe) or on a
+    /// node's input classification, the class containing the lowest
+    /// active lane is kept and the others are evicted. Shrinking the
+    /// lane set mid-walk is sound because every classification already
+    /// made is uniform over a superset of the surviving lanes.
+    fn extract<P: PackedState>(&mut self, st: &P, seed: NodeId, active: u64) {
+        self.current_epoch = self.current_epoch.wrapping_add(1);
+        if self.current_epoch == 0 {
+            self.node_epoch.fill(0);
+            self.t_epoch.fill(0);
+            self.current_epoch = 1;
+        }
+        self.members.clear();
+        let mut cur = active;
+        self.evicted = 0;
+        self.mark(seed);
+        let net = st.network();
+        let mut head = 0;
+        while head < self.members.len() {
+            let m = self.members[head];
+            head += 1;
+            for &t in net.channel_transistors(m) {
+                if self.t_epoch[t.index()] == self.current_epoch {
+                    continue;
+                }
+                self.t_epoch[t.index()] = self.current_epoch;
+                let pc = st.conduction(t);
+                let closed = pc.closed & cur;
+                let maybe = pc.maybe & cur;
+                let open = cur & !closed & !maybe;
+                let lowest = cur & cur.wrapping_neg();
+                let keep = if closed & lowest != 0 {
+                    closed
+                } else if maybe & lowest != 0 {
+                    maybe
+                } else {
+                    open
+                };
+                if keep != cur {
+                    self.evicted |= cur & !keep;
+                    cur = keep;
+                }
+                if open & cur != 0 {
+                    continue; // surviving class is open: no signal path
+                }
+                let tr = net.transistor(t);
+                let other = tr.other_end(m);
+                if other == m {
+                    continue; // self-loop carries no signal
+                }
+                let mut inp = st.is_input_lanes(other) & cur;
+                if inp != 0 && inp != cur {
+                    let keep = if inp & (cur & cur.wrapping_neg()) != 0 {
+                        inp
+                    } else {
+                        cur & !inp
+                    };
+                    self.evicted |= cur & !keep;
+                    cur = keep;
+                    inp &= cur;
+                }
+                if inp == 0 && self.node_epoch[other.index()] != self.current_epoch {
+                    self.mark(other);
+                }
+            }
+        }
+        self.cur = cur;
+        // Second pass: build in-edges and boundary sources per member.
+        // Eviction guarantees every incident transistor and neighbour is
+        // lane-uniform over `cur`, so edges carry scalar structure and
+        // only source *values* stay per-lane.
+        let n = self.members.len();
+        for v in &mut self.edges {
+            v.clear();
+        }
+        for v in &mut self.sources {
+            v.clear();
+        }
+        while self.edges.len() < n {
+            self.edges.push(Vec::new());
+        }
+        while self.sources.len() < n {
+            self.sources.push(Vec::new());
+        }
+        for li in 0..n {
+            let m = self.members[li];
+            for &t in net.channel_transistors(m) {
+                let pc = st.conduction(t);
+                let may = pc.may_conduct() & cur;
+                if may == 0 {
+                    continue;
+                }
+                debug_assert_eq!(may, cur, "conduction must be lane-uniform after eviction");
+                let definite = pc.closed & cur == cur;
+                let tr = net.transistor(t);
+                let other = tr.other_end(m);
+                if other == m {
+                    continue;
+                }
+                let inp = st.is_input_lanes(other) & cur;
+                if inp == cur {
+                    self.sources[li].push(PackedSource {
+                        strength: Strength::INPUT.through(tr.strength),
+                        value: st.node_state(other).masked(cur),
+                        definite,
+                    });
+                } else {
+                    debug_assert_eq!(inp, 0, "input class must be lane-uniform after eviction");
+                    debug_assert!(
+                        self.in_group(other),
+                        "conducting neighbour must be in group"
+                    );
+                    self.edges[li].push(Edge {
+                        from: self.node_local[other.index()],
+                        drive: tr.strength,
+                        definite,
+                    });
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, n: NodeId) {
+        self.node_epoch[n.index()] = self.current_epoch;
+        self.node_local[n.index()] = u32::try_from(self.members.len()).expect("group too large");
+        self.members.push(n);
+    }
+
+    /// Solves the five fixed points for every surviving lane at once and
+    /// resolves per-lane member values into `out_values`.
+    ///
+    /// Pass 1 (defS) is lane-uniform — it depends only on node sizes and
+    /// the structure eviction just made uniform — so it runs on scalar
+    /// [`Strength`] values. Passes 2 and 3 depend on per-lane node
+    /// values and run on thermometer [`Ranks`] planes.
+    #[allow(clippy::needless_range_loop)] // `li` indexes several parallel arrays
+    fn steady_state<P: PackedState>(&mut self, st: &P) {
+        let n = self.members.len();
+        let net = st.network();
+        let lanes = self.cur;
+        self.def_s.clear();
+        self.def_s.resize(n, Strength::NONE);
+        for arr in [&mut self.pos, &mut self.defv] {
+            for v in arr.iter_mut() {
+                v.clear();
+                v.resize(n, Ranks::EMPTY);
+            }
+        }
+
+        // Pass 1: defS — definite presence (lane-uniform, scalar).
+        let mut def_s = std::mem::take(&mut self.def_s);
+        for li in 0..n {
+            let node = self.members[li];
+            def_s[li] = Strength::from_size(net.node(node).size());
+            for s in &self.sources[li] {
+                if s.definite {
+                    def_s[li] = def_s[li].max(s.strength);
+                }
+            }
+        }
+        relax_edges(&self.edges[..n], &mut def_s, true, |_, _| true);
+
+        // Pass 2: pos1 / pos0 — possible presence per value class.
+        // `admits(want)` on the two-plane encoding is just the plane
+        // bit: `h` admits H, `l` admits L.
+        for (idx, want_h) in [(0usize, true), (1usize, false)] {
+            let mut pos = std::mem::take(&mut self.pos[idx]);
+            for li in 0..n {
+                let node = self.members[li];
+                let old = st.node_state(node);
+                let admit = if want_h { old.h } else { old.l };
+                let size_rank = Strength::from_size(net.node(node).size()).rank();
+                pos[li].raise(admit & lanes, size_rank);
+                for s in &self.sources[li] {
+                    let adm = if want_h { s.value.h } else { s.value.l };
+                    pos[li].raise(adm & lanes, s.strength.rank());
+                }
+            }
+            packed_relax(&self.edges[..n], &mut pos, false, lanes, |ranks, from| {
+                let d = def_s[from as usize].rank();
+                if d == 0 {
+                    lanes
+                } else {
+                    ranks[from as usize].at_least(d)
+                }
+            });
+            self.pos[idx] = pos;
+        }
+
+        // Pass 3: def1 / def0 — definite winners of a definite value.
+        let (pos1, pos0) = {
+            let (a, b) = self.pos.split_at(1);
+            (&a[0], &b[0])
+        };
+        for (idx, want_h) in [(0usize, true), (1usize, false)] {
+            let mut defv = std::mem::take(&mut self.defv[idx]);
+            for li in 0..n {
+                let node = self.members[li];
+                let old = st.node_state(node);
+                let exact = if want_h {
+                    old.exactly_h()
+                } else {
+                    old.exactly_l()
+                };
+                let size_rank = Strength::from_size(net.node(node).size()).rank();
+                defv[li].raise(exact & lanes, size_rank);
+                for s in &self.sources[li] {
+                    if !s.definite {
+                        continue;
+                    }
+                    let exact = if want_h {
+                        s.value.exactly_h()
+                    } else {
+                        s.value.exactly_l()
+                    };
+                    defv[li].raise(exact & lanes, s.strength.rank());
+                }
+            }
+            packed_relax(&self.edges[..n], &mut defv, true, lanes, |ranks, from| {
+                let f = from as usize;
+                lanes & !pos1[f].gt(&ranks[f]) & !pos0[f].gt(&ranks[f])
+            });
+            self.defv[idx] = defv;
+        }
+        self.def_s = def_s;
+
+        // Resolution per lane: 1 iff def1 > pos0; 0 iff def0 > pos1.
+        self.out_values.clear();
+        for li in 0..n {
+            let one = self.defv[0][li].gt(&self.pos[1][li]) & lanes;
+            let zero = self.defv[1][li].gt(&self.pos[0][li]) & lanes;
+            debug_assert_eq!(one & zero, 0, "resolution rule cannot pick both values");
+            self.out_values.push(PackedLogic {
+                h: lanes & !zero,
+                l: lanes & !one,
+            });
+        }
+    }
+}
+
+/// Packed sweep-to-fixpoint relaxation: the per-lane analogue of
+/// [`relax_edges`]. `eligible` returns the mask of lanes in which the
+/// upstream node may propagate; strengths only grow per lane and the
+/// lattice is finite, so this terminates at the same least fixed point
+/// the scalar relaxation reaches lane by lane.
+fn packed_relax<F>(
+    edges: &[Vec<Edge>],
+    ranks: &mut [Ranks],
+    definite_edges_only: bool,
+    lanes: u64,
+    eligible: F,
+) where
+    F: Fn(&[Ranks], u32) -> u64,
+{
+    loop {
+        let mut changed = false;
+        for v in 0..ranks.len() {
+            for &e in &edges[v] {
+                if definite_edges_only && !e.definite {
+                    continue;
+                }
+                let elig = eligible(ranks, e.from) & lanes;
+                if elig == 0 {
+                    continue;
+                }
+                let src = ranks[e.from as usize];
+                let d = Strength::from_drive(e.drive).rank();
+                if ranks[v].merge_through(&src, d, elig) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,5 +1239,269 @@ mod tests {
         net.add_transistor(TransistorType::N, Drive::FAULT, fault_en, out, gnd);
         let st = DenseState::new(&net);
         assert_eq!(value_of(&run(&net, &st, out), out), Logic::L);
+    }
+
+    // ---- bit-parallel (packed) solver ----
+
+    use crate::state::{PackedDenseState, PackedState};
+    use std::collections::HashMap;
+
+    /// Runs the packed solver to completion for every lane in `active`:
+    /// evicted lanes re-enter from the same seed until none remain.
+    /// Returns the per-(node, lane) values and the number of passes.
+    fn packed_solve_all(
+        net: &Network,
+        st: &PackedDenseState<'_>,
+        seed: NodeId,
+        active: u64,
+    ) -> (HashMap<(NodeId, u32), Logic>, u32) {
+        let mut scr = PackedScratch::new(net.num_nodes(), net.num_transistors());
+        let mut out = HashMap::new();
+        let mut pending = active;
+        let mut passes = 0;
+        while pending != 0 {
+            let o = scr.solve_group_packed(st, seed, pending);
+            passes += 1;
+            assert_eq!(o.lanes & o.evicted, 0);
+            assert_eq!(o.lanes | o.evicted, pending);
+            for (mi, &m) in o.members.iter().enumerate() {
+                let mut lanes = o.lanes;
+                while lanes != 0 {
+                    let lane = lanes.trailing_zeros();
+                    lanes &= lanes - 1;
+                    let prev = out.insert((m, lane), o.values[mi].get(lane).unwrap());
+                    assert!(prev.is_none(), "each lane solved exactly once per node");
+                }
+            }
+            pending = o.evicted;
+            assert!(passes <= 64, "eviction must make progress");
+        }
+        (out, passes)
+    }
+
+    /// Differential check: per-lane forces applied to a broadcast packed
+    /// state must settle to exactly the per-lane scalar solution (same
+    /// member sets, same values).
+    fn diff_check(net: &Network, seed: NodeId, lane_forces: &[Vec<(NodeId, Logic)>]) {
+        let base = DenseState::new(net);
+        let mut packed =
+            PackedDenseState::broadcast(&base, u32::try_from(lane_forces.len()).unwrap());
+        for (lane, forces) in lane_forces.iter().enumerate() {
+            for &(n, v) in forces {
+                packed.force_lane(n, u32::try_from(lane).unwrap(), v);
+            }
+        }
+        let (got, _passes) = packed_solve_all(net, &packed, seed, packed.lanes());
+        for (lane, forces) in lane_forces.iter().enumerate() {
+            let lane = u32::try_from(lane).unwrap();
+            let mut st = DenseState::new(net);
+            for &(n, v) in forces {
+                st.force(n, v);
+            }
+            let mut scr = Scratch::new(net.num_nodes(), net.num_transistors());
+            let o = scr.solve_group(&st, seed, false);
+            for (i, &m) in o.members.iter().enumerate() {
+                assert_eq!(
+                    got.get(&(m, lane)).copied(),
+                    Some(o.values[i]),
+                    "lane {lane} node {i}"
+                );
+            }
+            let solved = got.keys().filter(|&&(_, l)| l == lane).count();
+            assert_eq!(solved, o.members.len(), "lane {lane} member set");
+        }
+    }
+
+    fn inverter() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::H);
+        let out = net.add_storage("OUT", Size::S1);
+        net.add_transistor(TransistorType::D, Drive::D1, out, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, gnd);
+        (net, a, out)
+    }
+
+    #[test]
+    fn packed_identical_lanes_solve_in_one_pass() {
+        let (net, _a, out) = inverter();
+        let st = DenseState::new(&net);
+        let packed = PackedDenseState::broadcast(&st, 64);
+        let (got, passes) = packed_solve_all(&net, &packed, out, packed.lanes());
+        assert_eq!(passes, 1);
+        for lane in 0..64 {
+            assert_eq!(got.get(&(out, lane)).copied(), Some(Logic::L));
+        }
+    }
+
+    #[test]
+    fn packed_inverter_per_lane_gate_values_evict_and_match_scalar() {
+        // The pulldown gate differs per lane (H / L / X), so conduction
+        // classes diverge: lanes settle in three eviction passes, each
+        // bit-identical to the scalar solve.
+        let (net, a, out) = inverter();
+        diff_check(
+            &net,
+            out,
+            &[
+                vec![(a, Logic::H)],
+                vec![(a, Logic::L)],
+                vec![(a, Logic::X)],
+            ],
+        );
+        // Count the passes explicitly: three conduction classes.
+        let base = DenseState::new(&net);
+        let mut packed = PackedDenseState::broadcast(&base, 3);
+        packed.force_lane(a, 1, Logic::L);
+        packed.force_lane(a, 2, Logic::X);
+        let (_, passes) = packed_solve_all(&net, &packed, out, packed.lanes());
+        assert_eq!(passes, 3);
+    }
+
+    #[test]
+    fn packed_charge_sharing_per_lane_initial_values() {
+        let mut net = Network::new();
+        let clk = net.add_input("CLK", Logic::H);
+        let bus = net.add_storage("BUS", Size::S2);
+        let s = net.add_storage("S", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, clk, bus, s);
+        // Conduction is lane-uniform (CLK identical), so all four lanes
+        // settle in one pass despite different charge states.
+        diff_check(
+            &net,
+            s,
+            &[
+                vec![(bus, Logic::H), (s, Logic::L)],
+                vec![(bus, Logic::L), (s, Logic::H)],
+                vec![(bus, Logic::H), (s, Logic::H)],
+                vec![(bus, Logic::X), (s, Logic::L)],
+            ],
+        );
+    }
+
+    #[test]
+    fn packed_ratioed_nand_mixed_lane_inputs() {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::H);
+        let b = net.add_input("B", Logic::H);
+        let out = net.add_storage("OUT", Size::S1);
+        let mid = net.add_storage("MID", Size::S1);
+        net.add_transistor(TransistorType::D, Drive::D1, out, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, mid);
+        net.add_transistor(TransistorType::N, Drive::D2, b, mid, gnd);
+        diff_check(
+            &net,
+            out,
+            &[
+                vec![],
+                vec![(b, Logic::L)],
+                vec![(a, Logic::L)],
+                vec![(a, Logic::X), (b, Logic::H)],
+                vec![(b, Logic::X)],
+            ],
+        );
+    }
+
+    #[test]
+    fn packed_forced_input_lane_acts_as_boundary() {
+        // vdd -(en)- a -(clk)- b, all gates high. Lane 1 forces b to a
+        // stuck-low *input*: the packed walk splits the lanes on b's
+        // input classification and lane 1 sees b as a γ2-strength L
+        // source fighting the γ2 H drive at a → X.
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let en = net.add_input("EN", Logic::H);
+        let clk = net.add_input("CLK", Logic::H);
+        let a = net.add_storage("A1", Size::S1);
+        let b = net.add_storage("B1", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, en, vdd, a);
+        net.add_transistor(TransistorType::N, Drive::D2, clk, a, b);
+        let base = DenseState::new(&net);
+        let mut packed = PackedDenseState::broadcast(&base, 2);
+        packed.force_input_lane(b, 1, Logic::L);
+        let (got, passes) = packed_solve_all(&net, &packed, a, packed.lanes());
+        assert_eq!(passes, 2);
+        assert_eq!(got.get(&(a, 0)).copied(), Some(Logic::H));
+        assert_eq!(got.get(&(b, 0)).copied(), Some(Logic::H));
+        assert_eq!(got.get(&(a, 1)).copied(), Some(Logic::X));
+        assert_eq!(got.get(&(b, 1)).copied(), None, "b is an input in lane 1");
+    }
+
+    #[test]
+    fn packed_forced_conduction_lane_evicts_and_solves() {
+        // Vdd -t1- mid -t2- Gnd with both gates high: X in the fault-free
+        // lane. Lane 1 forces t2 stuck-open, leaving only the pullup: H.
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let clk = net.add_input("CLK", Logic::H);
+        let mid = net.add_storage("MID", Size::S1);
+        net.add_transistor(TransistorType::N, Drive::D2, clk, vdd, mid);
+        let t2 = net.add_transistor(TransistorType::N, Drive::D2, clk, mid, gnd);
+        let base = DenseState::new(&net);
+        let mut packed = PackedDenseState::broadcast(&base, 2);
+        packed.force_conduction_lane(t2, 1, fmossim_netlist::Conduction::Open);
+        let (got, passes) = packed_solve_all(&net, &packed, mid, packed.lanes());
+        assert_eq!(passes, 2);
+        assert_eq!(got.get(&(mid, 0)).copied(), Some(Logic::X));
+        assert_eq!(got.get(&(mid, 1)).copied(), Some(Logic::H));
+    }
+
+    #[test]
+    fn ranks_thermometer_matches_strength_order() {
+        let mut all = vec![Strength::NONE];
+        for k in 1..=7 {
+            all.push(Strength::from_size(Size::new(k).unwrap()));
+        }
+        for g in 1..=7 {
+            all.push(Strength::from_drive(Drive::new(g).unwrap()));
+        }
+        all.push(Strength::INPUT);
+        for &sa in &all {
+            for &sb in &all {
+                let mut ra = Ranks::EMPTY;
+                ra.raise(0b1, sa.rank());
+                let mut rb = Ranks::EMPTY;
+                rb.raise(0b1, sb.rank());
+                assert_eq!(ra.gt(&rb) & 0b1 != 0, sa > sb, "{sa} > {sb}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_merge_through_is_attenuated_max() {
+        let strengths: Vec<Strength> = {
+            let mut v = vec![Strength::NONE, Strength::INPUT];
+            for k in 1..=7 {
+                v.push(Strength::from_size(Size::new(k).unwrap()));
+            }
+            for g in 1..=7 {
+                v.push(Strength::from_drive(Drive::new(g).unwrap()));
+            }
+            v
+        };
+        for &src in &strengths {
+            for &dst in &strengths {
+                for d in [Drive::D1, Drive::D2, Drive::FAULT] {
+                    let mut rs = Ranks::EMPTY;
+                    rs.raise(0b1, src.rank());
+                    let mut rd = Ranks::EMPTY;
+                    rd.raise(0b1, dst.rank());
+                    let changed = rd.merge_through(&rs, Strength::from_drive(d).rank(), 0b1);
+                    let expect = dst.max(src.through(d));
+                    for r in 1..PLANES {
+                        assert_eq!(
+                            rd.at_least(r) & 0b1 != 0,
+                            r <= expect.rank(),
+                            "{src} through {d} into {dst}, plane {r}"
+                        );
+                    }
+                    assert_eq!(changed, expect > dst);
+                }
+            }
+        }
     }
 }

@@ -13,7 +13,7 @@
 //!                  [--sample K] [--seed S] [--serial]
 //!                  [--stop-at-coverage F] [--pattern-limit N]
 //!                  [--jobs N|auto] [--shard-strategy round-robin|contiguous|cost]
-//!                  [--replay on|off] [--batch N]
+//!                  [--replay on|off] [--batch N] [--packing on|off]
 //!                  [--metrics <path>[.prom|.json]]
 //! ```
 //!
@@ -80,7 +80,7 @@ usage:
                    [--sample K] [--seed S] [--serial]
                    [--stop-at-coverage F] [--pattern-limit N]
                    [--jobs N|auto] [--shard-strategy round-robin|contiguous|cost]
-                   [--replay on|off] [--batch N]
+                   [--replay on|off] [--batch N] [--packing on|off]
                    [--metrics <path>[.prom|.json]]
   fmossim serve    [--addr HOST:PORT] [--workers N] [--cache-mb N]
                    [--default-shards N]
@@ -115,6 +115,13 @@ with --jobs auto on a small workload the pool resolves to one worker,
 one shard, and the tape is skipped even under --replay on (recording
 would cost a good pass without saving one). The post-run `plan:` line
 echoes what actually resolved.
+
+--packing on enables the bit-parallel packed evaluation path on the
+concurrent-family backends (concurrent, parallel, adaptive): fault
+machines triggered by the same events settle together, up to 64 per
+bitwise pass over two-plane ternary words. Results are bit-identical
+to --packing off; only the work counters in the telemetry differ. The
+default is off.
 
 --json emits the machine-readable campaign report instead of text;
 --stop-at-coverage / --pattern-limit cut the run short; --serial
@@ -428,6 +435,13 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
             other => Err(format!("--replay takes `on` or `off`, not `{other}`")),
         })
         .transpose()?;
+    let packing = opt(args, "--packing")
+        .map(|s| match s {
+            "on" => Ok(true),
+            "off" => Ok(false),
+            other => Err(format!("--packing takes `on` or `off`, not `{other}`")),
+        })
+        .transpose()?;
     let batch = opt(args, "--batch")
         .map(|s| {
             s.parse::<usize>()
@@ -496,6 +510,20 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
             ))
         }
     };
+    let mut backend = backend;
+    if let Some(p) = packing {
+        match &mut backend {
+            Backend::Serial(_) => {
+                return Err(format!(
+                    "--packing requires a concurrent-family backend, not `{backend_name}`"
+                ))
+            }
+            Backend::Concurrent(c) => c.packing = p,
+            Backend::Parallel(c) => c.sim.packing = p,
+            Backend::Adaptive(c) => c.sim.packing = p,
+        }
+    }
+    let backend = backend;
     let pool = match backend {
         Backend::Parallel(_) => format!(" [jobs {}, {}]", jobs.unwrap_or(Jobs::Auto), strategy),
         Backend::Adaptive(c) => format!(

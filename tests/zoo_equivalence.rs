@@ -33,12 +33,19 @@ fn fingerprint(r: &CampaignReport) -> Vec<String> {
         .collect()
 }
 
-/// serial + concurrent + {parallel, adaptive} × K ∈ {1, 2, 4}.
+/// serial + concurrent ± packing + {parallel, adaptive} × K ∈ {1, 2, 4},
+/// with the packed (bit-parallel) evaluation path joining the matrix on
+/// the concurrent and parallel-k2 rows — fingerprint conformance is
+/// exactly the invariant the packed lanes must uphold.
 fn all_backends() -> Vec<(String, Backend)> {
     let policy = DetectionPolicy::DefiniteOnly;
     let sim = ConcurrentConfig {
         policy,
         ..ConcurrentConfig::paper()
+    };
+    let packed = ConcurrentConfig {
+        packing: true,
+        ..sim
     };
     let mut backends: Vec<(String, Backend)> = vec![
         (
@@ -49,6 +56,7 @@ fn all_backends() -> Vec<(String, Backend)> {
             }),
         ),
         ("concurrent".into(), Backend::Concurrent(sim)),
+        ("concurrent-packed".into(), Backend::Concurrent(packed)),
     ];
     for k in [1usize, 2, 4] {
         backends.push((
@@ -68,6 +76,14 @@ fn all_backends() -> Vec<(String, Backend)> {
             }),
         ));
     }
+    backends.push((
+        "parallel-k2-packed".into(),
+        Backend::Parallel(ParallelConfig {
+            jobs: Jobs::Fixed(2),
+            sim: packed,
+            ..ParallelConfig::default()
+        }),
+    ));
     backends
 }
 
