@@ -37,6 +37,23 @@
 //! main suite: lane occupancy *is* the mechanism under test, and it
 //! rises with the number of live fault machines per circuit region.
 //!
+//! `evalsuite --collapse [--smoke] [--circuit name] [--reps N]` runs
+//! the fault-collapsing A/B instead (the `BENCH_collapse.json`
+//! artifact): per zoo circuit, the concurrent backend over the **full**
+//! stuck-node ∪ stuck-transistor universe with campaign-level
+//! collapsing (static equivalence classes + dynamic activity gating)
+//! off and on, median wall time over `--reps` repetitions each.
+//! Detections must be bit-identical (the suite aborts otherwise) — the
+//! collapsed run fans every representative's detections back out to
+//! its class, so the FNV fingerprint doubles as the end-to-end proof
+//! that fan-out reconstructs the uncollapsed result. No `--sample`
+//! here: sampling would break up the structural pairs (parallel twins,
+//! series stuck-opens, dominated drivers) that collapsing exists to
+//! find, understating the reduction. Each row archives the class
+//! statistics (`total_faults`, `simulated_faults`, `classes`), the
+//! gating counter (`core.gated_skips`), and the patterns-per-second
+//! ratio.
+//!
 //! `evalsuite --serve [--circuit name] [--requests N]` runs the
 //! server A/B instead (the `BENCH_serve.json` artifact): N campaigns
 //! of one zoo circuit served concurrently by an in-process
@@ -183,6 +200,10 @@ fn main() {
     }
     if arg_flag("--packing") {
         packing_ab();
+        return;
+    }
+    if arg_flag("--collapse") {
+        collapse_ab();
         return;
     }
     let smoke = arg_flag("--smoke");
@@ -483,6 +504,139 @@ fn packing_ab() {
     println!("  \"smoke\": {smoke},");
     println!("  \"policy\": \"definite-only\",");
     println!("  \"sample_cap\": {sample},");
+    println!("  \"reps\": {reps},");
+    println!(
+        "  \"pattern_limit\": {},",
+        pattern_limit.map_or("null".into(), |n| n.to_string())
+    );
+    println!(
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    println!("  \"circuits\": [");
+    println!("{}", circuit_rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}
+
+/// The `--collapse` A/B: per zoo circuit, the concurrent backend over
+/// the full stuck-node ∪ stuck-transistor universe with campaign-level
+/// fault collapsing off and on, `--reps` repetitions each (median wall
+/// time), with bit-identical detections as the hard gate. Emits the
+/// `BENCH_collapse.json` document on stdout.
+fn collapse_ab() {
+    let smoke = arg_flag("--smoke");
+    let only = arg_value("--circuit");
+    let reps: usize = arg_value("--reps")
+        .map(|s| s.parse().expect("--reps takes a number"))
+        .unwrap_or(if smoke { 1 } else { 3 });
+    assert!(reps >= 1, "--reps needs at least one repetition");
+    // Deliberately no --sample: seeded sampling keeps either member of
+    // a structural pair with independent probability, so almost every
+    // equivalence class collapses to a singleton and the measured
+    // reduction evaporates. The full universe is the honest workload.
+    let pattern_limit: Option<usize> = arg_value("--pattern-limit")
+        .map(|s| s.parse().expect("--pattern-limit takes a number"))
+        .or(if smoke { Some(16) } else { None });
+    let policy = DetectionPolicy::DefiniteOnly;
+
+    let mut circuit_rows = Vec::new();
+    for (name, _) in ZOO {
+        if only.as_deref().is_some_and(|o| o != name) {
+            continue;
+        }
+        let w: ZooWorkload = build_zoo(name).expect("registry member builds");
+        let universe =
+            FaultUniverse::stuck_nodes(&w.net).union(FaultUniverse::stuck_transistors(&w.net));
+        let run_once = |collapse: bool| -> CampaignReport {
+            let registry = Registry::new();
+            let mut c = Campaign::new(&w.net)
+                .faults(universe.clone())
+                .patterns(&w.patterns)
+                .outputs(&w.outputs)
+                .backend(Backend::Concurrent(ConcurrentConfig {
+                    policy,
+                    ..ConcurrentConfig::paper()
+                }))
+                .collapse(collapse)
+                .with_telemetry(&registry);
+            if let Some(n) = pattern_limit {
+                c = c.pattern_limit(n);
+            }
+            c.run()
+        };
+
+        let plain_reps: Vec<CampaignReport> = (0..reps).map(|_| run_once(false)).collect();
+        let collapsed_reps: Vec<CampaignReport> = (0..reps).map(|_| run_once(true)).collect();
+        // The hard gate: a collapsed campaign must grade exactly like
+        // the plain one — same detections, same coverage, same faults.
+        let reference = detection_fingerprint(&plain_reps[0]);
+        let detected = plain_reps[0].detected();
+        for r in plain_reps.iter().chain(&collapsed_reps) {
+            assert_eq!(
+                (r.run.num_faults, r.detected(), detection_fingerprint(r)),
+                (universe.len(), detected, reference),
+                "{name}: collapsed/plain parity broken"
+            );
+        }
+        let plain = stats::median_by(plain_reps, |r| r.wall_seconds);
+        let collapsed = stats::median_by(collapsed_reps, |r| r.wall_seconds);
+        let cstats = collapsed
+            .collapse
+            .expect("a collapsed campaign archives its class statistics");
+        assert!(
+            cstats.simulated_faults < cstats.total_faults,
+            "{name}: collapsing found no reduction ({} of {} faults simulated)",
+            cstats.simulated_faults,
+            cstats.total_faults,
+        );
+
+        let pps =
+            |r: &CampaignReport| r.patterns_total as f64 / r.wall_seconds.max(f64::MIN_POSITIVE);
+        let counter = |r: &CampaignReport, k: &str| r.metrics.counters.get(k).copied().unwrap_or(0);
+        let gated_skips = counter(&collapsed, "core.gated_skips");
+        let reduction = cstats.simulated_faults as f64 / cstats.total_faults as f64;
+        let speedup = pps(&collapsed) / pps(&plain).max(f64::MIN_POSITIVE);
+        eprintln!(
+            "{name}: {} -> {} faults ({} classes), {} patterns — plain {:.2} pat/s, \
+             collapsed {:.2} pat/s ({speedup:.2}x, {gated_skips} gated skips) — parity ok",
+            cstats.total_faults,
+            cstats.simulated_faults,
+            cstats.classes,
+            plain.patterns_total,
+            pps(&plain),
+            pps(&collapsed),
+        );
+        circuit_rows.push(format!(
+            "    {{\"name\": \"{name}\", \"faults\": {}, \"patterns\": {}, \
+             \"detected\": {detected}, \"detections_fnv1a\": \"{reference:016x}\",\n     \
+             \"plain\": {{\"wall_seconds\": {:.4}, \"patterns_per_second\": {:.2}}},\n     \
+             \"collapsed\": {{\"wall_seconds\": {:.4}, \"patterns_per_second\": {:.2}, \
+             \"total_faults\": {}, \"simulated_faults\": {}, \"classes\": {}, \
+             \"gated_skips\": {gated_skips}}},\n     \
+             \"fault_reduction\": {reduction:.4}, \"collapse_speedup\": {speedup:.4}}}",
+            universe.len(),
+            plain.patterns_total,
+            plain.wall_seconds,
+            pps(&plain),
+            collapsed.wall_seconds,
+            pps(&collapsed),
+            cstats.total_faults,
+            cstats.simulated_faults,
+            cstats.classes,
+        ));
+    }
+    assert!(
+        !circuit_rows.is_empty(),
+        "--circuit filtered everything out (see fmossim_testgen::zoo::ZOO)"
+    );
+
+    println!("{{");
+    println!("  \"format\": \"fmossim-evalsuite-collapse\",");
+    println!("  \"version\": 1,");
+    println!("  \"smoke\": {smoke},");
+    println!("  \"policy\": \"definite-only\",");
+    println!("  \"universe\": \"all\",");
     println!("  \"reps\": {reps},");
     println!(
         "  \"pattern_limit\": {},",

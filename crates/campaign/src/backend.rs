@@ -70,6 +70,7 @@ pub struct Workload<'a> {
 /// assert!(control.drop_detected && control.reuse_good_tape);
 /// assert_eq!(control.stop_at_coverage, None);
 /// assert_eq!(control.pattern_limit, None);
+/// assert!(!control.collapse);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RunControl {
@@ -91,6 +92,12 @@ pub struct RunControl {
     /// choose to); results are bit-identical either way — this is a
     /// measurement/escape-hatch knob, not a semantics knob.
     pub reuse_good_tape: bool,
+    /// Collapse the fault universe into structural equivalence classes
+    /// before the backend runs and fan detections back out at report
+    /// time (see [`Campaign::collapse`](crate::Campaign::collapse)).
+    /// Applied by the campaign driver, not the backends: a backend
+    /// always sees the (already collapsed) workload universe.
+    pub collapse: bool,
 }
 
 impl Default for RunControl {
@@ -100,6 +107,7 @@ impl Default for RunControl {
             pattern_limit: None,
             drop_detected: true,
             reuse_good_tape: true,
+            collapse: false,
         }
     }
 }
@@ -342,6 +350,29 @@ impl Backend {
             Backend::Parallel(c) => Some(c.sim.packing),
             Backend::Adaptive(c) => Some(c.sim.packing),
         }
+    }
+
+    /// Switches on dynamic activity gating
+    /// ([`ConcurrentConfig::gating`]) in the underlying simulator
+    /// config, for the backends built on the concurrent simulator.
+    /// The serial baseline is returned unchanged — it simulates each
+    /// fault privately and has no shared good machine to gate against.
+    ///
+    /// ```
+    /// use fmossim_campaign::{Backend, ConcurrentConfig};
+    ///
+    /// let b = Backend::Concurrent(ConcurrentConfig::paper()).with_gating();
+    /// assert!(matches!(b, Backend::Concurrent(c) if c.gating));
+    /// ```
+    #[must_use]
+    pub fn with_gating(mut self) -> Self {
+        match &mut self {
+            Backend::Serial(_) => {}
+            Backend::Concurrent(c) => c.gating = true,
+            Backend::Parallel(c) => c.sim.gating = true,
+            Backend::Adaptive(c) => c.sim.gating = true,
+        }
+        self
     }
 
     /// Builds the adapter implementing this strategy.

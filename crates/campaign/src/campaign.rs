@@ -5,9 +5,9 @@ use crate::backend::{
     no_cancel, Backend, BackendRun, CampaignBackend, RunControl, TapeSlot, Workload,
 };
 use crate::event::SimEvent;
-use crate::report::{CampaignReport, ControlEcho, StopReason};
-use fmossim_core::{ConcurrentConfig, GoodTape, Pattern};
-use fmossim_faults::FaultUniverse;
+use crate::report::{CampaignReport, CollapseStats, ControlEcho, StopReason};
+use fmossim_core::{ConcurrentConfig, Detection, GoodTape, Pattern};
+use fmossim_faults::{CollapseClasses, FaultUniverse};
 use fmossim_netlist::{Network, NodeId};
 use fmossim_telemetry::Registry;
 use std::sync::atomic::AtomicBool;
@@ -194,6 +194,54 @@ impl<'n, 'o> Campaign<'n, 'o> {
         self
     }
 
+    /// Collapses the fault universe into structural equivalence
+    /// classes before the backend runs (ERASER-style static fault
+    /// collapsing, [`CollapseClasses::analyze`]) and switches on
+    /// dynamic activity gating ([`ConcurrentConfig::gating`]) in the
+    /// simulators underneath. The backend grades only one
+    /// representative per class; at report time every
+    /// representative's detections fan back out to all class members,
+    /// so the report — detection set, per-pattern counts, live
+    /// counts, `num_faults` — is bit-identical to an uncollapsed run,
+    /// just cheaper to produce. [`CampaignReport::collapse`] records
+    /// the class statistics.
+    ///
+    /// Work-item telemetry stays in collapsed terms: `jobs` /
+    /// `shards` / `batches` and the `metrics` snapshot describe the
+    /// work actually done, on representatives. Combining with
+    /// [`Campaign::stop_at_coverage`] is discouraged (the CLI refuses
+    /// it): the coverage target is then evaluated over
+    /// representatives, not the parent universe.
+    ///
+    /// ```
+    /// use fmossim_campaign::Campaign;
+    /// use fmossim_circuits::Ram;
+    /// use fmossim_faults::FaultUniverse;
+    /// use fmossim_testgen::TestSequence;
+    ///
+    /// let ram = Ram::new(4, 4);
+    /// let seq = TestSequence::full(&ram);
+    /// let universe = FaultUniverse::stuck_nodes(ram.network());
+    /// let run = |collapse: bool| {
+    ///     Campaign::new(ram.network())
+    ///         .faults(universe.clone())
+    ///         .patterns(seq.patterns())
+    ///         .outputs(ram.observed_outputs())
+    ///         .collapse(collapse)
+    ///         .run()
+    /// };
+    /// let (collapsed, plain) = (run(true), run(false));
+    /// assert_eq!(collapsed.detections(), plain.detections());
+    /// let stats = collapsed.collapse.expect("collapse ran");
+    /// assert!(stats.simulated_faults <= stats.total_faults);
+    /// assert_eq!(plain.collapse, None);
+    /// ```
+    #[must_use]
+    pub fn collapse(mut self, collapse: bool) -> Self {
+        self.control.collapse = collapse;
+        self
+    }
+
     /// The campaign's cooperative cancel token. Setting it to `true`
     /// (from any thread) makes the backend stop at its next work-item
     /// boundary — the concurrent backend between patterns, the serial
@@ -325,9 +373,30 @@ impl<'n, 'o> Campaign<'n, 'o> {
             .pattern_limit
             .map_or(self.patterns.len(), |n| n.min(self.patterns.len()));
         let limited = cut < self.patterns.len();
+        // Static fault collapsing runs before the backend ever sees
+        // the universe: the workload carries only class
+        // representatives, and detections fan back out below.
+        let classes = self.control.collapse.then(|| {
+            let mut assigned: Vec<NodeId> = self.patterns[..cut]
+                .iter()
+                .flat_map(|p| &p.phases)
+                .flat_map(|ph| ph.inputs.iter().map(|&(n, _)| n))
+                .collect();
+            assigned.sort_unstable();
+            assigned.dedup();
+            let classes =
+                CollapseClasses::analyze(self.net, &self.universe, &self.outputs, &assigned);
+            self.telemetry
+                .counter("faults.collapsed_classes")
+                .add(classes.num_collapsed_classes() as u64);
+            classes
+        });
+        let collapsed = classes
+            .as_ref()
+            .map(|c| c.collapsed_universe(&self.universe));
         let workload = Workload {
             net: self.net,
-            universe: &self.universe,
+            universe: collapsed.as_ref().unwrap_or(&self.universe),
             patterns: &self.patterns[..cut],
             outputs: &self.outputs,
         };
@@ -343,9 +412,16 @@ impl<'n, 'o> Campaign<'n, 'o> {
         } else {
             self.backend.packing()
         };
+        // Collapsed universes imply activity gating: the same
+        // structural analysis feeds both, and neither changes results.
+        let selected = if self.control.collapse {
+            self.backend.with_gating()
+        } else {
+            self.backend
+        };
         let mut backend: Box<dyn CampaignBackend + 'o> = match self.custom {
             Some(custom) => custom,
-            None => self.backend.into_impl(),
+            None => selected.into_impl(),
         };
         backend.attach_telemetry(&self.telemetry);
         backend.attach_cancel(&self.cancel);
@@ -356,13 +432,62 @@ impl<'n, 'o> Campaign<'n, 'o> {
             backend.export_good_tape(slot);
         }
         let mut observer = self.observer;
+        // With collapsing on, the observer sees parent-universe
+        // events: detections and drops fan out to every class member,
+        // and live counts are re-expressed over the parent universe.
+        let total_faults = self.universe.len();
+        let classes_ref = classes.as_ref();
+        let mut dropped_members = 0usize;
+        let mut fanned_detected = 0usize;
         let mut emit = move |e: SimEvent| {
-            if let Some(obs) = observer.as_mut() {
+            let Some(obs) = observer.as_mut() else { return };
+            let Some(classes) = classes_ref else {
                 obs(e);
+                return;
+            };
+            match e {
+                SimEvent::Detected {
+                    fault,
+                    pattern,
+                    phase,
+                    potential,
+                } => {
+                    for &m in classes.members_of(fault) {
+                        fanned_detected += 1;
+                        obs(SimEvent::Detected {
+                            fault: m,
+                            pattern,
+                            phase,
+                            potential,
+                        });
+                    }
+                }
+                SimEvent::FaultDropped { fault } => {
+                    for &m in classes.members_of(fault) {
+                        dropped_members += 1;
+                        obs(SimEvent::FaultDropped { fault: m });
+                    }
+                }
+                SimEvent::PatternStart { pattern, .. } => {
+                    obs(SimEvent::PatternStart {
+                        pattern,
+                        live: total_faults - dropped_members,
+                    });
+                }
+                SimEvent::PatternDone {
+                    pattern, seconds, ..
+                } => {
+                    obs(SimEvent::PatternDone {
+                        pattern,
+                        detected_so_far: fanned_detected,
+                        seconds,
+                    });
+                }
+                other => obs(other),
             }
         };
         let BackendRun {
-            run,
+            mut run,
             stopped_early,
             jobs,
             shards,
@@ -382,6 +507,44 @@ impl<'n, 'o> Campaign<'n, 'o> {
             name: "campaign.run",
             seconds: run_seconds,
         });
+        // Fan the representatives' results back out: the report speaks
+        // parent-universe terms even though the backend graded only
+        // class representatives.
+        if let Some(classes) = &classes {
+            let reps = classes.num_representatives();
+            let mut fanned: Vec<Detection> = Vec::with_capacity(run.detections.len());
+            for d in &run.detections {
+                for &m in classes.members_of(d.fault) {
+                    fanned.push(Detection { fault: m, ..*d });
+                }
+            }
+            fanned.sort_by_key(|d| (d.pattern, d.phase, d.fault.index()));
+            let mut per_pattern = vec![0usize; run.patterns.len()];
+            for d in &fanned {
+                if let Some(n) = per_pattern.get_mut(d.pattern) {
+                    *n += 1;
+                }
+            }
+            // Backends that track per-pattern live counts do so in
+            // collapsed terms; re-express them over the parent
+            // universe. The serial baseline reports no live counts
+            // (all zero) — those stay untouched.
+            let tracked = reps > 0 && run.patterns.first().is_some_and(|s| s.live_before == reps);
+            let mut detected_before = 0usize;
+            for (stats, &detected) in run.patterns.iter_mut().zip(&per_pattern) {
+                stats.detected = detected;
+                if tracked {
+                    stats.live_before = if self.control.drop_detected {
+                        total_faults - detected_before
+                    } else {
+                        total_faults
+                    };
+                }
+                detected_before += detected;
+            }
+            run.detections = fanned;
+            run.num_faults = total_faults;
+        }
         let stop = if cancelled {
             StopReason::Cancelled
         } else if stopped_early {
@@ -404,7 +567,13 @@ impl<'n, 'o> Campaign<'n, 'o> {
                 reuse_good_tape: self.control.reuse_good_tape,
                 policy,
                 packing,
+                collapse: self.control.collapse.then_some(true),
             },
+            collapse: classes.as_ref().map(|c| CollapseStats {
+                total_faults: c.total_faults(),
+                simulated_faults: c.num_representatives(),
+                classes: c.num_collapsed_classes(),
+            }),
             jobs,
             shards,
             max_shard_seconds,

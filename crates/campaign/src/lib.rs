@@ -86,7 +86,7 @@ pub use adaptive::{AdaptiveBackend, AdaptiveConfig, BatchTelemetry, DEFAULT_BATC
 pub use backend::{Backend, BackendRun, CampaignBackend, RunControl, TapeSlot, Workload};
 pub use campaign::Campaign;
 pub use event::SimEvent;
-pub use report::{CampaignReport, ControlEcho, StopReason};
+pub use report::{CampaignReport, CollapseStats, ControlEcho, StopReason};
 pub use spec::{universe_from_spec, UNIVERSE_SPECS};
 
 // Re-export the per-backend configuration types so campaign call sites

@@ -96,6 +96,36 @@ pub struct ControlEcho {
     /// the serial baseline (no packed path) and for custom strategies.
     /// A lenient version-3 addition: absent parses as `None`.
     pub packing: Option<bool>,
+    /// `Some(true)` iff static fault collapsing ran (see
+    /// [`Campaign::collapse`](crate::Campaign::collapse)). A lenient
+    /// version-3 addition: the key is omitted — and parses as `None` —
+    /// when collapsing was off, so pre-collapse documents are
+    /// byte-identical to new ones.
+    pub collapse: Option<bool>,
+}
+
+/// Fault-collapsing statistics of a campaign that ran with
+/// [`Campaign::collapse`](crate::Campaign::collapse) — the top-level
+/// `collapse` block of the JSON artifact, present only when collapsing
+/// ran.
+///
+/// ```
+/// let s = fmossim_campaign::CollapseStats {
+///     total_faults: 100,
+///     simulated_faults: 80,
+///     classes: 12,
+/// };
+/// assert!(s.simulated_faults <= s.total_faults);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CollapseStats {
+    /// Faults in the parent universe (what the report's `run` block
+    /// and coverage are expressed over).
+    pub total_faults: usize,
+    /// Class representatives actually simulated.
+    pub simulated_faults: usize,
+    /// Non-trivial (multi-member) equivalence classes found.
+    pub classes: usize,
 }
 
 fn policy_str(p: DetectionPolicy) -> &'static str {
@@ -270,6 +300,12 @@ pub struct CampaignReport {
     /// backend and for documents written before the adaptive backend
     /// existed.
     pub batches: Vec<BatchTelemetry>,
+    /// Fault-collapsing statistics, present iff the campaign ran with
+    /// [`Campaign::collapse`](crate::Campaign::collapse). The JSON key
+    /// is omitted entirely when `None` (a lenient version-3 addition),
+    /// so reports of uncollapsed runs are byte-identical to
+    /// pre-collapse documents.
+    pub collapse: Option<CollapseStats>,
     /// Snapshot of the campaign's telemetry registry at the end of the
     /// run — every `switch.*` / `core.*` / `par.*` / `campaign.*`
     /// metric recorded under
@@ -368,7 +404,31 @@ impl CampaignReport {
                 ])
             })
             .collect();
-        obj([
+        // The `collapse` keys (control echo and the top-level stats
+        // block) are omitted entirely — not serialised as null — when
+        // collapsing was off, so reports of uncollapsed runs are
+        // byte-identical to pre-collapse documents and the golden
+        // fixtures stay frozen.
+        let mut control_pairs = vec![
+            ("stop_at_coverage", opt_num(self.control.stop_at_coverage)),
+            ("pattern_limit", opt_count(self.control.pattern_limit)),
+            ("drop_detected", Value::Bool(self.control.drop_detected)),
+            ("reuse_good_tape", Value::Bool(self.control.reuse_good_tape)),
+            (
+                "policy",
+                self.control
+                    .policy
+                    .map_or(Value::Null, |p| Value::Str(policy_str(p).into())),
+            ),
+            (
+                "packing",
+                self.control.packing.map_or(Value::Null, Value::Bool),
+            ),
+        ];
+        if let Some(c) = self.control.collapse {
+            control_pairs.push(("collapse", Value::Bool(c)));
+        }
+        let mut pairs = vec![
             ("format", Value::Str("fmossim-campaign-report".into())),
             ("version", Value::Num(Self::JSON_VERSION as f64)),
             ("backend", Value::Str(self.backend.clone())),
@@ -376,25 +436,7 @@ impl CampaignReport {
             ("patterns_total", Value::Num(self.patterns_total as f64)),
             ("stop", Value::Str(self.stop.as_str().into())),
             ("cancelled", Value::Bool(self.cancelled)),
-            (
-                "control",
-                obj([
-                    ("stop_at_coverage", opt_num(self.control.stop_at_coverage)),
-                    ("pattern_limit", opt_count(self.control.pattern_limit)),
-                    ("drop_detected", Value::Bool(self.control.drop_detected)),
-                    ("reuse_good_tape", Value::Bool(self.control.reuse_good_tape)),
-                    (
-                        "policy",
-                        self.control
-                            .policy
-                            .map_or(Value::Null, |p| Value::Str(policy_str(p).into())),
-                    ),
-                    (
-                        "packing",
-                        self.control.packing.map_or(Value::Null, Value::Bool),
-                    ),
-                ]),
-            ),
+            ("control", obj(control_pairs)),
             ("jobs", opt_count(self.jobs)),
             ("shards", opt_count(self.shards)),
             ("max_shard_seconds", opt_num(self.max_shard_seconds)),
@@ -439,8 +481,18 @@ impl CampaignReport {
                     ("patterns", Value::Arr(patterns)),
                 ]),
             ),
-        ])
-        .to_string()
+        ];
+        if let Some(c) = &self.collapse {
+            pairs.push((
+                "collapse",
+                obj([
+                    ("total_faults", Value::Num(c.total_faults as f64)),
+                    ("simulated_faults", Value::Num(c.simulated_faults as f64)),
+                    ("classes", Value::Num(c.classes as f64)),
+                ]),
+            ));
+        }
+        obj(pairs).to_string()
     }
 
     /// Parses a report back from its JSON artifact.
@@ -531,6 +583,12 @@ impl CampaignReport {
             packing: match control.get("packing") {
                 None | Some(Value::Null) => None,
                 Some(val) => Some(val.as_bool().ok_or("bad packing")?),
+            },
+            // Absent in pre-collapse documents and whenever collapsing
+            // was off (omitted, never null).
+            collapse: match control.get("collapse") {
+                None | Some(Value::Null) => None,
+                Some(val) => Some(val.as_bool().ok_or("bad control collapse")?),
             },
         };
 
@@ -676,6 +734,23 @@ impl CampaignReport {
                     batches
                 }
             },
+            // Absent in pre-collapse documents and in every
+            // uncollapsed run (the key is omitted, never null).
+            collapse: match v.get("collapse") {
+                None | Some(Value::Null) => None,
+                Some(val) => {
+                    let ccount = |name: &str| {
+                        val.get(name)
+                            .and_then(Value::as_usize)
+                            .ok_or(format!("bad collapse {name}"))
+                    };
+                    Some(CollapseStats {
+                        total_faults: ccount("total_faults")?,
+                        simulated_faults: ccount("simulated_faults")?,
+                        classes: ccount("classes")?,
+                    })
+                }
+            },
             // Absent in pre-telemetry version-1/2 documents: default
             // to an empty snapshot.
             metrics: metrics_from_value(v.get("metrics"))?,
@@ -702,7 +777,9 @@ mod tests {
                 reuse_good_tape: true,
                 policy: Some(DetectionPolicy::AnyDifference),
                 packing: Some(false),
+                collapse: None,
             },
+            collapse: None,
             jobs: Some(4),
             shards: Some(8),
             max_shard_seconds: Some(0.5),
@@ -870,6 +947,37 @@ mod tests {
         let mut report = sample_report();
         report.control.packing = Some(true);
         let back = CampaignReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(back, report);
+    }
+
+    /// Pre-collapse documents carry no `collapse` keys at all — and
+    /// neither do uncollapsed runs, whose artifacts must stay
+    /// byte-identical to pre-collapse ones. Explicit values must
+    /// round-trip.
+    #[test]
+    fn parses_pre_collapse_documents() {
+        // Omission, not null: an uncollapsed report simply has no
+        // `collapse` key anywhere.
+        let text = sample_report().to_json();
+        assert!(!text.contains("collapse"), "keys really absent: {text}");
+        let back = CampaignReport::from_json(&text).expect("parses");
+        assert_eq!(back.control.collapse, None);
+        assert_eq!(back.collapse, None);
+
+        let mut report = sample_report();
+        report.control.collapse = Some(true);
+        report.collapse = Some(CollapseStats {
+            total_faults: 10,
+            simulated_faults: 7,
+            classes: 2,
+        });
+        let text = report.to_json();
+        assert!(text.contains("\"collapse\":true"), "echo written: {text}");
+        assert!(
+            text.contains("\"simulated_faults\":7"),
+            "stats written: {text}"
+        );
+        let back = CampaignReport::from_json(&text).expect("parses");
         assert_eq!(back, report);
     }
 

@@ -30,10 +30,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod collapse;
 mod fault;
 pub mod inject;
 mod universe;
 
+pub use collapse::CollapseClasses;
 pub use fault::{Fault, FaultEffect, FaultId};
 pub use universe::FaultUniverse;
 

@@ -1,0 +1,246 @@
+//! Channel-graph influence analysis: reachability closures over the
+//! static transistor graph, shared by the fault-collapsing rules in
+//! `fmossim-faults` and the activity-gating cones in `fmossim-core`.
+//!
+//! All three helpers operate on the *static* graph — a transistor
+//! contributes its edges whether or not it conducts — so every closure
+//! is a sound superset of anything a dynamic (conduction-dependent)
+//! analysis could find, for any circuit derived from the network by
+//! forcing node values or transistor conduction states.
+
+use crate::ids::{NodeId, TransistorId};
+use crate::network::Network;
+
+/// The *interaction cone* of a seed set: every node whose state can
+/// influence, or be influenced by, activity originating at the seeds,
+/// closed under the three switch-level interaction edges:
+///
+/// * **channel adjacency** — charge and drive flow through a channel in
+///   either direction;
+/// * **gate → endpoint** — a node's state switches the transistors it
+///   gates, perturbing their channel endpoints;
+/// * **endpoint → gate** — a vicinity's solve consults (and its support
+///   includes) the gates of every incident transistor, so gate nodes
+///   interact with the endpoints they control.
+///
+/// Input nodes *enter* the cone (their changes are events the cone must
+/// see) but are never *expanded through*: an input's state is externally
+/// pinned, so nothing propagates across it — expanding through Vdd/Gnd
+/// would otherwise pull the whole chip into every cone. Seed nodes are
+/// expanded even when they are inputs (a fault's own terminals interact
+/// regardless of class).
+///
+/// Returns one flag per node (`true` = in the cone).
+///
+/// ```
+/// use fmossim_netlist::{influence::interaction_cone, Drive, Logic, Network, Size, TransistorType};
+///
+/// let mut net = Network::new();
+/// let vdd = net.add_input("Vdd", Logic::H);
+/// let a = net.add_input("A", Logic::L);
+/// let out = net.add_storage("OUT", Size::S1);
+/// let far = net.add_storage("FAR", Size::S1);
+/// net.add_transistor(TransistorType::D, Drive::D1, out, vdd, out);
+/// net.add_transistor(TransistorType::N, Drive::D2, a, out, vdd);
+/// net.add_transistor(TransistorType::N, Drive::D2, a, far, vdd);
+/// let cone = interaction_cone(&net, &[out]);
+/// assert!(cone[out.index()] && cone[a.index()] && cone[vdd.index()]);
+/// // FAR shares only the *input* A with OUT. Inputs join the cone (a
+/// // change of A is an event OUT's cone must see) but are pinned, so
+/// // no influence flows across them — FAR stays outside.
+/// assert!(!cone[far.index()]);
+/// ```
+#[must_use]
+pub fn interaction_cone(net: &Network, seeds: &[NodeId]) -> Vec<bool> {
+    let mut in_cone = vec![false; net.num_nodes()];
+    let mut expandable = vec![false; net.num_nodes()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        if !in_cone[s.index()] {
+            in_cone[s.index()] = true;
+        }
+        if !expandable[s.index()] {
+            expandable[s.index()] = true;
+            stack.push(s);
+        }
+    }
+    let add = |n: NodeId,
+               in_cone: &mut Vec<bool>,
+               expandable: &mut Vec<bool>,
+               stack: &mut Vec<NodeId>| {
+        in_cone[n.index()] = true;
+        if !net.node(n).is_input() && !expandable[n.index()] {
+            expandable[n.index()] = true;
+            stack.push(n);
+        }
+    };
+    while let Some(v) = stack.pop() {
+        for &t in net.channel_transistors(v) {
+            let tr = net.transistor(t);
+            add(tr.other_end(v), &mut in_cone, &mut expandable, &mut stack);
+            add(tr.gate, &mut in_cone, &mut expandable, &mut stack);
+        }
+        for &t in net.gated_transistors(v) {
+            let tr = net.transistor(t);
+            add(tr.source, &mut in_cone, &mut expandable, &mut stack);
+            add(tr.drain, &mut in_cone, &mut expandable, &mut stack);
+        }
+    }
+    in_cone
+}
+
+/// The *observable region*: every node whose state can influence at
+/// least one of `outputs`, computed as the backward closure under the
+/// same interaction edges as [`interaction_cone`] — the predecessors of
+/// a node are its channel neighbours and the gates of its incident
+/// channel transistors. A fault all of whose effect terminals lie
+/// outside this region can never change an observed value and is
+/// therefore undetectable by any stimulus.
+///
+/// As in the forward closure, inputs enter the region but are not
+/// expanded through.
+#[must_use]
+pub fn observable_region(net: &Network, outputs: &[NodeId]) -> Vec<bool> {
+    let mut marked = vec![false; net.num_nodes()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &o in outputs {
+        if !marked[o.index()] {
+            marked[o.index()] = true;
+            stack.push(o);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for &t in net.channel_transistors(v) {
+            let tr = net.transistor(t);
+            for p in [tr.other_end(v), tr.gate] {
+                if !marked[p.index()] {
+                    marked[p.index()] = true;
+                    if !net.node(p).is_input() {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+    }
+    marked
+}
+
+/// The channel-connected component of `start`: every storage node
+/// reachable from it through channel edges alone, with input nodes as
+/// boundaries (they terminate the walk and are not included). This is
+/// the unit of charge sharing — a vicinity can only ever be a subset of
+/// one channel-connected component plus its boundary inputs.
+///
+/// Returns the component in ascending node order; `start` itself is
+/// included when it is a storage node, and the result is empty when
+/// `start` is an input.
+#[must_use]
+pub fn channel_component(net: &Network, start: NodeId) -> Vec<NodeId> {
+    if net.node(start).is_input() {
+        return Vec::new();
+    }
+    let mut seen = vec![false; net.num_nodes()];
+    seen[start.index()] = true;
+    let mut stack = vec![start];
+    let mut component = vec![start];
+    while let Some(v) = stack.pop() {
+        for &t in net.channel_transistors(v) {
+            let other = net.transistor(t).other_end(v);
+            if !seen[other.index()] && !net.node(other).is_input() {
+                seen[other.index()] = true;
+                component.push(other);
+                stack.push(other);
+            }
+        }
+    }
+    component.sort_unstable();
+    component
+}
+
+/// All transistors gated by `n` whose conduction actually depends on
+/// the gate state — i.e. the non-depletion devices. Depletion (`d`)
+/// transistors conduct unconditionally, so a node that gates only
+/// depletion devices has no gate-side influence at all.
+pub fn gate_relevant_transistors<'a>(
+    net: &'a Network,
+    n: NodeId,
+) -> impl Iterator<Item = TransistorId> + 'a {
+    net.gated_transistors(n)
+        .iter()
+        .copied()
+        .filter(move |&t| net.transistor(t).ttype != crate::ttype::TransistorType::D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::Logic;
+    use crate::strength::{Drive, Size};
+    use crate::ttype::TransistorType;
+
+    /// Two independent nMOS inverters: A→OA, B→OB.
+    fn two_inverters() -> (Network, [NodeId; 4]) {
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let b = net.add_input("B", Logic::L);
+        let oa = net.add_storage("OA", Size::S1);
+        let ob = net.add_storage("OB", Size::S1);
+        for (inp, out) in [(a, oa), (b, ob)] {
+            net.add_transistor(TransistorType::D, Drive::D1, out, vdd, out);
+            net.add_transistor(TransistorType::N, Drive::D2, inp, out, gnd);
+        }
+        (net, [a, b, oa, ob])
+    }
+
+    #[test]
+    fn cone_does_not_cross_unrelated_inputs() {
+        let (net, [a, b, oa, ob]) = two_inverters();
+        let cone = interaction_cone(&net, &[oa]);
+        assert!(cone[oa.index()] && cone[a.index()]);
+        // The inverters share only Vdd/Gnd; inputs don't conduct
+        // influence, so OB and B stay out of OA's cone.
+        assert!(!cone[ob.index()] && !cone[b.index()]);
+    }
+
+    #[test]
+    fn cone_follows_gate_fanout() {
+        // OA additionally gates a pulldown on OB: now OB is downstream.
+        let (mut net, [_, _, oa, ob]) = two_inverters();
+        let gnd = net.find_node("Gnd").expect("exists");
+        net.add_transistor(TransistorType::N, Drive::D2, oa, ob, gnd);
+        let cone = interaction_cone(&net, &[oa]);
+        assert!(cone[ob.index()], "gate→endpoint edge reaches OB");
+        // And backwards: OB's cone must include OA (endpoint→gate),
+        // because OA's changes re-trigger OB's vicinity solves.
+        let back = interaction_cone(&net, &[ob]);
+        assert!(back[oa.index()], "endpoint→gate edge reaches OA");
+    }
+
+    #[test]
+    fn observable_region_stops_at_unobserved_islands() {
+        let (net, [a, b, oa, ob]) = two_inverters();
+        let region = observable_region(&net, &[oa]);
+        assert!(region[oa.index()] && region[a.index()]);
+        assert!(!region[ob.index()] && !region[b.index()]);
+    }
+
+    #[test]
+    fn channel_component_bounded_by_inputs() {
+        // nand-style series chain: OUT –a– MID –b– Gnd.
+        let mut net = Network::new();
+        let vdd = net.add_input("Vdd", Logic::H);
+        let gnd = net.add_input("Gnd", Logic::L);
+        let a = net.add_input("A", Logic::L);
+        let b = net.add_input("B", Logic::L);
+        let out = net.add_storage("OUT", Size::S1);
+        let mid = net.add_storage("MID", Size::S1);
+        net.add_transistor(TransistorType::D, Drive::D1, out, vdd, out);
+        net.add_transistor(TransistorType::N, Drive::D2, a, out, mid);
+        net.add_transistor(TransistorType::N, Drive::D2, b, mid, gnd);
+        assert_eq!(channel_component(&net, out), vec![out, mid]);
+        assert_eq!(channel_component(&net, mid), vec![out, mid]);
+        assert!(channel_component(&net, gnd).is_empty(), "inputs: empty");
+    }
+}

@@ -48,6 +48,7 @@ mod error;
 mod format;
 mod hash;
 mod ids;
+pub mod influence;
 mod logic;
 mod network;
 mod simformat;

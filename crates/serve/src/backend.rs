@@ -117,18 +117,24 @@ impl CampaignBackend for ServedBackend {
 
     fn run(
         &mut self,
-        _w: &Workload<'_>,
+        w: &Workload<'_>,
         control: &RunControl,
         emit: &mut dyn FnMut(SimEvent),
     ) -> BackendRun {
         // The workload the campaign hands us borrows from the same
-        // `JobSpec` the coordinator built the campaign from; the tasks
-        // below need owned (`'static`) captures, so they clone the Arc
-        // instead. Run control beyond `drop_detected` (coverage
-        // targets, pattern limits) is not part of the server API.
+        // `JobSpec` the coordinator built the campaign from — except
+        // the universe, which the campaign may have collapsed to class
+        // representatives. The tasks below need owned (`'static`)
+        // captures, so they clone the spec's Arc and one owned copy of
+        // the workload universe. Run control beyond `drop_detected` /
+        // `collapse` (coverage targets, pattern limits) is not part of
+        // the server API.
         let spec = &self.spec;
+        let universe = Arc::new(w.universe.clone());
         let config = ConcurrentConfig {
             drop_on_detect: control.drop_detected,
+            // Collapsed campaigns gate, like the offline backends.
+            gating: control.collapse,
             ..served_config()
         };
 
@@ -156,7 +162,7 @@ impl CampaignBackend for ServedBackend {
 
         let plan = ShardPlan::build(
             &spec.net,
-            &spec.universe,
+            &universe,
             spec.shards.max(1),
             ShardStrategy::RoundRobin,
         );
@@ -167,6 +173,7 @@ impl CampaignBackend for ServedBackend {
         for s in 0..n_shards {
             let ids: Vec<FaultId> = plan.shard(s).to_vec();
             let spec = Arc::clone(&self.spec);
+            let universe = Arc::clone(&universe);
             let tape = Arc::clone(&tape);
             let cancels = (
                 Arc::clone(&self.job_cancel),
@@ -183,7 +190,7 @@ impl CampaignBackend for ServedBackend {
                 {
                     None
                 } else {
-                    let shard_universe = spec.universe.subset(&ids);
+                    let shard_universe = universe.subset(&ids);
                     let mut sim = ConcurrentSim::new(&spec.net, shard_universe.faults(), config);
                     sim.attach_metrics(&fork);
                     let mut report = sim.run_replayed_from(&spec.patterns, &spec.outputs, &tape, 0);
@@ -233,7 +240,7 @@ impl CampaignBackend for ServedBackend {
 
         let cancelled = skipped > 0 || self.is_cancelled();
         let mut run = RunReport::merge(reports);
-        run.num_faults = spec.universe.len();
+        run.num_faults = universe.len();
         run.detections
             .sort_by_key(|d| (d.pattern, d.phase, d.fault.index()));
         run.total_seconds = run_t0.elapsed().as_secs_f64();
@@ -270,6 +277,7 @@ mod tests {
             patterns: seq.patterns().to_vec(),
             outputs: ram.observed_outputs().to_vec(),
             shards,
+            collapse: false,
         }
     }
 
@@ -333,6 +341,27 @@ mod tests {
         let warm = run_served(&spec, &pool, Some(tape), None);
         assert_eq!(warm.tape_record_seconds, Some(0.0), "cache-hit signature");
         assert_eq!(warm.run.detections, offline.run.detections);
+    }
+
+    #[test]
+    fn collapsed_jobs_match_uncollapsed_ones() {
+        let spec = Arc::new(spec(4));
+        let pool = Arc::new(SharedPool::new(2, &Registry::null()));
+        let plain = run_served(&spec, &pool, None, None);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let backend = ServedBackend::new(Arc::clone(&spec), Arc::clone(&pool), 9, cancel);
+        let collapsed = Campaign::new(&spec.net)
+            .faults(spec.universe.clone())
+            .patterns(&spec.patterns)
+            .outputs(&spec.outputs)
+            .backend_impl(Box::new(backend))
+            .collapse(true)
+            .run();
+        assert_eq!(collapsed.run.detections, plain.run.detections);
+        assert_eq!(collapsed.run.num_faults, spec.universe.len());
+        let stats = collapsed.collapse.expect("collapse ran");
+        assert_eq!(stats.total_faults, spec.universe.len());
+        assert!(stats.simulated_faults <= stats.total_faults);
     }
 
     #[test]

@@ -27,9 +27,13 @@
 //! `universe` (default `"stuck-nodes"`) takes the CLI spellings of
 //! [`fmossim_campaign::universe_from_spec`]; `shards` (bounded by
 //! [`MAX_SHARDS`]) overrides the server's default shard count; `name`
-//! labels the job in listings. Phase inputs are `[node name, logic
-//! char]` pairs in application order, with logic spelled `"0"`, `"1"`,
-//! or `"X"` ([`fmossim_netlist::Logic`]).
+//! labels the job in listings; `collapse` (boolean, default `false`)
+//! asks the job to run with static fault collapsing + activity gating
+//! ([`Campaign::collapse`](fmossim_campaign::Campaign::collapse)) —
+//! the report is bit-identical either way, and echoes the choice in
+//! its `control` block. Phase inputs are `[node name, logic char]`
+//! pairs in application order, with logic spelled `"0"`, `"1"`, or
+//! `"X"` ([`fmossim_netlist::Logic`]).
 
 use crate::cache::TapeKey;
 use fmossim_campaign::json::{obj, parse, Value};
@@ -65,6 +69,9 @@ pub struct JobSpec {
     pub outputs: Vec<NodeId>,
     /// Shard count for the pool plan.
     pub shards: usize,
+    /// Whether the job runs with static fault collapsing + activity
+    /// gating ([`Campaign::collapse`](fmossim_campaign::Campaign::collapse)).
+    pub collapse: bool,
 }
 
 impl JobSpec {
@@ -163,6 +170,13 @@ pub fn parse_submission(body: &str, default_shards: usize) -> Result<JobSpec, St
             .ok_or_else(|| format!("\"shards\" must be an integer in 1..={MAX_SHARDS}"))?,
     };
 
+    let collapse = match v.get("collapse") {
+        None | Some(Value::Null) => false,
+        Some(c) => c
+            .as_bool()
+            .ok_or_else(|| "\"collapse\" must be a boolean".to_string())?,
+    };
+
     Ok(JobSpec {
         name,
         net,
@@ -170,6 +184,7 @@ pub fn parse_submission(body: &str, default_shards: usize) -> Result<JobSpec, St
         patterns,
         outputs,
         shards,
+        collapse,
     })
 }
 
@@ -389,6 +404,10 @@ mod tests {
         let spec = parse_submission(r#"{"circuit": "ram4x4"}"#, DEFAULT_SHARDS).unwrap();
         assert_eq!(spec.name, "ram4x4");
         assert_eq!(spec.shards, DEFAULT_SHARDS);
+        assert!(!spec.collapse, "collapsing is opt-in");
+        let collapsed =
+            parse_submission(r#"{"circuit": "ram4x4", "collapse": true}"#, DEFAULT_SHARDS).unwrap();
+        assert!(collapsed.collapse);
         assert!(!spec.patterns.is_empty());
         assert!(!spec.outputs.is_empty());
         let (net_hash, stim_hash) = spec.cache_key();
@@ -444,6 +463,11 @@ mod tests {
             ),
             (r#"{"circuit": "ram4x4", "shards": 0}"#, "shards"),
             (r#"{"circuit": "ram4x4", "shards": 1e9}"#, "shards"),
+            (r#"{"circuit": "ram4x4", "collapse": 3}"#, "collapse"),
+            (
+                r#"{"circuit": "ram4x4", "collapse": "yes"}"#,
+                "must be a boolean",
+            ),
             (r#"{"netlist": "input A 0"}"#, "outputs"),
         ];
         for (body, needle) in cases {

@@ -291,6 +291,7 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>, spec: JobSpec) {
             .patterns(&spec.patterns)
             .outputs(&spec.outputs)
             .backend_impl(Box::new(backend))
+            .collapse(spec.collapse)
             .with_telemetry(&job_registry)
             .export_good_tape(&slot)
             .on_event(move |e| observer_job.push_event(&e));

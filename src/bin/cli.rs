@@ -14,7 +14,7 @@
 //!                  [--stop-at-coverage F] [--pattern-limit N]
 //!                  [--jobs N|auto] [--shard-strategy round-robin|contiguous|cost]
 //!                  [--replay on|off] [--batch N] [--packing on|off]
-//!                  [--metrics <path>[.prom|.json]]
+//!                  [--collapse on|off] [--metrics <path>[.prom|.json]]
 //! ```
 //!
 //! The stimulus file is line oriented: each non-comment line is one
@@ -81,13 +81,14 @@ usage:
                    [--stop-at-coverage F] [--pattern-limit N]
                    [--jobs N|auto] [--shard-strategy round-robin|contiguous|cost]
                    [--replay on|off] [--batch N] [--packing on|off]
-                   [--metrics <path>[.prom|.json]]
+                   [--collapse on|off] [--metrics <path>[.prom|.json]]
   fmossim serve    [--addr HOST:PORT] [--workers N] [--cache-mb N]
                    [--default-shards N]
   fmossim submit   --addr HOST:PORT --circuit <zoo-name>
   fmossim submit   --addr HOST:PORT <netlist.snl> --stim <file> --outputs A[,B...]
                    [--universe stuck-nodes|stuck-transistors|all]
-                   [--shards N] [--name LABEL] [--no-wait] [--json]
+                   [--shards N] [--collapse on|off] [--name LABEL]
+                   [--no-wait] [--json]
   fmossim cancel   --addr HOST:PORT <job-id>
 
 `zoo` lists the benchmark circuit zoo; `faultsim --circuit <name>`
@@ -122,6 +123,19 @@ machines triggered by the same events settle together, up to 64 per
 bitwise pass over two-plane ternary words. Results are bit-identical
 to --packing off; only the work counters in the telemetry differ. The
 default is off.
+
+--collapse on runs static fault collapsing before the campaign:
+structurally equivalent faults (parallel twins, series stuck-opens
+with pinned outer nodes, dominated drivers, never-detectable faults)
+are grouped into classes, one representative per class is simulated
+— with dynamic activity gating enabled on the concurrent-family
+backends — and every detection is fanned back out to the full class
+at report time. The reported detections, coverage, and fault count
+are bit-identical to --collapse off; only the simulated work shrinks.
+The default is off. --collapse on cannot be combined with
+--stop-at-coverage: the coverage target would be evaluated over the
+collapsed representatives mid-run, stopping at a different point than
+the uncollapsed campaign it must mirror.
 
 --json emits the machine-readable campaign report instead of text;
 --stop-at-coverage / --pattern-limit cut the run short; --serial
@@ -442,6 +456,25 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
             other => Err(format!("--packing takes `on` or `off`, not `{other}`")),
         })
         .transpose()?;
+    let collapse = opt(args, "--collapse")
+        .map(|s| match s {
+            "on" => Ok(true),
+            "off" => Ok(false),
+            other => Err(format!("--collapse takes `on` or `off`, not `{other}`")),
+        })
+        .transpose()?
+        .unwrap_or(false);
+    // Like the --circuit x --stim conflict above: the combination
+    // would be half-honoured (the target would count collapsed
+    // representatives, not faults), so it is rejected outright.
+    if collapse && opt(args, "--stop-at-coverage").is_some() {
+        return Err(
+            "--stop-at-coverage has no meaning with --collapse on: the target would be \
+             evaluated over collapsed representatives mid-run, not the full fault universe \
+             the report describes; drop one of the two"
+                .into(),
+        );
+    }
     let batch = opt(args, "--batch")
         .map(|s| {
             s.parse::<usize>()
@@ -559,6 +592,7 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
         .patterns(&patterns)
         .outputs(&outputs)
         .backend(backend)
+        .collapse(collapse)
         .with_telemetry(&registry);
     if let Some(cov) = opt(args, "--stop-at-coverage") {
         let cov: f64 = cov
@@ -774,6 +808,14 @@ fn submission_body(args: &[String]) -> Result<String, String> {
             .parse()
             .map_err(|_| format!("--shards takes a number, not `{s}`"))?;
         fields.push(("shards", Value::Num(shards as f64)));
+    }
+    if let Some(c) = opt(args, "--collapse") {
+        let on = match c {
+            "on" => true,
+            "off" => false,
+            other => return Err(format!("--collapse takes `on` or `off`, not `{other}`")),
+        };
+        fields.push(("collapse", Value::Bool(on)));
     }
     if let Some(name) = opt(args, "--name") {
         fields.push(("name", Value::Str(name.to_string())));

@@ -194,6 +194,81 @@ fn fixtures_lock_the_v3_schema() {
     }
 }
 
+/// The collapsed-campaign fixture: the same v3 schema with the two
+/// opt-in collapse keys present (`control.collapse` and the top-level
+/// `collapse` statistics block). Kept separate from the four plain
+/// fixtures, which must stay byte-identical — an uncollapsed report
+/// never emits either key.
+#[test]
+fn collapsed_fixture_locks_the_schema() {
+    let run = || {
+        let ram = Ram::new(4, 4);
+        let seq = TestSequence::full(&ram);
+        Campaign::new(ram.network())
+            .faults(
+                FaultUniverse::stuck_nodes(ram.network())
+                    .union(FaultUniverse::stuck_transistors(ram.network())),
+            )
+            .patterns(seq.patterns())
+            .outputs(ram.observed_outputs())
+            .backend(Backend::Concurrent(ConcurrentConfig::paper()))
+            .collapse(true)
+            .with_telemetry(&Registry::new())
+            .run()
+    };
+    let path = fixture_path(3, "collapsed");
+    if std::env::var_os("UPDATE_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("create fixtures dir");
+        std::fs::write(&path, run().to_json() + "\n").expect("write fixture");
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with UPDATE_FIXTURES=1",
+            path.display()
+        )
+    });
+    let text = text.trim_end();
+
+    // 1. Byte-exact round-trip.
+    let parsed =
+        CampaignReport::from_json(text).unwrap_or_else(|e| panic!("fixture does not parse: {e}"));
+    assert_eq!(
+        parsed.to_json(),
+        text,
+        "collapsed: serialisation drifted from the checked-in fixture"
+    );
+
+    // 2. Schema shape: still v3, with both collapse keys.
+    assert!(text.contains("\"version\":3"), "still a v3 document");
+    assert!(text.contains("\"collapse\":true"), "control echo present");
+    assert!(
+        text.contains("\"collapse\":{\"classes\":"),
+        "statistics block present"
+    );
+    let stats = parsed.collapse.expect("statistics parse");
+    assert!(
+        stats.simulated_faults < stats.total_faults && stats.classes > 0,
+        "the fixture workload must actually collapse something"
+    );
+    assert_eq!(parsed.control.collapse, Some(true));
+    assert!(
+        parsed.metrics.counters["faults.collapsed_classes"] > 0,
+        "the collapse telemetry counter is archived"
+    );
+
+    // 3. Reproduction: deterministic content matches a fresh run.
+    let mut fresh = run();
+    let mut archived = parsed;
+    normalize(&mut fresh);
+    normalize(&mut archived);
+    assert_eq!(
+        fresh.to_json(),
+        archived.to_json(),
+        "collapsed: fresh run diverged from the archived report"
+    );
+}
+
 /// The previous generation's archived v2 fixtures still parse through
 /// the lenient reader: no `metrics` key means an empty snapshot, and
 /// everything deterministic still reproduces against a fresh
