@@ -1,16 +1,23 @@
-//! Allocator-traffic A/B for the adaptive backend's engine pool.
+//! Allocator-traffic measurements for the arena/SoA data layout.
 //!
-//! The adaptive backend rebuilds one `ConcurrentSim` per shard at
-//! every batch boundary; each rebuild used to allocate a fresh
-//! [`Engine`](fmossim_core::Engine) (solver scratch, event queues,
-//! per-node stamps — all sized for the network). The
-//! [`EnginePool`](fmossim_par::EnginePool) recycles those buffers
-//! across batches instead. This binary measures the difference at the
-//! global allocator: it runs the identical adaptive campaign with
-//! [`AdaptiveConfig::reuse_engines`] off and on, counts every
-//! `alloc`/`realloc` call and requested byte through a counting
-//! `#[global_allocator]` wrapper around [`System`], asserts the
-//! detection sets are bit-identical, and prints one JSON document.
+//! Two measurements, one JSON document:
+//!
+//! 1. **Batch-rebuild A/B.** The adaptive backend rebuilds one
+//!    `ConcurrentSim` per shard at every batch boundary; each rebuild
+//!    used to allocate a fresh engine, record store, structural tables
+//!    and queues — all sized for the network. The
+//!    [`ArenaPool`](fmossim_par::ArenaPool) recycles those buffers
+//!    across batches instead. This binary runs the identical adaptive
+//!    campaign with [`AdaptiveConfig::reuse_arenas`] off and on,
+//!    counts every `alloc`/`realloc` call and requested byte through a
+//!    counting `#[global_allocator]` wrapper around [`System`], and
+//!    asserts the detection sets are bit-identical.
+//! 2. **Steady-state hot loop.** A single `ConcurrentSim` is warmed
+//!    with two passes of the pattern sequence (growing every scratch
+//!    buffer — the flat event queue, the strobe snapshot, the record
+//!    lists — to its fixed point), then a third pass is measured
+//!    pattern by pattern. The flat-queue/CSR layout targets **zero**
+//!    allocator calls per pattern here; the binary asserts it.
 //!
 //! Usage: `allocstats [--dim 8] [--batch 8] [--jobs 2] [--sample K]`
 //!
@@ -21,6 +28,7 @@
 use fmossim_bench::arg_value;
 use fmossim_campaign::{AdaptiveConfig, Backend, Campaign, CampaignReport};
 use fmossim_circuits::Ram;
+use fmossim_core::{ConcurrentConfig, ConcurrentSim};
 use fmossim_faults::{FaultUniverse, DEFAULT_SEED};
 use fmossim_par::Jobs;
 use fmossim_testgen::TestSequence;
@@ -99,9 +107,9 @@ fn main() {
     if let Some(k) = sample {
         universe = universe.sample(k, DEFAULT_SEED);
     }
-    let config = |reuse_engines| AdaptiveConfig {
+    let config = |reuse_arenas| AdaptiveConfig {
         jobs: Jobs::Fixed(jobs),
-        reuse_engines,
+        reuse_arenas,
         ..AdaptiveConfig::paper(batch)
     };
 
@@ -114,8 +122,35 @@ fn main() {
     assert_eq!(
         fresh.report.detections(),
         pooled.report.detections(),
-        "engine reuse changed the detection set"
+        "arena reuse changed the detection set"
     );
+
+    // Steady-state hot loop: warm a single simulator with two full
+    // passes (all detectable faults drop in pass one; pass two runs
+    // the surviving set over the periodic state trajectory, growing
+    // every scratch buffer to its fixed point), then measure pass
+    // three pattern by pattern. With the arena layout the loop should
+    // not touch the allocator at all.
+    let (steady_calls, steady_max, steady_patterns) = {
+        let mut sim =
+            ConcurrentSim::new(ram.network(), universe.faults(), ConcurrentConfig::paper());
+        let outputs = ram.observed_outputs();
+        for pass in 0..2 {
+            for (pi, p) in seq.patterns().iter().enumerate() {
+                let _ = sim.step_pattern(p, outputs, pass * seq.len() + pi);
+            }
+        }
+        let mut total = 0u64;
+        let mut max = 0u64;
+        for (pi, p) in seq.patterns().iter().enumerate() {
+            let c0 = ALLOC_CALLS.load(Ordering::Relaxed);
+            let _ = sim.step_pattern(p, outputs, 2 * seq.len() + pi);
+            let d = ALLOC_CALLS.load(Ordering::Relaxed) - c0;
+            total += d;
+            max = max.max(d);
+        }
+        (total, max, seq.len())
+    };
 
     let saved_calls = fresh.calls.saturating_sub(pooled.calls);
     let saved_bytes = fresh.bytes.saturating_sub(pooled.bytes);
@@ -137,15 +172,23 @@ fn main() {
     );
     println!(
         "  \"saved\":  {{\"alloc_calls\": {saved_calls}, \"alloc_bytes\": {saved_bytes}, \
-         \"calls_pct\": {:.2}, \"bytes_pct\": {:.2}}}",
+         \"calls_pct\": {:.2}, \"bytes_pct\": {:.2}}},",
         100.0 * saved_calls as f64 / fresh.calls.max(1) as f64,
         100.0 * saved_bytes as f64 / fresh.bytes.max(1) as f64,
+    );
+    println!(
+        "  \"steady_state\": {{\"patterns\": {steady_patterns}, \"alloc_calls\": {steady_calls}, \
+         \"max_per_pattern\": {steady_max}}}"
     );
     println!("}}");
     assert!(
         pooled.calls < fresh.calls,
-        "engine pool should reduce allocator calls ({} -> {})",
+        "arena pool should reduce allocator calls ({} -> {})",
         fresh.calls,
         pooled.calls
+    );
+    assert_eq!(
+        steady_calls, 0,
+        "steady-state concurrent loop should make zero per-pattern allocations"
     );
 }

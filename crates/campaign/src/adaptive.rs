@@ -35,7 +35,7 @@ use crate::event::SimEvent;
 use fmossim_core::{ConcurrentConfig, PatternStats, RunReport, TapeRecorder};
 use fmossim_faults::FaultId;
 use fmossim_par::{
-    run_batch, CostModel, EnginePool, Jobs, ResumePoint, ShardPlan, ShardStrategy,
+    run_batch, ArenaPool, CostModel, Jobs, ResumePoint, ShardPlan, ShardStrategy,
     DEFAULT_COST_ALPHA,
 };
 use fmossim_telemetry::Registry;
@@ -83,13 +83,14 @@ pub struct AdaptiveConfig {
     pub rebalance: bool,
     /// EWMA smoothing factor for the measured cost model, in `(0, 1]`.
     pub alpha: f64,
-    /// Recycle shard-simulator engines across batch boundaries through
-    /// an [`fmossim_par::EnginePool`] (default `true`). Every batch
+    /// Recycle shard-simulator arenas across batch boundaries through
+    /// an [`fmossim_par::ArenaPool`] (default `true`). Every batch
     /// rebuilds one simulator per shard; without reuse each rebuild
-    /// reallocates the engine's solver scratch and queues. Reuse is
+    /// reallocates the engine's solver scratch, the divergence-record
+    /// store, the structural tables and the event queue. Reuse is
     /// bit-invisible — `false` restores the allocate-per-shard
     /// behaviour for allocator A/B measurements (`allocstats`).
-    pub reuse_engines: bool,
+    pub reuse_arenas: bool,
     /// Configuration forwarded to every shard's
     /// [`ConcurrentSim`](fmossim_core::ConcurrentSim).
     pub sim: ConcurrentConfig,
@@ -104,7 +105,7 @@ impl Default for AdaptiveConfig {
             initial_strategy: ShardStrategy::CostEstimated,
             rebalance: true,
             alpha: DEFAULT_COST_ALPHA,
-            reuse_engines: true,
+            reuse_arenas: true,
             sim: ConcurrentConfig::default(),
         }
     }
@@ -295,12 +296,17 @@ impl CampaignBackend for AdaptiveBackend {
             cfg.initial_strategy,
         );
         let mut recorder = TapeRecorder::new(w.net, sim.engine);
-        let engines = cfg.reuse_engines.then(EnginePool::new);
+        let arenas = cfg.reuse_arenas.then(ArenaPool::new);
         let mut resume: Option<ResumePoint<'_>> = None;
         let mut moved_faults = 0usize; // churn that produced the *current* plan
 
-        let target = control.detection_target(n);
+        // The stop target is evaluated in parent-universe terms when
+        // the workload is collapsed (each representative's detection
+        // weighted by its class size); telemetry below stays in
+        // workload terms.
+        let target = control.detection_target(w.coverage_denominator());
         let mut detected_total = 0usize;
+        let mut detected_weight = 0usize;
         let mut stopped_early = false;
         let mut cancelled = false;
         let mut pattern_stats: Vec<PatternStats> = Vec::new();
@@ -340,7 +346,7 @@ impl CampaignBackend for AdaptiveBackend {
                 w.outputs,
                 first,
                 &self.telemetry,
-                engines.as_ref(),
+                arenas.as_ref(),
             );
 
             // Stream events in shard order (deterministic, unlike the
@@ -349,6 +355,11 @@ impl CampaignBackend for AdaptiveBackend {
             for (s, rep) in run.reports.iter().enumerate() {
                 emit_detections(&rep.detections, control.drop_detected, emit);
                 batch_detected += rep.detected();
+                detected_weight += rep
+                    .detections
+                    .iter()
+                    .map(|d| w.detection_weight(d.fault.index()))
+                    .sum::<usize>();
                 emit(SimEvent::ShardDone {
                     shard: s,
                     faults: plan.shard(s).len(),
@@ -397,7 +408,7 @@ impl CampaignBackend for AdaptiveBackend {
             detections.extend(merged.detections);
 
             first += batch.len();
-            if target.is_some_and(|t| detected_total >= t) {
+            if target.is_some_and(|t| detected_weight >= t) {
                 stopped_early = first < total_patterns;
                 break;
             }

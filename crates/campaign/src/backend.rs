@@ -31,6 +31,25 @@ use std::time::Instant;
 /// campaigns and threads.
 pub type TapeSlot = Arc<Mutex<Option<Arc<GoodTape>>>>;
 
+/// Parent-universe coverage bookkeeping for a collapsed workload.
+///
+/// When the campaign collapses the fault universe into structural
+/// equivalence classes, backends grade only the representatives — but
+/// the coverage fraction a user targets with
+/// [`RunControl::stop_at_coverage`] is over the *parent* universe the
+/// report describes. These weights let a backend evaluate mid-run
+/// coverage in parent terms: each representative's detection counts
+/// for its whole equivalence class.
+#[derive(Clone, Copy, Debug)]
+pub struct CoverageWeights<'a> {
+    /// Per workload fault (indexed by its [`FaultId`]), the size of
+    /// its equivalence class in the parent universe (≥ 1).
+    pub class_sizes: &'a [u32],
+    /// The parent universe's fault count — the coverage denominator.
+    /// Equals `class_sizes.iter().sum()`.
+    pub total_faults: usize,
+}
+
 /// The workload a campaign grades: one network, one fault universe,
 /// one pattern sequence, one set of observed outputs.
 ///
@@ -48,8 +67,11 @@ pub type TapeSlot = Arc<Mutex<Option<Arc<GoodTape>>>>;
 ///     universe: &universe,
 ///     patterns: seq.patterns(),
 ///     outputs: ram.observed_outputs(),
+///     coverage: None,
 /// };
 /// assert_eq!(w.universe.len(), universe.len());
+/// assert_eq!(w.coverage_denominator(), universe.len());
+/// assert_eq!(w.detection_weight(0), 1);
 /// ```
 #[derive(Clone, Copy, Debug)]
 pub struct Workload<'a> {
@@ -61,6 +83,27 @@ pub struct Workload<'a> {
     pub patterns: &'a [Pattern],
     /// The observed output nodes (strobe comparison points).
     pub outputs: &'a [NodeId],
+    /// Parent-universe weights when `universe` is a collapsed set of
+    /// representatives; `None` when it already is the full set.
+    pub coverage: Option<CoverageWeights<'a>>,
+}
+
+impl Workload<'_> {
+    /// The fault count coverage fractions are evaluated over: the
+    /// parent universe under collapse, the workload universe otherwise.
+    #[must_use]
+    pub fn coverage_denominator(&self) -> usize {
+        self.coverage
+            .map_or(self.universe.len(), |c| c.total_faults)
+    }
+
+    /// How many parent-universe faults a detection of workload fault
+    /// `k` accounts for: its equivalence-class size, or 1 without
+    /// collapse.
+    #[must_use]
+    pub fn detection_weight(&self, k: usize) -> usize {
+        self.coverage.map_or(1, |c| c.class_sizes[k] as usize)
+    }
 }
 
 /// Backend-independent run-control options.
@@ -463,11 +506,12 @@ impl CampaignBackend for ConcurrentAdapter {
         };
         let mut sim = ConcurrentSim::new(w.net, w.universe.faults(), config);
         sim.attach_metrics(&self.telemetry);
-        let target = control.detection_target(w.universe.len());
+        let target = control.detection_target(w.coverage_denominator());
         let mut run = RunReport {
             num_faults: w.universe.len(),
             ..RunReport::default()
         };
+        let mut detected_weight = 0usize;
         let mut stopped_early = false;
         let mut cancelled = false;
         for (pi, pattern) in w.patterns.iter().enumerate() {
@@ -475,7 +519,7 @@ impl CampaignBackend for ConcurrentAdapter {
                 cancelled = true;
                 break;
             }
-            if target.is_some_and(|t| sim.detections().len() >= t) {
+            if target.is_some_and(|t| detected_weight >= t) {
                 stopped_early = true;
                 break;
             }
@@ -485,7 +529,12 @@ impl CampaignBackend for ConcurrentAdapter {
             });
             let before = sim.detections().len();
             let stats = sim.step_pattern(pattern, w.outputs, pi);
-            emit_detections(&sim.detections()[before..], control.drop_detected, emit);
+            let new = &sim.detections()[before..];
+            emit_detections(new, control.drop_detected, emit);
+            detected_weight += new
+                .iter()
+                .map(|d| w.detection_weight(d.fault.index()))
+                .sum::<usize>();
             run.patterns.push(stats);
             emit(SimEvent::PatternDone {
                 pattern: pi,
@@ -537,13 +586,14 @@ impl CampaignBackend for SerialAdapter {
         let sim = SerialSim::new(w.net, config);
         let good = sim.observe_good(w.patterns, w.outputs);
         let t0 = Instant::now();
-        let target = control.detection_target(w.universe.len());
+        let target = control.detection_target(w.coverage_denominator());
         let mut run = RunReport {
             num_faults: w.universe.len(),
             patterns: vec![PatternStats::default(); w.patterns.len()],
             ..RunReport::default()
         };
         let mut estimate = 0.0;
+        let mut detected_weight = 0usize;
         let mut stopped_early = false;
         let mut cancelled = false;
         for (k, &fault) in w.universe.faults().iter().enumerate() {
@@ -551,7 +601,7 @@ impl CampaignBackend for SerialAdapter {
                 cancelled = true;
                 break;
             }
-            if target.is_some_and(|t| run.detections.len() >= t) {
+            if target.is_some_and(|t| detected_weight >= t) {
                 stopped_early = true;
                 break;
             }
@@ -563,6 +613,7 @@ impl CampaignBackend for SerialAdapter {
             estimate += charged as f64 * good.avg_pattern_seconds();
             if let Some(d) = outcome.detection {
                 emit_detections(&[d], control.drop_detected, emit);
+                detected_weight += w.detection_weight(k);
                 run.patterns[d.pattern].detected += 1;
                 run.detections.push(d);
             }
@@ -627,14 +678,18 @@ impl CampaignBackend for ParallelAdapter {
         if let Some(tape) = self.inject_tape.take() {
             sim.inject_good_tape(tape);
         }
-        let target = control.detection_target(w.universe.len());
+        let target = control.detection_target(w.coverage_denominator());
         let cancel = Arc::clone(&self.cancel);
         let mut detected = 0usize;
         let mut stopped_early = false;
         let mut cancelled = false;
         let run = sim.run_streaming(w.patterns, w.outputs, |o, rep| {
             emit_detections(&rep.detections, control.drop_detected, emit);
-            detected += o.detected;
+            detected += rep
+                .detections
+                .iter()
+                .map(|d| w.detection_weight(d.fault.index()))
+                .sum::<usize>();
             emit(SimEvent::ShardDone {
                 shard: o.shard,
                 faults: o.faults,

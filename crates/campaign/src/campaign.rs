@@ -2,12 +2,13 @@
 //! strategy.
 
 use crate::backend::{
-    no_cancel, Backend, BackendRun, CampaignBackend, RunControl, TapeSlot, Workload,
+    no_cancel, Backend, BackendRun, CampaignBackend, CoverageWeights, RunControl, TapeSlot,
+    Workload,
 };
 use crate::event::SimEvent;
 use crate::report::{CampaignReport, CollapseStats, ControlEcho, StopReason};
 use fmossim_core::{ConcurrentConfig, Detection, GoodTape, Pattern};
-use fmossim_faults::{CollapseClasses, FaultUniverse};
+use fmossim_faults::{CollapseClasses, FaultId, FaultUniverse};
 use fmossim_netlist::{Network, NodeId};
 use fmossim_telemetry::Registry;
 use std::sync::atomic::AtomicBool;
@@ -209,9 +210,11 @@ impl<'n, 'o> Campaign<'n, 'o> {
     /// Work-item telemetry stays in collapsed terms: `jobs` /
     /// `shards` / `batches` and the `metrics` snapshot describe the
     /// work actually done, on representatives. Combining with
-    /// [`Campaign::stop_at_coverage`] is discouraged (the CLI refuses
-    /// it): the coverage target is then evaluated over
-    /// representatives, not the parent universe.
+    /// [`Campaign::stop_at_coverage`] is fine: backends evaluate the
+    /// target in parent-universe terms (each representative's
+    /// detection weighted by its equivalence-class size, over the
+    /// parent fault count), so a collapsed run reaches the target at
+    /// the same pattern as the uncollapsed run it reproduces.
     ///
     /// ```
     /// use fmossim_campaign::Campaign;
@@ -394,11 +397,31 @@ impl<'n, 'o> Campaign<'n, 'o> {
         let collapsed = classes
             .as_ref()
             .map(|c| c.collapsed_universe(&self.universe));
+        // Under collapse, backends evaluate any mid-run coverage target
+        // in parent-universe terms: each representative's detection
+        // weighs as much as its whole equivalence class, so a collapsed
+        // run stops at the same pattern as the uncollapsed run it
+        // reproduces.
+        let class_sizes: Vec<u32> = classes.as_ref().map_or_else(Vec::new, |c| {
+            (0..c.num_representatives())
+                .map(|k| {
+                    u32::try_from(
+                        c.members_of(FaultId(u32::try_from(k).expect("rep fits u32")))
+                            .len(),
+                    )
+                    .expect("class size fits u32")
+                })
+                .collect()
+        });
         let workload = Workload {
             net: self.net,
             universe: collapsed.as_ref().unwrap_or(&self.universe),
             patterns: &self.patterns[..cut],
             outputs: &self.outputs,
+            coverage: classes.as_ref().map(|_| CoverageWeights {
+                class_sizes: &class_sizes,
+                total_faults: self.universe.len(),
+            }),
         };
         // A custom backend's policy is invisible to the campaign; echo
         // `None` rather than the unused built-in default.

@@ -83,7 +83,9 @@ mod report;
 mod spec;
 
 pub use adaptive::{AdaptiveBackend, AdaptiveConfig, BatchTelemetry, DEFAULT_BATCH_PATTERNS};
-pub use backend::{Backend, BackendRun, CampaignBackend, RunControl, TapeSlot, Workload};
+pub use backend::{
+    Backend, BackendRun, CampaignBackend, CoverageWeights, RunControl, TapeSlot, Workload,
+};
 pub use campaign::Campaign;
 pub use event::SimEvent;
 pub use report::{CampaignReport, CollapseStats, ControlEcho, StopReason};

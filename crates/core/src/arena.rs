@@ -1,0 +1,281 @@
+//! Typed-index arenas and the flat deterministic event queue — the
+//! hot-path data layout of the concurrent simulator.
+//!
+//! Three pieces live here:
+//!
+//! * [`CircuitId`] — the typed index of a faulty circuit (circuit 0 is
+//!   the good machine). Alongside `NodeId` and `FaultId` it completes
+//!   the slot-map idiom: every hot-path container is a contiguous array
+//!   indexed by one of the three newtypes, never a map keyed by raw
+//!   integers.
+//! * [`Csr`] — a compressed-sparse-row table replacing `Vec<Vec<T>>`
+//!   for the per-node attachment and forced-value tables: one `offsets`
+//!   array plus one contiguous `data` array, so a whole simulator
+//!   rebuild costs two allocations (amortised to zero under
+//!   [`SimArena`] reuse) instead of one per node.
+//! * [`EventQueue`] — the flat private-event queue. Triggering appends
+//!   `(circuit, node)` pairs in arbitrary order; the drain sorts the
+//!   buffer once (`sort_unstable` on the pair, i.e. a stable
+//!   `(circuit, node)` total order) and deduplicates, which *is* the
+//!   deterministic schedule: circuits settle in ascending id order,
+//!   each with its seed nodes sorted and deduplicated. No `BinaryHeap`,
+//!   no per-circuit allocation, and the drain order is a pure function
+//!   of the scheduled set — `crates/core/tests/proptest_queue.rs`
+//!   locks this invariant over random netlists.
+//!
+//! [`SimArena`] bundles every owned hot-path buffer of a
+//! [`ConcurrentSim`](crate::ConcurrentSim) so batch drivers
+//! (`fmossim-par`'s `ArenaPool`) can recycle them across
+//! record→replay→re-plan rebuilds instead of reallocating per batch.
+
+use crate::overlay::Overrides;
+use crate::records::{StateListStore, StateLists};
+use fmossim_faults::FaultId;
+use fmossim_netlist::{Logic, NodeId};
+use fmossim_switch::Engine;
+
+/// The typed index of a simulated circuit: 0 is the good machine,
+/// `k + 1` the faulty circuit carrying fault set `k` (so
+/// `CircuitId::from_fault(FaultId(k)).get() == k + 1`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct CircuitId(pub u32);
+
+impl CircuitId {
+    /// The circuit of fault (set) `f`.
+    #[inline]
+    #[must_use]
+    pub fn from_fault(f: FaultId) -> CircuitId {
+        CircuitId(f.0 + 1)
+    }
+
+    /// The fault (set) this circuit carries; `None` for the good
+    /// machine (circuit 0).
+    #[inline]
+    #[must_use]
+    pub fn fault(self) -> Option<FaultId> {
+        self.0.checked_sub(1).map(FaultId)
+    }
+
+    /// The raw circuit number.
+    #[inline]
+    #[must_use]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The circuit number as a container index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A compressed-sparse-row table: `row(i)` is a contiguous slice, all
+/// rows share one `data` allocation. Rebuildable in place, keeping the
+/// allocations, from `(row, value)` pairs sorted by row.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Csr<T> {
+    /// `n_rows + 1` offsets into `data` (empty until first rebuild).
+    offsets: Vec<u32>,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Csr<T> {
+    /// Rebuilds the table for `n_rows` rows from pairs sorted by row
+    /// index (ties keep their order), reusing both allocations.
+    pub(crate) fn rebuild(&mut self, n_rows: usize, pairs: &[(u32, T)]) {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0), "pairs sorted");
+        self.offsets.clear();
+        self.data.clear();
+        self.offsets.reserve(n_rows + 1);
+        self.data.reserve(pairs.len());
+        let mut next = 0usize;
+        for row in 0..n_rows as u32 {
+            self.offsets
+                .push(u32::try_from(self.data.len()).expect("csr fits u32"));
+            while next < pairs.len() && pairs[next].0 == row {
+                self.data.push(pairs[next].1);
+                next += 1;
+            }
+        }
+        self.offsets
+            .push(u32::try_from(self.data.len()).expect("csr fits u32"));
+        debug_assert_eq!(next, pairs.len(), "row indices within n_rows");
+    }
+
+    /// The entries of row `i`.
+    #[inline]
+    pub(crate) fn row(&self, i: usize) -> &[T] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// The flat private-event queue: scheduled `(circuit, node)` events,
+/// unsorted until drained. See the module docs for the drain-order
+/// invariant.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct EventQueue {
+    events: Vec<(CircuitId, NodeId)>,
+}
+
+impl EventQueue {
+    /// Schedules a private event: `node` changed for circuit `circ`.
+    /// Duplicates are fine — the drain deduplicates.
+    #[inline]
+    pub(crate) fn schedule(&mut self, circ: CircuitId, node: NodeId) {
+        self.events.push((circ, node));
+    }
+
+    /// Discards everything scheduled (used by the resume path, whose
+    /// snapshots are taken at pattern boundaries where the queue is
+    /// empty by construction).
+    pub(crate) fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Takes the scheduled events out as one buffer, sorted by
+    /// `(circuit, node)` and deduplicated — ascending circuit runs,
+    /// each run's nodes sorted and unique. Return the buffer with
+    /// [`EventQueue::restore`] so its allocation is reused.
+    pub(crate) fn take_sorted(&mut self) -> Vec<(CircuitId, NodeId)> {
+        let mut events = std::mem::take(&mut self.events);
+        events.sort_unstable();
+        events.dedup();
+        events
+    }
+
+    /// Returns a drained buffer, keeping its capacity for the next
+    /// phase.
+    pub(crate) fn restore(&mut self, mut buf: Vec<(CircuitId, NodeId)>) {
+        buf.clear();
+        self.events = buf;
+    }
+}
+
+/// Every owned hot-path buffer of a
+/// [`ConcurrentSim`](crate::ConcurrentSim), detached from the network
+/// lifetime so a batch driver can keep it across simulator rebuilds:
+/// the switch engine, the divergence-record store, the structural
+/// tables and all per-circuit flags and scratch. Constructing a
+/// simulator *in* an arena (`ConcurrentSim::new_in` /
+/// `ConcurrentSim::resume_in`) recycles each buffer in place;
+/// `ConcurrentSim::take_arena` gets the bundle back afterwards.
+/// `fmossim-par`'s `ArenaPool` parks arenas between
+/// record→replay→re-plan batches.
+pub struct SimArena {
+    pub(crate) engine: Engine,
+    pub(crate) records: StateLists,
+    pub(crate) overrides: Vec<Overrides>,
+    pub(crate) attach: Csr<u32>,
+    pub(crate) forced_at: Csr<(u32, Logic)>,
+    pub(crate) dropped: Vec<bool>,
+    pub(crate) detected_once: Vec<bool>,
+    pub(crate) queue: EventQueue,
+    pub(crate) triggered: Vec<u32>,
+    pub(crate) strobe_scratch: Vec<(u32, Logic)>,
+}
+
+impl SimArena {
+    /// Wraps a (possibly recycled) engine into an arena whose other
+    /// buffers start empty; the simulator constructors size them.
+    #[must_use]
+    pub fn with_engine(engine: Engine) -> SimArena {
+        SimArena {
+            engine,
+            records: StateLists::new(0, 0, StateListStore::default()),
+            overrides: Vec::new(),
+            attach: Csr::default(),
+            forced_at: Csr::default(),
+            dropped: Vec::new(),
+            detected_once: Vec::new(),
+            queue: EventQueue::default(),
+            triggered: Vec::new(),
+            strobe_scratch: Vec::new(),
+        }
+    }
+
+    /// The engine alone (dropping the other buffers) — interop with
+    /// engine-only pooling.
+    #[must_use]
+    pub fn into_engine(self) -> Engine {
+        self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn queue_drains_sorted_and_deduplicated() {
+        let mut q = EventQueue::default();
+        q.schedule(CircuitId(3), n(5));
+        q.schedule(CircuitId(1), n(9));
+        q.schedule(CircuitId(3), n(2));
+        q.schedule(CircuitId(1), n(9)); // duplicate
+        q.schedule(CircuitId(2), n(0));
+        let drained = q.take_sorted();
+        assert_eq!(
+            drained,
+            vec![
+                (CircuitId(1), n(9)),
+                (CircuitId(2), n(0)),
+                (CircuitId(3), n(2)),
+                (CircuitId(3), n(5)),
+            ],
+            "ascending circuit runs, nodes sorted and unique within each"
+        );
+        q.restore(drained);
+        let empty = q.take_sorted();
+        assert!(empty.is_empty(), "restore clears the buffer");
+    }
+
+    #[test]
+    fn queue_drain_order_is_schedule_order_independent() {
+        let pairs = [
+            (CircuitId(2), n(1)),
+            (CircuitId(1), n(3)),
+            (CircuitId(1), n(1)),
+            (CircuitId(2), n(4)),
+        ];
+        let mut a = EventQueue::default();
+        for &(c, node) in &pairs {
+            a.schedule(c, node);
+        }
+        let mut b = EventQueue::default();
+        for &(c, node) in pairs.iter().rev() {
+            b.schedule(c, node);
+            b.schedule(c, node); // and duplicated
+        }
+        assert_eq!(a.take_sorted(), b.take_sorted());
+    }
+
+    #[test]
+    fn csr_rows_match_pairs() {
+        let mut csr = Csr::default();
+        csr.rebuild(4, &[(0, 7u32), (0, 8), (2, 1)]);
+        assert_eq!(csr.row(0), &[7, 8]);
+        assert_eq!(csr.row(1), &[] as &[u32]);
+        assert_eq!(csr.row(2), &[1]);
+        assert_eq!(csr.row(3), &[] as &[u32]);
+        // Rebuilding reuses the table for a different shape.
+        csr.rebuild(2, &[(1, 9)]);
+        assert_eq!(csr.row(0), &[] as &[u32]);
+        assert_eq!(csr.row(1), &[9]);
+    }
+
+    #[test]
+    fn circuit_ids_round_trip_fault_ids() {
+        let c = CircuitId::from_fault(FaultId(4));
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.index(), 5);
+        assert_eq!(c.fault(), Some(FaultId(4)));
+        assert_eq!(CircuitId(0).fault(), None, "good machine carries none");
+    }
+}

@@ -32,6 +32,7 @@
 //! input and triggers circuits diverging at their gates or attached at
 //! their ends.
 
+use crate::arena::{CircuitId, Csr, EventQueue, SimArena};
 use crate::overlay::{FaultyView, Overrides};
 use crate::packed::{PackedBucketView, PackedViewScratch};
 use crate::pattern::{Pattern, Phase};
@@ -42,7 +43,6 @@ use fmossim_faults::{Fault, FaultEffect, FaultId};
 use fmossim_netlist::{Logic, Network, NodeId};
 use fmossim_switch::{DenseState, Engine, EngineConfig, LocalityMode, PackedEngine, SwitchState};
 use fmossim_telemetry::{Counter, Gauge, Registry};
-use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Telemetry of one [`ConcurrentSim`] (`core.*` metrics); defaulted
@@ -150,8 +150,8 @@ impl CoreMetrics {
 #[allow(clippy::too_many_arguments)]
 fn trigger_group(
     records: &mut StateLists,
-    attach: &[Vec<u32>],
-    pending: &mut BTreeMap<u32, Vec<NodeId>>,
+    attach: &Csr<u32>,
+    queue: &mut EventQueue,
     dropped: &[bool],
     overrides: &[Overrides],
     triggered: &mut Vec<u32>,
@@ -166,7 +166,7 @@ fn trigger_group(
                 triggered.push(c);
             }
         });
-        for &c in &attach[s.index()] {
+        for &c in attach.row(s.index()) {
             if !dropped[c as usize] {
                 triggered.push(c);
             }
@@ -192,7 +192,9 @@ fn trigger_group(
                 records.set(node, c, old);
             }
         }
-        pending.entry(c).or_default().extend_from_slice(members);
+        for &m in members {
+            queue.schedule(CircuitId(c), m);
+        }
     }
 }
 
@@ -315,23 +317,29 @@ pub struct ConcurrentSim<'n> {
     fault_sets: Vec<Vec<Fault>>,
     /// Per circuit id (0 unused): structural overrides.
     overrides: Vec<Overrides>,
-    /// Per node: circuits statically attached (fault footprint).
-    attach: Vec<Vec<u32>>,
-    /// Per node: circuits forcing this node, with the forced value
-    /// (needed for strobe comparison — forced nodes carry no records).
-    forced_at: Vec<Vec<(u32, Logic)>>,
+    /// Per node (CSR row): circuits statically attached (fault
+    /// footprint), ascending and unique within each row.
+    attach: Csr<u32>,
+    /// Per node (CSR row): circuits forcing this node, with the forced
+    /// value (needed for strobe comparison — forced nodes carry no
+    /// records).
+    forced_at: Csr<(u32, Logic)>,
     /// Per circuit id: dropped after detection.
     dropped: Vec<bool>,
     /// Per circuit id: already counted as detected (relevant when
     /// `drop_on_detect` is off).
     detected_once: Vec<bool>,
     live: usize,
-    /// Pending private events per circuit, in circuit-id order.
-    pending: BTreeMap<u32, Vec<NodeId>>,
+    /// Pending private events, drained in `(circuit, node)` order every
+    /// settle step (see [`EventQueue`] for the drain-order invariant).
+    queue: EventQueue,
     detections: Vec<Detection>,
     config: ConcurrentConfig,
     /// Scratch: circuits triggered by the current group.
     triggered: Vec<u32>,
+    /// Scratch: the `(circuit, value)` entries strobed at one output —
+    /// a snapshot so detections can drop circuits mid-iteration.
+    strobe_scratch: Vec<(u32, Logic)>,
     /// The bit-parallel lane machinery; present iff
     /// [`ConcurrentConfig::packing`] is on (and locality is dynamic).
     packed: Option<Box<PackedLanes>>,
@@ -423,19 +431,36 @@ impl GatingState {
     }
 }
 
+/// One triggered circuit's drained seed run: a range into the sorted
+/// event buffer of the current settle step (the run's nodes are
+/// `events[start..end]`, sorted and unique).
+#[derive(Clone, Copy)]
+struct SeedRun {
+    circ: u32,
+    start: u32,
+    end: u32,
+}
+
+impl SeedRun {
+    #[inline]
+    fn range(self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+}
+
 /// The packed settling machinery: one engine plus the reusable
 /// gather/scatter scratch behind [`PackedBucketView`]. Boxed so the
 /// scalar configuration pays one pointer.
 struct PackedLanes {
     engine: PackedEngine,
     scratch: PackedViewScratch,
-    /// Scratch: the triggered circuits of the current phase with their
-    /// sorted seed sets, drained from `pending` and chunked into lanes.
-    batch: Vec<(u32, Vec<NodeId>)>,
+    /// Scratch: the triggered circuits of the current phase as seed
+    /// runs into the drained event buffer, chunked into lanes.
+    batch: Vec<SeedRun>,
     /// Scratch: the seed-sharing circuits of the batch (packed lanes).
-    shared: Vec<(u32, Vec<NodeId>)>,
+    shared: Vec<SeedRun>,
     /// Scratch: the circuits with fully private seed sets (scalar).
-    solo: Vec<(u32, Vec<NodeId>)>,
+    solo: Vec<SeedRun>,
     /// Scratch: per-node triggered-circuit count, epoch-stamped.
     seed_count: Vec<u32>,
     seed_epoch: Vec<u32>,
@@ -500,8 +525,54 @@ impl<'n> ConcurrentSim<'n> {
         net: &'n Network,
         fault_sets: Vec<Vec<Fault>>,
         config: ConcurrentConfig,
-        mut engine: Engine,
+        engine: Engine,
     ) -> Self {
+        ConcurrentSim::new_multi_in(net, fault_sets, config, SimArena::with_engine(engine))
+    }
+
+    /// [`ConcurrentSim::new`] constructing *in* a recycled [`SimArena`]
+    /// — the full allocation-reuse path: the engine, record store,
+    /// structural tables, event queue and every scratch buffer are
+    /// recycled in place. Reclaim the bundle afterwards with
+    /// [`ConcurrentSim::take_arena`].
+    #[must_use]
+    pub fn new_in(
+        net: &'n Network,
+        faults: &[Fault],
+        config: ConcurrentConfig,
+        arena: SimArena,
+    ) -> Self {
+        ConcurrentSim::new_multi_in(
+            net,
+            faults.iter().map(|&f| vec![f]).collect(),
+            config,
+            arena,
+        )
+    }
+
+    /// [`ConcurrentSim::new_multi`] constructing *in* a recycled
+    /// [`SimArena`] (see [`ConcurrentSim::new_in`]). Every constructor
+    /// funnels here; a fresh arena behaves identically to a recycled
+    /// one, so arena reuse cannot change any result bit.
+    #[must_use]
+    pub fn new_multi_in(
+        net: &'n Network,
+        fault_sets: Vec<Vec<Fault>>,
+        config: ConcurrentConfig,
+        arena: SimArena,
+    ) -> Self {
+        let SimArena {
+            mut engine,
+            mut records,
+            mut overrides,
+            mut attach,
+            mut forced_at,
+            mut dropped,
+            mut detected_once,
+            mut queue,
+            mut triggered,
+            mut strobe_scratch,
+        } = arena;
         let good = DenseState::new(net);
         engine.recycle(net, config.engine);
         engine.perturb_all_storage(&good);
@@ -521,49 +592,70 @@ impl<'n> ConcurrentSim<'n> {
             });
         let n_sets = fault_sets.len();
         let gating = config.gating.then(|| GatingState::build(net, &fault_sets));
-        let mut sim = ConcurrentSim {
-            net,
-            good,
-            engine,
-            records: StateLists::new(net.num_nodes(), n_sets, config.store),
-            fault_sets,
-            overrides: vec![Overrides::default(); n_sets + 1],
-            attach: vec![Vec::new(); net.num_nodes()],
-            forced_at: vec![Vec::new(); net.num_nodes()],
-            dropped: vec![false; n_sets + 1],
-            detected_once: vec![false; n_sets + 1],
-            live: n_sets,
-            pending: BTreeMap::new(),
-            detections: Vec::new(),
-            config,
-            triggered: Vec::new(),
-            packed,
-            gating,
-            metrics: CoreMetrics::default(),
-        };
-        for k in 0..n_sets {
+        records.recycle(net.num_nodes(), n_sets, config.store);
+        overrides.clear();
+        overrides.resize(n_sets + 1, Overrides::default());
+        dropped.clear();
+        dropped.resize(n_sets + 1, false);
+        detected_once.clear();
+        detected_once.resize(n_sets + 1, false);
+        queue.clear();
+        triggered.clear();
+        strobe_scratch.clear();
+        // The structural tables, flattened: (node, entry) pairs sorted
+        // by node, then CSR-compacted. `attach` rows must be ascending
+        // and unique; `forced_at` rows keep their per-circuit push
+        // order (circuit-ascending by construction of the loop).
+        let mut attach_pairs: Vec<(u32, u32)> = Vec::new();
+        let mut forced_pairs: Vec<(u32, (u32, Logic))> = Vec::new();
+        let mut seeds = Vec::new();
+        for (k, set) in fault_sets.iter().enumerate() {
             let circ = u32::try_from(k + 1).expect("too many faults");
-            let set = &sim.fault_sets[k];
-            sim.overrides[circ as usize] = Overrides::from_effects(set.iter().map(Fault::effect));
-            let mut seeds = Vec::new();
+            overrides[circ as usize] = Overrides::from_effects(set.iter().map(Fault::effect));
+            seeds.clear();
             for fault in set {
                 if let FaultEffect::ForceNode { node, value } = fault.effect() {
-                    sim.forced_at[node.index()].push((circ, value));
+                    forced_pairs.push((
+                        u32::try_from(node.index()).expect("node fits u32"),
+                        (circ, value),
+                    ));
                 }
                 for n in fault.footprint(net) {
-                    sim.attach[n.index()].push(circ);
+                    attach_pairs.push((u32::try_from(n.index()).expect("node fits u32"), circ));
                 }
                 seeds.extend(fault.initial_seeds(net));
             }
-            seeds.sort_unstable();
-            seeds.dedup();
-            sim.pending.insert(circ, seeds);
+            for &s in &seeds {
+                queue.schedule(CircuitId(circ), s);
+            }
         }
-        for list in &mut sim.attach {
-            list.sort_unstable();
-            list.dedup();
+        attach_pairs.sort_unstable();
+        attach_pairs.dedup();
+        attach.rebuild(net.num_nodes(), &attach_pairs);
+        // Stable by node: entries at one node stay in push order.
+        forced_pairs.sort_by_key(|&(n, _)| n);
+        forced_at.rebuild(net.num_nodes(), &forced_pairs);
+        ConcurrentSim {
+            net,
+            good,
+            engine,
+            records,
+            fault_sets,
+            overrides,
+            attach,
+            forced_at,
+            dropped,
+            detected_once,
+            live: n_sets,
+            queue,
+            detections: Vec::new(),
+            config,
+            triggered,
+            strobe_scratch,
+            packed,
+            gating,
+            metrics: CoreMetrics::default(),
         }
-        sim
     }
 
     /// Reconstructs a mid-sequence simulator from a good-machine state
@@ -624,19 +716,45 @@ impl<'n> ConcurrentSim<'n> {
         snapshots: &[FaultSnapshot],
         engine: Engine,
     ) -> Self {
+        ConcurrentSim::resume_in(
+            net,
+            faults,
+            config,
+            good,
+            snapshots,
+            SimArena::with_engine(engine),
+        )
+    }
+
+    /// [`ConcurrentSim::resume`] constructing *in* a recycled
+    /// [`SimArena`] (see [`ConcurrentSim::new_in`]) — what a batch
+    /// driver's per-shard arena pool calls at every re-plan boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshots` and `faults` have different lengths.
+    #[must_use]
+    pub fn resume_in(
+        net: &'n Network,
+        faults: &[Fault],
+        config: ConcurrentConfig,
+        good: &DenseState<'n>,
+        snapshots: &[FaultSnapshot],
+        arena: SimArena,
+    ) -> Self {
         assert_eq!(
             faults.len(),
             snapshots.len(),
             "one snapshot per resumed fault"
         );
-        let mut sim = ConcurrentSim::new_with_engine(net, faults, config, engine);
+        let mut sim = ConcurrentSim::new_in(net, faults, config, arena);
         // Replace the reset-state good machine with the boundary state
         // and discard the constructor's pending perturbations and
         // initial fault seeds: the tape covers the former, the original
         // batch-0 run already consumed the latter.
         sim.good = good.clone();
         sim.engine.clear_pending();
-        sim.pending.clear();
+        sim.queue.clear();
         for (k, snap) in snapshots.iter().enumerate() {
             let circ = u32::try_from(k + 1).expect("fault id fits");
             for &(node, v) in &snap.records {
@@ -656,6 +774,29 @@ impl<'n> ConcurrentSim<'n> {
     #[must_use]
     pub fn take_engine(self) -> Engine {
         self.engine
+    }
+
+    /// Consumes the simulator and returns its whole [`SimArena`] for
+    /// reuse via [`ConcurrentSim::new_in`] /
+    /// [`ConcurrentSim::resume_in`] — the bundle generalises
+    /// [`ConcurrentSim::take_engine`] to every owned hot-path buffer
+    /// (record store, structural tables, event queue, scratch), so a
+    /// batch driver's rebuild loop stops paying per-rebuild allocator
+    /// traffic for any of them.
+    #[must_use]
+    pub fn take_arena(self) -> SimArena {
+        SimArena {
+            engine: self.engine,
+            records: self.records,
+            overrides: self.overrides,
+            attach: self.attach,
+            forced_at: self.forced_at,
+            dropped: self.dropped,
+            detected_once: self.detected_once,
+            queue: self.queue,
+            triggered: self.triggered,
+            strobe_scratch: self.strobe_scratch,
+        }
     }
 
     /// Exports the carried state of fault `f` at a pattern boundary —
@@ -790,7 +931,7 @@ impl<'n> ConcurrentSim<'n> {
                     v.push((FaultId(circ - 1), oi, goodv, val));
                 }
             }
-            for &(circ, val) in &self.forced_at[out.index()] {
+            for &(circ, val) in self.forced_at.row(out.index()) {
                 if !self.dropped[circ as usize] && val != goodv {
                     v.push((FaultId(circ - 1), oi, goodv, val));
                 }
@@ -863,7 +1004,7 @@ impl<'n> ConcurrentSim<'n> {
                 engine,
                 records,
                 attach,
-                pending,
+                queue,
                 dropped,
                 triggered,
                 overrides,
@@ -879,7 +1020,7 @@ impl<'n> ConcurrentSim<'n> {
                 trigger_group(
                     records,
                     attach,
-                    pending,
+                    queue,
                     dropped,
                     overrides,
                     triggered,
@@ -916,14 +1057,25 @@ impl<'n> ConcurrentSim<'n> {
             self.settle_triggered_packed(stats);
             return;
         }
-        while let Some((circ, mut seeds)) = self.pending.pop_first() {
-            if self.dropped[circ as usize] {
-                continue;
+        // Drain the flat queue: one sort yields ascending circuit runs
+        // with sorted, deduplicated seed nodes — the same schedule the
+        // per-circuit map produced, with no per-circuit allocation.
+        // Dropped circuits are skipped here (dropping removes records,
+        // not queue entries).
+        let events = self.queue.take_sorted();
+        let mut i = 0;
+        while i < events.len() {
+            let circ = events[i].0;
+            let mut j = i + 1;
+            while j < events.len() && events[j].0 == circ {
+                j += 1;
             }
-            seeds.sort_unstable();
-            seeds.dedup();
-            self.settle_circuit_scalar(circ, &seeds, stats, false);
+            if !self.dropped[circ.index()] {
+                self.settle_circuit_scalar(circ.get(), &events[i..j], stats, false);
+            }
+            i = j;
         }
+        self.queue.restore(events);
     }
 
     /// The packed lane scheduler: drains the pending private events,
@@ -947,6 +1099,11 @@ impl<'n> ConcurrentSim<'n> {
     /// counted as `switch.scalar_fallbacks`. Both paths are
     /// bit-identical, so the split is pure scheduling.
     fn settle_triggered_packed(&mut self, stats: &mut PatternStats) {
+        // One sorted drain of the flat queue yields the batch directly:
+        // ascending circuit runs (the lane→circuit map the packed view
+        // binary-searches) whose seed slices are already sorted and
+        // deduplicated in the event buffer — no per-circuit Vec.
+        let events = self.queue.take_sorted();
         let lanes = self.packed.as_mut().expect("packed path active");
         let mut batch = std::mem::take(&mut lanes.batch);
         let mut shared = std::mem::take(&mut lanes.shared);
@@ -954,15 +1111,21 @@ impl<'n> ConcurrentSim<'n> {
         batch.clear();
         shared.clear();
         solo.clear();
-        while let Some((circ, mut seeds)) = self.pending.pop_first() {
-            if self.dropped[circ as usize] {
-                continue;
+        let mut i = 0;
+        while i < events.len() {
+            let circ = events[i].0;
+            let mut j = i + 1;
+            while j < events.len() && events[j].0 == circ {
+                j += 1;
             }
-            seeds.sort_unstable();
-            seeds.dedup();
-            // Popping in circuit-id order keeps the batch ascending —
-            // the lane→circuit map the packed view binary-searches.
-            batch.push((circ, seeds));
+            if !self.dropped[circ.index()] {
+                batch.push(SeedRun {
+                    circ: circ.get(),
+                    start: u32::try_from(i).expect("event index fits u32"),
+                    end: u32::try_from(j).expect("event index fits u32"),
+                });
+            }
+            i = j;
         }
         {
             let lanes = self.packed.as_mut().expect("packed path active");
@@ -971,8 +1134,8 @@ impl<'n> ConcurrentSim<'n> {
                 lanes.seed_epoch.fill(0);
                 lanes.seed_gen = 1;
             }
-            for (_, seeds) in &batch {
-                for &s in seeds {
+            for run in &batch {
+                for &(_, s) in &events[run.range()] {
                     let i = s.index();
                     if lanes.seed_epoch[i] != lanes.seed_gen {
                         lanes.seed_epoch[i] = lanes.seed_gen;
@@ -981,31 +1144,34 @@ impl<'n> ConcurrentSim<'n> {
                     lanes.seed_count[i] += 1;
                 }
             }
-            for (circ, seeds) in batch.drain(..) {
-                let shares = seeds.iter().any(|s| lanes.seed_count[s.index()] >= 2);
+            for run in batch.drain(..) {
+                let shares = events[run.range()]
+                    .iter()
+                    .any(|&(_, s)| lanes.seed_count[s.index()] >= 2);
                 if shares {
-                    shared.push((circ, seeds));
+                    shared.push(run);
                 } else {
-                    solo.push((circ, seeds));
+                    solo.push(run);
                 }
             }
         }
         for start in (0..shared.len()).step_by(64) {
             let chunk = &shared[start..(start + 64).min(shared.len())];
             if chunk.len() == 1 {
-                let (circ, seeds) = &chunk[0];
-                self.settle_circuit_scalar(*circ, seeds, stats, true);
+                let run = chunk[0];
+                self.settle_circuit_scalar(run.circ, &events[run.range()], stats, true);
             } else {
-                self.settle_chunk_packed(chunk, stats);
+                self.settle_chunk_packed(&events, chunk, stats);
             }
         }
-        for (circ, seeds) in &solo {
-            self.settle_circuit_scalar(*circ, seeds, stats, true);
+        for &run in &solo {
+            self.settle_circuit_scalar(run.circ, &events[run.range()], stats, true);
         }
         let lanes = self.packed.as_mut().expect("packed path active");
         lanes.batch = batch;
         lanes.shared = shared;
         lanes.solo = solo;
+        self.queue.restore(events);
     }
 
     /// Settles one faulty circuit through the scalar engine (the
@@ -1014,7 +1180,7 @@ impl<'n> ConcurrentSim<'n> {
     fn settle_circuit_scalar(
         &mut self,
         circ: u32,
-        seeds: &[NodeId],
+        seeds: &[(CircuitId, NodeId)],
         stats: &mut PatternStats,
         fallback: bool,
     ) {
@@ -1031,7 +1197,7 @@ impl<'n> ConcurrentSim<'n> {
         let rep = {
             let mut view =
                 FaultyView::new(net, good.states(), records, circ, &overrides[circ as usize]);
-            for &s in seeds {
+            for &(_, s) in seeds {
                 engine.perturb(s);
             }
             engine.settle(&mut view)
@@ -1042,7 +1208,7 @@ impl<'n> ConcurrentSim<'n> {
         // good state. Seeds cover every node the good circuit
         // changed (that is what triggered us), so sweeping them
         // restores the records-iff-divergent invariant.
-        for &s in seeds {
+        for &(_, s) in seeds {
             if records.get(s, circ) == Some(good.node_state(s)) {
                 records.remove(s, circ);
             }
@@ -1061,7 +1227,12 @@ impl<'n> ConcurrentSim<'n> {
     /// lane `i` perturbed with `chunk[i]`'s seeds — then scatters the
     /// dirty lanes back into the record lists and runs the per-lane
     /// convergence sweep.
-    fn settle_chunk_packed(&mut self, chunk: &[(u32, Vec<NodeId>)], stats: &mut PatternStats) {
+    fn settle_chunk_packed(
+        &mut self,
+        events: &[(CircuitId, NodeId)],
+        chunk: &[SeedRun],
+        stats: &mut PatternStats,
+    ) {
         let net = self.net;
         let ConcurrentSim {
             good,
@@ -1078,14 +1249,15 @@ impl<'n> ConcurrentSim<'n> {
             ..
         } = &mut **packed.as_mut().expect("packed path active");
         lane_circs.clear();
-        lane_circs.extend(chunk.iter().map(|&(c, _)| c));
+        lane_circs.extend(chunk.iter().map(|run| run.circ));
         let rep = {
             let mut view =
                 PackedBucketView::new(net, good.states(), records, lane_circs, overrides, scratch);
-            for (lane, (_, seeds)) in chunk.iter().enumerate() {
+            for (lane, run) in chunk.iter().enumerate() {
+                let seeds = &events[run.range()];
                 metrics.local_events_scheduled += seeds.len() as u64;
                 let bit = 1u64 << lane;
-                for &s in seeds {
+                for &(_, s) in seeds {
                     engine.perturb(s, bit);
                 }
             }
@@ -1093,10 +1265,10 @@ impl<'n> ConcurrentSim<'n> {
         };
         scratch.scatter(good.states(), records, lane_circs);
         // Per-lane convergence sweep, as in the scalar path.
-        for (circ, seeds) in chunk {
-            for &s in seeds {
-                if records.get(s, *circ) == Some(good.node_state(s)) {
-                    records.remove(s, *circ);
+        for run in chunk {
+            for &(_, s) in &events[run.range()] {
+                if records.get(s, run.circ) == Some(good.node_state(s)) {
+                    records.remove(s, run.circ);
                 }
             }
         }
@@ -1264,7 +1436,7 @@ impl<'n> ConcurrentSim<'n> {
             let ConcurrentSim {
                 records,
                 attach,
-                pending,
+                queue,
                 dropped,
                 overrides,
                 triggered,
@@ -1273,7 +1445,7 @@ impl<'n> ConcurrentSim<'n> {
             trigger_group(
                 records,
                 attach,
-                pending,
+                queue,
                 dropped,
                 overrides,
                 triggered,
@@ -1348,7 +1520,7 @@ impl<'n> ConcurrentSim<'n> {
                 }
             });
             for s in [tr.gate, other, n] {
-                for &c in &attach[s.index()] {
+                for &c in attach.row(s.index()) {
                     if !dropped[c as usize] {
                         triggered.push(c);
                     }
@@ -1374,7 +1546,7 @@ impl<'n> ConcurrentSim<'n> {
                         continue;
                     }
                 }
-                self.pending.entry(c).or_default().push(other);
+                self.queue.schedule(CircuitId(c), other);
             }
         }
     }
@@ -1404,16 +1576,24 @@ impl<'n> ConcurrentSim<'n> {
                 }
             }
         }
+        // The per-output record and forced lists are snapshotted into a
+        // reusable scratch buffer (detections drop circuits, mutating
+        // the record store mid-iteration) — the allocation-free
+        // equivalent of cloning each list.
+        let mut strobe = std::mem::take(&mut self.strobe_scratch);
         for &out in outputs {
             let goodv = self.good.node_state(out);
-            for (circ, val) in self.records.circuits_at(out) {
+            strobe.clear();
+            self.records.for_records_at(out, |c, v| strobe.push((c, v)));
+            for &(circ, val) in &strobe {
                 if self.gating.as_ref().is_some_and(|g| g.quiet[circ as usize]) {
                     continue;
                 }
                 self.maybe_detect(circ, goodv, val, pattern_idx, phase_idx, stats);
             }
-            let forced = self.forced_at[out.index()].clone();
-            for (circ, val) in forced {
+            strobe.clear();
+            strobe.extend_from_slice(self.forced_at.row(out.index()));
+            for &(circ, val) in &strobe {
                 if self.gating.as_ref().is_some_and(|g| g.quiet[circ as usize]) {
                     continue;
                 }
@@ -1422,6 +1602,7 @@ impl<'n> ConcurrentSim<'n> {
                 }
             }
         }
+        self.strobe_scratch = strobe;
         if let Some(gate) = self.gating.as_deref_mut() {
             gate.clear();
         }
@@ -1468,7 +1649,8 @@ impl<'n> ConcurrentSim<'n> {
         self.dropped[circ as usize] = true;
         self.live -= 1;
         self.records.drop_circuit(circ);
-        self.pending.remove(&circ);
+        // Queued events for the circuit (if any) are skipped at drain:
+        // the flat queue needs no removal here.
         self.metrics.faults_dropped.inc();
         self.metrics.faults_live.set(self.live as f64);
     }

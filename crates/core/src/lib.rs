@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod concurrent;
 mod dictionary;
 mod overlay;
@@ -38,6 +39,7 @@ mod report;
 mod serial;
 mod tape;
 
+pub use arena::{CircuitId, SimArena};
 pub use concurrent::{ConcurrentConfig, ConcurrentSim, FaultSnapshot};
 pub use dictionary::{FaultDictionary, Syndrome};
 // `DenseState` is re-exported so batch drivers can snapshot the good

@@ -57,6 +57,25 @@ impl StateLists {
         }
     }
 
+    /// Re-initialises the storage for a new simulator over `num_nodes`
+    /// nodes and `num_circuits` circuits, keeping every allocation the
+    /// new shape can reuse — the arena-reuse path of
+    /// [`SimArena`](crate::SimArena). Behaviour afterwards is
+    /// indistinguishable from [`StateLists::new`].
+    pub fn recycle(&mut self, num_nodes: usize, num_circuits: usize, store: StateListStore) {
+        self.store = store;
+        for list in &mut self.per_node {
+            list.clear();
+        }
+        self.per_node.resize(num_nodes, Vec::new());
+        self.map.clear();
+        for nodes in &mut self.touched {
+            nodes.clear();
+        }
+        self.touched.resize(num_circuits + 1, Vec::new());
+        self.len = 0;
+    }
+
     /// Number of live records across all circuits.
     #[must_use]
     pub fn len(&self) -> usize {

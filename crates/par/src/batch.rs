@@ -16,8 +16,8 @@
 
 use crate::plan::{fault_cost, ShardPlan};
 use fmossim_core::{
-    ConcurrentConfig, ConcurrentSim, DenseState, Engine, FaultSnapshot, GoodTape, Pattern,
-    RunReport,
+    ConcurrentConfig, ConcurrentSim, DenseState, FaultSnapshot, GoodTape, Pattern, RunReport,
+    SimArena,
 };
 use fmossim_faults::{FaultId, FaultUniverse};
 use fmossim_netlist::{Network, NodeId};
@@ -26,49 +26,51 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
 
-/// A bag of recycled [`Engine`]s shared by the shard workers of
+/// A bag of recycled [`SimArena`]s shared by the shard workers of
 /// consecutive [`run_batch`] calls.
 ///
-/// Every shard simulator owns an engine — solver scratch, event
-/// queues, per-node round stamps, all sized for the network. A batch
-/// driver rebuilds its shard simulators at every batch boundary, so
-/// without reuse that whole buffer set is reallocated `shards ×
-/// batches` times per run. Shards returning engines here
-/// ([`EnginePool::put`]) let later shards skip the allocation
-/// ([`EnginePool::take`] + [`Engine::recycle`] inside
-/// `ConcurrentSim::new_with_engine`); the pool never holds more
-/// engines than the widest batch's shard count. Reuse is bit-invisible:
-/// a recycled engine is indistinguishable from a fresh one.
-#[derive(Debug, Default)]
-pub struct EnginePool {
-    engines: Mutex<Vec<Engine>>,
+/// Every shard simulator owns an arena — the switch engine (solver
+/// scratch, event queues, per-node round stamps), the divergence-record
+/// store, the flattened structural tables, the private-event queue and
+/// all per-circuit flags, all sized for the network and fault count. A
+/// batch driver rebuilds its shard simulators at every batch boundary,
+/// so without reuse that whole buffer set is reallocated `shards ×
+/// batches` times per run. Shards returning arenas here
+/// ([`ArenaPool::put`]) let later shards skip the allocations
+/// ([`ArenaPool::take`] + the in-place recycling inside
+/// `ConcurrentSim::new_in` / `resume_in`); the pool never holds more
+/// arenas than the widest batch's shard count. Reuse is bit-invisible:
+/// a recycled arena is indistinguishable from a fresh one.
+#[derive(Default)]
+pub struct ArenaPool {
+    arenas: Mutex<Vec<SimArena>>,
 }
 
-impl EnginePool {
+impl ArenaPool {
     /// Creates an empty pool.
     #[must_use]
     pub fn new() -> Self {
-        EnginePool::default()
+        ArenaPool::default()
     }
 
-    /// Takes a recycled engine, if any shard has returned one.
+    /// Takes a recycled arena, if any shard has returned one.
     #[must_use]
-    pub fn take(&self) -> Option<Engine> {
-        self.engines.lock().expect("pool poisoned").pop()
+    pub fn take(&self) -> Option<SimArena> {
+        self.arenas.lock().expect("pool poisoned").pop()
     }
 
-    /// Returns an engine for a later simulator build to reuse.
-    pub fn put(&self, engine: Engine) {
-        self.engines.lock().expect("pool poisoned").push(engine);
+    /// Returns an arena for a later simulator build to reuse.
+    pub fn put(&self, arena: SimArena) {
+        self.arenas.lock().expect("pool poisoned").push(arena);
     }
 
-    /// Engines currently parked in the pool.
+    /// Arenas currently parked in the pool.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.engines.lock().expect("pool poisoned").len()
+        self.arenas.lock().expect("pool poisoned").len()
     }
 
-    /// True iff no engine is parked.
+    /// True iff no arena is parked.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -242,10 +244,11 @@ pub struct BatchRun {
 /// into a per-shard [`Registry::fork`] that is merged back on the
 /// collecting thread, plus the `par.*` shard timing metrics.
 ///
-/// `engines` is an optional [`EnginePool`]: shards draw recycled
-/// engines from it and park theirs back when done, so consecutive
-/// batches reuse the same buffer allocations. Pass `None` to allocate
-/// fresh per shard (the pre-pool behaviour); results are identical.
+/// `arenas` is an optional [`ArenaPool`]: shards draw recycled
+/// [`SimArena`]s from it and park theirs back when done, so
+/// consecutive batches reuse the same buffer allocations. Pass `None`
+/// to allocate fresh per shard (the pre-pool behaviour); results are
+/// identical.
 ///
 /// # Panics
 ///
@@ -265,7 +268,7 @@ pub fn run_batch(
     outputs: &[NodeId],
     first_pattern: usize,
     telemetry: &Registry,
-    engines: Option<&EnginePool>,
+    arenas: Option<&ArenaPool>,
 ) -> BatchRun {
     let n_shards = plan.num_shards();
     let workers = workers.clamp(1, n_shards.max(1));
@@ -274,12 +277,10 @@ pub fn run_batch(
         let shard_metrics = telemetry.fork();
         let ids = plan.shard(s);
         let shard_universe = universe.subset(ids);
-        let recycled = engines.and_then(EnginePool::take);
+        let recycled = arenas.and_then(ArenaPool::take);
         let mut shard_sim = match resume {
             None => match recycled {
-                Some(engine) => {
-                    ConcurrentSim::new_with_engine(net, shard_universe.faults(), sim, engine)
-                }
+                Some(arena) => ConcurrentSim::new_in(net, shard_universe.faults(), sim, arena),
                 None => ConcurrentSim::new(net, shard_universe.faults(), sim),
             },
             Some(point) => {
@@ -292,13 +293,13 @@ pub fn run_batch(
                     })
                     .collect();
                 match recycled {
-                    Some(engine) => ConcurrentSim::resume_with_engine(
+                    Some(arena) => ConcurrentSim::resume_in(
                         net,
                         shard_universe.faults(),
                         sim,
                         &point.good,
                         &snaps,
-                        engine,
+                        arena,
                     ),
                     None => ConcurrentSim::resume(
                         net,
@@ -322,8 +323,8 @@ pub fn run_batch(
                     .map(|snap| (gid, snap))
             })
             .collect();
-        if let Some(pool) = engines {
-            pool.put(shard_sim.take_engine());
+        if let Some(pool) = arenas {
+            pool.put(shard_sim.take_arena());
         }
         shard_metrics.counter("par.shards").inc();
         shard_metrics
@@ -431,11 +432,11 @@ mod tests {
         let mut recorder = TapeRecorder::new(&net, sim.engine);
         let plan0 = ShardPlan::build_weighted(&all, 2, |_| 1.0);
         let tape0 = recorder.record(&patterns[..1]);
-        // Batch 0 parks its engines in the pool; batch 1 draws them
+        // Batch 0 parks its arenas in the pool; batch 1 draws them
         // back out — with bit-identical results either way. The parked
         // count is 1 or 2, not exactly 2: a shard that finishes before
-        // the other starts donates its engine *within* the batch.
-        let pool = EnginePool::new();
+        // the other starts donates its arena *within* the batch.
+        let pool = ArenaPool::new();
         let b0 = run_batch(
             &net,
             &universe,
@@ -453,7 +454,7 @@ mod tests {
         let parked = pool.len();
         assert!(
             (1..=2).contains(&parked),
-            "shards parked their engines: {parked}"
+            "shards parked their arenas: {parked}"
         );
 
         // Boundary: snapshot, drop detected, re-plan the survivors
@@ -483,7 +484,7 @@ mod tests {
             &Registry::null(),
             Some(&pool),
         );
-        assert_eq!(pool.len(), parked, "one engine reused, then re-parked");
+        assert_eq!(pool.len(), parked, "one arena reused, then re-parked");
 
         let mut detections: Vec<_> = b0
             .reports

@@ -37,7 +37,7 @@ mod driver;
 mod jobs;
 mod plan;
 
-pub use batch::{run_batch, BatchRun, CostModel, EnginePool, ResumePoint, DEFAULT_COST_ALPHA};
+pub use batch::{run_batch, ArenaPool, BatchRun, CostModel, ResumePoint, DEFAULT_COST_ALPHA};
 pub use driver::{ParallelConfig, ParallelRun, ParallelSim, ShardOutcome, TapeStats};
 pub use jobs::{Jobs, AUTO_COST_PER_WORKER};
 pub use plan::{fault_cost, ShardPlan, ShardStrategy};

@@ -126,11 +126,17 @@ impl CampaignBackend for ServedBackend {
         // the universe, which the campaign may have collapsed to class
         // representatives. The tasks below need owned (`'static`)
         // captures, so they clone the spec's Arc and one owned copy of
-        // the workload universe. Run control beyond `drop_detected` /
-        // `collapse` (coverage targets, pattern limits) is not part of
-        // the server API.
+        // the workload universe. Coverage targets stop the run at
+        // shard granularity, like the offline parallel backend;
+        // pattern limits are applied by the campaign driver before the
+        // backend runs.
         let spec = &self.spec;
         let universe = Arc::new(w.universe.clone());
+        let target = control.detection_target(w.coverage_denominator());
+        // Set once the coverage target is reached: still-queued shards
+        // see it at pick-up and are skipped, like cancellation — but
+        // the run counts as stopped-early, not cancelled.
+        let coverage_stop = Arc::new(AtomicBool::new(false));
         let config = ConcurrentConfig {
             drop_on_detect: control.drop_detected,
             // Collapsed campaigns gate, like the offline backends.
@@ -179,14 +185,17 @@ impl CampaignBackend for ServedBackend {
                 Arc::clone(&self.job_cancel),
                 Arc::clone(&self.campaign_cancel),
             );
+            let stop = Arc::clone(&coverage_stop);
             let fork = self.telemetry.fork();
             let tx = tx.clone();
             self.pool.submit(self.job, move || {
-                // A cancelled job's still-queued shards are skipped at
-                // pick-up — cooperative cancellation reaches through
-                // the pool queue, not just between completions.
+                // A cancelled (or coverage-stopped) job's still-queued
+                // shards are skipped at pick-up — cooperative
+                // cancellation reaches through the pool queue, not
+                // just between completions.
                 let outcome = if cancels.0.load(Ordering::Relaxed)
                     || cancels.1.load(Ordering::Relaxed)
+                    || stop.load(Ordering::Relaxed)
                 {
                     None
                 } else {
@@ -210,6 +219,8 @@ impl CampaignBackend for ServedBackend {
         let mut reports = Vec::with_capacity(n_shards);
         let mut max_shard_seconds = 0.0f64;
         let mut skipped = 0usize;
+        let mut detected_weight = 0usize;
+        let mut stopped_early = false;
         for (s, faults, outcome, fork) in rx {
             self.telemetry.merge(&fork);
             match outcome {
@@ -232,13 +243,25 @@ impl CampaignBackend for ServedBackend {
                         seconds: report.total_seconds,
                     });
                     max_shard_seconds = max_shard_seconds.max(report.total_seconds);
+                    detected_weight += report
+                        .detections
+                        .iter()
+                        .map(|d| w.detection_weight(d.fault.index()))
+                        .sum::<usize>();
+                    if !stopped_early && target.is_some_and(|t| detected_weight >= t) {
+                        stopped_early = true;
+                        coverage_stop.store(true, Ordering::Relaxed);
+                    }
                     reports.push(report);
                 }
                 None => skipped += 1,
             }
         }
 
-        let cancelled = skipped > 0 || self.is_cancelled();
+        // Skipped shards mean a token fired mid-run: the coverage stop
+        // (stopped-early) or a real cancel. Only the latter marks the
+        // run cancelled.
+        let cancelled = self.is_cancelled() || (skipped > 0 && !stopped_early);
         let mut run = RunReport::merge(reports);
         run.num_faults = universe.len();
         run.detections
@@ -247,6 +270,7 @@ impl CampaignBackend for ServedBackend {
 
         BackendRun {
             run,
+            stopped_early,
             cancelled,
             jobs: Some(self.pool.workers()),
             shards: Some(n_shards),
@@ -278,6 +302,7 @@ mod tests {
             outputs: ram.observed_outputs().to_vec(),
             shards,
             collapse: false,
+            stop_at_coverage: None,
         }
     }
 
@@ -362,6 +387,41 @@ mod tests {
         let stats = collapsed.collapse.expect("collapse ran");
         assert_eq!(stats.total_faults, spec.universe.len());
         assert!(stats.simulated_faults <= stats.total_faults);
+    }
+
+    /// Coverage targets stop served runs early — including collapsed
+    /// ones, where the target is evaluated over the parent universe —
+    /// and a coverage stop is not a cancellation, even though it skips
+    /// still-queued shards through the same pool mechanism.
+    #[test]
+    fn coverage_target_stops_served_runs_without_cancelling() {
+        let spec = Arc::new(spec(8));
+        // One worker: shards complete strictly one at a time, so a low
+        // target reliably leaves later shards queued when it trips.
+        let pool = Arc::new(SharedPool::new(1, &Registry::null()));
+        for collapse in [false, true] {
+            let cancel = Arc::new(AtomicBool::new(false));
+            let backend = ServedBackend::new(Arc::clone(&spec), Arc::clone(&pool), 21, cancel);
+            let report = Campaign::new(&spec.net)
+                .faults(spec.universe.clone())
+                .patterns(&spec.patterns)
+                .outputs(&spec.outputs)
+                .backend_impl(Box::new(backend))
+                .collapse(collapse)
+                .stop_at_coverage(0.25)
+                .run();
+            assert_eq!(
+                report.stop,
+                StopReason::CoverageReached,
+                "collapse={collapse}"
+            );
+            assert!(!report.cancelled, "collapse={collapse}: stop is not cancel");
+            assert!(
+                report.coverage() >= 0.25,
+                "collapse={collapse}: parent-universe coverage {} missed the target",
+                report.coverage()
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //! at [`MAX_EVENT_FRAMES`] frames ([`Detected`](SimEvent::Detected)
 //! events scale with the universe); overflow drops *sim* frames,
 //! counts them, and reports the count in the terminal `done` frame.
-//! Lifecycle (`status`/`done`/`error`) frames are never dropped.
+//! The first drop also appends one synthetic `frames_dropped` frame,
+//! so readers see the gap *in-stream* at the point it opens instead
+//! of only discovering it from the terminal count. Lifecycle
+//! (`status`/`done`/`error`) frames and the gap marker are never
+//! dropped.
 
 use crate::proto::sse_event;
 use fmossim_campaign::json::{obj, parse, Value};
@@ -155,13 +159,26 @@ impl Job {
     }
 
     /// Appends one simulation event to the SSE backlog (dropped, and
-    /// counted, past [`MAX_EVENT_FRAMES`]).
+    /// counted, past [`MAX_EVENT_FRAMES`]). The first drop appends a
+    /// synthetic `frames_dropped` marker — cap-exempt, like lifecycle
+    /// frames — so the stream shows where the gap opens; the terminal
+    /// `done` frame carries the final count.
     pub fn push_event(&self, e: &SimEvent) {
         let (event, data) = sse_event(e);
         let frame = crate::http::sse_frame(event, &data);
         let mut st = self.lock();
         if st.frames.len() >= MAX_EVENT_FRAMES {
             st.dropped += 1;
+            if st.dropped == 1 {
+                let data = obj([
+                    ("cap", Value::Num(MAX_EVENT_FRAMES as f64)),
+                    ("id", Value::Str(format_job_id(self.id))),
+                ]);
+                let marker = crate::http::sse_frame("frames_dropped", &data.to_string());
+                st.frames.push(Arc::from(marker.as_str()));
+                drop(st);
+                self.cond.notify_all();
+            }
             return;
         }
         st.frames.push(Arc::from(frame.as_str()));
@@ -404,9 +421,74 @@ mod tests {
         job.finish(report(false));
         let (frames, complete) = job.wait_frames(0);
         assert!(complete);
-        assert_eq!(frames.len(), MAX_EVENT_FRAMES + 1, "cap plus done frame");
+        assert_eq!(
+            frames.len(),
+            MAX_EVENT_FRAMES + 2,
+            "cap plus gap marker plus done frame"
+        );
         let done = frames.last().unwrap();
         assert!(done.contains("\"dropped_frames\":12"), "{done}");
+    }
+
+    /// The first dropped frame leaves an in-stream `frames_dropped`
+    /// marker exactly where the gap opens — once, no matter how many
+    /// frames fall into the gap — and a stream that never overflows
+    /// carries no marker.
+    #[test]
+    fn a_gap_marker_frame_flags_the_first_drop() {
+        let table = JobTable::new();
+        let job = table.create("x".into());
+        job.set_running(false);
+        let push = |i: usize| {
+            job.push_event(&SimEvent::PatternStart {
+                pattern: i,
+                live: 0,
+            });
+        };
+        // Fill to the cap exactly: two lifecycle frames are already in
+        // the backlog, so MAX - 2 sim events land and none drop.
+        for i in 0..(MAX_EVENT_FRAMES - 2) {
+            push(i);
+        }
+        let (frames, _) = job.wait_frames(0);
+        assert_eq!(frames.len(), MAX_EVENT_FRAMES);
+        assert!(
+            !frames
+                .iter()
+                .any(|f| f.starts_with("event: frames_dropped")),
+            "no marker before the first drop"
+        );
+
+        // The next event is the first casualty: it is dropped and the
+        // marker takes its place in the stream.
+        push(MAX_EVENT_FRAMES);
+        let (frames, _) = job.wait_frames(MAX_EVENT_FRAMES);
+        assert_eq!(frames.len(), 1);
+        assert!(
+            frames[0].starts_with("event: frames_dropped\n"),
+            "{}",
+            frames[0]
+        );
+        assert!(frames[0].contains("\"cap\":8192"), "{}", frames[0]);
+        assert!(frames[0].contains("\"id\":\"job-1\""), "{}", frames[0]);
+
+        // Further drops are counted but leave no additional markers.
+        for i in 0..5 {
+            push(MAX_EVENT_FRAMES + 1 + i);
+        }
+        job.finish(report(false));
+        let (frames, complete) = job.wait_frames(0);
+        assert!(complete);
+        let markers = frames
+            .iter()
+            .filter(|f| f.starts_with("event: frames_dropped"))
+            .count();
+        assert_eq!(markers, 1, "the marker is emitted once");
+        assert!(
+            frames.last().unwrap().contains("\"dropped_frames\":6"),
+            "{}",
+            frames.last().unwrap()
+        );
     }
 
     #[test]

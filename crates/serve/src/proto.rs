@@ -31,9 +31,13 @@
 //! asks the job to run with static fault collapsing + activity gating
 //! ([`Campaign::collapse`](fmossim_campaign::Campaign::collapse)) —
 //! the report is bit-identical either way, and echoes the choice in
-//! its `control` block. Phase inputs are `[node name, logic char]`
-//! pairs in application order, with logic spelled `"0"`, `"1"`, or
-//! `"X"` ([`fmossim_netlist::Logic`]).
+//! its `control` block; `stop_at_coverage` (number in `[0, 1]`,
+//! default absent) stops the run once coverage reaches the target
+//! ([`Campaign::stop_at_coverage`](fmossim_campaign::Campaign::stop_at_coverage)),
+//! evaluated over the full fault universe even under `collapse`.
+//! Phase inputs are `[node name, logic char]` pairs in application
+//! order, with logic spelled `"0"`, `"1"`, or `"X"`
+//! ([`fmossim_netlist::Logic`]).
 
 use crate::cache::TapeKey;
 use fmossim_campaign::json::{obj, parse, Value};
@@ -72,6 +76,10 @@ pub struct JobSpec {
     /// Whether the job runs with static fault collapsing + activity
     /// gating ([`Campaign::collapse`](fmossim_campaign::Campaign::collapse)).
     pub collapse: bool,
+    /// Stop once coverage over the full fault universe reaches this
+    /// fraction
+    /// ([`Campaign::stop_at_coverage`](fmossim_campaign::Campaign::stop_at_coverage)).
+    pub stop_at_coverage: Option<f64>,
 }
 
 impl JobSpec {
@@ -177,6 +185,15 @@ pub fn parse_submission(body: &str, default_shards: usize) -> Result<JobSpec, St
             .ok_or_else(|| "\"collapse\" must be a boolean".to_string())?,
     };
 
+    let stop_at_coverage = match v.get("stop_at_coverage") {
+        None | Some(Value::Null) => None,
+        Some(c) => Some(
+            c.as_f64()
+                .filter(|t| (0.0..=1.0).contains(t))
+                .ok_or_else(|| "\"stop_at_coverage\" must be a number in [0, 1]".to_string())?,
+        ),
+    };
+
     Ok(JobSpec {
         name,
         net,
@@ -185,6 +202,7 @@ pub fn parse_submission(body: &str, default_shards: usize) -> Result<JobSpec, St
         outputs,
         shards,
         collapse,
+        stop_at_coverage,
     })
 }
 
@@ -408,6 +426,14 @@ mod tests {
         let collapsed =
             parse_submission(r#"{"circuit": "ram4x4", "collapse": true}"#, DEFAULT_SHARDS).unwrap();
         assert!(collapsed.collapse);
+        assert_eq!(spec.stop_at_coverage, None, "coverage stop is opt-in");
+        let targeted = parse_submission(
+            r#"{"circuit": "ram4x4", "collapse": true, "stop_at_coverage": 0.9}"#,
+            DEFAULT_SHARDS,
+        )
+        .unwrap();
+        assert_eq!(targeted.stop_at_coverage, Some(0.9));
+        assert!(targeted.collapse, "combination is accepted");
         assert!(!spec.patterns.is_empty());
         assert!(!spec.outputs.is_empty());
         let (net_hash, stim_hash) = spec.cache_key();
@@ -467,6 +493,14 @@ mod tests {
             (
                 r#"{"circuit": "ram4x4", "collapse": "yes"}"#,
                 "must be a boolean",
+            ),
+            (
+                r#"{"circuit": "ram4x4", "stop_at_coverage": 1.5}"#,
+                "stop_at_coverage",
+            ),
+            (
+                r#"{"circuit": "ram4x4", "stop_at_coverage": "most"}"#,
+                "must be a number",
             ),
             (r#"{"netlist": "input A 0"}"#, "outputs"),
         ];

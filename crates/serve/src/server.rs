@@ -295,6 +295,9 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>, spec: JobSpec) {
             .with_telemetry(&job_registry)
             .export_good_tape(&slot)
             .on_event(move |e| observer_job.push_event(&e));
+        if let Some(target) = spec.stop_at_coverage {
+            campaign = campaign.stop_at_coverage(target);
+        }
         if let Some(tape) = cached {
             campaign = campaign.with_good_tape(tape);
         }

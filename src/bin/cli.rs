@@ -88,7 +88,7 @@ usage:
   fmossim submit   --addr HOST:PORT <netlist.snl> --stim <file> --outputs A[,B...]
                    [--universe stuck-nodes|stuck-transistors|all]
                    [--shards N] [--collapse on|off] [--name LABEL]
-                   [--no-wait] [--json]
+                   [--stop-at-coverage F] [--no-wait] [--json]
   fmossim cancel   --addr HOST:PORT <job-id>
 
 `zoo` lists the benchmark circuit zoo; `faultsim --circuit <name>`
@@ -132,10 +132,11 @@ are grouped into classes, one representative per class is simulated
 backends — and every detection is fanned back out to the full class
 at report time. The reported detections, coverage, and fault count
 are bit-identical to --collapse off; only the simulated work shrinks.
-The default is off. --collapse on cannot be combined with
---stop-at-coverage: the coverage target would be evaluated over the
-collapsed representatives mid-run, stopping at a different point than
-the uncollapsed campaign it must mirror.
+The default is off. --collapse on combines with --stop-at-coverage:
+the target is evaluated over the full fault universe (each
+representative's detection weighted by its class size), so the
+collapsed run stops at the same point as the uncollapsed campaign it
+mirrors.
 
 --json emits the machine-readable campaign report instead of text;
 --stop-at-coverage / --pattern-limit cut the run short; --serial
@@ -464,17 +465,6 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
         })
         .transpose()?
         .unwrap_or(false);
-    // Like the --circuit x --stim conflict above: the combination
-    // would be half-honoured (the target would count collapsed
-    // representatives, not faults), so it is rejected outright.
-    if collapse && opt(args, "--stop-at-coverage").is_some() {
-        return Err(
-            "--stop-at-coverage has no meaning with --collapse on: the target would be \
-             evaluated over collapsed representatives mid-run, not the full fault universe \
-             the report describes; drop one of the two"
-                .into(),
-        );
-    }
     let batch = opt(args, "--batch")
         .map(|s| {
             s.parse::<usize>()
@@ -816,6 +806,17 @@ fn submission_body(args: &[String]) -> Result<String, String> {
             other => return Err(format!("--collapse takes `on` or `off`, not `{other}`")),
         };
         fields.push(("collapse", Value::Bool(on)));
+    }
+    if let Some(cov) = opt(args, "--stop-at-coverage") {
+        let target: f64 = cov
+            .parse()
+            .map_err(|_| "--stop-at-coverage takes a fraction")?;
+        if !(0.0..=1.0).contains(&target) {
+            return Err(format!(
+                "--stop-at-coverage takes a fraction in [0, 1], not {cov}"
+            ));
+        }
+        fields.push(("stop_at_coverage", Value::Num(target)));
     }
     if let Some(name) = opt(args, "--name") {
         fields.push(("name", Value::Str(name.to_string())));
